@@ -1,0 +1,107 @@
+"""Fig. 7 — convergence speed of DistHD vs NeuralHD vs BaselineHD.
+
+Paper shapes:
+
+- accuracy-vs-iteration: DistHD climbs fastest and converges at or above the
+  others ("Faster Convergence", "Higher Accuracy");
+- accuracy-vs-dimension: DistHD reaches a given accuracy at lower physical D
+  than the static baseline.
+"""
+
+import numpy as np
+
+from common import bench_dataset, make_baselinehd, make_disthd, make_neuralhd
+from repro.pipeline.report import format_series
+
+ITER_BUDGET = 30
+DIM_SWEEP = (64, 128, 256, 512)
+
+_cache = {}
+
+
+def _convergence_curves(seeds=(0, 1, 2)):
+    if "curves" in _cache:
+        return _cache["curves"]
+    ds = bench_dataset("isolet")
+    factories = {
+        "DistHD": lambda s: make_disthd(iterations=ITER_BUDGET, seed=s),
+        "NeuralHD": lambda s: make_neuralhd(iterations=ITER_BUDGET, seed=s),
+        "BaselineHD": lambda s: make_baselinehd(dim=128, iterations=ITER_BUDGET, seed=s),
+    }
+    curves = {}
+    finals = {}
+    for name, factory in factories.items():
+        accs = []
+        for seed in seeds:
+            clf = factory(seed).fit(ds.train_x, ds.train_y)
+            if seed == seeds[0]:
+                curves[name] = clf.history_.accuracies
+            accs.append(clf.score(ds.test_x, ds.test_y))
+        finals[name] = float(np.mean(accs))
+    _cache["curves"] = (curves, finals)
+    return curves, finals
+
+
+def test_fig7_accuracy_vs_iterations(benchmark):
+    (curves, finals) = benchmark.pedantic(
+        _convergence_curves, rounds=1, iterations=1
+    )
+    print("\n=== Fig. 7 (left): train accuracy vs iteration (ISOLET analog) ===")
+    for name, curve in curves.items():
+        sampled = [f"{curve[i]:.3f}" for i in range(0, len(curve), 5)]
+        print(f"  {name:11s}: {' '.join(sampled)}  test={finals[name]:.3f}")
+
+    # Shape: DistHD converges at or above the comparators (seed-averaged).
+    assert finals["DistHD"] >= finals["NeuralHD"] - 0.02
+    assert finals["DistHD"] >= finals["BaselineHD"] - 0.02
+
+    # Faster convergence: iterations needed to reach a shared milestone.
+    milestone = 0.95 * max(max(c) for c in curves.values())
+    def first_reach(curve):
+        for i, acc in enumerate(curve):
+            if acc >= milestone:
+                return i
+        return len(curve)
+    reach = {name: first_reach(curve) for name, curve in curves.items()}
+    print(f"  iterations to reach {milestone:.3f}: {reach}")
+    assert reach["DistHD"] <= reach["NeuralHD"], (
+        "DistHD must converge in no more iterations than NeuralHD"
+    )
+
+
+def test_fig7_accuracy_vs_dimension(benchmark):
+    def sweep():
+        ds = bench_dataset("isolet")
+        out = {"DistHD": [], "BaselineHD": [], "NeuralHD": []}
+        for dim in DIM_SWEEP:
+            out["DistHD"].append(
+                make_disthd(dim=dim).fit(ds.train_x, ds.train_y).score(
+                    ds.test_x, ds.test_y
+                )
+            )
+            out["NeuralHD"].append(
+                make_neuralhd(dim=dim).fit(ds.train_x, ds.train_y).score(
+                    ds.test_x, ds.test_y
+                )
+            )
+            out["BaselineHD"].append(
+                make_baselinehd(dim=dim).fit(ds.train_x, ds.train_y).score(
+                    ds.test_x, ds.test_y
+                )
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Fig. 7 (right): test accuracy vs dimension (ISOLET analog) ===")
+    for name, accs in results.items():
+        print(format_series(name, DIM_SWEEP, accs, x_label="D", y_label="acc"))
+
+    # Shape: every method improves with D; DistHD dominates the static
+    # baseline on average across the sweep.
+    for accs in results.values():
+        assert accs[-1] >= accs[0] - 0.02
+    disthd_mean = np.mean(results["DistHD"])
+    baseline_mean = np.mean(results["BaselineHD"])
+    assert disthd_mean >= baseline_mean, (
+        "DistHD should dominate the static baseline across the D sweep"
+    )

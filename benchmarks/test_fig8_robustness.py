@@ -1,0 +1,92 @@
+"""Fig. 8 — quality loss under random memory bit flips.
+
+The paper's grid: error rate ∈ {1, 2, 5, 10, 15}% on
+- an 8-bit-quantised DNN, and
+- DistHD at D ∈ {0.5k, 1k, 2k, 4k} × precision ∈ {1, 2, 4, 8} bits.
+
+Shapes to reproduce:
+
+- DistHD at 1-bit loses far less quality than the DNN at every error rate
+  (paper headline: 12.90× average);
+- lower precision → more robust DistHD (1-bit beats 8-bit);
+- higher dimensionality → more robust DistHD (holographic redundancy).
+
+The D grid is scaled to {128, 256, 512, 1024} to keep runtime in check.
+"""
+
+import numpy as np
+
+from common import SEED, bench_dataset, make_disthd, make_mlp
+from repro.noise.robustness import quality_loss_sweep, robustness_ratio
+from repro.pipeline.report import format_markdown_table
+
+ERROR_RATES = (0.01, 0.02, 0.05, 0.10, 0.15)
+DIM_GRID = (128, 256, 512, 1024)
+BIT_GRID = (1, 2, 4, 8)
+N_TRIALS = 3
+
+_cache = {}
+
+
+def _fig8_grid():
+    if "grid" in _cache:
+        return _cache["grid"]
+    ds = bench_dataset("ucihar")
+    rows = []
+
+    mlp = make_mlp().fit(ds.train_x, ds.train_y)
+    dnn_losses = [
+        p.quality_loss
+        for p in quality_loss_sweep(
+            mlp, ds.test_x, ds.test_y, bits=8, error_rates=ERROR_RATES,
+            n_trials=N_TRIALS, seed=SEED,
+        )
+    ]
+    rows.append({"model": "DNN", "bits": 8, "dim": "-",
+                 **{f"{int(r*100)}%": l for r, l in zip(ERROR_RATES, dnn_losses)}})
+
+    disthd_losses = {}
+    for bits in BIT_GRID:
+        for dim in DIM_GRID:
+            clf = make_disthd(dim=dim).fit(ds.train_x, ds.train_y)
+            losses = [
+                p.quality_loss
+                for p in quality_loss_sweep(
+                    clf, ds.test_x, ds.test_y, bits=bits,
+                    error_rates=ERROR_RATES, n_trials=N_TRIALS, seed=SEED,
+                )
+            ]
+            disthd_losses[(bits, dim)] = losses
+            rows.append(
+                {"model": "DistHD", "bits": bits, "dim": dim,
+                 **{f"{int(r*100)}%": l for r, l in zip(ERROR_RATES, losses)}}
+            )
+    _cache["grid"] = (rows, dnn_losses, disthd_losses)
+    return _cache["grid"]
+
+
+def test_fig8_quality_loss_grid(benchmark):
+    rows, dnn_losses, disthd_losses = benchmark.pedantic(
+        _fig8_grid, rounds=1, iterations=1
+    )
+    print("\n=== Fig. 8: quality loss (%) under memory bit flips (UCIHAR analog) ===")
+    print(format_markdown_table(rows, precision=2))
+
+    best = disthd_losses[(1, DIM_GRID[-1])]
+    ratio = robustness_ratio(dnn_losses, best)
+    print(f"\nDistHD (1-bit, D={DIM_GRID[-1]}) vs DNN robustness ratio: {ratio:.2f}x")
+
+    # Shape 1: 1-bit high-D DistHD is far more robust than the 8-bit DNN.
+    assert ratio > 2.0, "DistHD must be multiple-fold more robust than the DNN"
+    for dnn, dist in zip(dnn_losses[2:], best[2:]):  # from 5% error up
+        assert dist <= dnn, "DistHD quality loss must not exceed the DNN's"
+
+    # Shape 2: lower precision is more robust at fixed D (averaged over rates).
+    loss_1bit = np.mean(disthd_losses[(1, DIM_GRID[-1])])
+    loss_8bit = np.mean(disthd_losses[(8, DIM_GRID[-1])])
+    assert loss_1bit <= loss_8bit + 0.5
+
+    # Shape 3: higher dimensionality is more robust at fixed precision.
+    loss_small_d = np.mean(disthd_losses[(8, DIM_GRID[0])])
+    loss_large_d = np.mean(disthd_losses[(8, DIM_GRID[-1])])
+    assert loss_large_d <= loss_small_d + 0.5

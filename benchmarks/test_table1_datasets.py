@@ -1,0 +1,56 @@
+"""Table I — dataset registry and analog generation.
+
+Regenerates the paper's dataset table (n, k, train/test sizes, description)
+and benchmarks analog generation throughput.
+"""
+
+import pytest
+
+from common import SCALES, bench_dataset
+from repro.datasets.registry import DATASETS, list_datasets
+from repro.pipeline.report import format_markdown_table
+
+
+def test_table1_registry(benchmark):
+    """Print Table I from the registry; verify it matches the paper."""
+
+    def build():
+        return [
+            {
+                "dataset": spec.name.upper(),
+                "n": spec.n_features,
+                "k": spec.n_classes,
+                "train": spec.train_size,
+                "test": spec.test_size,
+                "description": spec.description,
+            }
+            for spec in (DATASETS[name] for name in list_datasets())
+        ]
+
+    rows = benchmark(build)
+    print("\n=== Table I: datasets ===")
+    print(format_markdown_table(rows))
+    published = {
+        "MNIST": (784, 10), "UCIHAR": (561, 12), "ISOLET": (617, 26),
+        "PAMAP2": (54, 5), "DIABETES": (49, 3),
+    }
+    for row in rows:
+        n, k = published[row["dataset"]]
+        assert row["n"] == n and row["k"] == k
+
+
+@pytest.mark.parametrize("name", sorted(SCALES))
+def test_table1_analog_generation(benchmark, name):
+    """Benchmark analog generation and validate the produced signature."""
+    bench_dataset.cache_clear()
+    ds = benchmark.pedantic(
+        bench_dataset, args=(name,), rounds=1, iterations=1
+    )
+    spec = DATASETS[name]
+    assert ds.n_features == spec.n_features
+    assert ds.n_classes == spec.n_classes
+    assert ds.n_train >= 10
+    print(
+        f"\n{name}: generated {ds.n_train} train / {ds.n_test} test samples "
+        f"(scale {SCALES[name]}, published {spec.train_size}/{spec.test_size})"
+    )

@@ -1,0 +1,65 @@
+"""Hardware-noise robustness on a simulated noisy edge device (paper §IV-D).
+
+Trains DistHD and a DNN on the same analog, then flips random bits in each
+model's quantised memory image at increasing error rates — the paper's fault
+model for unreliable IoT memory — and reports the accuracy ("quality") loss.
+
+Run with::
+
+    python examples/edge_robustness.py
+"""
+
+from repro import DistHDClassifier, load_dataset
+from repro.baselines import MLPClassifier
+from repro.noise.robustness import quality_loss_sweep, robustness_ratio
+from repro.pipeline.report import format_markdown_table
+
+ERROR_RATES = (0.01, 0.02, 0.05, 0.10, 0.15)
+
+
+def main() -> None:
+    dataset = load_dataset("ucihar", scale=0.10, seed=0)
+
+    disthd = DistHDClassifier(dim=1024, iterations=15, seed=0)
+    disthd.fit(dataset.train_x, dataset.train_y)
+    dnn = MLPClassifier(hidden_sizes=(128,), epochs=20, seed=0)
+    dnn.fit(dataset.train_x, dataset.train_y)
+    print(
+        f"clean accuracy — DistHD: {disthd.score(dataset.test_x, dataset.test_y):.3f}, "
+        f"DNN: {dnn.score(dataset.test_x, dataset.test_y):.3f}\n"
+    )
+
+    rows = []
+    sweeps = {}
+    for name, model, bits in (
+        ("DNN (8-bit)", dnn, 8),
+        ("DistHD (8-bit)", disthd, 8),
+        ("DistHD (1-bit)", disthd, 1),
+    ):
+        points = quality_loss_sweep(
+            model, dataset.test_x, dataset.test_y,
+            bits=bits, error_rates=ERROR_RATES, n_trials=3, seed=0,
+        )
+        sweeps[name] = [p.quality_loss for p in points]
+        rows.append(
+            {
+                "model": name,
+                **{f"{int(r * 100)}% flips": loss
+                   for r, loss in zip(ERROR_RATES, sweeps[name])},
+            }
+        )
+
+    print("quality loss (accuracy percentage points) per bit-flip rate:")
+    print(format_markdown_table(rows, precision=2))
+
+    ratio = robustness_ratio(sweeps["DNN (8-bit)"], sweeps["DistHD (1-bit)"])
+    print(
+        f"\nDistHD (1-bit) is {ratio:.1f}x more robust than the 8-bit DNN "
+        f"on this analog (paper reports 12.90x on full datasets): the "
+        f"holographic encoding spreads every class pattern across all "
+        f"dimensions, so no single flipped bit is load-bearing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Streaming training + quantised deployment: the full edge lifecycle.
+
+Beyond the paper's batch evaluation, this example walks the lifecycle its
+introduction motivates: an edge device (1) learns from a sensor stream one
+mini-batch at a time with DistHD's dynamic encoding running on a sample
+reservoir, then (2) freezes the model into a 1-bit fixed-point memory image
+for deployment, and (3) keeps serving predictions while its memory slowly
+accumulates bit errors.
+
+Run with::
+
+    python examples/streaming_edge.py
+"""
+
+from repro import load_dataset
+from repro.core.config import DistHDConfig
+from repro.deploy import QuantizedHDCModel, StreamingDistHD
+
+
+def main() -> None:
+    dataset = load_dataset("pamap2", scale=0.004, seed=0)
+    print(
+        f"PAMAP2 analog stream: {dataset.n_train} samples, "
+        f"{dataset.n_features} IMU features, {dataset.n_classes} activities\n"
+    )
+
+    # ---------------------------------------------------------- 1. streaming
+    config = DistHDConfig(dim=256, regen_rate=0.2, selection="union", seed=0)
+    model = StreamingDistHD(
+        dataset.n_features, dataset.n_classes, config,
+        reservoir_size=400, regen_every=5,
+    )
+    for epoch in range(3):
+        for batch_x, batch_y in dataset.batches(64, seed=epoch):
+            model.partial_fit(batch_x, batch_y)
+        acc = model.score(dataset.test_x, dataset.test_y)
+        print(
+            f"epoch {epoch}: test accuracy {acc:.3f}  "
+            f"(batches {model.n_batches_}, regenerated "
+            f"{model.total_regenerated_} dims, D*={model.effective_dim_})"
+        )
+
+    # --------------------------------------------------------- 2. deployment
+    deployed = QuantizedHDCModel(model, bits=1)
+    report = deployed.footprint_report()
+    print(
+        f"\ndeployed at 1-bit: class memory {report['memory_bytes']} bytes "
+        f"({report['compression']:.0f}x smaller than float64), "
+        f"test accuracy {deployed.score(dataset.test_x, dataset.test_y):.3f}"
+    )
+
+    # ------------------------------------------------- 3. lifetime bit decay
+    print("\nsimulating memory decay on the device:")
+    for step, rate in enumerate((0.01, 0.02, 0.05), start=1):
+        flipped = deployed.inject_faults(rate, seed=step)
+        acc = deployed.score(dataset.test_x, dataset.test_y)
+        print(f"  +{rate:.0%} of bits flipped ({flipped} bits): accuracy {acc:.3f}")
+    print(
+        "\nThe holographic class memory degrades gracefully — the paper's "
+        "robustness claim, end to end."
+    )
+
+
+if __name__ == "__main__":
+    main()

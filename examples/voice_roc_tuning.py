@@ -1,0 +1,73 @@
+"""Tuning sensitivity vs specificity with DistHD's weight parameters.
+
+The paper's §III-C / Fig. 6: α weighs "distance from the true label" and
+β/θ weigh "proximity to wrong labels" when scoring misleading dimensions.
+Larger α favours sensitivity (fewer false negatives); larger β favours
+specificity (fewer false positives).  This example binarises the ISOLET
+voice analog (vowel-ish class group vs rest) and walks the trade-off.
+
+Run with::
+
+    python examples/voice_roc_tuning.py
+"""
+
+import numpy as np
+
+from repro import DistHDClassifier, load_dataset
+from repro.metrics.roc import auc, roc_curve
+from repro.metrics.sensitivity import binary_rates
+from repro.pipeline.report import format_markdown_table
+
+
+def binarize(labels: np.ndarray, positive_classes) -> np.ndarray:
+    return np.isin(labels, positive_classes).astype(np.int64)
+
+
+def main() -> None:
+    dataset = load_dataset("isolet", scale=0.10, seed=0)
+    # Treat the first five letter classes as the positive group (e.g. a
+    # wake-word cluster) and the rest as background.
+    positive = list(range(5))
+    train_y = binarize(dataset.train_y, positive)
+    test_y = binarize(dataset.test_y, positive)
+    print(
+        f"ISOLET analog, binarised: {train_y.mean():.0%} positive rate, "
+        f"{dataset.n_train} train / {dataset.n_test} test\n"
+    )
+
+    rows = []
+    for alpha, beta in ((0.5, 1.0), (1.0, 1.0), (2.0, 1.0)):
+        # Union selection + a higher regeneration rate make the weight
+        # parameters bite visibly at example scale (with the paper's
+        # conservative intersection, few dimensions regenerate per epoch and
+        # all settings converge to near-identical models).
+        clf = DistHDClassifier(
+            dim=256, iterations=15, alpha=alpha, beta=beta, theta=beta / 4,
+            regen_rate=0.2, selection="union", seed=0,
+        )
+        clf.fit(dataset.train_x, train_y)
+        scores = clf.decision_scores(dataset.test_x)
+        margin = scores[:, 1] - scores[:, 0]
+        fpr, tpr, _ = roc_curve(test_y, margin)
+        rates = binary_rates(test_y, clf.predict(dataset.test_x))
+        rows.append(
+            {
+                "alpha/beta": f"{alpha / beta:g}",
+                "AUC": auc(fpr, tpr),
+                "sensitivity": rates.sensitivity,
+                "specificity": rates.specificity,
+                "FNR": rates.fnr,
+                "FPR": rates.fpr,
+            }
+        )
+
+    print(format_markdown_table(rows, precision=3))
+    print(
+        "\nReading the table: comparable AUC across settings, with the "
+        "alpha-heavy model trading specificity for sensitivity — tune per "
+        "task as §III-C prescribes."
+    )
+
+
+if __name__ == "__main__":
+    main()

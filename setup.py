@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+All real metadata lives in pyproject.toml; this file exists because the
+offline environment lacks the `wheel` package PEP-517 editable installs need.
+"""
+
+from setuptools import setup
+
+setup()

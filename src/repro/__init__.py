@@ -1,0 +1,35 @@
+"""DistHD reproduction — learner-aware dynamic encoding for HDC classification.
+
+Reimplementation of Wang, Huang & Imani, *DistHD: A Learner-Aware Dynamic
+Encoding Method for Hyperdimensional Classification* (DAC 2023), together
+with every substrate its evaluation depends on: an HDC compute layer,
+baseline learners (BaselineHD / NeuralHD / OnlineHD / MLP / SVM / kNN),
+synthetic analogs of the five evaluation datasets, a hardware bit-flip noise
+model, metrics, and an experiment pipeline.
+
+Quick start::
+
+    from repro import DistHDClassifier, load_dataset
+
+    ds = load_dataset("ucihar", scale=0.05, seed=0)
+    clf = DistHDClassifier(dim=500, iterations=10, seed=0)
+    clf.fit(ds.train_x, ds.train_y)
+    print(clf.score(ds.test_x, ds.test_y))
+"""
+
+from repro.core.config import DistHDConfig
+from repro.core.disthd import DistHDClassifier
+from repro.datasets.loaders import load_dataset
+from repro.datasets.registry import list_datasets
+from repro.persistence import load_model, save_model
+from repro.version import __version__
+
+__all__ = [
+    "DistHDClassifier",
+    "DistHDConfig",
+    "load_dataset",
+    "list_datasets",
+    "load_model",
+    "save_model",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Comparator algorithms the paper evaluates against.
+
+HDC family:
+
+- :class:`BaselineHDClassifier` — static encoder + perceptron-style
+  retraining (the paper's "baselineHD", Rahimi et al. ISLPED'16 lineage);
+- :class:`NeuralHDClassifier` — dynamic encoding via variance-based dimension
+  significance (Zou et al., SC'21);
+- :class:`OnlineHDClassifier` — adaptive similarity-weighted learning with a
+  static encoder (ablation between BaselineHD and DistHD).
+
+Classical ML family (all NumPy-from-scratch, no external ML deps):
+
+- :class:`MLPClassifier` — the "SOTA DNN" comparator;
+- :class:`LinearSVMClassifier` / :class:`RFFSVMClassifier` — the SVM
+  comparators (linear and random-Fourier-feature kernel approximation);
+- :class:`KNNClassifier` — distance-based sanity baseline.
+"""
+
+from repro.baselines.baselinehd import BaselineHDClassifier
+from repro.baselines.knn import KNNClassifier
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.neuralhd import NeuralHDClassifier
+from repro.baselines.onlinehd import OnlineHDClassifier
+from repro.baselines.svm import LinearSVMClassifier, RFFSVMClassifier
+
+__all__ = [
+    "BaselineHDClassifier",
+    "NeuralHDClassifier",
+    "OnlineHDClassifier",
+    "MLPClassifier",
+    "LinearSVMClassifier",
+    "RFFSVMClassifier",
+    "KNNClassifier",
+]

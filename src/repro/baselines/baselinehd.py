@@ -1,0 +1,156 @@
+"""BaselineHD — static-encoder HDC with perceptron-style retraining.
+
+The paper's "baselineHD" comparator is the Rahimi et al. ISLPED'16 classifier
+[6]: a static *record-based (ID-level)* encoder — each feature index gets a
+random bipolar ID hypervector, each quantised magnitude a correlated level
+hypervector, and a sample is the bundle of ID⊛level bindings — followed by
+single-pass bundling initialisation and perceptron-style retraining where
+each mispredicted sample is subtracted from the wrong class and added to the
+true class with a fixed learning rate (no similarity weighting, no
+regeneration).
+
+The quantised record encoding is what makes static HDC dimension-hungry
+(paper Fig. 2(a)): each dimension carries a coarse, fixed slice of the
+input, so matching adaptive real-valued encoders takes several-fold higher
+D.  An ``encoder`` switch lets ablations rerun BaselineHD with a bipolar
+sign-projection encoder or the real-valued RBF encoder instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceTracker
+from repro.core.history import IterationRecord, TrainingHistory
+from repro.estimator import BaseClassifier
+from repro.hdc.encoders.id_level import IDLevelEncoder
+from repro.hdc.encoders.projection import RandomProjectionEncoder
+from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.memory import AssociativeMemory
+from repro.utils.rng import as_rng, spawn_seed
+from repro.utils.validation import check_features_match, check_matrix
+
+
+class BaselineHDClassifier(BaseClassifier):
+    """Static-encoder HDC classifier with perceptron-style retraining.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality; the paper runs it at both the compressed
+        D=0.5k and the effective D*=4k operating points.
+    lr:
+        Retraining step size.
+    iterations:
+        Maximum retraining epochs.
+    single_pass_init:
+        Bundle all samples into their classes before retraining (classic
+        one-shot initialisation).  Disable for a from-zero perceptron run.
+    encoder:
+        ``"id-level"`` (default) for the faithful ISLPED record-based
+        encoder, ``"sign"`` for a bipolar sign-projection encoder, or
+        ``"rbf"`` for the real-valued RBF encoder (ablations isolating the
+        encoder choice from the training rule).
+    n_levels:
+        Quantisation levels for the ID-level encoder.
+    bandwidth, seed:
+        Encoder parameters (``bandwidth`` only affects ``encoder="rbf"``).
+    convergence_patience / convergence_tol:
+        Early-stopping plateau detection, as in DistHD.
+    """
+
+    def __init__(
+        self,
+        dim: int = 4000,
+        *,
+        lr: float = 0.05,
+        iterations: int = 30,
+        single_pass_init: bool = True,
+        encoder: str = "id-level",
+        n_levels: int = 16,
+        bandwidth: float = 0.5,
+        convergence_patience: Optional[int] = 5,
+        convergence_tol: float = 1e-3,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        if encoder not in ("id-level", "sign", "rbf"):
+            raise ValueError(
+                f"encoder must be 'id-level', 'sign' or 'rbf', got {encoder!r}"
+            )
+        if n_levels < 2:
+            raise ValueError(f"n_levels must be >= 2, got {n_levels}")
+        self.dim = int(dim)
+        self.lr = float(lr)
+        self.iterations = int(iterations)
+        self.single_pass_init = bool(single_pass_init)
+        self.encoder_kind = encoder
+        self.n_levels = int(n_levels)
+        self.bandwidth = float(bandwidth)
+        self.convergence_patience = convergence_patience
+        self.convergence_tol = float(convergence_tol)
+        self.seed = seed
+        self.encoder_ = None
+        self.memory_: Optional[AssociativeMemory] = None
+        self.history_: Optional[TrainingHistory] = None
+        self.n_iterations_: int = 0
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        n_classes = int(y.max()) + 1
+        rng = as_rng(self.seed)
+        if self.encoder_kind == "id-level":
+            self.encoder_ = IDLevelEncoder(
+                X.shape[1], self.dim, n_levels=self.n_levels,
+                seed=spawn_seed(rng),
+            )
+        elif self.encoder_kind == "sign":
+            self.encoder_ = RandomProjectionEncoder(
+                X.shape[1], self.dim, activation="sign", seed=spawn_seed(rng)
+            )
+        else:
+            self.encoder_ = RBFEncoder(
+                X.shape[1], self.dim, bandwidth=self.bandwidth, seed=spawn_seed(rng)
+            )
+        self.memory_ = AssociativeMemory(n_classes, self.dim)
+        self.history_ = TrainingHistory()
+        tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
+        shuffle_rng = as_rng(spawn_seed(rng))
+
+        encoded = self.encoder_.encode(X)
+        if self.single_pass_init:
+            self.memory_.accumulate(encoded, y)
+
+        self.n_iterations_ = 0
+        for iteration in range(self.iterations):
+            order = shuffle_rng.permutation(encoded.shape[0])
+            sims = self.memory_.similarities(encoded[order])
+            predicted = np.argmax(sims, axis=1)
+            wrong = np.flatnonzero(predicted != y[order])
+            for j in wrong:
+                hv = encoded[order[j]]
+                self.memory_.add_to_class(int(predicted[j]), -self.lr * hv)
+                self.memory_.add_to_class(int(y[order[j]]), self.lr * hv)
+            train_acc = float(
+                np.mean(self.memory_.predict(encoded) == y)
+            )
+            self.history_.append(
+                IterationRecord(iteration=iteration, train_accuracy=train_acc)
+            )
+            self.n_iterations_ = iteration + 1
+            if tracker.update(train_acc):
+                break
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Cosine similarities of encoded queries against class memory."""
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        check_features_match(self.n_features_, X.shape[1], type(self).__name__)
+        return self.memory_.similarities(self.encoder_.encode(X))

@@ -1,0 +1,70 @@
+"""k-nearest-neighbours baseline.
+
+Not in the paper's comparison table, but a standard sanity baseline: if an
+HDC model cannot beat brute-force kNN on a dataset analog, the analog is too
+easy.  The dataset-calibration tests use it for exactly that purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.estimator import BaseClassifier
+from repro.utils.validation import check_features_match, check_matrix
+
+
+class KNNClassifier(BaseClassifier):
+    """Brute-force kNN with uniform or distance weighting.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours.
+    weights:
+        ``"uniform"`` or ``"distance"`` (inverse-distance vote weights).
+    """
+
+    def __init__(self, k: int = 5, *, weights: str = "uniform") -> None:
+        super().__init__()
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(
+                f"weights must be 'uniform' or 'distance', got {weights!r}"
+            )
+        self.k = int(k)
+        self.weights = weights
+        self._train_x: Optional[np.ndarray] = None
+        self._train_y: Optional[np.ndarray] = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._train_x = X.copy()
+        self._train_y = y.copy()
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Per-class neighbour vote totals (weighted when configured)."""
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        check_features_match(self.n_features_, X.shape[1], type(self).__name__)
+        k = min(self.k, self._train_x.shape[0])
+        n_classes = int(self._train_y.max()) + 1
+        # Squared euclidean distances via the expansion trick.
+        d2 = (
+            np.sum(X**2, axis=1, keepdims=True)
+            - 2.0 * X @ self._train_x.T
+            + np.sum(self._train_x**2, axis=1)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        neighbour_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        scores = np.zeros((X.shape[0], n_classes))
+        rows = np.arange(X.shape[0])[:, None]
+        labels = self._train_y[neighbour_idx]
+        if self.weights == "uniform":
+            vote = np.ones_like(labels, dtype=np.float64)
+        else:
+            vote = 1.0 / (np.sqrt(d2[rows, neighbour_idx]) + 1e-9)
+        for j in range(k):
+            np.add.at(scores, (rows[:, 0], labels[:, j]), vote[:, j])
+        return scores

@@ -1,0 +1,211 @@
+"""NumPy multi-layer perceptron — the paper's "SOTA DNN" comparator.
+
+A standard MLP (ReLU hidden layers, softmax cross-entropy output) trained
+with Adam on mini-batches.  Written from scratch on NumPy so the repository
+has no ML-framework dependency; the paper's DNN is a TensorFlow MLP tuned by
+grid search, which this matches in model family.
+
+The trained weight matrices are exposed through :meth:`parameters` /
+:meth:`set_parameters` so the hardware-noise substrate (Fig. 8) can quantise
+and bit-flip them exactly as the paper does ("all DNN weights are quantized
+to their effective 8-bit representation").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.estimator import BaseClassifier
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_features_match, check_matrix
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the max-subtraction stability trick."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Mean negative log-likelihood of the true labels."""
+    n = probs.shape[0]
+    clipped = np.clip(probs[np.arange(n), labels], 1e-12, 1.0)
+    return float(-np.mean(np.log(clipped)))
+
+
+class _AdamState:
+    """Per-parameter Adam moments."""
+
+    def __init__(self, shapes: Sequence[Tuple[int, ...]]) -> None:
+        self.m = [np.zeros(s) for s in shapes]
+        self.v = [np.zeros(s) for s in shapes]
+        self.t = 0
+
+    def step(
+        self, params: List[np.ndarray], grads: List[np.ndarray], lr: float,
+        beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+    ) -> None:
+        self.t += 1
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self.m[i] = beta1 * self.m[i] + (1 - beta1) * g
+            self.v[i] = beta2 * self.v[i] + (1 - beta2) * (g * g)
+            m_hat = self.m[i] / (1 - beta1**self.t)
+            v_hat = self.v[i] / (1 - beta2**self.t)
+            p -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class MLPClassifier(BaseClassifier):
+    """Feed-forward neural network classifier (ReLU + softmax + Adam).
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Widths of the hidden layers, e.g. ``(128, 64)``.
+    lr:
+        Adam learning rate.
+    epochs:
+        Training epochs.
+    batch_size:
+        Mini-batch size.
+    weight_decay:
+        L2 penalty coefficient applied to weight matrices (not biases).
+    seed:
+        RNG seed for initialisation and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (128,),
+        *,
+        lr: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 64,
+        weight_decay: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        sizes = tuple(int(h) for h in hidden_sizes)
+        if not sizes or any(h <= 0 for h in sizes):
+            raise ValueError(f"hidden_sizes must be positive ints, got {hidden_sizes}")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.hidden_sizes = sizes
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.weight_decay = float(weight_decay)
+        self.seed = seed
+        self.weights_: List[np.ndarray] = []
+        self.biases_: List[np.ndarray] = []
+        self.loss_history_: List[float] = []
+
+    # -------------------------------------------------------------- training
+
+    def _init_params(self, n_features: int, n_classes: int, rng) -> None:
+        layer_sizes = (n_features, *self.hidden_sizes, n_classes)
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            # He initialisation, appropriate for ReLU layers.
+            std = np.sqrt(2.0 / fan_in)
+            self.weights_.append(rng.normal(0.0, std, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Return pre-output activations per layer and output probabilities."""
+        activations = [X]
+        h = X
+        for W, b in zip(self.weights_[:-1], self.biases_[:-1]):
+            h = relu(h @ W + b)
+            activations.append(h)
+        logits = h @ self.weights_[-1] + self.biases_[-1]
+        return activations, softmax(logits)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        n_classes = int(y.max()) + 1
+        rng = as_rng(self.seed)
+        self._init_params(X.shape[1], n_classes, rng)
+        adam = _AdamState([w.shape for w in self.weights_] + [b.shape for b in self.biases_])
+        n = X.shape[0]
+        self.loss_history_ = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = X[idx], y[idx]
+                activations, probs = self._forward(xb)
+                epoch_loss += cross_entropy(probs, yb)
+                n_batches += 1
+
+                # Backprop: delta at the softmax output is (p - onehot)/B.
+                delta = probs.copy()
+                delta[np.arange(len(yb)), yb] -= 1.0
+                delta /= len(yb)
+
+                grads_w: List[np.ndarray] = [None] * len(self.weights_)
+                grads_b: List[np.ndarray] = [None] * len(self.biases_)
+                for layer in range(len(self.weights_) - 1, -1, -1):
+                    grads_w[layer] = activations[layer].T @ delta
+                    if self.weight_decay:
+                        grads_w[layer] += self.weight_decay * self.weights_[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) * (
+                            activations[layer] > 0
+                        )
+                adam.step(
+                    self.weights_ + self.biases_, grads_w + grads_b, self.lr
+                )
+            self.loss_history_.append(epoch_loss / max(n_batches, 1))
+
+    # ------------------------------------------------------------- inference
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Class probabilities from the softmax output layer."""
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        check_features_match(self.n_features_, X.shape[1], type(self).__name__)
+        _, probs = self._forward(X)
+        return probs
+
+    # -------------------------------------------------- noise-injection hooks
+
+    def parameters(self) -> List[np.ndarray]:
+        """References to all trainable arrays (weights then biases)."""
+        self._check_fitted()
+        return self.weights_ + self.biases_
+
+    def set_parameters(self, params: Sequence[np.ndarray]) -> None:
+        """Replace all trainable arrays (shape-checked)."""
+        self._check_fitted()
+        current = self.parameters()
+        if len(params) != len(current):
+            raise ValueError(
+                f"expected {len(current)} parameter arrays, got {len(params)}"
+            )
+        for cur, new in zip(current, params):
+            new = np.asarray(new, dtype=np.float64)
+            if new.shape != cur.shape:
+                raise ValueError(
+                    f"parameter shape mismatch: expected {cur.shape}, got {new.shape}"
+                )
+        n_w = len(self.weights_)
+        self.weights_ = [np.asarray(p, dtype=np.float64).copy() for p in params[:n_w]]
+        self.biases_ = [np.asarray(p, dtype=np.float64).copy() for p in params[n_w:]]

@@ -1,0 +1,104 @@
+"""OnlineHD-style baseline: adaptive learning, static encoder.
+
+This sits exactly between BaselineHD and DistHD: it uses DistHD's
+similarity-weighted adaptive update (Algorithm 1) but never regenerates
+dimensions.  Comparing the three isolates how much of DistHD's gain comes
+from adaptive weighting versus dimension regeneration — the ablation the
+DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.adaptive import adaptive_fit_iteration
+from repro.core.convergence import ConvergenceTracker
+from repro.core.history import IterationRecord, TrainingHistory
+from repro.estimator import BaseClassifier
+from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.memory import AssociativeMemory
+from repro.utils.rng import as_rng, spawn_seed
+from repro.utils.validation import check_features_match, check_matrix
+
+
+class OnlineHDClassifier(BaseClassifier):
+    """Adaptive HDC with a static encoder (no dimension regeneration).
+
+    Parameters mirror :class:`~repro.core.disthd.DistHDClassifier` minus the
+    regeneration knobs.
+    """
+
+    def __init__(
+        self,
+        dim: int = 500,
+        *,
+        lr: float = 0.05,
+        iterations: int = 30,
+        batch_size: Optional[int] = None,
+        single_pass_init: bool = True,
+        bandwidth: float = 0.5,
+        convergence_patience: Optional[int] = 5,
+        convergence_tol: float = 1e-3,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        self.dim = int(dim)
+        self.lr = float(lr)
+        self.iterations = int(iterations)
+        self.batch_size = batch_size
+        self.single_pass_init = bool(single_pass_init)
+        self.bandwidth = float(bandwidth)
+        self.convergence_patience = convergence_patience
+        self.convergence_tol = float(convergence_tol)
+        self.seed = seed
+        self.encoder_: Optional[RBFEncoder] = None
+        self.memory_: Optional[AssociativeMemory] = None
+        self.history_: Optional[TrainingHistory] = None
+        self.n_iterations_: int = 0
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        n_classes = int(y.max()) + 1
+        rng = as_rng(self.seed)
+        self.encoder_ = RBFEncoder(
+            X.shape[1], self.dim, bandwidth=self.bandwidth, seed=spawn_seed(rng)
+        )
+        self.memory_ = AssociativeMemory(n_classes, self.dim)
+        self.history_ = TrainingHistory()
+        tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
+        shuffle_rng = as_rng(spawn_seed(rng))
+
+        encoded = self.encoder_.encode(X)
+        if self.single_pass_init:
+            self.memory_.accumulate(encoded, y)
+        self.n_iterations_ = 0
+        for iteration in range(self.iterations):
+            adaptive_fit_iteration(
+                self.memory_,
+                encoded,
+                y,
+                lr=self.lr,
+                batch_size=self.batch_size,
+                shuffle_rng=shuffle_rng,
+            )
+            train_acc = float(np.mean(self.memory_.predict(encoded) == y))
+            self.history_.append(
+                IterationRecord(iteration=iteration, train_accuracy=train_acc)
+            )
+            self.n_iterations_ = iteration + 1
+            if tracker.update(train_acc):
+                break
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Cosine similarities of encoded queries against class memory."""
+        self._check_fitted()
+        X = check_matrix(X, "X")
+        check_features_match(self.n_features_, X.shape[1], type(self).__name__)
+        return self.memory_.similarities(self.encoder_.encode(X))

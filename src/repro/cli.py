@@ -1,0 +1,155 @@
+"""Command-line interface: ``disthd-repro``.
+
+Subcommands:
+
+- ``datasets`` — list the Table-I registry;
+- ``train`` — fit a model on a dataset analog and print the metric suite;
+- ``compare`` — run the Fig. 4-style model comparison on one dataset;
+- ``robustness`` — run a Fig. 8-style bit-flip sweep for one model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import (
+    BaselineHDClassifier,
+    KNNClassifier,
+    LinearSVMClassifier,
+    MLPClassifier,
+    NeuralHDClassifier,
+    OnlineHDClassifier,
+    RFFSVMClassifier,
+)
+from repro.core.disthd import DistHDClassifier
+from repro.datasets.loaders import load_dataset
+from repro.datasets.registry import DATASETS, list_datasets
+from repro.noise.robustness import quality_loss_sweep
+from repro.pipeline.experiment import run_experiment
+from repro.pipeline.report import format_markdown_table
+
+_MODELS = {
+    "disthd": lambda dim, seed: DistHDClassifier(dim=dim, seed=seed),
+    "baselinehd": lambda dim, seed: BaselineHDClassifier(dim=dim, seed=seed),
+    "neuralhd": lambda dim, seed: NeuralHDClassifier(dim=dim, seed=seed),
+    "onlinehd": lambda dim, seed: OnlineHDClassifier(dim=dim, seed=seed),
+    "mlp": lambda dim, seed: MLPClassifier(hidden_sizes=(dim,), seed=seed),
+    "svm": lambda dim, seed: LinearSVMClassifier(seed=seed),
+    "rff-svm": lambda dim, seed: RFFSVMClassifier(n_components=dim, seed=seed),
+    "knn": lambda dim, seed: KNNClassifier(k=5),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="ucihar", choices=sorted(DATASETS),
+        help="Table-I dataset analog to generate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="fraction of the published sample counts to generate",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--dim", type=int, default=500, help="hypervector dimensionality D",
+    )
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "n": spec.n_features,
+            "k": spec.n_classes,
+            "train": spec.train_size,
+            "test": spec.test_size,
+            "description": spec.description,
+        }
+        for spec in (DATASETS[name] for name in list_datasets())
+    ]
+    print(format_markdown_table(rows))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    model = _MODELS[args.model](args.dim, args.seed)
+    result = run_experiment(model, ds, model_name=args.model)
+    print(format_markdown_table([result.as_row()]))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    rows = []
+    for name in args.models:
+        model = _MODELS[name](args.dim, args.seed)
+        rows.append(run_experiment(model, ds, model_name=name).as_row())
+    columns = ["model", "test_acc", "top2_acc", "train_s", "infer_s"]
+    print(format_markdown_table(rows, columns=columns))
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    model = _MODELS[args.model](args.dim, args.seed)
+    model.fit(ds.train_x, ds.train_y)
+    points = quality_loss_sweep(
+        model, ds.test_x, ds.test_y, bits=args.bits, seed=args.seed
+    )
+    rows = [
+        {
+            "error_rate": p.error_rate,
+            "bits": p.bits,
+            "clean_acc": p.clean_accuracy,
+            "noisy_acc": p.noisy_accuracy,
+            "quality_loss_pct": p.quality_loss,
+        }
+        for p in points
+    ]
+    print(format_markdown_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="disthd-repro",
+        description="DistHD (DAC 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table-I dataset registry")
+
+    train = sub.add_parser("train", help="train one model, print metrics")
+    _add_common(train)
+    train.add_argument("--model", default="disthd", choices=sorted(_MODELS))
+
+    compare = sub.add_parser("compare", help="compare several models")
+    _add_common(compare)
+    compare.add_argument(
+        "--models", nargs="+", default=["disthd", "baselinehd", "neuralhd"],
+        choices=sorted(_MODELS),
+    )
+
+    robust = sub.add_parser("robustness", help="bit-flip robustness sweep")
+    _add_common(robust)
+    robust.add_argument("--model", default="disthd", choices=sorted(_MODELS))
+    robust.add_argument("--bits", type=int, default=8, choices=(1, 2, 4, 8))
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "train": _cmd_train,
+        "compare": _cmd_compare,
+        "robustness": _cmd_robustness,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

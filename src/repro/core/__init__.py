@@ -1,0 +1,40 @@
+"""DistHD core: the paper's primary contribution.
+
+- :mod:`repro.core.config` — :class:`DistHDConfig` hyper-parameters;
+- :mod:`repro.core.adaptive` — Algorithm 1, similarity-weighted adaptive
+  learning;
+- :mod:`repro.core.topk` — top-2 classification and the
+  correct / partially-correct / incorrect outcome partition;
+- :mod:`repro.core.regeneration` — Algorithm 2, undesired-dimension
+  identification and regeneration;
+- :mod:`repro.core.disthd` — :class:`DistHDClassifier`, the public estimator
+  tying the pieces together;
+- :mod:`repro.core.convergence` / :mod:`repro.core.history` — training-loop
+  instrumentation.
+"""
+
+from repro.core.adaptive import adaptive_fit_iteration
+from repro.core.config import DistHDConfig
+from repro.core.convergence import ConvergenceTracker
+from repro.core.disthd import DistHDClassifier
+from repro.core.history import TrainingHistory
+from repro.core.regeneration import (
+    RegenerationReport,
+    distance_matrices,
+    select_undesired_dimensions,
+)
+from repro.core.topk import OutcomePartition, partition_outcomes, top2_labels
+
+__all__ = [
+    "DistHDClassifier",
+    "DistHDConfig",
+    "ConvergenceTracker",
+    "TrainingHistory",
+    "OutcomePartition",
+    "RegenerationReport",
+    "adaptive_fit_iteration",
+    "distance_matrices",
+    "partition_outcomes",
+    "select_undesired_dimensions",
+    "top2_labels",
+]

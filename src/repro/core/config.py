@@ -1,0 +1,143 @@
+"""Hyper-parameter configuration for DistHD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+VALID_INCORRECT_RULES = ("prose", "algorithm-box")
+VALID_NORMALIZATIONS = ("l2", "l1", "minmax", "none")
+VALID_SELECTIONS = ("intersection", "union", "m-only", "n-only")
+
+
+@dataclass
+class DistHDConfig:
+    """All DistHD hyper-parameters in one validated record.
+
+    Parameters mirror the paper's notation.
+
+    Attributes
+    ----------
+    dim:
+        Physical hypervector dimensionality ``D`` (paper default 0.5k).
+    lr:
+        Adaptive-learning rate ``η`` (Algorithm 1).
+    alpha, beta, theta:
+        Distance-matrix weights (Algorithm 2).  ``alpha`` weighs distance to
+        the true label; ``beta`` and ``theta`` weigh proximity to the two
+        wrong labels.  The paper requires ``theta < beta``.
+    regen_rate:
+        Regeneration rate ``R`` as a fraction in [0, 1] — the paper's
+        ``R%`` of ``D`` candidates per distance vector.
+    iterations:
+        Maximum training iterations (epochs).
+    batch_size:
+        Mini-batch size for the adaptive-learning pass; ``None`` uses the
+        full training set per step.
+    single_pass_init:
+        Initialise class hypervectors by bundling every encoded sample into
+        its class before the first adaptive iteration (standard HDC
+        initialisation; gives adaptive learning a trained starting point).
+    rebundle_on_regen:
+        After regenerating dimensions, immediately bundle the freshly
+        encoded columns into the class memory so the new dimensions start
+        trained ("regenerate ... for a more positive impact on the
+        classification", §III-C).  Disable to let only subsequent adaptive
+        iterations heal the reset columns (NeuralHD's convention).
+    bandwidth:
+        RBF encoder bandwidth.
+    incorrect_rule:
+        Which formula scores incorrect samples — ``"prose"`` (§III-C text,
+        the self-consistent default) or ``"algorithm-box"`` (Algorithm 2
+        line 11 as printed).  See DESIGN.md §2.
+    normalization:
+        How the distance matrices are normalised before column-summing
+        (``"l2"`` rows, ``"l1"`` rows, ``"minmax"`` rows, or ``"none"``).
+    selection:
+        How the per-matrix top-R% candidate sets combine: the paper's
+        ``"intersection"``, or ``"union"`` / ``"m-only"`` / ``"n-only"`` for
+        ablations.
+    convergence_patience / convergence_tol:
+        Early stopping: stop when training accuracy has improved by less
+        than ``convergence_tol`` for ``convergence_patience`` consecutive
+        iterations.  ``convergence_patience=None`` disables early stopping.
+    seed:
+        Seed for the encoder and all training randomness.
+    """
+
+    dim: int = 500
+    lr: float = 0.05
+    alpha: float = 1.0
+    beta: float = 1.0
+    theta: float = 0.25
+    regen_rate: float = 0.10
+    iterations: int = 20
+    batch_size: Optional[int] = None
+    single_pass_init: bool = True
+    rebundle_on_regen: bool = True
+    bandwidth: float = 0.5
+    incorrect_rule: str = "prose"
+    normalization: str = "l2"
+    selection: str = "intersection"
+    convergence_patience: Optional[int] = 5
+    convergence_tol: float = 1e-3
+    seed: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ValueError(f"dim must be positive, got {self.dim}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.alpha < 0 or self.beta < 0 or self.theta < 0:
+            raise ValueError(
+                f"alpha, beta, theta must be non-negative, got "
+                f"({self.alpha}, {self.beta}, {self.theta})"
+            )
+        if self.theta >= self.beta:
+            raise ValueError(
+                f"paper requires theta < beta, got theta={self.theta}, "
+                f"beta={self.beta}"
+            )
+        if not 0.0 <= self.regen_rate <= 1.0:
+            raise ValueError(
+                f"regen_rate is a fraction in [0, 1], got {self.regen_rate}"
+            )
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {self.iterations}")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.incorrect_rule not in VALID_INCORRECT_RULES:
+            raise ValueError(
+                f"incorrect_rule must be one of {VALID_INCORRECT_RULES}, "
+                f"got {self.incorrect_rule!r}"
+            )
+        if self.normalization not in VALID_NORMALIZATIONS:
+            raise ValueError(
+                f"normalization must be one of {VALID_NORMALIZATIONS}, "
+                f"got {self.normalization!r}"
+            )
+        if self.selection not in VALID_SELECTIONS:
+            raise ValueError(
+                f"selection must be one of {VALID_SELECTIONS}, "
+                f"got {self.selection!r}"
+            )
+        if self.convergence_patience is not None and self.convergence_patience <= 0:
+            raise ValueError(
+                f"convergence_patience must be positive or None, "
+                f"got {self.convergence_patience}"
+            )
+        if self.convergence_tol < 0:
+            raise ValueError(
+                f"convergence_tol must be non-negative, got {self.convergence_tol}"
+            )
+
+    def with_overrides(self, **kwargs) -> "DistHDConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def effective_dim(self, iterations: Optional[int] = None) -> float:
+        """Paper's ``D* = D + D · R% · iterations`` (planning estimate)."""
+        iters = self.iterations if iterations is None else iterations
+        return self.dim + self.dim * self.regen_rate * iters

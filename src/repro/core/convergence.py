@@ -1,0 +1,59 @@
+"""Convergence detection / early stopping.
+
+The paper trains "each HDC model until it reaches convergence"; this tracker
+formalises that: training stops once the monitored accuracy has failed to
+improve by at least ``tol`` for ``patience`` consecutive iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ConvergenceTracker:
+    """Patience-based plateau detector.
+
+    Parameters
+    ----------
+    patience:
+        Consecutive non-improving iterations tolerated before declaring
+        convergence.  ``None`` never converges (fixed-iteration training).
+    tol:
+        Minimum improvement over the best value seen that counts as progress.
+
+    Examples
+    --------
+    >>> tracker = ConvergenceTracker(patience=2, tol=0.01)
+    >>> [tracker.update(acc) for acc in (0.5, 0.6, 0.605, 0.606)]
+    [False, False, False, True]
+    """
+
+    def __init__(self, patience: Optional[int] = 5, tol: float = 1e-3) -> None:
+        if patience is not None and patience <= 0:
+            raise ValueError(f"patience must be positive or None, got {patience}")
+        if tol < 0:
+            raise ValueError(f"tol must be non-negative, got {tol}")
+        self.patience = patience
+        self.tol = float(tol)
+        self.best: Optional[float] = None
+        self.stale_iterations = 0
+        self.converged = False
+
+    def update(self, value: float) -> bool:
+        """Record one iteration's metric; returns True once converged."""
+        if self.patience is None:
+            return False
+        if self.best is None or value > self.best + self.tol:
+            self.best = max(value, self.best) if self.best is not None else value
+            self.stale_iterations = 0
+        else:
+            self.stale_iterations += 1
+            if self.stale_iterations >= self.patience:
+                self.converged = True
+        return self.converged
+
+    def reset(self) -> None:
+        """Forget all progress (reuse the tracker for a new fit)."""
+        self.best = None
+        self.stale_iterations = 0
+        self.converged = False

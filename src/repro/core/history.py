@@ -1,0 +1,95 @@
+"""Training-history recording.
+
+Every DistHD (and baseline HDC) fit collects one :class:`IterationRecord` per
+iteration so convergence curves (Fig. 2, Fig. 7) fall straight out of a
+trained model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class IterationRecord:
+    """Metrics for a single training iteration.
+
+    Attributes
+    ----------
+    iteration:
+        Zero-based iteration index.
+    train_accuracy:
+        Top-1 training accuracy after the iteration's model update.
+    top2_accuracy:
+        Top-2 training accuracy (only recorded by learners that compute it).
+    regenerated:
+        Number of dimensions regenerated this iteration (0 for static HDC).
+    effective_dim:
+        Encoder effective dimensionality after this iteration.
+    partial_rate / incorrect_rate:
+        Fractions of the training batch per top-2 outcome.
+    """
+
+    iteration: int
+    train_accuracy: float
+    top2_accuracy: Optional[float] = None
+    regenerated: int = 0
+    effective_dim: Optional[int] = None
+    partial_rate: Optional[float] = None
+    incorrect_rate: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Chronological record of a fit, with convenience accessors."""
+
+    records: List[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index: int) -> IterationRecord:
+        return self.records[index]
+
+    @property
+    def accuracies(self) -> List[float]:
+        """Per-iteration top-1 training accuracy."""
+        return [r.train_accuracy for r in self.records]
+
+    @property
+    def total_regenerated(self) -> int:
+        """Total dimensions regenerated over the whole fit."""
+        return sum(r.regenerated for r in self.records)
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].train_accuracy
+
+    def iterations_to_reach(self, accuracy: float) -> Optional[int]:
+        """First iteration index whose training accuracy >= ``accuracy``.
+
+        Returns ``None`` when never reached — the convergence-speed metric
+        behind Fig. 7.
+        """
+        for record in self.records:
+            if record.train_accuracy >= accuracy:
+                return record.iteration
+        return None
+
+    def as_dict(self) -> Dict[str, list]:
+        """Column-oriented view (for reports and plotting)."""
+        return {
+            "iteration": [r.iteration for r in self.records],
+            "train_accuracy": [r.train_accuracy for r in self.records],
+            "top2_accuracy": [r.top2_accuracy for r in self.records],
+            "regenerated": [r.regenerated for r in self.records],
+            "effective_dim": [r.effective_dim for r in self.records],
+            "partial_rate": [r.partial_rate for r in self.records],
+            "incorrect_rate": [r.incorrect_rate for r in self.records],
+        }

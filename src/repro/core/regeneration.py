@@ -1,0 +1,232 @@
+"""Algorithm 2 — identifying and regenerating undesired dimensions.
+
+Given the outcome partition of one training iteration, build two distance
+matrices:
+
+- ``M`` (one row per *partially correct* sample):
+      ``M_i = α·|H − C_true| − β·|H − C_pred|``
+  large entries mark dimensions far from the true label and close to the
+  wrongly-preferred label — the dimensions that mislead this sample;
+
+- ``N`` (one row per *incorrect* sample), default "prose" rule:
+      ``N_i = α·|H − C_true| − β·|H − C_top1| − θ·|H − C_top2|``
+  with the printed Algorithm-2-box alternative
+      ``N_i = α·|H − C_top1| + β·|H − C_top2| − θ·|H − C_true|``
+  selectable for ablation (see DESIGN.md §2 for why the prose rule is the
+  default).
+
+Both matrices are normalised row-wise, column-summed into 1×D score vectors
+``M'`` and ``N'``, and the *intersection* of their top-R%·D highest-scoring
+dimensions is returned as the undesired set — intersecting avoids
+over-eliminating dimensions that only one evidence source dislikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import DistHDConfig
+from repro.core.topk import OutcomePartition
+from repro.hdc.encoders.base import RegenerableEncoder
+from repro.hdc.memory import AssociativeMemory
+
+_EPS = 1e-12
+
+
+def _normalize_matrix(matrix: np.ndarray, how: str) -> np.ndarray:
+    """Row-normalise a distance matrix so each sample votes with equal weight."""
+    if matrix.size == 0 or how == "none":
+        return matrix
+    if how == "l2":
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        return matrix / np.where(norms > _EPS, norms, 1.0)
+    if how == "l1":
+        norms = np.sum(np.abs(matrix), axis=1, keepdims=True)
+        return matrix / np.where(norms > _EPS, norms, 1.0)
+    if how == "minmax":
+        lo = matrix.min(axis=1, keepdims=True)
+        hi = matrix.max(axis=1, keepdims=True)
+        span = np.where(hi - lo > _EPS, hi - lo, 1.0)
+        return (matrix - lo) / span
+    raise ValueError(f"unknown normalization {how!r}")
+
+
+def distance_matrices(
+    encoded: np.ndarray,
+    labels: np.ndarray,
+    partition: OutcomePartition,
+    memory: AssociativeMemory,
+    *,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    theta: float = 0.25,
+    incorrect_rule: str = "prose",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build distance matrices ``M`` (partial) and ``N`` (incorrect).
+
+    Returns ``(M, N)`` with shapes ``(n_partial, D)`` and ``(n_incorrect, D)``;
+    either may be empty (0 rows) when its outcome set is empty.
+
+    Per the workflow's Normalization step (Fig. 3, box L) the class
+    hypervectors enter the distances in normalised form (``N_l`` of equation
+    (1)): class vectors are sums over many samples, so raw ``|H − C|`` would
+    be dominated by the class magnitudes instead of the per-dimension
+    disagreement the selection needs.  The encoded samples ``H`` stay raw
+    (their entries are already bounded by the cos·sin encoder); empirically
+    this variant ranks misleading dimensions best — see DESIGN.md §2.
+    """
+    H = np.asarray(encoded, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    C = memory.normalized()
+
+    # Partially correct: top1 is wrong, top2 is the true label.
+    p = partition.partial
+    if p.size:
+        h = H[p]
+        dist_true = np.abs(h - C[labels[p]])       # m  = |H - C_true(=top2)|
+        dist_pred = np.abs(h - C[partition.top1[p]])  # m1 = |H - C_top1|
+        M = alpha * dist_true - beta * dist_pred
+    else:
+        M = np.empty((0, H.shape[1]))
+
+    # Incorrect: true label outside the top 2.
+    q = partition.incorrect
+    if q.size:
+        h = H[q]
+        dist_true = np.abs(h - C[labels[q]])
+        dist_top1 = np.abs(h - C[partition.top1[q]])
+        dist_top2 = np.abs(h - C[partition.top2[q]])
+        if incorrect_rule == "prose":
+            N = alpha * dist_true - beta * dist_top1 - theta * dist_top2
+        elif incorrect_rule == "algorithm-box":
+            N = alpha * dist_top1 + beta * dist_top2 - theta * dist_true
+        else:
+            raise ValueError(f"unknown incorrect_rule {incorrect_rule!r}")
+    else:
+        N = np.empty((0, H.shape[1]))
+    return M, N
+
+
+def _top_fraction(scores: np.ndarray, fraction: float) -> np.ndarray:
+    """Indices of the ``fraction`` highest-scoring dimensions (ties by index)."""
+    dim = scores.shape[0]
+    count = int(round(fraction * dim))
+    count = max(0, min(count, dim))
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    # argsort descending, stable so results are deterministic under ties.
+    order = np.argsort(-scores, kind="stable")
+    return np.sort(order[:count])
+
+
+def select_undesired_dimensions(
+    M: np.ndarray,
+    N: np.ndarray,
+    *,
+    regen_rate: float,
+    dim: int,
+    normalization: str = "l2",
+    selection: str = "intersection",
+) -> np.ndarray:
+    """Combine distance matrices into the set of dimensions to regenerate.
+
+    Implements Algorithm 2 lines 13–15: normalise, column-sum to ``M'`` and
+    ``N'``, take the top ``R%·D`` of each, combine per ``selection``.
+
+    When one matrix is empty (no samples in that outcome), its candidate set
+    is treated as empty; under ``"intersection"`` this yields no regeneration
+    (the safe no-op), under ``"union"`` the other set alone is used.
+    """
+    if not 0.0 <= regen_rate <= 1.0:
+        raise ValueError(f"regen_rate must be in [0, 1], got {regen_rate}")
+    Mn = _normalize_matrix(np.asarray(M, dtype=np.float64), normalization)
+    Nn = _normalize_matrix(np.asarray(N, dtype=np.float64), normalization)
+    m_scores = Mn.sum(axis=0) if Mn.size else np.full(dim, -np.inf)
+    n_scores = Nn.sum(axis=0) if Nn.size else np.full(dim, -np.inf)
+
+    m_top = _top_fraction(m_scores, regen_rate) if Mn.size else np.empty(0, np.int64)
+    n_top = _top_fraction(n_scores, regen_rate) if Nn.size else np.empty(0, np.int64)
+
+    if selection == "intersection":
+        return np.intersect1d(m_top, n_top)
+    if selection == "union":
+        return np.union1d(m_top, n_top)
+    if selection == "m-only":
+        return m_top
+    if selection == "n-only":
+        return n_top
+    raise ValueError(f"unknown selection {selection!r}")
+
+
+@dataclass
+class RegenerationReport:
+    """What one regeneration step did (for history/diagnostics).
+
+    Attributes
+    ----------
+    dims:
+        Regenerated dimension indices.
+    n_partial, n_incorrect:
+        Sizes of the two evidence sets this iteration.
+    m_candidates, n_candidates:
+        Sizes of the per-matrix top-R% candidate sets before combining.
+    """
+
+    dims: np.ndarray
+    n_partial: int
+    n_incorrect: int
+    m_candidates: int
+    n_candidates: int
+
+    @property
+    def n_regenerated(self) -> int:
+        return int(self.dims.size)
+
+
+def regenerate_step(
+    encoded: np.ndarray,
+    labels: np.ndarray,
+    partition: OutcomePartition,
+    memory: AssociativeMemory,
+    encoder: RegenerableEncoder,
+    config: DistHDConfig,
+) -> RegenerationReport:
+    """Run a full Algorithm-2 step: score, select, drop and regenerate.
+
+    The encoder's base vectors for the undesired dimensions are redrawn and
+    the class-memory entries at those dimensions reset to zero; callers must
+    refresh any cached encodings for the affected columns.
+    """
+    M, N = distance_matrices(
+        encoded,
+        labels,
+        partition,
+        memory,
+        alpha=config.alpha,
+        beta=config.beta,
+        theta=config.theta,
+        incorrect_rule=config.incorrect_rule,
+    )
+    dims = select_undesired_dimensions(
+        M,
+        N,
+        regen_rate=config.regen_rate,
+        dim=memory.dim,
+        normalization=config.normalization,
+        selection=config.selection,
+    )
+    m_count = int(round(config.regen_rate * memory.dim)) if M.size else 0
+    n_count = int(round(config.regen_rate * memory.dim)) if N.size else 0
+    if dims.size:
+        encoder.regenerate(dims)
+        memory.reset_dimensions(dims)
+    return RegenerationReport(
+        dims=dims,
+        n_partial=int(partition.partial.size),
+        n_incorrect=int(partition.incorrect.size),
+        m_candidates=m_count,
+        n_candidates=n_count,
+    )

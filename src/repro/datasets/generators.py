@@ -1,0 +1,145 @@
+"""Per-dataset synthetic analogs.
+
+Each generator wraps :func:`repro.datasets.synthetic.make_classification`
+with structure that mimics the published dataset's modality:
+
+- **image** (MNIST-like): sparse non-negative "stroke" patterns — latent
+  samples are pushed through a ReLU-like rectification and sparsified so
+  features behave like pixel intensities;
+- **imu** (UCIHAR / PAMAP2-like): correlated channel groups with slow drift,
+  mimicking windowed inertial statistics;
+- **audio** (ISOLET-like): smooth spectral envelopes — neighbouring features
+  correlate like adjacent filter-bank bins;
+- **tabular** (DIABETES-like): mixed continuous/quantised columns with label
+  noise, mimicking noisy clinical records (three-class readmission outcome).
+
+The structural transforms perturb features *after* class geometry is fixed,
+so class separability is still governed by the registry's ``difficulty``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.registry import DatasetSpec
+from repro.datasets.synthetic import make_classification
+from repro.utils.rng import as_rng, spawn_seed
+
+Arrays = Tuple[np.ndarray, np.ndarray]
+
+
+def _smooth_rows(X: np.ndarray, window: int) -> np.ndarray:
+    """Moving-average each row (adjacent-feature correlation)."""
+    if window <= 1:
+        return X
+    kernel = np.ones(window) / window
+    padded = np.pad(X, ((0, 0), (window // 2, window - 1 - window // 2)), mode="edge")
+    out = np.empty_like(X)
+    for i in range(X.shape[0]):
+        out[i] = np.convolve(padded[i], kernel, mode="valid")
+    return out
+
+
+def make_image_like(spec: DatasetSpec, n_samples: int, seed=None) -> Arrays:
+    """MNIST-like analog: sparse, non-negative, pixel-ish features."""
+    rng = as_rng(seed)
+    X, y = make_classification(
+        n_samples,
+        spec.n_features,
+        spec.n_classes,
+        difficulty=spec.difficulty,
+        n_prototypes=4,
+        latent_dim=24,
+        seed=spawn_seed(rng),
+    )
+    # Rectify to non-negative "ink" and sparsify the background.
+    X = np.maximum(X - np.quantile(X, 0.55, axis=1, keepdims=True), 0.0)
+    X /= max(np.abs(X).max(), 1e-9)
+    return X, y
+
+
+def make_imu_like(spec: DatasetSpec, n_samples: int, seed=None) -> Arrays:
+    """UCIHAR/PAMAP2-like analog: correlated channels plus sensor drift."""
+    rng = as_rng(seed)
+    X, y = make_classification(
+        n_samples,
+        spec.n_features,
+        spec.n_classes,
+        difficulty=spec.difficulty,
+        n_prototypes=3,
+        latent_dim=min(spec.n_features, 12),
+        seed=spawn_seed(rng),
+    )
+    X = _smooth_rows(X, window=3)
+    # Per-sample sensor drift: a low-amplitude offset shared within channel
+    # groups, as produced by uncalibrated IMUs.
+    n_groups = max(spec.n_features // 9, 1)
+    group_of = np.minimum(np.arange(spec.n_features) // 9, n_groups - 1)
+    # Mild relative to the ~0.23 per-feature signal std the embedding leaves.
+    drift = rng.normal(0.0, 0.05, size=(n_samples, n_groups))
+    X += drift[:, group_of]
+    return X, y
+
+
+def make_audio_like(spec: DatasetSpec, n_samples: int, seed=None) -> Arrays:
+    """ISOLET-like analog: smooth spectral-envelope features."""
+    rng = as_rng(seed)
+    X, y = make_classification(
+        n_samples,
+        spec.n_features,
+        spec.n_classes,
+        difficulty=spec.difficulty,
+        n_prototypes=2,
+        latent_dim=20,
+        seed=spawn_seed(rng),
+    )
+    X = _smooth_rows(X, window=5)
+    # Mild per-sample loudness variation (multiplicative gain).
+    gains = rng.lognormal(0.0, 0.1, size=(n_samples, 1))
+    return X * gains, y
+
+
+def make_tabular_like(spec: DatasetSpec, n_samples: int, seed=None) -> Arrays:
+    """DIABETES-like analog: mixed quantised columns plus label noise."""
+    rng = as_rng(seed)
+    X, y = make_classification(
+        n_samples,
+        spec.n_features,
+        spec.n_classes,
+        difficulty=spec.difficulty,
+        n_prototypes=3,
+        latent_dim=min(spec.n_features, 10),
+        label_noise=0.05,
+        class_weights=np.array([0.55, 0.3, 0.15])[: spec.n_classes],
+        seed=spawn_seed(rng),
+    )
+    # Quantise half the columns to small integer codes (categorical-ish
+    # clinical fields: counts, codes, binned lab values).
+    n_quantised = spec.n_features // 2
+    cols = rng.choice(spec.n_features, size=n_quantised, replace=False)
+    X[:, cols] = np.round(X[:, cols] * 2.0) / 2.0
+    return X, y
+
+
+_STRUCTURES = {
+    "image": make_image_like,
+    "imu": make_imu_like,
+    "audio": make_audio_like,
+    "tabular": make_tabular_like,
+}
+
+
+def generate(spec: DatasetSpec, n_samples: int, seed=None) -> Arrays:
+    """Generate ``n_samples`` points from the analog for ``spec``."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    try:
+        maker = _STRUCTURES[spec.structure]
+    except KeyError:
+        raise ValueError(
+            f"unknown structure {spec.structure!r}; "
+            f"available: {sorted(_STRUCTURES)}"
+        ) from None
+    return maker(spec, n_samples, seed=seed)

@@ -1,0 +1,87 @@
+"""Feature preprocessing: standardisation, min-max scaling, L2 rows.
+
+HDC encoders assume roughly unit-scale inputs (the RBF projection's
+frequency content depends on feature magnitude), so every pipeline in the
+benchmarks standardises features with statistics fit on the training split
+only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hdc.ops import normalize_rows
+from repro.utils.validation import check_features_match, check_matrix
+
+_EPS = 1e-12
+
+
+class StandardScaler:
+    """Per-feature zero-mean / unit-variance scaling (fit on train only)."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_matrix(X, "X")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std > _EPS, std, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = check_matrix(X, "X")
+        check_features_match(self.mean_.shape[0], X.shape[1], "StandardScaler")
+        return (X - self.mean_) / self.std_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = check_matrix(X, "X")
+        check_features_match(self.mean_.shape[0], X.shape[1], "StandardScaler")
+        return X * self.std_ + self.mean_
+
+
+class MinMaxScaler:
+    """Per-feature scaling to ``[low, high]`` (constant features map to low)."""
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)) -> None:
+        low, high = float(feature_range[0]), float(feature_range[1])
+        if not low < high:
+            raise ValueError(
+                f"feature_range must satisfy low < high, got {feature_range}"
+            )
+        self.feature_range = (low, high)
+        self.min_: Optional[np.ndarray] = None
+        self.span_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_matrix(X, "X")
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        self.span_ = np.where(span > _EPS, span, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        X = check_matrix(X, "X")
+        check_features_match(self.min_.shape[0], X.shape[1], "MinMaxScaler")
+        low, high = self.feature_range
+        return low + (X - self.min_) / self.span_ * (high - low)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def l2_normalize(X) -> np.ndarray:
+    """Row-wise L2 normalisation (zero rows pass through)."""
+    return normalize_rows(check_matrix(X, "X"))

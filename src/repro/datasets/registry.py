@@ -1,0 +1,114 @@
+"""Table I of the paper, as a dataset registry.
+
+Each :class:`DatasetSpec` records the published signature (feature count,
+class count, train/test sizes, description) plus the generator parameters of
+its synthetic analog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published metadata for one evaluation dataset (paper Table I).
+
+    Attributes
+    ----------
+    name:
+        Registry key (lowercase).
+    n_features, n_classes:
+        Table-I ``n`` and ``k``.
+    train_size, test_size:
+        Published sample counts (the analogs scale these down by the
+        loader's ``scale`` factor).
+    description:
+        Table-I description string.
+    difficulty:
+        Analog generator knob in (0, 1]: larger = more class overlap.
+        Calibrated per dataset so HDC/DNN accuracies land near the paper's
+        Fig. 4 band.
+    structure:
+        Which structural generator the analog uses (``"image"``, ``"imu"``,
+        ``"audio"``, ``"tabular"``).
+    """
+
+    name: str
+    n_features: int
+    n_classes: int
+    train_size: int
+    test_size: int
+    description: str
+    difficulty: float
+    structure: str
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "mnist": DatasetSpec(
+        name="mnist",
+        n_features=784,
+        n_classes=10,
+        train_size=60_000,
+        test_size=10_000,
+        description="Handwritten Recognition",
+        difficulty=0.45,
+        structure="image",
+    ),
+    "ucihar": DatasetSpec(
+        name="ucihar",
+        n_features=561,
+        n_classes=12,
+        train_size=6_213,
+        test_size=1_554,
+        description="Mobile Activity Recognition",
+        difficulty=0.35,
+        structure="imu",
+    ),
+    "isolet": DatasetSpec(
+        name="isolet",
+        n_features=617,
+        n_classes=26,
+        train_size=6_238,
+        test_size=1_559,
+        description="Voice Recognition",
+        difficulty=0.40,
+        structure="audio",
+    ),
+    "pamap2": DatasetSpec(
+        name="pamap2",
+        n_features=54,
+        n_classes=5,
+        train_size=233_687,
+        test_size=115_101,
+        description="Activity Recognition (IMU)",
+        difficulty=0.45,
+        structure="imu",
+    ),
+    "diabetes": DatasetSpec(
+        name="diabetes",
+        n_features=49,
+        n_classes=3,
+        train_size=66_000,
+        test_size=34_000,
+        description="Outcomes of Diabetic Patients",
+        difficulty=0.70,
+        structure="tabular",
+    ),
+}
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return DATASETS[key]
+
+
+def list_datasets() -> Tuple[str, ...]:
+    """Registered dataset names, Table-I order."""
+    return tuple(DATASETS)

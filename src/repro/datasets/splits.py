@@ -1,0 +1,62 @@
+"""Train/test splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_paired, check_probability
+
+Arrays4 = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def train_test_split(
+    X, y, *, test_fraction: float = 0.2, seed: SeedLike = None
+) -> Arrays4:
+    """Shuffle and split into ``(train_x, train_y, test_x, test_y)``.
+
+    Guarantees at least one sample on each side for any valid fraction.
+    """
+    X, y = check_paired(X, y)
+    check_probability(test_fraction, "test_fraction")
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError(f"need at least 2 samples to split, got {n}")
+    n_test = int(round(n * test_fraction))
+    n_test = min(max(n_test, 1), n - 1)
+    order = as_rng(seed).permutation(n)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+
+
+def stratified_split(
+    X, y, *, test_fraction: float = 0.2, seed: SeedLike = None
+) -> Arrays4:
+    """Class-stratified split: each class contributes ~``test_fraction``.
+
+    Classes with a single sample keep it on the training side.
+    """
+    X, y = check_paired(X, y)
+    check_probability(test_fraction, "test_fraction")
+    rng = as_rng(seed)
+    test_parts = []
+    train_parts = []
+    for cls in np.unique(y):
+        idx = np.flatnonzero(y == cls)
+        rng.shuffle(idx)
+        n_test = int(round(idx.size * test_fraction))
+        if idx.size >= 2:
+            n_test = min(max(n_test, 1), idx.size - 1)
+        else:
+            n_test = 0
+        test_parts.append(idx[:n_test])
+        train_parts.append(idx[n_test:])
+    test_idx = np.concatenate(test_parts)
+    train_idx = np.concatenate(train_parts)
+    rng.shuffle(test_idx)
+    rng.shuffle(train_idx)
+    if train_idx.size == 0 or test_idx.size == 0:
+        raise ValueError("split produced an empty side; lower test_fraction")
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]

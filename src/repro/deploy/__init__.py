@@ -1,0 +1,16 @@
+"""Deployment utilities for resource-constrained targets.
+
+The paper's robustness study (Fig. 8) runs DistHD with class memories stored
+at 1–8-bit precision; this package makes that a first-class deployment mode:
+
+- :class:`~repro.deploy.quantized.QuantizedHDCModel` — freeze any fitted HDC
+  classifier into a fixed-point inference model (1/2/4/8-bit class memory),
+  with a memory-footprint report and optional fault injection;
+- :mod:`repro.deploy.streaming` — online (streaming) training wrappers for
+  edge devices that see data incrementally.
+"""
+
+from repro.deploy.quantized import QuantizedHDCModel
+from repro.deploy.streaming import StreamingDistHD
+
+__all__ = ["QuantizedHDCModel", "StreamingDistHD"]

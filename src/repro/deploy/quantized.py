@@ -1,0 +1,129 @@
+"""Fixed-point HDC inference models.
+
+An HDC classifier's deployable state is tiny: the encoder parameters and the
+``(k, D)`` class memory.  :class:`QuantizedHDCModel` freezes a fitted
+classifier into that state with the class memory quantised to a chosen
+precision — the exact configuration the paper's Fig. 8 robustness study
+exercises, packaged for deployment:
+
+- 1-bit mode stores one bit per memory cell (the paper's most robust
+  operating point) and scores queries against the sign pattern;
+- multi-bit modes store two's-complement fixed-point codes;
+- :meth:`inject_faults` flips memory bits in place, modelling an unreliable
+  edge device over its lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hdc.ops import cosine_similarity
+from repro.noise.bitflip import flip_bits
+from repro.noise.quantization import QuantizedTensor, dequantize, quantize
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_features_match, check_matrix
+
+
+class QuantizedHDCModel:
+    """A frozen, fixed-point inference copy of a fitted HDC classifier.
+
+    Parameters
+    ----------
+    classifier:
+        Any fitted library HDC classifier (DistHD, BaselineHD, NeuralHD,
+        OnlineHD) — anything exposing ``encoder_``, ``memory_`` and
+        ``classes_``.
+    bits:
+        Class-memory precision (1, 2, 4 or 8).
+
+    Examples
+    --------
+    >>> from repro import DistHDClassifier, load_dataset
+    >>> from repro.deploy import QuantizedHDCModel
+    >>> ds = load_dataset("diabetes", scale=0.005, seed=0)
+    >>> clf = DistHDClassifier(dim=64, iterations=3, seed=0)
+    >>> _ = clf.fit(ds.train_x, ds.train_y)
+    >>> model = QuantizedHDCModel(clf, bits=1)
+    >>> model.memory_bytes < clf.memory_.vectors.nbytes
+    True
+    """
+
+    def __init__(self, classifier, bits: int = 8) -> None:
+        encoder = getattr(classifier, "encoder_", None)
+        memory = getattr(classifier, "memory_", None)
+        classes = getattr(classifier, "classes_", None)
+        if encoder is None or memory is None or classes is None:
+            raise TypeError(
+                "QuantizedHDCModel needs a fitted HDC classifier with "
+                "encoder_, memory_ and classes_"
+            )
+        self.encoder = encoder
+        self.classes_ = np.asarray(classes)
+        self.bits = int(bits)
+        self.n_features_ = int(encoder.n_features)
+        self._quantized: QuantizedTensor = quantize(memory.vectors, bits)
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def memory_bytes(self) -> int:
+        """Deployed class-memory size in bytes (packed at ``bits`` wide)."""
+        return (self._quantized.n_bits_total + 7) // 8
+
+    @property
+    def class_vectors(self) -> np.ndarray:
+        """The decoded (float) class memory currently in use."""
+        return dequantize(self._quantized)
+
+    def inject_faults(self, error_rate: float, seed: SeedLike = None) -> int:
+        """Flip ``error_rate`` of the memory bits in place.
+
+        Models accumulated hardware error on a deployed device.  Returns the
+        number of bits flipped.
+        """
+        flipped = flip_bits(self._quantized, error_rate, seed)
+        n_flips = int(round(error_rate * self._quantized.n_bits_total))
+        self._quantized = flipped
+        return n_flips
+
+    # ------------------------------------------------------------- inference
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Cosine similarities of encoded queries against the quantised memory."""
+        X = check_matrix(X, "X")
+        check_features_match(self.n_features_, X.shape[1], "QuantizedHDCModel")
+        encoded = self.encoder.encode(X)
+        return cosine_similarity(encoded, self.class_vectors)
+
+    def predict(self, X) -> np.ndarray:
+        """Most-similar class label per query."""
+        return self.classes_[np.argmax(self.decision_scores(X), axis=1)]
+
+    def score(self, X, y) -> float:
+        """Top-1 accuracy."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+    def footprint_report(self) -> dict:
+        """Deployment footprint summary (class memory + encoder)."""
+        encoder_floats = 0
+        for attr in ("base_vectors", "phases", "id_vectors", "level_vectors"):
+            value = getattr(self.encoder, attr, None)
+            if value is not None:
+                encoder_floats += int(np.asarray(value).size)
+        return {
+            "bits": self.bits,
+            "memory_bytes": self.memory_bytes,
+            "float_memory_bytes": self._quantized.codes.size * 8,
+            "compression": (self._quantized.codes.size * 8)
+            / max(self.memory_bytes, 1),
+            "encoder_parameters": encoder_floats,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantizedHDCModel(bits={self.bits}, "
+            f"memory_bytes={self.memory_bytes})"
+        )

@@ -1,0 +1,88 @@
+"""Shared estimator protocol.
+
+All classifiers in the library (DistHD, HDC baselines, MLP, SVMs, kNN) follow
+a small sklearn-style protocol defined here: ``fit`` / ``predict`` /
+``score``, plus ``decision_scores`` for models that expose per-class scores
+and ``predict_topk`` for similarity-ranked models.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_labels, check_paired
+
+
+class BaseClassifier(abc.ABC):
+    """Abstract base for every classifier in the library.
+
+    Subclasses implement :meth:`_fit` and :meth:`decision_scores`; labels are
+    validated and remapped to a contiguous ``[0, k)`` range here so models
+    can assume dense integer classes internally while users may pass any
+    integer labels.
+    """
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+        self.n_features_: Optional[int] = None
+
+    # ------------------------------------------------------------------- api
+
+    def fit(self, X, y) -> "BaseClassifier":
+        """Fit on features ``X`` (n, q) and integer labels ``y`` (n,)."""
+        X, y = check_paired(X, y)
+        labels, classes = check_labels(y)
+        if classes.size < 2:
+            raise ValueError(
+                f"need at least 2 classes to fit a classifier, got {classes.size}"
+            )
+        self.classes_ = classes
+        self.n_features_ = X.shape[1]
+        dense = np.searchsorted(classes, labels)
+        self._fit(X, dense)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted class labels for ``X`` (mapped back to original labels)."""
+        scores = self.decision_scores(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_topk(self, X, k: int = 2) -> np.ndarray:
+        """Top-``k`` predicted labels per sample, most likely first."""
+        self._check_fitted()
+        if not 1 <= k <= self.classes_.size:
+            raise ValueError(f"k must lie in [1, {self.classes_.size}], got {k}")
+        scores = self.decision_scores(X)
+        order = np.argsort(-scores, axis=1)[:, :k]
+        return self.classes_[order]
+
+    def score(self, X, y) -> float:
+        """Top-1 accuracy on ``(X, y)``."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+    # ----------------------------------------------------------------- hooks
+
+    @abc.abstractmethod
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Train on validated features and dense ``[0, k)`` labels."""
+
+    @abc.abstractmethod
+    def decision_scores(self, X) -> np.ndarray:
+        """``(n, k)`` per-class decision scores (higher = more likely)."""
+
+    # ------------------------------------------------------------------ misc
+
+    @property
+    def n_classes_(self) -> int:
+        self._check_fitted()
+        return int(self.classes_.size)
+
+    def _check_fitted(self) -> None:
+        if self.classes_ is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit(X, y) first"
+            )

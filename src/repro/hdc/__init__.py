@@ -1,0 +1,60 @@
+"""Hyperdimensional-computing substrate.
+
+This package provides the primitives every HDC classifier in the library is
+built from:
+
+- :mod:`repro.hdc.ops` — bundling, binding, permutation and the similarity
+  kernels of §III-A of the paper (cosine / dot / Hamming), all matrix-wise;
+- :mod:`repro.hdc.spaces` — random hypervector generation in bipolar, binary
+  and real-Gaussian spaces plus near-orthogonality utilities;
+- :mod:`repro.hdc.memory` — the associative (class-hypervector) memory shared
+  by every HDC learner;
+- :mod:`repro.hdc.encoders` — the encoder family, including the regenerable
+  RBF encoder at the heart of DistHD.
+"""
+
+from repro.hdc.memory import AssociativeMemory
+from repro.hdc.ops import (
+    bind,
+    bundle,
+    cosine_similarity,
+    dot_similarity,
+    hamming_distance,
+    hamming_similarity,
+    normalize_rows,
+    permute,
+)
+from repro.hdc.spaces import (
+    random_binary,
+    random_bipolar,
+    random_gaussian,
+    random_level_hypervectors,
+)
+from repro.hdc.encoders import (
+    Encoder,
+    IDLevelEncoder,
+    NGramEncoder,
+    RandomProjectionEncoder,
+    RBFEncoder,
+)
+
+__all__ = [
+    "AssociativeMemory",
+    "bind",
+    "bundle",
+    "cosine_similarity",
+    "dot_similarity",
+    "hamming_distance",
+    "hamming_similarity",
+    "normalize_rows",
+    "permute",
+    "random_binary",
+    "random_bipolar",
+    "random_gaussian",
+    "random_level_hypervectors",
+    "Encoder",
+    "IDLevelEncoder",
+    "NGramEncoder",
+    "RandomProjectionEncoder",
+    "RBFEncoder",
+]

@@ -1,0 +1,21 @@
+"""Encoder family: feature vectors → hypervectors.
+
+The paper's contribution lives in making the encoder *dynamic*; the encoder
+interface therefore exposes not just :meth:`~repro.hdc.encoders.base.Encoder.encode`
+but (for encoders that support it) per-dimension regeneration.
+"""
+
+from repro.hdc.encoders.base import Encoder, RegenerableEncoder
+from repro.hdc.encoders.id_level import IDLevelEncoder
+from repro.hdc.encoders.ngram import NGramEncoder
+from repro.hdc.encoders.projection import RandomProjectionEncoder
+from repro.hdc.encoders.rbf import RBFEncoder
+
+__all__ = [
+    "Encoder",
+    "RegenerableEncoder",
+    "IDLevelEncoder",
+    "NGramEncoder",
+    "RandomProjectionEncoder",
+    "RBFEncoder",
+]

@@ -1,0 +1,74 @@
+"""Encoder interfaces.
+
+Two protocols:
+
+- :class:`Encoder` — anything mapping an ``(n, q)`` feature matrix to an
+  ``(n, D)`` hypervector batch;
+- :class:`RegenerableEncoder` — encoders whose individual output dimensions
+  can be redrawn, the capability DistHD and NeuralHD build on.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_features_match, check_matrix
+
+
+class Encoder(abc.ABC):
+    """Maps feature vectors onto hyperdimensional space.
+
+    Attributes
+    ----------
+    n_features:
+        Expected input feature count ``q``.
+    dim:
+        Output hypervector dimensionality ``D``.
+    """
+
+    def __init__(self, n_features: int, dim: int) -> None:
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.n_features = int(n_features)
+        self.dim = int(dim)
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Encode ``(n, q)`` features into ``(n, D)`` hypervectors."""
+        X = check_matrix(X, "X")
+        check_features_match(self.n_features, X.shape[1], type(self).__name__)
+        return self._encode(X)
+
+    @abc.abstractmethod
+    def _encode(self, X: np.ndarray) -> np.ndarray:
+        """Encode validated input (subclass hook)."""
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        return self.encode(X)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_features={self.n_features}, dim={self.dim})"
+
+
+class RegenerableEncoder(Encoder):
+    """An encoder whose output dimensions can be individually redrawn."""
+
+    @abc.abstractmethod
+    def regenerate(self, dims: np.ndarray) -> None:
+        """Redraw the parameters producing the given output dimensions.
+
+        After this call, encoding the same input yields fresh values at
+        ``dims`` and identical values everywhere else.
+        """
+
+    def _check_dims(self, dims: np.ndarray) -> np.ndarray:
+        dims = np.asarray(dims, dtype=np.int64).ravel()
+        if dims.size and (dims.min() < 0 or dims.max() >= self.dim):
+            raise ValueError(
+                f"dimension indices must lie in [0, {self.dim}), got range "
+                f"[{dims.min()}, {dims.max()}]"
+            )
+        return dims

@@ -1,0 +1,76 @@
+"""Static random-projection encoders.
+
+These are the "pre-generated static encoder" family the paper contrasts
+against: a fixed Gaussian projection followed by an optional nonlinearity or
+sign quantisation.  BaselineHD uses them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.encoders.base import RegenerableEncoder
+from repro.utils.rng import SeedLike, as_rng
+
+_ACTIVATIONS = ("linear", "sign", "tanh", "cos")
+
+
+class RandomProjectionEncoder(RegenerableEncoder):
+    """Linear random projection ``H = X @ B.T`` with optional activation.
+
+    Parameters
+    ----------
+    n_features, dim:
+        Input and output sizes.
+    activation:
+        ``"linear"`` (raw projection, Algorithm 1 line 1 of the paper),
+        ``"sign"`` (bipolar hypervectors), ``"tanh"`` or ``"cos"``.
+    seed:
+        RNG seed.
+
+    Although static encoders never regenerate during normal training, the
+    class still implements :meth:`regenerate` so ablations can graft dynamic
+    regeneration onto a linear encoder.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        dim: int,
+        *,
+        activation: str = "linear",
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(n_features, dim)
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"activation must be one of {_ACTIVATIONS}, got {activation!r}"
+            )
+        self.activation = activation
+        self._rng = as_rng(seed)
+        # Same 1/sqrt(q) projection scaling as the RBF encoder so the "cos"
+        # activation stays in its informative phase range on standardised
+        # inputs (linear/sign/tanh are scale-robust but benefit too).
+        self._scale = 1.0 / np.sqrt(self.n_features)
+        self.base_vectors = self._rng.normal(
+            0.0, self._scale, size=(self.dim, self.n_features)
+        )
+
+    def _encode(self, X: np.ndarray) -> np.ndarray:
+        projections = X @ self.base_vectors.T
+        if self.activation == "linear":
+            return projections
+        if self.activation == "sign":
+            # Break sign(0) ties to +1 so outputs stay strictly bipolar.
+            return np.where(projections >= 0.0, 1.0, -1.0)
+        if self.activation == "tanh":
+            return np.tanh(projections)
+        return np.cos(projections)
+
+    def regenerate(self, dims: np.ndarray) -> None:
+        dims = self._check_dims(dims)
+        if dims.size == 0:
+            return
+        self.base_vectors[dims] = self._rng.normal(
+            0.0, self._scale, size=(dims.size, self.n_features)
+        )

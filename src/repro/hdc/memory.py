@@ -1,0 +1,143 @@
+"""Associative (class-hypervector) memory.
+
+Every HDC learner in the library stores one hypervector per class in an
+:class:`AssociativeMemory`.  The memory supports the bundling-style updates of
+single-pass training, the similarity-weighted updates of adaptive learning,
+querying (similarity scores, top-k labels) and the dimension-reset operation
+dimension regeneration relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hdc.ops import cosine_similarity, dot_similarity, normalize_rows
+from repro.utils.validation import check_matrix
+
+
+class AssociativeMemory:
+    """A ``(k, D)`` bank of class hypervectors with similarity queries.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of class hypervectors ``k``.
+    dim:
+        Hypervector dimensionality ``D``.
+    metric:
+        ``"cosine"`` (default, the paper's δ) or ``"dot"``.
+    """
+
+    def __init__(self, n_classes: int, dim: int, metric: str = "cosine") -> None:
+        if n_classes <= 0:
+            raise ValueError(f"n_classes must be positive, got {n_classes}")
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if metric not in ("cosine", "dot"):
+            raise ValueError(f"metric must be 'cosine' or 'dot', got {metric!r}")
+        self.n_classes = int(n_classes)
+        self.dim = int(dim)
+        self.metric = metric
+        self.vectors = np.zeros((self.n_classes, self.dim), dtype=np.float64)
+
+    # ------------------------------------------------------------------ state
+
+    def copy(self) -> "AssociativeMemory":
+        """A deep copy (used by convergence tracking and noise injection)."""
+        clone = AssociativeMemory(self.n_classes, self.dim, self.metric)
+        clone.vectors = self.vectors.copy()
+        return clone
+
+    def reset(self) -> None:
+        """Zero out every class hypervector."""
+        self.vectors[:] = 0.0
+
+    def reset_dimensions(self, dims: np.ndarray) -> None:
+        """Zero the given dimensions across all classes.
+
+        This is the class-memory half of dimension regeneration: once the
+        encoder redraws a base vector, the stale class contributions along
+        that dimension no longer correspond to anything and are cleared so
+        subsequent training re-learns them.
+        """
+        dims = np.asarray(dims, dtype=np.int64)
+        if dims.size == 0:
+            return
+        if dims.min() < 0 or dims.max() >= self.dim:
+            raise ValueError(
+                f"dimension indices must lie in [0, {self.dim}), got range "
+                f"[{dims.min()}, {dims.max()}]"
+            )
+        self.vectors[:, dims] = 0.0
+
+    # ---------------------------------------------------------------- updates
+
+    def accumulate(self, encoded: np.ndarray, labels: np.ndarray) -> None:
+        """Single-pass bundling: add each encoded sample into its class row."""
+        H = check_matrix(encoded, "encoded")
+        labels = np.asarray(labels, dtype=np.int64)
+        if H.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"encoded and labels disagree on sample count: "
+                f"{H.shape[0]} vs {labels.shape[0]}"
+            )
+        if H.shape[1] != self.dim:
+            raise ValueError(
+                f"encoded dimensionality {H.shape[1]} != memory dim {self.dim}"
+            )
+        if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
+            raise ValueError(
+                f"labels must lie in [0, {self.n_classes}), got range "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        np.add.at(self.vectors, labels, H)
+
+    def add_to_class(self, class_index: int, delta: np.ndarray) -> None:
+        """Add ``delta`` to one class hypervector (adaptive-learning update)."""
+        if not 0 <= class_index < self.n_classes:
+            raise ValueError(
+                f"class_index must lie in [0, {self.n_classes}), got {class_index}"
+            )
+        self.vectors[class_index] += np.asarray(delta, dtype=np.float64)
+
+    # ---------------------------------------------------------------- queries
+
+    def similarities(self, encoded: np.ndarray) -> np.ndarray:
+        """``(n, k)`` similarity scores between encoded queries and classes."""
+        H = check_matrix(encoded, "encoded")
+        if H.shape[1] != self.dim:
+            raise ValueError(
+                f"encoded dimensionality {H.shape[1]} != memory dim {self.dim}"
+            )
+        if self.metric == "cosine":
+            return cosine_similarity(H, self.vectors)
+        return dot_similarity(H, self.vectors)
+
+    def predict(self, encoded: np.ndarray) -> np.ndarray:
+        """Most-similar class per query (paper inference step F)."""
+        return np.argmax(self.similarities(encoded), axis=1)
+
+    def topk(self, encoded: np.ndarray, k: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` labels and their scores, most similar first.
+
+        Returns ``(labels, scores)`` with shapes ``(n, k)``.
+        """
+        if not 1 <= k <= self.n_classes:
+            raise ValueError(
+                f"k must lie in [1, {self.n_classes}], got {k}"
+            )
+        sims = self.similarities(encoded)
+        order = np.argsort(-sims, axis=1)[:, :k]
+        return order, np.take_along_axis(sims, order, axis=1)
+
+    def normalized(self) -> np.ndarray:
+        """Row-normalised class hypervectors (``N_l`` in equation (1))."""
+        return normalize_rows(self.vectors)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AssociativeMemory(n_classes={self.n_classes}, dim={self.dim}, "
+            f"metric={self.metric!r})"
+        )

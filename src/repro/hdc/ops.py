@@ -1,0 +1,147 @@
+"""Core hypervector operations (paper §III-A).
+
+All operations accept either a single hypervector ``(D,)`` or a batch
+``(n, D)`` and are implemented as vectorised NumPy expressions, mirroring the
+"highly parallel matrix-wise" framing of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+_EPS = 1e-12
+
+
+def bundle(*hypervectors: np.ndarray) -> np.ndarray:
+    """Bundle (element-wise add) hypervectors: the HDC memory operation.
+
+    ``bundle(H1, H2)`` returns a hypervector similar to both inputs; in
+    high-dimensional space ``cos(bundle(H1, H2), H1) >> 0`` while the
+    similarity with an unrelated hypervector stays near zero.
+
+    Accepts any mix of ``(D,)`` vectors and ``(n, D)`` batches; batches are
+    first reduced along their sample axis.
+    """
+    if not hypervectors:
+        raise ValueError("bundle requires at least one hypervector")
+    total = None
+    dim = None
+    for hv in hypervectors:
+        arr = np.asarray(hv, dtype=np.float64)
+        if arr.ndim == 2:
+            arr = arr.sum(axis=0)
+        elif arr.ndim != 1:
+            raise ValueError(f"hypervectors must be 1-D or 2-D, got ndim={arr.ndim}")
+        if dim is None:
+            dim = arr.shape[0]
+        elif arr.shape[0] != dim:
+            raise ValueError(
+                f"dimension mismatch in bundle: {dim} vs {arr.shape[0]}"
+            )
+        total = arr if total is None else total + arr
+    return total
+
+
+def bind(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+    """Bind (element-wise multiply) two hypervectors.
+
+    Binding associates two hypervectors into one that is near-orthogonal to
+    both.  For bipolar inputs it is an involution: ``bind(bind(a, b), a) == b``.
+    Supports broadcasting between ``(D,)`` and ``(n, D)``.
+    """
+    a = np.asarray(h1, dtype=np.float64)
+    b = np.asarray(h2, dtype=np.float64)
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(
+            f"dimension mismatch in bind: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+    return a * b
+
+
+def permute(hv: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """Cyclically permute hypervector elements (the HDC sequence operation).
+
+    Permutation produces a hypervector near-orthogonal to its input while
+    preserving pairwise similarities, which makes it the standard encoding for
+    positional/temporal order in n-gram encoders.
+    """
+    arr = np.asarray(hv, dtype=np.float64)
+    return np.roll(arr, shifts, axis=-1)
+
+
+def normalize_rows(X: np.ndarray) -> np.ndarray:
+    """L2-normalise each row; zero rows are passed through unchanged."""
+    arr = np.asarray(X, dtype=np.float64)
+    single = arr.ndim == 1
+    if single:
+        arr = arr.reshape(1, -1)
+    norms = np.linalg.norm(arr, axis=1, keepdims=True)
+    out = arr / np.where(norms > _EPS, norms, 1.0)
+    return out[0] if single else out
+
+
+def dot_similarity(queries: np.ndarray, memory: np.ndarray) -> np.ndarray:
+    """Raw dot-product similarity between queries ``(n, D)`` and memory ``(k, D)``.
+
+    Returns an ``(n, k)`` score matrix.  Per equation (1) of the paper this is
+    proportional to cosine similarity once the memory rows are normalised,
+    because the query norm is constant across classes.
+    """
+    Q = check_matrix(queries, "queries")
+    M = check_matrix(memory, "memory")
+    if Q.shape[1] != M.shape[1]:
+        raise ValueError(
+            f"queries and memory disagree on dimensionality: "
+            f"{Q.shape[1]} vs {M.shape[1]}"
+        )
+    return Q @ M.T
+
+
+def cosine_similarity(queries: np.ndarray, memory: np.ndarray) -> np.ndarray:
+    """Cosine similarity δ(H, C) between queries ``(n, D)`` and memory ``(k, D)``.
+
+    Zero vectors on either side yield similarity 0 rather than NaN, matching
+    the convention that an empty class hypervector matches nothing.
+    """
+    Q = check_matrix(queries, "queries")
+    M = check_matrix(memory, "memory")
+    scores = dot_similarity(Q, M)
+    q_norm = np.linalg.norm(Q, axis=1)
+    m_norm = np.linalg.norm(M, axis=1)
+    denom = np.outer(q_norm, m_norm)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(denom > _EPS, scores / np.where(denom > _EPS, denom, 1.0), 0.0)
+    return out
+
+
+def hamming_distance(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+    """Normalised Hamming distance between bipolar/binary hypervectors.
+
+    For batches, broadcasts ``(n, D)`` against ``(D,)`` or pairs two equal
+    batches element-wise.  Returns values in [0, 1].
+    """
+    a = np.asarray(h1)
+    b = np.asarray(h2)
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(
+            f"dimension mismatch in hamming_distance: {a.shape[-1]} vs {b.shape[-1]}"
+        )
+    return np.mean(a != b, axis=-1)
+
+
+def hamming_similarity(queries: np.ndarray, memory: np.ndarray) -> np.ndarray:
+    """Fraction of matching elements between each query and each memory row.
+
+    The bipolar simplification of cosine similarity the paper mentions:
+    returns an ``(n, k)`` matrix with entries ``1 - hamming_distance``.
+    """
+    Q = check_matrix(queries, "queries", dtype=None)
+    M = check_matrix(memory, "memory", dtype=None)
+    if Q.shape[1] != M.shape[1]:
+        raise ValueError(
+            f"queries and memory disagree on dimensionality: "
+            f"{Q.shape[1]} vs {M.shape[1]}"
+        )
+    return 1.0 - np.mean(Q[:, None, :] != M[None, :, :], axis=2)

@@ -1,0 +1,97 @@
+"""Random hypervector spaces.
+
+Hyperdimensional computing rests on one geometric fact: independently drawn
+high-dimensional random vectors are nearly orthogonal.  This module generates
+the three hypervector flavours the library uses (bipolar {-1,+1}, binary
+{0,1}, real Gaussian) plus the level-hypervector chains used by the ID-level
+encoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def _check_shape(n: int, dim: int) -> None:
+    if n <= 0:
+        raise ValueError(f"number of hypervectors must be positive, got {n}")
+    if dim <= 0:
+        raise ValueError(f"dimensionality must be positive, got {dim}")
+
+
+def random_bipolar(n: int, dim: int, seed: SeedLike = None) -> np.ndarray:
+    """``(n, dim)`` random bipolar hypervectors with entries in {-1, +1}."""
+    _check_shape(n, dim)
+    rng = as_rng(seed)
+    return rng.choice(np.array([-1, 1], dtype=np.int8), size=(n, dim)).astype(np.int8)
+
+
+def random_binary(n: int, dim: int, seed: SeedLike = None) -> np.ndarray:
+    """``(n, dim)`` random binary hypervectors with entries in {0, 1}."""
+    _check_shape(n, dim)
+    rng = as_rng(seed)
+    return rng.integers(0, 2, size=(n, dim), dtype=np.int8)
+
+
+def random_gaussian(
+    n: int, dim: int, seed: SeedLike = None, *, scale: float = 1.0
+) -> np.ndarray:
+    """``(n, dim)`` real hypervectors with i.i.d. N(0, scale²) entries.
+
+    These are the base-vector rows of the paper's RBF encoder
+    (``b ~ Gaussian(mu=0, sigma=1)``).
+    """
+    _check_shape(n, dim)
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rng = as_rng(seed)
+    return rng.normal(0.0, scale, size=(n, dim))
+
+
+def random_level_hypervectors(
+    n_levels: int, dim: int, seed: SeedLike = None
+) -> np.ndarray:
+    """A chain of ``n_levels`` correlated bipolar hypervectors.
+
+    Level hypervectors encode scalar magnitude: the first level is fully
+    random and each subsequent level flips a fresh ``dim / (n_levels - 1)``
+    slice of coordinates, so similarity decreases linearly with level
+    distance — adjacent levels are similar, extreme levels nearly orthogonal.
+    """
+    if n_levels <= 0:
+        raise ValueError(f"n_levels must be positive, got {n_levels}")
+    _check_shape(n_levels, dim)
+    rng = as_rng(seed)
+    levels = np.empty((n_levels, dim), dtype=np.int8)
+    levels[0] = random_bipolar(1, dim, rng)[0]
+    if n_levels == 1:
+        return levels
+    flip_order = rng.permutation(dim)
+    # Evenly spaced flip budget so level n_levels-1 has flipped ~dim/2 bits,
+    # putting the extreme levels at near-orthogonality.
+    total_flips = dim // 2
+    boundaries = np.linspace(0, total_flips, n_levels).astype(int)
+    current = levels[0].copy()
+    for lvl in range(1, n_levels):
+        start, stop = boundaries[lvl - 1], boundaries[lvl]
+        current = current.copy()
+        current[flip_order[start:stop]] *= -1
+        levels[lvl] = current
+    return levels
+
+
+def expected_orthogonality_bound(dim: int, confidence: float = 0.999) -> float:
+    """Upper bound on |cosine| between two random bipolar hypervectors.
+
+    By Hoeffding's inequality the cosine of two independent random bipolar
+    hypervectors concentrates around 0 with deviation
+    ``sqrt(ln(2 / (1 - confidence)) / (2 dim))``.  Useful for tests asserting
+    near-orthogonality at a given dimensionality.
+    """
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return float(np.sqrt(np.log(2.0 / (1.0 - confidence)) / (2.0 * dim)))

@@ -1,0 +1,28 @@
+"""Evaluation metrics used across the paper's figures."""
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+    topk_accuracy,
+)
+from repro.metrics.roc import auc, roc_curve, roc_curve_ovr
+from repro.metrics.sensitivity import (
+    binary_rates,
+    sensitivity_specificity,
+)
+from repro.metrics.timing import Timer, time_call
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "topk_accuracy",
+    "auc",
+    "roc_curve",
+    "roc_curve_ovr",
+    "binary_rates",
+    "sensitivity_specificity",
+    "Timer",
+    "time_call",
+]

@@ -1,0 +1,77 @@
+"""Classification metrics: accuracy, top-k accuracy, confusion matrices."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true = check_vector(y_true, "y_true")
+    y_pred = check_vector(y_pred, "y_pred")
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred disagree on length: "
+            f"{y_true.shape[0]} vs {y_pred.shape[0]}"
+        )
+    return float(np.mean(y_true == y_pred))
+
+
+def topk_accuracy(y_true, scores, k: int) -> float:
+    """Top-``k`` accuracy from a ``(n, c)`` score matrix.
+
+    Correct when the true label's column is among the ``k`` highest-scoring
+    columns of its row — the paper's top-k classification definition.
+    Labels must be dense column indices in ``[0, c)``.
+    """
+    y_true = check_vector(y_true, "y_true").astype(np.int64)
+    S = check_matrix(scores, "scores")
+    if S.shape[0] != y_true.shape[0]:
+        raise ValueError(
+            f"scores and y_true disagree on sample count: "
+            f"{S.shape[0]} vs {y_true.shape[0]}"
+        )
+    if not 1 <= k <= S.shape[1]:
+        raise ValueError(f"k must lie in [1, {S.shape[1]}], got {k}")
+    if y_true.min() < 0 or y_true.max() >= S.shape[1]:
+        raise ValueError(
+            f"labels must index score columns [0, {S.shape[1]}), got range "
+            f"[{y_true.min()}, {y_true.max()}]"
+        )
+    topk = np.argsort(-S, axis=1)[:, :k]
+    return float(np.mean(np.any(topk == y_true[:, None], axis=1)))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int = None) -> np.ndarray:
+    """``(k, k)`` confusion matrix, rows = true class, columns = predicted."""
+    y_true = check_vector(y_true, "y_true").astype(np.int64)
+    y_pred = check_vector(y_pred, "y_pred").astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred disagree on length: "
+            f"{y_true.shape[0]} vs {y_pred.shape[0]}"
+        )
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if y_true.min() < 0 or y_pred.min() < 0:
+        raise ValueError("labels must be non-negative")
+    if max(y_true.max(), y_pred.max()) >= n_classes:
+        raise ValueError(f"labels exceed n_classes={n_classes}")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def per_class_accuracy(y_true, y_pred) -> Dict[int, float]:
+    """Recall per class (empty classes omitted)."""
+    y_true = check_vector(y_true, "y_true").astype(np.int64)
+    y_pred = check_vector(y_pred, "y_pred").astype(np.int64)
+    out: Dict[int, float] = {}
+    for cls in np.unique(y_true):
+        mask = y_true == cls
+        out[int(cls)] = float(np.mean(y_pred[mask] == cls))
+    return out

@@ -1,0 +1,113 @@
+"""ROC curves and AUC (paper Fig. 6).
+
+Binary ROC from continuous scores, plus a one-vs-rest multi-class variant
+(micro-averaged) for the sensitivity/specificity trade-off experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+
+
+def roc_curve(y_true, scores) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Binary ROC curve.
+
+    Parameters
+    ----------
+    y_true:
+        Binary labels in {0, 1}.
+    scores:
+        Continuous scores, larger = more positive.
+
+    Returns
+    -------
+    fpr, tpr, thresholds:
+        Monotone non-decreasing FPR/TPR arrays (starting at (0, 0), ending
+        at (1, 1)) and the score thresholds producing each point.
+    """
+    y = check_vector(y_true, "y_true").astype(np.int64)
+    s = check_vector(scores, "scores").astype(np.float64)
+    if y.shape != s.shape:
+        raise ValueError(
+            f"y_true and scores disagree on length: {y.shape[0]} vs {s.shape[0]}"
+        )
+    if not np.all(np.isin(y, (0, 1))):
+        raise ValueError("y_true must be binary {0, 1}")
+    n_pos = int(np.sum(y == 1))
+    n_neg = int(np.sum(y == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC requires both positive and negative samples")
+
+    order = np.argsort(-s, kind="stable")
+    sorted_scores = s[order]
+    sorted_labels = y[order]
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(1 - sorted_labels)
+    # Keep only the last index of each distinct score (threshold boundaries).
+    distinct = np.r_[np.flatnonzero(np.diff(sorted_scores)), s.size - 1]
+    tpr = tp[distinct] / n_pos
+    fpr = fp[distinct] / n_neg
+    thresholds = sorted_scores[distinct]
+    # Prepend the (0, 0) origin with a sentinel threshold.
+    fpr = np.r_[0.0, fpr]
+    tpr = np.r_[0.0, tpr]
+    thresholds = np.r_[np.inf, thresholds]
+    return fpr, tpr, thresholds
+
+
+def auc(fpr, tpr) -> float:
+    """Area under a curve via the trapezoid rule (expects sorted x)."""
+    x = check_vector(fpr, "fpr").astype(np.float64)
+    y = check_vector(tpr, "tpr").astype(np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"fpr and tpr disagree on length: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("need at least 2 points to integrate")
+    if np.any(np.diff(x) < 0):
+        raise ValueError("fpr must be sorted non-decreasing")
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2 rename
+    return float(trapezoid(y, x))
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """Binary AUC convenience wrapper."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return auc(fpr, tpr)
+
+
+def roc_curve_ovr(
+    y_true, score_matrix
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """One-vs-rest ROC curves for a multi-class score matrix.
+
+    Returns a dict with one ``(fpr, tpr)`` entry per class (keys ``"class_i"``)
+    plus a ``"micro"`` entry pooling all (sample, class) decisions — the
+    aggregate curve the Fig. 6 experiment reports.
+    """
+    y = check_vector(y_true, "y_true").astype(np.int64)
+    S = check_matrix(score_matrix, "score_matrix")
+    if S.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"score_matrix and y_true disagree on sample count: "
+            f"{S.shape[0]} vs {y.shape[0]}"
+        )
+    n_classes = S.shape[1]
+    if y.min() < 0 or y.max() >= n_classes:
+        raise ValueError(
+            f"labels must index score columns [0, {n_classes})"
+        )
+    curves: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    onehot = np.zeros_like(S, dtype=np.int64)
+    onehot[np.arange(y.size), y] = 1
+    for cls in range(n_classes):
+        if onehot[:, cls].min() == onehot[:, cls].max():
+            continue  # class absent (or universal): ROC undefined.
+        fpr, tpr, _ = roc_curve(onehot[:, cls], S[:, cls])
+        curves[f"class_{cls}"] = (fpr, tpr)
+    fpr, tpr, _ = roc_curve(onehot.ravel(), S.ravel())
+    curves["micro"] = (fpr, tpr)
+    return curves

@@ -1,0 +1,94 @@
+"""Sensitivity / specificity (paper §III, "Weight Parameters").
+
+The paper ties DistHD's α/β/θ weights to the sensitivity-specificity
+trade-off; these helpers compute the binary rates and their macro-averaged
+multi-class (one-vs-rest) extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.metrics.classification import confusion_matrix
+from repro.utils.validation import check_vector
+
+
+@dataclass(frozen=True)
+class BinaryRates:
+    """Binary confusion rates.
+
+    Attributes follow the paper's definitions: ``sensitivity = 1 - FNR`` and
+    ``specificity = 1 - FPR``.
+    """
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def sensitivity(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def specificity(self) -> float:
+        denom = self.tn + self.fp
+        return self.tn / denom if denom else 0.0
+
+    @property
+    def fnr(self) -> float:
+        return 1.0 - self.sensitivity
+
+    @property
+    def fpr(self) -> float:
+        return 1.0 - self.specificity
+
+
+def binary_rates(y_true, y_pred, positive_label: int = 1) -> BinaryRates:
+    """Confusion rates treating ``positive_label`` as the positive class."""
+    y_true = check_vector(y_true, "y_true").astype(np.int64)
+    y_pred = check_vector(y_pred, "y_pred").astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred disagree on length: "
+            f"{y_true.shape[0]} vs {y_pred.shape[0]}"
+        )
+    pos_true = y_true == positive_label
+    pos_pred = y_pred == positive_label
+    return BinaryRates(
+        tp=int(np.sum(pos_true & pos_pred)),
+        fp=int(np.sum(~pos_true & pos_pred)),
+        tn=int(np.sum(~pos_true & ~pos_pred)),
+        fn=int(np.sum(pos_true & ~pos_pred)),
+    )
+
+
+def sensitivity_specificity(y_true, y_pred) -> Dict[str, float]:
+    """Macro-averaged one-vs-rest sensitivity and specificity.
+
+    For multi-class predictions, each class in turn is treated as positive
+    and the rates averaged.
+    """
+    y_true = check_vector(y_true, "y_true").astype(np.int64)
+    y_pred = check_vector(y_pred, "y_pred").astype(np.int64)
+    n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    cm = confusion_matrix(y_true, y_pred, n_classes)
+    total = cm.sum()
+    sens, spec = [], []
+    for cls in range(n_classes):
+        tp = cm[cls, cls]
+        fn = cm[cls].sum() - tp
+        fp = cm[:, cls].sum() - tp
+        tn = total - tp - fn - fp
+        if tp + fn:
+            sens.append(tp / (tp + fn))
+        if tn + fp:
+            spec.append(tn / (tn + fp))
+    return {
+        "sensitivity": float(np.mean(sens)) if sens else 0.0,
+        "specificity": float(np.mean(spec)) if spec else 0.0,
+    }

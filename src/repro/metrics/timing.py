@@ -1,0 +1,67 @@
+"""Wall-clock timing harness (Fig. 5 efficiency comparisons)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+def time_call(fn: Callable, *args, repeats: int = 1, **kwargs) -> Tuple[Any, float]:
+    """Call ``fn`` and return ``(result, best_elapsed_seconds)``.
+
+    With ``repeats > 1`` the call runs multiple times and the minimum is
+    reported (standard noise-floor practice for latency measurement); the
+    result comes from the final call.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@dataclass
+class TimingRecord:
+    """Named train/inference timing pair for one model on one dataset."""
+
+    model: str
+    dataset: str
+    train_seconds: float
+    inference_seconds: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, other: "TimingRecord") -> Dict[str, float]:
+        """How much faster *this* record is than ``other`` (ratios > 1 = faster)."""
+        return {
+            "train": other.train_seconds / max(self.train_seconds, 1e-12),
+            "inference": other.inference_seconds / max(self.inference_seconds, 1e-12),
+        }

@@ -1,0 +1,31 @@
+"""Hardware-noise substrate (paper §IV-D, Fig. 8).
+
+The paper's fault model is "random bit flips on memory storing DNN and
+DistHD models".  This package implements it exactly:
+
+- :mod:`repro.noise.quantization` — symmetric fixed-point quantisation of
+  float arrays to 1/2/4/8-bit codes (two's complement; 1-bit = sign);
+- :mod:`repro.noise.bitflip` — uniform random bit flips over the packed code
+  words;
+- :mod:`repro.noise.robustness` — model-level injection: perturb a trained
+  classifier's memory at a given precision/error rate and measure the
+  accuracy ("quality") loss.
+"""
+
+from repro.noise.bitflip import flip_bits
+from repro.noise.quantization import QuantizedTensor, dequantize, quantize
+from repro.noise.robustness import (
+    evaluate_quality_loss,
+    perturb_classifier,
+    quality_loss_sweep,
+)
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize",
+    "dequantize",
+    "flip_bits",
+    "perturb_classifier",
+    "evaluate_quality_loss",
+    "quality_loss_sweep",
+]

@@ -1,0 +1,55 @@
+"""Random bit-flip injection on quantised memory.
+
+The paper's hardware-error model: a given percentage of the bits storing the
+model image flip uniformly at random.  Flips are XORs on the unsigned code
+words, so a flip on the sign bit of an 8-bit weight causes a large magnitude
+change while a flip on a low bit barely matters — exactly the asymmetry
+behind Fig. 8's DNN fragility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noise.quantization import QuantizedTensor
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_probability
+
+
+def flip_bits(
+    qt: QuantizedTensor, error_rate: float, seed: SeedLike = None
+) -> QuantizedTensor:
+    """Flip a fraction ``error_rate`` of the tensor's bits, uniformly.
+
+    The number of flipped bits is the rounded fraction of the total
+    (sampling *exactly* that many distinct bit positions), which matches the
+    paper's "percentage of random bit flips" phrasing and keeps low-rate
+    sweeps deterministic in flip count.
+
+    Returns a new tensor; the input is not modified.
+    """
+    check_probability(error_rate, "error_rate")
+    out = qt.copy()
+    total_bits = qt.n_bits_total
+    n_flips = int(round(error_rate * total_bits))
+    if n_flips == 0:
+        return out
+    rng = as_rng(seed)
+    positions = rng.choice(total_bits, size=n_flips, replace=False)
+    element_idx = positions // qt.bits
+    bit_idx = positions % qt.bits
+    # XOR each selected element with its flip mask (accumulate multiple
+    # flips landing on the same element).
+    flip_mask = np.zeros(qt.codes.size, dtype=np.uint8)
+    np.bitwise_xor.at(flip_mask, element_idx, (1 << bit_idx).astype(np.uint8))
+    out.codes = out.codes ^ flip_mask
+    return out
+
+
+def corrupt_array(
+    array: np.ndarray, bits: int, error_rate: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Quantise → flip → dequantise convenience wrapper."""
+    from repro.noise.quantization import dequantize, quantize
+
+    return dequantize(flip_bits(quantize(array, bits), error_rate, seed))

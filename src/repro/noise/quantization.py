@@ -1,0 +1,116 @@
+"""Symmetric fixed-point quantisation.
+
+Arrays are quantised to ``bits``-wide signed codes with a single per-tensor
+scale:
+
+- ``bits >= 2`` — two's-complement codes in ``[-(2^(b-1)-1), 2^(b-1)-1]``
+  with ``scale = max|x| / (2^(b-1)-1)`` (the symmetric max-abs scheme used
+  for the paper's "effective 8-bit representation" of DNN weights);
+- ``bits == 1`` — sign quantisation: codes in {0, 1} decode to
+  ``{-scale, +scale}`` with ``scale = mean|x|`` (the magnitude-preserving
+  binarisation standard for bipolar hypervectors).
+
+Codes are stored as unsigned integers so bit flips are plain XORs on the
+memory words (:mod:`repro.noise.bitflip`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+SUPPORTED_BITS = (1, 2, 4, 8)
+
+
+@dataclass
+class QuantizedTensor:
+    """A quantised array: unsigned codes + decode metadata.
+
+    Attributes
+    ----------
+    codes:
+        ``uint8`` array of shape ``shape`` holding the ``bits``-wide code of
+        each element (only the low ``bits`` bits are meaningful).
+    bits:
+        Code width (1, 2, 4 or 8).
+    scale:
+        Decode scale factor.
+    shape:
+        Original array shape.
+    """
+
+    codes: np.ndarray
+    bits: int
+    scale: float
+    shape: tuple
+
+    @property
+    def n_bits_total(self) -> int:
+        """Total number of meaningful bits in the tensor's memory image."""
+        return int(self.codes.size) * self.bits
+
+    def copy(self) -> "QuantizedTensor":
+        return QuantizedTensor(self.codes.copy(), self.bits, self.scale, self.shape)
+
+
+def _check_bits(bits: int) -> None:
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+
+
+def quantize(array: np.ndarray, bits: int) -> QuantizedTensor:
+    """Quantise a float array to ``bits``-wide codes.
+
+    An all-zero array quantises to all-zero codes with scale 0 and decodes
+    back to zeros exactly.
+    """
+    _check_bits(bits)
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot quantize an empty array")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("cannot quantize non-finite values")
+
+    if bits == 1:
+        scale = float(np.mean(np.abs(arr)))
+        codes = (arr >= 0).astype(np.uint8)
+        return QuantizedTensor(codes.ravel(), 1, scale, arr.shape)
+
+    q_max = 2 ** (bits - 1) - 1
+    max_abs = float(np.max(np.abs(arr)))
+    scale = max_abs / q_max if max_abs > 0 else 0.0
+    if scale == 0.0:
+        signed = np.zeros(arr.shape, dtype=np.int64)
+    else:
+        signed = np.clip(np.round(arr / scale), -q_max, q_max).astype(np.int64)
+    # Two's complement within `bits` bits, stored unsigned.
+    mask = (1 << bits) - 1
+    codes = (signed & mask).astype(np.uint8)
+    return QuantizedTensor(codes.ravel(), bits, scale, arr.shape)
+
+
+def dequantize(qt: QuantizedTensor) -> np.ndarray:
+    """Decode a :class:`QuantizedTensor` back to float64."""
+    _check_bits(qt.bits)
+    codes = qt.codes.astype(np.int64)
+    if qt.bits == 1:
+        values = np.where(codes > 0, qt.scale, -qt.scale)
+        return values.reshape(qt.shape).astype(np.float64)
+    # Undo two's complement: codes with the sign bit set are negative.
+    sign_bit = 1 << (qt.bits - 1)
+    span = 1 << qt.bits
+    signed = np.where(codes & sign_bit, codes - span, codes)
+    # The symmetric quantiser never emits -2^(b-1); that reserved pattern can
+    # only appear through bit corruption, and symmetric fixed-point decoders
+    # saturate it to the minimum representable value rather than overshoot.
+    q_max = sign_bit - 1
+    signed = np.maximum(signed, -q_max)
+    return (signed * qt.scale).reshape(qt.shape).astype(np.float64)
+
+
+def quantization_error(array: np.ndarray, bits: int) -> float:
+    """RMS error of a quantise→dequantise round trip (diagnostics)."""
+    arr = np.asarray(array, dtype=np.float64)
+    restored = dequantize(quantize(arr, bits))
+    return float(np.sqrt(np.mean((arr - restored) ** 2)))

@@ -1,0 +1,156 @@
+"""Model-level robustness evaluation (Fig. 8 harness).
+
+``perturb_classifier`` knows how to corrupt each model family's memory image:
+
+- HDC classifiers (anything exposing ``memory_``): the class-hypervector
+  matrix is quantised at the chosen precision, bit-flipped and decoded back;
+- :class:`~repro.baselines.mlp.MLPClassifier`: every weight/bias array is
+  quantised (paper: "effective 8-bit representation"), flipped, decoded.
+
+``quality loss`` follows the paper: the *drop in accuracy* relative to the
+clean model, in percentage points.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.mlp import MLPClassifier
+from repro.noise.bitflip import flip_bits
+from repro.noise.quantization import dequantize, quantize
+from repro.utils.rng import SeedLike, as_rng, spawn_seed
+
+
+def perturb_classifier(model, bits: int, error_rate: float, seed: SeedLike = None):
+    """Return a deep copy of ``model`` with bit-flipped quantised memory.
+
+    Parameters
+    ----------
+    model:
+        A fitted classifier: any HDC model with a ``memory_`` attribute, or
+        an :class:`~repro.baselines.mlp.MLPClassifier`.
+    bits:
+        Storage precision (1, 2, 4 or 8).
+    error_rate:
+        Fraction of memory bits flipped.
+    seed:
+        RNG seed for flip positions.
+    """
+    rng = as_rng(seed)
+    perturbed = copy.deepcopy(model)
+    if hasattr(perturbed, "memory_") and perturbed.memory_ is not None:
+        qt = quantize(perturbed.memory_.vectors, bits)
+        qt = flip_bits(qt, error_rate, spawn_seed(rng))
+        perturbed.memory_.vectors = dequantize(qt)
+        return perturbed
+    if isinstance(perturbed, MLPClassifier):
+        params = []
+        for array in perturbed.parameters():
+            qt = flip_bits(quantize(array, bits), error_rate, spawn_seed(rng))
+            params.append(dequantize(qt))
+        perturbed.set_parameters(params)
+        return perturbed
+    raise TypeError(
+        f"don't know how to perturb a {type(model).__name__}; expected an HDC "
+        "classifier with `memory_` or an MLPClassifier"
+    )
+
+
+@dataclass
+class RobustnessPoint:
+    """One (error rate → quality loss) measurement.
+
+    Attributes
+    ----------
+    error_rate:
+        Fraction of bits flipped.
+    bits:
+        Storage precision.
+    clean_accuracy / noisy_accuracy:
+        Test accuracy before/after bit flips.  The clean reference is the
+        *quantised* (zero-flip) model at the same precision, so the loss
+        isolates hardware-error damage from quantisation damage — the
+        paper's "quality loss under hardware errors".  ``noisy_accuracy``
+        is averaged over trials.
+    quality_loss:
+        ``max(0, clean - noisy)`` in percentage points — the paper's metric.
+    """
+
+    error_rate: float
+    bits: int
+    clean_accuracy: float
+    noisy_accuracy: float
+
+    @property
+    def quality_loss(self) -> float:
+        return max(0.0, (self.clean_accuracy - self.noisy_accuracy) * 100.0)
+
+
+def evaluate_quality_loss(
+    model,
+    X,
+    y,
+    *,
+    bits: int,
+    error_rate: float,
+    n_trials: int = 3,
+    seed: SeedLike = None,
+) -> RobustnessPoint:
+    """Average quality loss of ``model`` at one (bits, error_rate) point."""
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    rng = as_rng(seed)
+    # Quantised, zero-flip reference: isolates flip damage from
+    # quantisation damage (see RobustnessPoint docstring).
+    clean = float(perturb_classifier(model, bits, 0.0).score(X, y))
+    noisy_accs = []
+    for _ in range(n_trials):
+        noisy = perturb_classifier(model, bits, error_rate, spawn_seed(rng))
+        noisy_accs.append(float(noisy.score(X, y)))
+    return RobustnessPoint(
+        error_rate=float(error_rate),
+        bits=int(bits),
+        clean_accuracy=clean,
+        noisy_accuracy=float(np.mean(noisy_accs)),
+    )
+
+
+def quality_loss_sweep(
+    model,
+    X,
+    y,
+    *,
+    bits: int,
+    error_rates: Sequence[float] = (0.01, 0.02, 0.05, 0.10, 0.15),
+    n_trials: int = 3,
+    seed: SeedLike = None,
+) -> List[RobustnessPoint]:
+    """Quality loss across the paper's error-rate grid (Fig. 8 row)."""
+    rng = as_rng(seed)
+    return [
+        evaluate_quality_loss(
+            model, X, y, bits=bits, error_rate=rate, n_trials=n_trials,
+            seed=spawn_seed(rng),
+        )
+        for rate in error_rates
+    ]
+
+
+def robustness_ratio(
+    reference_losses: Sequence[float], candidate_losses: Sequence[float]
+) -> float:
+    """Average ratio reference/candidate quality loss (paper's "×higher
+    robustness"); pairs where the candidate loss is 0 are clamped to the
+    reference/0.1pt ratio to avoid division blow-ups."""
+    if len(reference_losses) != len(candidate_losses):
+        raise ValueError("loss sequences must have equal length")
+    if not reference_losses:
+        raise ValueError("loss sequences must be non-empty")
+    ratios = []
+    for ref, cand in zip(reference_losses, candidate_losses):
+        ratios.append(ref / max(cand, 0.1))
+    return float(np.mean(ratios))

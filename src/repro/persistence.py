@@ -1,0 +1,186 @@
+"""Model persistence: save/load fitted HDC classifiers as ``.npz`` archives.
+
+An HDC model's deployable state is small and fully array-valued (encoder
+parameters + class memory + label mapping), so a flat NumPy archive is the
+natural format — no pickle, no code execution on load, portable to
+microcontroller toolchains that can read ``.npz``.
+
+Supported models: :class:`~repro.core.disthd.DistHDClassifier` and the HDC
+baselines sharing its state layout (OnlineHD, NeuralHD, and BaselineHD with
+the RBF encoder).  BaselineHD's ID-level encoder serialises its item/level
+memories instead of projection rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.baselines.baselinehd import BaselineHDClassifier
+from repro.baselines.neuralhd import NeuralHDClassifier
+from repro.baselines.onlinehd import OnlineHDClassifier
+from repro.core.disthd import DistHDClassifier
+from repro.hdc.encoders.id_level import IDLevelEncoder
+from repro.hdc.encoders.projection import RandomProjectionEncoder
+from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.memory import AssociativeMemory
+
+_FORMAT_VERSION = 1
+
+_MODEL_KINDS = {
+    "DistHDClassifier": DistHDClassifier,
+    "OnlineHDClassifier": OnlineHDClassifier,
+    "NeuralHDClassifier": NeuralHDClassifier,
+    "BaselineHDClassifier": BaselineHDClassifier,
+}
+
+
+def _encoder_payload(encoder) -> dict:
+    if isinstance(encoder, RBFEncoder):
+        return {
+            "encoder_kind": "rbf",
+            "enc_base_vectors": encoder.base_vectors,
+            "enc_phases": encoder.phases,
+            "enc_bandwidth": np.float64(encoder.bandwidth),
+            "enc_regenerated": np.int64(encoder.regenerated_count),
+        }
+    if isinstance(encoder, RandomProjectionEncoder):
+        return {
+            "encoder_kind": "projection",
+            "enc_base_vectors": encoder.base_vectors,
+            "enc_activation": encoder.activation,
+        }
+    if isinstance(encoder, IDLevelEncoder):
+        return {
+            "encoder_kind": "id-level",
+            "enc_id_vectors": encoder.id_vectors,
+            "enc_level_vectors": encoder.level_vectors,
+            "enc_feature_range": np.asarray(encoder.feature_range),
+        }
+    raise TypeError(f"cannot serialise encoder type {type(encoder).__name__}")
+
+
+def _restore_encoder(kind: str, data, n_features: int, dim: int):
+    if kind == "rbf":
+        encoder = RBFEncoder(
+            n_features, dim, bandwidth=float(data["enc_bandwidth"]), seed=0
+        )
+        encoder.base_vectors = np.asarray(data["enc_base_vectors"])
+        encoder.phases = np.asarray(data["enc_phases"])
+        encoder.regenerated_count = int(data["enc_regenerated"])
+        return encoder
+    if kind == "projection":
+        encoder = RandomProjectionEncoder(
+            n_features, dim, activation=str(data["enc_activation"]), seed=0
+        )
+        encoder.base_vectors = np.asarray(data["enc_base_vectors"])
+        return encoder
+    if kind == "id-level":
+        levels = np.asarray(data["enc_level_vectors"])
+        low, high = np.asarray(data["enc_feature_range"])
+        encoder = IDLevelEncoder(
+            n_features, dim, n_levels=levels.shape[0],
+            feature_range=(float(low), float(high)), seed=0,
+        )
+        encoder.id_vectors = np.asarray(data["enc_id_vectors"])
+        encoder.level_vectors = levels
+        return encoder
+    raise ValueError(f"unknown encoder kind {kind!r} in archive")
+
+
+def save_model(model, path: Union[str, Path]) -> Path:
+    """Serialise a fitted HDC classifier to ``path`` (``.npz``).
+
+    Returns the written path.  Raises ``TypeError`` for unsupported model
+    types and ``RuntimeError`` for unfitted models.
+    """
+    kind = type(model).__name__
+    if kind not in _MODEL_KINDS:
+        raise TypeError(
+            f"save_model supports {sorted(_MODEL_KINDS)}, got {kind}"
+        )
+    if getattr(model, "memory_", None) is None or model.classes_ is None:
+        raise RuntimeError(f"{kind} is not fitted; nothing to save")
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "model_kind": kind,
+        "classes": model.classes_,
+        "n_features": np.int64(model.n_features_),
+        "memory_vectors": model.memory_.vectors,
+        **_encoder_payload(model.encoder_),
+    }
+    np.savez_compressed(path, **payload)
+    return path
+
+
+class LoadedHDCModel:
+    """A fitted, inference-only model restored from disk.
+
+    Exposes the inference half of the estimator protocol (``predict``,
+    ``predict_topk``, ``decision_scores``, ``score``); training state
+    (histories, configs) is intentionally not persisted.
+    """
+
+    def __init__(self, model_kind: str, encoder, memory: AssociativeMemory,
+                 classes: np.ndarray, n_features: int) -> None:
+        self.model_kind = model_kind
+        self.encoder_ = encoder
+        self.memory_ = memory
+        self.classes_ = classes
+        self.n_features_ = int(n_features)
+
+    def decision_scores(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"model was fit with {self.n_features_} features but "
+                f"received {X.shape[1]}"
+            )
+        return self.memory_.similarities(self.encoder_.encode(X))
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_scores(X), axis=1)]
+
+    def predict_topk(self, X, k: int = 2) -> np.ndarray:
+        scores = self.decision_scores(X)
+        if not 1 <= k <= scores.shape[1]:
+            raise ValueError(f"k must lie in [1, {scores.shape[1]}], got {k}")
+        return self.classes_[np.argsort(-scores, axis=1)[:, :k]]
+
+    def score(self, X, y) -> float:
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+
+def load_model(path: Union[str, Path]) -> LoadedHDCModel:
+    """Restore a model saved by :func:`save_model`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version > _FORMAT_VERSION:
+            raise ValueError(
+                f"archive format {version} is newer than supported "
+                f"({_FORMAT_VERSION})"
+            )
+        kind = str(data["model_kind"])
+        if kind not in _MODEL_KINDS:
+            raise ValueError(f"unknown model kind {kind!r} in archive")
+        memory_vectors = np.asarray(data["memory_vectors"])
+        n_classes, dim = memory_vectors.shape
+        n_features = int(data["n_features"])
+        encoder = _restore_encoder(
+            str(data["encoder_kind"]), data, n_features, dim
+        )
+        memory = AssociativeMemory(n_classes, dim)
+        memory.vectors = memory_vectors
+        return LoadedHDCModel(
+            kind, encoder, memory, np.asarray(data["classes"]), n_features
+        )

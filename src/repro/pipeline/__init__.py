@@ -1,0 +1,23 @@
+"""Experiment orchestration: run models on datasets, sweep, report."""
+
+from repro.pipeline.crossval import (
+    CrossValResult,
+    cross_validate,
+    stratified_kfold_indices,
+)
+from repro.pipeline.experiment import ExperimentResult, run_experiment
+from repro.pipeline.grid import GridSearchResult, grid_search, parameter_grid
+from repro.pipeline.report import format_markdown_table, format_series
+
+__all__ = [
+    "CrossValResult",
+    "ExperimentResult",
+    "GridSearchResult",
+    "cross_validate",
+    "format_markdown_table",
+    "format_series",
+    "grid_search",
+    "parameter_grid",
+    "run_experiment",
+    "stratified_kfold_indices",
+]

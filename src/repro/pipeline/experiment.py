@@ -1,0 +1,153 @@
+"""The experiment runner: fit a classifier on a dataset, measure everything.
+
+``run_experiment`` is the single entry point the benchmark harness builds
+on: it times training and inference, computes accuracy / top-k accuracy /
+sensitivity / specificity, and captures model-specific extras (iterations to
+convergence, effective dimensionality) in one result record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.datasets.loaders import Dataset
+from repro.metrics.classification import accuracy, topk_accuracy
+from repro.metrics.sensitivity import sensitivity_specificity
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured from one (model, dataset) run.
+
+    Attributes
+    ----------
+    model_name / dataset_name:
+        Identification for report rows.
+    test_accuracy / train_accuracy:
+        Top-1 accuracies.
+    top2_accuracy / top3_accuracy:
+        Top-k test accuracies (``None`` when k exceeds the class count).
+    sensitivity / specificity:
+        Macro one-vs-rest rates on the test split.
+    train_seconds / inference_seconds:
+        Wall-clock fit and full-test-split predict times.
+    extras:
+        Model-specific values (e.g. ``n_iterations``, ``effective_dim``).
+    """
+
+    model_name: str
+    dataset_name: str
+    test_accuracy: float
+    train_accuracy: float
+    top2_accuracy: Optional[float]
+    top3_accuracy: Optional[float]
+    sensitivity: float
+    specificity: float
+    train_seconds: float
+    inference_seconds: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table formatting."""
+        row: Dict[str, object] = {
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "test_acc": self.test_accuracy,
+            "train_acc": self.train_accuracy,
+            "top2_acc": self.top2_accuracy,
+            "top3_acc": self.top3_accuracy,
+            "sensitivity": self.sensitivity,
+            "specificity": self.specificity,
+            "train_s": self.train_seconds,
+            "infer_s": self.inference_seconds,
+        }
+        row.update(self.extras)
+        return row
+
+
+def _model_extras(model) -> Dict[str, float]:
+    extras: Dict[str, float] = {}
+    if hasattr(model, "n_iterations_"):
+        extras["n_iterations"] = float(model.n_iterations_)
+    encoder = getattr(model, "encoder_", None)
+    if encoder is not None and hasattr(encoder, "effective_dim"):
+        extras["effective_dim"] = float(encoder.effective_dim())
+        extras["physical_dim"] = float(encoder.dim)
+    return extras
+
+
+def run_experiment(
+    model,
+    dataset: Dataset,
+    *,
+    model_name: Optional[str] = None,
+    inference_repeats: int = 1,
+) -> ExperimentResult:
+    """Fit ``model`` on ``dataset`` and measure the full metric suite.
+
+    Parameters
+    ----------
+    model:
+        Any library classifier (fresh, unfitted).
+    dataset:
+        A :class:`~repro.datasets.loaders.Dataset`.
+    model_name:
+        Report label; defaults to the class name.
+    inference_repeats:
+        Repeat the test-split prediction and report the fastest run
+        (latency noise floor).
+    """
+    if inference_repeats <= 0:
+        raise ValueError(
+            f"inference_repeats must be positive, got {inference_repeats}"
+        )
+    name = model_name if model_name is not None else type(model).__name__
+
+    start = time.perf_counter()
+    model.fit(dataset.train_x, dataset.train_y)
+    train_seconds = time.perf_counter() - start
+
+    inference_seconds = float("inf")
+    predictions = None
+    for _ in range(inference_repeats):
+        start = time.perf_counter()
+        predictions = model.predict(dataset.test_x)
+        inference_seconds = min(inference_seconds, time.perf_counter() - start)
+
+    test_acc = accuracy(dataset.test_y, predictions)
+    train_acc = accuracy(dataset.train_y, model.predict(dataset.train_x))
+
+    scores = model.decision_scores(dataset.test_x)
+    dense_test_y = np.searchsorted(model.classes_, dataset.test_y)
+    n_classes = scores.shape[1]
+    top2 = topk_accuracy(dense_test_y, scores, 2) if n_classes >= 2 else None
+    top3 = topk_accuracy(dense_test_y, scores, 3) if n_classes >= 3 else None
+
+    rates = sensitivity_specificity(dataset.test_y, predictions)
+    return ExperimentResult(
+        model_name=name,
+        dataset_name=dataset.name,
+        test_accuracy=test_acc,
+        train_accuracy=train_acc,
+        top2_accuracy=top2,
+        top3_accuracy=top3,
+        sensitivity=rates["sensitivity"],
+        specificity=rates["specificity"],
+        train_seconds=train_seconds,
+        inference_seconds=inference_seconds,
+        extras=_model_extras(model),
+    )
+
+
+def run_suite(
+    model_factories: Dict[str, Callable[[], object]], dataset: Dataset, **kwargs
+) -> Dict[str, ExperimentResult]:
+    """Run several models on one dataset; keys label the report rows."""
+    return {
+        name: run_experiment(factory(), dataset, model_name=name, **kwargs)
+        for name, factory in model_factories.items()
+    }

@@ -1,0 +1,81 @@
+"""Report formatting: the benchmark harness prints paper-style tables.
+
+Plain-text/markdown only (no plotting dependency); every figure bench prints
+the series the figure plots so the shape comparison with the paper is a
+visual diff of numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _fmt(value, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_markdown_table(
+    rows: Sequence[Dict[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render dict rows as a GitHub-markdown table.
+
+    Column order follows ``columns`` when given, else the key order of the
+    first row; missing cells render as ``-``.
+    """
+    if not rows:
+        raise ValueError("cannot format an empty table")
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    header = "| " + " | ".join(cols) + " |"
+    rule = "|" + "|".join("---" for _ in cols) + "|"
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c), precision) for c in cols) + " |"
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence,
+    ys: Sequence,
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 4,
+) -> str:
+    """Render one figure series as aligned ``x → y`` lines."""
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"series lengths disagree: {len(xs)} xs vs {len(ys)} ys"
+        )
+    lines = [f"{name}  ({x_label} → {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x, precision):>10} → {_fmt(y, precision)}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    title: str,
+    results: Dict[str, Dict[str, object]],
+    *,
+    columns: Sequence[str],
+    precision: int = 4,
+) -> str:
+    """Render a {model: metrics} mapping as a titled markdown table."""
+    rows: List[Dict[str, object]] = []
+    for model, metrics in results.items():
+        rows.append({"model": model, **{c: metrics.get(c) for c in columns}})
+    table = format_markdown_table(
+        rows, columns=["model", *columns], precision=precision
+    )
+    return f"### {title}\n{table}"

@@ -1,0 +1,23 @@
+"""Shared utilities: RNG plumbing, validation helpers, lightweight logging."""
+
+from repro.utils.rng import as_rng, child_rngs, spawn_seed
+from repro.utils.validation import (
+    check_features_match,
+    check_labels,
+    check_matrix,
+    check_paired,
+    check_probability,
+    check_vector,
+)
+
+__all__ = [
+    "as_rng",
+    "child_rngs",
+    "spawn_seed",
+    "check_features_match",
+    "check_labels",
+    "check_matrix",
+    "check_paired",
+    "check_probability",
+    "check_vector",
+]

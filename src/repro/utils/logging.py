@@ -1,0 +1,37 @@
+"""Minimal logging helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace and never configures handlers on import; applications
+opt in via :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the library namespace (``repro`` or ``repro.<name>``)."""
+    full = ROOT_LOGGER_NAME if not name else f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(full)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the library root logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    has_stream = any(
+        isinstance(h, logging.StreamHandler) and getattr(h, "_repro_console", False)
+        for h in logger.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        handler._repro_console = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,39 @@
+"""Shared fixtures: small, fast, deterministic datasets and models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.preprocessing import StandardScaler
+from repro.datasets.splits import stratified_split
+from repro.datasets.synthetic import make_classification
+
+
+@pytest.fixture(scope="session")
+def small_problem():
+    """A tiny, easily-separable 3-class problem: (train_x, train_y, test_x, test_y)."""
+    X, y = make_classification(
+        240, 20, 3, difficulty=0.3, n_prototypes=2, latent_dim=8, seed=11
+    )
+    train_x, train_y, test_x, test_y = stratified_split(
+        X, y, test_fraction=0.25, seed=5
+    )
+    scaler = StandardScaler().fit(train_x)
+    return scaler.transform(train_x), train_y, scaler.transform(test_x), test_y
+
+
+@pytest.fixture(scope="session")
+def medium_problem():
+    """A moderately hard 6-class problem for accuracy-sensitive tests."""
+    X, y = make_classification(
+        600, 40, 6, difficulty=0.5, n_prototypes=3, latent_dim=10, seed=23
+    )
+    train_x, train_y, test_x, test_y = stratified_split(
+        X, y, test_fraction=0.25, seed=7
+    )
+    scaler = StandardScaler().fit(train_x)
+    return scaler.transform(train_x), train_y, scaler.transform(test_x), test_y
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,189 @@
+"""Tests for the classical baselines: MLP, SVMs, kNN."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNClassifier
+from repro.baselines.mlp import MLPClassifier, cross_entropy, relu, softmax
+from repro.baselines.svm import LinearSVMClassifier, RFFSVMClassifier
+
+
+class TestMLPPrimitives:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy(probs, np.array([0, 1])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cross_entropy_clips_zeros(self):
+        probs = np.array([[0.0, 1.0]])
+        assert np.isfinite(cross_entropy(probs, np.array([0])))
+
+
+class TestMLPClassifier:
+    def test_learns(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = MLPClassifier(hidden_sizes=(32,), epochs=30, seed=0).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.85
+
+    def test_two_hidden_layers(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = MLPClassifier(hidden_sizes=(32, 16), epochs=30, seed=0).fit(
+            train_x, train_y
+        )
+        assert clf.score(test_x, test_y) > 0.8
+
+    def test_loss_decreases(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = MLPClassifier(hidden_sizes=(32,), epochs=15, seed=0).fit(train_x, train_y)
+        assert clf.loss_history_[-1] < clf.loss_history_[0]
+
+    def test_probabilities(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        clf = MLPClassifier(hidden_sizes=(16,), epochs=5, seed=0).fit(train_x, train_y)
+        probs = clf.decision_scores(test_x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert probs.min() >= 0.0
+
+    def test_reproducible(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        a = MLPClassifier(hidden_sizes=(16,), epochs=5, seed=3).fit(train_x, train_y)
+        b = MLPClassifier(hidden_sizes=(16,), epochs=5, seed=3).fit(train_x, train_y)
+        assert np.array_equal(a.predict(test_x), b.predict(test_x))
+
+    def test_parameters_roundtrip(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        clf = MLPClassifier(hidden_sizes=(16,), epochs=5, seed=0).fit(train_x, train_y)
+        before = clf.predict(test_x)
+        params = [p.copy() for p in clf.parameters()]
+        clf.set_parameters(params)
+        assert np.array_equal(clf.predict(test_x), before)
+
+    def test_set_parameters_shape_check(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = MLPClassifier(hidden_sizes=(16,), epochs=2, seed=0).fit(train_x, train_y)
+        bad = [np.zeros((1, 1))] * len(clf.parameters())
+        with pytest.raises(ValueError, match="shape mismatch"):
+            clf.set_parameters(bad)
+
+    def test_set_parameters_count_check(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = MLPClassifier(hidden_sizes=(16,), epochs=2, seed=0).fit(train_x, train_y)
+        with pytest.raises(ValueError, match="parameter arrays"):
+            clf.set_parameters([np.zeros((2, 2))])
+
+    def test_weight_decay_shrinks_weights(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        free = MLPClassifier(hidden_sizes=(32,), epochs=20, seed=0).fit(train_x, train_y)
+        decayed = MLPClassifier(
+            hidden_sizes=(32,), epochs=20, weight_decay=0.1, seed=0
+        ).fit(train_x, train_y)
+        assert np.linalg.norm(decayed.weights_[0]) < np.linalg.norm(free.weights_[0])
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"hidden_sizes": ()}, {"hidden_sizes": (0,)}, {"lr": 0},
+                   {"epochs": 0}, {"batch_size": 0}, {"weight_decay": -1}],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            MLPClassifier(**kwargs)
+
+
+class TestLinearSVM:
+    def test_learns(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = LinearSVMClassifier(epochs=30, seed=0).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.8
+
+    def test_coef_shapes(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = LinearSVMClassifier(epochs=3, seed=0).fit(train_x, train_y)
+        assert clf.coef_.shape == (3, train_x.shape[1])
+        assert clf.intercept_.shape == (3,)
+
+    def test_decision_is_linear(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        clf = LinearSVMClassifier(epochs=3, seed=0).fit(train_x, train_y)
+        scores = clf.decision_scores(test_x)
+        assert np.allclose(scores, test_x @ clf.coef_.T + clf.intercept_)
+
+    def test_no_intercept(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = LinearSVMClassifier(epochs=3, fit_intercept=False, seed=0).fit(
+            train_x, train_y
+        )
+        assert not clf.intercept_.any()
+
+    @pytest.mark.parametrize("kwargs", [{"C": 0}, {"epochs": 0}, {"lr": 0}, {"batch_size": 0}])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(**kwargs)
+
+
+class TestRFFSVM:
+    def test_learns(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = RFFSVMClassifier(n_components=128, epochs=20, seed=0).fit(
+            train_x, train_y
+        )
+        assert clf.score(test_x, test_y) > 0.8
+
+    def test_default_gamma_scales_with_features(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = RFFSVMClassifier(n_components=64, epochs=2, seed=0).fit(train_x, train_y)
+        expected_std = 1.0 / np.sqrt(train_x.shape[1])
+        assert clf.frequencies_.std() == pytest.approx(expected_std, rel=0.15)
+
+    def test_explicit_gamma(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = RFFSVMClassifier(n_components=64, gamma=0.5, epochs=2, seed=0).fit(
+            train_x, train_y
+        )
+        assert clf.frequencies_.std() == pytest.approx(0.5, rel=0.15)
+
+    @pytest.mark.parametrize("kwargs", [{"n_components": 0}, {"gamma": 0.0}])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            RFFSVMClassifier(**kwargs)
+
+
+class TestKNN:
+    def test_learns(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = KNNClassifier(k=3).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.85
+
+    def test_k1_memorises_training(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = KNNClassifier(k=1).fit(train_x, train_y)
+        assert clf.score(train_x, train_y) == 1.0
+
+    def test_k_larger_than_train_clamped(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0, 0, 1])
+        clf = KNNClassifier(k=100).fit(X, y)
+        # All three neighbours vote; class 0 has majority.
+        assert clf.predict(np.array([[5.0]]))[0] == 0
+
+    def test_distance_weighting(self):
+        X = np.array([[0.0], [0.1], [10.0], [10.1], [10.2]])
+        y = np.array([0, 0, 1, 1, 1])
+        query = np.array([[0.5]])
+        uniform = KNNClassifier(k=5, weights="uniform").fit(X, y)
+        weighted = KNNClassifier(k=5, weights="distance").fit(X, y)
+        assert uniform.predict(query)[0] == 1  # majority of 5 is class 1
+        assert weighted.predict(query)[0] == 0  # near neighbours dominate
+
+    @pytest.mark.parametrize("kwargs", [{"k": 0}, {"weights": "bogus"}])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            KNNClassifier(**kwargs)

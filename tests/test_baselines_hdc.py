@@ -1,0 +1,164 @@
+"""Tests for the HDC baselines: BaselineHD, NeuralHD, OnlineHD."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.baselinehd import BaselineHDClassifier
+from repro.baselines.neuralhd import NeuralHDClassifier, dimension_significance
+from repro.baselines.onlinehd import OnlineHDClassifier
+from repro.hdc.memory import AssociativeMemory
+
+
+class TestBaselineHD:
+    def test_learns(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = BaselineHDClassifier(dim=256, iterations=8, seed=0).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.8
+
+    def test_default_encoder_is_id_level(self, small_problem):
+        from repro.hdc.encoders.id_level import IDLevelEncoder
+
+        train_x, train_y, _, _ = small_problem
+        clf = BaselineHDClassifier(dim=64, iterations=2, seed=0).fit(train_x, train_y)
+        assert isinstance(clf.encoder_, IDLevelEncoder)
+        # Record-based encodings are integer-valued bundles of bipolar bindings.
+        encoded = clf.encoder_.encode(train_x[:5])
+        assert np.allclose(encoded, np.round(encoded))
+
+    def test_sign_encoder_option_is_bipolar(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = BaselineHDClassifier(
+            dim=64, iterations=2, encoder="sign", seed=0
+        ).fit(train_x, train_y)
+        encoded = clf.encoder_.encode(train_x[:5])
+        assert set(np.unique(encoded)) <= {-1.0, 1.0}
+
+    def test_rbf_encoder_option(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = BaselineHDClassifier(
+            dim=128, iterations=5, encoder="rbf", seed=0
+        ).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.8
+
+    def test_encoder_static_within_fit(self, small_problem):
+        """Static encoding: same-seed fits of any length share the encoder."""
+        train_x, train_y, _, _ = small_problem
+        short = BaselineHDClassifier(dim=64, iterations=1, seed=0).fit(train_x, train_y)
+        long = BaselineHDClassifier(dim=64, iterations=10, seed=0).fit(train_x, train_y)
+        assert np.array_equal(short.encoder_.id_vectors, long.encoder_.id_vectors)
+        assert np.array_equal(
+            short.encoder_.level_vectors, long.encoder_.level_vectors
+        )
+
+    def test_history_recorded(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = BaselineHDClassifier(
+            dim=64, iterations=4, convergence_patience=None, seed=0
+        ).fit(train_x, train_y)
+        assert len(clf.history_) == 4
+
+    def test_single_pass_init_off(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = BaselineHDClassifier(
+            dim=256, iterations=15, single_pass_init=False, encoder="sign", seed=0
+        ).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.6
+
+    def test_bad_encoder(self):
+        with pytest.raises(ValueError, match="encoder"):
+            BaselineHDClassifier(encoder="fourier")
+
+    @pytest.mark.parametrize("kwargs", [{"dim": 0}, {"lr": 0}, {"iterations": 0}])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            BaselineHDClassifier(**kwargs)
+
+
+class TestNeuralHD:
+    def test_learns(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = NeuralHDClassifier(dim=128, iterations=8, seed=0).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.8
+
+    def test_regenerates_every_epoch(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = NeuralHDClassifier(
+            dim=100, regen_rate=0.2, iterations=5, convergence_patience=None, seed=0
+        ).fit(train_x, train_y)
+        # Every epoch except the last regenerates 20 dims.
+        regens = [r.regenerated for r in clf.history_.records]
+        assert regens[:-1] == [20] * 4
+        assert regens[-1] == 0
+        assert clf.encoder_.effective_dim() == 100 + 80
+
+    def test_zero_regen_matches_static(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = NeuralHDClassifier(
+            dim=64, regen_rate=0.0, iterations=3, seed=0
+        ).fit(train_x, train_y)
+        assert clf.encoder_.effective_dim() == 64
+
+    def test_rebundle_flag_changes_training(self, medium_problem):
+        train_x, train_y, _, _ = medium_problem
+        a = NeuralHDClassifier(
+            dim=64, iterations=5, rebundle_on_regen=False,
+            convergence_patience=None, seed=0,
+        ).fit(train_x, train_y)
+        b = NeuralHDClassifier(
+            dim=64, iterations=5, rebundle_on_regen=True,
+            convergence_patience=None, seed=0,
+        ).fit(train_x, train_y)
+        assert not np.allclose(a.memory_.vectors, b.memory_.vectors)
+
+    def test_bad_regen_rate(self):
+        with pytest.raises(ValueError, match="regen_rate"):
+            NeuralHDClassifier(regen_rate=2.0)
+
+
+class TestDimensionSignificance:
+    def test_low_variance_dim_scores_lowest(self):
+        mem = AssociativeMemory(3, 4)
+        # Dim 0 zero across classes (useless even after row normalisation),
+        # dim 1 widely spread (useful).
+        mem.vectors = np.array(
+            [
+                [0.0, 5.0, 1.0, 0.5],
+                [0.0, -5.0, 1.2, 0.4],
+                [0.0, 0.0, 0.8, 0.6],
+            ]
+        )
+        sig = dimension_significance(mem)
+        assert np.argmin(sig) == 0
+        assert np.argmax(sig) == 1
+
+    def test_shape(self):
+        mem = AssociativeMemory(3, 7)
+        assert dimension_significance(mem).shape == (7,)
+
+
+class TestOnlineHD:
+    def test_learns(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = OnlineHDClassifier(dim=128, iterations=8, seed=0).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.8
+
+    def test_static_encoder(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = OnlineHDClassifier(dim=64, iterations=3, seed=0).fit(train_x, train_y)
+        assert clf.encoder_.effective_dim() == 64
+
+    def test_batch_size_variants_learn(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        for bs in (None, 16):
+            clf = OnlineHDClassifier(
+                dim=128, iterations=6, batch_size=bs, seed=0
+            ).fit(train_x, train_y)
+            assert clf.score(test_x, test_y) > 0.75
+
+    def test_early_stopping(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = OnlineHDClassifier(
+            dim=128, iterations=100, convergence_patience=2, convergence_tol=0.0,
+            seed=0,
+        ).fit(train_x, train_y)
+        assert clf.n_iterations_ < 100

@@ -1,0 +1,59 @@
+"""Tests for the disthd-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "disthd"
+        assert args.dataset == "ucihar"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "transformer"])
+
+    def test_robustness_bits_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robustness", "--bits", "3"])
+
+
+class TestCommands:
+    def test_datasets_lists_table1(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mnist", "ucihar", "isolet", "pamap2", "diabetes"):
+            assert name in out
+
+    def test_train_prints_metrics(self, capsys):
+        code = main(
+            ["train", "--dataset", "diabetes", "--scale", "0.005",
+             "--dim", "48", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test_acc" in out
+
+    def test_compare_prints_all_models(self, capsys):
+        code = main(
+            ["compare", "--dataset", "diabetes", "--scale", "0.005",
+             "--dim", "48", "--models", "disthd", "knn"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "disthd" in out and "knn" in out
+
+    def test_robustness_prints_sweep(self, capsys):
+        code = main(
+            ["robustness", "--dataset", "diabetes", "--scale", "0.005",
+             "--dim", "48", "--bits", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quality_loss_pct" in out

@@ -1,0 +1,63 @@
+"""Tests for repro.core.convergence.ConvergenceTracker."""
+
+import pytest
+
+from repro.core.convergence import ConvergenceTracker
+
+
+class TestConvergenceTracker:
+    def test_converges_after_patience(self):
+        tracker = ConvergenceTracker(patience=2, tol=0.01)
+        assert not tracker.update(0.5)
+        assert not tracker.update(0.505)   # stale 1
+        assert tracker.update(0.507)       # stale 2 -> converged
+
+    def test_improvement_resets_patience(self):
+        tracker = ConvergenceTracker(patience=2, tol=0.01)
+        tracker.update(0.5)
+        tracker.update(0.505)              # stale 1
+        assert not tracker.update(0.6)     # big improvement resets
+        assert not tracker.update(0.605)   # stale 1 again
+        assert tracker.update(0.606)
+
+    def test_none_patience_never_converges(self):
+        tracker = ConvergenceTracker(patience=None)
+        assert not any(tracker.update(0.5) for _ in range(100))
+
+    def test_decreasing_values_count_as_stale(self):
+        tracker = ConvergenceTracker(patience=3, tol=0.0)
+        tracker.update(0.9)
+        assert not tracker.update(0.5)
+        assert not tracker.update(0.4)
+        assert tracker.update(0.3)
+
+    def test_best_tracks_maximum(self):
+        tracker = ConvergenceTracker(patience=10, tol=0.0)
+        for value in (0.2, 0.8, 0.5):
+            tracker.update(value)
+        assert tracker.best == pytest.approx(0.8)
+
+    def test_reset(self):
+        tracker = ConvergenceTracker(patience=1, tol=0.0)
+        tracker.update(0.9)
+        tracker.update(0.9)
+        assert tracker.converged
+        tracker.reset()
+        assert not tracker.converged
+        assert tracker.best is None
+        assert not tracker.update(0.1)
+
+    def test_bad_patience(self):
+        with pytest.raises(ValueError, match="patience"):
+            ConvergenceTracker(patience=0)
+
+    def test_bad_tol(self):
+        with pytest.raises(ValueError, match="tol"):
+            ConvergenceTracker(tol=-1.0)
+
+    def test_stays_converged(self):
+        tracker = ConvergenceTracker(patience=1, tol=0.0)
+        tracker.update(0.5)
+        tracker.update(0.5)
+        assert tracker.converged
+        assert tracker.update(0.99)  # once converged, stays converged

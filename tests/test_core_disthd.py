@@ -1,0 +1,154 @@
+"""Tests for repro.core.disthd.DistHDClassifier — the full training loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DistHDConfig
+from repro.core.disthd import DistHDClassifier
+
+
+def _small_clf(**overrides):
+    defaults = dict(dim=96, iterations=6, seed=0)
+    defaults.update(overrides)
+    return DistHDClassifier(**defaults)
+
+
+class TestFitPredict:
+    def test_learns_separable_problem(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = _small_clf().fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.85
+
+    def test_predict_labels_in_classes(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        clf = _small_clf().fit(train_x, train_y)
+        assert set(np.unique(clf.predict(test_x))) <= set(clf.classes_)
+
+    def test_reproducible(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        a = _small_clf().fit(train_x, train_y).predict(test_x)
+        b = _small_clf().fit(train_x, train_y).predict(test_x)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        a = _small_clf(seed=0).fit(train_x, train_y)
+        b = _small_clf(seed=1).fit(train_x, train_y)
+        assert not np.allclose(a.memory_.vectors, b.memory_.vectors)
+
+    def test_noncontiguous_labels(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        remapped = np.array([10, 20, 35])[train_y]
+        clf = _small_clf().fit(train_x, remapped)
+        assert set(np.unique(clf.predict(test_x))) <= {10, 20, 35}
+        assert clf.score(test_x, np.array([10, 20, 35])[test_y]) > 0.85
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _small_clf().predict(np.ones((1, 4)))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="at least 2 classes"):
+            _small_clf().fit(np.ones((5, 3)), [1] * 5)
+
+    def test_feature_mismatch_at_predict(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = _small_clf().fit(train_x, train_y)
+        with pytest.raises(ValueError, match="features"):
+            clf.predict(np.ones((1, train_x.shape[1] + 1)))
+
+
+class TestTopK:
+    def test_predict_topk_shape(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        clf = _small_clf().fit(train_x, train_y)
+        topk = clf.predict_topk(test_x, k=2)
+        assert topk.shape == (test_x.shape[0], 2)
+
+    def test_topk_first_column_is_predict(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        clf = _small_clf().fit(train_x, train_y)
+        assert np.array_equal(clf.predict_topk(test_x, 2)[:, 0], clf.predict(test_x))
+
+    def test_topk_k_bounds(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        clf = _small_clf().fit(train_x, train_y)
+        with pytest.raises(ValueError, match="k must lie"):
+            clf.predict_topk(test_x, k=99)
+
+
+class TestDynamicEncoding:
+    def test_history_recorded(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = _small_clf(convergence_patience=None).fit(train_x, train_y)
+        assert len(clf.history_) == clf.n_iterations_ == 6
+        record = clf.history_[0]
+        assert 0.0 <= record.train_accuracy <= 1.0
+        assert record.top2_accuracy >= record.train_accuracy
+
+    def test_effective_dim_tracks_regeneration(self, medium_problem):
+        train_x, train_y, _, _ = medium_problem
+        clf = _small_clf(
+            dim=64, iterations=8, regen_rate=0.3, selection="union",
+            convergence_patience=None,
+        ).fit(train_x, train_y)
+        assert clf.effective_dim_ == 64 + clf.history_.total_regenerated
+
+    def test_zero_regen_rate_is_static(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = _small_clf(regen_rate=0.0).fit(train_x, train_y)
+        assert clf.effective_dim_ == clf.config.dim
+        assert clf.history_.total_regenerated == 0
+
+    def test_last_iteration_never_regenerates(self, medium_problem):
+        train_x, train_y, _, _ = medium_problem
+        clf = _small_clf(
+            iterations=4, regen_rate=0.5, selection="union",
+            convergence_patience=None,
+        ).fit(train_x, train_y)
+        assert clf.history_[-1].regenerated == 0
+
+    def test_early_stopping_trims_iterations(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        clf = _small_clf(
+            iterations=50, convergence_patience=2, convergence_tol=0.0
+        ).fit(train_x, train_y)
+        assert clf.n_iterations_ < 50
+
+    def test_regenerated_columns_refresh_cache(self, medium_problem):
+        """After fit, decision scores from re-encoding must match training state."""
+        train_x, train_y, _, _ = medium_problem
+        clf = _small_clf(
+            dim=48, iterations=5, regen_rate=0.4, selection="union",
+            convergence_patience=None,
+        ).fit(train_x, train_y)
+        # Re-encoding training data with the final encoder and comparing with
+        # memory must give the same predictions as the public API.
+        direct = clf.memory_.predict(clf.encoder_.encode(train_x))
+        assert np.array_equal(clf.classes_[direct], clf.predict(train_x))
+
+
+class TestConfigPlumbing:
+    def test_accepts_config_object(self):
+        cfg = DistHDConfig(dim=32, iterations=2)
+        clf = DistHDClassifier(cfg)
+        assert clf.config.dim == 32
+
+    def test_overrides_on_config(self):
+        cfg = DistHDConfig(dim=32, iterations=2)
+        clf = DistHDClassifier(cfg, dim=64)
+        assert clf.config.dim == 64
+        assert cfg.dim == 32  # original untouched
+
+    def test_incorrect_rule_variants_both_train(self, medium_problem):
+        train_x, train_y, test_x, test_y = medium_problem
+        for rule in ("prose", "algorithm-box"):
+            clf = _small_clf(incorrect_rule=rule, iterations=4).fit(train_x, train_y)
+            assert clf.score(test_x, test_y) > 0.5
+
+    def test_decision_scores_are_cosine(self, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        clf = _small_clf().fit(train_x, train_y)
+        scores = clf.decision_scores(test_x)
+        assert scores.shape == (test_x.shape[0], 3)
+        assert np.all(scores >= -1.0 - 1e-9) and np.all(scores <= 1.0 + 1e-9)

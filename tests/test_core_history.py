@@ -1,0 +1,53 @@
+"""Tests for repro.core.history."""
+
+import pytest
+
+from repro.core.history import IterationRecord, TrainingHistory
+
+
+def _history(accs, regens=None):
+    history = TrainingHistory()
+    regens = regens or [0] * len(accs)
+    for i, (acc, reg) in enumerate(zip(accs, regens)):
+        history.append(IterationRecord(iteration=i, train_accuracy=acc, regenerated=reg))
+    return history
+
+
+class TestTrainingHistory:
+    def test_len_and_indexing(self):
+        history = _history([0.5, 0.7])
+        assert len(history) == 2
+        assert history[1].train_accuracy == 0.7
+
+    def test_accuracies(self):
+        assert _history([0.1, 0.2]).accuracies == [0.1, 0.2]
+
+    def test_total_regenerated(self):
+        assert _history([0.5, 0.6, 0.7], regens=[3, 0, 2]).total_regenerated == 5
+
+    def test_final_accuracy(self):
+        assert _history([0.4, 0.9]).final_accuracy == 0.9
+
+    def test_final_accuracy_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TrainingHistory().final_accuracy
+
+    def test_iterations_to_reach(self):
+        history = _history([0.5, 0.8, 0.95])
+        assert history.iterations_to_reach(0.8) == 1
+        assert history.iterations_to_reach(0.99) is None
+        assert history.iterations_to_reach(0.0) == 0
+
+    def test_as_dict_columns(self):
+        columns = _history([0.5]).as_dict()
+        assert columns["iteration"] == [0]
+        assert columns["train_accuracy"] == [0.5]
+        assert set(columns) == {
+            "iteration",
+            "train_accuracy",
+            "top2_accuracy",
+            "regenerated",
+            "effective_dim",
+            "partial_rate",
+            "incorrect_rate",
+        }

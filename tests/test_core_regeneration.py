@@ -1,0 +1,234 @@
+"""Tests for repro.core.regeneration — Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DistHDConfig
+from repro.core.regeneration import (
+    _normalize_matrix,
+    _top_fraction,
+    distance_matrices,
+    regenerate_step,
+    select_undesired_dimensions,
+)
+from repro.core.topk import partition_outcomes
+from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.memory import AssociativeMemory
+
+
+def _setup(dim=16, n=30, seed=0):
+    """A memory + encoded batch with a mix of top-2 outcomes."""
+    rng = np.random.default_rng(seed)
+    mem = AssociativeMemory(4, dim)
+    mem.vectors = rng.normal(size=(4, dim))
+    encoded = rng.normal(size=(n, dim))
+    labels = rng.integers(0, 4, size=n)
+    part = partition_outcomes(mem, encoded, labels)
+    return mem, encoded, labels, part
+
+
+class TestDistanceMatrices:
+    def test_shapes(self):
+        mem, encoded, labels, part = _setup()
+        M, N = distance_matrices(encoded, labels, part, mem)
+        assert M.shape == (part.partial.size, 16)
+        assert N.shape == (part.incorrect.size, 16)
+
+    def test_correct_samples_excluded(self):
+        """Only partial+incorrect rows enter the matrices (Alg. 2 line 4-5)."""
+        mem, encoded, labels, part = _setup()
+        M, N = distance_matrices(encoded, labels, part, mem)
+        assert M.shape[0] + N.shape[0] == (
+            part.n_samples - part.correct.size
+        )
+
+    def test_m_row_formula(self):
+        """M_i = α|H−C_true| − β|H−C_pred| with normalised class vectors."""
+        mem, encoded, labels, part = _setup()
+        if part.partial.size == 0:
+            pytest.skip("no partial samples in this draw")
+        alpha, beta = 1.5, 0.5
+        M, _ = distance_matrices(
+            encoded, labels, part, mem, alpha=alpha, beta=beta
+        )
+        i = part.partial[0]
+        C = mem.normalized()
+        expected = alpha * np.abs(encoded[i] - C[labels[i]]) - beta * np.abs(
+            encoded[i] - C[part.top1[i]]
+        )
+        assert np.allclose(M[0], expected)
+
+    def test_incorrect_rules_differ(self):
+        mem, encoded, labels, part = _setup()
+        if part.incorrect.size == 0:
+            pytest.skip("no incorrect samples in this draw")
+        _, n_prose = distance_matrices(
+            encoded, labels, part, mem, incorrect_rule="prose"
+        )
+        _, n_box = distance_matrices(
+            encoded, labels, part, mem, incorrect_rule="algorithm-box"
+        )
+        assert not np.allclose(n_prose, n_box)
+
+    def test_unknown_rule_rejected(self):
+        mem, encoded, labels, part = _setup()
+        if part.incorrect.size == 0:
+            pytest.skip("no incorrect samples in this draw")
+        with pytest.raises(ValueError, match="incorrect_rule"):
+            distance_matrices(encoded, labels, part, mem, incorrect_rule="bogus")
+
+    def test_empty_outcome_sets(self):
+        """All-correct batch yields two empty matrices."""
+        mem = AssociativeMemory(2, 4)
+        mem.vectors = np.eye(2, 4)
+        encoded = np.eye(2, 4)
+        labels = np.array([0, 1])
+        part = partition_outcomes(mem, encoded, labels)
+        M, N = distance_matrices(encoded, labels, part, mem)
+        assert M.shape == (0, 4)
+        assert N.shape == (0, 4)
+
+
+class TestNormalizeMatrix:
+    def test_l2_rows(self):
+        m = np.array([[3.0, 4.0], [1.0, 0.0]])
+        out = _normalize_matrix(m, "l2")
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_l1_rows(self):
+        out = _normalize_matrix(np.array([[2.0, -2.0]]), "l1")
+        assert np.abs(out).sum() == pytest.approx(1.0)
+
+    def test_minmax_rows(self):
+        out = _normalize_matrix(np.array([[1.0, 3.0, 5.0]]), "minmax")
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_none_passthrough(self):
+        m = np.array([[1.0, 2.0]])
+        assert _normalize_matrix(m, "none") is m
+
+    def test_zero_row_safe(self):
+        out = _normalize_matrix(np.zeros((1, 3)), "l2")
+        assert not np.isnan(out).any()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="normalization"):
+            _normalize_matrix(np.ones((1, 2)), "bogus")
+
+
+class TestTopFraction:
+    def test_selects_highest(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert np.array_equal(_top_fraction(scores, 0.5), [1, 3])
+
+    def test_zero_fraction(self):
+        assert _top_fraction(np.ones(10), 0.0).size == 0
+
+    def test_full_fraction(self):
+        assert _top_fraction(np.ones(10), 1.0).size == 10
+
+    def test_deterministic_under_ties(self):
+        scores = np.ones(10)
+        a = _top_fraction(scores, 0.3)
+        b = _top_fraction(scores, 0.3)
+        assert np.array_equal(a, b)
+
+
+class TestSelectUndesired:
+    def test_intersection_semantics(self):
+        """Only dims in both top sets are selected (Alg. 2 line 15)."""
+        D = 10
+        M = np.zeros((1, D))
+        N = np.zeros((1, D))
+        M[0, [0, 1, 2]] = [3.0, 2.0, 1.0]
+        N[0, [1, 2, 3]] = [3.0, 2.0, 1.0]
+        dims = select_undesired_dimensions(
+            M, N, regen_rate=0.3, dim=D, normalization="none"
+        )
+        assert np.array_equal(dims, [1, 2])
+
+    def test_union_semantics(self):
+        D = 10
+        M = np.zeros((1, D))
+        N = np.zeros((1, D))
+        M[0, 0] = 1.0
+        N[0, 9] = 1.0
+        dims = select_undesired_dimensions(
+            M, N, regen_rate=0.1, dim=D, normalization="none", selection="union"
+        )
+        assert np.array_equal(dims, [0, 9])
+
+    def test_m_only_and_n_only(self):
+        D = 10
+        M = np.zeros((1, D)); M[0, 2] = 1.0
+        N = np.zeros((1, D)); N[0, 7] = 1.0
+        m_dims = select_undesired_dimensions(
+            M, N, regen_rate=0.1, dim=D, normalization="none", selection="m-only"
+        )
+        n_dims = select_undesired_dimensions(
+            M, N, regen_rate=0.1, dim=D, normalization="none", selection="n-only"
+        )
+        assert np.array_equal(m_dims, [2])
+        assert np.array_equal(n_dims, [7])
+
+    def test_empty_matrix_intersection_is_noop(self):
+        """No incorrect samples -> intersection selects nothing (safe no-op)."""
+        M = np.ones((2, 8))
+        N = np.empty((0, 8))
+        dims = select_undesired_dimensions(M, N, regen_rate=0.5, dim=8)
+        assert dims.size == 0
+
+    def test_empty_matrix_union_uses_other(self):
+        M = np.zeros((1, 8)); M[0, 3] = 1.0
+        N = np.empty((0, 8))
+        dims = select_undesired_dimensions(
+            M, N, regen_rate=0.125, dim=8, normalization="none", selection="union"
+        )
+        assert np.array_equal(dims, [3])
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="regen_rate"):
+            select_undesired_dimensions(
+                np.ones((1, 4)), np.ones((1, 4)), regen_rate=1.5, dim=4
+            )
+
+    def test_bad_selection(self):
+        with pytest.raises(ValueError, match="selection"):
+            select_undesired_dimensions(
+                np.ones((1, 4)), np.ones((1, 4)), regen_rate=0.5, dim=4,
+                selection="bogus",
+            )
+
+
+class TestRegenerateStep:
+    def test_regenerates_encoder_and_resets_memory(self):
+        rng = np.random.default_rng(1)
+        dim = 32
+        encoder = RBFEncoder(8, dim, seed=0)
+        X = rng.normal(size=(40, 8))
+        encoded = encoder.encode(X)
+        mem = AssociativeMemory(3, dim)
+        mem.vectors = rng.normal(size=(3, dim))
+        labels = rng.integers(0, 3, size=40)
+        part = partition_outcomes(mem, encoded, labels)
+        cfg = DistHDConfig(dim=dim, regen_rate=0.5, selection="union")
+        report = regenerate_step(encoded, labels, part, mem, encoder, cfg)
+        if report.n_regenerated:
+            assert not mem.vectors[:, report.dims].any()
+            assert encoder.regenerated_count == report.n_regenerated
+
+    def test_report_fields(self):
+        rng = np.random.default_rng(2)
+        dim = 16
+        encoder = RBFEncoder(4, dim, seed=0)
+        X = rng.normal(size=(30, 4))
+        encoded = encoder.encode(X)
+        mem = AssociativeMemory(3, dim)
+        mem.vectors = rng.normal(size=(3, dim))
+        labels = rng.integers(0, 3, size=30)
+        part = partition_outcomes(mem, encoded, labels)
+        cfg = DistHDConfig(dim=dim, regen_rate=0.25)
+        report = regenerate_step(encoded, labels, part, mem, encoder, cfg)
+        assert report.n_partial == part.partial.size
+        assert report.n_incorrect == part.incorrect.size
+        assert report.n_regenerated == report.dims.size

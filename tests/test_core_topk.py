@@ -1,0 +1,113 @@
+"""Tests for repro.core.topk — top-2 classification and outcome partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import (
+    OutcomePartition,
+    partition_outcomes,
+    top2_labels,
+    topk_accuracy_from_memory,
+)
+from repro.hdc.memory import AssociativeMemory
+
+
+@pytest.fixture
+def memory():
+    """Three classes along the first three axes of an 4-dim space."""
+    mem = AssociativeMemory(3, 4)
+    mem.vectors = np.eye(3, 4)
+    return mem
+
+
+@pytest.fixture
+def encoded():
+    # Sample 0: closest to class 0, then class 1      -> top2 = (0, 1)
+    # Sample 1: closest to class 1, then class 2      -> top2 = (1, 2)
+    # Sample 2: closest to class 2, then class 0      -> top2 = (2, 0)
+    return np.array(
+        [
+            [1.0, 0.5, 0.1, 0.0],
+            [0.1, 1.0, 0.5, 0.0],
+            [0.5, 0.1, 1.0, 0.0],
+        ]
+    )
+
+
+class TestTop2Labels:
+    def test_pairs(self, memory, encoded):
+        pairs = top2_labels(memory, encoded)
+        assert np.array_equal(pairs, [[0, 1], [1, 2], [2, 0]])
+
+    def test_requires_two_classes(self):
+        mem = AssociativeMemory(1, 4)
+        with pytest.raises(ValueError, match="at least 2"):
+            top2_labels(mem, np.ones((1, 4)))
+
+
+class TestPartitionOutcomes:
+    def test_three_outcomes(self, memory, encoded):
+        # labels: sample0 true=0 (correct), sample1 true=2 (partial),
+        # sample2 true=1 (incorrect: top2 = (2, 0)).
+        part = partition_outcomes(memory, encoded, np.array([0, 2, 1]))
+        assert np.array_equal(part.correct, [0])
+        assert np.array_equal(part.partial, [1])
+        assert np.array_equal(part.incorrect, [2])
+
+    def test_partition_covers_all_samples(self, memory, encoded):
+        part = partition_outcomes(memory, encoded, np.array([0, 1, 2]))
+        union = np.sort(np.concatenate([part.correct, part.partial, part.incorrect]))
+        assert np.array_equal(union, [0, 1, 2])
+
+    def test_rates_sum_to_one(self, memory, encoded):
+        part = partition_outcomes(memory, encoded, np.array([0, 2, 1]))
+        assert sum(part.rates().values()) == pytest.approx(1.0)
+
+    def test_top2_accuracy(self, memory, encoded):
+        part = partition_outcomes(memory, encoded, np.array([0, 2, 1]))
+        assert part.top2_accuracy() == pytest.approx(2 / 3)
+
+    def test_count_mismatch(self, memory, encoded):
+        with pytest.raises(ValueError, match="sample count"):
+            partition_outcomes(memory, encoded, np.array([0, 1]))
+
+    def test_all_correct(self, memory, encoded):
+        part = partition_outcomes(memory, encoded, np.array([0, 1, 2]))
+        assert part.correct.size == 3
+        assert part.partial.size == 0
+        assert part.incorrect.size == 0
+
+
+class TestTopkAccuracy:
+    def test_k1_equals_plain_accuracy(self, memory, encoded):
+        labels = np.array([0, 2, 1])
+        acc1 = topk_accuracy_from_memory(memory, encoded, labels, 1)
+        plain = float(np.mean(memory.predict(encoded) == labels))
+        assert acc1 == pytest.approx(plain)
+
+    def test_monotone_in_k(self, memory, encoded):
+        labels = np.array([0, 2, 1])
+        accs = [
+            topk_accuracy_from_memory(memory, encoded, labels, k) for k in (1, 2, 3)
+        ]
+        assert accs[0] <= accs[1] <= accs[2]
+        assert accs[2] == pytest.approx(1.0)
+
+    def test_paper_definition(self, memory, encoded):
+        """Correct iff the true label is among the k most similar (paper §I)."""
+        labels = np.array([1, 2, 0])  # each true label is exactly 2nd
+        assert topk_accuracy_from_memory(memory, encoded, labels, 1) == 0.0
+        assert topk_accuracy_from_memory(memory, encoded, labels, 2) == 1.0
+
+
+class TestOutcomePartitionDataclass:
+    def test_n_samples(self):
+        part = OutcomePartition(
+            correct=np.array([0]),
+            partial=np.array([], dtype=np.int64),
+            incorrect=np.array([1]),
+            top1=np.array([0, 1]),
+            top2=np.array([1, 0]),
+        )
+        assert part.n_samples == 2
+        assert part.rates()["correct"] == pytest.approx(0.5)

@@ -1,0 +1,131 @@
+"""Tests for repro.datasets.generators — per-dataset analogs."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    _smooth_rows,
+    generate,
+    make_audio_like,
+    make_image_like,
+    make_imu_like,
+    make_tabular_like,
+)
+from repro.datasets.registry import get_spec
+
+
+class TestSmoothRows:
+    def test_window_one_identity(self):
+        X = np.random.default_rng(0).normal(size=(3, 10))
+        assert np.array_equal(_smooth_rows(X, 1), X)
+
+    def test_reduces_roughness(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(2, 100))
+        smoothed = _smooth_rows(X, 5)
+        rough = np.abs(np.diff(X, axis=1)).mean()
+        smooth = np.abs(np.diff(smoothed, axis=1)).mean()
+        assert smooth < rough
+
+    def test_preserves_shape(self):
+        X = np.ones((4, 17))
+        assert _smooth_rows(X, 4).shape == (4, 17)
+
+
+class TestImageLike:
+    def test_shape_matches_spec(self):
+        spec = get_spec("mnist")
+        X, y = make_image_like(spec, 50, seed=0)
+        assert X.shape == (50, spec.n_features)
+        assert y.max() < spec.n_classes
+
+    def test_nonnegative_and_bounded(self):
+        X, _ = make_image_like(get_spec("mnist"), 50, seed=0)
+        assert X.min() >= 0.0
+        assert X.max() <= 1.0
+
+    def test_sparse_background(self):
+        """Most 'pixels' are exactly zero, like digit images."""
+        X, _ = make_image_like(get_spec("mnist"), 50, seed=0)
+        assert (X == 0.0).mean() > 0.4
+
+
+class TestImuLike:
+    def test_shape(self):
+        spec = get_spec("ucihar")
+        X, y = make_imu_like(spec, 40, seed=0)
+        assert X.shape == (40, 561)
+
+    def test_adjacent_feature_correlation(self):
+        """Smoothing induces higher adjacent-column correlation than random."""
+        X, _ = make_imu_like(get_spec("ucihar"), 300, seed=1)
+        Xc = X - X.mean(axis=0)
+        adjacent = np.mean(
+            [np.corrcoef(Xc[:, i], Xc[:, i + 1])[0, 1] for i in range(0, 60, 3)]
+        )
+        distant = np.mean(
+            [np.corrcoef(Xc[:, i], Xc[:, i + 250])[0, 1] for i in range(0, 60, 3)]
+        )
+        assert adjacent > distant
+
+
+class TestAudioLike:
+    def test_shape(self):
+        spec = get_spec("isolet")
+        X, y = make_audio_like(spec, 60, seed=0)
+        assert X.shape == (60, 617)
+        assert y.max() < 26
+
+    def test_gain_variation(self):
+        """Per-sample loudness variation: row norms vary multiplicatively."""
+        X, _ = make_audio_like(get_spec("isolet"), 200, seed=2)
+        norms = np.linalg.norm(X, axis=1)
+        assert norms.std() / norms.mean() > 0.02
+
+
+class TestTabularLike:
+    def test_shape(self):
+        spec = get_spec("diabetes")
+        X, y = make_tabular_like(spec, 100, seed=0)
+        assert X.shape == (100, 49)
+        assert y.max() < 3
+
+    def test_quantised_columns_exist(self):
+        X, _ = make_tabular_like(get_spec("diabetes"), 500, seed=0)
+        # At least a third of columns take few distinct half-integer values.
+        n_quantised = sum(
+            1 for col in X.T if np.allclose(col * 2, np.round(col * 2))
+        )
+        assert n_quantised >= 49 // 3
+
+    def test_class_imbalance(self):
+        """DIABETES analog mimics skewed clinical outcome rates."""
+        _, y = make_tabular_like(get_spec("diabetes"), 4000, seed=1)
+        counts = np.bincount(y, minlength=3) / y.size
+        assert counts[0] > counts[2]
+
+
+class TestGenerateDispatch:
+    @pytest.mark.parametrize("name", ["mnist", "ucihar", "isolet", "pamap2", "diabetes"])
+    def test_all_structures_dispatch(self, name):
+        spec = get_spec(name)
+        X, y = generate(spec, 30, seed=0)
+        assert X.shape == (30, spec.n_features)
+        assert y.shape == (30,)
+
+    def test_deterministic(self):
+        spec = get_spec("ucihar")
+        a = generate(spec, 25, seed=3)
+        b = generate(spec, 25, seed=3)
+        assert np.array_equal(a[0], b[0])
+
+    def test_bad_sample_count(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            generate(get_spec("mnist"), 0)
+
+    def test_unknown_structure(self):
+        from dataclasses import replace
+
+        bad_spec = replace(get_spec("mnist"), structure="video")
+        with pytest.raises(ValueError, match="unknown structure"):
+            generate(bad_spec, 10)

@@ -1,0 +1,99 @@
+"""Tests for repro.datasets.loaders.load_dataset / Dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import Dataset, load_dataset
+from repro.datasets.registry import get_spec
+
+
+class TestLoadDataset:
+    def test_shapes_match_spec(self):
+        ds = load_dataset("ucihar", scale=0.03, seed=0)
+        assert ds.n_features == 561
+        assert ds.n_classes == 12
+        assert ds.train_x.shape == (ds.n_train, 561)
+        assert ds.test_x.shape == (ds.n_test, 561)
+
+    def test_scaled_counts(self):
+        ds = load_dataset("mnist", scale=0.01, seed=0)
+        assert ds.n_train + ds.n_test == pytest.approx(700, abs=5)
+
+    def test_min_floor_per_class(self):
+        """Tiny scales still give every class training samples."""
+        ds = load_dataset("isolet", scale=0.001, seed=0)
+        counts = np.bincount(ds.train_y, minlength=26)
+        assert counts.min() >= 1
+
+    def test_all_classes_in_both_splits(self):
+        ds = load_dataset("diabetes", scale=0.02, seed=0)
+        assert set(np.unique(ds.train_y)) == set(range(3))
+        assert set(np.unique(ds.test_y)) == set(range(3))
+
+    def test_standardized_by_default(self):
+        ds = load_dataset("pamap2", scale=0.002, seed=0)
+        assert np.allclose(ds.train_x.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(ds.train_x.std(axis=0), 1.0, atol=1e-6)
+
+    def test_standardize_off(self):
+        ds = load_dataset("mnist", scale=0.005, seed=0, standardize=False)
+        # Raw image analog is non-negative.
+        assert ds.train_x.min() >= 0.0
+
+    def test_deterministic(self):
+        a = load_dataset("ucihar", scale=0.02, seed=4)
+        b = load_dataset("ucihar", scale=0.02, seed=4)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.test_y, b.test_y)
+
+    def test_seed_changes_data(self):
+        a = load_dataset("ucihar", scale=0.02, seed=1)
+        b = load_dataset("ucihar", scale=0.02, seed=2)
+        assert not np.allclose(a.train_x[: min(len(a.train_x), len(b.train_x))],
+                               b.train_x[: min(len(a.train_x), len(b.train_x))])
+
+    @pytest.mark.parametrize("scale", [0.0, 1.5, -0.1])
+    def test_bad_scale(self, scale):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("mnist", scale=scale)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+
+class TestDatasetMethods:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return load_dataset("diabetes", scale=0.01, seed=0)
+
+    def test_subset(self, ds):
+        sub = ds.subset(20, 10)
+        assert sub.n_train == 20
+        assert sub.n_test == 10
+        assert sub.spec is ds.spec
+
+    def test_subset_bounds(self, ds):
+        with pytest.raises(ValueError, match="n_train"):
+            ds.subset(ds.n_train + 1)
+        with pytest.raises(ValueError, match="n_test"):
+            ds.subset(10, ds.n_test + 1)
+
+    def test_batches_cover_all(self, ds):
+        seen = 0
+        for xb, yb in ds.batches(32, seed=0):
+            assert xb.shape[0] == yb.shape[0]
+            seen += xb.shape[0]
+        assert seen == ds.n_train
+
+    def test_batches_shuffled(self, ds):
+        first_a = next(iter(ds.batches(16, seed=1)))[0]
+        first_b = next(iter(ds.batches(16, seed=2)))[0]
+        assert not np.array_equal(first_a, first_b)
+
+    def test_batches_bad_size(self, ds):
+        with pytest.raises(ValueError, match="batch_size"):
+            next(ds.batches(0))
+
+    def test_name_property(self, ds):
+        assert ds.name == "diabetes"

@@ -1,0 +1,77 @@
+"""Tests for repro.datasets.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.preprocessing import MinMaxScaler, StandardScaler, l2_normalize
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(3.0, 5.0, size=(200, 4))
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_safe(self):
+        X = np.ones((10, 2))
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out, 0.0)
+
+    def test_transform_uses_train_stats(self, rng):
+        train = rng.normal(size=(100, 3))
+        test = rng.normal(10.0, 1.0, size=(50, 3))
+        scaler = StandardScaler().fit(train)
+        out = scaler.transform(test)
+        assert out.mean() > 5.0  # test shift preserved relative to train stats
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(2.0, 3.0, size=(50, 4))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_mismatch(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(np.ones((2, 4)))
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.normal(size=(100, 3))
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(100, 3))
+        out = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert out.min() == pytest.approx(-1.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_feature_maps_to_low(self):
+        X = np.full((10, 1), 7.0)
+        out = MinMaxScaler(feature_range=(0.0, 1.0)).fit_transform(X)
+        assert np.allclose(out, 0.0)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError, match="feature_range"):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+
+class TestL2Normalize:
+    def test_unit_rows(self, rng):
+        out = l2_normalize(rng.normal(size=(20, 5)))
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_zero_rows_pass(self):
+        out = l2_normalize(np.zeros((2, 3)))
+        assert np.array_equal(out, np.zeros((2, 3)))

@@ -1,0 +1,55 @@
+"""Tests for repro.datasets.registry — Table I fidelity."""
+
+import pytest
+
+from repro.datasets.registry import DATASETS, get_spec, list_datasets
+
+# Published Table-I values (n, k, train size, test size).
+TABLE_I = {
+    "mnist": (784, 10, 60_000, 10_000),
+    "ucihar": (561, 12, 6_213, 1_554),
+    "isolet": (617, 26, 6_238, 1_559),
+    "pamap2": (54, 5, 233_687, 115_101),
+    "diabetes": (49, 3, 66_000, 34_000),
+}
+
+
+class TestTableI:
+    def test_all_five_datasets_registered(self):
+        assert set(list_datasets()) == set(TABLE_I)
+
+    @pytest.mark.parametrize("name", sorted(TABLE_I))
+    def test_signature_matches_paper(self, name):
+        n, k, train, test = TABLE_I[name]
+        spec = get_spec(name)
+        assert spec.n_features == n
+        assert spec.n_classes == k
+        assert spec.train_size == train
+        assert spec.test_size == test
+
+    def test_order_matches_table(self):
+        assert list_datasets() == ("mnist", "ucihar", "isolet", "pamap2", "diabetes")
+
+
+class TestGetSpec:
+    def test_case_insensitive(self):
+        assert get_spec("MNIST").name == "mnist"
+        assert get_spec("  UciHar ").name == "ucihar"
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_spec("cifar10")
+
+    def test_difficulty_in_range(self):
+        for spec in DATASETS.values():
+            assert 0.0 < spec.difficulty <= 1.0
+
+    def test_structures_valid(self):
+        assert {s.structure for s in DATASETS.values()} <= {
+            "image", "imu", "audio", "tabular",
+        }
+
+    def test_specs_frozen(self):
+        spec = get_spec("mnist")
+        with pytest.raises(AttributeError):
+            spec.n_features = 1  # type: ignore[misc]

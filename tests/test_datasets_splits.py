@@ -1,0 +1,90 @@
+"""Tests for repro.datasets.splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import stratified_split, train_test_split
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.normal(size=(100, 5))
+    y = np.repeat(np.arange(4), 25)
+    return X, y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, data):
+        X, y = data
+        tx, ty, vx, vy = train_test_split(X, y, test_fraction=0.2, seed=0)
+        assert vx.shape[0] == 20
+        assert tx.shape[0] == 80
+        assert tx.shape[0] + vx.shape[0] == 100
+
+    def test_disjoint_and_complete(self, data):
+        X, y = data
+        tx, ty, vx, vy = train_test_split(X, y, test_fraction=0.3, seed=0)
+        combined = np.vstack([tx, vx])
+        assert np.array_equal(
+            np.sort(combined, axis=0), np.sort(X, axis=0)
+        )
+
+    def test_at_least_one_each_side(self, data):
+        X, y = data
+        tx, _, vx, _ = train_test_split(X, y, test_fraction=0.0, seed=0)
+        assert vx.shape[0] == 1
+        tx, _, vx, _ = train_test_split(X, y, test_fraction=1.0, seed=0)
+        assert tx.shape[0] == 1
+
+    def test_deterministic(self, data):
+        X, y = data
+        a = train_test_split(X, y, test_fraction=0.2, seed=5)
+        b = train_test_split(X, y, test_fraction=0.2, seed=5)
+        assert np.array_equal(a[0], b[0])
+
+    def test_labels_follow_rows(self, data):
+        X, y = data
+        # Tag each row with its label in feature 0 to check alignment.
+        X = X.copy()
+        X[:, 0] = y
+        tx, ty, vx, vy = train_test_split(X, y, test_fraction=0.25, seed=1)
+        assert np.array_equal(tx[:, 0].astype(int), ty)
+        assert np.array_equal(vx[:, 0].astype(int), vy)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            train_test_split(np.ones((1, 2)), [0], test_fraction=0.5)
+
+
+class TestStratifiedSplit:
+    def test_every_class_on_both_sides(self, data):
+        X, y = data
+        _, ty, _, vy = stratified_split(X, y, test_fraction=0.2, seed=0)
+        assert set(np.unique(ty)) == set(np.unique(vy)) == {0, 1, 2, 3}
+
+    def test_per_class_fraction(self, data):
+        X, y = data
+        _, ty, _, vy = stratified_split(X, y, test_fraction=0.2, seed=0)
+        for cls in range(4):
+            assert np.sum(vy == cls) == 5  # 20% of 25
+
+    def test_singleton_class_stays_in_train(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.array([0] * 9 + [1])
+        _, ty, _, vy = stratified_split(X, y, test_fraction=0.3, seed=0)
+        assert 1 in ty
+        assert 1 not in vy
+
+    def test_deterministic(self, data):
+        X, y = data
+        a = stratified_split(X, y, test_fraction=0.25, seed=3)
+        b = stratified_split(X, y, test_fraction=0.25, seed=3)
+        assert np.array_equal(a[3], b[3])
+
+    def test_labels_follow_rows(self, data):
+        X, y = data
+        X = X.copy()
+        X[:, 0] = y
+        tx, ty, vx, vy = stratified_split(X, y, test_fraction=0.25, seed=1)
+        assert np.array_equal(tx[:, 0].astype(int), ty)
+        assert np.array_equal(vx[:, 0].astype(int), vy)

@@ -1,0 +1,128 @@
+"""Tests for repro.datasets.synthetic.make_classification."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNClassifier
+from repro.datasets.splits import stratified_split
+from repro.datasets.synthetic import make_classification
+
+
+class TestShapes:
+    def test_output_shapes(self):
+        X, y = make_classification(100, 20, 4, seed=0)
+        assert X.shape == (100, 20)
+        assert y.shape == (100,)
+        assert y.dtype == np.int64
+
+    def test_labels_in_range(self):
+        _, y = make_classification(200, 10, 5, seed=0)
+        assert y.min() >= 0 and y.max() < 5
+
+    def test_all_classes_present(self):
+        _, y = make_classification(400, 10, 4, seed=0)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_samples": 0},
+            {"n_features": 0},
+            {"n_classes": 1},
+            {"difficulty": 0.0},
+            {"difficulty": 1.5},
+            {"n_prototypes": 0},
+            {"label_noise": 1.5},
+            {"latent_dim": 0},
+            {"latent_dim": 100},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        defaults = dict(n_samples=50, n_features=10, n_classes=3, seed=0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            make_classification(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        a = make_classification(50, 10, 3, seed=9)
+        b = make_classification(50, 10, 3, seed=9)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_different_seed_differs(self):
+        a = make_classification(50, 10, 3, seed=1)
+        b = make_classification(50, 10, 3, seed=2)
+        assert not np.allclose(a[0], b[0])
+
+
+class TestDifficulty:
+    def test_monotone_learnability(self):
+        """Higher difficulty -> lower held-out accuracy for a fixed learner."""
+        accs = []
+        for difficulty in (0.2, 0.9):
+            X, y = make_classification(
+                900, 30, 12, difficulty=difficulty, latent_dim=8, seed=4
+            )
+            tx, ty, vx, vy = stratified_split(X, y, test_fraction=0.25, seed=0)
+            accs.append(KNNClassifier(k=5).fit(tx, ty).score(vx, vy))
+        assert accs[0] > accs[1] + 0.05
+
+    def test_easy_problem_highly_learnable(self):
+        X, y = make_classification(400, 20, 3, difficulty=0.2, seed=5)
+        tx, ty, vx, vy = stratified_split(X, y, test_fraction=0.25, seed=0)
+        assert KNNClassifier(k=3).fit(tx, ty).score(vx, vy) > 0.9
+
+
+class TestLabelNoise:
+    def test_noise_flips_labels(self):
+        X_clean, y_clean = make_classification(500, 10, 4, label_noise=0.0, seed=6)
+        X_noisy, y_noisy = make_classification(500, 10, 4, label_noise=0.3, seed=6)
+        assert np.array_equal(X_clean, X_noisy)  # features unaffected
+        assert (y_clean != y_noisy).mean() > 0.1
+
+
+class TestClassWeights:
+    def test_imbalance_respected(self):
+        _, y = make_classification(
+            3000, 10, 3, class_weights=np.array([0.8, 0.15, 0.05]), seed=7
+        )
+        counts = np.bincount(y, minlength=3) / y.size
+        assert counts[0] > 0.7
+        assert counts[2] < 0.12
+
+    def test_bad_weights_shape(self):
+        with pytest.raises(ValueError, match="class_weights"):
+            make_classification(50, 10, 3, class_weights=np.ones(2), seed=0)
+
+    def test_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_classification(
+                50, 10, 3, class_weights=np.array([1.0, -1.0, 1.0]), seed=0
+            )
+
+
+class TestTopKGapStructure:
+    def test_top1_lower_than_top2(self):
+        """Multi-prototype classes create the paper's Fig. 2(b) top-k gaps."""
+        from repro.core.disthd import DistHDClassifier
+        from repro.datasets.preprocessing import StandardScaler
+        from repro.metrics.classification import topk_accuracy
+
+        X, y = make_classification(
+            800, 40, 8, difficulty=0.6, n_prototypes=3, seed=8
+        )
+        tx, ty, vx, vy = stratified_split(X, y, test_fraction=0.25, seed=0)
+        scaler = StandardScaler().fit(tx)
+        clf = DistHDClassifier(dim=128, iterations=8, seed=0).fit(
+            scaler.transform(tx), ty
+        )
+        scores = clf.decision_scores(scaler.transform(vx))
+        dense = np.searchsorted(clf.classes_, vy)
+        top1 = topk_accuracy(dense, scores, 1)
+        top2 = topk_accuracy(dense, scores, 2)
+        top3 = topk_accuracy(dense, scores, 3)
+        assert top1 < top2 <= top3
+        # The top-2 jump dominates the top-3 jump (paper's motivation).
+        assert (top2 - top1) > (top3 - top2)

@@ -1,0 +1,103 @@
+"""Tests for repro.deploy.quantized.QuantizedHDCModel."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNClassifier
+from repro.core.disthd import DistHDClassifier
+from repro.deploy.quantized import QuantizedHDCModel
+
+
+@pytest.fixture(scope="module")
+def fitted(small_problem):
+    train_x, train_y, _, _ = small_problem
+    return DistHDClassifier(dim=128, iterations=6, seed=0).fit(train_x, train_y)
+
+
+class TestConstruction:
+    def test_requires_fitted_hdc(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        knn = KNNClassifier(k=3).fit(train_x, train_y)
+        with pytest.raises(TypeError, match="fitted HDC classifier"):
+            QuantizedHDCModel(knn)
+
+    def test_requires_fit(self):
+        with pytest.raises(TypeError):
+            QuantizedHDCModel(DistHDClassifier(dim=32))
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_all_precisions(self, fitted, bits):
+        model = QuantizedHDCModel(fitted, bits=bits)
+        assert model.bits == bits
+
+
+class TestInference:
+    def test_8bit_matches_float_closely(self, fitted, small_problem):
+        _, _, test_x, test_y = small_problem
+        model = QuantizedHDCModel(fitted, bits=8)
+        agreement = np.mean(model.predict(test_x) == fitted.predict(test_x))
+        assert agreement > 0.95
+
+    def test_1bit_still_functional(self, fitted, small_problem):
+        _, _, test_x, test_y = small_problem
+        model = QuantizedHDCModel(fitted, bits=1)
+        assert model.score(test_x, test_y) > 0.6
+
+    def test_labels_are_original_classes(self, fitted, small_problem):
+        _, _, test_x, _ = small_problem
+        model = QuantizedHDCModel(fitted, bits=4)
+        assert set(np.unique(model.predict(test_x))) <= set(fitted.classes_)
+
+    def test_feature_mismatch(self, fitted):
+        model = QuantizedHDCModel(fitted, bits=8)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.ones((1, 3)))
+
+
+class TestFootprint:
+    def test_memory_shrinks_with_bits(self, fitted):
+        sizes = [QuantizedHDCModel(fitted, bits=b).memory_bytes for b in (1, 2, 4, 8)]
+        assert sizes[0] < sizes[1] < sizes[2] < sizes[3]
+
+    def test_1bit_is_64x_smaller_than_float(self, fitted):
+        model = QuantizedHDCModel(fitted, bits=1)
+        float_bytes = fitted.memory_.vectors.nbytes
+        assert float_bytes / model.memory_bytes == pytest.approx(64.0, rel=0.1)
+
+    def test_report_fields(self, fitted):
+        report = QuantizedHDCModel(fitted, bits=2).footprint_report()
+        assert report["bits"] == 2
+        assert report["compression"] == pytest.approx(32.0, rel=0.1)
+        assert report["encoder_parameters"] > 0
+
+
+class TestFaultInjection:
+    def test_flip_count(self, fitted):
+        model = QuantizedHDCModel(fitted, bits=8)
+        total = model._quantized.n_bits_total
+        n = model.inject_faults(0.1, seed=0)
+        assert n == round(0.1 * total)
+
+    def test_faults_degrade_or_hold(self, fitted, small_problem):
+        _, _, test_x, test_y = small_problem
+        clean = QuantizedHDCModel(fitted, bits=8)
+        clean_acc = clean.score(test_x, test_y)
+        noisy = QuantizedHDCModel(fitted, bits=8)
+        noisy.inject_faults(0.4, seed=1)
+        assert noisy.score(test_x, test_y) <= clean_acc + 0.05
+
+    def test_faults_accumulate(self, fitted):
+        model = QuantizedHDCModel(fitted, bits=8)
+        before = model._quantized.codes.copy()
+        model.inject_faults(0.05, seed=0)
+        first = model._quantized.codes.copy()
+        model.inject_faults(0.05, seed=1)
+        assert not np.array_equal(before, first)
+        assert not np.array_equal(first, model._quantized.codes)
+
+    def test_original_classifier_untouched(self, fitted, small_problem):
+        _, _, test_x, test_y = small_problem
+        before = fitted.memory_.vectors.copy()
+        model = QuantizedHDCModel(fitted, bits=1)
+        model.inject_faults(0.5, seed=0)
+        assert np.array_equal(fitted.memory_.vectors, before)

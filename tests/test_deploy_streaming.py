@@ -1,0 +1,103 @@
+"""Tests for repro.deploy.streaming.StreamingDistHD."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DistHDConfig
+from repro.deploy.streaming import StreamingDistHD
+
+
+def _stream(problem, batch_size=32):
+    train_x, train_y, _, _ = problem
+    for start in range(0, train_x.shape[0], batch_size):
+        yield train_x[start : start + batch_size], train_y[start : start + batch_size]
+
+
+@pytest.fixture
+def model(small_problem):
+    train_x, _, _, _ = small_problem
+    config = DistHDConfig(dim=96, regen_rate=0.2, selection="union", seed=0)
+    return StreamingDistHD(
+        train_x.shape[1], 3, config, reservoir_size=120, regen_every=2
+    )
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"n_features": 0, "n_classes": 3}, "n_features"),
+            ({"n_features": 4, "n_classes": 1}, "n_classes"),
+            ({"n_features": 4, "n_classes": 2, "reservoir_size": 0}, "reservoir"),
+            ({"n_features": 4, "n_classes": 2, "regen_every": 0}, "regen_every"),
+        ],
+    )
+    def test_bad_params(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            StreamingDistHD(**kwargs)
+
+
+class TestPartialFit:
+    def test_learns_incrementally(self, model, small_problem):
+        _, _, test_x, test_y = small_problem
+        for xb, yb in _stream(small_problem):
+            model.partial_fit(xb, yb)
+        # Second epoch over the stream refines further.
+        for xb, yb in _stream(small_problem):
+            model.partial_fit(xb, yb)
+        assert model.score(test_x, test_y) > 0.75
+
+    def test_counters(self, model, small_problem):
+        batches = list(_stream(small_problem))
+        for xb, yb in batches:
+            model.partial_fit(xb, yb)
+        assert model.n_batches_ == len(batches)
+        assert model.n_samples_seen_ == sum(len(yb) for _, yb in batches)
+
+    def test_regeneration_happens(self, model, small_problem):
+        for _ in range(3):
+            for xb, yb in _stream(small_problem):
+                model.partial_fit(xb, yb)
+        assert model.total_regenerated_ > 0
+        assert model.effective_dim_ == 96 + model.total_regenerated_
+
+    def test_reservoir_bounded(self, model, small_problem):
+        for _ in range(3):
+            for xb, yb in _stream(small_problem):
+                model.partial_fit(xb, yb)
+        assert model._reservoir_x.shape[0] <= model.reservoir_size
+
+    def test_label_out_of_range_rejected(self, model):
+        with pytest.raises(ValueError, match="must lie in"):
+            model.partial_fit(np.ones((2, 20)), [0, 7])
+
+    def test_feature_mismatch_rejected(self, model):
+        with pytest.raises(ValueError, match="features"):
+            model.partial_fit(np.ones((2, 5)), [0, 1])
+
+
+class TestInference:
+    def test_predict_before_training_is_chance(self, model, small_problem):
+        _, _, test_x, _ = small_problem
+        # No partial_fit yet: memory is all zeros, predictions default to 0.
+        preds = model.predict(test_x)
+        assert preds.shape == (test_x.shape[0],)
+
+    def test_decision_scores_shape(self, model, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        model.partial_fit(train_x[:50], train_y[:50])
+        assert model.decision_scores(test_x).shape == (test_x.shape[0], 3)
+
+    def test_matches_batch_training_ballpark(self, small_problem):
+        """Streaming over the full set approaches batch-trained accuracy."""
+        from repro.core.disthd import DistHDClassifier
+
+        train_x, train_y, test_x, test_y = small_problem
+        batch = DistHDClassifier(dim=96, iterations=4, seed=0).fit(train_x, train_y)
+        stream = StreamingDistHD(
+            train_x.shape[1], 3, DistHDConfig(dim=96, seed=0)
+        )
+        for _ in range(4):
+            for xb, yb in _stream(small_problem):
+                stream.partial_fit(xb, yb)
+        assert stream.score(test_x, test_y) > batch.score(test_x, test_y) - 0.1

@@ -1,0 +1,171 @@
+"""Edge-case and failure-injection tests across the library.
+
+Degenerate inputs a downstream user will eventually feed the library:
+constant features, duplicated samples, heavy class imbalance, binary
+problems (where "incorrect" top-2 outcomes cannot exist), pure label noise,
+and single-feature data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.baselinehd import BaselineHDClassifier
+from repro.baselines.mlp import MLPClassifier
+from repro.core.disthd import DistHDClassifier
+from repro.core.topk import partition_outcomes
+from repro.datasets.preprocessing import StandardScaler
+from repro.datasets.synthetic import make_classification
+
+
+class TestBinaryProblems:
+    """With k=2, every mistake is 'partially correct' — N is always empty."""
+
+    @pytest.fixture(scope="class")
+    def binary(self):
+        X, y = make_classification(200, 10, 2, difficulty=0.5, seed=0)
+        scaler = StandardScaler().fit(X)
+        return scaler.transform(X), y
+
+    def test_disthd_trains_on_binary(self, binary):
+        X, y = binary
+        clf = DistHDClassifier(dim=64, iterations=5, seed=0).fit(X, y)
+        assert clf.score(X, y) > 0.7
+
+    def test_incorrect_set_always_empty(self, binary):
+        X, y = binary
+        clf = DistHDClassifier(dim=64, iterations=3, seed=0).fit(X, y)
+        encoded = clf.encode(X)
+        dense = np.searchsorted(clf.classes_, y)
+        part = partition_outcomes(clf.memory_, encoded, dense)
+        assert part.incorrect.size == 0
+        assert part.top2_accuracy() == 1.0
+
+    def test_intersection_regen_is_noop_on_binary(self, binary):
+        """Empty N -> empty intersection -> regeneration never fires."""
+        X, y = binary
+        clf = DistHDClassifier(
+            dim=64, iterations=5, regen_rate=0.3, seed=0,
+            convergence_patience=None,
+        ).fit(X, y)
+        assert clf.history_.total_regenerated == 0
+
+    def test_union_regen_still_works_on_binary(self, binary):
+        X, y = binary
+        clf = DistHDClassifier(
+            dim=64, iterations=5, regen_rate=0.3, selection="union", seed=0,
+            convergence_patience=None,
+        ).fit(X, y)
+        # M alone can drive regeneration when samples are mispredicted.
+        assert clf.score(X, y) > 0.7
+
+
+class TestDegenerateFeatures:
+    def test_constant_feature_column(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 6))
+        X[:, 2] = 7.0  # constant column
+        y = (X[:, 0] > 0).astype(int)
+        clf = DistHDClassifier(dim=64, iterations=4, seed=0).fit(X, y)
+        assert clf.score(X, y) > 0.8
+
+    def test_single_feature(self):
+        rng = np.random.default_rng(1)
+        X = np.concatenate([rng.normal(-2, 0.5, 60), rng.normal(2, 0.5, 60)])
+        y = np.repeat([0, 1], 60)
+        clf = DistHDClassifier(dim=64, iterations=4, seed=0).fit(
+            X.reshape(-1, 1), y
+        )
+        assert clf.score(X.reshape(-1, 1), y) > 0.9
+
+    def test_duplicated_samples(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(20, 5))
+        X = np.repeat(X, 5, axis=0)
+        y = np.repeat(rng.integers(0, 2, 20), 5)
+        clf = DistHDClassifier(dim=256, iterations=8, seed=0).fit(X, y)
+        # Labels are random w.r.t. features, so this is pure memorisation;
+        # a centroid model recalls most but not all arbitrary labelings.
+        assert clf.score(X, y) > 0.75
+
+
+class TestClassImbalance:
+    def test_rare_class_still_predicted(self):
+        X, y = make_classification(
+            600, 15, 3, difficulty=0.3,
+            class_weights=np.array([0.85, 0.10, 0.05]), seed=3,
+        )
+        scaler = StandardScaler().fit(X)
+        X = scaler.transform(X)
+        clf = DistHDClassifier(dim=128, iterations=8, seed=0).fit(X, y)
+        preds = clf.predict(X)
+        # The rare class must not be drowned out of the prediction space.
+        assert 2 in preds
+        rare_mask = y == 2
+        assert np.mean(preds[rare_mask] == 2) > 0.5
+
+
+class TestLabelNoiseResilience:
+    def test_moderate_label_noise_tolerated(self):
+        X, y = make_classification(
+            500, 20, 4, difficulty=0.3, label_noise=0.15, seed=4
+        )
+        scaler = StandardScaler().fit(X)
+        X = scaler.transform(X)
+        clf = DistHDClassifier(dim=128, iterations=8, seed=0).fit(X, y)
+        # Accuracy against the noisy labels is bounded by the noise itself,
+        # so just require well above the 4-class chance floor.
+        assert clf.score(X, y) > 0.6
+
+
+class TestExtremeSizes:
+    def test_two_samples_per_class(self):
+        X = np.array([[0.0, 0], [0.1, 0], [5.0, 5], [5.1, 5]])
+        y = np.array([0, 0, 1, 1])
+        clf = DistHDClassifier(dim=32, iterations=2, seed=0).fit(X, y)
+        assert clf.predict(np.array([[0.05, 0.0]]))[0] == 0
+
+    def test_many_classes_few_samples(self):
+        rng = np.random.default_rng(5)
+        centres = rng.normal(0, 4, size=(10, 8))
+        X = np.repeat(centres, 3, axis=0) + rng.normal(0, 0.1, (30, 8))
+        y = np.repeat(np.arange(10), 3)
+        clf = DistHDClassifier(dim=128, iterations=3, seed=0).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_dim_smaller_than_classes(self):
+        """D < k is unusual but must not crash."""
+        rng = np.random.default_rng(6)
+        centres = rng.normal(0, 4, size=(8, 10))
+        X = np.repeat(centres, 5, axis=0) + rng.normal(0, 0.1, (40, 10))
+        y = np.repeat(np.arange(8), 5)
+        clf = DistHDClassifier(dim=4, iterations=2, seed=0).fit(X, y)
+        assert clf.predict(X).shape == (40,)
+
+
+class TestMLPEdgeCases:
+    def test_wide_network_on_tiny_data(self):
+        X = np.array([[-1.5], [-0.5], [0.5], [1.5]])  # standardised-ish
+        y = np.array([0, 0, 1, 1])
+        clf = MLPClassifier(hidden_sizes=(256,), epochs=200, seed=0).fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    def test_batch_larger_than_dataset(self):
+        X = np.random.default_rng(7).normal(size=(10, 4))
+        y = np.arange(10) % 2
+        clf = MLPClassifier(
+            hidden_sizes=(8,), epochs=5, batch_size=1000, seed=0
+        ).fit(X, y)
+        assert clf.predict(X).shape == (10,)
+
+
+class TestBaselineHDEdgeCases:
+    def test_n_levels_two(self, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        clf = BaselineHDClassifier(
+            dim=128, iterations=4, n_levels=2, seed=0
+        ).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) > 0.4
+
+    def test_bad_n_levels(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            BaselineHDClassifier(n_levels=1)

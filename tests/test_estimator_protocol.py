@@ -1,0 +1,126 @@
+"""Estimator-protocol battery: every classifier honours the shared contract.
+
+One parametrized suite runs the same checks over every classifier in the
+library (sklearn's ``check_estimator`` in miniature): shapes, label
+remapping, reproducibility, error behaviour, decision-score consistency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.baselinehd import BaselineHDClassifier
+from repro.baselines.knn import KNNClassifier
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.neuralhd import NeuralHDClassifier
+from repro.baselines.onlinehd import OnlineHDClassifier
+from repro.baselines.svm import LinearSVMClassifier, RFFSVMClassifier
+from repro.core.disthd import DistHDClassifier
+
+FACTORIES = {
+    "disthd": lambda: DistHDClassifier(dim=64, iterations=3, seed=0),
+    "baselinehd": lambda: BaselineHDClassifier(dim=64, iterations=3, seed=0),
+    "neuralhd": lambda: NeuralHDClassifier(dim=64, iterations=3, seed=0),
+    "onlinehd": lambda: OnlineHDClassifier(dim=64, iterations=3, seed=0),
+    "mlp": lambda: MLPClassifier(hidden_sizes=(16,), epochs=5, seed=0),
+    "linear-svm": lambda: LinearSVMClassifier(epochs=5, seed=0),
+    "rff-svm": lambda: RFFSVMClassifier(n_components=64, epochs=5, seed=0),
+    "knn": lambda: KNNClassifier(k=3),
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES), scope="module")
+def name(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def fitted(name, small_problem):
+    train_x, train_y, _, _ = small_problem
+    return FACTORIES[name]().fit(train_x, train_y)
+
+
+class TestProtocol:
+    def test_fit_returns_self(self, name, small_problem):
+        train_x, train_y, _, _ = small_problem
+        model = FACTORIES[name]()
+        assert model.fit(train_x, train_y) is model
+
+    def test_predict_shape_and_dtype(self, fitted, small_problem):
+        _, _, test_x, _ = small_problem
+        preds = fitted.predict(test_x)
+        assert preds.shape == (test_x.shape[0],)
+        assert preds.dtype.kind in "iu"
+
+    def test_predictions_are_known_classes(self, fitted, small_problem):
+        _, _, test_x, _ = small_problem
+        assert set(np.unique(fitted.predict(test_x))) <= set(fitted.classes_)
+
+    def test_decision_scores_shape(self, fitted, small_problem):
+        _, _, test_x, _ = small_problem
+        scores = fitted.decision_scores(test_x)
+        assert scores.shape == (test_x.shape[0], fitted.n_classes_)
+        assert np.all(np.isfinite(scores))
+
+    def test_argmax_consistency(self, fitted, small_problem):
+        """predict == classes_[argmax(decision_scores)] for every model."""
+        _, _, test_x, _ = small_problem
+        scores = fitted.decision_scores(test_x)
+        expected = fitted.classes_[np.argmax(scores, axis=1)]
+        assert np.array_equal(fitted.predict(test_x), expected)
+
+    def test_predict_topk_contains_predict(self, fitted, small_problem):
+        _, _, test_x, _ = small_problem
+        topk = fitted.predict_topk(test_x, k=2)
+        assert np.array_equal(topk[:, 0], fitted.predict(test_x))
+
+    def test_score_between_zero_and_one(self, fitted, small_problem):
+        _, _, test_x, test_y = small_problem
+        assert 0.0 <= fitted.score(test_x, test_y) <= 1.0
+
+    def test_learns_above_chance(self, fitted, small_problem):
+        _, _, test_x, test_y = small_problem
+        assert fitted.score(test_x, test_y) > 1.0 / 3 + 0.1
+
+    def test_unfitted_predict_raises(self, name):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FACTORIES[name]().predict(np.ones((1, 4)))
+
+    def test_single_class_rejected(self, name):
+        with pytest.raises(ValueError, match="at least 2 classes"):
+            FACTORIES[name]().fit(np.ones((4, 3)), [2, 2, 2, 2])
+
+    def test_sample_count_mismatch_rejected(self, name):
+        with pytest.raises(ValueError, match="sample count"):
+            FACTORIES[name]().fit(np.ones((4, 3)), [0, 1])
+
+    def test_nan_features_rejected(self, name):
+        X = np.ones((4, 3))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            FACTORIES[name]().fit(X, [0, 1, 0, 1])
+
+    def test_noncontiguous_labels_roundtrip(self, name, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        remapped = np.array([-5, 100, 7])[train_y]
+        model = FACTORIES[name]().fit(train_x, remapped)
+        assert set(np.unique(model.predict(test_x))) <= {-5, 100, 7}
+
+    def test_reproducible_with_seed(self, name, small_problem):
+        train_x, train_y, test_x, _ = small_problem
+        a = FACTORIES[name]().fit(train_x, train_y).predict(test_x)
+        b = FACTORIES[name]().fit(train_x, train_y).predict(test_x)
+        assert np.array_equal(a, b)
+
+    def test_refit_overwrites_cleanly(self, name, small_problem):
+        """Fitting twice must behave like fitting once on the second data."""
+        train_x, train_y, test_x, _ = small_problem
+        once = FACTORIES[name]().fit(train_x, train_y)
+        twice = FACTORIES[name]()
+        twice.fit(train_x[: len(train_x) // 2], train_y[: len(train_y) // 2])
+        twice.fit(train_x, train_y)
+        assert np.array_equal(once.predict(test_x), twice.predict(test_x))
+
+    def test_feature_count_enforced_at_predict(self, fitted, small_problem):
+        train_x, _, _, _ = small_problem
+        with pytest.raises(ValueError, match="features"):
+            fitted.predict(np.ones((1, train_x.shape[1] + 3)))

@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile and import cleanly against the current
+API (full executions live in the examples themselves; the quickstart — the
+script most likely to be copy-pasted — is executed end to end).
+"""
+
+import importlib.util
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert {
+            "quickstart",
+            "activity_recognition",
+            "voice_roc_tuning",
+            "edge_robustness",
+            "regeneration_anatomy",
+            "streaming_edge",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = _load_module(path)
+        assert callable(getattr(module, "main", None)), (
+            f"{path.name} must expose a main() entry point"
+        )
+
+    def test_quickstart_runs(self, capsys):
+        module = _load_module(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert "effective dimensionality" in out

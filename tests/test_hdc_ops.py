@@ -1,0 +1,182 @@
+"""Tests for repro.hdc.ops — the §III-A operation algebra."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.ops import (
+    bind,
+    bundle,
+    cosine_similarity,
+    dot_similarity,
+    hamming_distance,
+    hamming_similarity,
+    normalize_rows,
+    permute,
+)
+from repro.hdc.spaces import random_bipolar
+
+
+class TestBundle:
+    def test_two_vectors(self):
+        out = bundle(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+        assert np.array_equal(out, [2.0, 0.0])
+
+    def test_batch_reduces(self):
+        batch = np.ones((3, 4))
+        assert np.array_equal(bundle(batch), np.full(4, 3.0))
+
+    def test_mixed_batch_and_vector(self):
+        out = bundle(np.ones((2, 3)), np.ones(3))
+        assert np.array_equal(out, np.full(3, 3.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bundle()
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            bundle(np.ones(3), np.ones(4))
+
+    def test_memory_property(self):
+        """Bundled set is similar to members, dissimilar to outsiders (paper §III-A)."""
+        hvs = random_bipolar(3, 2000, seed=0).astype(float)
+        bundled = bundle(hvs[0], hvs[1])
+        sim_member = cosine_similarity(bundled.reshape(1, -1), hvs[0].reshape(1, -1))
+        sim_outsider = cosine_similarity(bundled.reshape(1, -1), hvs[2].reshape(1, -1))
+        assert sim_member[0, 0] > 0.5
+        assert abs(sim_outsider[0, 0]) < 0.15
+
+
+class TestBind:
+    def test_elementwise_product(self):
+        assert np.array_equal(bind(np.array([2.0, 3.0]), np.array([4.0, -1.0])), [8.0, -3.0])
+
+    def test_bipolar_reversibility(self):
+        """bind(bind(a, b), a) == b for bipolar hypervectors (paper §III-A)."""
+        a = random_bipolar(1, 512, seed=1)[0].astype(float)
+        b = random_bipolar(1, 512, seed=2)[0].astype(float)
+        assert np.array_equal(bind(bind(a, b), a), b)
+
+    def test_near_orthogonal_to_inputs(self):
+        a = random_bipolar(1, 4096, seed=3)[0].astype(float)
+        b = random_bipolar(1, 4096, seed=4)[0].astype(float)
+        bound = bind(a, b)
+        sim = cosine_similarity(bound.reshape(1, -1), a.reshape(1, -1))[0, 0]
+        assert abs(sim) < 0.08
+
+    def test_broadcasts_batch(self):
+        batch = np.ones((3, 4))
+        v = np.full(4, 2.0)
+        assert bind(batch, v).shape == (3, 4)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            bind(np.ones(3), np.ones(5))
+
+
+class TestPermute:
+    def test_roll(self):
+        assert np.array_equal(permute(np.array([1.0, 2.0, 3.0])), [3.0, 1.0, 2.0])
+
+    def test_inverse(self):
+        v = np.arange(10.0)
+        assert np.array_equal(permute(permute(v, 3), -3), v)
+
+    def test_batch_rolls_rows(self):
+        batch = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = permute(batch, 1)
+        assert np.array_equal(out, [[2.0, 1.0], [4.0, 3.0]])
+
+    def test_preserves_similarity(self):
+        a = random_bipolar(1, 1024, seed=5)[0].astype(float)
+        b = random_bipolar(1, 1024, seed=6)[0].astype(float)
+        before = float(a @ b)
+        after = float(permute(a, 7) @ permute(b, 7))
+        assert before == pytest.approx(after)
+
+
+class TestNormalizeRows:
+    def test_unit_norm(self):
+        out = normalize_rows(np.array([[3.0, 4.0]]))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_zero_row_passthrough(self):
+        out = normalize_rows(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert np.array_equal(out[0], [0.0, 0.0])
+        assert np.array_equal(out[1], [1.0, 0.0])
+
+    def test_single_vector(self):
+        out = normalize_rows(np.array([0.0, 5.0]))
+        assert out.shape == (2,)
+        assert np.array_equal(out, [0.0, 1.0])
+
+
+class TestSimilarities:
+    def test_dot_shape(self):
+        q = np.ones((3, 4))
+        m = np.ones((2, 4))
+        assert dot_similarity(q, m).shape == (3, 2)
+
+    def test_dot_values(self):
+        q = np.array([[1.0, 0.0]])
+        m = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert np.array_equal(dot_similarity(q, m), [[2.0, 0.0]])
+
+    def test_cosine_self_is_one(self):
+        v = np.array([[1.0, 2.0, 3.0]])
+        assert cosine_similarity(v, v)[0, 0] == pytest.approx(1.0)
+
+    def test_cosine_orthogonal_is_zero(self):
+        q = np.array([[1.0, 0.0]])
+        m = np.array([[0.0, 1.0]])
+        assert cosine_similarity(q, m)[0, 0] == pytest.approx(0.0)
+
+    def test_cosine_zero_vector_gives_zero(self):
+        q = np.array([[0.0, 0.0]])
+        m = np.array([[1.0, 1.0]])
+        assert cosine_similarity(q, m)[0, 0] == 0.0
+
+    def test_cosine_scale_invariant(self):
+        q = np.array([[1.0, 2.0]])
+        m = np.array([[3.0, -1.0]])
+        a = cosine_similarity(q, m)
+        b = cosine_similarity(10.0 * q, 0.1 * m)
+        assert a[0, 0] == pytest.approx(b[0, 0])
+
+    def test_cosine_proportional_to_dot_with_normalized_memory(self):
+        """Equation (1): ranking by cosine == ranking by dot with N_l."""
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(5, 32))
+        m = rng.normal(size=(4, 32))
+        cos = cosine_similarity(q, m)
+        dot_norm = dot_similarity(q, normalize_rows(m))
+        assert np.array_equal(np.argsort(cos, axis=1), np.argsort(dot_norm, axis=1))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            cosine_similarity(np.ones((1, 3)), np.ones((1, 4)))
+
+
+class TestHamming:
+    def test_distance_identical(self):
+        v = random_bipolar(1, 64, seed=0)[0]
+        assert hamming_distance(v, v) == 0.0
+
+    def test_distance_opposite(self):
+        v = random_bipolar(1, 64, seed=0)[0]
+        assert hamming_distance(v, -v) == 1.0
+
+    def test_similarity_matrix(self):
+        q = np.array([[1, -1, 1, -1]])
+        m = np.array([[1, -1, 1, -1], [-1, 1, -1, 1]])
+        out = hamming_similarity(q, m)
+        assert np.array_equal(out, [[1.0, 0.0]])
+
+    def test_random_pairs_near_half(self):
+        a = random_bipolar(1, 4096, seed=1)[0]
+        b = random_bipolar(1, 4096, seed=2)[0]
+        assert abs(hamming_distance(a, b) - 0.5) < 0.05
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            hamming_distance(np.ones(4), np.ones(5))

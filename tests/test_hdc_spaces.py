@@ -1,0 +1,101 @@
+"""Tests for repro.hdc.spaces."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.spaces import (
+    expected_orthogonality_bound,
+    random_binary,
+    random_bipolar,
+    random_gaussian,
+    random_level_hypervectors,
+)
+
+
+class TestRandomBipolar:
+    def test_values(self):
+        hv = random_bipolar(4, 100, seed=0)
+        assert set(np.unique(hv)) <= {-1, 1}
+        assert hv.shape == (4, 100)
+        assert hv.dtype == np.int8
+
+    def test_deterministic(self):
+        assert np.array_equal(random_bipolar(2, 50, seed=7), random_bipolar(2, 50, seed=7))
+
+    def test_balanced(self):
+        hv = random_bipolar(1, 10000, seed=1)[0]
+        assert abs(hv.mean()) < 0.05
+
+    @pytest.mark.parametrize("n,dim", [(0, 10), (10, 0), (-1, 5)])
+    def test_bad_shapes(self, n, dim):
+        with pytest.raises(ValueError):
+            random_bipolar(n, dim)
+
+    def test_near_orthogonality(self):
+        """Independent random bipolar hypervectors have |cos| within the Hoeffding bound."""
+        dim = 4096
+        hvs = random_bipolar(2, dim, seed=3).astype(float)
+        cos = float(hvs[0] @ hvs[1]) / dim
+        assert abs(cos) <= expected_orthogonality_bound(dim)
+
+
+class TestRandomBinary:
+    def test_values(self):
+        hv = random_binary(3, 64, seed=0)
+        assert set(np.unique(hv)) <= {0, 1}
+
+    def test_shape(self):
+        assert random_binary(3, 64, seed=0).shape == (3, 64)
+
+
+class TestRandomGaussian:
+    def test_moments(self):
+        hv = random_gaussian(1, 100_000, seed=0)[0]
+        assert abs(hv.mean()) < 0.02
+        assert abs(hv.std() - 1.0) < 0.02
+
+    def test_scale(self):
+        hv = random_gaussian(1, 100_000, seed=0, scale=2.0)[0]
+        assert abs(hv.std() - 2.0) < 0.05
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            random_gaussian(1, 10, scale=0.0)
+
+
+class TestLevelHypervectors:
+    def test_shape_and_dtype(self):
+        levels = random_level_hypervectors(8, 256, seed=0)
+        assert levels.shape == (8, 256)
+        assert set(np.unique(levels)) <= {-1, 1}
+
+    def test_single_level(self):
+        assert random_level_hypervectors(1, 64, seed=0).shape == (1, 64)
+
+    def test_similarity_decreases_with_level_distance(self):
+        levels = random_level_hypervectors(16, 4096, seed=1).astype(float)
+        dim = levels.shape[1]
+        sim_adjacent = float(levels[0] @ levels[1]) / dim
+        sim_mid = float(levels[0] @ levels[8]) / dim
+        sim_far = float(levels[0] @ levels[15]) / dim
+        assert sim_adjacent > sim_mid > sim_far
+
+    def test_extremes_near_orthogonal(self):
+        levels = random_level_hypervectors(16, 4096, seed=2).astype(float)
+        dim = levels.shape[1]
+        assert abs(float(levels[0] @ levels[-1]) / dim) < 0.1
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ValueError):
+            random_level_hypervectors(0, 16)
+
+
+class TestOrthogonalityBound:
+    def test_decreases_with_dim(self):
+        assert expected_orthogonality_bound(10_000) < expected_orthogonality_bound(100)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            expected_orthogonality_bound(0)
+        with pytest.raises(ValueError):
+            expected_orthogonality_bound(100, confidence=1.0)

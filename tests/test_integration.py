@@ -1,0 +1,114 @@
+"""Integration tests: full workflows across modules."""
+
+import numpy as np
+import pytest
+
+from repro import DistHDClassifier, load_dataset
+from repro.baselines import (
+    BaselineHDClassifier,
+    KNNClassifier,
+    MLPClassifier,
+    NeuralHDClassifier,
+    OnlineHDClassifier,
+)
+from repro.metrics.roc import auc, roc_curve_ovr
+from repro.noise.robustness import evaluate_quality_loss
+from repro.pipeline.experiment import run_experiment
+from repro.pipeline.grid import grid_search
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("ucihar", scale=0.05, seed=0)
+
+
+class TestEndToEndTraining:
+    def test_disthd_full_pipeline(self, dataset):
+        """Load → fit → predict → top-2 → robustness, all through public API."""
+        clf = DistHDClassifier(dim=256, iterations=10, seed=0)
+        clf.fit(dataset.train_x, dataset.train_y)
+        accuracy = clf.score(dataset.test_x, dataset.test_y)
+        assert accuracy > 0.6
+
+        top2 = clf.predict_topk(dataset.test_x, 2)
+        top2_acc = np.mean(np.any(top2 == dataset.test_y[:, None], axis=1))
+        assert top2_acc >= accuracy
+
+        point = evaluate_quality_loss(
+            clf, dataset.test_x, dataset.test_y,
+            bits=1, error_rate=0.02, n_trials=2, seed=0,
+        )
+        assert point.quality_loss < 20.0
+
+    def test_every_classifier_trains_on_analog(self, dataset):
+        small = dataset.subset(150, 50)
+        models = [
+            DistHDClassifier(dim=96, iterations=3, seed=0),
+            BaselineHDClassifier(dim=96, iterations=3, seed=0),
+            NeuralHDClassifier(dim=96, iterations=3, seed=0),
+            OnlineHDClassifier(dim=96, iterations=3, seed=0),
+            MLPClassifier(hidden_sizes=(32,), epochs=5, seed=0),
+            KNNClassifier(k=3),
+        ]
+        for model in models:
+            result = run_experiment(model, small)
+            assert result.test_accuracy > 1.0 / 12  # above chance
+
+    def test_grid_search_on_disthd(self, dataset):
+        small = dataset.subset(150, 50)
+        result = grid_search(
+            lambda **p: DistHDClassifier(dim=64, iterations=3, seed=0, **p),
+            {"regen_rate": [0.0, 0.2]},
+            small.train_x,
+            small.train_y,
+            seed=0,
+        )
+        assert result.best_params["regen_rate"] in (0.0, 0.2)
+
+
+class TestRocWorkflow:
+    def test_multiclass_roc_from_decision_scores(self, dataset):
+        clf = DistHDClassifier(dim=128, iterations=5, seed=0)
+        clf.fit(dataset.train_x, dataset.train_y)
+        scores = clf.decision_scores(dataset.test_x)
+        dense = np.searchsorted(clf.classes_, dataset.test_y)
+        curves = roc_curve_ovr(dense, scores)
+        micro_auc = auc(*curves["micro"])
+        assert micro_auc > 0.75
+
+
+class TestDimensionRegenerationEffect:
+    def test_regeneration_grows_effective_dim_without_memory_blowup(self, dataset):
+        small = dataset.subset(200, 50)
+        clf = DistHDClassifier(
+            dim=128, iterations=10, regen_rate=0.2, selection="union",
+            convergence_patience=None, seed=0,
+        )
+        clf.fit(small.train_x, small.train_y)
+        assert clf.effective_dim_ > 128
+        # Physical memory stays (k, D) regardless of D*.
+        assert clf.memory_.vectors.shape == (12, 128)
+
+    def test_effective_dim_bounded_by_paper_formula(self, dataset):
+        small = dataset.subset(200, 50)
+        cfg_iters, rate, dim = 8, 0.25, 96
+        clf = DistHDClassifier(
+            dim=dim, iterations=cfg_iters, regen_rate=rate, selection="union",
+            convergence_patience=None, seed=0,
+        )
+        clf.fit(small.train_x, small.train_y)
+        # Union selection can pick up to R%·D per matrix per iteration.
+        upper = dim + 2 * dim * rate * cfg_iters
+        assert clf.effective_dim_ <= upper + 1e-9
+
+
+class TestSerializationSurface:
+    def test_memory_copy_supports_snapshotting(self, dataset):
+        small = dataset.subset(150, 40)
+        clf = DistHDClassifier(dim=96, iterations=3, seed=0)
+        clf.fit(small.train_x, small.train_y)
+        snapshot = clf.memory_.copy()
+        clf.memory_.vectors[:] = 0.0
+        assert snapshot.vectors.any()
+        clf.memory_.vectors[:] = snapshot.vectors
+        assert clf.score(small.test_x, small.test_y) > 0.3

@@ -1,0 +1,89 @@
+"""Tests for repro.metrics.classification."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+    topk_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert accuracy([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            accuracy([1], [1, 2])
+
+
+class TestTopkAccuracy:
+    def test_k1_is_argmax_accuracy(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert topk_accuracy([0, 1], scores, 1) == 1.0
+        assert topk_accuracy([1, 0], scores, 1) == 0.0
+
+    def test_k2_recovers_second_place(self):
+        scores = np.array([[0.9, 0.5, 0.1]])
+        assert topk_accuracy([1], scores, 1) == 0.0
+        assert topk_accuracy([1], scores, 2) == 1.0
+
+    def test_monotone_in_k(self, rng):
+        scores = rng.normal(size=(50, 6))
+        labels = rng.integers(0, 6, 50)
+        accs = [topk_accuracy(labels, scores, k) for k in range(1, 7)]
+        assert all(a <= b for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == 1.0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError, match="k must lie"):
+            topk_accuracy([0], np.ones((1, 3)), 4)
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError, match="index score columns"):
+            topk_accuracy([5], np.ones((1, 3)), 1)
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError, match="sample count"):
+            topk_accuracy([0, 1], np.ones((1, 3)), 1)
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        cm = confusion_matrix([0, 1, 2], [0, 1, 2])
+        assert np.array_equal(cm, np.eye(3, dtype=np.int64))
+
+    def test_rows_true_columns_pred(self):
+        cm = confusion_matrix([0, 0, 1], [1, 1, 1], n_classes=2)
+        assert cm[0, 1] == 2
+        assert cm[1, 1] == 1
+        assert cm.sum() == 3
+
+    def test_explicit_class_count(self):
+        cm = confusion_matrix([0], [0], n_classes=5)
+        assert cm.shape == (5, 5)
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            confusion_matrix([-1], [0])
+
+    def test_labels_exceeding_n_classes(self):
+        with pytest.raises(ValueError, match="exceed"):
+            confusion_matrix([3], [0], n_classes=2)
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        out = per_class_accuracy([0, 0, 1, 1], [0, 1, 1, 1])
+        assert out[0] == 0.5
+        assert out[1] == 1.0
+
+    def test_only_present_classes(self):
+        out = per_class_accuracy([2, 2], [2, 0])
+        assert set(out) == {2}

@@ -1,0 +1,91 @@
+"""Tests for repro.metrics.roc."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.roc import auc, roc_auc_score, roc_curve, roc_curve_ovr
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        fpr, tpr, _ = roc_curve([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_zero(self):
+        fpr, tpr, _ = roc_curve([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9])
+        assert auc(fpr, tpr) == pytest.approx(0.0)
+
+    def test_random_scores_auc_near_half(self, rng):
+        y = rng.integers(0, 2, 2000)
+        scores = rng.normal(size=2000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_endpoints(self):
+        fpr, tpr, _ = roc_curve([0, 1, 0, 1], [0.3, 0.6, 0.5, 0.9])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone(self, rng):
+        y = rng.integers(0, 2, 100)
+        scores = rng.normal(size=100)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_tied_scores_collapse(self):
+        fpr, tpr, thresholds = roc_curve([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5])
+        # One distinct score -> origin plus a single (1,1) point.
+        assert len(fpr) == 2
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="positive and negative"):
+            roc_curve([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            roc_curve([0, 1, 2], [0.1, 0.2, 0.3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            roc_curve([0, 1], [0.5])
+
+
+class TestAuc:
+    def test_unit_square_diagonal(self):
+        assert auc([0.0, 1.0], [0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_requires_sorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            auc([1.0, 0.0], [0.0, 1.0])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="2 points"):
+            auc([0.5], [0.5])
+
+
+class TestRocOvr:
+    def test_micro_curve_present(self, rng):
+        y = rng.integers(0, 3, 120)
+        scores = rng.normal(size=(120, 3))
+        scores[np.arange(120), y] += 1.5  # informative scores
+        curves = roc_curve_ovr(y, scores)
+        assert "micro" in curves
+        assert {"class_0", "class_1", "class_2"} <= set(curves)
+
+    def test_informative_scores_beat_chance(self, rng):
+        y = rng.integers(0, 3, 300)
+        scores = rng.normal(size=(300, 3))
+        scores[np.arange(300), y] += 2.0
+        fpr, tpr = roc_curve_ovr(y, scores)["micro"]
+        assert auc(fpr, tpr) > 0.8
+
+    def test_absent_class_skipped(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.random.default_rng(0).normal(size=(4, 3))
+        curves = roc_curve_ovr(y, scores)
+        assert "class_2" not in curves
+        assert "micro" in curves
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError, match="index score columns"):
+            roc_curve_ovr([5], np.ones((1, 3)))

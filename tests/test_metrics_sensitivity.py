@@ -1,0 +1,59 @@
+"""Tests for repro.metrics.sensitivity."""
+
+import pytest
+
+from repro.metrics.sensitivity import BinaryRates, binary_rates, sensitivity_specificity
+
+
+class TestBinaryRates:
+    def test_counts(self):
+        rates = binary_rates([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (rates.tp, rates.fn, rates.fp, rates.tn) == (1, 1, 1, 1)
+
+    def test_sensitivity_is_one_minus_fnr(self):
+        """Paper §III: sensitivity = 1 - FNR."""
+        rates = binary_rates([1, 1, 1, 0], [1, 1, 0, 0])
+        assert rates.sensitivity == pytest.approx(1.0 - rates.fnr)
+        assert rates.sensitivity == pytest.approx(2 / 3)
+
+    def test_specificity_is_one_minus_fpr(self):
+        rates = binary_rates([0, 0, 0, 1], [0, 0, 1, 1])
+        assert rates.specificity == pytest.approx(1.0 - rates.fpr)
+        assert rates.specificity == pytest.approx(2 / 3)
+
+    def test_custom_positive_label(self):
+        rates = binary_rates([2, 2, 0], [2, 0, 0], positive_label=2)
+        assert rates.tp == 1
+        assert rates.fn == 1
+
+    def test_degenerate_no_positives(self):
+        rates = BinaryRates(tp=0, fp=0, tn=5, fn=0)
+        assert rates.sensitivity == 0.0
+        assert rates.specificity == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            binary_rates([1], [1, 0])
+
+
+class TestSensitivitySpecificity:
+    def test_perfect_predictions(self):
+        out = sensitivity_specificity([0, 1, 2], [0, 1, 2])
+        assert out["sensitivity"] == pytest.approx(1.0)
+        assert out["specificity"] == pytest.approx(1.0)
+
+    def test_always_wrong(self):
+        out = sensitivity_specificity([0, 1], [1, 0])
+        assert out["sensitivity"] == pytest.approx(0.0)
+
+    def test_macro_average(self):
+        # class 0: recall 1.0; class 1: recall 0.0  -> macro sensitivity 0.5
+        out = sensitivity_specificity([0, 0, 1, 1], [0, 0, 0, 0])
+        assert out["sensitivity"] == pytest.approx(0.5)
+
+    def test_values_in_unit_interval(self, rng):
+        y = rng.integers(0, 4, 100)
+        p = rng.integers(0, 4, 100)
+        out = sensitivity_specificity(y, p)
+        assert 0.0 <= out["sensitivity"] <= 1.0
+        assert 0.0 <= out["specificity"] <= 1.0

@@ -1,0 +1,63 @@
+"""Tests for repro.metrics.timing."""
+
+import time
+
+import pytest
+
+from repro.metrics.timing import Timer, TimingRecord, time_call
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= first
+
+
+class TestTimeCall:
+    def test_returns_result(self):
+        result, elapsed = time_call(lambda a, b: a + b, 2, 3)
+        assert result == 5
+        assert elapsed >= 0.0
+
+    def test_repeats_take_minimum(self):
+        calls = []
+
+        def variable():
+            calls.append(None)
+            time.sleep(0.01 if len(calls) == 1 else 0.001)
+
+        _, elapsed = time_call(variable, repeats=3)
+        assert elapsed < 0.009  # the fast runs win
+
+    def test_kwargs_forwarded(self):
+        result, _ = time_call(lambda *, x: x * 2, x=4)
+        assert result == 8
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            time_call(lambda: None, repeats=0)
+
+
+class TestTimingRecord:
+    def test_speedup_over(self):
+        fast = TimingRecord("fast", "ds", train_seconds=1.0, inference_seconds=0.1)
+        slow = TimingRecord("slow", "ds", train_seconds=5.0, inference_seconds=0.8)
+        speedup = fast.speedup_over(slow)
+        assert speedup["train"] == pytest.approx(5.0)
+        assert speedup["inference"] == pytest.approx(8.0)
+
+    def test_zero_division_guarded(self):
+        instant = TimingRecord("x", "ds", train_seconds=0.0, inference_seconds=0.0)
+        other = TimingRecord("y", "ds", train_seconds=1.0, inference_seconds=1.0)
+        speedup = instant.speedup_over(other)
+        assert speedup["train"] > 0

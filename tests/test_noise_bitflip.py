@@ -1,0 +1,84 @@
+"""Tests for repro.noise.bitflip."""
+
+import numpy as np
+import pytest
+
+from repro.noise.bitflip import corrupt_array, flip_bits
+from repro.noise.quantization import dequantize, quantize
+
+
+class TestFlipBits:
+    def test_zero_rate_is_identity(self, rng):
+        qt = quantize(rng.normal(size=(10, 10)), 8)
+        flipped = flip_bits(qt, 0.0, seed=0)
+        assert np.array_equal(flipped.codes, qt.codes)
+
+    def test_input_unmodified(self, rng):
+        qt = quantize(rng.normal(size=(10, 10)), 8)
+        before = qt.codes.copy()
+        flip_bits(qt, 0.5, seed=0)
+        assert np.array_equal(qt.codes, before)
+
+    def test_exact_flip_count(self, rng):
+        """rate × total bits flip, each at a distinct position."""
+        qt = quantize(rng.normal(size=(100,)), 8)
+        flipped = flip_bits(qt, 0.10, seed=1)
+        diff_bits = sum(
+            bin(int(a) ^ int(b)).count("1")
+            for a, b in zip(qt.codes, flipped.codes)
+        )
+        assert diff_bits == round(0.10 * qt.n_bits_total)
+
+    def test_full_rate_flips_everything(self, rng):
+        qt = quantize(rng.normal(size=(50,)), 4)
+        flipped = flip_bits(qt, 1.0, seed=2)
+        # Every meaningful bit flipped -> codes XOR to the 4-bit mask.
+        assert np.all((qt.codes ^ flipped.codes) == 0x0F)
+
+    def test_deterministic(self, rng):
+        qt = quantize(rng.normal(size=(30,)), 8)
+        a = flip_bits(qt, 0.2, seed=7)
+        b = flip_bits(qt, 0.2, seed=7)
+        assert np.array_equal(a.codes, b.codes)
+
+    def test_one_bit_tensor(self, rng):
+        qt = quantize(rng.normal(size=(1000,)), 1)
+        flipped = flip_bits(qt, 0.1, seed=3)
+        assert np.sum(flipped.codes != qt.codes) == 100
+
+    def test_bad_rate(self, rng):
+        qt = quantize(rng.normal(size=(4,)), 8)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            flip_bits(qt, 1.5)
+
+
+class TestCorruptArray:
+    def test_shape_preserved(self, rng):
+        arr = rng.normal(size=(6, 7))
+        assert corrupt_array(arr, 8, 0.05, seed=0).shape == (6, 7)
+
+    def test_zero_rate_equals_quantized(self, rng):
+        arr = rng.normal(size=(10,))
+        corrupted = corrupt_array(arr, 8, 0.0, seed=0)
+        assert np.array_equal(corrupted, dequantize(quantize(arr, 8)))
+
+    def test_damage_grows_with_rate(self, rng):
+        arr = rng.normal(size=(200,))
+        clean = dequantize(quantize(arr, 8))
+        damage = [
+            np.abs(corrupt_array(arr, 8, rate, seed=1) - clean).mean()
+            for rate in (0.01, 0.10, 0.40)
+        ]
+        assert damage[0] < damage[1] < damage[2]
+
+    def test_high_bit_flips_hurt_more_than_low(self, rng):
+        """Sign/MSB flips cause large value changes (the Fig. 8 asymmetry)."""
+        arr = np.full(1000, 1.0)
+        qt = quantize(arr, 8)
+        msb = qt.copy()
+        msb.codes = msb.codes ^ np.uint8(0x80)  # flip sign bit everywhere
+        lsb = qt.copy()
+        lsb.codes = lsb.codes ^ np.uint8(0x01)
+        msb_damage = np.abs(dequantize(msb) - arr).mean()
+        lsb_damage = np.abs(dequantize(lsb) - arr).mean()
+        assert msb_damage > 50 * lsb_damage

@@ -1,0 +1,88 @@
+"""Tests for repro.noise.quantization."""
+
+import numpy as np
+import pytest
+
+from repro.noise.quantization import (
+    QuantizedTensor,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+
+
+class TestQuantizeRoundtrip:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_roundtrip_error_bounded(self, bits, rng):
+        arr = rng.normal(size=(20, 30))
+        restored = dequantize(quantize(arr, bits))
+        q_max = 2 ** (bits - 1) - 1
+        max_err = np.abs(arr).max() / q_max  # one quantisation step
+        assert np.abs(arr - restored).max() <= max_err + 1e-12
+
+    def test_higher_precision_lower_error(self, rng):
+        arr = rng.normal(size=(50, 50))
+        errors = [quantization_error(arr, b) for b in (2, 4, 8)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_shape_preserved(self, rng):
+        arr = rng.normal(size=(3, 4, 1)).reshape(3, 4)
+        assert dequantize(quantize(arr, 4)).shape == (3, 4)
+
+    def test_zeros_roundtrip_exact(self):
+        arr = np.zeros((5, 5))
+        assert np.array_equal(dequantize(quantize(arr, 8)), arr)
+
+    def test_extremes_preserved(self):
+        arr = np.array([[-2.0, 2.0, 0.0]])
+        restored = dequantize(quantize(arr, 8))
+        assert restored[0, 0] == pytest.approx(-2.0, rel=0.02)
+        assert restored[0, 1] == pytest.approx(2.0, rel=0.02)
+
+
+class TestOneBit:
+    def test_codes_binary(self, rng):
+        qt = quantize(rng.normal(size=(10, 10)), 1)
+        assert set(np.unique(qt.codes)) <= {0, 1}
+
+    def test_sign_preserved(self, rng):
+        arr = rng.normal(size=(10, 10))
+        arr[np.abs(arr) < 0.1] += 0.2  # avoid near-zero sign ambiguity
+        restored = dequantize(quantize(arr, 1))
+        assert np.array_equal(np.sign(restored), np.sign(arr))
+
+    def test_magnitude_is_mean_abs(self, rng):
+        arr = rng.normal(size=(100,))
+        qt = quantize(arr, 1)
+        assert qt.scale == pytest.approx(np.mean(np.abs(arr)))
+
+
+class TestValidation:
+    def test_bad_bits(self):
+        with pytest.raises(ValueError, match="bits"):
+            quantize(np.ones(4), 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantize(np.empty(0), 8)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize(np.array([np.nan]), 8)
+
+
+class TestQuantizedTensor:
+    def test_total_bits(self, rng):
+        qt = quantize(rng.normal(size=(4, 5)), 4)
+        assert qt.n_bits_total == 20 * 4
+
+    def test_copy_independent(self, rng):
+        qt = quantize(rng.normal(size=(4,)), 8)
+        clone = qt.copy()
+        clone.codes[0] ^= 0xFF
+        assert not np.array_equal(clone.codes, qt.codes)
+
+    def test_codes_fit_in_bits(self, rng):
+        for bits in (1, 2, 4, 8):
+            qt = quantize(rng.normal(size=(50,)), bits)
+            assert qt.codes.max() < (1 << bits)

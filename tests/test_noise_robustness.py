@@ -1,0 +1,130 @@
+"""Tests for repro.noise.robustness — model-level fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNClassifier
+from repro.baselines.mlp import MLPClassifier
+from repro.core.disthd import DistHDClassifier
+from repro.noise.robustness import (
+    RobustnessPoint,
+    evaluate_quality_loss,
+    perturb_classifier,
+    quality_loss_sweep,
+    robustness_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_models(small_problem):
+    train_x, train_y, _, _ = small_problem
+    hdc = DistHDClassifier(dim=96, iterations=5, seed=0).fit(train_x, train_y)
+    mlp = MLPClassifier(hidden_sizes=(16,), epochs=10, seed=0).fit(train_x, train_y)
+    return hdc, mlp
+
+
+class TestPerturbClassifier:
+    def test_hdc_memory_perturbed(self, fitted_models):
+        hdc, _ = fitted_models
+        noisy = perturb_classifier(hdc, bits=8, error_rate=0.3, seed=0)
+        assert not np.allclose(noisy.memory_.vectors, hdc.memory_.vectors)
+
+    def test_original_untouched(self, fitted_models):
+        hdc, _ = fitted_models
+        before = hdc.memory_.vectors.copy()
+        perturb_classifier(hdc, bits=8, error_rate=0.5, seed=0)
+        assert np.array_equal(hdc.memory_.vectors, before)
+
+    def test_mlp_parameters_perturbed(self, fitted_models):
+        _, mlp = fitted_models
+        noisy = perturb_classifier(mlp, bits=8, error_rate=0.3, seed=0)
+        assert not np.allclose(noisy.weights_[0], mlp.weights_[0])
+
+    def test_zero_rate_keeps_predictions_close(self, fitted_models, small_problem):
+        hdc, _ = fitted_models
+        _, _, test_x, _ = small_problem
+        noisy = perturb_classifier(hdc, bits=8, error_rate=0.0, seed=0)
+        # Only quantisation error remains; predictions nearly identical.
+        agreement = np.mean(noisy.predict(test_x) == hdc.predict(test_x))
+        assert agreement > 0.95
+
+    def test_unsupported_model_rejected(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        knn = KNNClassifier(k=3).fit(train_x, train_y)
+        with pytest.raises(TypeError, match="don't know how to perturb"):
+            perturb_classifier(knn, bits=8, error_rate=0.1)
+
+
+class TestEvaluateQualityLoss:
+    def test_point_fields(self, fitted_models, small_problem):
+        hdc, _ = fitted_models
+        _, _, test_x, test_y = small_problem
+        point = evaluate_quality_loss(
+            hdc, test_x, test_y, bits=8, error_rate=0.05, n_trials=2, seed=0
+        )
+        assert point.bits == 8
+        assert point.error_rate == 0.05
+        assert 0.0 <= point.noisy_accuracy <= 1.0
+        assert point.quality_loss >= 0.0
+
+    def test_quality_loss_clamped_nonnegative(self):
+        point = RobustnessPoint(
+            error_rate=0.1, bits=8, clean_accuracy=0.8, noisy_accuracy=0.85
+        )
+        assert point.quality_loss == 0.0
+
+    def test_bad_trials(self, fitted_models, small_problem):
+        hdc, _ = fitted_models
+        _, _, test_x, test_y = small_problem
+        with pytest.raises(ValueError, match="n_trials"):
+            evaluate_quality_loss(
+                hdc, test_x, test_y, bits=8, error_rate=0.1, n_trials=0
+            )
+
+
+class TestQualityLossSweep:
+    def test_sweep_grid(self, fitted_models, small_problem):
+        hdc, _ = fitted_models
+        _, _, test_x, test_y = small_problem
+        points = quality_loss_sweep(
+            hdc, test_x, test_y, bits=1,
+            error_rates=(0.01, 0.10), n_trials=2, seed=0,
+        )
+        assert [p.error_rate for p in points] == [0.01, 0.10]
+
+    def test_loss_trend_with_rate(self, fitted_models, small_problem):
+        """Severe corruption loses more quality than mild corruption."""
+        hdc, _ = fitted_models
+        _, _, test_x, test_y = small_problem
+        points = quality_loss_sweep(
+            hdc, test_x, test_y, bits=8,
+            error_rates=(0.0, 0.45), n_trials=3, seed=1,
+        )
+        assert points[0].quality_loss <= points[1].quality_loss
+
+
+class TestRobustnessRatio:
+    def test_simple_ratio(self):
+        assert robustness_ratio([10.0, 20.0], [1.0, 2.0]) == pytest.approx(10.0)
+
+    def test_zero_candidate_clamped(self):
+        assert robustness_ratio([5.0], [0.0]) == pytest.approx(50.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            robustness_ratio([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            robustness_ratio([], [])
+
+
+class TestHolographicRobustness:
+    def test_hdc_1bit_tolerates_moderate_flips(self, small_problem):
+        """The paper's core robustness claim: 1-bit HDC degrades gracefully."""
+        train_x, train_y, test_x, test_y = small_problem
+        hdc = DistHDClassifier(dim=512, iterations=5, seed=0).fit(train_x, train_y)
+        point = evaluate_quality_loss(
+            hdc, test_x, test_y, bits=1, error_rate=0.05, n_trials=3, seed=0
+        )
+        assert point.quality_loss < 15.0  # percentage points

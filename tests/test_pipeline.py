@@ -1,0 +1,142 @@
+"""Tests for repro.pipeline — experiment runner, grid search, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNClassifier
+from repro.core.disthd import DistHDClassifier
+from repro.datasets.loaders import load_dataset
+from repro.pipeline.experiment import run_experiment, run_suite
+from repro.pipeline.grid import grid_search, parameter_grid
+from repro.pipeline.report import (
+    format_comparison,
+    format_markdown_table,
+    format_series,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return load_dataset("diabetes", scale=0.005, seed=0)
+
+
+class TestRunExperiment:
+    def test_result_fields(self, tiny_dataset):
+        clf = DistHDClassifier(dim=64, iterations=3, seed=0)
+        result = run_experiment(clf, tiny_dataset, model_name="disthd")
+        assert result.model_name == "disthd"
+        assert result.dataset_name == "diabetes"
+        assert 0.0 <= result.test_accuracy <= 1.0
+        assert result.top2_accuracy >= result.test_accuracy
+        assert result.train_seconds > 0
+        assert result.inference_seconds > 0
+
+    def test_extras_for_hdc(self, tiny_dataset):
+        clf = DistHDClassifier(dim=64, iterations=3, seed=0)
+        result = run_experiment(clf, tiny_dataset)
+        assert "n_iterations" in result.extras
+        assert "effective_dim" in result.extras
+        assert result.extras["physical_dim"] == 64.0
+
+    def test_default_name_is_class(self, tiny_dataset):
+        clf = KNNClassifier(k=3)
+        result = run_experiment(clf, tiny_dataset)
+        assert result.model_name == "KNNClassifier"
+
+    def test_top3_none_for_3class_is_computed(self, tiny_dataset):
+        clf = KNNClassifier(k=3)
+        result = run_experiment(clf, tiny_dataset)
+        assert result.top3_accuracy == pytest.approx(1.0)  # 3-class top-3
+
+    def test_as_row_flattens(self, tiny_dataset):
+        result = run_experiment(KNNClassifier(k=3), tiny_dataset)
+        row = result.as_row()
+        assert row["model"] == "KNNClassifier"
+        assert "test_acc" in row
+
+    def test_bad_repeats(self, tiny_dataset):
+        with pytest.raises(ValueError, match="inference_repeats"):
+            run_experiment(KNNClassifier(), tiny_dataset, inference_repeats=0)
+
+    def test_run_suite(self, tiny_dataset):
+        results = run_suite(
+            {
+                "knn": lambda: KNNClassifier(k=3),
+                "disthd": lambda: DistHDClassifier(dim=48, iterations=2, seed=0),
+            },
+            tiny_dataset,
+        )
+        assert set(results) == {"knn", "disthd"}
+        assert results["knn"].model_name == "knn"
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = list(parameter_grid({"a": [1, 2], "b": ["x", "y"]}))
+        assert len(grid) == 4
+        assert {"a": 2, "b": "y"} in grid
+
+    def test_empty_space(self):
+        assert list(parameter_grid({})) == [{}]
+
+    def test_deterministic_order(self):
+        a = list(parameter_grid({"b": [1, 2], "a": [3]}))
+        b = list(parameter_grid({"a": [3], "b": [1, 2]}))
+        assert a == b
+
+
+class TestGridSearch:
+    def test_finds_better_k(self, medium_problem):
+        train_x, train_y, _, _ = medium_problem
+        result = grid_search(
+            lambda **p: KNNClassifier(**p),
+            {"k": [1, 50]},
+            train_x,
+            train_y,
+            seed=0,
+        )
+        assert result.best_params["k"] in (1, 50)
+        assert len(result.all_results) == 2
+        assert result.best_score == max(r["score"] for r in result.all_results)
+
+    def test_all_results_carry_params(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        result = grid_search(
+            lambda **p: KNNClassifier(**p), {"k": [1, 3]}, train_x, train_y, seed=0
+        )
+        assert all("k" in row and "score" in row for row in result.all_results)
+
+
+class TestReport:
+    def test_markdown_table(self):
+        table = format_markdown_table(
+            [{"model": "a", "acc": 0.51234}], precision=3
+        )
+        assert "| model | acc |" in table
+        assert "0.512" in table
+
+    def test_missing_cells_dash(self):
+        table = format_markdown_table(
+            [{"a": 1}, {"b": 2}], columns=["a", "b"]
+        )
+        assert "-" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            format_markdown_table([])
+
+    def test_series(self):
+        text = format_series("acc vs D", [500, 1000], [0.9, 0.95], x_label="D")
+        assert "acc vs D" in text
+        assert "500" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths"):
+            format_series("s", [1, 2], [1.0])
+
+    def test_comparison_block(self):
+        text = format_comparison(
+            "Fig 4", {"disthd": {"acc": 0.9}}, columns=["acc"]
+        )
+        assert text.startswith("### Fig 4")
+        assert "disthd" in text

@@ -1,0 +1,79 @@
+"""Tests for repro.pipeline.crossval."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KNNClassifier
+from repro.pipeline.crossval import (
+    CrossValResult,
+    cross_validate,
+    stratified_kfold_indices,
+)
+
+
+@pytest.fixture
+def labels():
+    return np.repeat(np.arange(3), 30)
+
+
+class TestKFoldIndices:
+    def test_folds_partition_everything(self, labels):
+        seen = []
+        for _, test_idx in stratified_kfold_indices(labels, 5, seed=0):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(90))
+
+    def test_folds_disjoint(self, labels):
+        folds = [t for _, t in stratified_kfold_indices(labels, 5, seed=0)]
+        for i, a in enumerate(folds):
+            for b in folds[i + 1:]:
+                assert not set(a.tolist()) & set(b.tolist())
+
+    def test_train_test_disjoint(self, labels):
+        for train_idx, test_idx in stratified_kfold_indices(labels, 3, seed=0):
+            assert not set(train_idx.tolist()) & set(test_idx.tolist())
+
+    def test_stratification(self, labels):
+        for _, test_idx in stratified_kfold_indices(labels, 5, seed=0):
+            counts = np.bincount(labels[test_idx], minlength=3)
+            assert counts.min() >= 5  # 30/5 per class, evenly dealt
+            assert counts.max() <= 7
+
+    def test_deterministic(self, labels):
+        a = [t.tolist() for _, t in stratified_kfold_indices(labels, 4, seed=2)]
+        b = [t.tolist() for _, t in stratified_kfold_indices(labels, 4, seed=2)]
+        assert a == b
+
+    def test_bad_splits(self, labels):
+        with pytest.raises(ValueError, match="n_splits"):
+            list(stratified_kfold_indices(labels, 1))
+
+
+class TestCrossValidate:
+    def test_scores_per_fold(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        result = cross_validate(
+            lambda: KNNClassifier(k=3), train_x, train_y, n_splits=4, seed=0
+        )
+        assert len(result.scores) == 4
+        assert all(0.0 <= s <= 1.0 for s in result.scores)
+        assert result.mean > 0.8  # easy problem
+
+    def test_mean_and_std(self):
+        result = CrossValResult(scores=[0.8, 1.0])
+        assert result.mean == pytest.approx(0.9)
+        assert result.std == pytest.approx(0.1)
+
+    def test_fresh_model_per_fold(self, small_problem):
+        """Factory must be invoked once per fold (no state leakage)."""
+        train_x, train_y, _, _ = small_problem
+        built = []
+
+        def factory():
+            model = KNNClassifier(k=1)
+            built.append(model)
+            return model
+
+        cross_validate(factory, train_x, train_y, n_splits=3, seed=0)
+        assert len(built) == 3
+        assert len(set(map(id, built))) == 3

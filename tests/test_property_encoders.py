@@ -1,0 +1,143 @@
+"""Property-based tests for encoder and regeneration invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regeneration import _top_fraction, select_undesired_dimensions
+from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.memory import AssociativeMemory
+
+
+def problems():
+    """(n_features, dim, seed) triples for encoder construction."""
+    return st.tuples(
+        st.integers(1, 12), st.integers(2, 48), st.integers(0, 2**31)
+    )
+
+
+class TestRBFEncoderProperties:
+    @given(problems())
+    @settings(max_examples=30, deadline=None)
+    def test_output_bounded(self, params):
+        q, dim, seed = params
+        rng = np.random.default_rng(seed)
+        enc = RBFEncoder(q, dim, seed=seed)
+        out = enc.encode(rng.normal(size=(5, q)))
+        assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+    @given(problems(), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_regeneration_preserves_untouched_columns(self, params, dims_seed):
+        q, dim, seed = params
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(4, q))
+        enc = RBFEncoder(q, dim, seed=seed)
+        before = enc.encode(X)
+        dims_rng = np.random.default_rng(dims_seed)
+        n_regen = int(dims_rng.integers(0, dim))
+        dims = dims_rng.choice(dim, size=n_regen, replace=False)
+        enc.regenerate(dims)
+        after = enc.encode(X)
+        untouched = np.setdiff1d(np.arange(dim), dims)
+        assert np.array_equal(before[:, untouched], after[:, untouched])
+        assert enc.regenerated_count == n_regen
+
+    @given(problems())
+    @settings(max_examples=30, deadline=None)
+    def test_encode_dims_consistent_with_full(self, params):
+        q, dim, seed = params
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(3, q))
+        enc = RBFEncoder(q, dim, seed=seed)
+        dims = np.arange(0, dim, 2)
+        assert np.allclose(enc.encode_dims(X, dims), enc.encode(X)[:, dims])
+
+    @given(problems())
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_given_seed(self, params):
+        q, dim, seed = params
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(3, q))
+        assert np.array_equal(
+            RBFEncoder(q, dim, seed=seed).encode(X),
+            RBFEncoder(q, dim, seed=seed).encode(X),
+        )
+
+
+class TestSelectionProperties:
+    @given(
+        st.integers(4, 40),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_selection_size_bounded_by_rate(self, dim, rate, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.normal(size=(5, dim))
+        N = rng.normal(size=(3, dim))
+        target = int(round(rate * dim))
+        inter = select_undesired_dimensions(M, N, regen_rate=rate, dim=dim)
+        union = select_undesired_dimensions(
+            M, N, regen_rate=rate, dim=dim, selection="union"
+        )
+        assert inter.size <= target
+        assert union.size <= 2 * target
+        # Intersection is always a subset of union.
+        assert set(inter.tolist()) <= set(union.tolist())
+
+    @given(st.integers(4, 40), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_selected_dims_valid_and_sorted(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.normal(size=(4, dim))
+        N = rng.normal(size=(4, dim))
+        dims = select_undesired_dimensions(M, N, regen_rate=0.5, dim=dim)
+        if dims.size:
+            assert dims.min() >= 0 and dims.max() < dim
+            assert np.all(np.diff(dims) > 0)  # sorted, unique
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=50),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_top_fraction_selects_maxima(self, scores, fraction):
+        scores = np.asarray(scores)
+        selected = _top_fraction(scores, fraction)
+        if selected.size and selected.size < scores.size:
+            worst_selected = scores[selected].min()
+            best_unselected = np.delete(scores, selected).max()
+            assert worst_selected >= best_unselected
+
+
+class TestMemoryProperties:
+    @given(
+        st.integers(2, 6), st.integers(2, 32),
+        st.integers(1, 40), st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accumulate_order_invariant(self, k, dim, n, seed):
+        """Bundling is commutative: sample order can't change the memory."""
+        rng = np.random.default_rng(seed)
+        encoded = rng.normal(size=(n, dim))
+        labels = rng.integers(0, k, n)
+        forward = AssociativeMemory(k, dim)
+        forward.accumulate(encoded, labels)
+        perm = rng.permutation(n)
+        shuffled = AssociativeMemory(k, dim)
+        shuffled.accumulate(encoded[perm], labels[perm])
+        assert np.allclose(forward.vectors, shuffled.vectors)
+
+    @given(
+        st.integers(2, 6), st.integers(2, 32), st.integers(0, 2**31)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topk_first_equals_predict(self, k, dim, seed):
+        rng = np.random.default_rng(seed)
+        mem = AssociativeMemory(k, dim)
+        mem.vectors = rng.normal(size=(k, dim))
+        queries = rng.normal(size=(7, dim))
+        top1, _ = mem.topk(queries, k=1)
+        assert np.array_equal(top1[:, 0], mem.predict(queries))

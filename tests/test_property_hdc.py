@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the HDC substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hdc.ops import (
+    bind,
+    bundle,
+    cosine_similarity,
+    hamming_distance,
+    normalize_rows,
+    permute,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(min_dim=2, max_dim=32):
+    return arrays(
+        np.float64,
+        st.integers(min_dim, max_dim).map(lambda d: (d,)),
+        elements=finite_floats,
+    )
+
+
+def paired_vectors(min_dim=2, max_dim=32):
+    """Two vectors of the same dimensionality."""
+    return st.integers(min_dim, max_dim).flatmap(
+        lambda d: st.tuples(
+            arrays(np.float64, (d,), elements=finite_floats),
+            arrays(np.float64, (d,), elements=finite_floats),
+        )
+    )
+
+
+class TestBundleProperties:
+    @given(paired_vectors())
+    def test_commutative(self, pair):
+        a, b = pair
+        assert np.allclose(bundle(a, b), bundle(b, a))
+
+    @given(paired_vectors())
+    def test_matches_elementwise_addition(self, pair):
+        a, b = pair
+        assert np.allclose(bundle(a, b), a + b)
+
+    @given(vectors())
+    def test_identity_with_zero(self, v):
+        assert np.allclose(bundle(v, np.zeros_like(v)), v)
+
+
+class TestBindProperties:
+    @given(paired_vectors())
+    def test_commutative(self, pair):
+        a, b = pair
+        assert np.allclose(bind(a, b), bind(b, a))
+
+    @given(st.integers(4, 64), st.integers(0, 2**31))
+    def test_bipolar_involution(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.choice([-1.0, 1.0], size=dim)
+        b = rng.choice([-1.0, 1.0], size=dim)
+        assert np.array_equal(bind(bind(a, b), a), b)
+
+    @given(vectors())
+    def test_identity_with_ones(self, v):
+        assert np.allclose(bind(v, np.ones_like(v)), v)
+
+
+class TestPermuteProperties:
+    @given(vectors(), st.integers(-50, 50))
+    def test_invertible(self, v, shift):
+        assert np.array_equal(permute(permute(v, shift), -shift), v)
+
+    @given(vectors(), st.integers(0, 10))
+    def test_norm_preserved(self, v, shift):
+        assert np.linalg.norm(permute(v, shift)) == pytest.approx(
+            np.linalg.norm(v), rel=1e-12
+        )
+
+    @given(vectors())
+    def test_full_cycle_is_identity(self, v):
+        assert np.array_equal(permute(v, v.shape[0]), v)
+
+
+class TestNormalizeProperties:
+    @given(vectors())
+    def test_output_norm_at_most_one(self, v):
+        out = normalize_rows(v)
+        assert np.linalg.norm(out) <= 1.0 + 1e-9
+
+    @given(vectors(), st.floats(min_value=0.1, max_value=100.0))
+    def test_scale_invariant(self, v, scale):
+        if np.linalg.norm(v) > 1e-6:
+            assert np.allclose(
+                normalize_rows(v), normalize_rows(scale * v), atol=1e-8
+            )
+
+    @given(vectors())
+    def test_idempotent(self, v):
+        once = normalize_rows(v)
+        assert np.allclose(normalize_rows(once), once, atol=1e-9)
+
+
+class TestCosineProperties:
+    @given(paired_vectors())
+    def test_bounded(self, pair):
+        a, b = pair
+        sim = cosine_similarity(a.reshape(1, -1), b.reshape(1, -1))[0, 0]
+        assert -1.0 - 1e-9 <= sim <= 1.0 + 1e-9
+
+    @given(paired_vectors())
+    def test_symmetric(self, pair):
+        a, b = pair
+        ab = cosine_similarity(a.reshape(1, -1), b.reshape(1, -1))[0, 0]
+        ba = cosine_similarity(b.reshape(1, -1), a.reshape(1, -1))[0, 0]
+        assert ab == ba
+
+    @given(vectors())
+    def test_self_similarity_one(self, v):
+        if np.linalg.norm(v) > 1e-6:
+            sim = cosine_similarity(v.reshape(1, -1), v.reshape(1, -1))[0, 0]
+            assert abs(sim - 1.0) < 1e-9
+
+
+class TestHammingProperties:
+    @given(st.integers(2, 64), st.integers(0, 2**31))
+    def test_range(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.choice([-1, 1], size=dim)
+        b = rng.choice([-1, 1], size=dim)
+        d = hamming_distance(a, b)
+        assert 0.0 <= d <= 1.0
+
+    @given(st.integers(2, 64), st.integers(0, 2**31))
+    def test_triangle_inequality(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = (rng.choice([-1, 1], size=dim) for _ in range(3))
+        assert hamming_distance(a, c) <= (
+            hamming_distance(a, b) + hamming_distance(b, c) + 1e-12
+        )

@@ -1,0 +1,104 @@
+"""Property-based tests for metric invariants."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.classification import accuracy, confusion_matrix, topk_accuracy
+from repro.metrics.roc import auc, roc_curve
+from repro.metrics.sensitivity import sensitivity_specificity
+
+
+def labeled_scores():
+    """(labels, score matrix) with at least two classes represented."""
+    return st.tuples(
+        st.integers(3, 40),   # n samples
+        st.integers(2, 6),    # k classes
+        st.integers(0, 2**31),
+    )
+
+
+class TestAccuracyProperties:
+    @given(labeled_scores())
+    def test_accuracy_in_unit_interval(self, params):
+        n, k, seed = params
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, k, n)
+        p = rng.integers(0, k, n)
+        assert 0.0 <= accuracy(y, p) <= 1.0
+
+    @given(labeled_scores())
+    def test_self_accuracy_is_one(self, params):
+        n, k, seed = params
+        y = np.random.default_rng(seed).integers(0, k, n)
+        assert accuracy(y, y) == 1.0
+
+    @given(labeled_scores())
+    def test_topk_monotone(self, params):
+        n, k, seed = params
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, k, n)
+        scores = rng.normal(size=(n, k))
+        accs = [topk_accuracy(y, scores, j) for j in range(1, k + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == 1.0
+
+
+class TestConfusionProperties:
+    @given(labeled_scores())
+    def test_total_preserved(self, params):
+        n, k, seed = params
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, k, n)
+        p = rng.integers(0, k, n)
+        assert confusion_matrix(y, p, k).sum() == n
+
+    @given(labeled_scores())
+    def test_trace_equals_correct_count(self, params):
+        n, k, seed = params
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, k, n)
+        p = rng.integers(0, k, n)
+        cm = confusion_matrix(y, p, k)
+        assert np.trace(cm) == np.sum(y == p)
+
+
+class TestRocProperties:
+    @given(st.integers(4, 200), st.integers(0, 2**31))
+    def test_auc_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y = np.r_[0, 1, rng.integers(0, 2, n - 2)]  # both classes guaranteed
+        scores = rng.normal(size=n)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert 0.0 <= auc(fpr, tpr) <= 1.0
+
+    @given(st.integers(4, 200), st.integers(0, 2**31))
+    def test_score_negation_flips_auc(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y = np.r_[0, 1, rng.integers(0, 2, n - 2)]
+        scores = rng.normal(size=n)
+        a = auc(*roc_curve(y, scores)[:2])
+        b = auc(*roc_curve(y, -scores)[:2])
+        assert a + b == np.float64(1.0) or abs(a + b - 1.0) < 1e-9
+
+
+class TestSensitivityProperties:
+    @given(labeled_scores())
+    def test_rates_in_unit_interval(self, params):
+        n, k, seed = params
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, k, n)
+        p = rng.integers(0, k, n)
+        out = sensitivity_specificity(y, p)
+        assert 0.0 <= out["sensitivity"] <= 1.0
+        assert 0.0 <= out["specificity"] <= 1.0
+
+    @given(labeled_scores())
+    def test_perfect_prediction_maximises_both(self, params):
+        n, k, seed = params
+        rng = np.random.default_rng(seed)
+        # Guarantee at least two classes so specificity is defined.
+        y = np.r_[0, 1, rng.integers(0, k, n - 2)]
+        out = sensitivity_specificity(y, y)
+        assert out["sensitivity"] == 1.0
+        assert out["specificity"] == 1.0

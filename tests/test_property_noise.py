@@ -1,0 +1,83 @@
+"""Property-based tests for the quantisation / bit-flip substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.noise.bitflip import flip_bits
+from repro.noise.quantization import dequantize, quantize
+
+reasonable_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+def float_arrays(max_size=64):
+    return arrays(
+        np.float64,
+        st.integers(1, max_size).map(lambda n: (n,)),
+        elements=reasonable_floats,
+    )
+
+
+class TestQuantizationProperties:
+    @given(float_arrays(), st.sampled_from([2, 4, 8]))
+    def test_roundtrip_within_one_step(self, arr, bits):
+        restored = dequantize(quantize(arr, bits))
+        q_max = 2 ** (bits - 1) - 1
+        step = np.abs(arr).max() / q_max if np.abs(arr).max() > 0 else 0.0
+        assert np.abs(arr - restored).max() <= step + 1e-9
+
+    @given(float_arrays(), st.sampled_from([1, 2, 4, 8]))
+    def test_shape_preserved(self, arr, bits):
+        assert dequantize(quantize(arr, bits)).shape == arr.shape
+
+    @given(float_arrays(), st.sampled_from([1, 2, 4, 8]))
+    def test_codes_within_width(self, arr, bits):
+        qt = quantize(arr, bits)
+        assert int(qt.codes.max(initial=0)) < (1 << bits)
+
+    @given(float_arrays(), st.sampled_from([2, 4, 8]))
+    def test_deterministic(self, arr, bits):
+        a = quantize(arr, bits)
+        b = quantize(arr, bits)
+        assert np.array_equal(a.codes, b.codes)
+        assert a.scale == b.scale
+
+    @given(float_arrays())
+    def test_one_bit_decodes_to_two_values(self, arr):
+        restored = dequantize(quantize(arr, 1))
+        assert len(np.unique(restored)) <= 2
+
+
+class TestBitflipProperties:
+    @given(
+        float_arrays(),
+        st.sampled_from([1, 2, 4, 8]),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(0, 2**31),
+    )
+    def test_flip_count_exact(self, arr, bits, rate, seed):
+        qt = quantize(arr, bits)
+        flipped = flip_bits(qt, rate, seed=seed)
+        diff_bits = sum(
+            bin(int(a) ^ int(b)).count("1")
+            for a, b in zip(qt.codes, flipped.codes)
+        )
+        assert diff_bits == round(rate * qt.n_bits_total)
+
+    @given(float_arrays(), st.sampled_from([2, 8]), st.integers(0, 2**31))
+    def test_double_flip_restores(self, arr, bits, seed):
+        """Flipping the same positions twice is the identity."""
+        qt = quantize(arr, bits)
+        once = flip_bits(qt, 0.5, seed=seed)
+        twice = flip_bits(once, 0.5, seed=seed)
+        assert np.array_equal(twice.codes, qt.codes)
+
+    @given(float_arrays(), st.sampled_from([1, 2, 4, 8]), st.integers(0, 2**31))
+    def test_flipped_still_decodable(self, arr, bits, seed):
+        flipped = flip_bits(quantize(arr, bits), 0.3, seed=seed)
+        decoded = dequantize(flipped)
+        assert np.all(np.isfinite(decoded))
+        assert decoded.shape == arr.shape

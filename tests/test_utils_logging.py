@@ -1,0 +1,22 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+def test_get_logger_namespaced():
+    assert get_logger().name == "repro"
+    assert get_logger("core").name == "repro.core"
+
+
+def test_enable_console_logging_idempotent():
+    logger = enable_console_logging(logging.DEBUG)
+    n_handlers = len(logger.handlers)
+    enable_console_logging(logging.DEBUG)
+    assert len(logger.handlers) == n_handlers
+
+
+def test_enable_console_sets_level():
+    logger = enable_console_logging(logging.WARNING)
+    assert logger.level == logging.WARNING

@@ -1,0 +1,85 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, bootstrap_indices, child_rngs, spawn_seed
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, 10)
+        b = as_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9)
+        b = as_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(as_rng(np.int64(7)), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            as_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnSeed:
+    def test_in_range(self):
+        rng = as_rng(0)
+        for _ in range(100):
+            seed = spawn_seed(rng)
+            assert 0 <= seed < 2**63
+
+    def test_deterministic_sequence(self):
+        a = [spawn_seed(as_rng(3)) for _ in range(1)]
+        b = [spawn_seed(as_rng(3)) for _ in range(1)]
+        assert a == b
+
+
+class TestChildRngs:
+    def test_count(self):
+        assert len(list(child_rngs(0, 5))) == 5
+
+    def test_children_independent_of_sibling_count(self):
+        first_of_two = next(iter(child_rngs(9, 2)))
+        first_of_five = next(iter(child_rngs(9, 5)))
+        assert first_of_two.integers(0, 10**9) == first_of_five.integers(0, 10**9)
+
+    def test_children_distinct(self):
+        kids = list(child_rngs(1, 3))
+        draws = {int(k.integers(0, 10**12)) for k in kids}
+        assert len(draws) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            list(child_rngs(0, -1))
+
+    def test_zero_count_empty(self):
+        assert list(child_rngs(0, 0)) == []
+
+
+class TestBootstrapIndices:
+    def test_shape_and_range(self):
+        idx = bootstrap_indices(as_rng(0), 10)
+        assert idx.shape == (10,)
+        assert idx.min() >= 0 and idx.max() < 10
+
+    def test_custom_size(self):
+        assert bootstrap_indices(as_rng(0), 10, size=4).shape == (4,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_indices(as_rng(0), 0)

@@ -1,0 +1,120 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_features_match,
+    check_labels,
+    check_matrix,
+    check_paired,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckMatrix:
+    def test_passthrough(self):
+        X = np.ones((3, 4))
+        out = check_matrix(X)
+        assert out.shape == (3, 4)
+        assert out.dtype == np.float64
+
+    def test_1d_promoted_to_row(self):
+        assert check_matrix([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_list_coerced(self):
+        assert check_matrix([[1, 2], [3, 4]]).shape == (2, 2)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_matrix(np.zeros((0, 3)))
+
+    def test_empty_allowed_when_requested(self):
+        assert check_matrix(np.zeros((0, 3)), allow_empty=True).shape == (0, 3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_matrix([[1.0, np.nan]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_matrix([[np.inf, 0.0]])
+
+    def test_nonfinite_allowed_when_disabled(self):
+        out = check_matrix([[np.nan, 1.0]], ensure_finite=False)
+        assert np.isnan(out[0, 0])
+
+    def test_custom_name_in_error(self):
+        with pytest.raises(ValueError, match="features"):
+            check_matrix(np.zeros((0, 1)), name="features")
+
+
+class TestCheckVector:
+    def test_flattens(self):
+        assert check_vector([[1], [2]]).shape == (2,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_vector([])
+
+    def test_empty_allowed(self):
+        assert check_vector([], allow_empty=True).shape == (0,)
+
+
+class TestCheckPaired:
+    def test_match(self):
+        X, y = check_paired([[1, 2], [3, 4]], [0, 1])
+        assert X.shape == (2, 2)
+        assert y.shape == (2,)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree on sample count"):
+            check_paired([[1, 2], [3, 4]], [0, 1, 2])
+
+
+class TestCheckLabels:
+    def test_returns_classes(self):
+        labels, classes = check_labels([2, 0, 2, 1])
+        assert np.array_equal(classes, [0, 1, 2])
+        assert labels.dtype == np.int64
+
+    def test_float_integers_accepted(self):
+        labels, _ = check_labels([0.0, 1.0, 2.0])
+        assert np.array_equal(labels, [0, 1, 2])
+
+    def test_fractional_rejected(self):
+        with pytest.raises(ValueError, match="integer class labels"):
+            check_labels([0.5, 1.0])
+
+    def test_range_enforced(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            check_labels([0, 5], n_classes=3)
+
+    def test_negative_rejected_with_range(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            check_labels([-1, 0], n_classes=2)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_valid(self, p):
+        assert check_probability(p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, 5])
+    def test_invalid(self, p):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(p)
+
+
+class TestCheckFeaturesMatch:
+    def test_ok(self):
+        check_features_match(5, 5)
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="fit with 5 features but received 4"):
+            check_features_match(5, 4)
