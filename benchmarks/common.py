@@ -20,15 +20,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.baselines import (
-    BaselineHDClassifier,
-    LinearSVMClassifier,
-    MLPClassifier,
-    NeuralHDClassifier,
-    OnlineHDClassifier,
-)
-from repro.core.disthd import DistHDClassifier
 from repro.datasets.loaders import Dataset, load_dataset
+from repro.models import make_model
 
 # The 8x dimensionality ratio of the paper (0.5k vs 4k), scaled down.
 DIM_LO = 128
@@ -55,48 +48,48 @@ def bench_dataset(name: str, seed: int = SEED) -> Dataset:
     return load_dataset(name, scale=SCALES[name], seed=seed)
 
 
-def make_disthd(dim: int = DIM_LO, seed: int = SEED, **overrides) -> DistHDClassifier:
+def make_disthd(dim: int = DIM_LO, seed: int = SEED, **overrides):
     params = dict(
         dim=dim, iterations=ITERATIONS, convergence_patience=None, seed=seed
     )
     params.update(overrides)
-    return DistHDClassifier(**params)
+    return make_model("disthd", **params)
 
 
-def make_neuralhd(dim: int = DIM_LO, seed: int = SEED, **overrides) -> NeuralHDClassifier:
+def make_neuralhd(dim: int = DIM_LO, seed: int = SEED, **overrides):
     params = dict(
         dim=dim, iterations=ITERATIONS, convergence_patience=None, seed=seed
     )
     params.update(overrides)
-    return NeuralHDClassifier(**params)
+    return make_model("neuralhd", **params)
 
 
-def make_onlinehd(dim: int = DIM_LO, seed: int = SEED, **overrides) -> OnlineHDClassifier:
+def make_onlinehd(dim: int = DIM_LO, seed: int = SEED, **overrides):
     params = dict(
         dim=dim, iterations=ITERATIONS, convergence_patience=None, seed=seed
     )
     params.update(overrides)
-    return OnlineHDClassifier(**params)
+    return make_model("onlinehd", **params)
 
 
-def make_baselinehd(dim: int = DIM_HI, seed: int = SEED, **overrides) -> BaselineHDClassifier:
+def make_baselinehd(dim: int = DIM_HI, seed: int = SEED, **overrides):
     params = dict(
         dim=dim, iterations=ITERATIONS, convergence_patience=None, seed=seed
     )
     params.update(overrides)
-    return BaselineHDClassifier(**params)
+    return make_model("baselinehd", **params)
 
 
-def make_mlp(seed: int = SEED, **overrides) -> MLPClassifier:
-    params = dict(hidden_sizes=(128,), epochs=ITERATIONS, seed=seed)
+def make_mlp(seed: int = SEED, **overrides):
+    params = dict(dim=128, epochs=ITERATIONS, seed=seed)
     params.update(overrides)
-    return MLPClassifier(**params)
+    return make_model("mlp", **params)
 
 
-def make_svm(seed: int = SEED, **overrides) -> LinearSVMClassifier:
+def make_svm(seed: int = SEED, **overrides):
     params = dict(epochs=ITERATIONS, seed=seed)
     params.update(overrides)
-    return LinearSVMClassifier(**params)
+    return make_model("svm", **params)
 
 
 def fig4_model_zoo(seed: int = SEED):

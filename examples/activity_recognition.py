@@ -3,55 +3,51 @@
 Compares DistHD against the full comparator zoo on the PAMAP2-like IMU
 analog — the scenario from the paper's introduction: a wearable device must
 classify activities from inertial sensors with a tiny compute/memory budget.
+Every model is addressed by registry name through :func:`repro.compare`.
 
 Run with::
 
     python examples/activity_recognition.py
 """
 
-from repro import DistHDClassifier, load_dataset
-from repro.baselines import (
-    BaselineHDClassifier,
-    MLPClassifier,
-    NeuralHDClassifier,
-    RFFSVMClassifier,
-)
-from repro.pipeline.experiment import run_experiment
+from repro import compare
 from repro.pipeline.report import format_markdown_table
 
 
 def main() -> None:
-    dataset = load_dataset("pamap2", scale=0.004, seed=0)
-    print(
-        f"PAMAP2 analog: {dataset.n_train} train / {dataset.n_test} test, "
-        f"{dataset.n_features} IMU features, {dataset.n_classes} activities\n"
-    )
-
     # The edge budget: 128 hyperdimensions. The static baseline also runs at
     # 8x that budget (the paper's effective-dimensionality comparison).
-    models = [
-        ("DistHD (D=128)", DistHDClassifier(dim=128, iterations=20, seed=0)),
-        ("NeuralHD (D=128)", NeuralHDClassifier(dim=128, iterations=20, seed=0)),
-        ("BaselineHD (D=128)", BaselineHDClassifier(dim=128, iterations=20, seed=0)),
-        ("BaselineHD (D=1024)", BaselineHDClassifier(dim=1024, iterations=20, seed=0)),
-        ("DNN (MLP-128)", MLPClassifier(hidden_sizes=(128,), epochs=20, seed=0)),
-        ("SVM (RBF approx)", RFFSVMClassifier(n_components=512, seed=0)),
+    results = compare(
+        [
+            ("DistHD (D=128)", "disthd", {"dim": 128, "iterations": 20}),
+            ("NeuralHD (D=128)", "neuralhd", {"dim": 128, "iterations": 20}),
+            ("BaselineHD (D=128)", "baselinehd", {"dim": 128, "iterations": 20}),
+            ("BaselineHD (D=1024)", "baselinehd", {"dim": 1024, "iterations": 20}),
+            ("DNN (MLP-128)", "mlp", {"dim": 128, "epochs": 20}),
+            ("SVM (RBF approx)", "rff-svm", {"dim": 512}),
+        ],
+        dataset="pamap2",
+        scale=0.004,
+        seed=0,
+    )
+    first = results[0]
+    print(
+        f"PAMAP2 analog: {first.dataset_name}, "
+        f"{len(results)} models compared\n"
+    )
+
+    rows = [
+        {
+            "model": r.model_name,
+            "accuracy": r.test_accuracy,
+            "top2": r.top2_accuracy,
+            "train (s)": r.train_seconds,
+            "infer (s)": r.inference_seconds,
+        }
+        for r in results
     ]
-
-    rows = []
-    for name, model in models:
-        result = run_experiment(model, dataset, model_name=name)
-        rows.append(
-            {
-                "model": name,
-                "accuracy": result.test_accuracy,
-                "top2": result.top2_accuracy,
-                "train (s)": result.train_seconds,
-                "infer (s)": result.inference_seconds,
-            }
-        )
-
     print(format_markdown_table(rows, precision=3))
+
     disthd = rows[0]
     static_lo = rows[2]
     print(

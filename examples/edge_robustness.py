@@ -9,8 +9,7 @@ Run with::
     python examples/edge_robustness.py
 """
 
-from repro import DistHDClassifier, load_dataset
-from repro.baselines import MLPClassifier
+from repro import load_dataset, make_model
 from repro.noise.robustness import quality_loss_sweep, robustness_ratio
 from repro.pipeline.report import format_markdown_table
 
@@ -20,9 +19,9 @@ ERROR_RATES = (0.01, 0.02, 0.05, 0.10, 0.15)
 def main() -> None:
     dataset = load_dataset("ucihar", scale=0.10, seed=0)
 
-    disthd = DistHDClassifier(dim=1024, iterations=15, seed=0)
+    disthd = make_model("disthd", dim=1024, iterations=15, seed=0)
     disthd.fit(dataset.train_x, dataset.train_y)
-    dnn = MLPClassifier(hidden_sizes=(128,), epochs=20, seed=0)
+    dnn = make_model("mlp", dim=128, epochs=20, seed=0)
     dnn.fit(dataset.train_x, dataset.train_y)
     print(
         f"clean accuracy — DistHD: {disthd.score(dataset.test_x, dataset.test_y):.3f}, "

@@ -5,7 +5,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import DistHDClassifier, load_dataset
+from repro import load_dataset, make_model
 
 def main() -> None:
     # A scaled-down synthetic analog of the UCIHAR activity-recognition
@@ -17,9 +17,10 @@ def main() -> None:
         f"{dataset.n_features} features, {dataset.n_classes} classes"
     )
 
-    # DistHD with the paper's defaults: D=500 physical dimensions, 10%
-    # regeneration rate, top-2-driven dimension regeneration.
-    clf = DistHDClassifier(dim=500, iterations=20, seed=0)
+    # Any registered model is one make_model call away; DistHD with the
+    # paper's defaults: D=500 physical dimensions, 10% regeneration rate,
+    # top-2-driven dimension regeneration.
+    clf = make_model("disthd", dim=500, iterations=20, seed=0)
     clf.fit(dataset.train_x, dataset.train_y)
 
     accuracy = clf.score(dataset.test_x, dataset.test_y)

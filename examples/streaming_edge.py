@@ -2,19 +2,20 @@
 
 Beyond the paper's batch evaluation, this example walks the lifecycle its
 introduction motivates: an edge device (1) learns from a sensor stream one
-mini-batch at a time with DistHD's dynamic encoding running on a sample
-reservoir, then (2) freezes the model into a 1-bit fixed-point memory image
-for deployment, and (3) keeps serving predictions while its memory slowly
-accumulates bit errors.
+``partial_fit`` mini-batch at a time — incremental training is part of the
+estimator protocol, so the streamed learner is an ordinary
+``make_model("disthd-stream")`` classifier — then (2) freezes the model
+into a 1-bit fixed-point memory image for deployment, and (3) keeps serving
+predictions while its memory slowly accumulates bit errors.
 
 Run with::
 
     python examples/streaming_edge.py
 """
 
-from repro import load_dataset
-from repro.core.config import DistHDConfig
-from repro.deploy import QuantizedHDCModel, StreamingDistHD
+from repro import make_model
+from repro.datasets.loaders import load_dataset
+from repro.deploy import QuantizedHDCModel
 
 
 def main() -> None:
@@ -25,14 +26,14 @@ def main() -> None:
     )
 
     # ---------------------------------------------------------- 1. streaming
-    config = DistHDConfig(dim=256, regen_rate=0.2, selection="union", seed=0)
-    model = StreamingDistHD(
-        dataset.n_features, dataset.n_classes, config,
+    model = make_model(
+        "disthd-stream", dim=256, seed=0,
         reservoir_size=400, regen_every=5,
     )
+    classes = range(dataset.n_classes)
     for epoch in range(3):
         for batch_x, batch_y in dataset.batches(64, seed=epoch):
-            model.partial_fit(batch_x, batch_y)
+            model.partial_fit(batch_x, batch_y, classes=classes)
         acc = model.score(dataset.test_x, dataset.test_y)
         print(
             f"epoch {epoch}: test accuracy {acc:.3f}  "

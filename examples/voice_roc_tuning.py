@@ -13,7 +13,7 @@ Run with::
 
 import numpy as np
 
-from repro import DistHDClassifier, load_dataset
+from repro import load_dataset, make_model
 from repro.metrics.roc import auc, roc_curve
 from repro.metrics.sensitivity import binary_rates
 from repro.pipeline.report import format_markdown_table
@@ -41,7 +41,8 @@ def main() -> None:
         # parameters bite visibly at example scale (with the paper's
         # conservative intersection, few dimensions regenerate per epoch and
         # all settings converge to near-identical models).
-        clf = DistHDClassifier(
+        clf = make_model(
+            "disthd",
             dim=256, iterations=15, alpha=alpha, beta=beta, theta=beta / 4,
             regen_rate=0.2, selection="union", seed=0,
         )

@@ -7,16 +7,43 @@ baseline learners (BaselineHD / NeuralHD / OnlineHD / MLP / SVM / kNN),
 synthetic analogs of the five evaluation datasets, a hardware bit-flip noise
 model, metrics, and an experiment pipeline.
 
-Quick start::
+Quick start — everything is addressed by name through two registries::
 
-    from repro import DistHDClassifier, load_dataset
+    from repro import list_models, make_model, run_experiment, load_dataset
 
+    list_models()                        # ('baselinehd', 'disthd', ...)
+
+    # One-call experiment: dataset analog + model + full metric suite.
+    result = run_experiment(model="disthd", dataset="ucihar",
+                            scale=0.05, model_params={"dim": 500})
+    print(result.test_accuracy)
+
+    # Or drive a model directly.
     ds = load_dataset("ucihar", scale=0.05, seed=0)
-    clf = DistHDClassifier(dim=500, iterations=10, seed=0)
+    clf = make_model("disthd", dim=500, iterations=10, seed=0)
     clf.fit(ds.train_x, ds.train_y)
     print(clf.score(ds.test_x, ds.test_y))
+
+Incremental (streaming) learning is part of the estimator protocol: any
+model with ``supports_streaming`` trains one mini-batch at a time::
+
+    clf = make_model("disthd-stream", dim=256, seed=0)
+    for batch_x, batch_y in ds.batches(64, seed=0):
+        clf.partial_fit(batch_x, batch_y, classes=range(ds.n_classes))
+
+See ``docs/api.md`` for the full facade (``compare``, ``ExperimentSpec``,
+``save_model``/``load_model``) and the deprecation shims for pre-registry
+import paths.
 """
 
+from repro.api import (
+    ExperimentSpec,
+    build_model,
+    compare,
+    list_models,
+    make_model,
+    run_experiment,
+)
 from repro.core.config import DistHDConfig
 from repro.core.disthd import DistHDClassifier
 from repro.datasets.loaders import load_dataset
@@ -27,9 +54,15 @@ from repro.version import __version__
 __all__ = [
     "DistHDClassifier",
     "DistHDConfig",
-    "load_dataset",
+    "ExperimentSpec",
+    "build_model",
+    "compare",
     "list_datasets",
+    "list_models",
+    "load_dataset",
     "load_model",
+    "make_model",
+    "run_experiment",
     "save_model",
     "__version__",
 ]

@@ -59,7 +59,14 @@ class BaselineHDClassifier(BaseClassifier):
         Encoder parameters (``bandwidth`` only affects ``encoder="rbf"``).
     convergence_patience / convergence_tol:
         Early-stopping plateau detection, as in DistHD.
+
+    The static encoder and per-sample perceptron rule make this model
+    naturally incremental: :meth:`partial_fit` applies one perceptron pass
+    per mini-batch (the ISLPED'16 update needs no global state beyond the
+    class memory).
     """
+
+    supports_streaming = True
 
     def __init__(
         self,
@@ -102,23 +109,26 @@ class BaselineHDClassifier(BaseClassifier):
         self.memory_: Optional[AssociativeMemory] = None
         self.history_: Optional[TrainingHistory] = None
         self.n_iterations_: int = 0
+        self._bundle_first_batch = False
+
+    def _make_encoder(self, n_features: int, seed) -> object:
+        if self.encoder_kind == "id-level":
+            return IDLevelEncoder(
+                n_features, self.dim, n_levels=self.n_levels, seed=seed
+            )
+        if self.encoder_kind == "sign":
+            return RandomProjectionEncoder(
+                n_features, self.dim, activation="sign", seed=seed
+            )
+        return RBFEncoder(
+            n_features, self.dim, bandwidth=self.bandwidth, seed=seed
+        )
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         n_classes = int(y.max()) + 1
+        self._bundle_first_batch = False
         rng = as_rng(self.seed)
-        if self.encoder_kind == "id-level":
-            self.encoder_ = IDLevelEncoder(
-                X.shape[1], self.dim, n_levels=self.n_levels,
-                seed=spawn_seed(rng),
-            )
-        elif self.encoder_kind == "sign":
-            self.encoder_ = RandomProjectionEncoder(
-                X.shape[1], self.dim, activation="sign", seed=spawn_seed(rng)
-            )
-        else:
-            self.encoder_ = RBFEncoder(
-                X.shape[1], self.dim, bandwidth=self.bandwidth, seed=spawn_seed(rng)
-            )
+        self.encoder_ = self._make_encoder(X.shape[1], spawn_seed(rng))
         self.memory_ = AssociativeMemory(n_classes, self.dim)
         self.history_ = TrainingHistory()
         tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
@@ -131,13 +141,7 @@ class BaselineHDClassifier(BaseClassifier):
         self.n_iterations_ = 0
         for iteration in range(self.iterations):
             order = shuffle_rng.permutation(encoded.shape[0])
-            sims = self.memory_.similarities(encoded[order])
-            predicted = np.argmax(sims, axis=1)
-            wrong = np.flatnonzero(predicted != y[order])
-            for j in wrong:
-                hv = encoded[order[j]]
-                self.memory_.add_to_class(int(predicted[j]), -self.lr * hv)
-                self.memory_.add_to_class(int(y[order[j]]), self.lr * hv)
+            self._perceptron_pass(encoded[order], y[order])
             train_acc = float(
                 np.mean(self.memory_.predict(encoded) == y)
             )
@@ -147,6 +151,28 @@ class BaselineHDClassifier(BaseClassifier):
             self.n_iterations_ = iteration + 1
             if tracker.update(train_acc):
                 break
+
+    def _perceptron_pass(self, encoded: np.ndarray, y: np.ndarray) -> None:
+        """The ISLPED'16 update: each miss moves both class vectors by lr."""
+        sims = self.memory_.similarities(encoded)
+        predicted = np.argmax(sims, axis=1)
+        for j in np.flatnonzero(predicted != y):
+            hv = encoded[j]
+            self.memory_.add_to_class(int(predicted[j]), -self.lr * hv)
+            self.memory_.add_to_class(int(y[j]), self.lr * hv)
+
+    def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """One streamed mini-batch: encode, then one perceptron pass."""
+        if self.encoder_ is None:
+            rng = as_rng(self.seed)
+            self.encoder_ = self._make_encoder(self.n_features_, spawn_seed(rng))
+            self.memory_ = AssociativeMemory(int(self.classes_.size), self.dim)
+            self.history_ = TrainingHistory()
+            self._bundle_first_batch = self.single_pass_init
+        encoded = self.encoder_.encode(X)
+        if self._bundle_first_batch and self.n_batches_ == 1:
+            self.memory_.accumulate(encoded, y)
+        self._perceptron_pass(encoded, y)
 
     def decision_scores(self, X) -> np.ndarray:
         """Cosine similarities of encoded queries against class memory."""

@@ -28,7 +28,13 @@ class OnlineHDClassifier(BaseClassifier):
 
     Parameters mirror :class:`~repro.core.disthd.DistHDClassifier` minus the
     regeneration knobs.
+
+    With a static encoder the adaptive pass is naturally incremental, so
+    this model also supports :meth:`partial_fit` (one adaptive pass per
+    mini-batch) — no reservoir or regeneration machinery needed.
     """
+
+    supports_streaming = True
 
     def __init__(
         self,
@@ -63,9 +69,11 @@ class OnlineHDClassifier(BaseClassifier):
         self.memory_: Optional[AssociativeMemory] = None
         self.history_: Optional[TrainingHistory] = None
         self.n_iterations_: int = 0
+        self._bundle_first_batch = False
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         n_classes = int(y.max()) + 1
+        self._bundle_first_batch = False
         rng = as_rng(self.seed)
         self.encoder_ = RBFEncoder(
             X.shape[1], self.dim, bandwidth=self.bandwidth, seed=spawn_seed(rng)
@@ -95,6 +103,22 @@ class OnlineHDClassifier(BaseClassifier):
             self.n_iterations_ = iteration + 1
             if tracker.update(train_acc):
                 break
+
+    def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """One streamed mini-batch: encode, then one adaptive pass."""
+        if self.encoder_ is None:
+            rng = as_rng(self.seed)
+            self.encoder_ = RBFEncoder(
+                self.n_features_, self.dim,
+                bandwidth=self.bandwidth, seed=spawn_seed(rng),
+            )
+            self.memory_ = AssociativeMemory(int(self.classes_.size), self.dim)
+            self.history_ = TrainingHistory()
+            self._bundle_first_batch = self.single_pass_init
+        encoded = self.encoder_.encode(X)
+        if self._bundle_first_batch and self.n_batches_ == 1:
+            self.memory_.accumulate(encoded, y)
+        adaptive_fit_iteration(self.memory_, encoded, y, lr=self.lr)
 
     def decision_scores(self, X) -> np.ndarray:
         """Cosine similarities of encoded queries against class memory."""

@@ -1,11 +1,16 @@
-"""Command-line interface: ``disthd-repro``.
+"""Command-line interface: ``repro`` (also installed as ``disthd-repro``).
 
 Subcommands:
 
-- ``datasets`` — list the Table-I registry;
+- ``datasets`` — list the Table-I dataset registry;
+- ``models`` — list the model registry (names, tags, hyper-parameters);
 - ``train`` — fit a model on a dataset analog and print the metric suite;
 - ``compare`` — run the Fig. 4-style model comparison on one dataset;
 - ``robustness`` — run a Fig. 8-style bit-flip sweep for one model.
+
+Model and dataset choices are read from the registries, so anything
+registered via :func:`repro.models.register_model` or the dataset registry
+is immediately drivable from the command line.
 """
 
 from __future__ import annotations
@@ -14,32 +19,17 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.baselines import (
-    BaselineHDClassifier,
-    KNNClassifier,
-    LinearSVMClassifier,
-    MLPClassifier,
-    NeuralHDClassifier,
-    OnlineHDClassifier,
-    RFFSVMClassifier,
-)
-from repro.core.disthd import DistHDClassifier
-from repro.datasets.loaders import load_dataset
+from repro.api import ExperimentSpec, compare, run_experiment
 from repro.datasets.registry import DATASETS, list_datasets
-from repro.noise.robustness import quality_loss_sweep
-from repro.pipeline.experiment import run_experiment
+from repro.models.registry import get_model_spec, list_models
 from repro.pipeline.report import format_markdown_table
 
-_MODELS = {
-    "disthd": lambda dim, seed: DistHDClassifier(dim=dim, seed=seed),
-    "baselinehd": lambda dim, seed: BaselineHDClassifier(dim=dim, seed=seed),
-    "neuralhd": lambda dim, seed: NeuralHDClassifier(dim=dim, seed=seed),
-    "onlinehd": lambda dim, seed: OnlineHDClassifier(dim=dim, seed=seed),
-    "mlp": lambda dim, seed: MLPClassifier(hidden_sizes=(dim,), seed=seed),
-    "svm": lambda dim, seed: LinearSVMClassifier(seed=seed),
-    "rff-svm": lambda dim, seed: RFFSVMClassifier(n_components=dim, seed=seed),
-    "knn": lambda dim, seed: KNNClassifier(k=5),
-}
+
+def _registry_epilog() -> str:
+    return (
+        f"registered models: {', '.join(list_models())}\n"
+        f"registered datasets: {', '.join(list_datasets())}"
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -53,8 +43,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument(
-        "--dim", type=int, default=500, help="hypervector dimensionality D",
+        "--dim", type=int, default=500,
+        help="capacity knob: hypervector dimensionality / hidden width / "
+        "random-feature count (ignored by models without a dim parameter)",
     )
+
+
+def _model_params(name: str, args: argparse.Namespace) -> dict:
+    """CLI knobs, filtered to what the registered model declares."""
+    declared = get_model_spec(name).param_names()
+    return {"dim": args.dim} if "dim" in declared else {}
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -73,41 +71,74 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_models(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "tags": ",".join(spec.tags),
+            "hyperparams": ", ".join(spec.param_names()),
+            "description": spec.description,
+        }
+        for spec in (
+            get_model_spec(name) for name in list_models(tag=args.tag)
+        )
+    ]
+    if not rows:
+        print(f"no models registered with tag {args.tag!r}")
+        return 1
+    print(format_markdown_table(rows))
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    model = _MODELS[args.model](args.dim, args.seed)
-    result = run_experiment(model, ds, model_name=args.model)
+    result = run_experiment(
+        model=args.model,
+        dataset=args.dataset,
+        model_params=_model_params(args.model, args),
+        scale=args.scale,
+        seed=args.seed,
+    )
     print(format_markdown_table([result.as_row()]))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    rows = []
-    for name in args.models:
-        model = _MODELS[name](args.dim, args.seed)
-        rows.append(run_experiment(model, ds, model_name=name).as_row())
+    results = compare(
+        [
+            (name, name, _model_params(name, args))
+            for name in args.models
+        ],
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+    )
     columns = ["model", "test_acc", "top2_acc", "train_s", "infer_s"]
-    print(format_markdown_table(rows, columns=columns))
+    print(format_markdown_table([r.as_row() for r in results], columns=columns))
     return 0
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    model = _MODELS[args.model](args.dim, args.seed)
-    model.fit(ds.train_x, ds.train_y)
-    points = quality_loss_sweep(
-        model, ds.test_x, ds.test_y, bits=args.bits, seed=args.seed
+    spec = ExperimentSpec(
+        model=args.model,
+        dataset=args.dataset,
+        model_params=_model_params(args.model, args),
+        scale=args.scale,
+        seed=args.seed,
+        noise_bits=args.bits,
+        error_rates=(0.01, 0.02, 0.05, 0.10, 0.15),
     )
+    result = run_experiment(spec)
+    # clean_acc is the quantised zero-flip reference the losses are
+    # measured against, not the float model's accuracy.
     rows = [
         {
-            "error_rate": p.error_rate,
-            "bits": p.bits,
-            "clean_acc": p.clean_accuracy,
-            "noisy_acc": p.noisy_accuracy,
-            "quality_loss_pct": p.quality_loss,
+            "error_rate": rate,
+            "bits": args.bits,
+            "clean_acc": result.extras["quantized_clean_acc"],
+            "noisy_acc": result.extras[f"noisy_acc@{rate:g}"],
+            "quality_loss_pct": result.extras[f"quality_loss@{rate:g}"],
         }
-        for p in points
+        for rate in spec.error_rates
     ]
     print(format_markdown_table(rows))
     return 0
@@ -115,27 +146,35 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="disthd-repro",
+        prog="repro",
         description="DistHD (DAC 2023) reproduction toolkit",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list the Table-I dataset registry")
 
+    models = sub.add_parser("models", help="list the model registry")
+    models.add_argument(
+        "--tag", default=None,
+        help="filter by capability tag (e.g. streaming, hdc, deploy)",
+    )
+
     train = sub.add_parser("train", help="train one model, print metrics")
     _add_common(train)
-    train.add_argument("--model", default="disthd", choices=sorted(_MODELS))
+    train.add_argument("--model", default="disthd", choices=list_models())
 
-    compare = sub.add_parser("compare", help="compare several models")
-    _add_common(compare)
-    compare.add_argument(
+    compare_p = sub.add_parser("compare", help="compare several models")
+    _add_common(compare_p)
+    compare_p.add_argument(
         "--models", nargs="+", default=["disthd", "baselinehd", "neuralhd"],
-        choices=sorted(_MODELS),
+        choices=list_models(),
     )
 
     robust = sub.add_parser("robustness", help="bit-flip robustness sweep")
     _add_common(robust)
-    robust.add_argument("--model", default="disthd", choices=sorted(_MODELS))
+    robust.add_argument("--model", default="disthd", choices=list_models())
     robust.add_argument("--bits", type=int, default=8, choices=(1, 2, 4, 8))
     return parser
 
@@ -144,6 +183,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
+        "models": _cmd_models,
         "train": _cmd_train,
         "compare": _cmd_compare,
         "robustness": _cmd_robustness,

@@ -61,6 +61,14 @@ class DistHDConfig:
         Early stopping: stop when training accuracy has improved by less
         than ``convergence_tol`` for ``convergence_patience`` consecutive
         iterations.  ``convergence_patience=None`` disables early stopping.
+    reservoir_size:
+        Streaming only (``partial_fit``): number of recent samples kept in
+        the regeneration reservoir (Algorithm 2 needs a population of
+        partially-correct / incorrect samples to score dimensions — single
+        mini-batches are too noisy).
+    regen_every:
+        Streaming only: run a regeneration step over the reservoir after
+        this many ``partial_fit`` calls.
     seed:
         Seed for the encoder and all training randomness.
     """
@@ -81,6 +89,8 @@ class DistHDConfig:
     selection: str = "intersection"
     convergence_patience: Optional[int] = 5
     convergence_tol: float = 1e-3
+    reservoir_size: int = 512
+    regen_every: int = 10
     seed: Optional[int] = field(default=None)
 
     def __post_init__(self) -> None:
@@ -131,6 +141,14 @@ class DistHDConfig:
         if self.convergence_tol < 0:
             raise ValueError(
                 f"convergence_tol must be non-negative, got {self.convergence_tol}"
+            )
+        if self.reservoir_size <= 0:
+            raise ValueError(
+                f"reservoir_size must be positive, got {self.reservoir_size}"
+            )
+        if self.regen_every <= 0:
+            raise ValueError(
+                f"regen_every must be positive, got {self.regen_every}"
             )
 
     def with_overrides(self, **kwargs) -> "DistHDConfig":

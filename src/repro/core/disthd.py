@@ -26,7 +26,7 @@ from repro.core.config import DistHDConfig
 from repro.core.convergence import ConvergenceTracker
 from repro.core.history import IterationRecord, TrainingHistory
 from repro.core.regeneration import regenerate_step
-from repro.core.topk import partition_outcomes, topk_accuracy_from_memory
+from repro.core.topk import partition_outcomes
 from repro.estimator import BaseClassifier
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
@@ -66,6 +66,8 @@ class DistHDClassifier(BaseClassifier):
     0.9...
     """
 
+    supports_streaming = True
+
     def __init__(self, config: Optional[DistHDConfig] = None, **overrides) -> None:
         super().__init__()
         base = config if config is not None else DistHDConfig()
@@ -74,12 +76,18 @@ class DistHDClassifier(BaseClassifier):
         self.memory_: Optional[AssociativeMemory] = None
         self.history_: Optional[TrainingHistory] = None
         self.n_iterations_: int = 0
+        self.total_regenerated_: int = 0
+        self._reservoir_rng = None
+        self._reservoir_x: Optional[np.ndarray] = None
+        self._reservoir_y: Optional[np.ndarray] = None
+        self._bundle_first_batch = False
 
     # -------------------------------------------------------------- training
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         cfg = self.config
         n_classes = int(y.max()) + 1
+        self._reset_stream_state()
         rng = as_rng(cfg.seed)
         self.encoder_ = RBFEncoder(
             X.shape[1], cfg.dim, bandwidth=cfg.bandwidth, seed=spawn_seed(rng)
@@ -141,6 +149,98 @@ class DistHDClassifier(BaseClassifier):
             self.n_iterations_ = iteration + 1
             if tracker.update(train_acc):
                 break
+
+    # ------------------------------------------------------------- streaming
+
+    def _reset_stream_state(self) -> None:
+        self.n_batches_ = 0
+        self.n_samples_seen_ = 0
+        self.total_regenerated_ = 0
+        self._reservoir_rng = None
+        self._reservoir_x = None
+        self._reservoir_y = None
+        self._bundle_first_batch = False
+
+    def _ensure_stream_state(self) -> None:
+        """Create encoder/memory/reservoir for incremental training.
+
+        Idempotent: a model that already holds batch-fitted state keeps it
+        (``partial_fit`` then refines the fitted model), only the reservoir
+        is added.
+        """
+        if self.encoder_ is not None and self._reservoir_x is not None:
+            return
+        cfg = self.config
+        rng = as_rng(cfg.seed)
+        encoder_seed, reservoir_seed = spawn_seed(rng), spawn_seed(rng)
+        if self.encoder_ is None:
+            self.encoder_ = RBFEncoder(
+                self.n_features_, cfg.dim,
+                bandwidth=cfg.bandwidth, seed=encoder_seed,
+            )
+            self.memory_ = AssociativeMemory(int(self.classes_.size), cfg.dim)
+            self.history_ = TrainingHistory()
+            # Fresh model: classic one-shot bundling of the first batch.
+            self._bundle_first_batch = cfg.single_pass_init
+        if self._reservoir_x is None:
+            self._reservoir_rng = as_rng(reservoir_seed)
+            self._reservoir_x = np.empty((0, self.n_features_))
+            self._reservoir_y = np.empty(0, dtype=np.int64)
+
+    def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """One streamed mini-batch: encode, adapt, maybe regenerate.
+
+        Runs DistHD's machinery incrementally — each batch gets one
+        Algorithm-1 adaptive pass, and every ``config.regen_every`` batches
+        an Algorithm-2 regeneration step runs over a sliding reservoir of
+        recent samples (single batches are too noisy to score dimensions).
+        This extends the paper (its evaluation is batch training) but is a
+        direct composition of its two algorithms; the reservoir plays the
+        role of the "batch data" in the paper's Fig. 3 workflow.
+        """
+        cfg = self.config
+        self._ensure_stream_state()
+        encoded = self.encoder_.encode(X)
+        if self._bundle_first_batch and self.n_batches_ == 1:
+            self.memory_.accumulate(encoded, y)
+        adaptive_fit_iteration(self.memory_, encoded, y, lr=cfg.lr)
+        self._update_reservoir(X, y)
+        if (
+            cfg.regen_rate > 0
+            and self.n_batches_ % cfg.regen_every == 0
+            and self._reservoir_x.shape[0] >= self.classes_.size * 2
+        ):
+            self._regenerate_from_reservoir()
+
+    def _update_reservoir(self, X: np.ndarray, labels: np.ndarray) -> None:
+        """Uniform reservoir sampling over the stream."""
+        self._reservoir_x = np.vstack([self._reservoir_x, X])
+        self._reservoir_y = np.concatenate([self._reservoir_y, labels])
+        excess = self._reservoir_x.shape[0] - self.config.reservoir_size
+        if excess > 0:
+            keep = self._reservoir_rng.choice(
+                self._reservoir_x.shape[0], size=self.config.reservoir_size,
+                replace=False,
+            )
+            keep.sort()
+            self._reservoir_x = self._reservoir_x[keep]
+            self._reservoir_y = self._reservoir_y[keep]
+
+    def _regenerate_from_reservoir(self) -> None:
+        encoded = self.encoder_.encode(self._reservoir_x)
+        partition = partition_outcomes(self.memory_, encoded, self._reservoir_y)
+        report = regenerate_step(
+            encoded, self._reservoir_y, partition, self.memory_,
+            self.encoder_, self.config,
+        )
+        if report.n_regenerated and self.config.rebundle_on_regen:
+            fresh = self.encoder_.encode_dims(self._reservoir_x, report.dims)
+            np.add.at(
+                self.memory_.vectors,
+                (self._reservoir_y[:, None], report.dims[None, :]),
+                fresh,
+            )
+        self.total_regenerated_ += report.n_regenerated
 
     # ------------------------------------------------------------- inference
 

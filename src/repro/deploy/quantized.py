@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.hdc.memory import AssociativeMemory
 from repro.hdc.ops import cosine_similarity
 from repro.noise.bitflip import flip_bits
 from repro.noise.quantization import QuantizedTensor, dequantize, quantize
@@ -126,4 +127,94 @@ class QuantizedHDCModel:
         return (
             f"QuantizedHDCModel(bits={self.bits}, "
             f"memory_bytes={self.memory_bytes})"
+        )
+
+
+class QuantizedTrainer:
+    """Train an HDC classifier, then serve it from fixed-point memory.
+
+    The trainable counterpart of :class:`QuantizedHDCModel`, so quantised
+    deployment is constructible through the model registry like any other
+    learner: ``fit`` trains the wrapped (float) classifier and immediately
+    freezes it; all inference then runs against the quantised memory image.
+
+    Parameters
+    ----------
+    classifier:
+        A fresh, unfitted HDC classifier (anything exposing ``encoder_`` /
+        ``memory_`` / ``classes_`` after fitting).
+    bits:
+        Class-memory precision (1, 2, 4 or 8).
+    """
+
+    def __init__(self, classifier, bits: int = 8) -> None:
+        if bits not in (1, 2, 4, 8):
+            raise ValueError(f"bits must be 1, 2, 4 or 8, got {bits}")
+        self.classifier = classifier
+        self.bits = int(bits)
+        self.deployed_: Optional[QuantizedHDCModel] = None
+
+    # -------------------------------------------------------------- training
+
+    def fit(self, X, y) -> "QuantizedTrainer":
+        """Fit the wrapped classifier, then freeze it at ``bits`` precision."""
+        self.classifier.fit(X, y)
+        self.deployed_ = QuantizedHDCModel(self.classifier, bits=self.bits)
+        return self
+
+    # ------------------------------------------------------------- inference
+
+    def _check_fitted(self) -> None:
+        if self.deployed_ is None:
+            raise RuntimeError(
+                "QuantizedTrainer is not fitted; call fit(X, y) first"
+            )
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Cosine similarities against the quantised class memory."""
+        self._check_fitted()
+        return self.deployed_.decision_scores(X)
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        return self.deployed_.predict(X)
+
+    def score(self, X, y) -> float:
+        self._check_fitted()
+        return self.deployed_.score(X, y)
+
+    def footprint_report(self) -> dict:
+        """Deployment footprint of the frozen model."""
+        self._check_fitted()
+        return self.deployed_.footprint_report()
+
+    # --------------------------------------------- persistence-facing state
+
+    @property
+    def classes_(self):
+        return getattr(self.classifier, "classes_", None)
+
+    @property
+    def n_features_(self):
+        return getattr(self.classifier, "n_features_", None)
+
+    @property
+    def encoder_(self):
+        return getattr(self.classifier, "encoder_", None)
+
+    @property
+    def memory_(self):
+        """The quantised memory, decoded to float (what inference uses)."""
+        if self.deployed_ is None:
+            return None
+        vectors = self.deployed_.class_vectors
+        memory = AssociativeMemory(vectors.shape[0], vectors.shape[1])
+        memory.vectors = vectors
+        return memory
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fitted" if self.deployed_ is not None else "unfitted"
+        return (
+            f"QuantizedTrainer({type(self.classifier).__name__}, "
+            f"bits={self.bits}, {state})"
         )

@@ -1,36 +1,38 @@
-"""Streaming (online) DistHD training.
+"""Streaming (online) DistHD training — deprecated adapter.
 
-Edge devices rarely see their training data all at once.  This wrapper runs
-DistHD's machinery incrementally: each call to :meth:`partial_fit` encodes
-one mini-batch, applies the Algorithm-1 adaptive update, and every
-``regen_every`` batches performs a regeneration step over a sliding
-reservoir of recent samples (Algorithm 2 needs a population of
-partially-correct / incorrect samples to score dimensions — single batches
-are too noisy).
+Incremental training is now part of the estimator protocol itself:
+:class:`~repro.core.disthd.DistHDClassifier` (and every other model with
+``supports_streaming = True``) exposes ``partial_fit`` directly::
 
-This is an extension beyond the paper (its evaluation is batch training),
-but a direct composition of its two algorithms; the reservoir plays the
-role of the "batch data" in the paper's Fig. 3 workflow.
+    from repro import make_model
+
+    clf = make_model("disthd-stream", dim=256, seed=0)
+    for batch_x, batch_y in stream:
+        clf.partial_fit(batch_x, batch_y, classes=range(n_classes))
+
+:class:`StreamingDistHD` remains as a thin adapter over that protocol so
+existing code keeps working; new code should call ``partial_fit`` on the
+classifier itself.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
-from repro.core.adaptive import adaptive_fit_iteration
 from repro.core.config import DistHDConfig
-from repro.core.regeneration import regenerate_step
-from repro.core.topk import partition_outcomes
-from repro.hdc.encoders.rbf import RBFEncoder
-from repro.hdc.memory import AssociativeMemory
-from repro.utils.rng import as_rng, spawn_seed
-from repro.utils.validation import check_features_match, check_labels, check_paired
+from repro.core.disthd import DistHDClassifier
 
 
 class StreamingDistHD:
-    """DistHD trained one mini-batch at a time.
+    """DistHD trained one mini-batch at a time (deprecated adapter).
+
+    .. deprecated::
+        Use :meth:`DistHDClassifier.partial_fit` (or
+        ``make_model("disthd-stream")``) instead.  This class now delegates
+        every call to an internal :class:`DistHDClassifier`.
 
     Parameters
     ----------
@@ -57,112 +59,122 @@ class StreamingDistHD:
         reservoir_size: int = 512,
         regen_every: int = 10,
     ) -> None:
+        warnings.warn(
+            "StreamingDistHD is deprecated; use "
+            "DistHDClassifier.partial_fit (or make_model('disthd-stream')) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if n_features <= 0:
             raise ValueError(f"n_features must be positive, got {n_features}")
         if n_classes < 2:
             raise ValueError(f"n_classes must be >= 2, got {n_classes}")
-        if reservoir_size <= 0:
-            raise ValueError(f"reservoir_size must be positive, got {reservoir_size}")
-        if regen_every <= 0:
-            raise ValueError(f"regen_every must be positive, got {regen_every}")
-        self.config = config if config is not None else DistHDConfig()
-        self.n_features_ = int(n_features)
-        self.n_classes_ = int(n_classes)
-        self.reservoir_size = int(reservoir_size)
-        self.regen_every = int(regen_every)
-
-        rng = as_rng(self.config.seed)
-        self.encoder_ = RBFEncoder(
-            self.n_features_, self.config.dim,
-            bandwidth=self.config.bandwidth, seed=spawn_seed(rng),
+        base = config if config is not None else DistHDConfig()
+        self.config = base.with_overrides(
+            reservoir_size=reservoir_size, regen_every=regen_every
         )
-        self.memory_ = AssociativeMemory(self.n_classes_, self.config.dim)
-        self._reservoir_rng = as_rng(spawn_seed(rng))
-        self._reservoir_x = np.empty((0, self.n_features_))
-        self._reservoir_y = np.empty(0, dtype=np.int64)
-        self.n_batches_ = 0
-        self.n_samples_seen_ = 0
-        self.total_regenerated_ = 0
+        self._clf = DistHDClassifier(self.config)
+        # Streaming fixes the signature up front: bind the class set and
+        # feature count, then build encoder/memory so inference works even
+        # before the first batch (historical behaviour of this class).
+        self._clf.classes_ = np.arange(n_classes)
+        self._clf.n_features_ = int(n_features)
+        self._clf._ensure_stream_state()
 
     # -------------------------------------------------------------- training
 
     def partial_fit(self, X, y) -> "StreamingDistHD":
         """Consume one mini-batch: encode, adapt, maybe regenerate."""
-        X, y = check_paired(X, y)
-        check_features_match(self.n_features_, X.shape[1], "StreamingDistHD")
-        labels, _ = check_labels(y, self.n_classes_)
-
-        encoded = self.encoder_.encode(X)
-        if self.config.single_pass_init and self.n_batches_ == 0:
-            self.memory_.accumulate(encoded, labels)
-        adaptive_fit_iteration(
-            self.memory_, encoded, labels, lr=self.config.lr
-        )
-        self._update_reservoir(X, labels)
-        self.n_batches_ += 1
-        self.n_samples_seen_ += X.shape[0]
-
-        if (
-            self.config.regen_rate > 0
-            and self.n_batches_ % self.regen_every == 0
-            and self._reservoir_x.shape[0] >= self.n_classes_ * 2
-        ):
-            self._regenerate_from_reservoir()
+        self._clf.partial_fit(X, y)
         return self
-
-    def _update_reservoir(self, X: np.ndarray, labels: np.ndarray) -> None:
-        """Uniform reservoir sampling over the stream."""
-        self._reservoir_x = np.vstack([self._reservoir_x, X])
-        self._reservoir_y = np.concatenate([self._reservoir_y, labels])
-        excess = self._reservoir_x.shape[0] - self.reservoir_size
-        if excess > 0:
-            keep = self._reservoir_rng.choice(
-                self._reservoir_x.shape[0], size=self.reservoir_size,
-                replace=False,
-            )
-            keep.sort()
-            self._reservoir_x = self._reservoir_x[keep]
-            self._reservoir_y = self._reservoir_y[keep]
-
-    def _regenerate_from_reservoir(self) -> None:
-        encoded = self.encoder_.encode(self._reservoir_x)
-        partition = partition_outcomes(self.memory_, encoded, self._reservoir_y)
-        report = regenerate_step(
-            encoded, self._reservoir_y, partition, self.memory_,
-            self.encoder_, self.config,
-        )
-        if report.n_regenerated and self.config.rebundle_on_regen:
-            fresh = self.encoder_.encode_dims(self._reservoir_x, report.dims)
-            np.add.at(
-                self.memory_.vectors,
-                (self._reservoir_y[:, None], report.dims[None, :]),
-                fresh,
-            )
-        self.total_regenerated_ += report.n_regenerated
 
     # ------------------------------------------------------------- inference
 
     def decision_scores(self, X) -> np.ndarray:
         """Cosine similarities of queries against the current class memory."""
-        X = np.asarray(X, dtype=np.float64)
-        check_features_match(self.n_features_, X.shape[1], "StreamingDistHD")
-        return self.memory_.similarities(self.encoder_.encode(X))
+        return self._clf.decision_scores(X)
 
     def predict(self, X) -> np.ndarray:
         """Most-similar class per query."""
-        return np.argmax(self.decision_scores(X), axis=1)
+        return self._clf.predict(X)
 
     def score(self, X, y) -> float:
         """Top-1 accuracy."""
-        y = np.asarray(y).ravel()
-        return float(np.mean(self.predict(X) == y))
+        return self._clf.score(X, y)
+
+    # ------------------------------------------------------------ delegation
 
     @property
-    def effective_dim_(self) -> int:
-        """Physical D plus all dimensions regenerated so far."""
-        return self.encoder_.effective_dim()
+    def classifier_(self) -> DistHDClassifier:
+        """The underlying incremental :class:`DistHDClassifier`."""
+        return self._clf
+
+    def _retune(self, **overrides) -> None:
+        # Both knobs were plain writable attributes before this class became
+        # an adapter; keep mid-stream tuning working by re-deriving the
+        # shared config.
+        self.config = self.config.with_overrides(**overrides)
+        self._clf.config = self.config
+
+    @property
+    def reservoir_size(self) -> int:
+        return self.config.reservoir_size
+
+    @reservoir_size.setter
+    def reservoir_size(self, value: int) -> None:
+        self._retune(reservoir_size=int(value))
+
+    @property
+    def regen_every(self) -> int:
+        return self.config.regen_every
+
+    @regen_every.setter
+    def regen_every(self, value: int) -> None:
+        self._retune(regen_every=int(value))
+
+    @property
+    def encoder_(self):
+        return self._clf.encoder_
+
+    @property
+    def memory_(self):
+        return self._clf.memory_
+
+    @property
+    def n_features_(self) -> int:
+        return self._clf.n_features_
+
+    @property
+    def n_classes_(self) -> int:
+        return int(self._clf.classes_.size)
 
     @property
     def classes_(self) -> np.ndarray:
         """Dense class labels (streaming models fix the class set up front)."""
-        return np.arange(self.n_classes_)
+        return self._clf.classes_
+
+    @property
+    def n_batches_(self) -> int:
+        return self._clf.n_batches_
+
+    @property
+    def n_samples_seen_(self) -> int:
+        return self._clf.n_samples_seen_
+
+    @property
+    def total_regenerated_(self) -> int:
+        return self._clf.total_regenerated_
+
+    @property
+    def effective_dim_(self) -> int:
+        """Physical D plus all dimensions regenerated so far."""
+        return self._clf.encoder_.effective_dim()
+
+    @property
+    def _reservoir_x(self) -> np.ndarray:
+        return self._clf._reservoir_x
+
+    @property
+    def _reservoir_y(self) -> np.ndarray:
+        return self._clf._reservoir_y

@@ -4,6 +4,14 @@ All classifiers in the library (DistHD, HDC baselines, MLP, SVMs, kNN) follow
 a small sklearn-style protocol defined here: ``fit`` / ``predict`` /
 ``score``, plus ``decision_scores`` for models that expose per-class scores
 and ``predict_topk`` for similarity-ranked models.
+
+Incremental (streaming) learning is part of the same protocol: models that
+can train one mini-batch at a time set :attr:`~BaseClassifier.supports_streaming`
+and implement :meth:`~BaseClassifier._partial_fit`; users call
+:meth:`~BaseClassifier.partial_fit` with an optional ``classes=`` argument on
+the first batch.  Label validation, dense remapping and feature-count checks
+are shared with the batch path, so streamed and batch training see identical
+inputs.
 """
 
 from __future__ import annotations
@@ -13,7 +21,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.validation import check_labels, check_paired
+from repro.utils.validation import (
+    check_features_match,
+    check_labels,
+    check_paired,
+)
 
 
 class BaseClassifier(abc.ABC):
@@ -23,11 +35,22 @@ class BaseClassifier(abc.ABC):
     validated and remapped to a contiguous ``[0, k)`` range here so models
     can assume dense integer classes internally while users may pass any
     integer labels.
+
+    Streaming-capable subclasses additionally set
+    ``supports_streaming = True`` and implement :meth:`_partial_fit`.
     """
+
+    #: Whether this model implements :meth:`_partial_fit` (incremental
+    #: mini-batch training).  Checked by :meth:`partial_fit` and by the
+    #: model registry's capability tags.
+    supports_streaming: bool = False
 
     def __init__(self) -> None:
         self.classes_: Optional[np.ndarray] = None
         self.n_features_: Optional[int] = None
+        # Incremental-training bookkeeping (maintained by partial_fit).
+        self.n_batches_: int = 0
+        self.n_samples_seen_: int = 0
 
     # ------------------------------------------------------------------- api
 
@@ -41,8 +64,68 @@ class BaseClassifier(abc.ABC):
             )
         self.classes_ = classes
         self.n_features_ = X.shape[1]
+        self.n_batches_ = 0
+        self.n_samples_seen_ = 0
         dense = np.searchsorted(classes, labels)
         self._fit(X, dense)
+        return self
+
+    def partial_fit(self, X, y, classes=None) -> "BaseClassifier":
+        """Incrementally train on one mini-batch ``(X, y)``.
+
+        The first call fixes the model's class set and feature count:
+        pass ``classes`` (every label the stream will ever produce) up
+        front, or the unique labels of the first batch are used.  Later
+        batches may contain any subset of the fixed classes; labels outside
+        it are rejected.
+
+        Only models with ``supports_streaming = True`` implement this;
+        others raise ``NotImplementedError``.
+        """
+        if not self.supports_streaming:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not support incremental "
+                "training (supports_streaming is False)"
+            )
+        X, y = check_paired(X, y)
+        labels, observed = check_labels(y)
+        if self.classes_ is None:
+            if classes is not None:
+                class_set, _ = check_labels(classes, name="classes")
+                class_set = np.unique(class_set)
+                missing = np.setdiff1d(observed, class_set)
+                if missing.size:
+                    raise ValueError(
+                        f"y contains labels {missing.tolist()} not in the "
+                        f"declared classes {class_set.tolist()}"
+                    )
+            else:
+                class_set = observed
+            if class_set.size < 2:
+                raise ValueError(
+                    "need at least 2 classes for incremental training; "
+                    "pass classes= on the first partial_fit call if the "
+                    f"first batch is single-class (got {class_set.size})"
+                )
+            self.classes_ = class_set
+            self.n_features_ = X.shape[1]
+        else:
+            check_features_match(
+                self.n_features_, X.shape[1], type(self).__name__
+            )
+        dense = np.searchsorted(self.classes_, labels)
+        clipped = np.minimum(dense, self.classes_.size - 1)
+        if np.any(self.classes_[clipped] != labels):
+            bad = np.unique(labels[self.classes_[clipped] != labels])
+            raise ValueError(
+                f"y labels must lie in the fitted class set "
+                f"{self.classes_.tolist()}, got {bad.tolist()}"
+            )
+        # Counters are advanced before the hook so implementations see the
+        # 1-based number of the batch they are consuming.
+        self.n_batches_ += 1
+        self.n_samples_seen_ += X.shape[0]
+        self._partial_fit(X, clipped)
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -69,6 +152,17 @@ class BaseClassifier(abc.ABC):
     @abc.abstractmethod
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         """Train on validated features and dense ``[0, k)`` labels."""
+
+    def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Consume one validated mini-batch (dense ``[0, k)`` labels).
+
+        Implemented by streaming-capable subclasses; the base implementation
+        exists only so ``supports_streaming`` can gate :meth:`partial_fit`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} sets supports_streaming but does not "
+            "implement _partial_fit"
+        )
 
     @abc.abstractmethod
     def decision_scores(self, X) -> np.ndarray:

@@ -1,0 +1,27 @@
+"""Model construction and dispatch: the estimator-layer registry.
+
+``from repro.models import make_model`` is the single way to build any
+library classifier by name; importing this package registers the full
+catalog (DistHD, the six baselines, and the deploy variants).
+"""
+
+from repro.models import catalog as _catalog  # noqa: F401  (populates registry)
+from repro.models.registry import (
+    Hyperparam,
+    ModelSpec,
+    default_hyperparam_grid,
+    get_model_spec,
+    list_models,
+    make_model,
+    register_model,
+)
+
+__all__ = [
+    "Hyperparam",
+    "ModelSpec",
+    "default_hyperparam_grid",
+    "get_model_spec",
+    "list_models",
+    "make_model",
+    "register_model",
+]

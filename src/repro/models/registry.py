@@ -1,0 +1,143 @@
+"""The model registry: construct any library classifier by name.
+
+Mirrors :mod:`repro.datasets.registry` for the estimator layer.  Every
+classifier (DistHD, the six baselines, and the deploy variants) is
+registered under a short name together with a declarative hyper-parameter
+spec, so pipelines, the CLI, grid search, and user code can build models by
+name instead of importing concrete classes::
+
+    from repro.models import make_model, list_models
+
+    clf = make_model("disthd", dim=1000, seed=0)
+    list_models(tag="streaming")   # every online-capable learner
+
+Registration is open: downstream code adds its own learners with
+:func:`register_model` (usable as a decorator factory) and they immediately
+work everywhere models are referenced by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Hyperparam:
+    """One declarative hyper-parameter of a registered model.
+
+    Attributes
+    ----------
+    name:
+        Keyword argument the model factory accepts.
+    default:
+        Value used when the caller does not override it (informational —
+        the factory's own default is authoritative).
+    grid:
+        Candidate values for grid search; empty means "not swept by
+        default".  :meth:`ModelSpec.default_grid` collects these into the
+        space :func:`repro.pipeline.grid.grid_search` consumes.
+    description:
+        One-line human description (shown by the CLI).
+    """
+
+    name: str
+    default: object = None
+    grid: Tuple = ()
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A registered model: factory, capability tags, hyper-parameter spec."""
+
+    name: str
+    factory: Callable[..., object]
+    tags: Tuple[str, ...] = ()
+    description: str = ""
+    hyperparams: Tuple[Hyperparam, ...] = ()
+
+    def param_names(self) -> Tuple[str, ...]:
+        """Names of the declared hyper-parameters."""
+        return tuple(p.name for p in self.hyperparams)
+
+    def default_grid(self) -> Dict[str, Sequence]:
+        """The declared search space, ready for ``grid_search``."""
+        return {p.name: list(p.grid) for p in self.hyperparams if p.grid}
+
+
+_REGISTRY: Dict[str, ModelSpec] = {}
+
+
+def register_model(
+    name: str,
+    factory: Optional[Callable[..., object]] = None,
+    *,
+    tags: Sequence[str] = (),
+    description: str = "",
+    hyperparams: Sequence[Hyperparam] = (),
+    overwrite: bool = False,
+):
+    """Register ``factory`` under ``name``; usable as a decorator factory.
+
+    ``factory(**hyperparams)`` must return a fresh, unfitted model.  Names
+    are case-insensitive and must be unique unless ``overwrite`` is set.
+
+    Returns the factory (decorator form) or the created :class:`ModelSpec`.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("model name must be non-empty")
+
+    def _register(fn: Callable[..., object]):
+        if key in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"model {key!r} is already registered; pass overwrite=True "
+                "to replace it"
+            )
+        _REGISTRY[key] = ModelSpec(
+            name=key,
+            factory=fn,
+            tags=tuple(tags),
+            description=description,
+            hyperparams=tuple(hyperparams),
+        )
+        return fn
+
+    if factory is None:
+        return _register
+    _register(factory)
+    return _REGISTRY[key]
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Look up a model spec by (case-insensitive) name."""
+    key = str(name).strip().lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def make_model(name: str, **hyperparams):
+    """Build a fresh, unfitted model registered under ``name``.
+
+    Keyword arguments are forwarded to the registered factory, which
+    validates them (unknown parameters raise ``TypeError`` from the
+    underlying constructor).
+    """
+    return get_model_spec(name).factory(**hyperparams)
+
+
+def list_models(tag: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered model names (sorted); optionally filtered by ``tag``."""
+    names = sorted(_REGISTRY)
+    if tag is None:
+        return tuple(names)
+    return tuple(n for n in names if tag in _REGISTRY[n].tags)
+
+
+def default_hyperparam_grid(name: str) -> Dict[str, Sequence]:
+    """The declared grid-search space for ``name`` (may be empty)."""
+    return get_model_spec(name).default_grid()

@@ -5,7 +5,10 @@
 - HDC classifiers (anything exposing ``memory_``): the class-hypervector
   matrix is quantised at the chosen precision, bit-flipped and decoded back;
 - :class:`~repro.baselines.mlp.MLPClassifier`: every weight/bias array is
-  quantised (paper: "effective 8-bit representation"), flipped, decoded.
+  quantised (paper: "effective 8-bit representation"), flipped, decoded;
+- :class:`~repro.deploy.quantized.QuantizedTrainer`: already stores a
+  fixed-point memory image, so flips are injected directly into the
+  deployed codes at the trainer's own precision.
 
 ``quality loss`` follows the paper: the *drop in accuracy* relative to the
 clean model, in percentage points.
@@ -34,14 +37,35 @@ def perturb_classifier(model, bits: int, error_rate: float, seed: SeedLike = Non
         A fitted classifier: any HDC model with a ``memory_`` attribute, or
         an :class:`~repro.baselines.mlp.MLPClassifier`.
     bits:
-        Storage precision (1, 2, 4 or 8).
+        Storage precision (1, 2, 4 or 8).  A
+        :class:`~repro.deploy.quantized.QuantizedTrainer` already fixes its
+        own precision; asking for a different one raises ``ValueError``
+        rather than silently mislabeling the sweep.
     error_rate:
         Fraction of memory bits flipped.
     seed:
         RNG seed for flip positions.
     """
+    # Imported here: repro.deploy.quantized needs this package's bitflip /
+    # quantization modules, so a top-level import would be circular.
+    from repro.deploy.quantized import QuantizedTrainer
+
     rng = as_rng(seed)
     perturbed = copy.deepcopy(model)
+    if isinstance(perturbed, QuantizedTrainer):
+        # The deployed image is the storage: flip its codes in place.
+        # (Checked before the generic memory_ branch — the trainer's
+        # memory_ property decodes a throwaway copy.)
+        if perturbed.deployed_ is None:
+            raise RuntimeError("QuantizedTrainer is not fitted")
+        if int(bits) != perturbed.bits:
+            raise ValueError(
+                f"model is deployed at {perturbed.bits}-bit precision but "
+                f"the sweep asked for {bits}-bit flips; rebuild the model "
+                f"with bits={bits} (run_experiment does this automatically)"
+            )
+        perturbed.deployed_.inject_faults(error_rate, spawn_seed(rng))
+        return perturbed
     if hasattr(perturbed, "memory_") and perturbed.memory_ is not None:
         qt = quantize(perturbed.memory_.vectors, bits)
         qt = flip_bits(qt, error_rate, spawn_seed(rng))

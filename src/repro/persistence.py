@@ -1,40 +1,43 @@
-"""Model persistence: save/load fitted HDC classifiers as ``.npz`` archives.
+"""Model persistence: save/load fitted classifiers as ``.npz`` archives.
 
-An HDC model's deployable state is small and fully array-valued (encoder
-parameters + class memory + label mapping), so a flat NumPy archive is the
-natural format — no pickle, no code execution on load, portable to
-microcontroller toolchains that can read ``.npz``.
+Every registered model's deployable state is small and fully array-valued
+(encoder parameters / weight matrices + label mapping), so a flat NumPy
+archive is the natural format — no pickle, no code execution on load,
+portable to microcontroller toolchains that can read ``.npz``.
 
-Supported models: :class:`~repro.core.disthd.DistHDClassifier` and the HDC
-baselines sharing its state layout (OnlineHD, NeuralHD, and BaselineHD with
-the RBF encoder).  BaselineHD's ID-level encoder serialises its item/level
-memories instead of projection rows.
+Two families of archive:
+
+- **HDC models** (DistHD, OnlineHD, NeuralHD, BaselineHD) store encoder
+  parameters plus the class memory and load as a :class:`LoadedHDCModel` —
+  an inference-only view (training state such as histories and configs is
+  intentionally not persisted); quantised deployments additionally record
+  their precision and load back as a fixed-point
+  :class:`~repro.deploy.quantized.QuantizedHDCModel`;
+- **classical models** (MLP, linear/RFF SVM, kNN) store their weight
+  arrays and load back as real classifier instances, inference-ready.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Callable, Dict, Tuple, Union
 
 import numpy as np
 
 from repro.baselines.baselinehd import BaselineHDClassifier
+from repro.baselines.knn import KNNClassifier
+from repro.baselines.mlp import MLPClassifier
 from repro.baselines.neuralhd import NeuralHDClassifier
 from repro.baselines.onlinehd import OnlineHDClassifier
+from repro.baselines.svm import LinearSVMClassifier, RFFSVMClassifier
 from repro.core.disthd import DistHDClassifier
+from repro.deploy.quantized import QuantizedHDCModel, QuantizedTrainer
 from repro.hdc.encoders.id_level import IDLevelEncoder
 from repro.hdc.encoders.projection import RandomProjectionEncoder
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
 
-_FORMAT_VERSION = 1
-
-_MODEL_KINDS = {
-    "DistHDClassifier": DistHDClassifier,
-    "OnlineHDClassifier": OnlineHDClassifier,
-    "NeuralHDClassifier": NeuralHDClassifier,
-    "BaselineHDClassifier": BaselineHDClassifier,
-}
+_FORMAT_VERSION = 2
 
 
 def _encoder_payload(encoder) -> dict:
@@ -90,37 +93,8 @@ def _restore_encoder(kind: str, data, n_features: int, dim: int):
     raise ValueError(f"unknown encoder kind {kind!r} in archive")
 
 
-def save_model(model, path: Union[str, Path]) -> Path:
-    """Serialise a fitted HDC classifier to ``path`` (``.npz``).
-
-    Returns the written path.  Raises ``TypeError`` for unsupported model
-    types and ``RuntimeError`` for unfitted models.
-    """
-    kind = type(model).__name__
-    if kind not in _MODEL_KINDS:
-        raise TypeError(
-            f"save_model supports {sorted(_MODEL_KINDS)}, got {kind}"
-        )
-    if getattr(model, "memory_", None) is None or model.classes_ is None:
-        raise RuntimeError(f"{kind} is not fitted; nothing to save")
-
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
-    payload = {
-        "format_version": np.int64(_FORMAT_VERSION),
-        "model_kind": kind,
-        "classes": model.classes_,
-        "n_features": np.int64(model.n_features_),
-        "memory_vectors": model.memory_.vectors,
-        **_encoder_payload(model.encoder_),
-    }
-    np.savez_compressed(path, **payload)
-    return path
-
-
 class LoadedHDCModel:
-    """A fitted, inference-only model restored from disk.
+    """A fitted, inference-only HDC model restored from disk.
 
     Exposes the inference half of the estimator protocol (``predict``,
     ``predict_topk``, ``decision_scores``, ``score``); training state
@@ -160,8 +134,222 @@ class LoadedHDCModel:
         return float(np.mean(self.predict(X) == y))
 
 
-def load_model(path: Union[str, Path]) -> LoadedHDCModel:
-    """Restore a model saved by :func:`save_model`."""
+# --------------------------------------------------------------------- HDC
+
+
+def _hdc_payload(model) -> dict:
+    return {
+        "memory_vectors": model.memory_.vectors,
+        **_encoder_payload(model.encoder_),
+    }
+
+
+def _hdc_load(kind: str, data, classes, n_features: int):
+    memory_vectors = np.asarray(data["memory_vectors"])
+    n_classes, dim = memory_vectors.shape
+    encoder = _restore_encoder(str(data["encoder_kind"]), data, n_features, dim)
+    memory = AssociativeMemory(n_classes, dim)
+    memory.vectors = memory_vectors
+    return LoadedHDCModel(kind, encoder, memory, classes, n_features)
+
+
+def _hdc_fitted(model) -> bool:
+    return getattr(model, "memory_", None) is not None
+
+
+def _quantized_payload(model: QuantizedTrainer) -> dict:
+    return {**_hdc_payload(model), "quantized_bits": np.int64(model.bits)}
+
+
+def _quantized_load(kind: str, data, classes, n_features: int):
+    """Rebuild the fixed-point deployment, not just its float decode.
+
+    The stored memory vectors already lie on the ``quantized_bits`` grid,
+    so re-quantising at the same precision reproduces the deployed codes;
+    the result keeps ``inject_faults`` / ``footprint_report`` working.
+    """
+    base = _hdc_load(kind, data, classes, n_features)
+    return QuantizedHDCModel(base, bits=int(data["quantized_bits"]))
+
+
+def _quantized_fitted(model: QuantizedTrainer) -> bool:
+    return model.deployed_ is not None
+
+
+# --------------------------------------------------------------- classical
+
+
+def _mlp_payload(model: MLPClassifier) -> dict:
+    payload = {
+        "hidden_sizes": np.asarray(model.hidden_sizes, dtype=np.int64),
+        "n_layers": np.int64(len(model.weights_)),
+    }
+    for i, (w, b) in enumerate(zip(model.weights_, model.biases_)):
+        payload[f"mlp_w_{i}"] = w
+        payload[f"mlp_b_{i}"] = b
+    return payload
+
+
+def _mlp_load(kind: str, data, classes, n_features: int) -> MLPClassifier:
+    model = MLPClassifier(
+        hidden_sizes=tuple(int(h) for h in np.asarray(data["hidden_sizes"]))
+    )
+    n_layers = int(data["n_layers"])
+    model.weights_ = [np.asarray(data[f"mlp_w_{i}"]) for i in range(n_layers)]
+    model.biases_ = [np.asarray(data[f"mlp_b_{i}"]) for i in range(n_layers)]
+    model.classes_ = classes
+    model.n_features_ = n_features
+    return model
+
+
+def _mlp_fitted(model: MLPClassifier) -> bool:
+    return bool(model.weights_)
+
+
+def _svm_payload(model: LinearSVMClassifier) -> dict:
+    return {
+        "svm_coef": model.coef_,
+        "svm_intercept": model.intercept_,
+        "svm_fit_intercept": np.bool_(model.fit_intercept),
+    }
+
+
+def _svm_load(kind: str, data, classes, n_features: int) -> LinearSVMClassifier:
+    model = LinearSVMClassifier(
+        fit_intercept=bool(data["svm_fit_intercept"])
+    )
+    model.coef_ = np.asarray(data["svm_coef"])
+    model.intercept_ = np.asarray(data["svm_intercept"])
+    model.classes_ = classes
+    model.n_features_ = n_features
+    return model
+
+
+def _svm_fitted(model: LinearSVMClassifier) -> bool:
+    return model.coef_ is not None
+
+
+def _rff_payload(model: RFFSVMClassifier) -> dict:
+    gamma = np.float64(np.nan if model.gamma is None else model.gamma)
+    return {
+        "rff_frequencies": model.frequencies_,
+        "rff_phases": model.phases_,
+        "rff_gamma": gamma,
+        **{f"inner_{k}": v for k, v in _svm_payload(model.svm_).items()},
+    }
+
+
+def _rff_load(kind: str, data, classes, n_features: int) -> RFFSVMClassifier:
+    frequencies = np.asarray(data["rff_frequencies"])
+    gamma = float(data["rff_gamma"])
+    model = RFFSVMClassifier(
+        n_components=frequencies.shape[0],
+        gamma=None if np.isnan(gamma) else gamma,
+    )
+    model.frequencies_ = frequencies
+    model.phases_ = np.asarray(data["rff_phases"])
+    inner = LinearSVMClassifier(
+        fit_intercept=bool(data["inner_svm_fit_intercept"])
+    )
+    inner.coef_ = np.asarray(data["inner_svm_coef"])
+    inner.intercept_ = np.asarray(data["inner_svm_intercept"])
+    inner.classes_ = np.arange(inner.coef_.shape[0])
+    inner.n_features_ = frequencies.shape[0]
+    model.svm_ = inner
+    model.classes_ = classes
+    model.n_features_ = n_features
+    return model
+
+
+def _rff_fitted(model: RFFSVMClassifier) -> bool:
+    return model.svm_ is not None and model.svm_.coef_ is not None
+
+
+def _knn_payload(model: KNNClassifier) -> dict:
+    return {
+        "knn_train_x": model._train_x,
+        "knn_train_y": model._train_y,
+        "knn_k": np.int64(model.k),
+        "knn_weights": model.weights,
+    }
+
+
+def _knn_load(kind: str, data, classes, n_features: int) -> KNNClassifier:
+    model = KNNClassifier(
+        k=int(data["knn_k"]), weights=str(data["knn_weights"])
+    )
+    model._train_x = np.asarray(data["knn_train_x"])
+    model._train_y = np.asarray(data["knn_train_y"])
+    model.classes_ = classes
+    model.n_features_ = n_features
+    return model
+
+
+def _knn_fitted(model: KNNClassifier) -> bool:
+    return model._train_x is not None
+
+
+# ------------------------------------------------------------- dispatch
+
+# kind -> (model class, payload fn, load fn, fitted-check fn)
+_FORMATS: Dict[str, Tuple[type, Callable, Callable, Callable]] = {
+    "DistHDClassifier": (DistHDClassifier, _hdc_payload, _hdc_load, _hdc_fitted),
+    "OnlineHDClassifier": (
+        OnlineHDClassifier, _hdc_payload, _hdc_load, _hdc_fitted
+    ),
+    "NeuralHDClassifier": (
+        NeuralHDClassifier, _hdc_payload, _hdc_load, _hdc_fitted
+    ),
+    "BaselineHDClassifier": (
+        BaselineHDClassifier, _hdc_payload, _hdc_load, _hdc_fitted
+    ),
+    "QuantizedTrainer": (
+        QuantizedTrainer, _quantized_payload, _quantized_load, _quantized_fitted
+    ),
+    "MLPClassifier": (MLPClassifier, _mlp_payload, _mlp_load, _mlp_fitted),
+    "LinearSVMClassifier": (
+        LinearSVMClassifier, _svm_payload, _svm_load, _svm_fitted
+    ),
+    "RFFSVMClassifier": (RFFSVMClassifier, _rff_payload, _rff_load, _rff_fitted),
+    "KNNClassifier": (KNNClassifier, _knn_payload, _knn_load, _knn_fitted),
+}
+
+
+def save_model(model, path: Union[str, Path]) -> Path:
+    """Serialise a fitted classifier to ``path`` (``.npz``).
+
+    Returns the written path.  Raises ``TypeError`` for unsupported model
+    types and ``RuntimeError`` for unfitted models.
+    """
+    kind = type(model).__name__
+    if kind not in _FORMATS:
+        raise TypeError(
+            f"save_model supports {sorted(_FORMATS)}, got {kind}"
+        )
+    _, payload_fn, _, fitted_fn = _FORMATS[kind]
+    if model.classes_ is None or not fitted_fn(model):
+        raise RuntimeError(f"{kind} is not fitted; nothing to save")
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "model_kind": kind,
+        "classes": np.asarray(model.classes_),
+        "n_features": np.int64(model.n_features_),
+        **payload_fn(model),
+    }
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_model(path: Union[str, Path]):
+    """Restore a model saved by :func:`save_model`.
+
+    HDC archives load as an inference-only :class:`LoadedHDCModel`;
+    classical archives load as real classifier instances.
+    """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
         version = int(data["format_version"])
@@ -171,16 +359,9 @@ def load_model(path: Union[str, Path]) -> LoadedHDCModel:
                 f"({_FORMAT_VERSION})"
             )
         kind = str(data["model_kind"])
-        if kind not in _MODEL_KINDS:
+        if kind not in _FORMATS:
             raise ValueError(f"unknown model kind {kind!r} in archive")
-        memory_vectors = np.asarray(data["memory_vectors"])
-        n_classes, dim = memory_vectors.shape
+        _, _, load_fn, _ = _FORMATS[kind]
+        classes = np.asarray(data["classes"])
         n_features = int(data["n_features"])
-        encoder = _restore_encoder(
-            str(data["encoder_kind"]), data, n_features, dim
-        )
-        memory = AssociativeMemory(n_classes, dim)
-        memory.vectors = memory_vectors
-        return LoadedHDCModel(
-            kind, encoder, memory, np.asarray(data["classes"]), n_features
-        )
+        return load_fn(kind, data, classes, n_features)

@@ -8,10 +8,11 @@ the benchmark harness uses it to put error bars on close comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Tuple
+from typing import Callable, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.models.registry import make_model
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_paired
 
@@ -63,17 +64,27 @@ class CrossValResult:
 
 
 def cross_validate(
-    factory: Callable[[], object],
+    factory: Union[str, Callable[[], object]],
     X,
     y,
     *,
     n_splits: int = 5,
     seed: SeedLike = None,
+    model_params: Optional[Mapping[str, object]] = None,
 ) -> CrossValResult:
     """Stratified k-fold accuracy of ``factory()``-built classifiers.
 
-    A fresh classifier is built per fold, so no state leaks across folds.
+    ``factory`` may also be a registered model name; ``model_params`` are
+    then forwarded to :func:`repro.models.make_model` per fold.  A fresh
+    classifier is built per fold, so no state leaks across folds.
     """
+    if isinstance(factory, str):
+        name, params = factory, dict(model_params or {})
+        factory = lambda: make_model(name, **params)  # noqa: E731
+    elif model_params is not None:
+        raise ValueError(
+            "model_params is only valid with a registered model name"
+        )
     X, y = check_paired(X, y)
     result = CrossValResult()
     for train_idx, test_idx in stratified_kfold_indices(y, n_splits, seed):

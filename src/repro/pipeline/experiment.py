@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.datasets.loaders import Dataset
+from repro.models.registry import make_model
 from repro.metrics.classification import accuracy, topk_accuracy
 from repro.metrics.sensitivity import sensitivity_specificity
 
@@ -144,10 +145,20 @@ def run_experiment(
 
 
 def run_suite(
-    model_factories: Dict[str, Callable[[], object]], dataset: Dataset, **kwargs
+    models: Union[Dict[str, Callable[[], object]], Sequence[str]],
+    dataset: Dataset,
+    **kwargs,
 ) -> Dict[str, ExperimentResult]:
-    """Run several models on one dataset; keys label the report rows."""
+    """Run several models on one dataset; keys label the report rows.
+
+    ``models`` is either ``{label: factory}`` or a sequence of registered
+    model names (each resolved through :func:`repro.models.make_model`).
+    """
+    if not isinstance(models, dict):
+        models = {
+            name: (lambda n=name: make_model(n)) for name in models
+        }
     return {
         name: run_experiment(factory(), dataset, model_name=name, **kwargs)
-        for name, factory in model_factories.items()
+        for name, factory in models.items()
     }

@@ -1,13 +1,18 @@
 """Grid search, matching the paper's "common practice of grid search to
-identify the best hyper-parameters for each model"."""
+identify the best hyper-parameters for each model".
+
+Models may be passed as factories or as registered names; a name with no
+explicit ``space`` is swept over the registry's declared hyper-parameter
+grid (:meth:`repro.models.ModelSpec.default_grid`)."""
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.datasets.splits import stratified_split
+from repro.models.registry import default_hyperparam_grid, make_model
 from repro.utils.rng import SeedLike
 
 
@@ -37,10 +42,10 @@ class GridSearchResult:
 
 
 def grid_search(
-    factory: Callable[..., object],
-    space: Dict[str, Sequence],
-    X,
-    y,
+    factory: Union[str, Callable[..., object]],
+    space: Optional[Dict[str, Sequence]] = None,
+    X=None,
+    y=None,
     *,
     validation_fraction: float = 0.25,
     seed: SeedLike = None,
@@ -50,10 +55,12 @@ def grid_search(
     Parameters
     ----------
     factory:
-        Callable building a fresh classifier from keyword parameters,
-        e.g. ``lambda **p: DistHDClassifier(**p)``.
+        Callable building a fresh classifier from keyword parameters
+        (e.g. ``lambda **p: DistHDClassifier(**p)``), or a registered model
+        name resolved through :func:`repro.models.make_model`.
     space:
-        ``{param: [values...]}`` grid.
+        ``{param: [values...]}`` grid.  ``None`` with a named model uses
+        the registry's declared default grid.
     X, y:
         Training data; a stratified validation split is carved out once and
         shared by all candidates.
@@ -62,6 +69,17 @@ def grid_search(
     seed:
         Split seed.
     """
+    if isinstance(factory, str):
+        name = factory
+        factory = lambda **p: make_model(name, **p)  # noqa: E731
+        if space is None:
+            space = default_hyperparam_grid(name)
+    if space is None:
+        raise ValueError(
+            "space is required when factory is not a registered model name"
+        )
+    if X is None or y is None:
+        raise ValueError("X and y are required")
     train_x, train_y, val_x, val_y = stratified_split(
         X, y, test_fraction=validation_fraction, seed=seed
     )

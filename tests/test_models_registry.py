@@ -1,0 +1,127 @@
+"""Tests for the model registry: every registered name constructs, fits,
+predicts, and round-trips through save_model/load_model."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    Hyperparam,
+    default_hyperparam_grid,
+    get_model_spec,
+    list_models,
+    make_model,
+    register_model,
+)
+from repro.persistence import load_model, save_model
+
+EXPECTED_NAMES = {
+    "disthd", "baselinehd", "neuralhd", "onlinehd",
+    "mlp", "svm", "rff-svm", "knn",
+    "disthd-stream", "disthd-quantized",
+}
+
+
+def _small_params(name: str) -> dict:
+    """Cheap hyper-parameters so the whole catalog trains in seconds."""
+    spec = get_model_spec(name)
+    params = {}
+    if "dim" in spec.param_names():
+        params["dim"] = 32
+    if "iterations" in spec.param_names():
+        params["iterations"] = 2
+    if "epochs" in spec.param_names():
+        params["epochs"] = 2
+    if "seed" in spec.param_names():
+        params["seed"] = 0
+    return params
+
+
+class TestCatalog:
+    def test_all_expected_names_registered(self):
+        assert EXPECTED_NAMES <= set(list_models())
+
+    def test_case_insensitive_lookup(self):
+        assert get_model_spec("DistHD").name == "disthd"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            make_model("transformer")
+
+    def test_tag_filter(self):
+        streaming = list_models(tag="streaming")
+        assert "disthd" in streaming and "onlinehd" in streaming
+        assert "mlp" not in streaming and "knn" not in streaming
+
+    def test_streaming_tag_matches_capability(self):
+        for name in list_models(tag="streaming"):
+            model = make_model(name, **_small_params(name))
+            assert getattr(model, "supports_streaming", False), name
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_constructs_fits_predicts(self, name, small_problem):
+        train_x, train_y, test_x, test_y = small_problem
+        model = make_model(name, **_small_params(name))
+        model.fit(train_x, train_y)
+        preds = model.predict(test_x)
+        assert preds.shape == (test_x.shape[0],)
+        assert model.score(test_x, test_y) > 0.4  # far above 1/3 chance floor
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_roundtrips_through_persistence(self, name, small_problem, tmp_path):
+        train_x, train_y, test_x, _ = small_problem
+        model = make_model(name, **_small_params(name)).fit(train_x, train_y)
+        restored = load_model(save_model(model, tmp_path / name))
+        assert np.array_equal(restored.predict(test_x), model.predict(test_x))
+
+    def test_quantized_trainer_perturbation_degrades(self, small_problem):
+        """Bit flips must reach the deployed fixed-point image, not a copy."""
+        from repro.noise.robustness import perturb_classifier
+
+        train_x, train_y, test_x, test_y = small_problem
+        model = make_model(
+            "disthd-quantized", dim=48, iterations=2, seed=0, bits=8
+        ).fit(train_x, train_y)
+        clean = model.score(test_x, test_y)
+        zero_flip = perturb_classifier(model, 8, 0.0, seed=0)
+        assert zero_flip.score(test_x, test_y) == pytest.approx(clean)
+        noisy = perturb_classifier(model, 8, 0.45, seed=0)
+        assert noisy.score(test_x, test_y) < clean - 0.05
+        # The original model is untouched by the perturbed copy.
+        assert model.score(test_x, test_y) == pytest.approx(clean)
+
+    def test_default_grid_usable_by_grid_search(self, small_problem):
+        from repro.pipeline.grid import grid_search
+
+        train_x, train_y, _, _ = small_problem
+        grid = default_hyperparam_grid("knn")
+        assert grid == {"k": [3, 5, 9]}
+        result = grid_search("knn", None, train_x, train_y, seed=0)
+        assert result.best_params["k"] in (3, 5, 9)
+        assert len(result.all_results) == 3
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_model("disthd", lambda **p: None)
+
+    def test_overwrite_allowed_and_decorator_form(self):
+        @register_model(
+            "test-custom", overwrite=True, tags=("test",),
+            hyperparams=(Hyperparam("k", 1, (1, 2)),),
+        )
+        def factory(**params):
+            return params
+
+        try:
+            assert make_model("test-custom", k=3) == {"k": 3}
+            assert "test-custom" in list_models(tag="test")
+            assert default_hyperparam_grid("test-custom") == {"k": [1, 2]}
+        finally:
+            from repro.models import registry
+
+            registry._REGISTRY.pop("test-custom", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_model("  ", lambda **p: None)

@@ -59,11 +59,34 @@ class TestModelRoundtrip:
         assert path.suffix == ".npz"
         assert path.exists()
 
-    def test_unsupported_model_rejected(self, small_problem, tmp_path):
-        train_x, train_y, _, _ = small_problem
-        knn = KNNClassifier(k=3).fit(train_x, train_y)
+    def test_unsupported_model_rejected(self, tmp_path):
+        class NotAModel:
+            classes_ = None
+
         with pytest.raises(TypeError, match="save_model supports"):
-            save_model(knn, tmp_path / "m")
+            save_model(NotAModel(), tmp_path / "m")
+
+    def test_classical_models_roundtrip(self, small_problem, tmp_path):
+        from repro.baselines.mlp import MLPClassifier
+        from repro.baselines.svm import LinearSVMClassifier, RFFSVMClassifier
+
+        train_x, train_y, test_x, _ = small_problem
+        factories = {
+            "knn": lambda: KNNClassifier(k=3),
+            "mlp": lambda: MLPClassifier(hidden_sizes=(16,), epochs=3, seed=0),
+            "svm": lambda: LinearSVMClassifier(epochs=3, seed=0),
+            "rff": lambda: RFFSVMClassifier(n_components=32, seed=0),
+        }
+        for name, factory in factories.items():
+            model = factory().fit(train_x, train_y)
+            restored = load_model(save_model(model, tmp_path / name))
+            assert type(restored) is type(model)
+            assert np.array_equal(
+                restored.predict(test_x), model.predict(test_x)
+            ), name
+            assert np.allclose(
+                restored.decision_scores(test_x), model.decision_scores(test_x)
+            ), name
 
     def test_unfitted_rejected(self, tmp_path):
         with pytest.raises(RuntimeError, match="not fitted"):
