@@ -44,6 +44,7 @@ from repro.api import (
     make_model,
     run_experiment,
 )
+from repro.backend import get_backend, list_backends
 from repro.core.config import DistHDConfig
 from repro.core.disthd import DistHDClassifier
 from repro.datasets.loaders import load_dataset
@@ -57,6 +58,8 @@ __all__ = [
     "ExperimentSpec",
     "build_model",
     "compare",
+    "get_backend",
+    "list_backends",
     "list_datasets",
     "list_models",
     "load_dataset",

@@ -69,6 +69,11 @@ class ExperimentSpec:
         Bit-flip rates for the robustness sweep.
     inference_repeats:
         Repeat test-split prediction, report the fastest run.
+    backend / dtype:
+        Compute backend name and hot-path dtype for models that declare the
+        corresponding hyper-parameters (the HDC family); ``None`` leaves the
+        model's own defaults in place.  An explicit entry in
+        ``model_params`` always wins.
     """
 
     model: str = "disthd"
@@ -79,6 +84,8 @@ class ExperimentSpec:
     noise_bits: Optional[int] = None
     error_rates: Tuple[float, ...] = (0.01, 0.05, 0.10)
     inference_repeats: int = 1
+    backend: Optional[str] = None
+    dtype: Optional[str] = None
 
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
         """A copy of this spec with the given fields replaced."""
@@ -153,9 +160,14 @@ def run_experiment(
         else load_dataset(spec.dataset, scale=spec.scale, seed=spec.seed)
     )
     params = dict(spec.model_params)
+    declared = get_model_spec(spec.model).param_names()
+    for knob in ("backend", "dtype"):
+        value = getattr(spec, knob)
+        if value is not None and knob in declared and knob not in params:
+            params[knob] = value
     if (
         spec.noise_bits is not None
-        and "bits" in get_model_spec(spec.model).param_names()
+        and "bits" in declared
         and "bits" not in params
     ):
         # Quantised deployments store at their own precision; keep it in

@@ -1,0 +1,38 @@
+"""Pluggable array-compute backends (``repro.backend``).
+
+The HDC hot paths — encoding, similarity search, adaptive updates,
+regeneration — are written against the small
+:class:`~repro.backend.base.ArrayBackend` protocol instead of NumPy
+directly, so the compute engine is swappable per model::
+
+    from repro import make_model
+
+    clf = make_model("disthd", backend="numpy", dtype="float32")  # default
+    clf = make_model("disthd", backend="torch")   # when torch is installed
+
+See ``docs/performance.md`` for backend selection and dtype trade-offs.
+"""
+
+from repro.backend.base import ArrayBackend, resolve_dtype
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    BackendLike,
+    default_backend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.backend.torch_backend import TorchBackend, torch_is_available
+
+__all__ = [
+    "ArrayBackend",
+    "BackendLike",
+    "NumpyBackend",
+    "TorchBackend",
+    "default_backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_dtype",
+    "torch_is_available",
+]

@@ -1,0 +1,248 @@
+"""The ``ArrayBackend`` protocol — the library's pluggable compute seam.
+
+The paper frames DistHD training and inference as "highly parallel
+matrix-wise" operations; everything the hot paths need from an array library
+is collected here as a small abstract interface: matmul, cosine similarity,
+norms, RNG draws, rolls, top-k/argpartition, dtype casts, scatter-adds and
+conversion back to NumPy.  Implementations exist for NumPy (the default,
+:mod:`repro.backend.numpy_backend`) and PyTorch
+(:mod:`repro.backend.torch_backend`, auto-registered when torch imports).
+
+Two conventions keep backends interchangeable:
+
+- **RNG draws go through NumPy.**  Every stochastic draw takes a
+  :class:`numpy.random.Generator` and materialises the values with NumPy
+  before converting to the backend's native array type, so a model built at
+  the same seed holds bit-identical parameters under every backend.
+- **Scores leave as NumPy.**  Heavy ``(n, D)``-shaped math stays native to
+  the backend; small ``(n, k)`` similarity/score matrices are converted to
+  float64 NumPy at the query boundary so control flow (argmax, partitions,
+  metrics) is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: dtype aliases accepted anywhere a ``dtype`` is configured.
+_DTYPE_ALIASES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "f32": np.float32,
+    "f64": np.float64,
+    "single": np.float32,
+    "double": np.float64,
+}
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Normalise a dtype spec (``"float32"``, ``np.float64``, ...) to a
+    NumPy dtype.  ``None`` resolves to float64 (the legacy default)."""
+    if dtype is None:
+        return np.dtype(np.float64)
+    if isinstance(dtype, str):
+        key = dtype.strip().lower()
+        if key in _DTYPE_ALIASES:
+            return np.dtype(_DTYPE_ALIASES[key])
+        raise ValueError(
+            f"unknown dtype {dtype!r}; expected one of "
+            f"{sorted(set(_DTYPE_ALIASES))}"
+        )
+    return np.dtype(dtype)
+
+
+class ArrayBackend(abc.ABC):
+    """Abstract array-compute backend.
+
+    Subclasses provide the primitive array operations the HDC hot paths are
+    written against.  Arrays handled by a backend are *native* arrays
+    (``np.ndarray`` for NumPy, ``torch.Tensor`` for torch); use
+    :meth:`asarray` / :meth:`to_numpy` to cross the boundary.
+    """
+
+    #: Registry name (``"numpy"``, ``"torch"``); set by subclasses.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------ conversion
+
+    @abc.abstractmethod
+    def asarray(self, x, dtype=None):
+        """Convert ``x`` to a native array, optionally casting to ``dtype``."""
+
+    @abc.abstractmethod
+    def to_numpy(self, x) -> np.ndarray:
+        """Convert a native array to ``np.ndarray`` (zero-copy when possible)."""
+
+    @abc.abstractmethod
+    def is_native(self, x) -> bool:
+        """Whether ``x`` is already this backend's native array type."""
+
+    def cast(self, x, dtype):
+        """Cast a native array to ``dtype`` (no-op when already there)."""
+        return self.asarray(x, dtype=dtype)
+
+    # ---------------------------------------------------------- construction
+
+    @abc.abstractmethod
+    def zeros(self, shape, dtype=np.float64):
+        """A zero-filled native array."""
+
+    @abc.abstractmethod
+    def copy(self, x):
+        """A defensive copy of a native array."""
+
+    # ------------------------------------------------------------------- rng
+
+    def draw_normal(
+        self, rng: np.random.Generator, mean: float, std: float, shape, dtype
+    ):
+        """Gaussian draw, materialised via NumPy for cross-backend parity."""
+        return self.asarray(rng.normal(mean, std, size=shape), dtype=dtype)
+
+    def draw_uniform(
+        self, rng: np.random.Generator, low: float, high: float, shape, dtype
+    ):
+        """Uniform draw, materialised via NumPy for cross-backend parity."""
+        return self.asarray(rng.uniform(low, high, size=shape), dtype=dtype)
+
+    # ------------------------------------------------------------ arithmetic
+
+    @abc.abstractmethod
+    def matmul(self, a, b):
+        """Matrix product ``a @ b``."""
+
+    @abc.abstractmethod
+    def norm(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        """L2 norm along ``axis``."""
+
+    @abc.abstractmethod
+    def cos(self, x):
+        """Element-wise cosine."""
+
+    @abc.abstractmethod
+    def sin(self, x):
+        """Element-wise sine."""
+
+    @abc.abstractmethod
+    def tanh(self, x):
+        """Element-wise hyperbolic tangent."""
+
+    @abc.abstractmethod
+    def where(self, cond, a, b):
+        """Element-wise select."""
+
+    @abc.abstractmethod
+    def sum(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        """Sum along ``axis`` (integer inputs may promote to avoid overflow)."""
+
+    @abc.abstractmethod
+    def abs(self, x):
+        """Element-wise absolute value."""
+
+    @abc.abstractmethod
+    def roll(self, x, shift: int, axis: int = -1):
+        """Cyclic shift along ``axis`` (the HDC permute primitive)."""
+
+    @abc.abstractmethod
+    def einsum(self, subscripts: str, *operands):
+        """Einstein summation over native arrays."""
+
+    def cosine_similarity(self, queries, memory, eps: float = 1e-12):
+        """``(n, k)`` cosine similarity with the zero-vector → 0 convention.
+
+        Default implementation composes :meth:`matmul` and :meth:`norm`;
+        backends may override with a fused kernel.
+        """
+        scores = self.matmul(queries, self.transpose(memory))
+        q_norm = self.norm(queries, axis=1, keepdims=True)  # (n, 1)
+        m_norm = self.norm(memory, axis=1, keepdims=True)  # (k, 1)
+        denom = self.matmul(q_norm, self.transpose(m_norm))  # (n, k)
+        safe = self.where(denom > eps, denom, self.ones_like(denom))
+        return self.where(denom > eps, scores / safe, self.zeros_like(scores))
+
+    @abc.abstractmethod
+    def transpose(self, x):
+        """Matrix transpose (2-D)."""
+
+    @abc.abstractmethod
+    def ones_like(self, x):
+        """Array of ones with ``x``'s shape and dtype."""
+
+    @abc.abstractmethod
+    def zeros_like(self, x):
+        """Array of zeros with ``x``'s shape and dtype."""
+
+    # -------------------------------------------------------------- indexing
+
+    @abc.abstractmethod
+    def take_rows(self, x, idx):
+        """``x[idx]`` for an integer index array (gather along axis 0)."""
+
+    @abc.abstractmethod
+    def set_rows(self, x, idx, values) -> None:
+        """``x[idx] = values`` in place (rows)."""
+
+    def take_columns(self, x, cols):
+        """``x[:, cols]`` for an integer index array.
+
+        Default works for any NumPy-style indexable native array; override
+        when the engine needs its own gather.
+        """
+        return x[:, self.asarray(cols, dtype=np.int64)]
+
+    @abc.abstractmethod
+    def set_columns(self, x, cols, values) -> None:
+        """``x[:, cols] = values`` in place."""
+
+    @abc.abstractmethod
+    def zero_columns(self, x, cols) -> None:
+        """``x[:, cols] = 0`` in place."""
+
+    @abc.abstractmethod
+    def scatter_add_rows(self, target, idx, values) -> None:
+        """``target[idx] += values`` with duplicate-index accumulation."""
+
+    @abc.abstractmethod
+    def scatter_add_cells(self, target, rows, cols, values) -> None:
+        """``target[rows[:, None], cols[None, :]] += values`` accumulating."""
+
+    def argpartition_desc(self, x, k: int, axis: int = -1):
+        """Partition indices putting the ``k`` largest entries first
+        (unordered within the partition).  Default runs on NumPy via
+        :meth:`to_numpy`; override with the engine's partial sort.
+        """
+        s = self.to_numpy(x)
+        if k >= np.shape(s)[axis]:
+            return np.argsort(-s, axis=axis, kind="stable")
+        return np.argpartition(-s, k - 1, axis=axis)
+
+    def topk_desc(self, scores, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` indices and values per row, best first, as NumPy arrays.
+
+        ``scores`` is ``(n, m)``; returns ``(indices, values)`` of shape
+        ``(n, k)``.  Default implementation argpartitions then sorts only
+        the ``k`` survivors, which beats a full argsort for small ``k``.
+        """
+        s = self.to_numpy(scores)
+        part = np.asarray(self.argpartition_desc(s, k, axis=1))[:, :k]
+        top = np.take_along_axis(s, part, axis=1)
+        order = np.take_along_axis(
+            part, np.argsort(-top, axis=1, kind="stable"), axis=1
+        )
+        return order, np.take_along_axis(s, order, axis=1)
+
+    # ------------------------------------------------------------------ misc
+
+    def similarity_scores(self, queries, memory, metric: str = "cosine"):
+        """Backend-native similarity matrix, converted to float64 NumPy."""
+        if metric == "cosine":
+            out = self.cosine_similarity(queries, memory)
+        else:
+            out = self.matmul(queries, self.transpose(memory))
+        return self.to_numpy(out).astype(np.float64, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,136 @@
+"""The default vectorised NumPy backend."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+_EPS = 1e-12
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference :class:`~repro.backend.base.ArrayBackend` on NumPy arrays.
+
+    All operations are plain vectorised NumPy; conversion methods are
+    zero-copy whenever dtypes already match.
+    """
+
+    name = "numpy"
+
+    # ------------------------------------------------------------ conversion
+
+    def asarray(self, x, dtype=None):
+        return np.asarray(x, dtype=dtype)
+
+    def to_numpy(self, x) -> np.ndarray:
+        return np.asarray(x)
+
+    def is_native(self, x) -> bool:
+        return isinstance(x, np.ndarray)
+
+    # ---------------------------------------------------------- construction
+
+    def zeros(self, shape, dtype=np.float64):
+        return np.zeros(shape, dtype=dtype)
+
+    def copy(self, x):
+        return np.array(x, copy=True)
+
+    # ------------------------------------------------------------ arithmetic
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def norm(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        return np.linalg.norm(x, axis=axis, keepdims=keepdims)
+
+    def cos(self, x):
+        return np.cos(x)
+
+    def sin(self, x):
+        return np.sin(x)
+
+    def tanh(self, x):
+        return np.tanh(x)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def sum(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        return np.sum(x, axis=axis, keepdims=keepdims)
+
+    def abs(self, x):
+        return np.abs(x)
+
+    def roll(self, x, shift: int, axis: int = -1):
+        return np.roll(x, shift, axis=axis)
+
+    def einsum(self, subscripts: str, *operands):
+        return np.einsum(subscripts, *operands)
+
+    def cosine_similarity(self, queries, memory, eps: float = _EPS):
+        scores = queries @ memory.T
+        q_norm = np.linalg.norm(queries, axis=1)
+        m_norm = np.linalg.norm(memory, axis=1)
+        denom = np.outer(q_norm, m_norm)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                denom > eps, scores / np.where(denom > eps, denom, 1.0), 0.0
+            )
+
+    def transpose(self, x):
+        return x.T
+
+    def ones_like(self, x):
+        return np.ones_like(x)
+
+    def zeros_like(self, x):
+        return np.zeros_like(x)
+
+    # -------------------------------------------------------------- indexing
+
+    def take_rows(self, x, idx):
+        return x[np.asarray(idx, dtype=np.int64)]
+
+    def set_rows(self, x, idx, values) -> None:
+        x[np.asarray(idx, dtype=np.int64)] = values
+
+    def take_columns(self, x, cols):
+        return x[:, np.asarray(cols, dtype=np.int64)]
+
+    def set_columns(self, x, cols, values) -> None:
+        x[:, np.asarray(cols, dtype=np.int64)] = values
+
+    def zero_columns(self, x, cols) -> None:
+        x[:, np.asarray(cols, dtype=np.int64)] = 0
+
+    def scatter_add_rows(self, target, idx, values) -> None:
+        idx = np.asarray(idx, dtype=np.int64)
+        values = np.asarray(values, dtype=target.dtype)
+        n_rows = target.shape[0]
+        # ufunc.at is an order of magnitude slower than BLAS; when many
+        # updates land on few rows (the classifier case: m samples vs k
+        # classes), reduce via a one-hot matmul instead.
+        if values.ndim == 2 and idx.size > max(n_rows, 4):
+            onehot = np.zeros((n_rows, idx.size), dtype=target.dtype)
+            onehot[idx, np.arange(idx.size)] = 1.0
+            target += onehot @ values
+        else:
+            np.add.at(target, idx, values)
+
+    def scatter_add_cells(self, target, rows, cols, values) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        np.add.at(
+            target,
+            (rows[:, None], cols[None, :]),
+            np.asarray(values, dtype=target.dtype),
+        )
+
+    def argpartition_desc(self, x, k: int, axis: int = -1):
+        if k >= np.shape(x)[axis]:
+            return np.argsort(-np.asarray(x), axis=axis, kind="stable")
+        return np.argpartition(-np.asarray(x), k - 1, axis=axis)

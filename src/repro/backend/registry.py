@@ -1,0 +1,91 @@
+"""Backend registry: resolve compute backends by name.
+
+Mirrors the model/dataset registries: backends register under a short name
+and everything that accepts ``backend=`` resolves through
+:func:`get_backend`.  The NumPy backend is always present and is the
+default; the torch backend self-registers when torch is importable (CPU
+always, plus ``"torch-cuda"`` when a GPU is visible).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.backend.base import ArrayBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.torch_backend import TorchBackend, torch_is_available
+
+BackendLike = Union[None, str, ArrayBackend]
+
+_REGISTRY: Dict[str, ArrayBackend] = {}
+_DEFAULT_NAME = "numpy"
+_BOOTSTRAPPED = False
+
+
+def register_backend(backend: ArrayBackend, *, overwrite: bool = False) -> None:
+    """Register a backend instance under its ``name``."""
+    key = backend.name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {key!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    _REGISTRY[key] = backend
+
+
+def _bootstrap() -> None:
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    if _DEFAULT_NAME not in _REGISTRY:
+        register_backend(NumpyBackend())
+    if torch_is_available() and "torch" not in _REGISTRY:
+        register_backend(TorchBackend("cpu"))
+        import torch
+
+        if torch.cuda.is_available():  # pragma: no cover - needs a GPU
+            register_backend(TorchBackend("cuda"))
+
+
+def get_backend(spec: BackendLike = None) -> ArrayBackend:
+    """Resolve a backend spec to an :class:`ArrayBackend` instance.
+
+    ``None`` returns the default (NumPy) backend; a string looks up the
+    registry (case-insensitive); an :class:`ArrayBackend` instance passes
+    through unchanged so callers can thread a custom backend end to end.
+    """
+    _bootstrap()
+    if spec is None:
+        return _REGISTRY[_DEFAULT_NAME]
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if isinstance(spec, str):
+        key = spec.strip().lower()
+        if key not in _REGISTRY:
+            raise KeyError(
+                f"unknown backend {spec!r}; available: {sorted(_REGISTRY)}"
+                + (
+                    ""
+                    if torch_is_available()
+                    else " (install torch to enable the torch backend)"
+                )
+            )
+        return _REGISTRY[key]
+    raise TypeError(
+        f"backend must be None, a name, or an ArrayBackend, got "
+        f"{type(spec).__name__}"
+    )
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Registered backend names (sorted)."""
+    _bootstrap()
+    return tuple(sorted(_REGISTRY))
+
+
+def default_backend() -> ArrayBackend:
+    """The library-wide default backend (NumPy)."""
+    return get_backend(None)

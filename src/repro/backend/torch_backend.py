@@ -1,0 +1,197 @@
+"""Optional PyTorch backend (CPU or CUDA).
+
+Auto-registered as ``"torch"`` (and ``"torch-cuda"`` when a GPU is visible)
+by :mod:`repro.backend.registry` when torch is importable; this module never
+imports torch at module scope, so the library works on torch-free machines.
+
+Parity with the NumPy backend is by construction: all RNG draws happen via
+NumPy generators (see :class:`~repro.backend.base.ArrayBackend`), so encoder
+parameters and class memories are bit-identical across backends and
+prediction differences can only come from floating-point summation order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+
+def torch_is_available() -> bool:
+    """Whether PyTorch can be imported (cheap check, cached by importlib)."""
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TorchBackend(ArrayBackend):
+    """:class:`~repro.backend.base.ArrayBackend` on ``torch.Tensor``.
+
+    Parameters
+    ----------
+    device:
+        Torch device string (``"cpu"``, ``"cuda"``, ``"cuda:1"``, ...).
+    """
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        import torch
+
+        self.device = torch.device(device)
+        if self.device.type != "cpu":
+            self.name = f"torch-{self.device.type}"
+
+    @property
+    def _torch(self):
+        # Resolved per call (a sys.modules lookup) instead of stored on the
+        # instance: module-valued attributes make every model holding this
+        # backend un-deepcopyable, which breaks perturb_classifier and the
+        # whole robustness sweep.
+        import torch
+
+        return torch
+
+    def _dtype(self, dtype):
+        if dtype is None:
+            return None
+        return {
+            np.dtype(np.float32): self._torch.float32,
+            np.dtype(np.float64): self._torch.float64,
+            np.dtype(np.int64): self._torch.int64,
+            np.dtype(np.int32): self._torch.int32,
+            np.dtype(np.int8): self._torch.int8,
+        }[np.dtype(dtype)]
+
+    # ------------------------------------------------------------ conversion
+
+    def asarray(self, x, dtype=None):
+        torch = self._torch
+        if isinstance(x, torch.Tensor):
+            out = x.to(self.device)
+            return out if dtype is None else out.to(self._dtype(dtype))
+        arr = np.asarray(x)
+        if dtype is not None:
+            arr = arr.astype(np.dtype(dtype), copy=False)
+        return torch.as_tensor(arr, device=self.device)
+
+    def to_numpy(self, x) -> np.ndarray:
+        if isinstance(x, self._torch.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def is_native(self, x) -> bool:
+        return isinstance(x, self._torch.Tensor)
+
+    # ---------------------------------------------------------- construction
+
+    def zeros(self, shape, dtype=np.float64):
+        return self._torch.zeros(
+            tuple(np.atleast_1d(shape).tolist())
+            if not isinstance(shape, tuple)
+            else shape,
+            dtype=self._dtype(dtype),
+            device=self.device,
+        )
+
+    def copy(self, x):
+        return x.clone()
+
+    # ------------------------------------------------------------ arithmetic
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def norm(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        if axis is None:
+            return self._torch.linalg.norm(x)
+        return self._torch.linalg.norm(x, dim=axis, keepdim=keepdims)
+
+    def cos(self, x):
+        return self._torch.cos(x)
+
+    def sin(self, x):
+        return self._torch.sin(x)
+
+    def tanh(self, x):
+        return self._torch.tanh(x)
+
+    def where(self, cond, a, b):
+        torch = self._torch
+        if not isinstance(a, torch.Tensor):
+            a = torch.as_tensor(a, device=self.device)
+        if not isinstance(b, torch.Tensor):
+            b = torch.as_tensor(b, device=self.device)
+        return torch.where(cond, a, b)
+
+    def sum(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        if axis is None:
+            return self._torch.sum(x)
+        return self._torch.sum(x, dim=axis, keepdim=keepdims)
+
+    def abs(self, x):
+        return self._torch.abs(x)
+
+    def roll(self, x, shift: int, axis: int = -1):
+        return self._torch.roll(x, shift, dims=axis)
+
+    def einsum(self, subscripts: str, *operands):
+        return self._torch.einsum(subscripts, *operands)
+
+    def transpose(self, x):
+        return x.T
+
+    def ones_like(self, x):
+        return self._torch.ones_like(x)
+
+    def zeros_like(self, x):
+        return self._torch.zeros_like(x)
+
+    # -------------------------------------------------------------- indexing
+
+    def _index(self, idx):
+        return self._torch.as_tensor(
+            np.asarray(idx, dtype=np.int64), device=self.device
+        )
+
+    def take_rows(self, x, idx):
+        return x[self._index(idx)]
+
+    def set_rows(self, x, idx, values) -> None:
+        x[self._index(idx)] = self.asarray(values, dtype=None).to(x.dtype)
+
+    def take_columns(self, x, cols):
+        return x[:, self._index(cols)]
+
+    def set_columns(self, x, cols, values) -> None:
+        x[:, self._index(cols)] = self.asarray(values, dtype=None).to(x.dtype)
+
+    def zero_columns(self, x, cols) -> None:
+        x[:, self._index(cols)] = 0
+
+    def scatter_add_rows(self, target, idx, values) -> None:
+        values = self.asarray(values, dtype=None).to(target.dtype)
+        target.index_add_(0, self._index(idx), values)
+
+    def scatter_add_cells(self, target, rows, cols, values) -> None:
+        rows = self._index(rows)
+        cols = self._index(cols)
+        values = self.asarray(values, dtype=None).to(target.dtype)
+        target.index_put_(
+            (rows[:, None], cols[None, :]), values, accumulate=True
+        )
+
+    def argpartition_desc(self, x, k: int, axis: int = -1):
+        # torch has no partial partition; topk is its optimised equivalent.
+        return self._torch.topk(x, min(k, x.shape[axis]), dim=axis).indices
+
+    def topk_desc(self, scores, k: int):
+        torch = self._torch
+        if not isinstance(scores, torch.Tensor):
+            return super().topk_desc(scores, k)
+        values, indices = torch.topk(scores, min(k, scores.shape[1]), dim=1)
+        return self.to_numpy(indices), self.to_numpy(values)

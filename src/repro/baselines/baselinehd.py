@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import get_backend, resolve_dtype
 from repro.core.convergence import ConvergenceTracker
 from repro.core.history import IterationRecord, TrainingHistory
 from repro.estimator import BaseClassifier
@@ -59,6 +60,9 @@ class BaselineHDClassifier(BaseClassifier):
         Encoder parameters (``bandwidth`` only affects ``encoder="rbf"``).
     convergence_patience / convergence_tol:
         Early-stopping plateau detection, as in DistHD.
+    dtype, backend:
+        Hot-path compute dtype (default float32) and array backend
+        (default NumPy; see :mod:`repro.backend`).
 
     The static encoder and per-sample perceptron rule make this model
     naturally incremental: :meth:`partial_fit` applies one perceptron pass
@@ -80,6 +84,8 @@ class BaselineHDClassifier(BaseClassifier):
         bandwidth: float = 0.5,
         convergence_patience: Optional[int] = 5,
         convergence_tol: float = 1e-3,
+        dtype="float32",
+        backend="numpy",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
@@ -104,6 +110,8 @@ class BaselineHDClassifier(BaseClassifier):
         self.bandwidth = float(bandwidth)
         self.convergence_patience = convergence_patience
         self.convergence_tol = float(convergence_tol)
+        self.dtype = resolve_dtype(dtype)
+        self.backend = get_backend(backend)
         self.seed = seed
         self.encoder_ = None
         self.memory_: Optional[AssociativeMemory] = None
@@ -112,16 +120,17 @@ class BaselineHDClassifier(BaseClassifier):
         self._bundle_first_batch = False
 
     def _make_encoder(self, n_features: int, seed) -> object:
+        kwargs = dict(dtype=self.dtype, backend=self.backend, seed=seed)
         if self.encoder_kind == "id-level":
             return IDLevelEncoder(
-                n_features, self.dim, n_levels=self.n_levels, seed=seed
+                n_features, self.dim, n_levels=self.n_levels, **kwargs
             )
         if self.encoder_kind == "sign":
             return RandomProjectionEncoder(
-                n_features, self.dim, activation="sign", seed=seed
+                n_features, self.dim, activation="sign", **kwargs
             )
         return RBFEncoder(
-            n_features, self.dim, bandwidth=self.bandwidth, seed=seed
+            n_features, self.dim, bandwidth=self.bandwidth, **kwargs
         )
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
@@ -129,7 +138,9 @@ class BaselineHDClassifier(BaseClassifier):
         self._bundle_first_batch = False
         rng = as_rng(self.seed)
         self.encoder_ = self._make_encoder(X.shape[1], spawn_seed(rng))
-        self.memory_ = AssociativeMemory(n_classes, self.dim)
+        self.memory_ = AssociativeMemory(
+            n_classes, self.dim, dtype=self.dtype, backend=self.backend
+        )
         self.history_ = TrainingHistory()
         tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
         shuffle_rng = as_rng(spawn_seed(rng))
@@ -141,7 +152,9 @@ class BaselineHDClassifier(BaseClassifier):
         self.n_iterations_ = 0
         for iteration in range(self.iterations):
             order = shuffle_rng.permutation(encoded.shape[0])
-            self._perceptron_pass(encoded[order], y[order])
+            self._perceptron_pass(
+                self.backend.take_rows(encoded, order), y[order]
+            )
             train_acc = float(
                 np.mean(self.memory_.predict(encoded) == y)
             )
@@ -152,21 +165,33 @@ class BaselineHDClassifier(BaseClassifier):
             if tracker.update(train_acc):
                 break
 
-    def _perceptron_pass(self, encoded: np.ndarray, y: np.ndarray) -> None:
-        """The ISLPED'16 update: each miss moves both class vectors by lr."""
-        sims = self.memory_.similarities(encoded)
+    def _perceptron_pass(self, encoded, y: np.ndarray) -> None:
+        """The ISLPED'16 update: each miss moves both class vectors by lr.
+
+        Updates use similarities computed at pass start (the fixed-lr
+        perceptron rule carries no similarity weighting), so the mispredicted
+        samples' moves commute and are applied as one grouped scatter-add.
+        """
+        memory = self.memory_
+        b = memory.backend
+        sims = memory.similarities(encoded)
         predicted = np.argmax(sims, axis=1)
-        for j in np.flatnonzero(predicted != y):
-            hv = encoded[j]
-            self.memory_.add_to_class(int(predicted[j]), -self.lr * hv)
-            self.memory_.add_to_class(int(y[j]), self.lr * hv)
+        wrong = np.flatnonzero(predicted != y)
+        if wrong.size:
+            step = b.asarray(b.take_rows(encoded, wrong), dtype=memory.dtype)
+            step = step * b.asarray(self.lr, dtype=memory.dtype)
+            b.scatter_add_rows(memory.vectors, predicted[wrong], -step)
+            b.scatter_add_rows(memory.vectors, np.asarray(y)[wrong], step)
 
     def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
         """One streamed mini-batch: encode, then one perceptron pass."""
         if self.encoder_ is None:
             rng = as_rng(self.seed)
             self.encoder_ = self._make_encoder(self.n_features_, spawn_seed(rng))
-            self.memory_ = AssociativeMemory(int(self.classes_.size), self.dim)
+            self.memory_ = AssociativeMemory(
+                int(self.classes_.size), self.dim,
+                dtype=self.dtype, backend=self.backend,
+            )
             self.history_ = TrainingHistory()
             self._bundle_first_batch = self.single_pass_init
         encoded = self.encoder_.encode(X)

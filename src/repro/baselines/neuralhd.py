@@ -20,13 +20,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import get_backend, resolve_dtype
 from repro.core.adaptive import adaptive_fit_iteration
 from repro.core.convergence import ConvergenceTracker
 from repro.core.history import IterationRecord, TrainingHistory
 from repro.estimator import BaseClassifier
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
-from repro.hdc.ops import normalize_rows
 from repro.utils.rng import as_rng, spawn_seed
 from repro.utils.validation import check_features_match, check_matrix
 
@@ -39,7 +39,7 @@ def dimension_significance(memory: AssociativeMemory) -> np.ndarray:
     variance of ``{C_1[d], ..., C_k[d]}`` after row-normalising the memory
     (so magnitude imbalances between classes don't dominate).
     """
-    normalized = normalize_rows(memory.vectors)
+    normalized = memory.normalized()
     return np.var(normalized, axis=0)
 
 
@@ -80,6 +80,8 @@ class NeuralHDClassifier(BaseClassifier):
         rebundle_on_regen: bool = False,
         convergence_patience: Optional[int] = 5,
         convergence_tol: float = 1e-3,
+        dtype="float32",
+        backend="numpy",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
@@ -100,6 +102,8 @@ class NeuralHDClassifier(BaseClassifier):
         self.rebundle_on_regen = bool(rebundle_on_regen)
         self.convergence_patience = convergence_patience
         self.convergence_tol = float(convergence_tol)
+        self.dtype = resolve_dtype(dtype)
+        self.backend = get_backend(backend)
         self.seed = seed
         self.encoder_: Optional[RBFEncoder] = None
         self.memory_: Optional[AssociativeMemory] = None
@@ -110,9 +114,12 @@ class NeuralHDClassifier(BaseClassifier):
         n_classes = int(y.max()) + 1
         rng = as_rng(self.seed)
         self.encoder_ = RBFEncoder(
-            X.shape[1], self.dim, bandwidth=self.bandwidth, seed=spawn_seed(rng)
+            X.shape[1], self.dim, bandwidth=self.bandwidth,
+            seed=spawn_seed(rng), dtype=self.dtype, backend=self.backend,
         )
-        self.memory_ = AssociativeMemory(n_classes, self.dim)
+        self.memory_ = AssociativeMemory(
+            n_classes, self.dim, dtype=self.dtype, backend=self.backend
+        )
         self.history_ = TrainingHistory()
         tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
         shuffle_rng = as_rng(spawn_seed(rng))
@@ -136,13 +143,10 @@ class NeuralHDClassifier(BaseClassifier):
                 dims = np.sort(np.argsort(significance, kind="stable")[:n_regen])
                 self.encoder_.regenerate(dims)
                 self.memory_.reset_dimensions(dims)
-                encoded[:, dims] = self.encoder_.encode_dims(X, dims)
+                fresh = self.encoder_.encode_dims(X, dims)
+                self.backend.set_columns(encoded, dims, fresh)
                 if self.rebundle_on_regen:
-                    np.add.at(
-                        self.memory_.vectors,
-                        (y[:, None], dims[None, :]),
-                        encoded[:, dims],
-                    )
+                    self.memory_.bundle_columns(y, dims, fresh)
                 regenerated = dims.size
 
             self.history_.append(

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import get_backend, resolve_dtype
 from repro.core.adaptive import adaptive_fit_iteration
 from repro.core.convergence import ConvergenceTracker
 from repro.core.history import IterationRecord, TrainingHistory
@@ -47,6 +48,8 @@ class OnlineHDClassifier(BaseClassifier):
         bandwidth: float = 0.5,
         convergence_patience: Optional[int] = 5,
         convergence_tol: float = 1e-3,
+        dtype="float32",
+        backend="numpy",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
@@ -64,6 +67,8 @@ class OnlineHDClassifier(BaseClassifier):
         self.bandwidth = float(bandwidth)
         self.convergence_patience = convergence_patience
         self.convergence_tol = float(convergence_tol)
+        self.dtype = resolve_dtype(dtype)
+        self.backend = get_backend(backend)
         self.seed = seed
         self.encoder_: Optional[RBFEncoder] = None
         self.memory_: Optional[AssociativeMemory] = None
@@ -76,9 +81,12 @@ class OnlineHDClassifier(BaseClassifier):
         self._bundle_first_batch = False
         rng = as_rng(self.seed)
         self.encoder_ = RBFEncoder(
-            X.shape[1], self.dim, bandwidth=self.bandwidth, seed=spawn_seed(rng)
+            X.shape[1], self.dim, bandwidth=self.bandwidth,
+            seed=spawn_seed(rng), dtype=self.dtype, backend=self.backend,
         )
-        self.memory_ = AssociativeMemory(n_classes, self.dim)
+        self.memory_ = AssociativeMemory(
+            n_classes, self.dim, dtype=self.dtype, backend=self.backend
+        )
         self.history_ = TrainingHistory()
         tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
         shuffle_rng = as_rng(spawn_seed(rng))
@@ -111,8 +119,12 @@ class OnlineHDClassifier(BaseClassifier):
             self.encoder_ = RBFEncoder(
                 self.n_features_, self.dim,
                 bandwidth=self.bandwidth, seed=spawn_seed(rng),
+                dtype=self.dtype, backend=self.backend,
             )
-            self.memory_ = AssociativeMemory(int(self.classes_.size), self.dim)
+            self.memory_ = AssociativeMemory(
+                int(self.classes_.size), self.dim,
+                dtype=self.dtype, backend=self.backend,
+            )
             self.history_ = TrainingHistory()
             self._bundle_first_batch = self.single_pass_init
         encoded = self.encoder_.encode(X)

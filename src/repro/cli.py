@@ -6,7 +6,9 @@ Subcommands:
 - ``models`` — list the model registry (names, tags, hyper-parameters);
 - ``train`` — fit a model on a dataset analog and print the metric suite;
 - ``compare`` — run the Fig. 4-style model comparison on one dataset;
-- ``robustness`` — run a Fig. 8-style bit-flip sweep for one model.
+- ``robustness`` — run a Fig. 8-style bit-flip sweep for one model;
+- ``bench`` — time encode/fit/predict per model and emit ``BENCH_*.json``
+  (the tracked performance trajectory; ``--smoke`` for the CI-sized run).
 
 Model and dataset choices are read from the registries, so anything
 registered via :func:`repro.models.register_model` or the dataset registry
@@ -117,6 +119,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import format_bench_table, run_bench, write_bench
+
+    payload = run_bench(
+        models=tuple(args.models),
+        dataset=args.dataset,
+        scale=args.scale,
+        dim=args.dim,
+        iterations=args.iterations,
+        seed=args.seed,
+        repeats=args.repeats,
+        backend=args.backend,
+        dtype=args.dtype,
+        smoke=args.smoke,
+        include_legacy=not args.no_legacy,
+    )
+    print(format_bench_table(payload))
+    if args.output:
+        path = write_bench(payload, args.output)
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_robustness(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         model=args.model,
@@ -176,6 +201,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(robust)
     robust.add_argument("--model", default="disthd", choices=list_models())
     robust.add_argument("--bits", type=int, default=8, choices=(1, 2, 4, 8))
+
+    bench = sub.add_parser(
+        "bench", help="time encode/fit/predict, emit BENCH_*.json"
+    )
+    _add_common(bench)
+    bench.set_defaults(scale=0.12, dim=1024)
+    bench.add_argument(
+        "--models", nargs="+", default=["disthd", "onlinehd", "baselinehd"],
+        choices=list_models(),
+    )
+    bench.add_argument("--iterations", type=int, default=10)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--backend", default=None, help="array backend (numpy | torch)"
+    )
+    bench.add_argument(
+        "--dtype", default=None, help="hot-path dtype (float32 | float64)"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI-sized run (small dim/scale, one repeat)",
+    )
+    bench.add_argument(
+        "--no-legacy", action="store_true",
+        help="skip the pre-backend float64 reference timing",
+    )
+    bench.add_argument("--output", default=None, help="JSON output path")
     return parser
 
 
@@ -187,6 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "compare": _cmd_compare,
         "robustness": _cmd_robustness,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

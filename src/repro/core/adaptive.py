@@ -11,12 +11,13 @@ each scaled by how *surprising* the sample is:
 A sample already similar to a class (δ ≈ 1) contributes almost nothing —
 this is the paper's guard against model saturation.
 
-The update is inherently sequential (later samples see earlier updates), so
-the reference implementation loops sample-by-sample with vectorised
-similarity computation per mini-batch.  ``adaptive_fit_iteration`` processes
-the data in mini-batches: similarities for a whole batch are computed
-matrix-wise against the current model, then the (typically few) mispredicted
-samples apply their updates in order.
+``adaptive_fit_iteration`` processes the data in mini-batches: similarities
+for a whole batch are computed matrix-wise against the current model, and
+because every update coefficient comes from those batch-start similarities,
+the (typically few) mispredicted samples' updates commute and are applied as
+two grouped scatter-adds per mini-batch (no per-sample Python loop).  The
+paper's sequential semantics survive *between* batches: each batch sees the
+model as updated by all earlier batches.
 """
 
 from __future__ import annotations
@@ -26,12 +27,11 @@ from typing import Optional
 import numpy as np
 
 from repro.hdc.memory import AssociativeMemory
-from repro.utils.validation import check_matrix
 
 
 def adaptive_update_sample(
     memory: AssociativeMemory,
-    encoded: np.ndarray,
+    encoded,
     label: int,
     lr: float,
 ) -> bool:
@@ -44,15 +44,21 @@ def adaptive_update_sample(
     predicted = int(np.argmax(sims))
     if predicted == label:
         return True
-    memory.add_to_class(predicted, -lr * (1.0 - sims[predicted]) * encoded)
-    memory.add_to_class(label, lr * (1.0 - sims[label]) * encoded)
+    memory.update_misclassified(
+        encoded.reshape(1, -1),
+        np.array([predicted]),
+        np.array([label]),
+        sims[[predicted]],
+        sims[[label]],
+        lr,
+    )
     return False
 
 
 def adaptive_fit_iteration(
     memory: AssociativeMemory,
-    encoded: np.ndarray,
-    labels: np.ndarray,
+    encoded,
+    labels,
     *,
     lr: float = 0.05,
     batch_size: Optional[int] = None,
@@ -65,16 +71,16 @@ def adaptive_fit_iteration(
     memory:
         Class-hypervector memory, updated in place.
     encoded:
-        ``(n, D)`` encoded training batch.
+        ``(n, D)`` encoded training batch (NumPy or backend-native).
     labels:
         ``(n,)`` integer labels.
     lr:
         Learning rate ``η``.
     batch_size:
         Samples per similarity computation; within a batch, mispredicted
-        samples still apply their updates sequentially against similarities
-        computed at batch start (the paper's matrix-wise grouping).  ``None``
-        processes the full set as one batch.
+        samples apply their updates against similarities computed at batch
+        start (the paper's matrix-wise grouping), so the whole batch is one
+        grouped scatter-add.  ``None`` processes the full set as one batch.
     shuffle_rng:
         Optional generator used to shuffle sample order each pass.
 
@@ -84,7 +90,8 @@ def adaptive_fit_iteration(
         Training accuracy of the model *as it stood at batch starts* during
         this pass (fraction of samples that needed no update).
     """
-    H = check_matrix(encoded, "encoded")
+    b = memory.backend
+    H = memory.as_encoded(encoded)
     labels = np.asarray(labels, dtype=np.int64)
     if H.shape[0] != labels.shape[0]:
         raise ValueError(
@@ -105,23 +112,28 @@ def adaptive_fit_iteration(
     n_correct = 0
     for start in range(0, n, size):
         idx = order[start : start + size]
-        batch = H[idx]
+        batch = b.take_rows(H, idx)
         batch_labels = labels[idx]
         sims = memory.similarities(batch)  # (b, k) against model at batch start
         predicted = np.argmax(sims, axis=1)
         wrong = np.flatnonzero(predicted != batch_labels)
         n_correct += idx.size - wrong.size
-        for j in wrong:
-            hv = batch[j]
-            lbl = int(batch_labels[j])
-            pred = int(predicted[j])
-            memory.add_to_class(pred, -lr * (1.0 - sims[j, pred]) * hv)
-            memory.add_to_class(lbl, lr * (1.0 - sims[j, lbl]) * hv)
+        if wrong.size:
+            wrong_pred = predicted[wrong]
+            wrong_true = batch_labels[wrong]
+            memory.update_misclassified(
+                b.take_rows(batch, wrong),
+                wrong_pred,
+                wrong_true,
+                sims[wrong, wrong_pred],
+                sims[wrong, wrong_true],
+                lr,
+            )
     return n_correct / n
 
 
 def singlepass_fit(
-    memory: AssociativeMemory, encoded: np.ndarray, labels: np.ndarray
+    memory: AssociativeMemory, encoded, labels
 ) -> None:
     """Naive single-pass HDC training: bundle every sample into its class.
 

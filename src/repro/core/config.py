@@ -69,6 +69,13 @@ class DistHDConfig:
     regen_every:
         Streaming only: run a regeneration step over the reservoir after
         this many ``partial_fit`` calls.
+    backend:
+        Array-compute backend for encoder/memory/training hot paths
+        (``"numpy"`` default; ``"torch"`` when PyTorch is installed — see
+        :mod:`repro.backend`).
+    dtype:
+        Hot-path compute dtype, ``"float32"`` (default) or ``"float64"``.
+        Similarity scores and metrics are always produced at float64.
     seed:
         Seed for the encoder and all training randomness.
     """
@@ -91,6 +98,8 @@ class DistHDConfig:
     convergence_tol: float = 1e-3
     reservoir_size: int = 512
     regen_every: int = 10
+    backend: str = "numpy"
+    dtype: str = "float32"
     seed: Optional[int] = field(default=None)
 
     def __post_init__(self) -> None:
@@ -150,6 +159,12 @@ class DistHDConfig:
             raise ValueError(
                 f"regen_every must be positive, got {self.regen_every}"
             )
+        # Fail fast on unknown backend names / dtype specs (ArrayBackend
+        # instances and NumPy dtypes are passed through unchanged).
+        from repro.backend import get_backend, resolve_dtype
+
+        get_backend(self.backend)
+        resolve_dtype(self.dtype)
 
     def with_overrides(self, **kwargs) -> "DistHDConfig":
         """A copy of this config with the given fields replaced."""

@@ -28,6 +28,7 @@ from repro.core.history import IterationRecord, TrainingHistory
 from repro.core.regeneration import regenerate_step
 from repro.core.topk import partition_outcomes
 from repro.estimator import BaseClassifier
+from repro.backend import get_backend
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
 from repro.utils.rng import as_rng, spawn_seed
@@ -89,10 +90,14 @@ class DistHDClassifier(BaseClassifier):
         n_classes = int(y.max()) + 1
         self._reset_stream_state()
         rng = as_rng(cfg.seed)
+        backend = get_backend(cfg.backend)
         self.encoder_ = RBFEncoder(
-            X.shape[1], cfg.dim, bandwidth=cfg.bandwidth, seed=spawn_seed(rng)
+            X.shape[1], cfg.dim, bandwidth=cfg.bandwidth, seed=spawn_seed(rng),
+            dtype=cfg.dtype, backend=backend,
         )
-        self.memory_ = AssociativeMemory(n_classes, cfg.dim)
+        self.memory_ = AssociativeMemory(
+            n_classes, cfg.dim, dtype=cfg.dtype, backend=backend
+        )
         self.history_ = TrainingHistory()
         tracker = ConvergenceTracker(cfg.convergence_patience, cfg.convergence_tol)
         shuffle_rng = as_rng(spawn_seed(rng))
@@ -123,17 +128,12 @@ class DistHDClassifier(BaseClassifier):
                 regenerated = report.n_regenerated
                 if regenerated:
                     # Refresh only the redrawn columns of the cached encoding.
-                    encoded[:, report.dims] = self.encoder_.encode_dims(
-                        X, report.dims
-                    )
+                    fresh = self.encoder_.encode_dims(X, report.dims)
+                    backend.set_columns(encoded, report.dims, fresh)
                     if cfg.rebundle_on_regen:
                         # Re-bundle the fresh columns so the regenerated
                         # dimensions start trained instead of at zero.
-                        np.add.at(
-                            self.memory_.vectors,
-                            (y[:, None], report.dims[None, :]),
-                            encoded[:, report.dims],
-                        )
+                        self.memory_.bundle_columns(y, report.dims, fresh)
 
             self.history_.append(
                 IterationRecord(
@@ -174,11 +174,16 @@ class DistHDClassifier(BaseClassifier):
         rng = as_rng(cfg.seed)
         encoder_seed, reservoir_seed = spawn_seed(rng), spawn_seed(rng)
         if self.encoder_ is None:
+            backend = get_backend(cfg.backend)
             self.encoder_ = RBFEncoder(
                 self.n_features_, cfg.dim,
                 bandwidth=cfg.bandwidth, seed=encoder_seed,
+                dtype=cfg.dtype, backend=backend,
             )
-            self.memory_ = AssociativeMemory(int(self.classes_.size), cfg.dim)
+            self.memory_ = AssociativeMemory(
+                int(self.classes_.size), cfg.dim,
+                dtype=cfg.dtype, backend=backend,
+            )
             self.history_ = TrainingHistory()
             # Fresh model: classic one-shot bundling of the first batch.
             self._bundle_first_batch = cfg.single_pass_init
@@ -235,11 +240,7 @@ class DistHDClassifier(BaseClassifier):
         )
         if report.n_regenerated and self.config.rebundle_on_regen:
             fresh = self.encoder_.encode_dims(self._reservoir_x, report.dims)
-            np.add.at(
-                self.memory_.vectors,
-                (self._reservoir_y[:, None], report.dims[None, :]),
-                fresh,
-            )
+            self.memory_.bundle_columns(self._reservoir_y, report.dims, fresh)
         self.total_regenerated_ += report.n_regenerated
 
     # ------------------------------------------------------------- inference

@@ -78,9 +78,14 @@ def distance_matrices(
     (their entries are already bounded by the cos·sin encoder); empirically
     this variant ranks misleading dimensions best — see DESIGN.md §2.
     """
-    H = np.asarray(encoded, dtype=np.float64)
+    # Scoring runs at the encoding's own dtype (float32 on the hot path,
+    # float64 when callers pass float64) — the selection only needs the
+    # *ranking* of column sums, which is stable at single precision.
+    H = memory.backend.to_numpy(encoded)
     labels = np.asarray(labels, dtype=np.int64)
     C = memory.normalized()
+    if C.dtype != H.dtype:
+        C = C.astype(H.dtype)
 
     # Partially correct: top1 is wrong, top2 is the true label.
     p = partition.partial
@@ -90,7 +95,7 @@ def distance_matrices(
         dist_pred = np.abs(h - C[partition.top1[p]])  # m1 = |H - C_top1|
         M = alpha * dist_true - beta * dist_pred
     else:
-        M = np.empty((0, H.shape[1]))
+        M = np.empty((0, H.shape[1]), dtype=H.dtype)
 
     # Incorrect: true label outside the top 2.
     q = partition.incorrect
@@ -106,7 +111,7 @@ def distance_matrices(
         else:
             raise ValueError(f"unknown incorrect_rule {incorrect_rule!r}")
     else:
-        N = np.empty((0, H.shape[1]))
+        N = np.empty((0, H.shape[1]), dtype=H.dtype)
     return M, N
 
 
@@ -142,10 +147,16 @@ def select_undesired_dimensions(
     """
     if not 0.0 <= regen_rate <= 1.0:
         raise ValueError(f"regen_rate must be in [0, 1], got {regen_rate}")
-    Mn = _normalize_matrix(np.asarray(M, dtype=np.float64), normalization)
-    Nn = _normalize_matrix(np.asarray(N, dtype=np.float64), normalization)
-    m_scores = Mn.sum(axis=0) if Mn.size else np.full(dim, -np.inf)
-    n_scores = Nn.sum(axis=0) if Nn.size else np.full(dim, -np.inf)
+    Mn = _normalize_matrix(np.asarray(M), normalization)
+    Nn = _normalize_matrix(np.asarray(N), normalization)
+    # Column sums accumulate at float64 so sample count never erodes the
+    # ranking, whatever dtype the distance matrices carry.
+    m_scores = (
+        Mn.sum(axis=0, dtype=np.float64) if Mn.size else np.full(dim, -np.inf)
+    )
+    n_scores = (
+        Nn.sum(axis=0, dtype=np.float64) if Nn.size else np.full(dim, -np.inf)
+    )
 
     m_top = _top_fraction(m_scores, regen_rate) if Mn.size else np.empty(0, np.int64)
     n_top = _top_fraction(n_scores, regen_rate) if Nn.size else np.empty(0, np.int64)

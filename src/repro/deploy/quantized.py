@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.hdc.memory import AssociativeMemory
+from repro.hdc.memory import AssociativeMemory, as_numpy_vectors
 from repro.hdc.ops import cosine_similarity
 from repro.noise.bitflip import flip_bits
 from repro.noise.quantization import QuantizedTensor, dequantize, quantize
@@ -64,7 +64,9 @@ class QuantizedHDCModel:
         self.classes_ = np.asarray(classes)
         self.bits = int(bits)
         self.n_features_ = int(encoder.n_features)
-        self._quantized: QuantizedTensor = quantize(memory.vectors, bits)
+        # Freeze through NumPy regardless of training backend/dtype: the
+        # fixed-point image is backend-neutral by construction.
+        self._quantized: QuantizedTensor = quantize(as_numpy_vectors(memory), bits)
 
     # ----------------------------------------------------------------- state
 
@@ -95,8 +97,13 @@ class QuantizedHDCModel:
         """Cosine similarities of encoded queries against the quantised memory."""
         X = check_matrix(X, "X")
         check_features_match(self.n_features_, X.shape[1], "QuantizedHDCModel")
+        backend = getattr(self.encoder, "backend", None)
         encoded = self.encoder.encode(X)
-        return cosine_similarity(encoded, self.class_vectors)
+        if backend is not None:
+            encoded = backend.to_numpy(encoded)
+        return np.asarray(
+            cosine_similarity(encoded, self.class_vectors), dtype=np.float64
+        )
 
     def predict(self, X) -> np.ndarray:
         """Most-similar class label per query."""
@@ -209,7 +216,7 @@ class QuantizedTrainer:
             return None
         vectors = self.deployed_.class_vectors
         memory = AssociativeMemory(vectors.shape[0], vectors.shape[1])
-        memory.vectors = vectors
+        memory.set_vectors(vectors)
         return memory
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -6,6 +6,11 @@ Two protocols:
   ``(n, D)`` hypervector batch;
 - :class:`RegenerableEncoder` — encoders whose individual output dimensions
   can be redrawn, the capability DistHD and NeuralHD build on.
+
+Encoders carry a compute dtype and an
+:class:`~repro.backend.base.ArrayBackend`: parameters are stored and
+encodings produced at ``dtype`` on the chosen backend (float64 NumPy by
+default; the model configs run the hot paths at float32).
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import abc
 
 import numpy as np
 
+from repro.backend import BackendLike, get_backend, resolve_dtype
 from repro.utils.validation import check_features_match, check_matrix
 
 
@@ -26,27 +32,55 @@ class Encoder(abc.ABC):
         Expected input feature count ``q``.
     dim:
         Output hypervector dimensionality ``D``.
+    dtype:
+        Output (and parameter) dtype.
+    backend:
+        The :class:`~repro.backend.base.ArrayBackend` encodings run on.
     """
 
-    def __init__(self, n_features: int, dim: int) -> None:
+    def __init__(
+        self,
+        n_features: int,
+        dim: int,
+        *,
+        dtype=None,
+        backend: BackendLike = None,
+    ) -> None:
         if n_features <= 0:
             raise ValueError(f"n_features must be positive, got {n_features}")
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.n_features = int(n_features)
         self.dim = int(dim)
+        self.dtype = resolve_dtype(dtype)
+        self.backend = get_backend(backend)
 
-    def encode(self, X: np.ndarray) -> np.ndarray:
+    def encode(self, X):
         """Encode ``(n, q)`` features into ``(n, D)`` hypervectors."""
-        X = check_matrix(X, "X")
-        check_features_match(self.n_features, X.shape[1], type(self).__name__)
+        X = self._check_input(X)
         return self._encode(X)
 
+    def _check_input(self, X):
+        """Validate features and cast them to the encoder's dtype/backend.
+
+        NumPy inputs (and anything coercible) get the full ``check_matrix``
+        treatment — shape and finiteness — without a dtype-changing copy;
+        non-NumPy backend-native tensors are shape-checked only (a host
+        round-trip per encode would defeat the point of a device backend).
+        """
+        b = self.backend
+        if isinstance(X, np.ndarray) or not b.is_native(X):
+            X = check_matrix(X, "X", dtype=None)
+        elif X.ndim == 1:
+            X = X.reshape(1, -1)
+        check_features_match(self.n_features, X.shape[1], type(self).__name__)
+        return b.asarray(X, dtype=self.dtype)
+
     @abc.abstractmethod
-    def _encode(self, X: np.ndarray) -> np.ndarray:
+    def _encode(self, X):
         """Encode validated input (subclass hook)."""
 
-    def __call__(self, X: np.ndarray) -> np.ndarray:
+    def __call__(self, X):
         return self.encode(X)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

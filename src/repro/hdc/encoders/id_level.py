@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import BackendLike
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.spaces import random_bipolar, random_level_hypervectors
 from repro.utils.rng import SeedLike, as_rng, spawn_seed
@@ -31,6 +32,8 @@ class IDLevelEncoder(Encoder):
         clipped.  Fit it from training data or standardise inputs first.
     seed:
         RNG seed.
+    dtype, backend:
+        Compute dtype and array backend of the encodings.
     """
 
     def __init__(
@@ -41,8 +44,10 @@ class IDLevelEncoder(Encoder):
         n_levels: int = 32,
         feature_range: tuple = (-3.0, 3.0),
         seed: SeedLike = None,
+        dtype=None,
+        backend: BackendLike = None,
     ) -> None:
-        super().__init__(n_features, dim)
+        super().__init__(n_features, dim, dtype=dtype, backend=backend)
         if n_levels < 2:
             raise ValueError(f"n_levels must be >= 2, got {n_levels}")
         low, high = (float(feature_range[0]), float(feature_range[1]))
@@ -56,23 +61,29 @@ class IDLevelEncoder(Encoder):
             self.n_levels, self.dim, spawn_seed(rng)
         )
 
-    def quantize(self, X: np.ndarray) -> np.ndarray:
+    def quantize(self, X) -> np.ndarray:
         """Map features to integer level indices in ``[0, n_levels)``."""
         low, high = self.feature_range
+        X = self.backend.to_numpy(X)
         clipped = np.clip(np.asarray(X, dtype=np.float64), low, high)
         scaled = (clipped - low) / (high - low)
         return np.minimum((scaled * self.n_levels).astype(np.int64), self.n_levels - 1)
 
-    def _encode(self, X: np.ndarray) -> np.ndarray:
+    def _encode(self, X):
+        b = self.backend
         levels = self.quantize(X)  # (n, q)
-        id_f = self.id_vectors.astype(np.float64)  # (q, D)
-        lvl_bank = self.level_vectors.astype(np.float64)  # (L, D)
-        n = X.shape[0]
-        out = np.empty((n, self.dim))
+        id_f = b.asarray(self.id_vectors, dtype=self.dtype)  # (q, D)
+        lvl_bank = b.asarray(self.level_vectors, dtype=self.dtype)  # (L, D)
+        n = levels.shape[0]
+        out = b.zeros((n, self.dim), dtype=self.dtype)
         # bundle_f id_f * level(v_f), chunked so the (chunk, q, D) gather
         # stays within a ~256 MB working set at any problem size.
-        chunk = max(1, int(32_000_000 // max(self.n_features * self.dim, 1)))
+        itemsize = np.dtype(self.dtype).itemsize
+        chunk = max(
+            1, int(256_000_000 // max(self.n_features * self.dim * itemsize, 1))
+        )
         for start in range(0, n, chunk):
-            lvl = lvl_bank[levels[start : start + chunk]]  # (c, q, D)
-            out[start : start + chunk] = np.einsum("qd,nqd->nd", id_f, lvl)
+            lvl = b.take_rows(lvl_bank, levels[start : start + chunk].ravel())
+            lvl = lvl.reshape(-1, self.n_features, self.dim)  # (c, q, D)
+            out[start : start + chunk] = b.einsum("qd,nqd->nd", id_f, lvl)
         return out

@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import resolve_dtype
 from repro.hdc.ops import bind, permute
 from repro.hdc.spaces import random_bipolar
 from repro.utils.rng import SeedLike, as_rng
@@ -33,7 +34,13 @@ class NGramEncoder:
     """
 
     def __init__(
-        self, n_symbols: int, dim: int, *, n: int = 3, seed: SeedLike = None
+        self,
+        n_symbols: int,
+        dim: int,
+        *,
+        n: int = 3,
+        seed: SeedLike = None,
+        dtype=None,
     ) -> None:
         if n_symbols <= 0:
             raise ValueError(f"n_symbols must be positive, got {n_symbols}")
@@ -44,6 +51,7 @@ class NGramEncoder:
         self.n_symbols = int(n_symbols)
         self.dim = int(dim)
         self.n = int(n)
+        self.dtype = resolve_dtype(dtype)
         self.symbol_vectors = random_bipolar(self.n_symbols, self.dim, as_rng(seed))
 
     def encode_sequence(self, sequence: Sequence[int]) -> np.ndarray:
@@ -61,8 +69,8 @@ class NGramEncoder:
                 f"[{seq.min()}, {seq.max()}]"
             )
         order = min(self.n, seq.size)
-        out = np.zeros(self.dim, dtype=np.float64)
-        symbols = self.symbol_vectors.astype(np.float64)
+        out = np.zeros(self.dim, dtype=self.dtype)
+        symbols = self.symbol_vectors.astype(self.dtype)
         for start in range(seq.size - order + 1):
             gram = symbols[seq[start]]
             # position j in the gram gets j cyclic shifts, binding order in.

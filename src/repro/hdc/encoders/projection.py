@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import BackendLike
 from repro.hdc.encoders.base import RegenerableEncoder
 from repro.utils.rng import SeedLike, as_rng
 
@@ -27,6 +28,8 @@ class RandomProjectionEncoder(RegenerableEncoder):
         ``"sign"`` (bipolar hypervectors), ``"tanh"`` or ``"cos"``.
     seed:
         RNG seed.
+    dtype, backend:
+        Compute dtype and array backend.
 
     Although static encoders never regenerate during normal training, the
     class still implements :meth:`regenerate` so ablations can graft dynamic
@@ -40,8 +43,10 @@ class RandomProjectionEncoder(RegenerableEncoder):
         *,
         activation: str = "linear",
         seed: SeedLike = None,
+        dtype=None,
+        backend: BackendLike = None,
     ) -> None:
-        super().__init__(n_features, dim)
+        super().__init__(n_features, dim, dtype=dtype, backend=backend)
         if activation not in _ACTIVATIONS:
             raise ValueError(
                 f"activation must be one of {_ACTIVATIONS}, got {activation!r}"
@@ -52,25 +57,35 @@ class RandomProjectionEncoder(RegenerableEncoder):
         # activation stays in its informative phase range on standardised
         # inputs (linear/sign/tanh are scale-robust but benefit too).
         self._scale = 1.0 / np.sqrt(self.n_features)
-        self.base_vectors = self._rng.normal(
-            0.0, self._scale, size=(self.dim, self.n_features)
+        self.base_vectors = self.backend.draw_normal(
+            self._rng, 0.0, self._scale, (self.dim, self.n_features), self.dtype
         )
 
-    def _encode(self, X: np.ndarray) -> np.ndarray:
-        projections = X @ self.base_vectors.T
+    def _encode(self, X):
+        b = self.backend
+        projections = b.matmul(X, b.transpose(self.base_vectors))
         if self.activation == "linear":
             return projections
         if self.activation == "sign":
             # Break sign(0) ties to +1 so outputs stay strictly bipolar.
-            return np.where(projections >= 0.0, 1.0, -1.0)
+            return b.where(
+                projections >= 0.0,
+                b.ones_like(projections),
+                -b.ones_like(projections),
+            )
         if self.activation == "tanh":
-            return np.tanh(projections)
-        return np.cos(projections)
+            return b.tanh(projections)
+        return b.cos(projections)
 
     def regenerate(self, dims: np.ndarray) -> None:
         dims = self._check_dims(dims)
         if dims.size == 0:
             return
-        self.base_vectors[dims] = self._rng.normal(
-            0.0, self._scale, size=(dims.size, self.n_features)
+        self.backend.set_rows(
+            self.base_vectors,
+            dims,
+            self.backend.draw_normal(
+                self._rng, 0.0, self._scale,
+                (dims.size, self.n_features), self.dtype,
+            ),
         )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import BackendLike
 from repro.hdc.encoders.base import RegenerableEncoder
 from repro.utils.rng import SeedLike, as_rng
 
@@ -44,7 +45,11 @@ class RBFEncoder(RegenerableEncoder):
         features).
     seed:
         RNG seed; regeneration draws continue from the same stream so a full
-        training run is reproducible end-to-end.
+        training run is reproducible end-to-end.  Draws are materialised via
+        NumPy regardless of backend, so encoders built at the same seed are
+        bit-identical across backends.
+    dtype, backend:
+        Compute dtype and array backend for parameters and encodings.
 
     Attributes
     ----------
@@ -65,44 +70,64 @@ class RBFEncoder(RegenerableEncoder):
         *,
         bandwidth: float = 1.0,
         seed: SeedLike = None,
+        dtype=None,
+        backend: BackendLike = None,
     ) -> None:
-        super().__init__(n_features, dim)
+        super().__init__(n_features, dim, dtype=dtype, backend=backend)
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
         self.bandwidth = float(bandwidth)
         self._scale = self.bandwidth / np.sqrt(self.n_features)
         self._rng = as_rng(seed)
-        self.base_vectors = self._rng.normal(
-            0.0, self._scale, size=(self.dim, self.n_features)
+        b = self.backend
+        self.base_vectors = b.draw_normal(
+            self._rng, 0.0, self._scale, (self.dim, self.n_features), self.dtype
         )
-        self.phases = self._rng.uniform(0.0, 2.0 * np.pi, size=self.dim)
+        self.phases = b.draw_uniform(
+            self._rng, 0.0, 2.0 * np.pi, self.dim, self.dtype
+        )
         self.regenerated_count = 0
 
-    def _encode(self, X: np.ndarray) -> np.ndarray:
-        projections = X @ self.base_vectors.T  # (n, D)
-        return np.cos(projections + self.phases) * np.sin(projections)
+    def _encode(self, X):
+        b = self.backend
+        projections = b.matmul(X, b.transpose(self.base_vectors))  # (n, D)
+        return b.cos(projections + self.phases) * b.sin(projections)
 
-    def encode_dims(self, X: np.ndarray, dims: np.ndarray) -> np.ndarray:
+    def encode_dims(self, X, dims: np.ndarray):
         """Encode only the selected output dimensions (``(n, len(dims))``).
 
         Lets training refresh just the regenerated columns of a cached
         encoding instead of re-encoding the full batch.
         """
         dims = self._check_dims(dims)
+        b = self.backend
         if dims.size == 0:
-            return np.empty((np.asarray(X).shape[0], 0))
-        projections = np.asarray(X, dtype=np.float64) @ self.base_vectors[dims].T
-        return np.cos(projections + self.phases[dims]) * np.sin(projections)
+            return b.zeros((np.asarray(X).shape[0], 0), dtype=self.dtype)
+        X = self._check_input(X)
+        rows = b.take_rows(self.base_vectors, dims)
+        projections = b.matmul(X, b.transpose(rows))
+        phases = b.take_rows(self.phases, dims)
+        return b.cos(projections + phases) * b.sin(projections)
 
     def regenerate(self, dims: np.ndarray) -> None:
         """Redraw base vectors and phases for the given output dimensions."""
         dims = self._check_dims(dims)
         if dims.size == 0:
             return
-        self.base_vectors[dims] = self._rng.normal(
-            0.0, self._scale, size=(dims.size, self.n_features)
+        b = self.backend
+        b.set_rows(
+            self.base_vectors,
+            dims,
+            b.draw_normal(
+                self._rng, 0.0, self._scale,
+                (dims.size, self.n_features), self.dtype,
+            ),
         )
-        self.phases[dims] = self._rng.uniform(0.0, 2.0 * np.pi, size=dims.size)
+        b.set_rows(
+            self.phases,
+            dims,
+            b.draw_uniform(self._rng, 0.0, 2.0 * np.pi, dims.size, self.dtype),
+        )
         self.regenerated_count += int(dims.size)
 
     def effective_dim(self) -> int:

@@ -2,9 +2,16 @@
 
 Every HDC learner in the library stores one hypervector per class in an
 :class:`AssociativeMemory`.  The memory supports the bundling-style updates of
-single-pass training, the similarity-weighted updates of adaptive learning,
-querying (similarity scores, top-k labels) and the dimension-reset operation
-dimension regeneration relies on.
+single-pass training, the similarity-weighted updates of adaptive learning
+(including the grouped scatter-add form of Algorithm 1), querying (similarity
+scores, top-k labels) and the dimension-reset operation dimension
+regeneration relies on.
+
+The class memory lives on a pluggable
+:class:`~repro.backend.base.ArrayBackend` at a configurable storage dtype
+(float32 for the hot paths, float64 by default for backward compatibility).
+Similarity scores always leave as float64 NumPy so downstream control flow
+is backend-agnostic.
 """
 
 from __future__ import annotations
@@ -13,8 +20,19 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.hdc.ops import cosine_similarity, dot_similarity, normalize_rows
+from repro.backend import BackendLike, get_backend, resolve_dtype
 from repro.utils.validation import check_matrix
+
+
+def as_numpy_vectors(memory) -> np.ndarray:
+    """The class bank of any memory-like object as a NumPy array.
+
+    Duck-typed so the deploy/noise layers accept third-party classifiers
+    whose ``memory_`` exposes plain ``vectors`` without the backend API.
+    """
+    if hasattr(memory, "numpy_vectors"):
+        return memory.numpy_vectors()
+    return np.asarray(memory.vectors)
 
 
 class AssociativeMemory:
@@ -28,9 +46,22 @@ class AssociativeMemory:
         Hypervector dimensionality ``D``.
     metric:
         ``"cosine"`` (default, the paper's δ) or ``"dot"``.
+    dtype:
+        Storage/compute dtype of the class bank (``"float32"`` /
+        ``"float64"`` or a NumPy dtype).  Defaults to float64.
+    backend:
+        Array backend name or instance (default: NumPy).
     """
 
-    def __init__(self, n_classes: int, dim: int, metric: str = "cosine") -> None:
+    def __init__(
+        self,
+        n_classes: int,
+        dim: int,
+        metric: str = "cosine",
+        *,
+        dtype=None,
+        backend: BackendLike = None,
+    ) -> None:
         if n_classes <= 0:
             raise ValueError(f"n_classes must be positive, got {n_classes}")
         if dim <= 0:
@@ -40,19 +71,40 @@ class AssociativeMemory:
         self.n_classes = int(n_classes)
         self.dim = int(dim)
         self.metric = metric
-        self.vectors = np.zeros((self.n_classes, self.dim), dtype=np.float64)
+        self.backend = get_backend(backend)
+        self.dtype = resolve_dtype(dtype)
+        self.vectors = self.backend.zeros(
+            (self.n_classes, self.dim), dtype=self.dtype
+        )
 
     # ------------------------------------------------------------------ state
 
     def copy(self) -> "AssociativeMemory":
         """A deep copy (used by convergence tracking and noise injection)."""
-        clone = AssociativeMemory(self.n_classes, self.dim, self.metric)
-        clone.vectors = self.vectors.copy()
+        clone = AssociativeMemory(
+            self.n_classes, self.dim, self.metric,
+            dtype=self.dtype, backend=self.backend,
+        )
+        clone.vectors = self.backend.copy(self.vectors)
         return clone
 
     def reset(self) -> None:
         """Zero out every class hypervector."""
         self.vectors[:] = 0.0
+
+    def set_vectors(self, vectors) -> None:
+        """Replace the class bank, casting to this memory's backend/dtype."""
+        vectors = self.backend.asarray(vectors, dtype=self.dtype)
+        if tuple(vectors.shape) != (self.n_classes, self.dim):
+            raise ValueError(
+                f"vectors must have shape {(self.n_classes, self.dim)}, "
+                f"got {tuple(vectors.shape)}"
+            )
+        self.vectors = vectors
+
+    def numpy_vectors(self) -> np.ndarray:
+        """The class bank as a NumPy array (zero-copy on the NumPy backend)."""
+        return self.backend.to_numpy(self.vectors)
 
     def reset_dimensions(self, dims: np.ndarray) -> None:
         """Zero the given dimensions across all classes.
@@ -70,74 +122,133 @@ class AssociativeMemory:
                 f"dimension indices must lie in [0, {self.dim}), got range "
                 f"[{dims.min()}, {dims.max()}]"
             )
-        self.vectors[:, dims] = 0.0
+        self.backend.zero_columns(self.vectors, dims)
 
     # ---------------------------------------------------------------- updates
 
-    def accumulate(self, encoded: np.ndarray, labels: np.ndarray) -> None:
+    def as_encoded(self, encoded, name: str = "encoded"):
+        """Validate an encoded batch without forcing a dtype or a copy.
+
+        Shape-checks only: finiteness is enforced once at the encoder
+        boundary (``Encoder.encode``), not on every memory call — the
+        training loop queries the same cached encoding dozens of times and
+        an O(nD) ``isfinite`` scan per call is exactly the overhead the
+        backend refactor removed.
+        """
+        b = self.backend
+        H = encoded if b.is_native(encoded) else check_matrix(
+            encoded, name, dtype=None, ensure_finite=False
+        )
+        if H.ndim == 1:
+            H = H.reshape(1, -1)
+        if H.shape[1] != self.dim:
+            raise ValueError(
+                f"{name} dimensionality {H.shape[1]} != memory dim {self.dim}"
+            )
+        return H
+
+    def accumulate(self, encoded, labels) -> None:
         """Single-pass bundling: add each encoded sample into its class row."""
-        H = check_matrix(encoded, "encoded")
+        H = self.as_encoded(encoded)
         labels = np.asarray(labels, dtype=np.int64)
         if H.shape[0] != labels.shape[0]:
             raise ValueError(
                 f"encoded and labels disagree on sample count: "
                 f"{H.shape[0]} vs {labels.shape[0]}"
             )
-        if H.shape[1] != self.dim:
-            raise ValueError(
-                f"encoded dimensionality {H.shape[1]} != memory dim {self.dim}"
-            )
         if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
             raise ValueError(
                 f"labels must lie in [0, {self.n_classes}), got range "
                 f"[{labels.min()}, {labels.max()}]"
             )
-        np.add.at(self.vectors, labels, H)
+        self.backend.scatter_add_rows(self.vectors, labels, H)
 
-    def add_to_class(self, class_index: int, delta: np.ndarray) -> None:
+    def add_to_class(self, class_index: int, delta) -> None:
         """Add ``delta`` to one class hypervector (adaptive-learning update)."""
         if not 0 <= class_index < self.n_classes:
             raise ValueError(
                 f"class_index must lie in [0, {self.n_classes}), got {class_index}"
             )
-        self.vectors[class_index] += np.asarray(delta, dtype=np.float64)
+        self.vectors[class_index] += self.backend.asarray(delta, dtype=self.dtype)
+
+    def update_misclassified(
+        self,
+        encoded_wrong,
+        predicted: np.ndarray,
+        labels: np.ndarray,
+        sim_pred: np.ndarray,
+        sim_true: np.ndarray,
+        lr: float,
+    ) -> None:
+        """Apply Algorithm 1's update for a batch of misclassified samples.
+
+        All coefficients come from similarities computed *at batch start*
+        (the paper's matrix-wise grouping), so the per-sample updates commute
+        and can be applied as two grouped scatter-adds instead of a Python
+        loop:
+
+            C_pred ← C_pred − η · (1 − δ(H, C_pred)) · H
+            C_true ← C_true + η · (1 − δ(H, C_true)) · H
+        """
+        b = self.backend
+        H = self.as_encoded(encoded_wrong)
+        coeff_pred = b.asarray(-lr * (1.0 - sim_pred), dtype=self.dtype)
+        coeff_true = b.asarray(lr * (1.0 - sim_true), dtype=self.dtype)
+        H = b.asarray(H, dtype=self.dtype)
+        b.scatter_add_rows(
+            self.vectors, predicted, coeff_pred.reshape(-1, 1) * H
+        )
+        b.scatter_add_rows(
+            self.vectors, labels, coeff_true.reshape(-1, 1) * H
+        )
+
+    def bundle_columns(self, labels: np.ndarray, dims: np.ndarray, values) -> None:
+        """Scatter-add ``values`` into ``vectors[labels][:, dims]``.
+
+        The re-bundle half of dimension regeneration: freshly encoded columns
+        are bundled back into each sample's class row so regenerated
+        dimensions start trained instead of at zero.
+        """
+        self.backend.scatter_add_cells(self.vectors, labels, dims, values)
 
     # ---------------------------------------------------------------- queries
 
-    def similarities(self, encoded: np.ndarray) -> np.ndarray:
-        """``(n, k)`` similarity scores between encoded queries and classes."""
-        H = check_matrix(encoded, "encoded")
-        if H.shape[1] != self.dim:
-            raise ValueError(
-                f"encoded dimensionality {H.shape[1]} != memory dim {self.dim}"
-            )
-        if self.metric == "cosine":
-            return cosine_similarity(H, self.vectors)
-        return dot_similarity(H, self.vectors)
+    def similarities(self, encoded) -> np.ndarray:
+        """``(n, k)`` float64 similarity scores between queries and classes."""
+        H = self.as_encoded(encoded)
+        b = self.backend
+        if not b.is_native(H) or (
+            hasattr(H, "dtype") and np.dtype(self.dtype) != H.dtype
+        ):
+            H = b.asarray(H, dtype=self.dtype)
+        return b.similarity_scores(H, self.vectors, metric=self.metric)
 
-    def predict(self, encoded: np.ndarray) -> np.ndarray:
+    def predict(self, encoded) -> np.ndarray:
         """Most-similar class per query (paper inference step F)."""
         return np.argmax(self.similarities(encoded), axis=1)
 
-    def topk(self, encoded: np.ndarray, k: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    def topk(self, encoded, k: int = 2) -> Tuple[np.ndarray, np.ndarray]:
         """Top-``k`` labels and their scores, most similar first.
 
-        Returns ``(labels, scores)`` with shapes ``(n, k)``.
+        Returns ``(labels, scores)`` with shapes ``(n, k)``; selection uses
+        an argpartition-style partial sort rather than a full argsort.
         """
         if not 1 <= k <= self.n_classes:
             raise ValueError(
                 f"k must lie in [1, {self.n_classes}], got {k}"
             )
         sims = self.similarities(encoded)
-        order = np.argsort(-sims, axis=1)[:, :k]
-        return order, np.take_along_axis(sims, order, axis=1)
+        return self.backend.topk_desc(sims, k)
 
     def normalized(self) -> np.ndarray:
         """Row-normalised class hypervectors (``N_l`` in equation (1))."""
-        return normalize_rows(self.vectors)
+        from repro.hdc.ops import normalize_rows
+
+        return normalize_rows(self.numpy_vectors())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"AssociativeMemory(n_classes={self.n_classes}, dim={self.dim}, "
-            f"metric={self.metric!r})"
+            f"metric={self.metric!r}, dtype={np.dtype(self.dtype).name}, "
+            f"backend={self.backend.name!r})"
         )

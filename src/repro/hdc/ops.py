@@ -1,20 +1,38 @@
 """Core hypervector operations (paper §III-A).
 
 All operations accept either a single hypervector ``(D,)`` or a batch
-``(n, D)`` and are implemented as vectorised NumPy expressions, mirroring the
-"highly parallel matrix-wise" framing of the paper.
+``(n, D)`` and are implemented against the pluggable
+:class:`~repro.backend.base.ArrayBackend` protocol, mirroring the "highly
+parallel matrix-wise" framing of the paper.  Pass ``backend=`` to run on a
+non-default engine (e.g. torch); by default everything runs on vectorised
+NumPy.
+
+Dtype policy: operations **preserve** the input dtype instead of silently
+upcasting to float64 — bipolar int8 stays int8 under ``bind``/``permute``,
+float32 encodings stay float32 end to end.  The only promotions are the
+unavoidable ones: integer ``bundle`` follows NumPy's sum-promotion rules
+(int8 sums promote so bundling cannot overflow) and norms/similarity ratios
+of integer inputs are computed in floating point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import BackendLike, get_backend
 from repro.utils.validation import check_matrix
 
 _EPS = 1e-12
 
 
-def bundle(*hypervectors: np.ndarray) -> np.ndarray:
+def _as_hv(hv, b, name: str = "hypervector"):
+    """Coerce to a backend-native array without changing a floating dtype."""
+    if b.is_native(hv):
+        return hv
+    return b.asarray(hv)
+
+
+def bundle(*hypervectors, backend: BackendLike = None):
     """Bundle (element-wise add) hypervectors: the HDC memory operation.
 
     ``bundle(H1, H2)`` returns a hypervector similar to both inputs; in
@@ -22,17 +40,25 @@ def bundle(*hypervectors: np.ndarray) -> np.ndarray:
     similarity with an unrelated hypervector stays near zero.
 
     Accepts any mix of ``(D,)`` vectors and ``(n, D)`` batches; batches are
-    first reduced along their sample axis.
+    first reduced along their sample axis.  The result keeps the (promoted)
+    input dtype rather than forcing float64.
     """
     if not hypervectors:
         raise ValueError("bundle requires at least one hypervector")
+    b = get_backend(backend)
     total = None
     dim = None
     for hv in hypervectors:
-        arr = np.asarray(hv, dtype=np.float64)
+        arr = _as_hv(hv, b)
         if arr.ndim == 2:
-            arr = arr.sum(axis=0)
-        elif arr.ndim != 1:
+            arr = b.sum(arr, axis=0)
+        elif arr.ndim == 1:
+            # Reduce through sum even for single vectors: integer inputs get
+            # the same overflow-safe promotion as batches (int8 → int64),
+            # and the result is always a fresh array, never an alias of the
+            # caller's hypervector.
+            arr = b.sum(arr.reshape(1, -1), axis=0)
+        else:
             raise ValueError(f"hypervectors must be 1-D or 2-D, got ndim={arr.ndim}")
         if dim is None:
             dim = arr.shape[0]
@@ -44,79 +70,99 @@ def bundle(*hypervectors: np.ndarray) -> np.ndarray:
     return total
 
 
-def bind(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+def bind(h1, h2, backend: BackendLike = None):
     """Bind (element-wise multiply) two hypervectors.
 
     Binding associates two hypervectors into one that is near-orthogonal to
     both.  For bipolar inputs it is an involution: ``bind(bind(a, b), a) == b``.
-    Supports broadcasting between ``(D,)`` and ``(n, D)``.
+    Supports broadcasting between ``(D,)`` and ``(n, D)``; preserves the
+    (promoted) input dtype.
     """
-    a = np.asarray(h1, dtype=np.float64)
-    b = np.asarray(h2, dtype=np.float64)
-    if a.shape[-1] != b.shape[-1]:
+    b = get_backend(backend)
+    a = _as_hv(h1, b)
+    c = _as_hv(h2, b)
+    if a.shape[-1] != c.shape[-1]:
         raise ValueError(
-            f"dimension mismatch in bind: {a.shape[-1]} vs {b.shape[-1]}"
+            f"dimension mismatch in bind: {a.shape[-1]} vs {c.shape[-1]}"
         )
-    return a * b
+    return a * c
 
 
-def permute(hv: np.ndarray, shifts: int = 1) -> np.ndarray:
+def permute(hv, shifts: int = 1, backend: BackendLike = None):
     """Cyclically permute hypervector elements (the HDC sequence operation).
 
     Permutation produces a hypervector near-orthogonal to its input while
     preserving pairwise similarities, which makes it the standard encoding for
-    positional/temporal order in n-gram encoders.
+    positional/temporal order in n-gram encoders.  Dtype-preserving.
     """
-    arr = np.asarray(hv, dtype=np.float64)
-    return np.roll(arr, shifts, axis=-1)
+    b = get_backend(backend)
+    return b.roll(_as_hv(hv, b), shifts, axis=-1)
 
 
-def normalize_rows(X: np.ndarray) -> np.ndarray:
-    """L2-normalise each row; zero rows are passed through unchanged."""
-    arr = np.asarray(X, dtype=np.float64)
+def normalize_rows(X, backend: BackendLike = None):
+    """L2-normalise each row; zero rows are passed through unchanged.
+
+    Floating inputs keep their dtype; integer inputs promote to floating
+    point (a ratio cannot stay integral).
+    """
+    b = get_backend(backend)
+    arr = _as_hv(X, b)
     single = arr.ndim == 1
     if single:
         arr = arr.reshape(1, -1)
-    norms = np.linalg.norm(arr, axis=1, keepdims=True)
-    out = arr / np.where(norms > _EPS, norms, 1.0)
+    norms = b.norm(arr, axis=1, keepdims=True)
+    out = arr / b.where(norms > _EPS, norms, b.ones_like(norms))
     return out[0] if single else out
 
 
-def dot_similarity(queries: np.ndarray, memory: np.ndarray) -> np.ndarray:
+def _check_pair(queries, memory, b, q_name: str, m_name: str):
+    Q = queries if b.is_native(queries) else _validated(queries, q_name)
+    M = memory if b.is_native(memory) else _validated(memory, m_name)
+    if Q.ndim == 1:
+        Q = Q.reshape(1, -1)
+    if M.ndim == 1:
+        M = M.reshape(1, -1)
+    if Q.ndim != 2 or M.ndim != 2:
+        raise ValueError(
+            f"{q_name} and {m_name} must be 1-D or 2-D, got ndim "
+            f"{Q.ndim} and {M.ndim}"
+        )
+    if Q.shape[1] != M.shape[1]:
+        raise ValueError(
+            f"{q_name} and {m_name} disagree on dimensionality: "
+            f"{Q.shape[1]} vs {M.shape[1]}"
+        )
+    return Q, M
+
+
+def _validated(x, name: str) -> np.ndarray:
+    return check_matrix(x, name, dtype=None)
+
+
+def dot_similarity(queries, memory, backend: BackendLike = None):
     """Raw dot-product similarity between queries ``(n, D)`` and memory ``(k, D)``.
 
     Returns an ``(n, k)`` score matrix.  Per equation (1) of the paper this is
     proportional to cosine similarity once the memory rows are normalised,
     because the query norm is constant across classes.
     """
-    Q = check_matrix(queries, "queries")
-    M = check_matrix(memory, "memory")
-    if Q.shape[1] != M.shape[1]:
-        raise ValueError(
-            f"queries and memory disagree on dimensionality: "
-            f"{Q.shape[1]} vs {M.shape[1]}"
-        )
-    return Q @ M.T
+    b = get_backend(backend)
+    Q, M = _check_pair(queries, memory, b, "queries", "memory")
+    return b.matmul(Q, b.transpose(M))
 
 
-def cosine_similarity(queries: np.ndarray, memory: np.ndarray) -> np.ndarray:
+def cosine_similarity(queries, memory, backend: BackendLike = None):
     """Cosine similarity δ(H, C) between queries ``(n, D)`` and memory ``(k, D)``.
 
     Zero vectors on either side yield similarity 0 rather than NaN, matching
     the convention that an empty class hypervector matches nothing.
     """
-    Q = check_matrix(queries, "queries")
-    M = check_matrix(memory, "memory")
-    scores = dot_similarity(Q, M)
-    q_norm = np.linalg.norm(Q, axis=1)
-    m_norm = np.linalg.norm(M, axis=1)
-    denom = np.outer(q_norm, m_norm)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        out = np.where(denom > _EPS, scores / np.where(denom > _EPS, denom, 1.0), 0.0)
-    return out
+    b = get_backend(backend)
+    Q, M = _check_pair(queries, memory, b, "queries", "memory")
+    return b.cosine_similarity(Q, M)
 
 
-def hamming_distance(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+def hamming_distance(h1, h2) -> np.ndarray:
     """Normalised Hamming distance between bipolar/binary hypervectors.
 
     For batches, broadcasts ``(n, D)`` against ``(D,)`` or pairs two equal
@@ -131,7 +177,7 @@ def hamming_distance(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
     return np.mean(a != b, axis=-1)
 
 
-def hamming_similarity(queries: np.ndarray, memory: np.ndarray) -> np.ndarray:
+def hamming_similarity(queries, memory) -> np.ndarray:
     """Fraction of matching elements between each query and each memory row.
 
     The bipolar simplification of cosine similarity the paper mentions:

@@ -33,6 +33,12 @@ _HDC_DIM = Hyperparam(
     "dim", 500, (250, 500, 1000), "hypervector dimensionality D"
 )
 _ITERATIONS = Hyperparam("iterations", 20, (), "max training iterations")
+_BACKEND = Hyperparam(
+    "backend", "numpy", (), "array backend (numpy | torch, see repro.backend)"
+)
+_DTYPE = Hyperparam(
+    "dtype", "float32", (), "hot-path compute dtype (float32 | float64)"
+)
 
 
 def _make_mlp(dim=None, hidden_sizes=None, **params) -> MLPClassifier:
@@ -69,6 +75,8 @@ def _register_all() -> None:
             Hyperparam("beta", 1.0, (), "wrong-label proximity weight"),
             Hyperparam("theta", 0.25, (), "second wrong-label weight"),
             _ITERATIONS,
+            _BACKEND,
+            _DTYPE,
             _SEED,
         ),
     )
@@ -87,6 +95,8 @@ def _register_all() -> None:
                 "encoder", "id-level", (), "id-level | sign | rbf encoder"
             ),
             _ITERATIONS,
+            _BACKEND,
+            _DTYPE,
             _SEED,
         ),
     )
@@ -102,6 +112,8 @@ def _register_all() -> None:
                 "regen_rate", 0.10, (0.05, 0.10, 0.20), "regeneration rate"
             ),
             _ITERATIONS,
+            _BACKEND,
+            _DTYPE,
             _SEED,
         ),
     )
@@ -110,7 +122,7 @@ def _register_all() -> None:
         OnlineHDClassifier,
         tags=("hdc", "paper", "baseline", "streaming", "persistable"),
         description="Adaptive similarity-weighted HDC, static encoder",
-        hyperparams=(_HDC_DIM, _LR, _ITERATIONS, _SEED),
+        hyperparams=(_HDC_DIM, _LR, _ITERATIONS, _BACKEND, _DTYPE, _SEED),
     )
     register_model(
         "mlp",
@@ -183,6 +195,8 @@ def _register_all() -> None:
             Hyperparam(
                 "regen_every", 10, (), "batches between regeneration steps"
             ),
+            _BACKEND,
+            _DTYPE,
             _SEED,
         ),
     )
@@ -201,6 +215,8 @@ def _register_all() -> None:
             _HDC_DIM,
             _LR,
             _ITERATIONS,
+            _BACKEND,
+            _DTYPE,
             _SEED,
         ),
     )

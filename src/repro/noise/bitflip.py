@@ -49,7 +49,15 @@ def flip_bits(
 def corrupt_array(
     array: np.ndarray, bits: int, error_rate: float, seed: SeedLike = None
 ) -> np.ndarray:
-    """Quantise → flip → dequantise convenience wrapper."""
+    """Quantise → flip → dequantise convenience wrapper.
+
+    The result keeps the input's floating dtype (integer inputs decode to
+    float64, the quantiser's native precision).
+    """
     from repro.noise.quantization import dequantize, quantize
 
-    return dequantize(flip_bits(quantize(array, bits), error_rate, seed))
+    arr = np.asarray(array)
+    out = dequantize(flip_bits(quantize(arr, bits), error_rate, seed))
+    if arr.dtype.kind == "f":
+        return out.astype(arr.dtype, copy=False)
+    return out

@@ -23,6 +23,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.baselines.mlp import MLPClassifier
+from repro.hdc.memory import as_numpy_vectors
 from repro.noise.bitflip import flip_bits
 from repro.noise.quantization import dequantize, quantize
 from repro.utils.rng import SeedLike, as_rng, spawn_seed
@@ -67,9 +68,16 @@ def perturb_classifier(model, bits: int, error_rate: float, seed: SeedLike = Non
         perturbed.deployed_.inject_faults(error_rate, spawn_seed(rng))
         return perturbed
     if hasattr(perturbed, "memory_") and perturbed.memory_ is not None:
-        qt = quantize(perturbed.memory_.vectors, bits)
+        memory = perturbed.memory_
+        qt = quantize(as_numpy_vectors(memory), bits)
         qt = flip_bits(qt, error_rate, spawn_seed(rng))
-        perturbed.memory_.vectors = dequantize(qt)
+        restored = dequantize(qt)
+        if hasattr(memory, "set_vectors"):
+            # Cast back to the memory's own backend/dtype so the perturbed
+            # model keeps predicting on its original engine.
+            memory.set_vectors(restored)
+        else:
+            memory.vectors = restored
         return perturbed
     if isinstance(perturbed, MLPClassifier):
         params = []

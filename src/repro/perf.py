@@ -1,0 +1,285 @@
+"""Performance harness: time encode/fit/predict per model and dataset.
+
+Drives the ``repro bench`` CLI subcommand (and ``benchmarks/perf.py``),
+emitting the ``BENCH_*.json`` trajectory the ROADMAP tracks so hot-path
+speedups are measured, not asserted.  Timings are best-of-``repeats``
+wall-clock seconds.
+
+The harness also times a **legacy reference** for DistHD — the pre-backend
+float64 path: float64 encoder/memory, a float64-coercing copy per
+similarity call (the old ``check_matrix`` behaviour), and the per-sample
+Python update loop of the original Algorithm-1 implementation.  The
+``fit_speedup_vs_legacy`` field is the honest before/after ratio for this
+repo's own history.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+import repro.core.disthd as _disthd_mod
+from repro.backend import get_backend, list_backends
+from repro.datasets.loaders import Dataset, load_dataset
+from repro.models.registry import get_model_spec, make_model
+from repro.version import __version__
+
+#: Models the default bench sweep covers (HDC family: encode is separable).
+DEFAULT_MODELS = ("disthd", "onlinehd", "baselinehd")
+
+#: The synthetic default the acceptance trajectory is recorded on.
+DEFAULT_DATASET = "ucihar"
+DEFAULT_SCALE = 0.12
+DEFAULT_DIM = 1024
+DEFAULT_ITERATIONS = 10
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# --------------------------------------------------------------- legacy ref
+
+
+def _legacy_adaptive_fit_iteration(
+    memory, encoded, labels, *, lr=0.05, batch_size=None, shuffle_rng=None
+):
+    """The pre-backend Algorithm-1 pass: float64 coercion + per-sample loop."""
+    H = np.asarray(encoded, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    n = H.shape[0]
+    size = n if batch_size is None else min(int(batch_size), n)
+    order = np.arange(n)
+    if shuffle_rng is not None:
+        order = shuffle_rng.permutation(n)
+    n_correct = 0
+    for start in range(0, n, size):
+        idx = order[start : start + size]
+        batch = np.array(H[idx], dtype=np.float64)  # the old check_matrix copy
+        batch_labels = labels[idx]
+        sims = memory.similarities(batch)
+        predicted = np.argmax(sims, axis=1)
+        wrong = np.flatnonzero(predicted != batch_labels)
+        n_correct += idx.size - wrong.size
+        for j in wrong:
+            hv = batch[j]
+            lbl = int(batch_labels[j])
+            pred = int(predicted[j])
+            memory.add_to_class(pred, -lr * (1.0 - sims[j, pred]) * hv)
+            memory.add_to_class(lbl, lr * (1.0 - sims[j, lbl]) * hv)
+    return n_correct / n
+
+
+@contextmanager
+def _legacy_adaptive_path():
+    """Swap DistHD's adaptive pass for the pre-PR per-sample loop."""
+    original = _disthd_mod.adaptive_fit_iteration
+    _disthd_mod.adaptive_fit_iteration = _legacy_adaptive_fit_iteration
+    try:
+        yield
+    finally:
+        _disthd_mod.adaptive_fit_iteration = original
+
+
+def bench_legacy_disthd(
+    dataset: Dataset,
+    *,
+    dim: int = DEFAULT_DIM,
+    iterations: int = DEFAULT_ITERATIONS,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Time the pre-PR float64 DistHD fit (reference for the speedup claim)."""
+    def build():
+        return make_model(
+            "disthd", dim=dim, iterations=iterations,
+            convergence_patience=None, seed=seed, dtype="float64",
+        )
+
+    with _legacy_adaptive_path():
+        fit_s = _best_of(
+            lambda: build().fit(dataset.train_x, dataset.train_y), repeats
+        )
+        model = build().fit(dataset.train_x, dataset.train_y)
+    return {
+        "fit_s": fit_s,
+        "test_acc": float(model.score(dataset.test_x, dataset.test_y)),
+    }
+
+
+# ------------------------------------------------------------------- bench
+
+
+def bench_model(
+    name: str,
+    dataset: Dataset,
+    *,
+    dim: int = DEFAULT_DIM,
+    iterations: int = DEFAULT_ITERATIONS,
+    seed: int = 0,
+    repeats: int = 3,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+    model_params: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Time one registered model on one dataset.
+
+    Returns a flat record: best-of-``repeats`` ``encode_s`` (HDC models
+    only), ``fit_s`` and ``predict_s``, plus test accuracy and the
+    effective configuration.
+    """
+    declared = get_model_spec(name).param_names()
+    params: Dict[str, object] = dict(model_params or {})
+    for key, value in (
+        ("dim", dim),
+        ("iterations", iterations),
+        ("seed", seed),
+        ("convergence_patience", None),
+        ("backend", backend),
+        ("dtype", dtype),
+    ):
+        if key in ("backend", "dtype") and value is None:
+            continue
+        if key in declared or key in ("convergence_patience",):
+            params.setdefault(key, value)
+    try:
+        model = make_model(name, **params)
+    except TypeError:
+        params.pop("convergence_patience", None)
+        model = make_model(name, **params)
+
+    fit_s = _best_of(
+        lambda: make_model(name, **params).fit(dataset.train_x, dataset.train_y),
+        repeats,
+    )
+    model.fit(dataset.train_x, dataset.train_y)
+    predict_s = _best_of(lambda: model.predict(dataset.test_x), repeats)
+
+    record: Dict[str, object] = {
+        "model": name,
+        "dataset": dataset.name,
+        "n_train": int(dataset.train_x.shape[0]),
+        "n_test": int(dataset.test_x.shape[0]),
+        "n_features": int(dataset.train_x.shape[1]),
+        "params": {k: repr(v) if not isinstance(v, (int, float, str, type(None), bool)) else v
+                   for k, v in params.items()},
+        "fit_s": fit_s,
+        "predict_s": predict_s,
+        "test_acc": float(model.score(dataset.test_x, dataset.test_y)),
+    }
+    encoder = getattr(model, "encoder_", None)
+    if encoder is not None and hasattr(encoder, "encode"):
+        record["encode_s"] = _best_of(
+            lambda: encoder.encode(dataset.train_x), repeats
+        )
+        if hasattr(encoder, "dtype"):
+            record["dtype"] = np.dtype(encoder.dtype).name
+        if hasattr(encoder, "backend"):
+            record["backend"] = encoder.backend.name
+    return record
+
+
+def run_bench(
+    *,
+    models: Sequence[str] = DEFAULT_MODELS,
+    dataset: str = DEFAULT_DATASET,
+    scale: float = DEFAULT_SCALE,
+    dim: int = DEFAULT_DIM,
+    iterations: int = DEFAULT_ITERATIONS,
+    seed: int = 0,
+    repeats: int = 3,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+    smoke: bool = False,
+    include_legacy: bool = True,
+) -> Dict[str, object]:
+    """Run the full bench sweep and return the ``BENCH_*.json`` payload.
+
+    ``smoke=True`` shrinks everything (tiny synthetic dataset, one repeat,
+    no legacy reference timing loop beyond one run) so CI can exercise the
+    harness in seconds.
+    """
+    if smoke:
+        scale, dim, iterations, repeats = 0.02, 64, 3, 1
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    results: List[Dict[str, object]] = [
+        bench_model(
+            name, data, dim=dim, iterations=iterations, seed=seed,
+            repeats=repeats, backend=backend, dtype=dtype,
+        )
+        for name in models
+    ]
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "created_unix": time.time(),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "backends_available": list(list_backends()),
+        "config": {
+            "dataset": dataset,
+            "scale": scale,
+            "dim": dim,
+            "iterations": iterations,
+            "seed": seed,
+            "repeats": repeats,
+            "smoke": bool(smoke),
+            "backend": backend or get_backend(None).name,
+            "dtype": dtype or "float32",
+        },
+        "results": results,
+    }
+    if include_legacy and "disthd" in models:
+        legacy = bench_legacy_disthd(
+            data, dim=dim, iterations=iterations, seed=seed, repeats=repeats
+        )
+        payload["disthd_legacy_float64"] = legacy
+        new_fit = next(
+            r["fit_s"] for r in results if r["model"] == "disthd"
+        )
+        payload["fit_speedup_vs_legacy"] = (
+            float(legacy["fit_s"]) / float(new_fit) if new_fit > 0 else None
+        )
+    return payload
+
+
+def write_bench(payload: Dict[str, object], path: Union[str, Path]) -> Path:
+    """Write a bench payload as indented JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def format_bench_table(payload: Dict[str, object]) -> str:
+    """A compact human-readable summary of a bench payload."""
+    lines = [
+        f"{'model':<14} {'dataset':<10} {'fit_s':>9} {'predict_s':>10} "
+        f"{'encode_s':>9} {'test_acc':>9}"
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['model']:<14} {row['dataset']:<10} "
+            f"{row['fit_s']:>9.4f} {row['predict_s']:>10.4f} "
+            f"{row.get('encode_s', float('nan')):>9.4f} "
+            f"{row['test_acc']:>9.3f}"
+        )
+    speedup = payload.get("fit_speedup_vs_legacy")
+    if speedup is not None:
+        legacy = payload["disthd_legacy_float64"]
+        lines.append(
+            f"disthd legacy float64 fit: {legacy['fit_s']:.4f}s  "
+            f"→ speedup {speedup:.2f}x"
+        )
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ from typing import Callable, Dict, Tuple, Union
 
 import numpy as np
 
+from repro.backend import resolve_dtype
 from repro.baselines.baselinehd import BaselineHDClassifier
 from repro.baselines.knn import KNNClassifier
 from repro.baselines.mlp import MLPClassifier
@@ -37,55 +38,70 @@ from repro.hdc.encoders.projection import RandomProjectionEncoder
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
+
+
+def _as_saved(backend, array) -> np.ndarray:
+    """Materialise a possibly backend-native array as NumPy for the archive."""
+    if backend is not None:
+        return np.asarray(backend.to_numpy(array))
+    return np.asarray(array)
 
 
 def _encoder_payload(encoder) -> dict:
+    b = getattr(encoder, "backend", None)
     if isinstance(encoder, RBFEncoder):
         return {
             "encoder_kind": "rbf",
-            "enc_base_vectors": encoder.base_vectors,
-            "enc_phases": encoder.phases,
+            "enc_base_vectors": _as_saved(b, encoder.base_vectors),
+            "enc_phases": _as_saved(b, encoder.phases),
             "enc_bandwidth": np.float64(encoder.bandwidth),
             "enc_regenerated": np.int64(encoder.regenerated_count),
         }
     if isinstance(encoder, RandomProjectionEncoder):
         return {
             "encoder_kind": "projection",
-            "enc_base_vectors": encoder.base_vectors,
+            "enc_base_vectors": _as_saved(b, encoder.base_vectors),
             "enc_activation": encoder.activation,
         }
     if isinstance(encoder, IDLevelEncoder):
         return {
             "encoder_kind": "id-level",
-            "enc_id_vectors": encoder.id_vectors,
-            "enc_level_vectors": encoder.level_vectors,
+            "enc_id_vectors": np.asarray(encoder.id_vectors),
+            "enc_level_vectors": np.asarray(encoder.level_vectors),
             "enc_feature_range": np.asarray(encoder.feature_range),
         }
     raise TypeError(f"cannot serialise encoder type {type(encoder).__name__}")
 
 
-def _restore_encoder(kind: str, data, n_features: int, dim: int):
+def _restore_encoder(kind: str, data, n_features: int, dim: int, dtype):
+    """Rebuild an encoder on the NumPy backend at the archived dtype.
+
+    Models trained under any backend reload (and predict) under NumPy; the
+    arrays themselves were materialised backend-neutrally at save time.
+    """
     if kind == "rbf":
         encoder = RBFEncoder(
-            n_features, dim, bandwidth=float(data["enc_bandwidth"]), seed=0
+            n_features, dim, bandwidth=float(data["enc_bandwidth"]), seed=0,
+            dtype=dtype,
         )
-        encoder.base_vectors = np.asarray(data["enc_base_vectors"])
-        encoder.phases = np.asarray(data["enc_phases"])
+        encoder.base_vectors = np.asarray(data["enc_base_vectors"], dtype=dtype)
+        encoder.phases = np.asarray(data["enc_phases"], dtype=dtype)
         encoder.regenerated_count = int(data["enc_regenerated"])
         return encoder
     if kind == "projection":
         encoder = RandomProjectionEncoder(
-            n_features, dim, activation=str(data["enc_activation"]), seed=0
+            n_features, dim, activation=str(data["enc_activation"]), seed=0,
+            dtype=dtype,
         )
-        encoder.base_vectors = np.asarray(data["enc_base_vectors"])
+        encoder.base_vectors = np.asarray(data["enc_base_vectors"], dtype=dtype)
         return encoder
     if kind == "id-level":
         levels = np.asarray(data["enc_level_vectors"])
         low, high = np.asarray(data["enc_feature_range"])
         encoder = IDLevelEncoder(
             n_features, dim, n_levels=levels.shape[0],
-            feature_range=(float(low), float(high)), seed=0,
+            feature_range=(float(low), float(high)), seed=0, dtype=dtype,
         )
         encoder.id_vectors = np.asarray(data["enc_id_vectors"])
         encoder.level_vectors = levels
@@ -138,18 +154,28 @@ class LoadedHDCModel:
 
 
 def _hdc_payload(model) -> dict:
+    memory = model.memory_
+    vectors = memory.numpy_vectors()
     return {
-        "memory_vectors": model.memory_.vectors,
+        "memory_vectors": vectors,
+        "array_dtype": np.dtype(vectors.dtype).name,
+        "trained_backend": memory.backend.name,
         **_encoder_payload(model.encoder_),
     }
 
 
 def _hdc_load(kind: str, data, classes, n_features: int):
     memory_vectors = np.asarray(data["memory_vectors"])
+    # Format < 3 archives carry no dtype field; their arrays are float64.
+    dtype = resolve_dtype(
+        str(data["array_dtype"]) if "array_dtype" in data else None
+    )
     n_classes, dim = memory_vectors.shape
-    encoder = _restore_encoder(str(data["encoder_kind"]), data, n_features, dim)
-    memory = AssociativeMemory(n_classes, dim)
-    memory.vectors = memory_vectors
+    encoder = _restore_encoder(
+        str(data["encoder_kind"]), data, n_features, dim, dtype
+    )
+    memory = AssociativeMemory(n_classes, dim, dtype=dtype)
+    memory.set_vectors(memory_vectors)
     return LoadedHDCModel(kind, encoder, memory, classes, n_features)
 
 

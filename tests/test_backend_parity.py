@@ -1,0 +1,107 @@
+"""NumPy-vs-torch backend parity (skipped when torch is absent).
+
+Parity is by construction: all RNG draws are materialised via NumPy before
+conversion, so encoder parameters and class memories are bit-identical at
+equal seeds and prediction differences can only come from floating-point
+summation order — which these tests assert never flips a label on the
+synthetic analogs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import get_backend, torch_is_available
+
+torch_required = pytest.mark.skipif(
+    not torch_is_available(), reason="torch is not installed"
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 8))
+    y = (np.arange(120) % 4).astype(np.int64)
+    return X, y
+
+
+@torch_required
+class TestBackendOpParity:
+    def test_cosine_similarity(self):
+        nb, tb = get_backend("numpy"), get_backend("torch")
+        rng = np.random.default_rng(1)
+        Q = rng.normal(size=(7, 32)).astype(np.float32)
+        M = rng.normal(size=(3, 32)).astype(np.float32)
+        ref = nb.cosine_similarity(Q, M)
+        out = tb.to_numpy(
+            tb.cosine_similarity(tb.asarray(Q), tb.asarray(M))
+        )
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_scatter_add_rows(self):
+        nb, tb = get_backend("numpy"), get_backend("torch")
+        rng = np.random.default_rng(2)
+        idx = rng.integers(0, 5, size=40)
+        values = rng.normal(size=(40, 6)).astype(np.float32)
+        ref = np.zeros((5, 6), dtype=np.float32)
+        nb.scatter_add_rows(ref, idx, values)
+        target = tb.zeros((5, 6), dtype=np.float32)
+        tb.scatter_add_rows(target, idx, values)
+        assert np.allclose(tb.to_numpy(target), ref, atol=1e-5)
+
+    def test_rng_draw_identical(self):
+        nb, tb = get_backend("numpy"), get_backend("torch")
+        a = nb.draw_normal(np.random.default_rng(3), 0, 1, (4, 4), np.float32)
+        b = tb.draw_normal(np.random.default_rng(3), 0, 1, (4, 4), np.float32)
+        assert np.array_equal(a, tb.to_numpy(b))
+
+    def test_topk_desc(self):
+        nb, tb = get_backend("numpy"), get_backend("torch")
+        rng = np.random.default_rng(4)
+        scores = rng.normal(size=(10, 7))
+        ni, nv = nb.topk_desc(scores, 3)
+        ti, tv = tb.topk_desc(tb.asarray(scores), 3)
+        assert np.array_equal(ni, ti)
+        assert np.allclose(nv, tv)
+
+
+@torch_required
+class TestModelParity:
+    @pytest.mark.parametrize("name", ["disthd", "onlinehd"])
+    def test_identical_predictions_at_equal_seed(self, data, name):
+        from repro import make_model
+
+        X, y = data
+        a = make_model(name, dim=96, iterations=4, seed=7).fit(X, y)
+        b = make_model(name, dim=96, iterations=4, seed=7, backend="torch").fit(
+            X, y
+        )
+        # Same seed → bit-identical encoder draws on both backends.
+        assert np.array_equal(
+            a.encoder_.base_vectors,
+            get_backend("torch").to_numpy(b.encoder_.base_vectors),
+        )
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_torch_model_survives_robustness_sweep(self, data):
+        """deepcopy + bit-flip perturbation must work on the torch backend."""
+        from repro import make_model
+        from repro.noise.robustness import perturb_classifier
+
+        X, y = data
+        model = make_model("disthd", dim=64, iterations=3, seed=0,
+                           backend="torch").fit(X, y)
+        noisy = perturb_classifier(model, bits=8, error_rate=0.05, seed=0)
+        assert 0.0 <= noisy.score(X, y) <= 1.0
+
+    def test_torch_trained_model_roundtrips_to_numpy(self, data, tmp_path):
+        from repro import load_model, make_model, save_model
+
+        X, y = data
+        model = make_model("disthd", dim=64, iterations=3, seed=0,
+                           backend="torch").fit(X, y)
+        path = save_model(model, tmp_path / "torch_model.npz")
+        restored = load_model(path)
+        # Restored model predicts under NumPy, identically.
+        assert restored.memory_.backend.name == "numpy"
+        assert np.array_equal(restored.predict(X), model.predict(X))

@@ -59,10 +59,15 @@ class TestFootprint:
         sizes = [QuantizedHDCModel(fitted, bits=b).memory_bytes for b in (1, 2, 4, 8)]
         assert sizes[0] < sizes[1] < sizes[2] < sizes[3]
 
-    def test_1bit_is_64x_smaller_than_float(self, fitted):
+    def test_1bit_is_itemsize_x8_smaller_than_float(self, fitted):
+        # One bit per cell vs the training dtype's full width: 32x for the
+        # float32 hot-path default, 64x for float64-trained models.
         model = QuantizedHDCModel(fitted, bits=1)
-        float_bytes = fitted.memory_.vectors.nbytes
-        assert float_bytes / model.memory_bytes == pytest.approx(64.0, rel=0.1)
+        vectors = fitted.memory_.numpy_vectors()
+        expected = vectors.itemsize * 8
+        assert vectors.nbytes / model.memory_bytes == pytest.approx(
+            expected, rel=0.1
+        )
 
     def test_report_fields(self, fitted):
         report = QuantizedHDCModel(fitted, bits=2).footprint_report()

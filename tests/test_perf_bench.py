@@ -1,0 +1,119 @@
+"""Tests for repro.perf and the ``repro bench`` CLI subcommand."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets.loaders import load_dataset
+from repro.perf import (
+    bench_legacy_disthd,
+    bench_model,
+    format_bench_table,
+    run_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return load_dataset("diabetes", scale=0.01, seed=0)
+
+
+class TestBenchModel:
+    def test_record_fields(self, tiny_dataset):
+        record = bench_model(
+            "disthd", tiny_dataset, dim=32, iterations=2, repeats=1
+        )
+        for key in ("fit_s", "predict_s", "encode_s", "test_acc"):
+            assert key in record, key
+            assert record[key] >= 0.0
+        assert record["model"] == "disthd"
+        assert record["dtype"] == "float32"
+        assert record["backend"] == "numpy"
+
+    def test_dtype_override(self, tiny_dataset):
+        record = bench_model(
+            "disthd", tiny_dataset, dim=32, iterations=2, repeats=1,
+            dtype="float64",
+        )
+        assert record["dtype"] == "float64"
+
+
+class TestLegacyReference:
+    def test_legacy_fit_times_and_scores(self, tiny_dataset):
+        legacy = bench_legacy_disthd(
+            tiny_dataset, dim=32, iterations=2, repeats=1
+        )
+        assert legacy["fit_s"] > 0.0
+        assert 0.0 <= legacy["test_acc"] <= 1.0
+
+    def test_legacy_patch_is_restored(self, tiny_dataset):
+        import repro.core.adaptive as adaptive_mod
+        import repro.core.disthd as disthd_mod
+
+        bench_legacy_disthd(tiny_dataset, dim=16, iterations=2, repeats=1)
+        assert (
+            disthd_mod.adaptive_fit_iteration
+            is adaptive_mod.adaptive_fit_iteration
+        )
+
+
+class TestRunBench:
+    def test_smoke_payload(self):
+        payload = run_bench(models=("disthd",), smoke=True)
+        assert payload["schema"] == 1
+        assert payload["config"]["smoke"] is True
+        assert [r["model"] for r in payload["results"]] == ["disthd"]
+        assert "fit_speedup_vs_legacy" in payload
+        assert payload["fit_speedup_vs_legacy"] > 0.0
+        # The payload must be JSON-serialisable as-is.
+        json.dumps(payload)
+
+    def test_no_legacy(self):
+        payload = run_bench(
+            models=("onlinehd",), smoke=True, include_legacy=True
+        )
+        # legacy reference only runs when disthd is in the sweep
+        assert "fit_speedup_vs_legacy" not in payload
+
+    def test_format_table(self):
+        payload = run_bench(models=("disthd",), smoke=True)
+        table = format_bench_table(payload)
+        assert "disthd" in table
+        assert "speedup" in table
+
+    def test_write_bench(self, tmp_path):
+        payload = run_bench(models=("disthd",), smoke=True,
+                            include_legacy=False)
+        path = write_bench(payload, tmp_path / "bench.json")
+        restored = json.loads(path.read_text())
+        assert restored["results"][0]["model"] == "disthd"
+
+
+class TestBenchCLI:
+    def test_bench_smoke_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_test.json"
+        code = main(
+            ["bench", "--smoke", "--models", "disthd", "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        payload = json.loads(out.read_text())
+        assert payload["config"]["smoke"] is True
+        captured = capsys.readouterr().out
+        assert "disthd" in captured and "wrote" in captured
+
+
+class TestTrackedBaseline:
+    def test_bench_pr2_json_is_committed_and_meets_target(self):
+        """The acceptance artifact: ≥1.5x fit speedup vs the float64 path."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_pr2.json"
+        assert path.exists(), "BENCH_pr2.json missing from repo root"
+        payload = json.loads(path.read_text())
+        assert payload["fit_speedup_vs_legacy"] >= 1.5
+        models = {r["model"] for r in payload["results"]}
+        assert "disthd" in models

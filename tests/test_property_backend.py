@@ -1,0 +1,197 @@
+"""Property tests for the dtype policy of the HDC substrate.
+
+Satellite guarantees of the backend refactor:
+
+- every ``hdc.ops`` operation preserves the (floating) input dtype instead
+  of silently inflating to float64;
+- every op accepts any mix of ``(D,)`` vectors and ``(n, D)`` batches;
+- the grouped scatter-add form of Algorithm 1 is numerically equivalent to
+  the original per-sample update loop.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.adaptive import adaptive_fit_iteration
+from repro.hdc.memory import AssociativeMemory
+from repro.hdc.ops import (
+    bind,
+    bundle,
+    cosine_similarity,
+    dot_similarity,
+    normalize_rows,
+    permute,
+)
+
+float_dtypes = st.sampled_from([np.float32, np.float64])
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+
+
+def hv_arrays(dtype, shape):
+    return arrays(dtype, shape, elements=finite_floats)
+
+
+@st.composite
+def vector_or_batch_pairs(draw):
+    """Two same-D operands, each independently (D,) or (n, D).
+
+    When both operands are batches they share the same ``n`` — element-wise
+    ops broadcast ``(D,)`` against ``(n, D)`` but not across sample counts.
+    """
+    dtype = draw(float_dtypes)
+    d = draw(st.integers(2, 24))
+    n = draw(st.integers(1, 5))
+    shapes = [
+        (d,) if draw(st.booleans()) else (n, d) for _ in range(2)
+    ]
+    a = draw(hv_arrays(dtype, shapes[0]))
+    b = draw(hv_arrays(dtype, shapes[1]))
+    return a, b
+
+
+class TestDtypePreservation:
+    @given(float_dtypes, st.integers(2, 32))
+    def test_bundle_preserves_float_dtype(self, dtype, d):
+        v = np.ones(d, dtype=dtype)
+        batch = np.ones((3, d), dtype=dtype)
+        assert bundle(v).dtype == dtype
+        assert bundle(v, batch).dtype == dtype
+
+    @given(float_dtypes, st.integers(2, 32))
+    def test_bind_preserves_float_dtype(self, dtype, d):
+        v = np.ones(d, dtype=dtype)
+        assert bind(v, v).dtype == dtype
+
+    def test_bind_preserves_int8(self):
+        v = np.ones(8, dtype=np.int8)
+        assert bind(v, v).dtype == np.int8
+
+    @given(float_dtypes, st.integers(2, 32), st.integers(-5, 5))
+    def test_permute_preserves_dtype(self, dtype, d, shift):
+        v = np.ones(d, dtype=dtype)
+        assert permute(v, shift).dtype == dtype
+
+    def test_permute_preserves_int8(self):
+        v = np.arange(6, dtype=np.int8)
+        out = permute(v, 2)
+        assert out.dtype == np.int8
+        assert np.array_equal(out, np.roll(v, 2))
+
+    @given(float_dtypes, st.integers(2, 32))
+    def test_normalize_rows_preserves_float_dtype(self, dtype, d):
+        v = np.ones((3, d), dtype=dtype)
+        assert normalize_rows(v).dtype == dtype
+
+    @given(float_dtypes, st.integers(2, 16))
+    def test_similarity_preserves_float_dtype(self, dtype, d):
+        Q = np.ones((2, d), dtype=dtype)
+        M = np.ones((3, d), dtype=dtype)
+        assert dot_similarity(Q, M).dtype == dtype
+        assert cosine_similarity(Q, M).dtype == dtype
+
+    def test_bundle_int8_batch_promotes_safely(self):
+        """Integer bundling must follow NumPy sum promotion, not overflow."""
+        batch = np.full((200, 4), 1, dtype=np.int8)
+        out = bundle(batch)
+        assert out.dtype.kind == "i"
+        assert np.array_equal(out, np.full(4, 200))
+
+    def test_bundle_many_int8_vectors_promote_safely(self):
+        """The 1-D accumulation path must promote too (int8 wraps at 127)."""
+        out = bundle(*[np.ones(4, dtype=np.int8) for _ in range(130)])
+        assert np.array_equal(out, np.full(4, 130))
+
+    def test_bundle_never_aliases_its_input(self):
+        h = np.ones(4, dtype=np.float32)
+        out = bundle(h)
+        out[0] = 99.0
+        assert h[0] == 1.0
+
+
+class TestShapeMixes:
+    @settings(max_examples=60)
+    @given(vector_or_batch_pairs())
+    def test_bind_accepts_mixes(self, pair):
+        a, b = pair
+        out = bind(a, b)
+        expected = np.asarray(a) * np.asarray(b)
+        assert np.allclose(out, expected, atol=1e-4)
+        assert out.shape == expected.shape
+
+    @settings(max_examples=60)
+    @given(vector_or_batch_pairs())
+    def test_bundle_accepts_mixes(self, pair):
+        a, b = pair
+        out = bundle(a, b)
+        ar = a if a.ndim == 1 else a.sum(axis=0)
+        br = b if b.ndim == 1 else b.sum(axis=0)
+        assert np.allclose(out, ar + br, atol=1e-3)
+        assert out.ndim == 1
+
+    @settings(max_examples=60)
+    @given(vector_or_batch_pairs())
+    def test_similarities_accept_mixes(self, pair):
+        a, b = pair
+        out = cosine_similarity(a, b)
+        n = 1 if a.ndim == 1 else a.shape[0]
+        k = 1 if b.ndim == 1 else b.shape[0]
+        assert out.shape == (n, k)
+        assert np.all(np.abs(out) <= 1.0 + 1e-5)
+
+    @given(float_dtypes)
+    def test_permute_batch_rolls_rows(self, dtype):
+        batch = np.arange(12, dtype=dtype).reshape(3, 4)
+        out = permute(batch, 1)
+        assert out.shape == batch.shape
+        assert np.array_equal(out[0], np.roll(batch[0], 1))
+
+
+class TestGroupedUpdateEquivalence:
+    def _legacy_iteration(self, memory, encoded, labels, lr):
+        sims = memory.similarities(encoded)
+        predicted = np.argmax(sims, axis=1)
+        for j in np.flatnonzero(predicted != labels):
+            hv = encoded[j]
+            lbl, pred = int(labels[j]), int(predicted[j])
+            memory.add_to_class(pred, -lr * (1.0 - sims[j, pred]) * hv)
+            memory.add_to_class(lbl, lr * (1.0 - sims[j, lbl]) * hv)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_scatter_add_matches_sequential_loop(self, seed, dtype):
+        rng = np.random.default_rng(seed)
+        n, d, k = 80, 24, 4
+        encoded = rng.normal(size=(n, d)).astype(dtype)
+        labels = rng.integers(0, k, size=n)
+        loop_mem = AssociativeMemory(k, d, dtype=dtype)
+        vec_mem = AssociativeMemory(k, d, dtype=dtype)
+        init = rng.normal(size=(k, d))
+        loop_mem.set_vectors(init)
+        vec_mem.set_vectors(init)
+        self._legacy_iteration(loop_mem, encoded, labels, lr=0.1)
+        adaptive_fit_iteration(vec_mem, encoded, labels, lr=0.1)
+        # Same coefficients (batch-start similarities), different summation
+        # order → equal up to fp accumulation noise.
+        atol = 1e-5 if dtype == "float32" else 1e-12
+        assert np.allclose(vec_mem.vectors, loop_mem.vectors, atol=atol)
+
+    def test_batched_path_matches_full_batch_totals(self):
+        """Mini-batched updates remain sequential *between* batches."""
+        rng = np.random.default_rng(5)
+        n, d, k = 60, 16, 3
+        encoded = rng.normal(size=(n, d))
+        labels = rng.integers(0, k, size=n)
+        a = AssociativeMemory(k, d)
+        b = AssociativeMemory(k, d)
+        # batch_size=n in one call == batch_size=None
+        acc_a = adaptive_fit_iteration(a, encoded, labels, lr=0.2)
+        acc_b = adaptive_fit_iteration(b, encoded, labels, lr=0.2, batch_size=n)
+        assert acc_a == acc_b
+        assert np.allclose(a.vectors, b.vectors)
