@@ -1,0 +1,102 @@
+"""Perf-smoke regression gate — ``python benchmarks/check_regression.py``.
+
+Compares a freshly generated ``repro bench --smoke`` payload against the
+committed baseline (``benchmarks/baselines/bench-smoke-baseline.json``) and
+fails when any model's ``fit_s`` or ``predict_s`` slowed down by more than
+``--factor`` (default 2.0 — a deliberately generous margin, since CI
+runners are noisy and heterogeneous; the gate exists to catch order-of-
+magnitude hot-path regressions, not 10% drift)::
+
+    PYTHONPATH=src python -m repro.cli bench --smoke --output bench-smoke.json
+    python benchmarks/check_regression.py bench-smoke.json
+
+Exit codes: 0 ok, 1 regression detected, 2 malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parent / "baselines" / "bench-smoke-baseline.json"
+)
+
+#: Timing fields gated per model record.
+TIMING_FIELDS = ("fit_s", "predict_s")
+
+#: Noise floor in seconds.  Smoke timings can be sub-millisecond, where
+#: scheduler jitter on a shared runner routinely exceeds any fixed ratio;
+#: ratios are therefore taken against max(baseline, floor) and a slowdown
+#: only counts when the current time itself clears the floor.  This keeps
+#: the gate sensitive to order-of-magnitude hot-path regressions (the
+#: thing it exists to catch) while immune to microbenchmark noise.
+MIN_GATED_SECONDS = 5e-3
+
+
+def compare(current: dict, baseline: dict, factor: float,
+            floor: float = MIN_GATED_SECONDS) -> list:
+    """Return a list of human-readable regression messages (empty = ok)."""
+    problems = []
+    base_by_model = {r["model"]: r for r in baseline.get("results", [])}
+    for record in current.get("results", []):
+        name = record["model"]
+        base = base_by_model.get(name)
+        if base is None:
+            continue  # new model: nothing to gate against yet
+        for field in TIMING_FIELDS:
+            now, then = record.get(field), base.get(field)
+            if not now or not then:
+                continue
+            now, then = float(now), float(then)
+            ratio = now / max(then, floor)
+            if now > floor and ratio > factor:
+                problems.append(
+                    f"{name}.{field}: {now:.4f}s vs baseline {then:.4f}s "
+                    f"({ratio:.2f}x > {factor:.1f}x allowed)"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly generated smoke JSON")
+    parser.add_argument(
+        "baseline", nargs="?", default=str(DEFAULT_BASELINE),
+        help="committed baseline JSON (default: benchmarks/baselines/)",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=2.0,
+        help="max allowed slowdown ratio per timing field (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        current = json.loads(Path(args.current).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_regression: cannot read payloads: {exc}", file=sys.stderr)
+        return 2
+    if not current.get("results") or not baseline.get("results"):
+        print("check_regression: payload missing 'results'", file=sys.stderr)
+        return 2
+    problems = compare(current, baseline, args.factor)
+    if problems:
+        print("perf-smoke regression detected:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    compared = sum(
+        1 for r in current["results"]
+        if r["model"] in {b["model"] for b in baseline["results"]}
+    )
+    print(
+        f"perf-smoke ok: {compared} model(s) within {args.factor:.1f}x "
+        f"of the committed baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

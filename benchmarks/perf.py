@@ -40,6 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dtype", default=None)
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument("--no-legacy", action="store_true")
+    parser.add_argument("--no-regen-heavy", action="store_true")
     parser.add_argument("--output", default=None, help="JSON output path")
     return parser
 
@@ -58,6 +59,7 @@ def main(argv=None) -> int:
         dtype=args.dtype,
         smoke=args.smoke,
         include_legacy=not args.no_legacy,
+        include_regen_heavy=not args.no_regen_heavy,
     )
     print(format_bench_table(payload))
     if args.output:

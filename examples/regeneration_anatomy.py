@@ -77,9 +77,7 @@ def main() -> None:
         encoder.regenerate(dims)
         memory.reset_dimensions(dims)
         encoded[:, dims] = encoder.encode_dims(dataset.train_x, dims)
-        np.add.at(
-            memory.vectors, (labels[:, None], dims[None, :]), encoded[:, dims]
-        )
+        memory.bundle_columns(labels, dims, encoded[:, dims])
         drift = np.linalg.norm(encoder.base_vectors[dims] - before_bases)
         print(f"[regeneration] redrew {dims.size} base vectors (L2 drift {drift:.2f})")
 

@@ -13,7 +13,7 @@ directly, so the compute engine is swappable per model::
 See ``docs/performance.md`` for backend selection and dtype trade-offs.
 """
 
-from repro.backend.base import ArrayBackend, resolve_dtype
+from repro.backend.base import ArrayBackend, auto_chunk_rows, resolve_dtype
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.registry import (
     BackendLike,
@@ -27,6 +27,7 @@ from repro.backend.torch_backend import TorchBackend, torch_is_available
 __all__ = [
     "ArrayBackend",
     "BackendLike",
+    "auto_chunk_rows",
     "NumpyBackend",
     "TorchBackend",
     "default_backend",

@@ -54,6 +54,17 @@ def resolve_dtype(dtype) -> np.dtype:
     return np.dtype(dtype)
 
 
+#: Element budget per streamed chunk (rows × dim) for the fused kernels —
+#: sized so a float32 chunk buffer is ~1 MiB and the ~3 live buffers of the
+#: fused Algorithm-2 kernel stay L2/L3-resident on commodity CPUs.
+_CHUNK_ELEMENTS = 1 << 18
+
+
+def auto_chunk_rows(dim: int, elements: int = _CHUNK_ELEMENTS) -> int:
+    """Rows per chunk targeting ``elements`` array entries for width ``dim``."""
+    return max(16, elements // max(int(dim), 1))
+
+
 class ArrayBackend(abc.ABC):
     """Abstract array-compute backend.
 
@@ -142,6 +153,16 @@ class ArrayBackend(abc.ABC):
     def abs(self, x):
         """Element-wise absolute value."""
 
+    def amin(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        """Minimum along ``axis``.  Default round-trips through NumPy;
+        backends override with the engine's native reduction."""
+        return np.min(self.to_numpy(x), axis=axis, keepdims=keepdims)
+
+    def amax(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        """Maximum along ``axis``.  Default round-trips through NumPy;
+        backends override with the engine's native reduction."""
+        return np.max(self.to_numpy(x), axis=axis, keepdims=keepdims)
+
     @abc.abstractmethod
     def roll(self, x, shift: int, axis: int = -1):
         """Cyclic shift along ``axis`` (the HDC permute primitive)."""
@@ -150,15 +171,25 @@ class ArrayBackend(abc.ABC):
     def einsum(self, subscripts: str, *operands):
         """Einstein summation over native arrays."""
 
-    def cosine_similarity(self, queries, memory, eps: float = 1e-12):
+    def cosine_similarity(self, queries, memory, eps: float = 1e-12,
+                          memory_norms=None):
         """``(n, k)`` cosine similarity with the zero-vector → 0 convention.
+
+        ``memory_norms`` optionally supplies precomputed ``(k, 1)`` row norms
+        of ``memory`` (native array), letting callers with a stable class
+        bank — :class:`~repro.hdc.memory.AssociativeMemory` caches them per
+        mutation version — skip the per-call ``O(kD)`` norm recompute.
 
         Default implementation composes :meth:`matmul` and :meth:`norm`;
         backends may override with a fused kernel.
         """
         scores = self.matmul(queries, self.transpose(memory))
         q_norm = self.norm(queries, axis=1, keepdims=True)  # (n, 1)
-        m_norm = self.norm(memory, axis=1, keepdims=True)  # (k, 1)
+        m_norm = (
+            memory_norms
+            if memory_norms is not None
+            else self.norm(memory, axis=1, keepdims=True)  # (k, 1)
+        )
         denom = self.matmul(q_norm, self.transpose(m_norm))  # (n, k)
         safe = self.where(denom > eps, denom, self.ones_like(denom))
         return self.where(denom > eps, scores / safe, self.zeros_like(scores))
@@ -180,6 +211,13 @@ class ArrayBackend(abc.ABC):
     @abc.abstractmethod
     def take_rows(self, x, idx):
         """``x[idx]`` for an integer index array (gather along axis 0)."""
+
+    def slice_rows(self, x, start: int, stop: int):
+        """``x[start:stop]`` — a contiguous row window, as a view when the
+        engine supports views (both NumPy and torch do).  The chunked hot
+        paths prefer this over :meth:`take_rows` with an ``arange``, which
+        would copy."""
+        return x[start:stop]
 
     @abc.abstractmethod
     def set_rows(self, x, idx, values) -> None:
@@ -234,12 +272,116 @@ class ArrayBackend(abc.ABC):
         )
         return order, np.take_along_axis(s, order, axis=1)
 
+    # ---------------------------------------------------------- fused kernels
+
+    def fused_absdiff_colsum(
+        self,
+        H,
+        rows,
+        C,
+        class_terms,
+        coeffs,
+        *,
+        normalization: str = "l2",
+        chunk_size: Optional[int] = None,
+        eps: float = 1e-12,
+    ) -> np.ndarray:
+        """Column sums of row-normalised signed ``|H − C|`` combinations.
+
+        The Algorithm-2 scoring kernel.  For each selected sample ``i``
+        (``rows[i]``) the *virtual* distance row is
+
+            ``R_i = Σ_j coeffs[j] · |H[rows[i]] − C[class_terms[j][i]]|``
+
+        Rows are normalised per ``normalization`` (``"l2"`` / ``"l1"`` /
+        ``"minmax"`` / ``"none"``, matching the dense reference in
+        :mod:`repro.core.regeneration`) and column-summed into a single
+        ``(D,)`` float64 NumPy vector.  The kernel streams in row chunks of
+        ``chunk_size`` (``None`` → a cache-sized default), so peak extra
+        memory is ``O(chunk · D)`` — the full ``(m, D)`` distance matrix is
+        never materialised, and all arithmetic stays native to the backend
+        (one host conversion for the final ``(D,)`` result).
+
+        Parameters
+        ----------
+        H:
+            ``(n, D)`` native encoded batch.
+        rows:
+            ``(m,)`` integer sample indices into ``H`` to score.
+        C:
+            ``(k, D)`` native (normalised) class bank, same dtype as ``H``.
+        class_terms:
+            Sequence of ``(m,)`` integer arrays — per-term class index for
+            each selected sample.
+        coeffs:
+            Per-term signed weights (``α``, ``−β``, ``−θ``, ...).
+        """
+        if len(class_terms) != len(coeffs) or not class_terms:
+            raise ValueError(
+                f"class_terms and coeffs must be equal-length and non-empty, "
+                f"got {len(class_terms)} terms and {len(coeffs)} coeffs"
+            )
+        rows = np.asarray(rows, dtype=np.int64)
+        dim = int(H.shape[1])
+        if rows.size == 0:
+            return np.zeros(dim, dtype=np.float64)
+        terms = [np.asarray(t, dtype=np.int64) for t in class_terms]
+        for t in terms:
+            if t.shape[0] != rows.shape[0]:
+                raise ValueError(
+                    f"class term has {t.shape[0]} entries for {rows.shape[0]} rows"
+                )
+        chunk = chunk_size if chunk_size is not None else auto_chunk_rows(dim)
+        chunk = max(1, min(int(chunk), rows.size))
+        total = self.zeros((dim,), dtype=np.float64)
+        for start in range(0, rows.size, chunk):
+            stop = min(start + chunk, rows.size)
+            h = self.take_rows(H, rows[start:stop])
+            combined = None
+            for t, w in zip(terms, coeffs):
+                term = self.abs(h - self.take_rows(C, t[start:stop]))
+                part = term * float(w)
+                combined = part if combined is None else combined + part
+            combined = self._normalize_rows_for_colsum(
+                combined, normalization, eps
+            )
+            total = total + self.sum(
+                self.cast(combined, np.float64), axis=0
+            )
+        return self.to_numpy(total).astype(np.float64, copy=False)
+
+    def _normalize_rows_for_colsum(self, x, normalization: str, eps: float):
+        """Row-normalise a native chunk per Algorithm 2's rule."""
+        if normalization == "none":
+            return x
+        if normalization == "l2":
+            norms = self.norm(x, axis=1, keepdims=True)
+        elif normalization == "l1":
+            norms = self.sum(self.abs(x), axis=1, keepdims=True)
+        elif normalization == "minmax":
+            lo = self.amin(x, axis=1, keepdims=True)
+            hi = self.amax(x, axis=1, keepdims=True)
+            span = hi - lo
+            safe = self.where(span > eps, span, self.ones_like(span))
+            return (x - lo) / safe
+        else:
+            raise ValueError(f"unknown normalization {normalization!r}")
+        safe = self.where(norms > eps, norms, self.ones_like(norms))
+        return x / safe
+
     # ------------------------------------------------------------------ misc
 
-    def similarity_scores(self, queries, memory, metric: str = "cosine"):
-        """Backend-native similarity matrix, converted to float64 NumPy."""
+    def similarity_scores(self, queries, memory, metric: str = "cosine",
+                          memory_norms=None):
+        """Backend-native similarity matrix, converted to float64 NumPy.
+
+        The float64 is the *container* dtype: values are computed at the
+        operands' native dtype, so float32 operands give float32-precision
+        scores in a float64 array (see ``docs/performance.md``).
+        """
         if metric == "cosine":
-            out = self.cosine_similarity(queries, memory)
+            out = self.cosine_similarity(queries, memory,
+                                         memory_norms=memory_norms)
         else:
             out = self.matmul(queries, self.transpose(memory))
         return self.to_numpy(out).astype(np.float64, copy=False)

@@ -136,6 +136,16 @@ class TorchBackend(ArrayBackend):
     def abs(self, x):
         return self._torch.abs(x)
 
+    def amin(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        if axis is None:
+            return self._torch.amin(x)
+        return self._torch.amin(x, dim=axis, keepdim=keepdims)
+
+    def amax(self, x, axis: Optional[int] = None, keepdims: bool = False):
+        if axis is None:
+            return self._torch.amax(x)
+        return self._torch.amax(x, dim=axis, keepdim=keepdims)
+
     def roll(self, x, shift: int, axis: int = -1):
         return self._torch.roll(x, shift, dims=axis)
 

@@ -182,6 +182,9 @@ class BaselineHDClassifier(BaseClassifier):
             step = step * b.asarray(self.lr, dtype=memory.dtype)
             b.scatter_add_rows(memory.vectors, predicted[wrong], -step)
             b.scatter_add_rows(memory.vectors, np.asarray(y)[wrong], step)
+            # Direct in-place scatter bypasses the memory's mutator methods,
+            # so its versioned norm caches must be told explicitly.
+            memory.invalidate_caches()
 
     def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
         """One streamed mini-batch: encode, then one perceptron pass."""

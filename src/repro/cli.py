@@ -134,6 +134,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         dtype=args.dtype,
         smoke=args.smoke,
         include_legacy=not args.no_legacy,
+        include_regen_heavy=not args.no_regen_heavy,
     )
     print(format_bench_table(payload))
     if args.output:
@@ -226,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-legacy", action="store_true",
         help="skip the pre-backend float64 reference timing",
+    )
+    bench.add_argument(
+        "--no-regen-heavy", action="store_true",
+        help="skip the regeneration-heavy fused-vs-PR2 scenario",
     )
     bench.add_argument("--output", default=None, help="JSON output path")
     return parser

@@ -105,19 +105,29 @@ def adaptive_fit_iteration(
     if size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
 
-    order = np.arange(n)
-    if shuffle_rng is not None:
-        order = shuffle_rng.permutation(n)
+    # A shuffle only matters when there is more than one mini-batch: with
+    # the whole set as a single batch, every update coefficient comes from
+    # the same batch-start similarities and the grouped scatter-adds are
+    # order-independent, so the permutation (and with it a full (n, D)
+    # gather copy per pass) is skipped.  Unshuffled mini-batches likewise
+    # use contiguous row views instead of index gathers.
+    shuffled = shuffle_rng is not None and size < n
+    order = shuffle_rng.permutation(n) if shuffled else None
 
     n_correct = 0
     for start in range(0, n, size):
-        idx = order[start : start + size]
-        batch = b.take_rows(H, idx)
-        batch_labels = labels[idx]
+        stop = min(start + size, n)
+        if shuffled:
+            idx = order[start:stop]
+            batch = b.take_rows(H, idx)
+            batch_labels = labels[idx]
+        else:
+            batch = b.slice_rows(H, start, stop)
+            batch_labels = labels[start:stop]
         sims = memory.similarities(batch)  # (b, k) against model at batch start
         predicted = np.argmax(sims, axis=1)
         wrong = np.flatnonzero(predicted != batch_labels)
-        n_correct += idx.size - wrong.size
+        n_correct += (stop - start) - wrong.size
         if wrong.size:
             wrong_pred = predicted[wrong]
             wrong_true = batch_labels[wrong]

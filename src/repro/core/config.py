@@ -69,6 +69,18 @@ class DistHDConfig:
     regen_every:
         Streaming only: run a regeneration step over the reservoir after
         this many ``partial_fit`` calls.
+    fused_regen:
+        Score Algorithm 2's undesired dimensions with the fused, chunked
+        backend kernel (never materialising the ``(n, D)`` distance
+        matrices).  Disable to run the dense reference path — same results
+        to floating-point tolerance, mainly useful for benchmarking and
+        debugging.
+    chunk_size:
+        Row-chunk size bounding intermediate memory on the inference and
+        regeneration-scoring paths (``decision_scores``, ``predict``,
+        outcome partitioning, fused Algorithm-2 scoring).  ``None`` keeps
+        inference unchunked and lets the fused kernel pick a cache-sized
+        default.
     backend:
         Array-compute backend for encoder/memory/training hot paths
         (``"numpy"`` default; ``"torch"`` when PyTorch is installed — see
@@ -98,6 +110,8 @@ class DistHDConfig:
     convergence_tol: float = 1e-3
     reservoir_size: int = 512
     regen_every: int = 10
+    fused_regen: bool = True
+    chunk_size: Optional[int] = None
     backend: str = "numpy"
     dtype: str = "float32"
     seed: Optional[int] = field(default=None)
@@ -158,6 +172,10 @@ class DistHDConfig:
         if self.regen_every <= 0:
             raise ValueError(
                 f"regen_every must be positive, got {self.regen_every}"
+            )
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be positive or None, got {self.chunk_size}"
             )
         # Fail fast on unknown backend names / dtype specs (ArrayBackend
         # instances and NumPy dtypes are passed through unchanged).

@@ -19,6 +19,17 @@ Both matrices are normalised row-wise, column-summed into 1×D score vectors
 ``M'`` and ``N'``, and the *intersection* of their top-R%·D highest-scoring
 dimensions is returned as the undesired set — intersecting avoids
 over-eliminating dimensions that only one evidence source dislikes.
+
+Two scoring paths produce ``M'``/``N'``:
+
+- :func:`fused_dimension_scores` (the default, ``DistHDConfig.fused_regen``)
+  streams the computation through the backend's fused
+  ``fused_absdiff_colsum`` kernel in cache-sized row chunks — the ``(n, D)``
+  distance matrices are never materialised and the arithmetic stays native
+  to the backend (no ``to_numpy`` round trip on torch/CUDA);
+- :func:`distance_matrices` + :func:`select_undesired_dimensions` — the
+  dense NumPy reference the fused path is property-tested against
+  (``tests/test_property_fused.py``).
 """
 
 from __future__ import annotations
@@ -116,15 +127,145 @@ def distance_matrices(
 
 
 def _top_fraction(scores: np.ndarray, fraction: float) -> np.ndarray:
-    """Indices of the ``fraction`` highest-scoring dimensions (ties by index)."""
+    """Indices of the ``fraction`` highest-scoring dimensions (ties by index).
+
+    Selection runs as an O(D) argpartition instead of a full O(D log D)
+    argsort; tie-breaking is kept identical to the old stable descending
+    argsort (among dimensions tied at the selection threshold, the lowest
+    indices win) by filling the remaining slots from an index-ascending
+    scan of the threshold-valued dimensions.
+    """
     dim = scores.shape[0]
     count = int(round(fraction * dim))
     count = max(0, min(count, dim))
     if count == 0:
         return np.empty(0, dtype=np.int64)
-    # argsort descending, stable so results are deterministic under ties.
-    order = np.argsort(-scores, kind="stable")
-    return np.sort(order[:count])
+    if count >= dim:
+        return np.arange(dim, dtype=np.int64)
+    part = np.argpartition(-scores, count - 1)[:count]
+    threshold = scores[part].min()  # the count-th largest value
+    above = np.flatnonzero(scores > threshold)
+    tied = np.flatnonzero(scores == threshold)[: count - above.size]
+    return np.sort(np.concatenate([above, tied])).astype(np.int64, copy=False)
+
+
+def _algorithm2_terms(
+    labels: np.ndarray,
+    partition: OutcomePartition,
+    *,
+    alpha: float,
+    beta: float,
+    theta: float,
+    incorrect_rule: str,
+):
+    """The (class-index arrays, signed coefficients) of both distance rules.
+
+    Returns ``(m_terms, m_coeffs, n_terms, n_coeffs)`` — the per-sample
+    class gathers and weights whose ``Σ w_j·|H − C[idx_j]]|`` rows are
+    exactly the ``M`` and ``N`` matrices of :func:`distance_matrices`.
+    """
+    p, q = partition.partial, partition.incorrect
+    m_terms = (labels[p], partition.top1[p])
+    m_coeffs = (alpha, -beta)
+    if incorrect_rule == "prose":
+        n_terms = (labels[q], partition.top1[q], partition.top2[q])
+        n_coeffs = (alpha, -beta, -theta)
+    elif incorrect_rule == "algorithm-box":
+        n_terms = (partition.top1[q], partition.top2[q], labels[q])
+        n_coeffs = (alpha, beta, -theta)
+    else:
+        raise ValueError(f"unknown incorrect_rule {incorrect_rule!r}")
+    return m_terms, m_coeffs, n_terms, n_coeffs
+
+
+def fused_dimension_scores(
+    encoded,
+    labels: np.ndarray,
+    partition: OutcomePartition,
+    memory: AssociativeMemory,
+    *,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    theta: float = 0.25,
+    incorrect_rule: str = "prose",
+    normalization: str = "l2",
+    chunk_size: Optional[int] = None,
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Algorithm 2's column-sum score vectors ``M'`` and ``N'``, fused.
+
+    Equivalent (to floating-point tolerance) to building the dense matrices
+    with :func:`distance_matrices`, row-normalising and column-summing —
+    but streamed through the backend's ``fused_absdiff_colsum`` kernel in
+    cache-sized chunks, so peak extra memory is ``O(chunk · D)`` instead of
+    ``O(n · D)`` and no host round-trip happens on device backends.
+
+    Returns ``(m_scores, n_scores)`` as float64 ``(D,)`` arrays; an outcome
+    set with no samples yields ``None`` for its score vector.
+    """
+    b = memory.backend
+    H = encoded if b.is_native(encoded) else b.asarray(encoded)
+    C = memory.normalized_native()
+    if hasattr(H, "dtype") and hasattr(C, "dtype") and C.dtype != H.dtype:
+        C = b.cast(C, H.dtype)
+    labels = np.asarray(labels, dtype=np.int64)
+    m_terms, m_coeffs, n_terms, n_coeffs = _algorithm2_terms(
+        labels, partition,
+        alpha=alpha, beta=beta, theta=theta, incorrect_rule=incorrect_rule,
+    )
+    m_scores = (
+        b.fused_absdiff_colsum(
+            H, partition.partial, C, m_terms, m_coeffs,
+            normalization=normalization, chunk_size=chunk_size,
+        )
+        if partition.partial.size
+        else None
+    )
+    n_scores = (
+        b.fused_absdiff_colsum(
+            H, partition.incorrect, C, n_terms, n_coeffs,
+            normalization=normalization, chunk_size=chunk_size,
+        )
+        if partition.incorrect.size
+        else None
+    )
+    return m_scores, n_scores
+
+
+def undesired_from_scores(
+    m_scores: Optional[np.ndarray],
+    n_scores: Optional[np.ndarray],
+    *,
+    regen_rate: float,
+    selection: str = "intersection",
+) -> np.ndarray:
+    """Combine ``M'``/``N'`` score vectors into the dimensions to regenerate.
+
+    Implements Algorithm 2 lines 14–15 given the column-sum scores (from
+    either the fused or the dense path).  ``None`` marks an outcome set with
+    no samples: its candidate set is empty, so ``"intersection"`` yields no
+    regeneration (the safe no-op) while ``"union"`` uses the other set alone.
+    """
+    if not 0.0 <= regen_rate <= 1.0:
+        raise ValueError(f"regen_rate must be in [0, 1], got {regen_rate}")
+    m_top = (
+        _top_fraction(m_scores, regen_rate)
+        if m_scores is not None
+        else np.empty(0, np.int64)
+    )
+    n_top = (
+        _top_fraction(n_scores, regen_rate)
+        if n_scores is not None
+        else np.empty(0, np.int64)
+    )
+    if selection == "intersection":
+        return np.intersect1d(m_top, n_top)
+    if selection == "union":
+        return np.union1d(m_top, n_top)
+    if selection == "m-only":
+        return m_top
+    if selection == "n-only":
+        return n_top
+    raise ValueError(f"unknown selection {selection!r}")
 
 
 def select_undesired_dimensions(
@@ -136,14 +277,12 @@ def select_undesired_dimensions(
     normalization: str = "l2",
     selection: str = "intersection",
 ) -> np.ndarray:
-    """Combine distance matrices into the set of dimensions to regenerate.
+    """Combine dense distance matrices into the set of dimensions to regenerate.
 
     Implements Algorithm 2 lines 13–15: normalise, column-sum to ``M'`` and
-    ``N'``, take the top ``R%·D`` of each, combine per ``selection``.
-
-    When one matrix is empty (no samples in that outcome), its candidate set
-    is treated as empty; under ``"intersection"`` this yields no regeneration
-    (the safe no-op), under ``"union"`` the other set alone is used.
+    ``N'``, take the top ``R%·D`` of each, combine per ``selection``.  This
+    is the dense reference; training uses :func:`fused_dimension_scores` +
+    :func:`undesired_from_scores` unless ``fused_regen`` is disabled.
     """
     if not 0.0 <= regen_rate <= 1.0:
         raise ValueError(f"regen_rate must be in [0, 1], got {regen_rate}")
@@ -151,25 +290,11 @@ def select_undesired_dimensions(
     Nn = _normalize_matrix(np.asarray(N), normalization)
     # Column sums accumulate at float64 so sample count never erodes the
     # ranking, whatever dtype the distance matrices carry.
-    m_scores = (
-        Mn.sum(axis=0, dtype=np.float64) if Mn.size else np.full(dim, -np.inf)
+    m_scores = Mn.sum(axis=0, dtype=np.float64) if Mn.size else None
+    n_scores = Nn.sum(axis=0, dtype=np.float64) if Nn.size else None
+    return undesired_from_scores(
+        m_scores, n_scores, regen_rate=regen_rate, selection=selection,
     )
-    n_scores = (
-        Nn.sum(axis=0, dtype=np.float64) if Nn.size else np.full(dim, -np.inf)
-    )
-
-    m_top = _top_fraction(m_scores, regen_rate) if Mn.size else np.empty(0, np.int64)
-    n_top = _top_fraction(n_scores, regen_rate) if Nn.size else np.empty(0, np.int64)
-
-    if selection == "intersection":
-        return np.intersect1d(m_top, n_top)
-    if selection == "union":
-        return np.union1d(m_top, n_top)
-    if selection == "m-only":
-        return m_top
-    if selection == "n-only":
-        return n_top
-    raise ValueError(f"unknown selection {selection!r}")
 
 
 @dataclass
@@ -207,30 +332,55 @@ def regenerate_step(
 ) -> RegenerationReport:
     """Run a full Algorithm-2 step: score, select, drop and regenerate.
 
-    The encoder's base vectors for the undesired dimensions are redrawn and
-    the class-memory entries at those dimensions reset to zero; callers must
-    refresh any cached encodings for the affected columns.
+    Scoring runs through the fused chunked kernel
+    (:func:`fused_dimension_scores`) unless ``config.fused_regen`` is off,
+    in which case the dense reference path builds the full distance
+    matrices.  The encoder's base vectors for the undesired dimensions are
+    redrawn and the class-memory entries at those dimensions reset to zero;
+    callers must refresh any cached encodings for the affected columns.
     """
-    M, N = distance_matrices(
-        encoded,
-        labels,
-        partition,
-        memory,
-        alpha=config.alpha,
-        beta=config.beta,
-        theta=config.theta,
-        incorrect_rule=config.incorrect_rule,
-    )
-    dims = select_undesired_dimensions(
-        M,
-        N,
-        regen_rate=config.regen_rate,
-        dim=memory.dim,
-        normalization=config.normalization,
-        selection=config.selection,
-    )
-    m_count = int(round(config.regen_rate * memory.dim)) if M.size else 0
-    n_count = int(round(config.regen_rate * memory.dim)) if N.size else 0
+    if config.fused_regen:
+        m_scores, n_scores = fused_dimension_scores(
+            encoded,
+            labels,
+            partition,
+            memory,
+            alpha=config.alpha,
+            beta=config.beta,
+            theta=config.theta,
+            incorrect_rule=config.incorrect_rule,
+            normalization=config.normalization,
+            chunk_size=config.chunk_size,
+        )
+        dims = undesired_from_scores(
+            m_scores,
+            n_scores,
+            regen_rate=config.regen_rate,
+            selection=config.selection,
+        )
+        has_m, has_n = m_scores is not None, n_scores is not None
+    else:
+        M, N = distance_matrices(
+            encoded,
+            labels,
+            partition,
+            memory,
+            alpha=config.alpha,
+            beta=config.beta,
+            theta=config.theta,
+            incorrect_rule=config.incorrect_rule,
+        )
+        dims = select_undesired_dimensions(
+            M,
+            N,
+            regen_rate=config.regen_rate,
+            dim=memory.dim,
+            normalization=config.normalization,
+            selection=config.selection,
+        )
+        has_m, has_n = bool(M.size), bool(N.size)
+    m_count = int(round(config.regen_rate * memory.dim)) if has_m else 0
+    n_count = int(round(config.regen_rate * memory.dim)) if has_n else 0
     if dims.size:
         encoder.regenerate(dims)
         memory.reset_dimensions(dims)

@@ -14,17 +14,27 @@ The partially-correct and incorrect sets feed Algorithm 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.hdc.memory import AssociativeMemory
 
 
-def top2_labels(memory: AssociativeMemory, encoded: np.ndarray) -> np.ndarray:
-    """``(n, 2)`` array of each sample's two most-similar class labels."""
+def top2_labels(
+    memory: AssociativeMemory,
+    encoded: np.ndarray,
+    *,
+    chunk_size: Optional[int] = None,
+) -> np.ndarray:
+    """``(n, 2)`` array of each sample's two most-similar class labels.
+
+    ``chunk_size`` streams the similarity computation in row windows so
+    peak intermediate memory stays bounded at arbitrary batch sizes.
+    """
     if memory.n_classes < 2:
         raise ValueError("top-2 classification requires at least 2 classes")
-    labels, _ = memory.topk(encoded, k=2)
+    labels, _ = memory.topk(encoded, k=2, chunk_size=chunk_size)
     return labels
 
 
@@ -66,11 +76,15 @@ class OutcomePartition:
 
 
 def partition_outcomes(
-    memory: AssociativeMemory, encoded: np.ndarray, labels: np.ndarray
+    memory: AssociativeMemory,
+    encoded: np.ndarray,
+    labels: np.ndarray,
+    *,
+    chunk_size: Optional[int] = None,
 ) -> OutcomePartition:
     """Partition a training batch by top-2 outcome against ``memory``."""
     labels = np.asarray(labels, dtype=np.int64)
-    pair = top2_labels(memory, encoded)
+    pair = top2_labels(memory, encoded, chunk_size=chunk_size)
     if pair.shape[0] != labels.shape[0]:
         raise ValueError(
             f"encoded and labels disagree on sample count: "
@@ -90,7 +104,12 @@ def partition_outcomes(
 
 
 def topk_accuracy_from_memory(
-    memory: AssociativeMemory, encoded: np.ndarray, labels: np.ndarray, k: int
+    memory: AssociativeMemory,
+    encoded: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    chunk_size: Optional[int] = None,
 ) -> float:
     """Top-``k`` accuracy of ``memory`` on an encoded batch.
 
@@ -98,5 +117,5 @@ def topk_accuracy_from_memory(
     ``k`` most similar classes (the paper's definition, §I).
     """
     labels = np.asarray(labels, dtype=np.int64)
-    topk, _ = memory.topk(encoded, k=k)
+    topk, _ = memory.topk(encoded, k=k, chunk_size=chunk_size)
     return float(np.mean(np.any(topk == labels[:, None], axis=1)))

@@ -38,6 +38,10 @@ class QuantizedHDCModel:
         ``classes_``.
     bits:
         Class-memory precision (1, 2, 4 or 8).
+    chunk_size:
+        Stream queries through encode-then-score in row chunks of this
+        size, bounding inference memory on the (typically RAM-constrained)
+        deployment target.  ``None`` scores the whole batch at once.
 
     Examples
     --------
@@ -51,7 +55,8 @@ class QuantizedHDCModel:
     True
     """
 
-    def __init__(self, classifier, bits: int = 8) -> None:
+    def __init__(self, classifier, bits: int = 8,
+                 chunk_size: Optional[int] = None) -> None:
         encoder = getattr(classifier, "encoder_", None)
         memory = getattr(classifier, "memory_", None)
         classes = getattr(classifier, "classes_", None)
@@ -60,9 +65,14 @@ class QuantizedHDCModel:
                 "QuantizedHDCModel needs a fitted HDC classifier with "
                 "encoder_, memory_ and classes_"
             )
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be positive or None, got {chunk_size}"
+            )
         self.encoder = encoder
         self.classes_ = np.asarray(classes)
         self.bits = int(bits)
+        self.chunk_size = chunk_size
         self.n_features_ = int(encoder.n_features)
         # Freeze through NumPy regardless of training backend/dtype: the
         # fixed-point image is backend-neutral by construction.
@@ -94,16 +104,34 @@ class QuantizedHDCModel:
     # ------------------------------------------------------------- inference
 
     def decision_scores(self, X) -> np.ndarray:
-        """Cosine similarities of encoded queries against the quantised memory."""
+        """Cosine similarities of encoded queries against the quantised memory.
+
+        With ``chunk_size`` set, queries are encoded and scored in row
+        windows against the decoded memory, so the full ``(n, D)`` encoding
+        never exists at once.
+        """
         X = check_matrix(X, "X")
         check_features_match(self.n_features_, X.shape[1], "QuantizedHDCModel")
         backend = getattr(self.encoder, "backend", None)
-        encoded = self.encoder.encode(X)
-        if backend is not None:
-            encoded = backend.to_numpy(encoded)
-        return np.asarray(
-            cosine_similarity(encoded, self.class_vectors), dtype=np.float64
-        )
+        vectors = self.class_vectors
+
+        def score(block: np.ndarray) -> np.ndarray:
+            encoded = self.encoder.encode(block)
+            if backend is not None:
+                encoded = backend.to_numpy(encoded)
+            return np.asarray(
+                cosine_similarity(encoded, vectors), dtype=np.float64
+            )
+
+        chunk = self.chunk_size
+        n = X.shape[0]
+        if chunk is None or n <= chunk:
+            return score(X)
+        out = np.empty((n, vectors.shape[0]), dtype=np.float64)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            out[start:stop] = score(X[start:stop])
+        return out
 
     def predict(self, X) -> np.ndarray:
         """Most-similar class label per query."""
@@ -154,11 +182,13 @@ class QuantizedTrainer:
         Class-memory precision (1, 2, 4 or 8).
     """
 
-    def __init__(self, classifier, bits: int = 8) -> None:
+    def __init__(self, classifier, bits: int = 8,
+                 chunk_size: Optional[int] = None) -> None:
         if bits not in (1, 2, 4, 8):
             raise ValueError(f"bits must be 1, 2, 4 or 8, got {bits}")
         self.classifier = classifier
         self.bits = int(bits)
+        self.chunk_size = chunk_size
         self.deployed_: Optional[QuantizedHDCModel] = None
 
     # -------------------------------------------------------------- training
@@ -166,7 +196,9 @@ class QuantizedTrainer:
     def fit(self, X, y) -> "QuantizedTrainer":
         """Fit the wrapped classifier, then freeze it at ``bits`` precision."""
         self.classifier.fit(X, y)
-        self.deployed_ = QuantizedHDCModel(self.classifier, bits=self.bits)
+        self.deployed_ = QuantizedHDCModel(
+            self.classifier, bits=self.bits, chunk_size=self.chunk_size
+        )
         return self
 
     # ------------------------------------------------------------- inference

@@ -55,10 +55,35 @@ class Encoder(abc.ABC):
         self.dtype = resolve_dtype(dtype)
         self.backend = get_backend(backend)
 
-    def encode(self, X):
-        """Encode ``(n, q)`` features into ``(n, D)`` hypervectors."""
+    def encode(self, X, *, chunk_size=None):
+        """Encode ``(n, q)`` features into ``(n, D)`` hypervectors.
+
+        ``chunk_size`` encodes in row windows into one preallocated output,
+        bounding intermediate memory at ``O(chunk_size · D)`` — the encoder
+        nonlinearities otherwise materialise several ``(n, D)`` temporaries.
+        The ``(n, D)`` result itself is allocated either way; results are
+        identical because encoding is row-independent.
+        """
         X = self._check_input(X)
-        return self._encode(X)
+        n = int(X.shape[0])
+        if chunk_size is None or n <= int(chunk_size):
+            return self._encode(X)
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        b = self.backend
+        chunk = int(chunk_size)
+        out = b.zeros((n, self.dim), dtype=self.dtype)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            b.set_rows(
+                out,
+                np.arange(start, stop),
+                b.asarray(
+                    self._encode(b.slice_rows(X, start, stop)),
+                    dtype=self.dtype,
+                ),
+            )
+        return out
 
     def _check_input(self, X):
         """Validate features and cast them to the encoder's dtype/backend.

@@ -10,8 +10,27 @@ regeneration relies on.
 The class memory lives on a pluggable
 :class:`~repro.backend.base.ArrayBackend` at a configurable storage dtype
 (float32 for the hot paths, float64 by default for backward compatibility).
-Similarity scores always leave as float64 NumPy so downstream control flow
-is backend-agnostic.
+
+**Score dtype contract.**  Similarity scores leave as float64 NumPy
+*containers* so downstream control flow (argmax, partitions, metrics) is
+backend-agnostic — but the values inside are computed at the memory's
+storage dtype.  A float32 memory yields float32-precision scores in a
+float64 array; only ``dtype="float64"`` memories give genuinely
+double-precision scores.  (An earlier revision claimed scores "always leave
+as float64", which the float32 hot path made misleading; the contract is
+container-float64, compute-at-storage-dtype, and is pinned by
+``tests/test_hdc_memory.py::TestScoreDtypeContract``.)
+
+**Norm caching.**  Class norms and the row-normalised class bank are
+cached per *mutation version*: every mutator (``accumulate``,
+``update_misclassified``, ``add_to_class``, ``bundle_columns``,
+``reset_dimensions``, ``set_vectors``, ``reset``, and assignment to the
+``vectors`` property) bumps an internal version counter that stamps and
+invalidates the caches, so repeated queries against an unchanged memory —
+the adaptive pass, ``partition_outcomes``, ``predict`` and the fused
+Algorithm-2 scoring inside one training iteration — recompute nothing.
+Code that mutates the underlying array *in place* without going through a
+mutator must call :meth:`AssociativeMemory.invalidate_caches`.
 """
 
 from __future__ import annotations
@@ -53,6 +72,11 @@ class AssociativeMemory:
         Array backend name or instance (default: NumPy).
     """
 
+    #: Class-level kill switch for the version-stamped norm caches.  The
+    #: perf harness flips this off to time the cache-free (PR 2) reference
+    #: path; leave it on everywhere else.
+    caching_enabled: bool = True
+
     def __init__(
         self,
         n_classes: int,
@@ -73,9 +97,48 @@ class AssociativeMemory:
         self.metric = metric
         self.backend = get_backend(backend)
         self.dtype = resolve_dtype(dtype)
-        self.vectors = self.backend.zeros(
+        self._version = 0
+        self._cache = {}
+        self._vectors = self.backend.zeros(
             (self.n_classes, self.dim), dtype=self.dtype
         )
+
+    # ---------------------------------------------------------------- caching
+
+    @property
+    def vectors(self):
+        """The native ``(k, D)`` class bank.
+
+        Assigning to this property invalidates the norm caches; in-place
+        mutation of the returned array does not (use the mutator methods, or
+        call :meth:`invalidate_caches` afterwards).
+        """
+        return self._vectors
+
+    @vectors.setter
+    def vectors(self, value) -> None:
+        self._vectors = value
+        self.invalidate_caches()
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every mutator, stamps the caches."""
+        return self._version
+
+    def invalidate_caches(self) -> None:
+        """Mark cached norms stale (called by every mutator)."""
+        self._version += 1
+
+    def _cached(self, key: str, compute):
+        """``compute()`` memoised under ``key`` for the current version."""
+        if not type(self).caching_enabled:
+            return compute()
+        hit = self._cache.get(key)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        value = compute()
+        self._cache[key] = (self._version, value)
+        return value
 
     # ------------------------------------------------------------------ state
 
@@ -85,12 +148,13 @@ class AssociativeMemory:
             self.n_classes, self.dim, self.metric,
             dtype=self.dtype, backend=self.backend,
         )
-        clone.vectors = self.backend.copy(self.vectors)
+        clone.vectors = self.backend.copy(self._vectors)
         return clone
 
     def reset(self) -> None:
         """Zero out every class hypervector."""
-        self.vectors[:] = 0.0
+        self._vectors[:] = 0.0
+        self.invalidate_caches()
 
     def set_vectors(self, vectors) -> None:
         """Replace the class bank, casting to this memory's backend/dtype."""
@@ -122,7 +186,8 @@ class AssociativeMemory:
                 f"dimension indices must lie in [0, {self.dim}), got range "
                 f"[{dims.min()}, {dims.max()}]"
             )
-        self.backend.zero_columns(self.vectors, dims)
+        self.backend.zero_columns(self._vectors, dims)
+        self.invalidate_caches()
 
     # ---------------------------------------------------------------- updates
 
@@ -161,7 +226,8 @@ class AssociativeMemory:
                 f"labels must lie in [0, {self.n_classes}), got range "
                 f"[{labels.min()}, {labels.max()}]"
             )
-        self.backend.scatter_add_rows(self.vectors, labels, H)
+        self.backend.scatter_add_rows(self._vectors, labels, H)
+        self.invalidate_caches()
 
     def add_to_class(self, class_index: int, delta) -> None:
         """Add ``delta`` to one class hypervector (adaptive-learning update)."""
@@ -169,7 +235,8 @@ class AssociativeMemory:
             raise ValueError(
                 f"class_index must lie in [0, {self.n_classes}), got {class_index}"
             )
-        self.vectors[class_index] += self.backend.asarray(delta, dtype=self.dtype)
+        self._vectors[class_index] += self.backend.asarray(delta, dtype=self.dtype)
+        self.invalidate_caches()
 
     def update_misclassified(
         self,
@@ -196,11 +263,12 @@ class AssociativeMemory:
         coeff_true = b.asarray(lr * (1.0 - sim_true), dtype=self.dtype)
         H = b.asarray(H, dtype=self.dtype)
         b.scatter_add_rows(
-            self.vectors, predicted, coeff_pred.reshape(-1, 1) * H
+            self._vectors, predicted, coeff_pred.reshape(-1, 1) * H
         )
         b.scatter_add_rows(
-            self.vectors, labels, coeff_true.reshape(-1, 1) * H
+            self._vectors, labels, coeff_true.reshape(-1, 1) * H
         )
+        self.invalidate_caches()
 
     def bundle_columns(self, labels: np.ndarray, dims: np.ndarray, values) -> None:
         """Scatter-add ``values`` into ``vectors[labels][:, dims]``.
@@ -209,42 +277,107 @@ class AssociativeMemory:
         are bundled back into each sample's class row so regenerated
         dimensions start trained instead of at zero.
         """
-        self.backend.scatter_add_cells(self.vectors, labels, dims, values)
+        self.backend.scatter_add_cells(self._vectors, labels, dims, values)
+        self.invalidate_caches()
 
     # ---------------------------------------------------------------- queries
 
-    def similarities(self, encoded) -> np.ndarray:
-        """``(n, k)`` float64 similarity scores between queries and classes."""
+    def class_norms(self):
+        """Native ``(k, 1)`` L2 norms of the class rows, cached per version.
+
+        Feeds the cosine path of :meth:`similarities` so repeated queries
+        against an unchanged memory skip the per-call ``O(kD)`` recompute.
+        """
+        return self._cached(
+            "norms",
+            lambda: self.backend.norm(self._vectors, axis=1, keepdims=True),
+        )
+
+    def similarities(self, encoded, *, chunk_size: Optional[int] = None) -> np.ndarray:
+        """``(n, k)`` similarity scores between queries and classes.
+
+        The returned array is a float64 NumPy *container*; values are
+        computed at the memory's storage dtype (float32-precision scores
+        for the default hot path — see the module docstring for the
+        contract).  ``chunk_size`` streams the queries in row windows so
+        peak intermediate memory is ``O(chunk_size · D)`` regardless of
+        batch size; each query row's score depends only on that row, so
+        chunking changes results only by BLAS accumulation-order rounding.
+        """
         H = self.as_encoded(encoded)
         b = self.backend
         if not b.is_native(H) or (
             hasattr(H, "dtype") and np.dtype(self.dtype) != H.dtype
         ):
             H = b.asarray(H, dtype=self.dtype)
-        return b.similarity_scores(H, self.vectors, metric=self.metric)
+        norms = self.class_norms() if self.metric == "cosine" else None
+        n = int(H.shape[0])
+        if chunk_size is None or n <= int(chunk_size):
+            return b.similarity_scores(
+                H, self._vectors, metric=self.metric, memory_norms=norms
+            )
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        chunk = int(chunk_size)
+        out = np.empty((n, self.n_classes), dtype=np.float64)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            out[start:stop] = b.similarity_scores(
+                b.slice_rows(H, start, stop),
+                self._vectors,
+                metric=self.metric,
+                memory_norms=norms,
+            )
+        return out
 
-    def predict(self, encoded) -> np.ndarray:
+    def predict(self, encoded, *, chunk_size: Optional[int] = None) -> np.ndarray:
         """Most-similar class per query (paper inference step F)."""
-        return np.argmax(self.similarities(encoded), axis=1)
+        return np.argmax(
+            self.similarities(encoded, chunk_size=chunk_size), axis=1
+        )
 
-    def topk(self, encoded, k: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    def topk(
+        self, encoded, k: int = 2, *, chunk_size: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Top-``k`` labels and their scores, most similar first.
 
         Returns ``(labels, scores)`` with shapes ``(n, k)``; selection uses
         an argpartition-style partial sort rather than a full argsort.
+        ``chunk_size`` bounds intermediate memory as in :meth:`similarities`.
         """
         if not 1 <= k <= self.n_classes:
             raise ValueError(
                 f"k must lie in [1, {self.n_classes}], got {k}"
             )
-        sims = self.similarities(encoded)
+        sims = self.similarities(encoded, chunk_size=chunk_size)
         return self.backend.topk_desc(sims, k)
 
-    def normalized(self) -> np.ndarray:
-        """Row-normalised class hypervectors (``N_l`` in equation (1))."""
+    def normalized_native(self):
+        """Native row-normalised class bank, cached per version.
+
+        The fused Algorithm-2 scoring path consumes this directly, so the
+        normalisation runs once per training iteration instead of once per
+        ``regenerate_step`` call — and never round-trips through NumPy on
+        device backends.
+        """
         from repro.hdc.ops import normalize_rows
 
-        return normalize_rows(self.numpy_vectors())
+        return self._cached(
+            "normalized_native",
+            lambda: normalize_rows(self._vectors, backend=self.backend),
+        )
+
+    def normalized(self) -> np.ndarray:
+        """Row-normalised class hypervectors (``N_l`` in equation (1)).
+
+        NumPy view of :meth:`normalized_native`, cached per version.
+        Treat the result as read-only — it is shared across calls at the
+        same version.
+        """
+        return self._cached(
+            "normalized_numpy",
+            lambda: self.backend.to_numpy(self.normalized_native()),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -5,12 +5,20 @@ emitting the ``BENCH_*.json`` trajectory the ROADMAP tracks so hot-path
 speedups are measured, not asserted.  Timings are best-of-``repeats``
 wall-clock seconds.
 
-The harness also times a **legacy reference** for DistHD — the pre-backend
-float64 path: float64 encoder/memory, a float64-coercing copy per
-similarity call (the old ``check_matrix`` behaviour), and the per-sample
-Python update loop of the original Algorithm-1 implementation.  The
-``fit_speedup_vs_legacy`` field is the honest before/after ratio for this
-repo's own history.
+Two historical references keep the trajectory honest:
+
+- the **legacy** (pre-backend, pre-PR2) DistHD path — float64
+  encoder/memory, a float64-coercing copy per similarity call, and the
+  per-sample Python update loop of the original Algorithm-1 implementation
+  (``fit_speedup_vs_legacy``);
+- the **PR 2** path — backend-routed float32 but with dense Algorithm-2
+  distance matrices, no class-norm caching and a full-batch gather per
+  adaptive pass; the regen-heavy scenario times it against the fused
+  kernels (``fit_speedup_vs_pr2``).
+
+The regen-heavy scenario also records peak RSS and the traced allocation
+peak of the fused Algorithm-2 scoring call, evidencing that the fused path
+never materialises an ``(n, D)`` distance temporary.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 import json
 import platform
 import time
+import tracemalloc
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -27,8 +36,14 @@ import numpy as np
 import repro.core.disthd as _disthd_mod
 from repro.backend import get_backend, list_backends
 from repro.datasets.loaders import Dataset, load_dataset
+from repro.hdc.memory import AssociativeMemory
 from repro.models.registry import get_model_spec, make_model
 from repro.version import __version__
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
 
 #: Models the default bench sweep covers (HDC family: encode is separable).
 DEFAULT_MODELS = ("disthd", "onlinehd", "baselinehd")
@@ -118,6 +133,211 @@ def bench_legacy_disthd(
     }
 
 
+# ------------------------------------------------------------ pr2 reference
+
+
+def _pr2_adaptive_fit_iteration(
+    memory, encoded, labels, *, lr=0.05, batch_size=None, shuffle_rng=None
+):
+    """PR 2's Algorithm-1 pass: grouped scatter-adds, but a full index
+    gather (an ``(n, D)`` copy) per pass even for the single-batch case."""
+    b = memory.backend
+    H = memory.as_encoded(encoded)
+    labels = np.asarray(labels, dtype=np.int64)
+    n = H.shape[0]
+    size = n if batch_size is None else min(int(batch_size), n)
+    order = np.arange(n)
+    if shuffle_rng is not None:
+        order = shuffle_rng.permutation(n)
+    n_correct = 0
+    for start in range(0, n, size):
+        idx = order[start : start + size]
+        batch = b.take_rows(H, idx)
+        batch_labels = labels[idx]
+        sims = memory.similarities(batch)
+        predicted = np.argmax(sims, axis=1)
+        wrong = np.flatnonzero(predicted != batch_labels)
+        n_correct += idx.size - wrong.size
+        if wrong.size:
+            wrong_pred = predicted[wrong]
+            wrong_true = batch_labels[wrong]
+            memory.update_misclassified(
+                b.take_rows(batch, wrong),
+                wrong_pred,
+                wrong_true,
+                sims[wrong, wrong_pred],
+                sims[wrong, wrong_true],
+                lr,
+            )
+    return n_correct / n
+
+
+def _pr2_set_columns(self, x, cols, values) -> None:
+    """PR 2's single-pass column scatter (no cache-sized row windows)."""
+    x[:, np.asarray(cols, dtype=np.int64)] = values
+
+
+def _pr2_scatter_add_cells(self, target, rows, cols, values) -> None:
+    """PR 2's per-cell ``ufunc.at`` scatter-add (no one-hot grouping)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    np.add.at(
+        target,
+        (rows[:, None], cols[None, :]),
+        np.asarray(values, dtype=target.dtype),
+    )
+
+
+@contextmanager
+def _pr2_reference_path():
+    """Swap in PR 2's hot-loop behaviour, end to end: no norm caches (every
+    ``similarities``/``normalized`` call recomputes), the gathering adaptive
+    pass, the single-pass column scatter and per-cell re-bundle scatter-add,
+    and — via ``fused_regen=False`` on the model config — dense Algorithm-2
+    distance matrices."""
+    from repro.backend.numpy_backend import NumpyBackend
+
+    original = _disthd_mod.adaptive_fit_iteration
+    prev_caching = AssociativeMemory.caching_enabled
+    prev_set_columns = NumpyBackend.set_columns
+    prev_scatter_cells = NumpyBackend.scatter_add_cells
+    _disthd_mod.adaptive_fit_iteration = _pr2_adaptive_fit_iteration
+    AssociativeMemory.caching_enabled = False
+    NumpyBackend.set_columns = _pr2_set_columns
+    NumpyBackend.scatter_add_cells = _pr2_scatter_add_cells
+    try:
+        yield
+    finally:
+        _disthd_mod.adaptive_fit_iteration = original
+        AssociativeMemory.caching_enabled = prev_caching
+        NumpyBackend.set_columns = prev_set_columns
+        NumpyBackend.scatter_add_cells = prev_scatter_cells
+
+
+def _peak_rss_mb() -> Optional[float]:
+    """Process peak RSS in MiB (a lifetime high-watermark; POSIX only)."""
+    if resource is None:
+        return None
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return round(peak_kb / 1024.0, 2)
+
+
+#: The committed regen-heavy scenario: many samples, few features (so
+#: encoding does not swamp the loop), large D and aggressive regeneration —
+#: the per-iteration cost is dominated by exactly the work PR 3 fused.
+REGEN_HEAVY = {
+    "dataset": "pamap2",
+    "scale": 0.012,
+    "dim": 4096,
+    "iterations": 10,
+    "regen_rate": 0.30,
+    "selection": "union",
+}
+
+
+def bench_regen_heavy(
+    *,
+    dataset: str = REGEN_HEAVY["dataset"],
+    scale: float = REGEN_HEAVY["scale"],
+    dim: int = REGEN_HEAVY["dim"],
+    iterations: int = REGEN_HEAVY["iterations"],
+    regen_rate: float = REGEN_HEAVY["regen_rate"],
+    selection: str = REGEN_HEAVY["selection"],
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time DistHD on the regeneration-heavy scenario, fused vs PR 2.
+
+    Both paths run at the same seed and hyper-parameters; the record keeps
+    both test accuracies so a speedup that silently costs quality is
+    visible.  Also measures the traced allocation peak of one fused
+    Algorithm-2 scoring call next to the bytes a single dense ``(n, D)``
+    distance matrix would need.
+    """
+    data = load_dataset(dataset, scale=scale, seed=seed)
+
+    def build(fused: bool):
+        return make_model(
+            "disthd", dim=dim, iterations=iterations, seed=seed,
+            regen_rate=regen_rate, selection=selection,
+            convergence_patience=None, fused_regen=fused,
+        )
+
+    fit_s = _best_of(
+        lambda: build(True).fit(data.train_x, data.train_y), repeats
+    )
+    model = build(True).fit(data.train_x, data.train_y)
+    test_acc = float(model.score(data.test_x, data.test_y))
+
+    with _pr2_reference_path():
+        pr2_fit_s = _best_of(
+            lambda: build(False).fit(data.train_x, data.train_y), repeats
+        )
+        pr2_model = build(False).fit(data.train_x, data.train_y)
+        pr2_acc = float(pr2_model.score(data.test_x, data.test_y))
+
+    scoring = _measure_fused_scoring_peak(model, data)
+    record: Dict[str, object] = {
+        "scenario": "regen_heavy",
+        "dataset": dataset,
+        "n_train": int(data.train_x.shape[0]),
+        "n_features": int(data.train_x.shape[1]),
+        "dim": dim,
+        "iterations": iterations,
+        "regen_rate": regen_rate,
+        "selection": selection,
+        "seed": seed,
+        "fit_s": fit_s,
+        "test_acc": test_acc,
+        "pr2_reference": {"fit_s": pr2_fit_s, "test_acc": pr2_acc},
+        "fit_speedup_vs_pr2": pr2_fit_s / fit_s if fit_s > 0 else None,
+        "total_regenerated": int(model.encoder_.regenerated_count),
+        "fused_scoring": scoring,
+    }
+    return record
+
+
+def _measure_fused_scoring_peak(model, data: Dataset) -> Dict[str, object]:
+    """Traced allocation peak of a worst-case fused Algorithm-2 scoring pass.
+
+    Scores *every* training sample through the three-term incorrect rule —
+    the heaviest load regeneration can present — and reports the traced
+    allocation peak next to the bytes one dense ``(n, D)`` distance matrix
+    would occupy.  The fused peak staying far under that bound is the
+    "no (n, D) temporaries" evidence the BENCH trajectory commits to (the
+    same bound is asserted in ``tests/test_property_fused.py``).
+    """
+    encoded = model.encoder_.encode(data.train_x)
+    memory = model.memory_
+    labels = np.asarray(data.train_y, dtype=np.int64)
+    top2, _ = memory.topk(encoded, k=2)
+    n = int(labels.shape[0])
+    rows = np.arange(n, dtype=np.int64)
+    terms = (labels, top2[:, 0], top2[:, 1])
+    coeffs = (model.config.alpha, -model.config.beta, -model.config.theta)
+    C = memory.normalized_native()  # cache outside the traced window
+    dense_bytes = int(n * memory.dim * np.dtype(memory.dtype).itemsize)
+    backend = memory.backend
+    tracemalloc.start()
+    try:
+        backend.fused_absdiff_colsum(
+            encoded, rows, C, terms, coeffs,
+            normalization=model.config.normalization,
+            chunk_size=model.config.chunk_size,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "n_scored": n,
+        "peak_bytes": int(peak),
+        "dense_matrix_bytes": dense_bytes,
+        "peak_fraction_of_dense": (
+            round(peak / dense_bytes, 4) if dense_bytes else None
+        ),
+    }
+
+
 # ------------------------------------------------------------------- bench
 
 
@@ -203,12 +423,13 @@ def run_bench(
     dtype: Optional[str] = None,
     smoke: bool = False,
     include_legacy: bool = True,
+    include_regen_heavy: bool = True,
 ) -> Dict[str, object]:
     """Run the full bench sweep and return the ``BENCH_*.json`` payload.
 
     ``smoke=True`` shrinks everything (tiny synthetic dataset, one repeat,
-    no legacy reference timing loop beyond one run) so CI can exercise the
-    harness in seconds.
+    a miniature regen-heavy scenario, no legacy reference timing loop
+    beyond one run) so CI can exercise the harness in seconds.
     """
     if smoke:
         scale, dim, iterations, repeats = 0.02, 64, 3, 1
@@ -221,7 +442,7 @@ def run_bench(
         for name in models
     ]
     payload: Dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
         "created_unix": time.time(),
         "repro_version": __version__,
         "python": platform.python_version(),
@@ -252,6 +473,15 @@ def run_bench(
         payload["fit_speedup_vs_legacy"] = (
             float(legacy["fit_s"]) / float(new_fit) if new_fit > 0 else None
         )
+    if include_regen_heavy:
+        if smoke:
+            scenario = bench_regen_heavy(
+                scale=0.004, dim=256, iterations=3, seed=seed, repeats=1
+            )
+        else:
+            scenario = bench_regen_heavy(seed=seed, repeats=repeats)
+        payload["scenarios"] = {"regen_heavy": scenario}
+    payload["peak_rss_mb"] = _peak_rss_mb()
     return payload
 
 
@@ -282,4 +512,22 @@ def format_bench_table(payload: Dict[str, object]) -> str:
             f"disthd legacy float64 fit: {legacy['fit_s']:.4f}s  "
             f"→ speedup {speedup:.2f}x"
         )
+    scenario = (payload.get("scenarios") or {}).get("regen_heavy")
+    if scenario is not None:
+        pr2 = scenario["pr2_reference"]
+        lines.append(
+            f"regen-heavy ({scenario['dataset']}, D={scenario['dim']}, "
+            f"R={scenario['regen_rate']}): fused {scenario['fit_s']:.4f}s "
+            f"vs PR2 {pr2['fit_s']:.4f}s "
+            f"→ speedup {scenario['fit_speedup_vs_pr2']:.2f}x  "
+            f"(acc {scenario['test_acc']:.3f} / {pr2['test_acc']:.3f})"
+        )
+        scoring = scenario.get("fused_scoring") or {}
+        frac = scoring.get("peak_fraction_of_dense")
+        if frac is not None:
+            lines.append(
+                f"fused Algorithm-2 scoring peak: "
+                f"{scoring['peak_bytes'] / 2**20:.2f} MiB "
+                f"({frac:.1%} of one dense (n, D) distance matrix)"
+            )
     return "\n".join(lines)

@@ -133,6 +133,37 @@ class TestTopFraction:
         b = _top_fraction(scores, 0.3)
         assert np.array_equal(a, b)
 
+    def test_all_tied_picks_lowest_indices(self):
+        # With every score equal, the stable contract is: lowest indices win.
+        assert np.array_equal(_top_fraction(np.ones(10), 0.3), [0, 1, 2])
+
+    def test_tie_heavy_matches_stable_argsort_reference(self):
+        """The argpartition fast path must reproduce the old stable-argsort
+        selection exactly, including boundary ties (PR-3 regression)."""
+
+        def reference(scores, fraction):
+            dim = scores.shape[0]
+            count = max(0, min(int(round(fraction * dim)), dim))
+            if count == 0:
+                return np.empty(0, dtype=np.int64)
+            order = np.argsort(-scores, kind="stable")
+            return np.sort(order[:count])
+
+        rng = np.random.default_rng(0)
+        for trial in range(200):
+            dim = int(rng.integers(1, 60))
+            # Few distinct values → boundary ties on almost every draw.
+            scores = rng.integers(0, 4, size=dim).astype(np.float64)
+            fraction = float(rng.uniform(0, 1))
+            got = _top_fraction(scores, fraction)
+            want = reference(scores, fraction)
+            assert np.array_equal(got, want), (trial, dim, fraction, scores)
+
+    def test_tied_at_threshold_mixed_values(self):
+        # above-threshold dims all selected; tied dims fill by lowest index.
+        scores = np.array([5.0, 1.0, 3.0, 3.0, 3.0, 0.0])
+        assert np.array_equal(_top_fraction(scores, 0.5), [0, 2, 3])
+
 
 class TestSelectUndesired:
     def test_intersection_semantics(self):

@@ -120,3 +120,108 @@ class TestMutation:
         clone = memory.copy()
         clone.vectors[0, 0] = 99.0
         assert memory.vectors[0, 0] == 1.0
+
+
+class TestNormCaching:
+    """The versioned norm caches: hits while unchanged, fresh after EVERY
+    mutator (the PR-3 cache-invalidation acceptance criterion)."""
+
+    def _fresh(self):
+        mem = AssociativeMemory(3, 8, dtype="float32")
+        rng = np.random.default_rng(0)
+        mem.set_vectors(rng.normal(size=(3, 8)).astype(np.float32))
+        return mem, rng
+
+    def test_cache_hit_while_unchanged(self):
+        mem, _ = self._fresh()
+        assert mem.class_norms() is mem.class_norms()
+        assert mem.normalized() is mem.normalized()
+        assert mem.normalized_native() is mem.normalized_native()
+
+    def test_every_mutator_invalidates(self):
+        mem, rng = self._fresh()
+        H = rng.normal(size=(4, 8)).astype(np.float32)
+        y = np.array([0, 1, 2, 0])
+        mutators = [
+            lambda: mem.accumulate(H, y),
+            lambda: mem.update_misclassified(
+                H[:2], np.array([1, 2]), np.array([0, 1]),
+                np.array([0.2, 0.3]), np.array([0.6, 0.7]), 0.05,
+            ),
+            lambda: mem.add_to_class(1, np.ones(8, np.float32)),
+            lambda: mem.bundle_columns(
+                y, np.array([2, 5]),
+                rng.normal(size=(4, 2)).astype(np.float32),
+            ),
+            lambda: mem.reset_dimensions(np.array([3])),
+            lambda: mem.set_vectors(
+                rng.normal(size=(3, 8)).astype(np.float32)
+            ),
+            lambda: mem.reset(),
+            lambda: setattr(
+                mem, "vectors", rng.normal(size=(3, 8)).astype(np.float32)
+            ),
+        ]
+        for mutate in mutators:
+            before = mem.version
+            stale_norms = np.array(mem.class_norms(), copy=True)
+            mem.normalized()
+            mutate()
+            assert mem.version > before
+            fresh = np.linalg.norm(np.asarray(mem.vectors), axis=1,
+                                   keepdims=True)
+            np.testing.assert_allclose(
+                np.asarray(mem.class_norms()), fresh, rtol=1e-6, atol=1e-7
+            )
+            expect_changed = not np.allclose(stale_norms, fresh)
+            if expect_changed:
+                assert not np.allclose(np.asarray(mem.class_norms()),
+                                       stale_norms)
+
+    def test_no_stale_predictions_after_mutation(self):
+        mem, rng = self._fresh()
+        H = rng.normal(size=(6, 8)).astype(np.float32)
+        mem.similarities(H)  # warm the cache
+        mem.set_vectors(rng.normal(size=(3, 8)).astype(np.float32))
+        ref = AssociativeMemory(3, 8, dtype="float32")
+        ref.set_vectors(np.asarray(mem.vectors))
+        np.testing.assert_allclose(
+            mem.similarities(H), ref.similarities(H), rtol=1e-6, atol=1e-7
+        )
+
+    def test_caching_kill_switch(self):
+        mem, _ = self._fresh()
+        try:
+            AssociativeMemory.caching_enabled = False
+            assert mem.class_norms() is not mem.class_norms()
+        finally:
+            AssociativeMemory.caching_enabled = True
+
+
+class TestScoreDtypeContract:
+    """Scores leave as float64 *containers* computed at the storage dtype."""
+
+    def _pair(self):
+        rng = np.random.default_rng(7)
+        V = rng.normal(size=(4, 16))
+        H = rng.normal(size=(5, 16))
+        return V, H
+
+    def test_container_is_float64(self):
+        V, H = self._pair()
+        for dtype in ("float32", "float64"):
+            mem = AssociativeMemory(4, 16, dtype=dtype)
+            mem.set_vectors(V)
+            assert mem.similarities(H).dtype == np.float64
+
+    def test_values_computed_at_storage_dtype(self):
+        V, H = self._pair()
+        mem32 = AssociativeMemory(4, 16, dtype="float32")
+        mem32.set_vectors(V)
+        mem64 = AssociativeMemory(4, 16, dtype="float64")
+        mem64.set_vectors(V)
+        s32, s64 = mem32.similarities(H), mem64.similarities(H)
+        # float32 memories give float32-precision values: close to the
+        # float64 reference, but not bitwise equal to it.
+        np.testing.assert_allclose(s32, s64, rtol=1e-5, atol=1e-6)
+        assert not np.array_equal(s32, s64)

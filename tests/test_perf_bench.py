@@ -63,11 +63,15 @@ class TestLegacyReference:
 class TestRunBench:
     def test_smoke_payload(self):
         payload = run_bench(models=("disthd",), smoke=True)
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["config"]["smoke"] is True
         assert [r["model"] for r in payload["results"]] == ["disthd"]
         assert "fit_speedup_vs_legacy" in payload
         assert payload["fit_speedup_vs_legacy"] > 0.0
+        scenario = payload["scenarios"]["regen_heavy"]
+        assert scenario["fit_s"] > 0.0
+        assert scenario["pr2_reference"]["fit_s"] > 0.0
+        assert scenario["fused_scoring"]["peak_bytes"] > 0
         # The payload must be JSON-serialisable as-is.
         json.dumps(payload)
 
@@ -117,3 +121,86 @@ class TestTrackedBaseline:
         assert payload["fit_speedup_vs_legacy"] >= 1.5
         models = {r["model"] for r in payload["results"]}
         assert "disthd" in models
+
+
+class TestTrackedBaselinePr3:
+    def test_bench_pr3_json_is_committed_and_meets_target(self):
+        """PR-3 acceptance artifact: ≥1.3x regen-heavy fit speedup over the
+        PR-2 path at equal accuracy, with the fused Algorithm-2 scoring peak
+        far below one dense (n, D) distance matrix."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_pr3.json"
+        assert path.exists(), "BENCH_pr3.json missing from repo root"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 2
+        scenario = payload["scenarios"]["regen_heavy"]
+        assert scenario["dim"] >= 4096
+        assert scenario["fit_speedup_vs_pr2"] >= 1.3
+        assert abs(
+            scenario["test_acc"] - scenario["pr2_reference"]["test_acc"]
+        ) <= 0.02
+        scoring = scenario["fused_scoring"]
+        assert scoring["peak_bytes"] < 0.5 * scoring["dense_matrix_bytes"]
+
+
+class TestRegenHeavyScenario:
+    def test_miniature_scenario_record(self):
+        from repro.perf import bench_regen_heavy
+
+        rec = bench_regen_heavy(
+            scale=0.002, dim=128, iterations=2, repeats=1
+        )
+        assert rec["scenario"] == "regen_heavy"
+        assert rec["fit_s"] > 0 and rec["pr2_reference"]["fit_s"] > 0
+        assert rec["fit_speedup_vs_pr2"] > 0
+        assert rec["fused_scoring"]["peak_bytes"] > 0
+        json.dumps(rec)
+
+    def test_pr2_reference_path_is_restored(self):
+        from repro.backend.numpy_backend import NumpyBackend
+        from repro.hdc.memory import AssociativeMemory
+        from repro.perf import _pr2_reference_path
+        import repro.core.adaptive as adaptive_mod
+        import repro.core.disthd as disthd_mod
+
+        before_set = NumpyBackend.set_columns
+        with _pr2_reference_path():
+            assert AssociativeMemory.caching_enabled is False
+            assert NumpyBackend.set_columns is not before_set
+        assert AssociativeMemory.caching_enabled is True
+        assert NumpyBackend.set_columns is before_set
+        assert (
+            disthd_mod.adaptive_fit_iteration
+            is adaptive_mod.adaptive_fit_iteration
+        )
+
+
+class TestCheckRegression:
+    def _payload(self, fit, predict):
+        return {
+            "results": [
+                {"model": "disthd", "fit_s": fit, "predict_s": predict}
+            ]
+        }
+
+    def test_within_margin_passes(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        try:
+            from check_regression import compare
+        finally:
+            sys.path.pop(0)
+        base = self._payload(0.1, 0.01)
+        assert compare(self._payload(0.19, 0.019), base, 2.0) == []
+        problems = compare(self._payload(0.21, 0.01), base, 2.0)
+        assert len(problems) == 1 and "fit_s" in problems[0]
+        # a model absent from the baseline is not gated
+        assert compare(
+            {"results": [{"model": "new", "fit_s": 9, "predict_s": 9}]},
+            base, 2.0,
+        ) == []

@@ -1,0 +1,292 @@
+"""Property tests for the fused, cache-aware kernels (PR 3).
+
+Guarantees pinned here:
+
+- the fused chunked Algorithm-2 scoring (``fused_dimension_scores`` /
+  ``ArrayBackend.fused_absdiff_colsum``) matches the dense reference
+  (``distance_matrices`` + normalise + column-sum) to tight tolerance
+  across dtypes, both incorrect rules, every normalization and arbitrary
+  chunk sizes, on NumPy and (when installed) torch;
+- chunked ``similarities`` / ``predict`` / ``topk`` / encoder ``encode``
+  equal their unchunked forms exactly;
+- the fused path allocates no ``(n, D)`` distance temporaries — its traced
+  allocation peak stays far below one dense distance matrix;
+- the cache-aware column kernels (``set_columns`` row windows,
+  ``scatter_add_cells`` one-hot grouping) equal their naive forms.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import get_backend, torch_is_available
+from repro.core.regeneration import (
+    _normalize_matrix,
+    distance_matrices,
+    fused_dimension_scores,
+    select_undesired_dimensions,
+    undesired_from_scores,
+)
+from repro.core.topk import partition_outcomes
+from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.memory import AssociativeMemory
+
+torch_required = pytest.mark.skipif(
+    not torch_is_available(), reason="torch is not installed"
+)
+
+BACKENDS = ["numpy"] + (["torch"] if torch_is_available() else [])
+
+
+def make_problem(seed, n=160, dim=48, k=5, dtype=np.float32, backend="numpy"):
+    """A trained-ish memory plus encoded batch with non-trivial outcomes."""
+    rng = np.random.default_rng(seed)
+    H = rng.normal(size=(n, dim)).astype(dtype)
+    y = rng.integers(0, k, size=n)
+    memory = AssociativeMemory(k, dim, dtype=dtype, backend=backend)
+    memory.accumulate(rng.normal(size=(n, dim)).astype(dtype), y)
+    b = memory.backend
+    encoded = b.asarray(H) if backend != "numpy" else H
+    partition = partition_outcomes(memory, encoded, y)
+    return encoded, y, partition, memory
+
+
+def dense_scores(encoded, y, partition, memory, rule, normalization):
+    """The dense reference: matrices → row-normalise → float64 column sums."""
+    M, N = distance_matrices(encoded, y, partition, memory, incorrect_rule=rule)
+    Mn = _normalize_matrix(M, normalization)
+    Nn = _normalize_matrix(N, normalization)
+    m = Mn.sum(axis=0, dtype=np.float64) if Mn.size else None
+    n_ = Nn.sum(axis=0, dtype=np.float64) if Nn.size else None
+    return m, n_
+
+
+class TestFusedMatchesDense:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("rule", ["prose", "algorithm-box"])
+    @pytest.mark.parametrize("normalization", ["l2", "l1", "minmax", "none"])
+    def test_scores_match(self, backend, dtype, rule, normalization):
+        encoded, y, partition, memory = make_problem(
+            7, dtype=dtype, backend=backend
+        )
+        assert partition.partial.size and partition.incorrect.size
+        ref_m, ref_n = dense_scores(
+            encoded, y, partition, memory, rule, normalization
+        )
+        got_m, got_n = fused_dimension_scores(
+            encoded, y, partition, memory,
+            incorrect_rule=rule, normalization=normalization, chunk_size=13,
+        )
+        rtol = 2e-4 if dtype == np.float32 else 1e-10
+        np.testing.assert_allclose(got_m, ref_m, rtol=rtol, atol=1e-6)
+        np.testing.assert_allclose(got_n, ref_n, rtol=rtol, atol=1e-6)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_selected_dims_match(self, backend):
+        encoded, y, partition, memory = make_problem(11, backend=backend)
+        M, N = distance_matrices(encoded, y, partition, memory)
+        ref = select_undesired_dimensions(
+            M, N, regen_rate=0.25, dim=memory.dim
+        )
+        m_s, n_s = fused_dimension_scores(encoded, y, partition, memory)
+        got = undesired_from_scores(m_s, n_s, regen_rate=0.25)
+        assert np.array_equal(ref, got)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        chunk=st.integers(1, 200),
+        rule=st.sampled_from(["prose", "algorithm-box"]),
+    )
+    def test_chunk_size_never_changes_scores(self, seed, chunk, rule):
+        encoded, y, partition, memory = make_problem(seed, n=120, dim=32)
+        ref_m, ref_n = fused_dimension_scores(
+            encoded, y, partition, memory,
+            incorrect_rule=rule, chunk_size=None,
+        )
+        got_m, got_n = fused_dimension_scores(
+            encoded, y, partition, memory,
+            incorrect_rule=rule, chunk_size=chunk,
+        )
+        for ref, got in ((ref_m, got_m), (ref_n, got_n)):
+            assert (ref is None) == (got is None)
+            if ref is not None:
+                np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-7)
+
+    def test_empty_outcome_sets_are_none(self):
+        encoded, y, partition, memory = make_problem(3)
+        partition.partial = np.empty(0, np.int64)
+        m_s, n_s = fused_dimension_scores(encoded, y, partition, memory)
+        assert m_s is None and n_s is not None
+        assert undesired_from_scores(
+            m_s, n_s, regen_rate=0.2
+        ).size == 0  # intersection with the empty side is a no-op
+
+    @torch_required
+    def test_numpy_torch_parity(self):
+        encoded, y, partition, memory = make_problem(19, backend="numpy")
+        t_encoded, t_y, t_partition, t_memory = make_problem(
+            19, backend="torch"
+        )
+        for rule in ("prose", "algorithm-box"):
+            ref_m, ref_n = fused_dimension_scores(
+                encoded, y, partition, memory, incorrect_rule=rule
+            )
+            got_m, got_n = fused_dimension_scores(
+                t_encoded, t_y, t_partition, t_memory, incorrect_rule=rule
+            )
+            np.testing.assert_allclose(got_m, ref_m, rtol=1e-4, atol=1e-6)
+            np.testing.assert_allclose(got_n, ref_n, rtol=1e-4, atol=1e-6)
+
+    def test_bad_terms_rejected(self):
+        b = get_backend("numpy")
+        H = np.ones((4, 8), np.float32)
+        C = np.ones((2, 8), np.float32)
+        with pytest.raises(ValueError):
+            b.fused_absdiff_colsum(H, [0, 1], C, [], [])
+        with pytest.raises(ValueError):
+            b.fused_absdiff_colsum(
+                H, [0, 1], C, [np.array([0, 1, 0])], [1.0]
+            )
+
+
+class TestFusedAllocatesNoDenseTemporaries:
+    def test_traced_peak_far_below_dense_matrix(self):
+        n, dim = 4000, 1024
+        encoded, y, partition, memory = make_problem(5, n=n, dim=dim)
+        # Score every sample through the 3-term rule — worst case load.
+        rows = np.arange(n, dtype=np.int64)
+        top2, _ = memory.topk(encoded, k=2)
+        terms = (y.astype(np.int64), top2[:, 0], top2[:, 1])
+        C = memory.normalized_native()
+        b = memory.backend
+        dense_bytes = n * dim * np.dtype(np.float32).itemsize
+        tracemalloc.start()
+        try:
+            b.fused_absdiff_colsum(
+                encoded, rows, C, terms, (1.0, -1.0, -0.25)
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # The streamed kernel's peak must stay far below even ONE dense
+        # (n, D) distance matrix (the dense path materialises several).
+        assert peak < 0.5 * dense_bytes, (
+            f"fused peak {peak} bytes vs dense matrix {dense_bytes} bytes"
+        )
+
+
+class TestChunkedQueriesMatchUnchunked:
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 1000])
+    def test_similarities_predict_topk(self, chunk):
+        encoded, y, partition, memory = make_problem(23)
+        ref = memory.similarities(encoded)
+        # Equal up to BLAS accumulation-order rounding: small chunks hit
+        # gemv instead of gemm, which sums in a different order.
+        np.testing.assert_allclose(
+            memory.similarities(encoded, chunk_size=chunk), ref,
+            rtol=1e-5, atol=1e-7,
+        )
+        np.testing.assert_array_equal(
+            memory.predict(encoded, chunk_size=chunk), memory.predict(encoded)
+        )
+        ref_l, ref_s = memory.topk(encoded, 2)
+        got_l, got_s = memory.topk(encoded, 2, chunk_size=chunk)
+        np.testing.assert_array_equal(got_l, ref_l)
+        np.testing.assert_allclose(got_s, ref_s, rtol=1e-5, atol=1e-7)
+
+    def test_bad_chunk_rejected(self):
+        encoded, y, partition, memory = make_problem(29)
+        with pytest.raises(ValueError):
+            memory.similarities(encoded, chunk_size=0)
+
+    @pytest.mark.parametrize("chunk", [1, 9, 50])
+    def test_encoder_encode_chunked(self, chunk):
+        rng = np.random.default_rng(31)
+        X = rng.normal(size=(37, 6))
+        enc = RBFEncoder(6, 24, seed=0, dtype="float32")
+        ref = np.asarray(enc.encode(X))
+        got = np.asarray(enc.encode(X, chunk_size=chunk))
+        np.testing.assert_array_equal(got, ref)
+
+    def test_disthd_chunked_decision_scores(self):
+        from repro.core.disthd import DistHDClassifier
+
+        rng = np.random.default_rng(37)
+        X = rng.normal(size=(80, 5))
+        y = rng.integers(0, 3, size=80)
+        ref = DistHDClassifier(
+            dim=64, iterations=3, seed=0
+        ).fit(X, y)
+        chunked = DistHDClassifier(
+            dim=64, iterations=3, seed=0, chunk_size=16
+        ).fit(X, y)
+        np.testing.assert_allclose(
+            chunked.decision_scores(X), ref.decision_scores(X),
+            rtol=1e-6, atol=1e-7,
+        )
+        np.testing.assert_array_equal(chunked.predict(X), ref.predict(X))
+
+
+class TestCacheAwareColumnKernels:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 300))
+    def test_set_columns_matches_naive(self, seed, n):
+        rng = np.random.default_rng(seed)
+        b = get_backend("numpy")
+        x = rng.normal(size=(n, 40)).astype(np.float32)
+        ref = x.copy()
+        cols = np.unique(rng.integers(0, 40, size=11))
+        vals = rng.normal(size=(n, cols.size)).astype(np.float32)
+        b.set_columns(x, cols, vals)
+        ref[:, cols] = vals
+        np.testing.assert_array_equal(x, ref)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16), m=st.integers(1, 200))
+    def test_scatter_add_cells_matches_addat(self, seed, m):
+        rng = np.random.default_rng(seed)
+        b = get_backend("numpy")
+        k, dim = 6, 32
+        rows = rng.integers(0, k, size=m)
+        # Deliberately NOT unique: duplicate column indices must accumulate
+        # under the fast path exactly like np.add.at does.
+        cols = rng.integers(0, dim, size=9)
+        vals = rng.normal(size=(m, cols.size)).astype(np.float32)
+        got = np.zeros((k, dim), np.float32)
+        b.scatter_add_cells(got, rows, cols, vals)
+        ref = np.zeros((k, dim), np.float32)
+        np.add.at(ref, (rows[:, None], cols[None, :]), vals)
+        np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-5)
+
+    def test_scatter_add_cells_broadcast_values(self):
+        # (1, n_cols) values broadcast across all updates, as add.at does.
+        b = get_backend("numpy")
+        rows = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        cols = np.array([1, 3])
+        got = np.zeros((2, 5), np.float32)
+        b.scatter_add_cells(got, rows, cols, np.ones((1, 2), np.float32))
+        ref = np.zeros((2, 5), np.float32)
+        np.add.at(ref, (rows[:, None], cols[None, :]),
+                  np.ones((1, 2), np.float32))
+        np.testing.assert_array_equal(got, ref)
+
+    def test_fused_colsum_integer_hypervectors(self):
+        # Bipolar int8 inputs must match the float reference (the NumPy
+        # override delegates to the promoting generic implementation).
+        rng = np.random.default_rng(41)
+        b = get_backend("numpy")
+        H = rng.choice([-1, 1], size=(60, 16)).astype(np.int8)
+        C = rng.choice([-1, 1], size=(3, 16)).astype(np.int8)
+        rows = np.arange(60)
+        terms = (rng.integers(0, 3, 60), rng.integers(0, 3, 60))
+        got = b.fused_absdiff_colsum(H, rows, C, terms, (1.0, -0.25))
+        ref = b.fused_absdiff_colsum(
+            H.astype(np.float64), rows, C.astype(np.float64),
+            terms, (1.0, -0.25),
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-12)
