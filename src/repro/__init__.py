@@ -31,6 +31,13 @@ model with ``supports_streaming`` trains one mini-batch at a time::
     for batch_x, batch_y in ds.batches(64, seed=0):
         clf.partial_fit(batch_x, batch_y, classes=range(ds.n_classes))
 
+Data-parallel training is one knob away: every HDC model accepts
+``n_jobs``, and more than one worker routes ``fit`` through sharded
+training (per-shard class memories merged by bundling — see
+:mod:`repro.engine`)::
+
+    clf = make_model("disthd", dim=500, n_jobs=4, seed=0).fit(X, y)
+
 See ``docs/api.md`` for the full facade (``compare``, ``ExperimentSpec``,
 ``save_model``/``load_model``) and the deprecation shims for pre-registry
 import paths.
@@ -46,6 +53,7 @@ from repro.api import (
 )
 from repro.backend import get_backend, list_backends
 from repro.core.config import DistHDConfig
+from repro.engine import TrainingEngine, get_executor, shard_fit
 from repro.core.disthd import DistHDClassifier
 from repro.datasets.loaders import load_dataset
 from repro.datasets.registry import list_datasets
@@ -56,9 +64,11 @@ __all__ = [
     "DistHDClassifier",
     "DistHDConfig",
     "ExperimentSpec",
+    "TrainingEngine",
     "build_model",
     "compare",
     "get_backend",
+    "get_executor",
     "list_backends",
     "list_datasets",
     "list_models",
@@ -67,5 +77,6 @@ __all__ = [
     "make_model",
     "run_experiment",
     "save_model",
+    "shard_fit",
     "__version__",
 ]

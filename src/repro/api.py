@@ -74,6 +74,12 @@ class ExperimentSpec:
         corresponding hyper-parameters (the HDC family); ``None`` leaves the
         model's own defaults in place.  An explicit entry in
         ``model_params`` always wins.
+    n_jobs:
+        Parallel workers for models that declare an ``n_jobs``
+        hyper-parameter (the sharding-capable HDC family): more than one
+        worker routes their ``fit`` through data-parallel
+        :func:`~repro.engine.shard.shard_fit`.  ``None`` keeps the
+        model's own default (serial); ``model_params`` wins as usual.
     """
 
     model: str = "disthd"
@@ -86,6 +92,7 @@ class ExperimentSpec:
     inference_repeats: int = 1
     backend: Optional[str] = None
     dtype: Optional[str] = None
+    n_jobs: Optional[int] = None
 
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
         """A copy of this spec with the given fields replaced."""
@@ -161,7 +168,7 @@ def run_experiment(
     )
     params = dict(spec.model_params)
     declared = get_model_spec(spec.model).param_names()
-    for knob in ("backend", "dtype"):
+    for knob in ("backend", "dtype", "n_jobs"):
         value = getattr(spec, knob)
         if value is not None and knob in declared and knob not in params:
             params[knob] = value

@@ -23,15 +23,23 @@ from typing import Optional
 import numpy as np
 
 from repro.backend import get_backend, resolve_dtype
-from repro.core.convergence import ConvergenceTracker
 from repro.core.history import IterationRecord, TrainingHistory
+from repro.engine.callbacks import ConvergenceCallback, HistoryCallback
+from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
 from repro.hdc.encoders.id_level import IDLevelEncoder
 from repro.hdc.encoders.projection import RandomProjectionEncoder
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
 from repro.utils.rng import as_rng, spawn_seed
-from repro.utils.validation import check_features_match, check_matrix
+from repro.utils.validation import (
+    check_convergence_params,
+    check_features_match,
+    check_matrix,
+    check_n_jobs,
+    check_positive_float,
+    check_positive_int,
+)
 
 
 class BaselineHDClassifier(BaseClassifier):
@@ -71,6 +79,7 @@ class BaselineHDClassifier(BaseClassifier):
     """
 
     supports_streaming = True
+    supports_sharding = True
 
     def __init__(
         self,
@@ -84,32 +93,29 @@ class BaselineHDClassifier(BaseClassifier):
         bandwidth: float = 0.5,
         convergence_patience: Optional[int] = 5,
         convergence_tol: float = 1e-3,
+        n_jobs: Optional[int] = None,
         dtype="float32",
         backend="numpy",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
-        if dim <= 0:
-            raise ValueError(f"dim must be positive, got {dim}")
-        if lr <= 0:
-            raise ValueError(f"lr must be positive, got {lr}")
-        if iterations <= 0:
-            raise ValueError(f"iterations must be positive, got {iterations}")
         if encoder not in ("id-level", "sign", "rbf"):
             raise ValueError(
                 f"encoder must be 'id-level', 'sign' or 'rbf', got {encoder!r}"
             )
         if n_levels < 2:
             raise ValueError(f"n_levels must be >= 2, got {n_levels}")
-        self.dim = int(dim)
-        self.lr = float(lr)
-        self.iterations = int(iterations)
+        self.dim = check_positive_int(dim, "dim")
+        self.lr = check_positive_float(lr, "lr")
+        self.iterations = check_positive_int(iterations, "iterations")
         self.single_pass_init = bool(single_pass_init)
         self.encoder_kind = encoder
         self.n_levels = int(n_levels)
         self.bandwidth = float(bandwidth)
-        self.convergence_patience = convergence_patience
-        self.convergence_tol = float(convergence_tol)
+        self.convergence_patience, self.convergence_tol = (
+            check_convergence_params(convergence_patience, convergence_tol)
+        )
+        self.n_jobs = check_n_jobs(n_jobs)
         self.dtype = resolve_dtype(dtype)
         self.backend = get_backend(backend)
         self.seed = seed
@@ -133,8 +139,15 @@ class BaselineHDClassifier(BaseClassifier):
             n_features, self.dim, bandwidth=self.bandwidth, **kwargs
         )
 
-    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
-        n_classes = int(y.max()) + 1
+    def _fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        init_memory: Optional[np.ndarray] = None,
+        iterations: Optional[int] = None,
+    ) -> None:
+        n_classes = int(self.classes_.size)
         self._bundle_first_batch = False
         rng = as_rng(self.seed)
         self.encoder_ = self._make_encoder(X.shape[1], spawn_seed(rng))
@@ -142,15 +155,15 @@ class BaselineHDClassifier(BaseClassifier):
             n_classes, self.dim, dtype=self.dtype, backend=self.backend
         )
         self.history_ = TrainingHistory()
-        tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
         shuffle_rng = as_rng(spawn_seed(rng))
 
         encoded = self.encoder_.encode(X)
-        if self.single_pass_init:
+        if init_memory is not None:
+            self.memory_.set_vectors(init_memory)
+        elif self.single_pass_init:
             self.memory_.accumulate(encoded, y)
 
-        self.n_iterations_ = 0
-        for iteration in range(self.iterations):
+        def step(context: IterationContext) -> IterationRecord:
             order = shuffle_rng.permutation(encoded.shape[0])
             self._perceptron_pass(
                 self.backend.take_rows(encoded, order), y[order]
@@ -158,12 +171,26 @@ class BaselineHDClassifier(BaseClassifier):
             train_acc = float(
                 np.mean(self.memory_.predict(encoded) == y)
             )
-            self.history_.append(
-                IterationRecord(iteration=iteration, train_accuracy=train_acc)
+            return IterationRecord(
+                iteration=context.iteration, train_accuracy=train_acc
             )
-            self.n_iterations_ = iteration + 1
-            if tracker.update(train_acc):
-                break
+
+        engine = TrainingEngine(
+            self.iterations if iterations is None else iterations,
+            callbacks=(
+                HistoryCallback(self.history_),
+                ConvergenceCallback(
+                    self.convergence_patience, self.convergence_tol
+                ),
+            ),
+        )
+        self.n_iterations_ = engine.run(step).n_iterations
+
+    def _configure_for_shard(self, shard_iterations: Optional[int]) -> None:
+        # Static encoder, fixed-lr perceptron: shard-safe as-is.
+        self.n_jobs = None
+        if shard_iterations is not None:
+            self.iterations = int(shard_iterations)
 
     def _perceptron_pass(self, encoded, y: np.ndarray) -> None:
         """The ISLPED'16 update: each miss moves both class vectors by lr.

@@ -22,13 +22,22 @@ import numpy as np
 
 from repro.backend import get_backend, resolve_dtype
 from repro.core.adaptive import adaptive_fit_iteration
-from repro.core.convergence import ConvergenceTracker
 from repro.core.history import IterationRecord, TrainingHistory
+from repro.engine.callbacks import ConvergenceCallback, HistoryCallback
+from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
 from repro.utils.rng import as_rng, spawn_seed
-from repro.utils.validation import check_features_match, check_matrix
+from repro.utils.validation import (
+    check_convergence_params,
+    check_features_match,
+    check_matrix,
+    check_n_jobs,
+    check_positive_float,
+    check_positive_int,
+    check_unit_interval,
+)
 
 
 def dimension_significance(memory: AssociativeMemory) -> np.ndarray:
@@ -68,6 +77,8 @@ class NeuralHDClassifier(BaseClassifier):
         Early stopping.
     """
 
+    supports_sharding = True
+
     def __init__(
         self,
         dim: int = 500,
@@ -80,28 +91,23 @@ class NeuralHDClassifier(BaseClassifier):
         rebundle_on_regen: bool = False,
         convergence_patience: Optional[int] = 5,
         convergence_tol: float = 1e-3,
+        n_jobs: Optional[int] = None,
         dtype="float32",
         backend="numpy",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
-        if dim <= 0:
-            raise ValueError(f"dim must be positive, got {dim}")
-        if not 0.0 <= regen_rate <= 1.0:
-            raise ValueError(f"regen_rate must be in [0, 1], got {regen_rate}")
-        if lr <= 0:
-            raise ValueError(f"lr must be positive, got {lr}")
-        if iterations <= 0:
-            raise ValueError(f"iterations must be positive, got {iterations}")
-        self.dim = int(dim)
-        self.regen_rate = float(regen_rate)
-        self.lr = float(lr)
-        self.iterations = int(iterations)
+        self.dim = check_positive_int(dim, "dim")
+        self.regen_rate = check_unit_interval(regen_rate, "regen_rate")
+        self.lr = check_positive_float(lr, "lr")
+        self.iterations = check_positive_int(iterations, "iterations")
         self.bandwidth = float(bandwidth)
         self.single_pass_init = bool(single_pass_init)
         self.rebundle_on_regen = bool(rebundle_on_regen)
-        self.convergence_patience = convergence_patience
-        self.convergence_tol = float(convergence_tol)
+        self.convergence_patience, self.convergence_tol = (
+            check_convergence_params(convergence_patience, convergence_tol)
+        )
+        self.n_jobs = check_n_jobs(n_jobs)
         self.dtype = resolve_dtype(dtype)
         self.backend = get_backend(backend)
         self.seed = seed
@@ -110,8 +116,15 @@ class NeuralHDClassifier(BaseClassifier):
         self.history_: Optional[TrainingHistory] = None
         self.n_iterations_: int = 0
 
-    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
-        n_classes = int(y.max()) + 1
+    def _fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        init_memory: Optional[np.ndarray] = None,
+        iterations: Optional[int] = None,
+    ) -> None:
+        n_classes = int(self.classes_.size)
         rng = as_rng(self.seed)
         self.encoder_ = RBFEncoder(
             X.shape[1], self.dim, bandwidth=self.bandwidth,
@@ -121,24 +134,23 @@ class NeuralHDClassifier(BaseClassifier):
             n_classes, self.dim, dtype=self.dtype, backend=self.backend
         )
         self.history_ = TrainingHistory()
-        tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
         shuffle_rng = as_rng(spawn_seed(rng))
 
         encoded = self.encoder_.encode(X)
-        if self.single_pass_init:
+        if init_memory is not None:
+            self.memory_.set_vectors(init_memory)
+        elif self.single_pass_init:
             self.memory_.accumulate(encoded, y)
         n_regen = int(round(self.regen_rate * self.dim))
 
-        self.n_iterations_ = 0
-        for iteration in range(self.iterations):
+        def step(context: IterationContext) -> IterationRecord:
             adaptive_fit_iteration(
                 self.memory_, encoded, y, lr=self.lr, shuffle_rng=shuffle_rng
             )
             train_acc = float(np.mean(self.memory_.predict(encoded) == y))
 
             regenerated = 0
-            is_last = iteration == self.iterations - 1
-            if n_regen > 0 and not is_last and not tracker.converged:
+            if n_regen > 0 and not context.is_last and not context.converged:
                 significance = dimension_significance(self.memory_)
                 dims = np.sort(np.argsort(significance, kind="stable")[:n_regen])
                 self.encoder_.regenerate(dims)
@@ -149,17 +161,31 @@ class NeuralHDClassifier(BaseClassifier):
                     self.memory_.bundle_columns(y, dims, fresh)
                 regenerated = dims.size
 
-            self.history_.append(
-                IterationRecord(
-                    iteration=iteration,
-                    train_accuracy=train_acc,
-                    regenerated=regenerated,
-                    effective_dim=self.encoder_.effective_dim(),
-                )
+            return IterationRecord(
+                iteration=context.iteration,
+                train_accuracy=train_acc,
+                regenerated=regenerated,
+                effective_dim=self.encoder_.effective_dim(),
             )
-            self.n_iterations_ = iteration + 1
-            if tracker.update(train_acc):
-                break
+
+        engine = TrainingEngine(
+            self.iterations if iterations is None else iterations,
+            callbacks=(
+                HistoryCallback(self.history_),
+                ConvergenceCallback(
+                    self.convergence_patience, self.convergence_tol
+                ),
+            ),
+        )
+        self.n_iterations_ = engine.run(step).n_iterations
+
+    def _configure_for_shard(self, shard_iterations: Optional[int]) -> None:
+        # Workers must never regenerate: redrawn encoder rows would make
+        # the shard banks incompatible with the shared seed encoder.
+        self.regen_rate = 0.0
+        self.n_jobs = None
+        if shard_iterations is not None:
+            self.iterations = int(shard_iterations)
 
     def decision_scores(self, X) -> np.ndarray:
         """Cosine similarities of encoded queries against class memory."""

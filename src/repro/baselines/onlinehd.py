@@ -15,13 +15,21 @@ import numpy as np
 
 from repro.backend import get_backend, resolve_dtype
 from repro.core.adaptive import adaptive_fit_iteration
-from repro.core.convergence import ConvergenceTracker
 from repro.core.history import IterationRecord, TrainingHistory
+from repro.engine.callbacks import ConvergenceCallback, HistoryCallback
+from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
 from repro.utils.rng import as_rng, spawn_seed
-from repro.utils.validation import check_features_match, check_matrix
+from repro.utils.validation import (
+    check_convergence_params,
+    check_features_match,
+    check_matrix,
+    check_n_jobs,
+    check_positive_float,
+    check_positive_int,
+)
 
 
 class OnlineHDClassifier(BaseClassifier):
@@ -36,6 +44,7 @@ class OnlineHDClassifier(BaseClassifier):
     """
 
     supports_streaming = True
+    supports_sharding = True
 
     def __init__(
         self,
@@ -48,25 +57,22 @@ class OnlineHDClassifier(BaseClassifier):
         bandwidth: float = 0.5,
         convergence_patience: Optional[int] = 5,
         convergence_tol: float = 1e-3,
+        n_jobs: Optional[int] = None,
         dtype="float32",
         backend="numpy",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
-        if dim <= 0:
-            raise ValueError(f"dim must be positive, got {dim}")
-        if lr <= 0:
-            raise ValueError(f"lr must be positive, got {lr}")
-        if iterations <= 0:
-            raise ValueError(f"iterations must be positive, got {iterations}")
-        self.dim = int(dim)
-        self.lr = float(lr)
-        self.iterations = int(iterations)
+        self.dim = check_positive_int(dim, "dim")
+        self.lr = check_positive_float(lr, "lr")
+        self.iterations = check_positive_int(iterations, "iterations")
         self.batch_size = batch_size
         self.single_pass_init = bool(single_pass_init)
         self.bandwidth = float(bandwidth)
-        self.convergence_patience = convergence_patience
-        self.convergence_tol = float(convergence_tol)
+        self.convergence_patience, self.convergence_tol = (
+            check_convergence_params(convergence_patience, convergence_tol)
+        )
+        self.n_jobs = check_n_jobs(n_jobs)
         self.dtype = resolve_dtype(dtype)
         self.backend = get_backend(backend)
         self.seed = seed
@@ -76,8 +82,15 @@ class OnlineHDClassifier(BaseClassifier):
         self.n_iterations_: int = 0
         self._bundle_first_batch = False
 
-    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
-        n_classes = int(y.max()) + 1
+    def _fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        init_memory: Optional[np.ndarray] = None,
+        iterations: Optional[int] = None,
+    ) -> None:
+        n_classes = int(self.classes_.size)
         self._bundle_first_batch = False
         rng = as_rng(self.seed)
         self.encoder_ = RBFEncoder(
@@ -88,14 +101,15 @@ class OnlineHDClassifier(BaseClassifier):
             n_classes, self.dim, dtype=self.dtype, backend=self.backend
         )
         self.history_ = TrainingHistory()
-        tracker = ConvergenceTracker(self.convergence_patience, self.convergence_tol)
         shuffle_rng = as_rng(spawn_seed(rng))
 
         encoded = self.encoder_.encode(X)
-        if self.single_pass_init:
+        if init_memory is not None:
+            self.memory_.set_vectors(init_memory)
+        elif self.single_pass_init:
             self.memory_.accumulate(encoded, y)
-        self.n_iterations_ = 0
-        for iteration in range(self.iterations):
+
+        def step(context: IterationContext) -> IterationRecord:
             adaptive_fit_iteration(
                 self.memory_,
                 encoded,
@@ -105,12 +119,27 @@ class OnlineHDClassifier(BaseClassifier):
                 shuffle_rng=shuffle_rng,
             )
             train_acc = float(np.mean(self.memory_.predict(encoded) == y))
-            self.history_.append(
-                IterationRecord(iteration=iteration, train_accuracy=train_acc)
+            return IterationRecord(
+                iteration=context.iteration, train_accuracy=train_acc
             )
-            self.n_iterations_ = iteration + 1
-            if tracker.update(train_acc):
-                break
+
+        engine = TrainingEngine(
+            self.iterations if iterations is None else iterations,
+            callbacks=(
+                HistoryCallback(self.history_),
+                ConvergenceCallback(
+                    self.convergence_patience, self.convergence_tol
+                ),
+            ),
+        )
+        self.n_iterations_ = engine.run(step).n_iterations
+
+    def _configure_for_shard(self, shard_iterations: Optional[int]) -> None:
+        # Static encoder: nothing can diverge across shards; just stop the
+        # worker from recursing into the shard path.
+        self.n_jobs = None
+        if shard_iterations is not None:
+            self.iterations = int(shard_iterations)
 
     def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
         """One streamed mini-batch: encode, then one adaptive pass."""

@@ -6,9 +6,15 @@ Subcommands:
 - ``models`` — list the model registry (names, tags, hyper-parameters);
 - ``train`` — fit a model on a dataset analog and print the metric suite;
 - ``compare`` — run the Fig. 4-style model comparison on one dataset;
+- ``grid`` — grid-search a model's hyper-parameter space (``--n-jobs``
+  fans candidate fits across a process pool);
 - ``robustness`` — run a Fig. 8-style bit-flip sweep for one model;
 - ``bench`` — time encode/fit/predict per model and emit ``BENCH_*.json``
   (the tracked performance trajectory; ``--smoke`` for the CI-sized run).
+
+``train`` and ``compare`` accept ``--n-jobs`` too: for sharding-capable
+models it is forwarded as the ``n_jobs`` hyper-parameter, so fits run
+data-parallel via :func:`repro.engine.shard.shard_fit`.
 
 Model and dataset choices are read from the registries, so anything
 registered via :func:`repro.models.register_model` or the dataset registry
@@ -18,6 +24,7 @@ is immediately drivable from the command line.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -48,6 +55,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--dim", type=int, default=500,
         help="capacity knob: hypervector dimensionality / hidden width / "
         "random-feature count (ignored by models without a dim parameter)",
+    )
+
+
+def _add_n_jobs(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument(
+        "--n-jobs", type=int, default=None, dest="n_jobs",
+        help=f"{help_text} (default serial; -1 = all cores)",
     )
 
 
@@ -99,6 +113,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         model_params=_model_params(args.model, args),
         scale=args.scale,
         seed=args.seed,
+        n_jobs=args.n_jobs,
     )
     print(format_markdown_table([result.as_row()]))
     return 0
@@ -113,9 +128,49 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         dataset=args.dataset,
         scale=args.scale,
         seed=args.seed,
+        n_jobs=args.n_jobs,
     )
     columns = ["model", "test_acc", "top2_acc", "train_s", "infer_s"]
     print(format_markdown_table([r.as_row() for r in results], columns=columns))
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.datasets.loaders import load_dataset
+    from repro.models.registry import default_hyperparam_grid
+    from repro.pipeline.grid import grid_search
+
+    if args.space:
+        try:
+            space = json.loads(args.space)
+        except json.JSONDecodeError as exc:
+            print(f"--space is not valid JSON: {exc}")
+            return 2
+        if not isinstance(space, dict):
+            print("--space must be a JSON object {param: [values...]}")
+            return 2
+    else:
+        space = default_hyperparam_grid(args.model)
+        if not space:
+            print(
+                f"model {args.model!r} declares no default grid; pass --space"
+            )
+            return 2
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    result = grid_search(
+        args.model,
+        space,
+        data.train_x,
+        data.train_y,
+        validation_fraction=args.validation_fraction,
+        seed=args.seed,
+        n_jobs=args.n_jobs,
+    )
+    print(format_markdown_table(result.all_results))
+    print(
+        f"best: {result.best_params} -> score {result.best_score:.4f} "
+        f"({len(result.all_results)} candidates, n_jobs={args.n_jobs or 1})"
+    )
     return 0
 
 
@@ -135,6 +190,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         include_legacy=not args.no_legacy,
         include_regen_heavy=not args.no_regen_heavy,
+        include_sharded=not args.no_sharded,
     )
     print(format_bench_table(payload))
     if args.output:
@@ -190,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train one model, print metrics")
     _add_common(train)
     train.add_argument("--model", default="disthd", choices=list_models())
+    _add_n_jobs(train, "workers for data-parallel sharded fit")
 
     compare_p = sub.add_parser("compare", help="compare several models")
     _add_common(compare_p)
@@ -197,6 +254,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--models", nargs="+", default=["disthd", "baselinehd", "neuralhd"],
         choices=list_models(),
     )
+    _add_n_jobs(compare_p, "workers for data-parallel sharded fits")
+
+    grid = sub.add_parser(
+        "grid", help="grid-search a model's hyper-parameter space"
+    )
+    _add_common(grid)
+    grid.add_argument("--model", default="disthd", choices=list_models())
+    grid.add_argument(
+        "--space", default=None,
+        help='JSON grid, e.g. \'{"dim": [128, 256]}\' '
+        "(default: the registry's declared grid for the model)",
+    )
+    grid.add_argument(
+        "--validation-fraction", type=float, default=0.25,
+        help="fraction of the training split held out for scoring",
+    )
+    _add_n_jobs(grid, "candidate fits to run in parallel")
 
     robust = sub.add_parser("robustness", help="bit-flip robustness sweep")
     _add_common(robust)
@@ -232,6 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-regen-heavy", action="store_true",
         help="skip the regeneration-heavy fused-vs-PR2 scenario",
     )
+    bench.add_argument(
+        "--no-sharded", action="store_true",
+        help="skip the sharded-fit (data-parallel) scenario",
+    )
     bench.add_argument("--output", default=None, help="JSON output path")
     return parser
 
@@ -243,6 +321,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "models": _cmd_models,
         "train": _cmd_train,
         "compare": _cmd_compare,
+        "grid": _cmd_grid,
         "robustness": _cmd_robustness,
         "bench": _cmd_bench,
     }

@@ -5,6 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.utils.validation import (
+    check_convergence_params,
+    check_n_jobs,
+    check_optional_positive_int,
+    check_positive_float,
+    check_positive_int,
+    check_unit_interval,
+)
+
 VALID_INCORRECT_RULES = ("prose", "algorithm-box")
 VALID_NORMALIZATIONS = ("l2", "l1", "minmax", "none")
 VALID_SELECTIONS = ("intersection", "union", "m-only", "n-only")
@@ -81,6 +90,12 @@ class DistHDConfig:
         outcome partitioning, fused Algorithm-2 scoring).  ``None`` keeps
         inference unchunked and lets the fused kernel pick a cache-sized
         default.
+    n_jobs:
+        Parallel workers for data-parallel sharded fitting (see
+        :func:`repro.engine.shard.shard_fit`).  ``None`` or ``1`` trains
+        single-process (the default, bit-identical to earlier releases);
+        ``-1`` uses every visible core.  With more than one worker,
+        ``fit`` routes through ``shard_fit`` automatically.
     backend:
         Array-compute backend for encoder/memory/training hot paths
         (``"numpy"`` default; ``"torch"`` when PyTorch is installed — see
@@ -112,15 +127,14 @@ class DistHDConfig:
     regen_every: int = 10
     fused_regen: bool = True
     chunk_size: Optional[int] = None
+    n_jobs: Optional[int] = None
     backend: str = "numpy"
     dtype: str = "float32"
     seed: Optional[int] = field(default=None)
 
     def __post_init__(self) -> None:
-        if self.dim <= 0:
-            raise ValueError(f"dim must be positive, got {self.dim}")
-        if self.lr <= 0:
-            raise ValueError(f"lr must be positive, got {self.lr}")
+        check_positive_int(self.dim, "dim")
+        check_positive_float(self.lr, "lr")
         if self.alpha < 0 or self.beta < 0 or self.theta < 0:
             raise ValueError(
                 f"alpha, beta, theta must be non-negative, got "
@@ -131,16 +145,10 @@ class DistHDConfig:
                 f"paper requires theta < beta, got theta={self.theta}, "
                 f"beta={self.beta}"
             )
-        if not 0.0 <= self.regen_rate <= 1.0:
-            raise ValueError(
-                f"regen_rate is a fraction in [0, 1], got {self.regen_rate}"
-            )
-        if self.iterations <= 0:
-            raise ValueError(f"iterations must be positive, got {self.iterations}")
-        if self.batch_size is not None and self.batch_size <= 0:
-            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
-        if self.bandwidth <= 0:
-            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        check_unit_interval(self.regen_rate, "regen_rate")
+        check_positive_int(self.iterations, "iterations")
+        check_optional_positive_int(self.batch_size, "batch_size")
+        check_positive_float(self.bandwidth, "bandwidth")
         if self.incorrect_rule not in VALID_INCORRECT_RULES:
             raise ValueError(
                 f"incorrect_rule must be one of {VALID_INCORRECT_RULES}, "
@@ -156,27 +164,11 @@ class DistHDConfig:
                 f"selection must be one of {VALID_SELECTIONS}, "
                 f"got {self.selection!r}"
             )
-        if self.convergence_patience is not None and self.convergence_patience <= 0:
-            raise ValueError(
-                f"convergence_patience must be positive or None, "
-                f"got {self.convergence_patience}"
-            )
-        if self.convergence_tol < 0:
-            raise ValueError(
-                f"convergence_tol must be non-negative, got {self.convergence_tol}"
-            )
-        if self.reservoir_size <= 0:
-            raise ValueError(
-                f"reservoir_size must be positive, got {self.reservoir_size}"
-            )
-        if self.regen_every <= 0:
-            raise ValueError(
-                f"regen_every must be positive, got {self.regen_every}"
-            )
-        if self.chunk_size is not None and self.chunk_size <= 0:
-            raise ValueError(
-                f"chunk_size must be positive or None, got {self.chunk_size}"
-            )
+        check_convergence_params(self.convergence_patience, self.convergence_tol)
+        check_positive_int(self.reservoir_size, "reservoir_size")
+        check_positive_int(self.regen_every, "regen_every")
+        check_optional_positive_int(self.chunk_size, "chunk_size")
+        check_n_jobs(self.n_jobs)
         # Fail fast on unknown backend names / dtype specs (ArrayBackend
         # instances and NumPy dtypes are passed through unchanged).
         from repro.backend import get_backend, resolve_dtype

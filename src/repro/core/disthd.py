@@ -23,10 +23,11 @@ import numpy as np
 
 from repro.core.adaptive import adaptive_fit_iteration
 from repro.core.config import DistHDConfig
-from repro.core.convergence import ConvergenceTracker
 from repro.core.history import IterationRecord, TrainingHistory
 from repro.core.regeneration import regenerate_step
 from repro.core.topk import partition_outcomes
+from repro.engine.callbacks import ConvergenceCallback, HistoryCallback
+from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
 from repro.backend import get_backend
 from repro.hdc.encoders.rbf import RBFEncoder
@@ -68,6 +69,7 @@ class DistHDClassifier(BaseClassifier):
     """
 
     supports_streaming = True
+    supports_sharding = True
 
     def __init__(self, config: Optional[DistHDConfig] = None, **overrides) -> None:
         super().__init__()
@@ -85,9 +87,23 @@ class DistHDClassifier(BaseClassifier):
 
     # -------------------------------------------------------------- training
 
-    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+    def _fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        init_memory: Optional[np.ndarray] = None,
+        iterations: Optional[int] = None,
+    ) -> None:
+        """Batch training: encoder/memory setup plus the engine-driven loop.
+
+        ``init_memory`` seeds the class bank from an existing (merged)
+        memory instead of single-pass bundling, and ``iterations``
+        overrides the config budget — together they form the refinement
+        half of :meth:`shard_fit`.
+        """
         cfg = self.config
-        n_classes = int(y.max()) + 1
+        n_classes = int(self.classes_.size)
         self._reset_stream_state()
         rng = as_rng(cfg.seed)
         backend = get_backend(cfg.backend)
@@ -99,14 +115,15 @@ class DistHDClassifier(BaseClassifier):
             n_classes, cfg.dim, dtype=cfg.dtype, backend=backend
         )
         self.history_ = TrainingHistory()
-        tracker = ConvergenceTracker(cfg.convergence_patience, cfg.convergence_tol)
         shuffle_rng = as_rng(spawn_seed(rng))
 
         encoded = self.encoder_.encode(X)
-        if cfg.single_pass_init:
+        if init_memory is not None:
+            self.memory_.set_vectors(init_memory)
+        elif cfg.single_pass_init:
             self.memory_.accumulate(encoded, y)
-        self.n_iterations_ = 0
-        for iteration in range(cfg.iterations):
+
+        def step(context: IterationContext) -> IterationRecord:
             adaptive_fit_iteration(
                 self.memory_,
                 encoded,
@@ -122,8 +139,7 @@ class DistHDClassifier(BaseClassifier):
             rates = partition.rates()
 
             regenerated = 0
-            is_last = iteration == cfg.iterations - 1
-            if cfg.regen_rate > 0 and not is_last and not tracker.converged:
+            if cfg.regen_rate > 0 and not context.is_last and not context.converged:
                 report = regenerate_step(
                     encoded, y, partition, self.memory_, self.encoder_, cfg
                 )
@@ -137,20 +153,41 @@ class DistHDClassifier(BaseClassifier):
                         # dimensions start trained instead of at zero.
                         self.memory_.bundle_columns(y, report.dims, fresh)
 
-            self.history_.append(
-                IterationRecord(
-                    iteration=iteration,
-                    train_accuracy=train_acc,
-                    top2_accuracy=partition.top2_accuracy(),
-                    regenerated=regenerated,
-                    effective_dim=self.encoder_.effective_dim(),
-                    partial_rate=rates["partial"],
-                    incorrect_rate=rates["incorrect"],
-                )
+            return IterationRecord(
+                iteration=context.iteration,
+                train_accuracy=train_acc,
+                top2_accuracy=partition.top2_accuracy(),
+                regenerated=regenerated,
+                effective_dim=self.encoder_.effective_dim(),
+                partial_rate=rates["partial"],
+                incorrect_rate=rates["incorrect"],
             )
-            self.n_iterations_ = iteration + 1
-            if tracker.update(train_acc):
-                break
+
+        engine = TrainingEngine(
+            cfg.iterations if iterations is None else iterations,
+            callbacks=(
+                HistoryCallback(self.history_),
+                ConvergenceCallback(cfg.convergence_patience, cfg.convergence_tol),
+            ),
+        )
+        self.n_iterations_ = engine.run(step).n_iterations
+
+    # -------------------------------------------------------------- sharding
+
+    def _configured_n_jobs(self) -> Optional[int]:
+        return self.config.n_jobs
+
+    def _shard_seed(self) -> Optional[int]:
+        return self.config.seed
+
+    def _iteration_budget(self) -> int:
+        return self.config.iterations
+
+    def _configure_for_shard(self, shard_iterations: Optional[int]) -> None:
+        overrides = {"regen_rate": 0.0, "n_jobs": None}
+        if shard_iterations is not None:
+            overrides["iterations"] = shard_iterations
+        self.config = self.config.with_overrides(**overrides)
 
     # ------------------------------------------------------------- streaming
 

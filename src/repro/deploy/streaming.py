@@ -25,6 +25,31 @@ import numpy as np
 from repro.core.config import DistHDConfig
 from repro.core.disthd import DistHDClassifier
 
+#: Deprecation is announced once per process, not once per construction —
+#: streaming deployments build many short-lived adapters and a warning per
+#: instance floods their logs.  Reset by tests via ``_reset_deprecation_warning``.
+_deprecation_warned = False
+
+
+def _warn_deprecated_once() -> None:
+    global _deprecation_warned
+    if _deprecation_warned:
+        return
+    _deprecation_warned = True
+    warnings.warn(
+        "StreamingDistHD is deprecated; use "
+        "DistHDClassifier.partial_fit (or make_model('disthd-stream')) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_deprecation_warning() -> None:
+    """Re-arm the once-per-process deprecation warning (test hook)."""
+    global _deprecation_warned
+    _deprecation_warned = False
+
 
 class StreamingDistHD:
     """DistHD trained one mini-batch at a time (deprecated adapter).
@@ -59,13 +84,7 @@ class StreamingDistHD:
         reservoir_size: int = 512,
         regen_every: int = 10,
     ) -> None:
-        warnings.warn(
-            "StreamingDistHD is deprecated; use "
-            "DistHDClassifier.partial_fit (or make_model('disthd-stream')) "
-            "instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        _warn_deprecated_once()
         if n_features <= 0:
             raise ValueError(f"n_features must be positive, got {n_features}")
         if n_classes < 2:

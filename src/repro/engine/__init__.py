@@ -1,0 +1,54 @@
+"""Unified training engine: one iteration loop for every HDC learner.
+
+DistHD and its HDC baselines all train the same way — encode once, then
+iterate "update the class memory, measure, maybe regenerate dimensions,
+stop on convergence".  This package owns that loop so the models only
+describe *what one iteration does*:
+
+- :mod:`repro.engine.training` — :class:`TrainingEngine`, the epoch/batch
+  schedule, plus the per-iteration context handed to model step functions;
+- :mod:`repro.engine.callbacks` — the callback protocol (history recording,
+  convergence tracking, timing, checkpointing) and :class:`EngineState`;
+- :mod:`repro.engine.executor` — the :class:`Executor` abstraction (serial
+  and process-pool) and ``n_jobs`` resolution shared by sharded fitting,
+  grid search and cross-validation;
+- :mod:`repro.engine.shard` — data-parallel :func:`shard_fit`: per-shard
+  class memories trained in parallel workers, merged by bundling, then
+  refined by a short full-data engine run.
+"""
+
+from repro.engine.callbacks import (
+    Callback,
+    CheckpointCallback,
+    ConvergenceCallback,
+    EngineState,
+    HistoryCallback,
+    TimingCallback,
+)
+from repro.engine.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    resolve_n_jobs,
+)
+from repro.engine.shard import shard_fit, shard_indices
+from repro.engine.training import IterationContext, TrainingEngine
+
+__all__ = [
+    "Callback",
+    "CheckpointCallback",
+    "ConvergenceCallback",
+    "EngineState",
+    "Executor",
+    "HistoryCallback",
+    "IterationContext",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TimingCallback",
+    "TrainingEngine",
+    "get_executor",
+    "resolve_n_jobs",
+    "shard_fit",
+    "shard_indices",
+]

@@ -1,0 +1,169 @@
+"""Data-parallel sharded fitting: train per-shard class memories, merge by
+bundling, refine on the full data.
+
+HDC class hypervectors are additively mergeable: a class vector is a sum of
+(lr-weighted) encoded samples, so two memories trained on disjoint shards
+*with the same encoder* combine by element-wise addition — the same
+bundling operation single-pass training uses.  :func:`shard_fit` exploits
+this:
+
+1. deal the training set into ``n_jobs`` stratified shards (deterministic
+   for a fixed seed);
+2. train one class memory per shard in parallel workers — every worker
+   builds the *identical* encoder from the model's seed, and dimension
+   regeneration is disabled so the encoders cannot diverge;
+3. merge the per-shard banks by summation (bundling);
+4. run a short full-data refinement with the model's normal training loop
+   (adaptive updates *and* regeneration) starting from the merged memory.
+
+The refinement pass is what preserves accuracy: the merged memory is an
+excellent initialisation (it has seen every sample once), so a few full
+passes recover — and with regeneration often exceed — the single-process
+model at a fraction of the full iteration budget.
+
+``shard_fit(model, X, y, n_jobs=1)`` simply delegates to ``model.fit`` —
+the serial path *is* plain fitting, bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.executor import Executor, get_executor, resolve_n_jobs
+from repro.utils.rng import SeedLike, as_rng
+
+
+def shard_indices(
+    y: np.ndarray, n_shards: int, seed: SeedLike = None
+) -> List[np.ndarray]:
+    """Deal sample indices into ``n_shards`` stratified shards.
+
+    Each class's samples are shuffled once and dealt round-robin, so every
+    shard holds roughly ``1/n_shards`` of each class (the same deal
+    :func:`repro.pipeline.crossval.stratified_kfold_indices` uses for
+    folds).  Deterministic for a fixed ``seed``.  Returned index arrays
+    are sorted, pairwise disjoint, and cover ``range(len(y))``.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    y = np.asarray(y).ravel()
+    n_shards = min(int(n_shards), y.shape[0])
+    rng = as_rng(seed)
+    shard_of = np.empty(y.shape[0], dtype=np.int64)
+    for cls in np.unique(y):
+        idx = np.flatnonzero(y == cls)
+        rng.shuffle(idx)
+        shard_of[idx] = np.arange(idx.size) % n_shards
+    shards = [np.flatnonzero(shard_of == shard) for shard in range(n_shards)]
+    # Tiny inputs can leave a shard empty (fewer samples than shards in
+    # every class); fold empties away rather than fitting on nothing.
+    return [s for s in shards if s.size]
+
+
+def merge_banks(banks: List[np.ndarray]) -> np.ndarray:
+    """Bundle per-shard class banks into one memory by summation."""
+    if not banks:
+        raise ValueError("no shard banks to merge")
+    merged = np.array(banks[0], dtype=np.float64, copy=True)
+    for bank in banks[1:]:
+        if bank.shape != merged.shape:
+            raise ValueError(
+                f"shard banks disagree on shape: {bank.shape} vs {merged.shape}"
+            )
+        merged += bank
+    return merged
+
+
+def _train_shard(task) -> np.ndarray:
+    """Worker body: train one shard's class memory on a model copy.
+
+    Module-level so it pickles into process pools.  The template is
+    deep-copied even in-process, so a :class:`SerialExecutor` run leaves
+    the caller's model untouched and matches the process-pool semantics
+    exactly.
+    """
+    import copy
+
+    template, X, y, shard_iterations = task
+    model = copy.deepcopy(template)
+    return model._fit_shard(X, y, shard_iterations)
+
+
+def shard_fit(
+    model,
+    X,
+    y,
+    *,
+    n_jobs: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    shard_iterations: Optional[int] = None,
+    refine_iterations: Optional[int] = None,
+):
+    """Fit ``model`` on ``(X, y)`` with data-parallel sharded training.
+
+    Parameters
+    ----------
+    model:
+        An unfitted classifier with ``supports_sharding = True`` (the HDC
+        family: DistHD, OnlineHD, NeuralHD, BaselineHD).
+    X, y:
+        Training data, validated exactly as ``model.fit`` validates it.
+    n_jobs:
+        Shard/worker count; ``None`` falls back to the model's own
+        ``n_jobs`` knob, and a resolved count of 1 delegates straight to
+        ``model.fit`` (bit-identical to a plain fit).
+    executor:
+        Optional pre-built :class:`~repro.engine.executor.Executor` to run
+        shard tasks on (e.g. a :class:`SerialExecutor` to get sharded
+        *semantics* without processes, or a warm pool shared across fits).
+        Its worker count does not change the shard count — ``n_jobs``
+        (or the model's knob) decides how the data is split.
+    shard_iterations:
+        Training iterations inside each shard worker (default:
+        ``ceil(iterations / 2)`` — shard training only initialises the
+        merged memory, so spending the full budget per shard over-trains
+        state the refinement pass reworks anyway).
+    refine_iterations:
+        Full-data refinement iterations after the merge (default: the
+        model's ``iterations`` capped at ``max(2, ceil(iterations / 4))``).
+
+    Returns the fitted ``model``.
+    """
+    if not getattr(model, "supports_sharding", False):
+        raise NotImplementedError(
+            f"{type(model).__name__} does not support sharded fitting "
+            "(supports_sharding is False)"
+        )
+    n_shards = resolve_n_jobs(
+        n_jobs if n_jobs is not None else model._configured_n_jobs()
+    )
+    X, dense = model._begin_fit(X, y)
+    if n_shards < 2:
+        # The serial path IS a plain fit — run it directly rather than
+        # through model.fit, whose auto-routing would re-consult the
+        # model's own n_jobs knob and override an explicit n_jobs=1.
+        model._fit(X, dense)
+        return model
+    shards = shard_indices(dense, n_shards, seed=model._shard_seed())
+    if len(shards) < 2:
+        # Degenerate data (fewer samples than shards): plain single fit.
+        model._fit(X, dense)
+        return model
+    if shard_iterations is None:
+        shard_iterations = max(1, -(-model._iteration_budget() // 2))
+    tasks = [
+        (model, X[idx], dense[idx], shard_iterations) for idx in shards
+    ]
+    own_executor = executor is None
+    pool = get_executor(n_shards, executor=executor)
+    try:
+        banks = pool.map(_train_shard, tasks)
+    finally:
+        if own_executor:
+            pool.close()
+    merged = merge_banks(banks)
+    model._refine_from(X, dense, merged, refine_iterations)
+    model.n_shards_ = len(shards)
+    return model

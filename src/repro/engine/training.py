@@ -1,0 +1,130 @@
+"""The training engine: one iteration loop shared by every HDC learner.
+
+A model hands the engine a *step function* — "run one training iteration,
+return its metrics" — and the engine owns everything around it: the
+iteration budget, callback dispatch (history, convergence, timing,
+checkpoints), and early stopping.  The retrain-and-regenerate workflows of
+DistHD, OnlineHD, NeuralHD and BaselineHD are all instances of this loop;
+before this module each re-implemented it by hand.
+
+The step function receives an :class:`IterationContext` describing where
+the run stands — iteration index, whether this is the final budgeted
+iteration, whether convergence has been declared — which is exactly the
+information the models' regeneration gating needs (``regenerate unless
+this is the last pass or the model already converged``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.history import IterationRecord
+from repro.engine.callbacks import Callback, EngineState
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class IterationContext:
+    """Read-only view of the run handed to the step function each iteration.
+
+    Attributes
+    ----------
+    iteration:
+        Zero-based index of the current iteration.
+    is_last:
+        True on the final *budgeted* iteration (early stopping may end the
+        run sooner; the step cannot know that in advance).
+    converged:
+        True once a convergence callback declared a plateau.  Under the
+        stock :class:`~repro.engine.callbacks.ConvergenceCallback` this
+        also stops the run, so steps see ``False`` — but custom callbacks
+        may declare convergence without stopping, and regeneration-style
+        work should then be skipped.
+    state:
+        The underlying mutable :class:`EngineState` (escape hatch for
+        advanced steps; prefer the frozen fields).
+    """
+
+    iteration: int
+    is_last: bool
+    converged: bool
+    state: EngineState
+
+
+#: A step function: consumes the iteration context, trains for one
+#: iteration, and returns the iteration's metric record.
+StepFn = Callable[[IterationContext], IterationRecord]
+
+
+class TrainingEngine:
+    """Drives ``iterations`` calls of a step function under callbacks.
+
+    Parameters
+    ----------
+    iterations:
+        Iteration budget (the models' ``iterations`` hyper-parameter).
+    callbacks:
+        Observers of the run; see :mod:`repro.engine.callbacks`.
+
+    Examples
+    --------
+    >>> from repro.core.history import IterationRecord
+    >>> from repro.engine import HistoryCallback, TrainingEngine
+    >>> engine = TrainingEngine(3, callbacks=[HistoryCallback()])
+    >>> state = engine.run(
+    ...     lambda ctx: IterationRecord(ctx.iteration, train_accuracy=1.0)
+    ... )
+    >>> state.n_iterations, len(state.history)
+    (3, 3)
+    """
+
+    def __init__(
+        self, iterations: int, callbacks: Sequence[Callback] = ()
+    ) -> None:
+        self.iterations = check_positive_int(iterations, "iterations")
+        self.callbacks = tuple(callbacks)
+        for cb in self.callbacks:
+            if not isinstance(cb, Callback):
+                raise TypeError(
+                    f"callbacks must be engine Callback instances, got "
+                    f"{type(cb).__name__}"
+                )
+
+    def run(self, step: StepFn, *, state: Optional[EngineState] = None) -> EngineState:
+        """Execute the loop; returns the final :class:`EngineState`.
+
+        Per iteration: ``on_iteration_begin`` hooks, the step function,
+        then ``on_iteration_end`` hooks — and the run ends early as soon
+        as any callback set ``state.stop``.  ``on_fit_begin`` /
+        ``on_fit_end`` bracket the whole run.
+        """
+        if state is None:
+            state = EngineState()
+        state.max_iterations = self.iterations
+        for cb in self.callbacks:
+            cb.on_fit_begin(state)
+        for iteration in range(self.iterations):
+            state.iteration = iteration
+            for cb in self.callbacks:
+                cb.on_iteration_begin(state)
+            context = IterationContext(
+                iteration=iteration,
+                is_last=iteration == self.iterations - 1,
+                converged=state.converged,
+                state=state,
+            )
+            record = step(context)
+            if not isinstance(record, IterationRecord):
+                raise TypeError(
+                    "step must return an IterationRecord, got "
+                    f"{type(record).__name__}"
+                )
+            state.n_iterations = iteration + 1
+            for cb in self.callbacks:
+                cb.on_iteration_end(state, record)
+            if state.stop:
+                break
+        for cb in self.callbacks:
+            cb.on_fit_end(state)
+        return state

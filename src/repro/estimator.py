@@ -45,17 +45,30 @@ class BaseClassifier(abc.ABC):
     #: model registry's capability tags.
     supports_streaming: bool = False
 
+    #: Whether this model implements the sharded-fit hooks
+    #: (:meth:`_fit_shard` / :meth:`_refine_from`) that let
+    #: :meth:`shard_fit` train per-shard class memories in parallel
+    #: workers and merge them by bundling.
+    supports_sharding: bool = False
+
     def __init__(self) -> None:
         self.classes_: Optional[np.ndarray] = None
         self.n_features_: Optional[int] = None
         # Incremental-training bookkeeping (maintained by partial_fit).
         self.n_batches_: int = 0
         self.n_samples_seen_: int = 0
+        # Shard count of the last sharded fit (1 after a plain fit).
+        self.n_shards_: int = 1
 
     # ------------------------------------------------------------------- api
 
-    def fit(self, X, y) -> "BaseClassifier":
-        """Fit on features ``X`` (n, q) and integer labels ``y`` (n,)."""
+    def _begin_fit(self, X, y) -> tuple:
+        """Validate ``(X, y)``, bind the class set, reset counters.
+
+        The shared front half of :meth:`fit` and :meth:`shard_fit`:
+        returns ``(X, dense)`` where ``dense`` are labels remapped to a
+        contiguous ``[0, k)`` range against the bound ``classes_``.
+        """
         X, y = check_paired(X, y)
         labels, classes = check_labels(y)
         if classes.size < 2:
@@ -66,9 +79,51 @@ class BaseClassifier(abc.ABC):
         self.n_features_ = X.shape[1]
         self.n_batches_ = 0
         self.n_samples_seen_ = 0
-        dense = np.searchsorted(classes, labels)
+        self.n_shards_ = 1
+        return X, np.searchsorted(classes, labels)
+
+    def fit(self, X, y) -> "BaseClassifier":
+        """Fit on features ``X`` (n, q) and integer labels ``y`` (n,).
+
+        Models with ``supports_sharding`` and an ``n_jobs`` knob resolving
+        to more than one worker route through :meth:`shard_fit`
+        automatically, so ``make_model("disthd", n_jobs=4).fit(X, y)``
+        trains data-parallel without any call-site changes.
+        """
+        if self.supports_sharding:
+            from repro.engine.executor import resolve_n_jobs
+
+            if resolve_n_jobs(self._configured_n_jobs()) > 1:
+                return self.shard_fit(X, y)
+        X, dense = self._begin_fit(X, y)
         self._fit(X, dense)
         return self
+
+    def shard_fit(
+        self,
+        X,
+        y,
+        *,
+        n_jobs: Optional[int] = None,
+        executor=None,
+        shard_iterations: Optional[int] = None,
+        refine_iterations: Optional[int] = None,
+    ) -> "BaseClassifier":
+        """Data-parallel fit: per-shard memories, bundling merge, refinement.
+
+        See :func:`repro.engine.shard.shard_fit` for semantics; with
+        ``n_jobs`` resolving to 1 this *is* :meth:`fit`, bit for bit.
+        Only models with ``supports_sharding = True`` implement the
+        required hooks; others raise ``NotImplementedError``.
+        """
+        from repro.engine.shard import shard_fit as _shard_fit
+
+        return _shard_fit(
+            self, X, y,
+            n_jobs=n_jobs, executor=executor,
+            shard_iterations=shard_iterations,
+            refine_iterations=refine_iterations,
+        )
 
     def partial_fit(self, X, y, classes=None) -> "BaseClassifier":
         """Incrementally train on one mini-batch ``(X, y)``.
@@ -167,6 +222,67 @@ class BaseClassifier(abc.ABC):
     @abc.abstractmethod
     def decision_scores(self, X) -> np.ndarray:
         """``(n, k)`` per-class decision scores (higher = more likely)."""
+
+    # --------------------------------------------------------- sharding hooks
+
+    def _configured_n_jobs(self) -> Optional[int]:
+        """The model's own ``n_jobs`` knob (None = serial).
+
+        DistHD reads it off its config; the baseline constructors store it
+        as a plain attribute.  :meth:`fit` resolves it to decide whether
+        to route through :meth:`shard_fit`.
+        """
+        return getattr(self, "n_jobs", None)
+
+    def _shard_seed(self) -> Optional[int]:
+        """Seed governing the stratified shard deal (models expose theirs)."""
+        return getattr(self, "seed", None)
+
+    def _iteration_budget(self) -> int:
+        """The model's ``iterations`` hyper-parameter (engine budget)."""
+        return int(getattr(self, "iterations"))
+
+    def _configure_for_shard(self, shard_iterations: Optional[int]) -> None:
+        """Reconfigure this (copied) model for worker-side shard training.
+
+        Implementations must disable dimension regeneration (shard
+        encoders may never diverge from the shared seed-derived encoder),
+        clear ``n_jobs`` (workers do not recurse), and apply
+        ``shard_iterations`` when given.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} sets supports_sharding but does not "
+            "implement _configure_for_shard"
+        )
+
+    def _fit_shard(self, X, y, shard_iterations: Optional[int]) -> np.ndarray:
+        """Worker-side hook: train this (copied) model on one shard and
+        return its class bank as a float64 NumPy array.
+
+        Runs on a deep copy inside an executor worker; every worker builds
+        the identical encoder from the model's seed, so the returned banks
+        are additively mergeable.
+        """
+        self._configure_for_shard(shard_iterations)
+        self._fit(X, y)
+        return np.asarray(
+            self.memory_.numpy_vectors(), dtype=np.float64
+        ).copy()
+
+    def _refine_from(
+        self, X, y, bank: np.ndarray, refine_iterations: Optional[int]
+    ) -> None:
+        """Driver-side hook: full-data refinement from a merged class bank.
+
+        Runs the model's normal training loop (regeneration included) for
+        a short budget — default ``max(2, ceil(iterations / 4))`` capped
+        at the full budget — starting from the bundled shard memories
+        instead of single-pass initialisation.
+        """
+        budget = self._iteration_budget()
+        if refine_iterations is None:
+            refine_iterations = min(budget, max(2, -(-budget // 4)))
+        self._fit(X, y, init_memory=bank, iterations=refine_iterations)
 
     # ------------------------------------------------------------------ misc
 

@@ -39,6 +39,10 @@ _BACKEND = Hyperparam(
 _DTYPE = Hyperparam(
     "dtype", "float32", (), "hot-path compute dtype (float32 | float64)"
 )
+_N_JOBS = Hyperparam(
+    "n_jobs", None, (),
+    "parallel workers for sharded fit (None/1 serial, -1 all cores)",
+)
 
 
 def _make_mlp(dim=None, hidden_sizes=None, **params) -> MLPClassifier:
@@ -83,6 +87,7 @@ def _register_all() -> None:
                 "fused_regen", True, (),
                 "fused chunked Algorithm-2 scoring (off = dense reference)",
             ),
+            _N_JOBS,
             _BACKEND,
             _DTYPE,
             _SEED,
@@ -103,6 +108,7 @@ def _register_all() -> None:
                 "encoder", "id-level", (), "id-level | sign | rbf encoder"
             ),
             _ITERATIONS,
+            _N_JOBS,
             _BACKEND,
             _DTYPE,
             _SEED,
@@ -120,6 +126,7 @@ def _register_all() -> None:
                 "regen_rate", 0.10, (0.05, 0.10, 0.20), "regeneration rate"
             ),
             _ITERATIONS,
+            _N_JOBS,
             _BACKEND,
             _DTYPE,
             _SEED,
@@ -130,7 +137,7 @@ def _register_all() -> None:
         OnlineHDClassifier,
         tags=("hdc", "paper", "baseline", "streaming", "persistable"),
         description="Adaptive similarity-weighted HDC, static encoder",
-        hyperparams=(_HDC_DIM, _LR, _ITERATIONS, _BACKEND, _DTYPE, _SEED),
+        hyperparams=(_HDC_DIM, _LR, _ITERATIONS, _N_JOBS, _BACKEND, _DTYPE, _SEED),
     )
     register_model(
         "mlp",
@@ -223,6 +230,7 @@ def _register_all() -> None:
             _HDC_DIM,
             _LR,
             _ITERATIONS,
+            _N_JOBS,
             _BACKEND,
             _DTYPE,
             _SEED,

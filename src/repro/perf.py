@@ -19,6 +19,11 @@ Two historical references keep the trajectory honest:
 The regen-heavy scenario also records peak RSS and the traced allocation
 peak of the fused Algorithm-2 scoring call, evidencing that the fused path
 never materialises an ``(n, D)`` distance temporary.
+
+Payload schema 3 adds the **sharded-fit** scenario: single-process ``fit``
+versus data-parallel ``shard_fit`` on the same regen-heavy operating
+point, recording shard count, ``n_jobs``, both accuracies and the
+wall-clock speedup (``fit_speedup_vs_single``).
 """
 
 from __future__ import annotations
@@ -297,6 +302,80 @@ def bench_regen_heavy(
     return record
 
 
+#: The committed sharded-fit scenario: the same regen-heavy operating point,
+#: fit single-process versus data-parallel ``shard_fit`` at ``n_jobs``
+#: workers.  The shard phase trains per-shard class memories with
+#: regeneration disabled (cheap, parallel), the merge bundles them, and a
+#: short refinement pass runs the full regen-heavy loop — so the speedup
+#: comes from both worker parallelism and the smaller full-data budget,
+#: and survives even single-core machines.
+SHARDED_FIT = dict(REGEN_HEAVY, n_jobs=4)
+
+
+def bench_sharded_fit(
+    *,
+    dataset: str = SHARDED_FIT["dataset"],
+    scale: float = SHARDED_FIT["scale"],
+    dim: int = SHARDED_FIT["dim"],
+    iterations: int = SHARDED_FIT["iterations"],
+    regen_rate: float = SHARDED_FIT["regen_rate"],
+    selection: str = SHARDED_FIT["selection"],
+    n_jobs: int = SHARDED_FIT["n_jobs"],
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time DistHD single-process ``fit`` vs ``shard_fit(n_jobs=...)``.
+
+    Both paths run at the same seed and hyper-parameters; the record keeps
+    both test accuracies so a speedup that silently costs quality is
+    visible, plus the shard/worker counts the payload schema tracks.
+    """
+    data = load_dataset(dataset, scale=scale, seed=seed)
+
+    def build():
+        return make_model(
+            "disthd", dim=dim, iterations=iterations, seed=seed,
+            regen_rate=regen_rate, selection=selection,
+            convergence_patience=None,
+        )
+
+    single_s = _best_of(
+        lambda: build().fit(data.train_x, data.train_y), repeats
+    )
+    single_model = build().fit(data.train_x, data.train_y)
+    single_acc = float(single_model.score(data.test_x, data.test_y))
+
+    sharded_s = _best_of(
+        lambda: build().shard_fit(data.train_x, data.train_y, n_jobs=n_jobs),
+        repeats,
+    )
+    sharded_model = build()
+    sharded_model.shard_fit(data.train_x, data.train_y, n_jobs=n_jobs)
+    sharded_acc = float(sharded_model.score(data.test_x, data.test_y))
+
+    return {
+        "scenario": "sharded_fit",
+        "dataset": dataset,
+        "n_train": int(data.train_x.shape[0]),
+        "n_features": int(data.train_x.shape[1]),
+        "dim": dim,
+        "iterations": iterations,
+        "regen_rate": regen_rate,
+        "selection": selection,
+        "seed": seed,
+        "n_jobs": n_jobs,
+        "n_shards": int(sharded_model.n_shards_),
+        "single_fit_s": single_s,
+        "single_test_acc": single_acc,
+        "sharded_fit_s": sharded_s,
+        "sharded_test_acc": sharded_acc,
+        "fit_speedup_vs_single": (
+            single_s / sharded_s if sharded_s > 0 else None
+        ),
+        "acc_delta": sharded_acc - single_acc,
+    }
+
+
 def _measure_fused_scoring_peak(model, data: Dataset) -> Dict[str, object]:
     """Traced allocation peak of a worst-case fused Algorithm-2 scoring pass.
 
@@ -424,6 +503,7 @@ def run_bench(
     smoke: bool = False,
     include_legacy: bool = True,
     include_regen_heavy: bool = True,
+    include_sharded: bool = True,
 ) -> Dict[str, object]:
     """Run the full bench sweep and return the ``BENCH_*.json`` payload.
 
@@ -442,7 +522,7 @@ def run_bench(
         for name in models
     ]
     payload: Dict[str, object] = {
-        "schema": 2,
+        "schema": 3,
         "created_unix": time.time(),
         "repro_version": __version__,
         "python": platform.python_version(),
@@ -473,14 +553,28 @@ def run_bench(
         payload["fit_speedup_vs_legacy"] = (
             float(legacy["fit_s"]) / float(new_fit) if new_fit > 0 else None
         )
+    scenarios: Dict[str, object] = {}
     if include_regen_heavy:
         if smoke:
-            scenario = bench_regen_heavy(
+            scenarios["regen_heavy"] = bench_regen_heavy(
                 scale=0.004, dim=256, iterations=3, seed=seed, repeats=1
             )
         else:
-            scenario = bench_regen_heavy(seed=seed, repeats=repeats)
-        payload["scenarios"] = {"regen_heavy": scenario}
+            scenarios["regen_heavy"] = bench_regen_heavy(
+                seed=seed, repeats=repeats
+            )
+    if include_sharded:
+        if smoke:
+            scenarios["sharded_fit"] = bench_sharded_fit(
+                scale=0.004, dim=256, iterations=4, n_jobs=2,
+                seed=seed, repeats=1,
+            )
+        else:
+            scenarios["sharded_fit"] = bench_sharded_fit(
+                seed=seed, repeats=repeats
+            )
+    if scenarios:
+        payload["scenarios"] = scenarios
     payload["peak_rss_mb"] = _peak_rss_mb()
     return payload
 
@@ -530,4 +624,15 @@ def format_bench_table(payload: Dict[str, object]) -> str:
                 f"{scoring['peak_bytes'] / 2**20:.2f} MiB "
                 f"({frac:.1%} of one dense (n, D) distance matrix)"
             )
+    sharded = (payload.get("scenarios") or {}).get("sharded_fit")
+    if sharded is not None:
+        lines.append(
+            f"sharded fit ({sharded['dataset']}, D={sharded['dim']}, "
+            f"n_jobs={sharded['n_jobs']}, shards={sharded['n_shards']}): "
+            f"{sharded['sharded_fit_s']:.4f}s vs single "
+            f"{sharded['single_fit_s']:.4f}s "
+            f"→ speedup {sharded['fit_speedup_vs_single']:.2f}x  "
+            f"(acc {sharded['sharded_test_acc']:.3f} / "
+            f"{sharded['single_test_acc']:.3f})"
+        )
     return "\n".join(lines)

@@ -3,7 +3,14 @@ identify the best hyper-parameters for each model".
 
 Models may be passed as factories or as registered names; a name with no
 explicit ``space`` is swept over the registry's declared hyper-parameter
-grid (:meth:`repro.models.ModelSpec.default_grid`)."""
+grid (:meth:`repro.models.ModelSpec.default_grid`).
+
+Candidate fits are independent, so ``n_jobs`` (or an explicit
+``executor``) fans them across the engine's process pool — results and
+tie-breaking are identical to the serial sweep because candidate order is
+preserved.  Unpicklable factories (local lambdas) fall back to serial
+execution automatically.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.datasets.splits import stratified_split
+from repro.engine.executor import Executor, executor_map
 from repro.models.registry import default_hyperparam_grid, make_model
 from repro.utils.rng import SeedLike
 
@@ -41,6 +49,21 @@ class GridSearchResult:
     all_results: List[Dict[str, object]] = field(default_factory=list)
 
 
+def _fit_score_candidate(task) -> float:
+    """Worker body: build, fit and score one grid candidate.
+
+    Module-level so candidate evaluations pickle into process pools; the
+    factory slot carries either a registered model name or a callable.
+    """
+    factory, params, train_x, train_y, val_x, val_y = task
+    model = (
+        make_model(factory, **params) if isinstance(factory, str)
+        else factory(**params)
+    )
+    model.fit(train_x, train_y)
+    return float(model.score(val_x, val_y))
+
+
 def grid_search(
     factory: Union[str, Callable[..., object]],
     space: Optional[Dict[str, Sequence]] = None,
@@ -49,6 +72,8 @@ def grid_search(
     *,
     validation_fraction: float = 0.25,
     seed: SeedLike = None,
+    n_jobs: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> GridSearchResult:
     """Exhaustive grid search with a held-out validation split.
 
@@ -68,12 +93,16 @@ def grid_search(
         Fraction held out for scoring.
     seed:
         Split seed.
+    n_jobs:
+        Candidate fits to run in parallel (``None``/1 serial, ``-1`` all
+        cores).  Registered-name factories parallelise cleanly; factories
+        that cannot be pickled run serial regardless.
+    executor:
+        Pre-built :class:`~repro.engine.executor.Executor` to reuse across
+        searches (overrides ``n_jobs``).
     """
-    if isinstance(factory, str):
-        name = factory
-        factory = lambda **p: make_model(name, **p)  # noqa: E731
-        if space is None:
-            space = default_hyperparam_grid(name)
+    if isinstance(factory, str) and space is None:
+        space = default_hyperparam_grid(factory)
     if space is None:
         raise ValueError(
             "space is required when factory is not a registered model name"
@@ -83,13 +112,20 @@ def grid_search(
     train_x, train_y, val_x, val_y = stratified_split(
         X, y, test_fraction=validation_fraction, seed=seed
     )
+    candidates = list(parameter_grid(space))
+    scores = executor_map(
+        _fit_score_candidate,
+        [
+            (factory, params, train_x, train_y, val_x, val_y)
+            for params in candidates
+        ],
+        n_jobs=n_jobs,
+        executor=executor,
+    )
     best_params: Dict[str, object] = {}
     best_score = -1.0
     table: List[Dict[str, object]] = []
-    for params in parameter_grid(space):
-        model = factory(**params)
-        model.fit(train_x, train_y)
-        score = float(model.score(val_x, val_y))
+    for params, score in zip(candidates, scores):
         table.append({**params, "score": score})
         if score > best_score:
             best_score = score

@@ -94,6 +94,75 @@ def check_probability(p: float, name: str = "p") -> float:
     return value
 
 
+# --------------------------------------------------------------- scalar knobs
+#
+# Constructor-parameter checks shared by DistHDConfig and the HDC baseline
+# classifiers, so every model rejects a bad ``dim`` / ``lr`` / ``iterations``
+# with the same message instead of five hand-rolled copies.
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate a strictly positive integer knob (``dim``, ``iterations``)."""
+    if value is None or int(value) <= 0 or int(value) != value:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return int(value)
+
+
+def check_positive_float(value, name: str) -> float:
+    """Validate a strictly positive float knob (``lr``, ``bandwidth``)."""
+    result = float(value)
+    if result <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return result
+
+
+def check_optional_positive_int(value, name: str) -> Optional[int]:
+    """Validate a knob that is either ``None`` or a positive integer
+    (``batch_size``, ``chunk_size``, ``convergence_patience``)."""
+    if value is None:
+        return None
+    if int(value) <= 0 or int(value) != value:
+        raise ValueError(f"{name} must be positive or None, got {value}")
+    return int(value)
+
+
+def check_unit_interval(value, name: str) -> float:
+    """Validate a fraction in [0, 1] (``regen_rate``)."""
+    result = float(value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be a fraction in [0, 1], got {value}")
+    return result
+
+
+def check_non_negative_float(value, name: str) -> float:
+    """Validate a non-negative float knob (``convergence_tol``)."""
+    result = float(value)
+    if result < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return result
+
+
+def check_convergence_params(patience, tol) -> Tuple[Optional[int], float]:
+    """Validate the shared early-stopping pair (patience, tol)."""
+    return (
+        check_optional_positive_int(patience, "convergence_patience"),
+        check_non_negative_float(tol, "convergence_tol"),
+    )
+
+
+def check_n_jobs(value, name: str = "n_jobs") -> Optional[int]:
+    """Validate a worker-count knob: ``None`` (serial), ``-1`` (all cores),
+    or a positive integer.  Resolution to an actual worker count happens in
+    :func:`repro.engine.executor.resolve_n_jobs`."""
+    if value is None:
+        return None
+    if int(value) != value or (int(value) <= 0 and int(value) != -1):
+        raise ValueError(
+            f"{name} must be None, -1, or a positive integer, got {value}"
+        )
+    return int(value)
+
+
 def check_features_match(n_expected: int, n_got: int, who: str = "estimator") -> None:
     """Raise if an estimator trained on ``n_expected`` features sees ``n_got``."""
     if n_expected != n_got:

@@ -103,9 +103,15 @@ class TestCompare:
 
 class TestDeprecationShims:
     def test_streaming_disthd_still_importable(self, small_problem):
-        from repro.deploy.streaming import StreamingDistHD
+        from repro.deploy.streaming import (
+            StreamingDistHD,
+            _reset_deprecation_warning,
+        )
 
         train_x, train_y, test_x, test_y = small_problem
+        # The deprecation is announced once per process; re-arm it so this
+        # test is order-independent.
+        _reset_deprecation_warning()
         with pytest.warns(DeprecationWarning, match="partial_fit"):
             model = StreamingDistHD(train_x.shape[1], 3, reservoir_size=64)
         model.partial_fit(train_x[:64], train_y[:64])

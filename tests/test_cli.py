@@ -23,6 +23,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["robustness", "--bits", "3"])
 
+    def test_n_jobs_flags_parse(self):
+        assert build_parser().parse_args(["train"]).n_jobs is None
+        args = build_parser().parse_args(["grid", "--n-jobs", "2"])
+        assert args.n_jobs == 2
+
+
+class TestGridCommand:
+    _FAST = ["--dataset", "diabetes", "--scale", "0.005"]
+
+    def test_grid_with_space(self, capsys):
+        code = main(
+            ["grid", "--model", "onlinehd", "--space", '{"dim": [32, 48]}']
+            + self._FAST
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best:" in out and "score" in out
+
+    def test_grid_parallel_matches_serial(self, capsys):
+        argv = (
+            ["grid", "--model", "onlinehd",
+             "--space", '{"dim": [32, 48], "seed": [0]}'] + self._FAST
+        )
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--n-jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.splitlines()[:-1] == parallel.splitlines()[:-1]
+
+    def test_grid_invalid_json_space(self, capsys):
+        code = main(["grid", "--space", "{bad"] + self._FAST)
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_grid_non_object_space(self, capsys):
+        code = main(["grid", "--space", "[1, 2]"] + self._FAST)
+        assert code == 2
+        assert "JSON object" in capsys.readouterr().out
+
 
 class TestCommands:
     def test_datasets_lists_table1(self, capsys):

@@ -1,10 +1,12 @@
 """Tests for repro.deploy.streaming.StreamingDistHD."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.core.config import DistHDConfig
-from repro.deploy.streaming import StreamingDistHD
+from repro.deploy.streaming import StreamingDistHD, _reset_deprecation_warning
 
 
 def _stream(problem, batch_size=32):
@@ -20,6 +22,27 @@ def model(small_problem):
     return StreamingDistHD(
         train_x.shape[1], 3, config, reservoir_size=120, regen_every=2
     )
+
+
+class TestDeprecationWarning:
+    def test_warns_once_per_process(self):
+        """The adapter announces its deprecation on first construction only —
+        streaming deployments build many short-lived adapters and must not
+        flood their logs."""
+        _reset_deprecation_warning()
+        with pytest.warns(DeprecationWarning, match="StreamingDistHD"):
+            StreamingDistHD(4, 2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            StreamingDistHD(4, 2)  # second construction: silent
+
+    def test_reset_rearms(self):
+        _reset_deprecation_warning()
+        with pytest.warns(DeprecationWarning):
+            StreamingDistHD(4, 2)
+        _reset_deprecation_warning()
+        with pytest.warns(DeprecationWarning):
+            StreamingDistHD(4, 2)
 
 
 class TestConstruction:

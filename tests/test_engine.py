@@ -1,0 +1,199 @@
+"""Tests for the training engine: loop, callbacks, executors."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import IterationRecord, TrainingHistory
+from repro.engine import (
+    Callback,
+    CheckpointCallback,
+    ConvergenceCallback,
+    EngineState,
+    HistoryCallback,
+    ProcessExecutor,
+    SerialExecutor,
+    TimingCallback,
+    TrainingEngine,
+    get_executor,
+    resolve_n_jobs,
+)
+from repro.engine.executor import executor_map, is_picklable
+from repro.utils.validation import check_n_jobs
+
+
+def _record(ctx, acc=1.0):
+    return IterationRecord(iteration=ctx.iteration, train_accuracy=acc)
+
+
+class TestTrainingEngine:
+    def test_runs_budget(self):
+        seen = []
+        engine = TrainingEngine(4)
+        state = engine.run(lambda ctx: (seen.append(ctx.iteration), _record(ctx))[1])
+        assert seen == [0, 1, 2, 3]
+        assert state.n_iterations == 4
+        assert state.max_iterations == 4
+
+    def test_is_last_flag(self):
+        flags = []
+        TrainingEngine(3).run(lambda ctx: (flags.append(ctx.is_last), _record(ctx))[1])
+        assert flags == [False, False, True]
+
+    def test_stop_via_callback(self):
+        class StopAfterTwo(Callback):
+            def on_iteration_end(self, state, record):
+                if state.n_iterations == 2:
+                    state.stop = True
+
+        state = TrainingEngine(10, callbacks=[StopAfterTwo()]).run(_record)
+        assert state.n_iterations == 2
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError, match="iterations"):
+            TrainingEngine(0)
+
+    def test_rejects_non_callback(self):
+        with pytest.raises(TypeError, match="Callback"):
+            TrainingEngine(2, callbacks=[object()])
+
+    def test_rejects_non_record_step(self):
+        with pytest.raises(TypeError, match="IterationRecord"):
+            TrainingEngine(2).run(lambda ctx: 0.5)
+
+    def test_callback_order(self):
+        calls = []
+
+        class Tracer(Callback):
+            def on_fit_begin(self, state):
+                calls.append("begin")
+
+            def on_iteration_begin(self, state):
+                calls.append(f"it{state.iteration}")
+
+            def on_iteration_end(self, state, record):
+                calls.append(f"end{state.iteration}")
+
+            def on_fit_end(self, state):
+                calls.append("done")
+
+        TrainingEngine(2, callbacks=[Tracer()]).run(_record)
+        assert calls == ["begin", "it0", "end0", "it1", "end1", "done"]
+
+
+class TestHistoryCallback:
+    def test_appends_and_publishes(self):
+        cb = HistoryCallback()
+        state = TrainingEngine(3, callbacks=[cb]).run(_record)
+        assert state.history is cb.history
+        assert len(cb.history) == 3
+        assert cb.history.accuracies == [1.0, 1.0, 1.0]
+
+    def test_existing_history_reused(self):
+        history = TrainingHistory()
+        TrainingEngine(2, callbacks=[HistoryCallback(history)]).run(_record)
+        assert len(history) == 2
+
+
+class TestConvergenceCallback:
+    def test_stops_on_plateau(self):
+        accs = iter([0.5, 0.6, 0.605, 0.606, 0.9, 0.9])
+        state = TrainingEngine(
+            6, callbacks=[ConvergenceCallback(patience=2, tol=0.01)]
+        ).run(lambda ctx: _record(ctx, next(accs)))
+        assert state.converged and state.stop
+        assert state.n_iterations == 4  # matches ConvergenceTracker doctest
+
+    def test_patience_none_never_stops(self):
+        state = TrainingEngine(
+            5, callbacks=[ConvergenceCallback(patience=None)]
+        ).run(lambda ctx: _record(ctx, 0.5))
+        assert not state.converged
+        assert state.n_iterations == 5
+
+
+class TestTimingCallback:
+    def test_records_per_iteration(self):
+        state = TrainingEngine(3, callbacks=[TimingCallback()]).run(_record)
+        assert len(state.iteration_seconds) == 3
+        assert all(s >= 0 for s in state.iteration_seconds)
+
+
+class TestCheckpointCallback:
+    def test_snapshots_every_k_and_final(self):
+        counter = iter(range(100))
+        cb = CheckpointCallback(lambda: next(counter), every=2)
+        TrainingEngine(5, callbacks=[cb]).run(_record)
+        iterations = [it for it, _ in cb.checkpoints]
+        assert iterations == [1, 3, 4]  # every 2nd, plus the final state
+
+    def test_rejects_bad_every(self):
+        with pytest.raises(ValueError, match="every"):
+            CheckpointCallback(lambda: None, every=0)
+
+
+class TestNJobsResolution:
+    def test_serial_specs(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_explicit_count(self):
+        assert resolve_n_jobs(3) == 3
+
+    def test_all_cores(self):
+        assert resolve_n_jobs(-1) >= 1
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError, match="n_jobs"):
+            resolve_n_jobs(bad)
+
+    def test_check_n_jobs_passthrough(self):
+        assert check_n_jobs(None) is None
+        assert check_n_jobs(-1) == -1
+        assert check_n_jobs(4) == 4
+
+
+def _square(x):
+    return x * x
+
+
+class TestExecutors:
+    def test_serial_map_order(self):
+        assert SerialExecutor().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_process_map_order(self):
+        with ProcessExecutor(2) as pool:
+            assert pool.map(_square, list(range(6))) == [0, 1, 4, 9, 16, 25]
+
+    def test_process_requires_two_workers(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ProcessExecutor(1)
+
+    def test_get_executor_types(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+        assert isinstance(get_executor(1), SerialExecutor)
+        pool = get_executor(2)
+        assert isinstance(pool, ProcessExecutor)
+        pool.close()
+
+    def test_get_executor_explicit_wins(self):
+        serial = SerialExecutor()
+        assert get_executor(4, executor=serial) is serial
+
+    def test_empty_map(self):
+        with ProcessExecutor(2) as pool:
+            assert pool.map(_square, []) == []
+
+    def test_executor_map_serial(self):
+        assert executor_map(_square, [2, 3], n_jobs=1) == [4, 9]
+
+    def test_executor_map_parallel(self):
+        assert executor_map(_square, [2, 3], n_jobs=2) == [4, 9]
+
+    def test_executor_map_unpicklable_falls_back(self):
+        # Local closures cannot cross a process boundary; the map must
+        # silently run serial instead of crashing.
+        offset = 10
+        fn = lambda x: x + offset  # noqa: E731
+        assert not is_picklable(fn)
+        assert executor_map(fn, [1, 2], n_jobs=2) == [11, 12]

@@ -1,0 +1,184 @@
+"""Tests for data-parallel sharded fitting (repro.engine.shard)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import make_classification
+from repro.engine import SerialExecutor, shard_fit, shard_indices
+from repro.engine.shard import merge_banks
+from repro.models.registry import make_model
+
+SHARDING_MODELS = ("disthd", "onlinehd", "neuralhd", "baselinehd")
+
+
+def _problem(n=180, q=12, k=3, seed=0):
+    return make_classification(
+        n, q, k, difficulty=0.3, n_prototypes=2, latent_dim=6, seed=seed
+    )
+
+
+def _bank(model) -> np.ndarray:
+    return np.asarray(model.memory_.numpy_vectors())
+
+
+class TestShardIndices:
+    def test_disjoint_cover(self):
+        y = np.repeat([0, 1, 2], 40)
+        shards = shard_indices(y, 4, seed=0)
+        assert len(shards) == 4
+        combined = np.sort(np.concatenate(shards))
+        assert np.array_equal(combined, np.arange(y.size))
+
+    def test_stratified(self):
+        y = np.repeat([0, 1, 2], 40)
+        for shard in shard_indices(y, 4, seed=0):
+            counts = np.bincount(y[shard], minlength=3)
+            assert np.all(counts == 10)
+
+    def test_deterministic(self):
+        y = np.repeat([0, 1], 30)
+        a = shard_indices(y, 3, seed=7)
+        b = shard_indices(y, 3, seed=7)
+        assert all(np.array_equal(s, t) for s, t in zip(a, b))
+
+    def test_more_shards_than_samples(self):
+        shards = shard_indices(np.array([0, 1, 0]), 8, seed=0)
+        assert sum(s.size for s in shards) == 3
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_indices(np.array([0, 1]), 0)
+
+
+class TestMergeBanks:
+    def test_sums(self):
+        a = np.ones((2, 4), dtype=np.float32)
+        b = np.full((2, 4), 2.0, dtype=np.float32)
+        merged = merge_banks([a, b])
+        assert merged.dtype == np.float64
+        assert np.allclose(merged, 3.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            merge_banks([np.ones((2, 4)), np.ones((2, 5))])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no shard banks"):
+            merge_banks([])
+
+
+class TestSerialEquivalence:
+    """shard_fit(n_jobs=1) must be plain fit, bit for bit."""
+
+    @pytest.mark.parametrize("name", SHARDING_MODELS)
+    def test_bit_identical_to_fit(self, name):
+        X, y = _problem()
+        params = dict(dim=64, iterations=4, seed=5)
+        plain = make_model(name, **params).fit(X, y)
+        sharded = make_model(name, **params)
+        sharded.shard_fit(X, y, n_jobs=1)
+        assert np.array_equal(_bank(plain), _bank(sharded))
+        assert plain.n_iterations_ == sharded.n_iterations_
+        assert plain.history_.accuracies == sharded.history_.accuracies
+
+    def test_explicit_n_jobs_1_overrides_model_knob(self):
+        # An explicit serial request wins over the model's configured
+        # n_jobs — it must not re-route through fit's auto-sharding.
+        X, y = _problem()
+        plain = make_model("disthd", dim=64, iterations=4, seed=5).fit(X, y)
+        sharded_knob = make_model(
+            "disthd", dim=64, iterations=4, seed=5, n_jobs=2
+        )
+        sharded_knob.shard_fit(X, y, n_jobs=1)
+        assert sharded_knob.n_shards_ == 1
+        assert np.array_equal(_bank(plain), _bank(sharded_knob))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        dim=st.sampled_from([16, 32, 48]),
+        iterations=st.integers(1, 4),
+    )
+    def test_property_disthd_n_jobs_1_matches_fit(self, seed, dim, iterations):
+        X, y = _problem(n=90, q=8, seed=3)
+        params = dict(dim=dim, iterations=iterations, seed=seed)
+        plain = make_model("disthd", **params).fit(X, y)
+        sharded = make_model("disthd", **params)
+        sharded.shard_fit(X, y, n_jobs=1)
+        assert np.array_equal(_bank(plain), _bank(sharded))
+
+
+class TestParallelDeterminism:
+    def test_fixed_seed_is_deterministic(self):
+        X, y = _problem()
+        banks = []
+        for _ in range(2):
+            model = make_model("disthd", dim=64, iterations=4, seed=9)
+            model.shard_fit(X, y, n_jobs=2)
+            banks.append(_bank(model))
+        assert np.array_equal(banks[0], banks[1])
+
+    def test_process_pool_matches_serial_executor(self):
+        # Same shard schedule through real workers and in-process: the
+        # transport may not change the arithmetic.
+        X, y = _problem()
+        via_serial = make_model("disthd", dim=64, iterations=4, seed=9)
+        via_serial.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        via_pool = make_model("disthd", dim=64, iterations=4, seed=9)
+        via_pool.shard_fit(X, y, n_jobs=2)
+        assert np.array_equal(_bank(via_serial), _bank(via_pool))
+
+    @pytest.mark.parametrize("name", SHARDING_MODELS)
+    def test_accuracy_close_to_single_process(self, name):
+        X, y = _problem(n=240)
+        rng = np.random.default_rng(0)
+        test = rng.permutation(X.shape[0])[:60]
+        params = dict(dim=128, iterations=6, seed=2)
+        plain = make_model(name, **params).fit(X, y)
+        sharded = make_model(name, **params)
+        sharded.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        plain_acc = plain.score(X[test], y[test])
+        sharded_acc = sharded.score(X[test], y[test])
+        assert abs(plain_acc - sharded_acc) <= 0.10
+        assert sharded.n_shards_ == 2
+
+
+class TestShardFitProtocol:
+    def test_n_jobs_knob_routes_fit(self):
+        X, y = _problem()
+        explicit = make_model("disthd", dim=64, iterations=4, seed=9)
+        explicit.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        via_knob = make_model("disthd", dim=64, iterations=4, seed=9, n_jobs=2)
+        via_knob.fit(X, y)
+        assert np.array_equal(_bank(explicit), _bank(via_knob))
+        assert via_knob.n_shards_ == 2
+
+    def test_unsupported_model_raises(self):
+        X, y = _problem()
+        with pytest.raises(NotImplementedError, match="supports_sharding"):
+            shard_fit(make_model("mlp"), X, y, n_jobs=2)
+
+    def test_predict_works_after_sharded_fit(self):
+        X, y = _problem()
+        model = make_model("disthd", dim=64, iterations=4, seed=9)
+        model.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        predictions = model.predict(X)
+        assert predictions.shape == y.shape
+        assert set(np.unique(predictions)) <= set(np.unique(y))
+
+    def test_original_labels_preserved(self):
+        # Sharding must honour the estimator protocol's label remapping.
+        X, y = _problem()
+        shifted = y * 10 + 5
+        model = make_model("disthd", dim=64, iterations=4, seed=9)
+        model.shard_fit(X, shifted, n_jobs=2, executor=SerialExecutor())
+        assert set(np.unique(model.predict(X))) <= set(np.unique(shifted))
+
+    def test_shard_worker_sees_all_classes(self):
+        # A shard missing the top class must still produce a (k, D) bank.
+        X, y = _problem(n=63, k=3)
+        model = make_model("disthd", dim=32, iterations=2, seed=1)
+        model.shard_fit(X, y, n_jobs=3, executor=SerialExecutor())
+        assert _bank(model).shape == (3, 32)

@@ -63,7 +63,7 @@ class TestLegacyReference:
 class TestRunBench:
     def test_smoke_payload(self):
         payload = run_bench(models=("disthd",), smoke=True)
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["config"]["smoke"] is True
         assert [r["model"] for r in payload["results"]] == ["disthd"]
         assert "fit_speedup_vs_legacy" in payload
@@ -72,6 +72,10 @@ class TestRunBench:
         assert scenario["fit_s"] > 0.0
         assert scenario["pr2_reference"]["fit_s"] > 0.0
         assert scenario["fused_scoring"]["peak_bytes"] > 0
+        sharded = payload["scenarios"]["sharded_fit"]
+        assert sharded["single_fit_s"] > 0.0
+        assert sharded["sharded_fit_s"] > 0.0
+        assert sharded["n_jobs"] == 2 and sharded["n_shards"] == 2
         # The payload must be JSON-serialisable as-is.
         json.dumps(payload)
 
@@ -133,7 +137,7 @@ class TestTrackedBaselinePr3:
         path = Path(__file__).resolve().parents[1] / "BENCH_pr3.json"
         assert path.exists(), "BENCH_pr3.json missing from repo root"
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 2
+        assert payload["schema"] == 2  # committed before schema 3
         scenario = payload["scenarios"]["regen_heavy"]
         assert scenario["dim"] >= 4096
         assert scenario["fit_speedup_vs_pr2"] >= 1.3
@@ -142,6 +146,41 @@ class TestTrackedBaselinePr3:
         ) <= 0.02
         scoring = scenario["fused_scoring"]
         assert scoring["peak_bytes"] < 0.5 * scoring["dense_matrix_bytes"]
+
+
+class TestTrackedBaselinePr4:
+    def test_bench_pr4_json_is_committed_and_meets_target(self):
+        """PR-4 acceptance artifact: ≥1.5x fit wall-clock speedup at
+        n_jobs=4 on the regen-heavy scenario, accuracy within 1 point of
+        the single-process fit at the same seed."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_pr4.json"
+        assert path.exists(), "BENCH_pr4.json missing from repo root"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 3
+        scenario = payload["scenarios"]["sharded_fit"]
+        assert scenario["dim"] >= 4096
+        assert scenario["n_jobs"] >= 4
+        assert scenario["fit_speedup_vs_single"] >= 1.5
+        assert abs(
+            scenario["sharded_test_acc"] - scenario["single_test_acc"]
+        ) <= 0.01
+
+
+class TestShardedFitScenario:
+    def test_miniature_scenario_record(self):
+        from repro.perf import bench_sharded_fit
+
+        rec = bench_sharded_fit(
+            scale=0.002, dim=128, iterations=2, n_jobs=2, repeats=1
+        )
+        assert rec["scenario"] == "sharded_fit"
+        assert rec["single_fit_s"] > 0 and rec["sharded_fit_s"] > 0
+        assert rec["fit_speedup_vs_single"] > 0
+        assert rec["n_jobs"] == 2 and rec["n_shards"] == 2
+        assert -1.0 <= rec["acc_delta"] <= 1.0
+        json.dumps(rec)
 
 
 class TestRegenHeavyScenario:
