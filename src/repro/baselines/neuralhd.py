@@ -23,7 +23,7 @@ import numpy as np
 from repro.backend import get_backend, resolve_dtype
 from repro.core.adaptive import adaptive_fit_iteration
 from repro.core.history import IterationRecord, TrainingHistory
-from repro.engine.callbacks import ConvergenceCallback, HistoryCallback
+from repro.engine.callbacks import ConvergenceCallback, EngineState, HistoryCallback
 from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
 from repro.hdc.encoders.rbf import RBFEncoder
@@ -177,7 +177,13 @@ class NeuralHDClassifier(BaseClassifier):
                 ),
             ),
         )
-        self.n_iterations_ = engine.run(step).n_iterations
+        state = EngineState()
+        try:
+            engine.run(step, state=state)
+        finally:
+            # Accurate even when a step raises mid-fit: completed
+            # iterations, matching the records history_ holds.
+            self.n_iterations_ = state.n_iterations
 
     def _configure_for_shard(self, shard_iterations: Optional[int]) -> None:
         # Workers must never regenerate: redrawn encoder rows would make

@@ -26,7 +26,7 @@ from repro.core.config import DistHDConfig
 from repro.core.history import IterationRecord, TrainingHistory
 from repro.core.regeneration import regenerate_step
 from repro.core.topk import partition_outcomes
-from repro.engine.callbacks import ConvergenceCallback, HistoryCallback
+from repro.engine.callbacks import ConvergenceCallback, EngineState, HistoryCallback
 from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
 from repro.backend import get_backend
@@ -170,7 +170,13 @@ class DistHDClassifier(BaseClassifier):
                 ConvergenceCallback(cfg.convergence_patience, cfg.convergence_tol),
             ),
         )
-        self.n_iterations_ = engine.run(step).n_iterations
+        state = EngineState()
+        try:
+            engine.run(step, state=state)
+        finally:
+            # Accurate even when a step raises mid-fit: completed
+            # iterations, matching the records history_ holds.
+            self.n_iterations_ = state.n_iterations
 
     # -------------------------------------------------------------- sharding
 
@@ -179,6 +185,9 @@ class DistHDClassifier(BaseClassifier):
 
     def _shard_seed(self) -> Optional[int]:
         return self.config.seed
+
+    def _set_shard_seed(self, seed: Optional[int]) -> None:
+        self.config = self.config.with_overrides(seed=seed)
 
     def _iteration_budget(self) -> int:
         return self.config.iterations

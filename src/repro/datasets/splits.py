@@ -60,3 +60,28 @@ def stratified_split(
     if train_idx.size == 0 or test_idx.size == 0:
         raise ValueError("split produced an empty side; lower test_fraction")
     return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+
+
+def stratified_assignments(
+    y, n_groups: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Per-sample group ids from a class-stratified round-robin deal.
+
+    Each class's samples are shuffled once and dealt round-robin across
+    ``n_groups``, so every group holds roughly ``1/n_groups`` of each
+    class.  Deterministic for a fixed ``seed``.  This is the single
+    stratification primitive behind k-fold CV folds
+    (:func:`repro.pipeline.crossval.stratified_kfold_indices`) and
+    sharded-fit shards (:func:`repro.engine.shard.shard_indices`) — the
+    deal invariant lives here so the two cannot drift apart.
+    """
+    if n_groups < 1:
+        raise ValueError(f"n_groups must be >= 1, got {n_groups}")
+    y = np.asarray(y).ravel()
+    rng = as_rng(seed)
+    group_of = np.empty(y.shape[0], dtype=np.int64)
+    for cls in np.unique(y):
+        idx = np.flatnonzero(y == cls)
+        rng.shuffle(idx)
+        group_of[idx] = np.arange(idx.size) % n_groups
+    return group_of

@@ -38,6 +38,11 @@ class EngineState:
     stop:
         Any callback may set this; the engine ends the run after the
         current iteration's callbacks finish.
+    failed:
+        Set by the engine when the run is ending because a step or
+        callback raised.  ``on_fit_end`` still fires so teardown can
+        release resources, but snapshot-style callbacks must not treat
+        the (possibly half-mutated) model state as a completed iteration.
     history:
         The run's :class:`~repro.core.history.TrainingHistory` when a
         :class:`HistoryCallback` is attached, else ``None``.
@@ -51,6 +56,7 @@ class EngineState:
     n_iterations: int = 0
     converged: bool = False
     stop: bool = False
+    failed: bool = False
     history: Optional[TrainingHistory] = None
     iteration_seconds: List[float] = field(default_factory=list)
 
@@ -133,7 +139,9 @@ class CheckpointCallback(Callback):
     ``snapshot`` is any zero-argument callable returning a picklable or
     copyable view of the model (the HDC models pass
     ``memory_.numpy_vectors().copy``); captured snapshots are kept on
-    :attr:`checkpoints` as ``(iteration, snapshot)`` pairs.
+    :attr:`checkpoints` as ``(iteration, snapshot)`` pairs.  No final
+    snapshot is taken when the run ends on an exception (``state.failed``)
+    — the model may hold half-applied mutations.
     """
 
     def __init__(self, snapshot: Callable[[], object], every: int = 1) -> None:
@@ -148,6 +156,11 @@ class CheckpointCallback(Callback):
             self.checkpoints.append((state.iteration, self.snapshot()))
 
     def on_fit_end(self, state: EngineState) -> None:
+        if state.failed:
+            # The model may hold half-applied mutations from the raising
+            # iteration; snapshotting them as the "last completed"
+            # iteration would hand restore paths corrupt state.
+            return
         last = self.checkpoints[-1][0] if self.checkpoints else None
         if state.n_iterations and last != state.n_iterations - 1:
             self.checkpoints.append((state.n_iterations - 1, self.snapshot()))

@@ -21,10 +21,13 @@ deliver (``n_jobs`` resolving to 1).
 from __future__ import annotations
 
 import abc
+import functools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
 
 from repro.utils.validation import check_n_jobs
 
@@ -65,6 +68,26 @@ def is_picklable(obj) -> bool:
         return True
     except Exception:
         return False
+
+
+def _fn_probably_picklable(fn) -> bool:
+    """Cheap transport probe for the map function.
+
+    ``functools.partial`` objects (how grid search and cross-validation
+    bind their shared data arrays) are probed piecewise — the wrapped
+    callable plus every bound argument — skipping non-object ndarrays:
+    those always pickle, and serializing a full training set just to
+    prove it would cost the extra data pass the partial exists to avoid.
+    Anything this heuristic lets through that still fails to pickle is
+    caught by :func:`executor_map`'s mid-run fallback.
+    """
+    if isinstance(fn, functools.partial):
+        return _fn_probably_picklable(fn.func) and all(
+            (isinstance(arg, np.ndarray) and arg.dtype != object)
+            or is_picklable(arg)
+            for arg in (*fn.args, *fn.keywords.values())
+        )
+    return is_picklable(fn)
 
 
 class Executor(abc.ABC):
@@ -168,7 +191,12 @@ def executor_map(
     (unless the caller supplied a long-lived ``executor``).  Falls back to
     serial execution when ``fn`` or the items cannot cross a process
     boundary (unpicklable closures), so parallel knobs never change which
-    inputs are accepted.
+    inputs are accepted — probed cheaply up front on the first item, and
+    if a *later* item of a heterogeneous list fails to pickle mid-run the
+    whole batch is rerun serially.  The rerun re-executes tasks that
+    already completed in workers (they cannot have mutated driver state,
+    but external side effects would repeat), so tasks must be pure or
+    idempotent — everything this library dispatches is.
     """
     own = executor is None
     pool = get_executor(n_jobs, executor=executor)
@@ -177,14 +205,27 @@ def executor_map(
     # serialise the (potentially large) shared arrays once per task
     # before the pool serialises them again.
     if pool.n_jobs > 1 and not (
-        is_picklable(fn) and (not items or is_picklable(items[0]))
+        _fn_probably_picklable(fn) and (not items or is_picklable(items[0]))
     ):
         if own:
             pool.close()
         pool = SerialExecutor()
         own = False
     try:
-        return pool.map(fn, items)
+        try:
+            return pool.map(fn, items)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Unpicklable objects surface as any of these three depending
+            # on the object; only fall back when the transport genuinely
+            # failed (fn or a later item of a heterogeneous list slipped
+            # past the cheap probes) — errors raised by the tasks
+            # themselves must propagate.  The full-fidelity re-probe is
+            # fine here: this is a rare error path.
+            if pool.n_jobs <= 1 or (
+                is_picklable(fn) and all(is_picklable(item) for item in items)
+            ):
+                raise
+            return SerialExecutor().map(fn, items)
     finally:
         if own:
             pool.close()

@@ -31,8 +31,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.datasets.splits import stratified_assignments
 from repro.engine.executor import Executor, get_executor, resolve_n_jobs
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike, as_rng, spawn_seed
 
 
 def shard_indices(
@@ -50,12 +51,7 @@ def shard_indices(
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
     y = np.asarray(y).ravel()
     n_shards = min(int(n_shards), y.shape[0])
-    rng = as_rng(seed)
-    shard_of = np.empty(y.shape[0], dtype=np.int64)
-    for cls in np.unique(y):
-        idx = np.flatnonzero(y == cls)
-        rng.shuffle(idx)
-        shard_of[idx] = np.arange(idx.size) % n_shards
+    shard_of = stratified_assignments(y, n_shards, seed=seed)
     shards = [np.flatnonzero(shard_of == shard) for shard in range(n_shards)]
     # Tiny inputs can leave a shard empty (fewer samples than shards in
     # every class); fold empties away rather than fitting on nothing.
@@ -130,6 +126,17 @@ def shard_fit(
         model's ``iterations`` capped at ``max(2, ceil(iterations / 4))``).
 
     Returns the fitted ``model``.
+
+    Notes
+    -----
+    A model constructed with ``seed=None`` gets one concrete seed drawn
+    from OS entropy and pinned on it (config/attribute) for the duration
+    of the fit: workers and the refinement pass must share a single
+    seed-derived encoder for the per-shard banks to be mergeable.  The
+    seed actually used is recorded on ``model.shard_seed_`` (so any
+    default-seed sharded run can be replayed exactly) and the model's own
+    ``seed`` is restored to ``None`` afterwards — refitting keeps drawing
+    fresh entropy, matching plain ``fit`` semantics.
     """
     if not getattr(model, "supports_sharding", False):
         raise NotImplementedError(
@@ -146,24 +153,44 @@ def shard_fit(
         # model's own n_jobs knob and override an explicit n_jobs=1.
         model._fit(X, dense)
         return model
-    shards = shard_indices(dense, n_shards, seed=model._shard_seed())
-    if len(shards) < 2:
-        # Degenerate data (fewer samples than shards): plain single fit.
-        model._fit(X, dense)
-        return model
-    if shard_iterations is None:
-        shard_iterations = max(1, -(-model._iteration_budget() // 2))
-    tasks = [
-        (model, X[idx], dense[idx], shard_iterations) for idx in shards
-    ]
-    own_executor = executor is None
-    pool = get_executor(n_shards, executor=executor)
+    pinned: Optional[int] = None
+    if model._shard_seed() is None:
+        # Sharding only works against ONE seed-derived encoder shared by
+        # every worker and the refinement pass; with seed=None each
+        # deep-copied worker would draw fresh OS entropy and build a
+        # different encoder, making the banks non-mergeable.  Draw one
+        # concrete seed and pin it on the template before anything forks;
+        # the finally below restores None so later refits of the same
+        # model keep their fresh-entropy semantics (shard_seed_ records
+        # what this run used).
+        pinned = spawn_seed(as_rng(None))
+        model._set_shard_seed(pinned)
     try:
-        banks = pool.map(_train_shard, tasks)
+        shards = shard_indices(dense, n_shards, seed=model._shard_seed())
+        if len(shards) < 2:
+            # Degenerate data (fewer samples than shards): plain single
+            # fit — shard_seed_ stays None, as after any unsharded fit.
+            model._fit(X, dense)
+            return model
+        model.shard_seed_ = model._shard_seed()
+        if shard_iterations is None:
+            shard_iterations = max(1, -(-model._iteration_budget() // 2))
+        tasks = [
+            (model, X[idx], dense[idx], shard_iterations) for idx in shards
+        ]
+        own_executor = executor is None
+        # Empty-shard folding (or an n_shards > len(y) cap) can leave fewer
+        # tasks than requested workers; never spawn processes with no work.
+        pool = get_executor(min(n_shards, len(shards)), executor=executor)
+        try:
+            banks = pool.map(_train_shard, tasks)
+        finally:
+            if own_executor:
+                pool.close()
+        merged = merge_banks(banks)
+        model._refine_from(X, dense, merged, refine_iterations)
+        model.n_shards_ = len(shards)
+        return model
     finally:
-        if own_executor:
-            pool.close()
-    merged = merge_banks(banks)
-    model._refine_from(X, dense, merged, refine_iterations)
-    model.n_shards_ = len(shards)
-    return model
+        if pinned is not None:
+            model._set_shard_seed(None)

@@ -97,34 +97,52 @@ class TrainingEngine:
         Per iteration: ``on_iteration_begin`` hooks, the step function,
         then ``on_iteration_end`` hooks — and the run ends early as soon
         as any callback set ``state.stop``.  ``on_fit_begin`` /
-        ``on_fit_end`` bracket the whole run.
+        ``on_fit_end`` bracket the whole run; ``on_fit_end`` also fires
+        when the step (or a callback) raises, with ``state.failed`` set
+        so teardown-style callbacks can release resources without
+        capturing mid-iteration model state as if it were a completed
+        iteration.
         """
         if state is None:
             state = EngineState()
         state.max_iterations = self.iterations
-        for cb in self.callbacks:
-            cb.on_fit_begin(state)
-        for iteration in range(self.iterations):
-            state.iteration = iteration
+        # A caller-supplied state (continued training) keeps accumulated
+        # observations (history, timings) but not run-scoped flags: a
+        # stale stop/converged from a previous early-stopped run would
+        # silently truncate this one, and a stale failed would make
+        # teardown callbacks treat a successful run as crashed.
+        state.stop = False
+        state.converged = False
+        state.failed = False
+        state.n_iterations = 0
+        try:
             for cb in self.callbacks:
-                cb.on_iteration_begin(state)
-            context = IterationContext(
-                iteration=iteration,
-                is_last=iteration == self.iterations - 1,
-                converged=state.converged,
-                state=state,
-            )
-            record = step(context)
-            if not isinstance(record, IterationRecord):
-                raise TypeError(
-                    "step must return an IterationRecord, got "
-                    f"{type(record).__name__}"
+                cb.on_fit_begin(state)
+            for iteration in range(self.iterations):
+                state.iteration = iteration
+                for cb in self.callbacks:
+                    cb.on_iteration_begin(state)
+                context = IterationContext(
+                    iteration=iteration,
+                    is_last=iteration == self.iterations - 1,
+                    converged=state.converged,
+                    state=state,
                 )
-            state.n_iterations = iteration + 1
+                record = step(context)
+                if not isinstance(record, IterationRecord):
+                    raise TypeError(
+                        "step must return an IterationRecord, got "
+                        f"{type(record).__name__}"
+                    )
+                state.n_iterations = iteration + 1
+                for cb in self.callbacks:
+                    cb.on_iteration_end(state, record)
+                if state.stop:
+                    break
+        except BaseException:
+            state.failed = True
+            raise
+        finally:
             for cb in self.callbacks:
-                cb.on_iteration_end(state, record)
-            if state.stop:
-                break
-        for cb in self.callbacks:
-            cb.on_fit_end(state)
+                cb.on_fit_end(state)
         return state

@@ -59,6 +59,11 @@ class BaseClassifier(abc.ABC):
         self.n_samples_seen_: int = 0
         # Shard count of the last sharded fit (1 after a plain fit).
         self.n_shards_: int = 1
+        # Concrete seed that governed the last sharded fit's shard deal
+        # and encoders (None after a plain/serial fit).  For models
+        # constructed with seed=None this records the one-off seed drawn
+        # by shard_fit, so any default-seed sharded run can be replayed.
+        self.shard_seed_: Optional[int] = None
 
     # ------------------------------------------------------------------- api
 
@@ -80,6 +85,7 @@ class BaseClassifier(abc.ABC):
         self.n_batches_ = 0
         self.n_samples_seen_ = 0
         self.n_shards_ = 1
+        self.shard_seed_ = None
         return X, np.searchsorted(classes, labels)
 
     def fit(self, X, y) -> "BaseClassifier":
@@ -237,6 +243,23 @@ class BaseClassifier(abc.ABC):
     def _shard_seed(self) -> Optional[int]:
         """Seed governing the stratified shard deal (models expose theirs)."""
         return getattr(self, "seed", None)
+
+    def _set_shard_seed(self, seed: Optional[int]) -> None:
+        """Pin (or restore) the model's seed around a sharded fit.
+
+        Sharded fitting requires every worker (and the driver's
+        refinement pass) to build the *identical* seed-derived encoder —
+        per-shard banks are only additively mergeable against a shared
+        encoder.  When the model was constructed with ``seed=None``,
+        :func:`~repro.engine.shard.shard_fit` draws one concrete seed,
+        pins it here for the duration of the fit (so the deep-copied
+        workers cannot each draw fresh OS entropy), records it on
+        ``shard_seed_``, and restores ``None`` afterwards — refitting a
+        default-seed model keeps drawing fresh entropy each time.  The
+        baselines store the seed as a plain attribute; DistHD overrides
+        this to rewrite its config.
+        """
+        self.seed = seed
 
     def _iteration_budget(self) -> int:
         """The model's ``iterations`` hyper-parameter (engine budget)."""

@@ -626,12 +626,14 @@ def format_bench_table(payload: Dict[str, object]) -> str:
             )
     sharded = (payload.get("scenarios") or {}).get("sharded_fit")
     if sharded is not None:
+        speedup = sharded["fit_speedup_vs_single"]
         lines.append(
             f"sharded fit ({sharded['dataset']}, D={sharded['dim']}, "
             f"n_jobs={sharded['n_jobs']}, shards={sharded['n_shards']}): "
             f"{sharded['sharded_fit_s']:.4f}s vs single "
             f"{sharded['single_fit_s']:.4f}s "
-            f"→ speedup {sharded['fit_speedup_vs_single']:.2f}x  "
+            # None when the sharded fit timed at 0s (clock too coarse).
+            f"→ speedup {'n/a' if speedup is None else f'{speedup:.2f}x'}  "
             f"(acc {sharded['sharded_test_acc']:.3f} / "
             f"{sharded['single_test_acc']:.3f})"
         )

@@ -12,13 +12,15 @@ reported statistic — is preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.datasets.splits import stratified_assignments
 from repro.engine.executor import Executor, executor_map
 from repro.models.registry import make_model
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_paired
 
 
@@ -33,12 +35,7 @@ def stratified_kfold_indices(
     if n_splits < 2:
         raise ValueError(f"n_splits must be >= 2, got {n_splits}")
     y = np.asarray(y).ravel()
-    rng = as_rng(seed)
-    fold_of = np.empty(y.shape[0], dtype=np.int64)
-    for cls in np.unique(y):
-        idx = np.flatnonzero(y == cls)
-        rng.shuffle(idx)
-        fold_of[idx] = np.arange(idx.size) % n_splits
+    fold_of = stratified_assignments(y, n_splits, seed=seed)
     for fold in range(n_splits):
         test_idx = np.flatnonzero(fold_of == fold)
         train_idx = np.flatnonzero(fold_of != fold)
@@ -68,19 +65,24 @@ class CrossValResult:
         return f"CrossValResult(mean={self.mean:.4f}, std={self.std:.4f}, k={len(self.scores)})"
 
 
-def _fit_score_fold(task) -> float:
+def _fit_score_fold(factory, params, X, y, fold) -> float:
     """Worker body: build, fit and score one fold.
 
     Module-level so folds pickle into process pools; the factory slot
     carries either a registered model name (with params) or a callable.
+    The full ``(X, y)`` is bound once with :func:`functools.partial` and
+    each task carries only its ``(train_idx, test_idx)`` pair — transport
+    of the dataset is bounded by the pool's chunk count rather than
+    growing with ``k`` re-sliced copies (at small ``k`` the volumes are
+    comparable; the slicing now happens worker-side either way).
     """
-    factory, params, train_x, train_y, test_x, test_y = task
+    train_idx, test_idx = fold
     model = (
         make_model(factory, **params) if isinstance(factory, str)
         else factory()
     )
-    model.fit(train_x, train_y)
-    return float(model.score(test_x, test_y))
+    model.fit(X[train_idx], y[train_idx])
+    return float(model.score(X[test_idx], y[test_idx]))
 
 
 def cross_validate(
@@ -112,11 +114,11 @@ def cross_validate(
             "model_params is only valid with a registered model name"
         )
     X, y = check_paired(X, y)
-    tasks = [
-        (factory, params, X[train_idx], y[train_idx], X[test_idx], y[test_idx])
-        for train_idx, test_idx in stratified_kfold_indices(y, n_splits, seed)
-    ]
+    folds = list(stratified_kfold_indices(y, n_splits, seed))
     scores = executor_map(
-        _fit_score_fold, tasks, n_jobs=n_jobs, executor=executor
+        partial(_fit_score_fold, factory, params, X, y),
+        folds,
+        n_jobs=n_jobs,
+        executor=executor,
     )
     return CrossValResult(scores=list(scores))

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.datasets.splits import stratified_split
@@ -49,13 +50,17 @@ class GridSearchResult:
     all_results: List[Dict[str, object]] = field(default_factory=list)
 
 
-def _fit_score_candidate(task) -> float:
+def _fit_score_candidate(factory, train_x, train_y, val_x, val_y, params) -> float:
     """Worker body: build, fit and score one grid candidate.
 
     Module-level so candidate evaluations pickle into process pools; the
     factory slot carries either a registered model name or a callable.
+    The data arguments are bound once with :func:`functools.partial`, so
+    transport of the shared split is bounded by the pool's chunk count —
+    a win when candidates outnumber workers several-fold (chunks hold
+    multiple candidates); with few candidates per worker it matches the
+    old per-task shipping.
     """
-    factory, params, train_x, train_y, val_x, val_y = task
     model = (
         make_model(factory, **params) if isinstance(factory, str)
         else factory(**params)
@@ -114,11 +119,8 @@ def grid_search(
     )
     candidates = list(parameter_grid(space))
     scores = executor_map(
-        _fit_score_candidate,
-        [
-            (factory, params, train_x, train_y, val_x, val_y)
-            for params in candidates
-        ],
+        partial(_fit_score_candidate, factory, train_x, train_y, val_x, val_y),
+        candidates,
         n_jobs=n_jobs,
         executor=executor,
     )

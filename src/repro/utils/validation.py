@@ -127,11 +127,13 @@ def check_optional_positive_int(value, name: str) -> Optional[int]:
 
 
 def check_unit_interval(value, name: str) -> float:
-    """Validate a fraction in [0, 1] (``regen_rate``)."""
-    result = float(value)
-    if not 0.0 <= result <= 1.0:
-        raise ValueError(f"{name} must be a fraction in [0, 1], got {value}")
-    return result
+    """Validate a fraction-in-[0, 1] knob (``regen_rate``).
+
+    Same range contract as :func:`check_probability`; this name keeps
+    constructor-knob validation greppable alongside the other check_*
+    knob helpers.
+    """
+    return check_probability(value, name)
 
 
 def check_non_negative_float(value, name: str) -> float:

@@ -58,6 +58,35 @@ class TestFitPredict:
             clf.predict(np.ones((1, train_x.shape[1] + 1)))
 
 
+class TestFailedFitState:
+    def test_n_iterations_consistent_when_step_raises(
+        self, small_problem, monkeypatch
+    ):
+        # A refit that blows up mid-run must leave n_iterations_ equal to
+        # the iterations actually completed (and recorded in history_),
+        # not the previous fit's stale count.
+        import repro.core.disthd as disthd_mod
+
+        train_x, train_y, _, _ = small_problem
+        clf = _small_clf(convergence_patience=None).fit(train_x, train_y)
+        assert clf.n_iterations_ == 6
+
+        real = disthd_mod.adaptive_fit_iteration
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("mid-fit failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(disthd_mod, "adaptive_fit_iteration", flaky)
+        with pytest.raises(RuntimeError, match="mid-fit failure"):
+            clf.fit(train_x, train_y)
+        assert clf.n_iterations_ == 1
+        assert len(clf.history_) == 1
+
+
 class TestTopK:
     def test_predict_topk_shape(self, small_problem):
         train_x, train_y, test_x, _ = small_problem

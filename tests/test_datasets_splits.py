@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.datasets.splits import stratified_split, train_test_split
+from repro.datasets.splits import (
+    stratified_assignments,
+    stratified_split,
+    train_test_split,
+)
 
 
 @pytest.fixture
@@ -88,3 +92,25 @@ class TestStratifiedSplit:
         tx, ty, vx, vy = stratified_split(X, y, test_fraction=0.25, seed=1)
         assert np.array_equal(tx[:, 0].astype(int), ty)
         assert np.array_equal(vx[:, 0].astype(int), vy)
+
+
+class TestStratifiedAssignments:
+    """The shared deal primitive behind CV folds and fit shards."""
+
+    def test_balanced_cover(self):
+        y = np.repeat(np.arange(3), 40)
+        groups = stratified_assignments(y, 4, seed=0)
+        assert groups.shape == y.shape
+        for g in range(4):
+            counts = np.bincount(y[groups == g], minlength=3)
+            assert np.all(counts == 10)
+
+    def test_deterministic(self):
+        y = np.repeat([0, 1], 30)
+        a = stratified_assignments(y, 3, seed=7)
+        b = stratified_assignments(y, 3, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError, match="n_groups"):
+            stratified_assignments(np.array([0, 1]), 0)

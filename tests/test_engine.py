@@ -60,6 +60,86 @@ class TestTrainingEngine:
         with pytest.raises(TypeError, match="IterationRecord"):
             TrainingEngine(2).run(lambda ctx: 0.5)
 
+    def test_reused_state_resets_run_flags(self):
+        # Continued training may hand the previous run's state back in;
+        # stale stop/converged/failed flags must not truncate the new
+        # run or mislabel it as crashed.
+        stale = EngineState(stop=True, converged=True, failed=True, n_iterations=7)
+        seen_converged = []
+
+        def step(ctx):
+            seen_converged.append(ctx.converged)
+            return _record(ctx)
+
+        state = TrainingEngine(3).run(step, state=stale)
+        assert state.n_iterations == 3
+        assert seen_converged == [False, False, False]
+        assert not state.stop and not state.failed
+
+    def test_on_fit_end_runs_when_step_raises(self):
+        # Teardown callbacks must fire even when the step function blows
+        # up mid-run, and they must see state.failed so they can release
+        # resources without treating the run as complete.
+        class Recorder(Callback):
+            def __init__(self):
+                self.fit_ended = False
+                self.saw_failed = None
+
+            def on_fit_end(self, state):
+                self.fit_ended = True
+                self.saw_failed = state.failed
+
+        recorder = Recorder()
+
+        def exploding_step(ctx):
+            if ctx.iteration == 1:
+                raise RuntimeError("step failure")
+            return _record(ctx)
+
+        engine = TrainingEngine(4, callbacks=[recorder])
+        with pytest.raises(RuntimeError, match="step failure"):
+            engine.run(exploding_step)
+        assert recorder.fit_ended
+        assert recorder.saw_failed is True
+
+    def test_no_final_checkpoint_on_step_exception(self):
+        # A raising step leaves the model half-mutated; the checkpoint
+        # callback must not snapshot that state as the last iteration.
+        checkpoints = CheckpointCallback(lambda: "snap", every=5)
+
+        def exploding_step(ctx):
+            if ctx.iteration == 2:
+                raise RuntimeError("boom")
+            return _record(ctx)
+
+        engine = TrainingEngine(4, callbacks=[checkpoints])
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run(exploding_step)
+        assert checkpoints.checkpoints == []
+
+    def test_on_fit_end_runs_when_on_fit_begin_raises(self):
+        # A callback whose setup completed gets its teardown even when a
+        # later callback's on_fit_begin raises.
+        class Resource(Callback):
+            def __init__(self):
+                self.open = False
+
+            def on_fit_begin(self, state):
+                self.open = True
+
+            def on_fit_end(self, state):
+                self.open = False
+
+        class Broken(Callback):
+            def on_fit_begin(self, state):
+                raise RuntimeError("setup failure")
+
+        resource = Resource()
+        engine = TrainingEngine(3, callbacks=[resource, Broken()])
+        with pytest.raises(RuntimeError, match="setup failure"):
+            engine.run(_record)
+        assert not resource.open
+
     def test_callback_order(self):
         calls = []
 
@@ -157,6 +237,18 @@ def _square(x):
     return x * x
 
 
+def _type_name(x):
+    return type(x).__name__
+
+
+def _raise_type_error(x):
+    raise TypeError("task-level failure")
+
+
+def _apply_factory(factory, _item):
+    return factory()
+
+
 class TestExecutors:
     def test_serial_map_order(self):
         assert SerialExecutor().map(_square, [1, 2, 3]) == [1, 4, 9]
@@ -197,3 +289,42 @@ class TestExecutors:
         fn = lambda x: x + offset  # noqa: E731
         assert not is_picklable(fn)
         assert executor_map(fn, [1, 2], n_jobs=2) == [11, 12]
+
+    def test_executor_map_heterogeneous_unpicklable_falls_back(self):
+        # The cheap probe only checks the first item; a later unpicklable
+        # item raises mid-run from the pool and must still fall back to
+        # serial execution rather than surface a transport error.
+        import threading
+
+        items = [1, threading.Lock()]
+        assert is_picklable(items[0]) and not is_picklable(items[1])
+        assert executor_map(_type_name, items, n_jobs=2) == ["int", "lock"]
+
+    def test_partial_probe_skips_arrays_but_catches_lambdas(self):
+        # The fn probe must not serialize data arrays bound into a
+        # partial (grid/crossval bind whole datasets), yet still detect
+        # an unpicklable callable anywhere in the partial.
+        from functools import partial
+
+        from repro.engine.executor import _fn_probably_picklable
+
+        data = np.zeros((4, 3))
+        assert _fn_probably_picklable(partial(_square, data))
+        assert not _fn_probably_picklable(partial(lambda x: x, data))
+        assert not _fn_probably_picklable(
+            partial(_type_name, lambda: None)  # lambda bound as an arg
+        )
+
+    def test_executor_map_partial_bound_lambda_falls_back(self):
+        # A partial binding an unpicklable factory (the cross_validate
+        # lambda case) must run serially instead of crashing.
+        from functools import partial
+
+        fn = partial(_apply_factory, lambda: 7)
+        assert executor_map(fn, [0, 1], n_jobs=2) == [7, 7]
+
+    def test_executor_map_task_errors_propagate(self):
+        # A TypeError raised by the task itself (picklable inputs) is a
+        # real failure, not a transport problem — no serial retry.
+        with pytest.raises(TypeError, match="task-level failure"):
+            executor_map(_raise_type_error, [1, 2], n_jobs=2)

@@ -145,6 +145,83 @@ class TestParallelDeterminism:
         assert sharded.n_shards_ == 2
 
 
+class TestDefaultSeedSharding:
+    """seed=None must pin ONE concrete seed before the shards fork.
+
+    Without pinning, every deep-copied worker would draw fresh OS entropy
+    and build a different encoder, so the merged banks would be
+    incoherent — the exact invariant :func:`merge_banks` relies on.
+    """
+
+    @pytest.mark.parametrize("name", SHARDING_MODELS)
+    def test_seed_recorded_and_restored(self, name):
+        X, y = _problem()
+        model = make_model(name, dim=64, iterations=4)
+        assert model._shard_seed() is None
+        model.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        assert model.shard_seed_ is not None
+        # The constructor's seed=None comes back after the fit: refits
+        # keep fresh-entropy semantics, only shard_seed_ records the run.
+        assert model._shard_seed() is None
+        assert model.n_shards_ == 2
+
+    @pytest.mark.parametrize("name", ("disthd", "onlinehd"))
+    def test_recorded_seed_reproduces_run(self, name):
+        # shard_seed_ fully determines the sharded run: replaying it on a
+        # fresh model yields the identical memory, which can only happen
+        # if the workers and the refinement pass all derived their
+        # encoder from that one seed.
+        X, y = _problem()
+        first = make_model(name, dim=64, iterations=4)
+        first.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        replay = make_model(name, dim=64, iterations=4, seed=first.shard_seed_)
+        replay.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        assert np.array_equal(_bank(first), _bank(replay))
+        assert replay.shard_seed_ == first.shard_seed_
+
+    def test_refits_draw_fresh_seeds(self):
+        # Repeated default-seed fits (bagging-style) must stay
+        # independent draws, not replays of the first pinned seed.
+        X, y = _problem()
+        model = make_model("disthd", dim=64, iterations=4)
+        model.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        first_seed = model.shard_seed_
+        model.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        assert model.shard_seed_ != first_seed
+
+    def test_fit_autoroutes_default_seed_through_workers(self):
+        # The default config (seed=None) through fit's n_jobs auto-routing
+        # and a real process pool: the train accuracy of the merged+refined
+        # model must look trained, not like incoherently summed banks.
+        X, y = _problem()
+        model = make_model("disthd", dim=64, iterations=4, n_jobs=2)
+        model.fit(X, y)
+        assert model.n_shards_ == 2
+        assert model.shard_seed_ is not None
+        assert model.score(X, y) >= 0.6
+
+    def test_serial_path_leaves_seed_none(self):
+        # n_jobs=1 is a plain fit, bit for bit — including its fresh-
+        # entropy seed semantics; no pinning happens on the serial path.
+        X, y = _problem()
+        model = make_model("disthd", dim=64, iterations=4)
+        model.shard_fit(X, y, n_jobs=1)
+        assert model._shard_seed() is None
+        assert model.shard_seed_ is None
+
+    def test_degenerate_fold_leaves_shard_seed_none(self):
+        # One sample per class folds to a single shard and falls back to
+        # a plain fit: shard_seed_ must read None, like any unsharded fit.
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(2, 5))
+        y = np.array([0, 1])
+        model = make_model("disthd", dim=32, iterations=2)
+        model.shard_fit(X, y, n_jobs=2, executor=SerialExecutor())
+        assert model.n_shards_ == 1
+        assert model.shard_seed_ is None
+        assert model._shard_seed() is None
+
+
 class TestShardFitProtocol:
     def test_n_jobs_knob_routes_fit(self):
         X, y = _problem()
@@ -182,3 +259,25 @@ class TestShardFitProtocol:
         model = make_model("disthd", dim=32, iterations=2, seed=1)
         model.shard_fit(X, y, n_jobs=3, executor=SerialExecutor())
         assert _bank(model).shape == (3, 32)
+
+    def test_pool_sized_to_folded_shards(self, monkeypatch):
+        # Tiny per-class counts fold shards away; the pool must be sized
+        # to the shards that exist, not the requested n_jobs, so no
+        # workers are spawned with nothing to run.
+        import repro.engine.shard as shard_mod
+
+        requested = []
+
+        def spy(n_jobs, *, executor=None):
+            requested.append(n_jobs)
+            return SerialExecutor()
+
+        monkeypatch.setattr(shard_mod, "get_executor", spy)
+        X, y = _problem(n=12, q=8, k=3)
+        # Shard s is non-empty iff some class holds more than s samples.
+        expected = min(8, int(np.bincount(y).max()))
+        assert expected < 8
+        model = make_model("disthd", dim=32, iterations=2, seed=0)
+        model.shard_fit(X, y, n_jobs=8)
+        assert requested == [expected]
+        assert model.n_shards_ == expected
