@@ -10,6 +10,10 @@ magnitude hot-path regressions, not 10% drift)::
     PYTHONPATH=src python -m repro.cli bench --smoke --output bench-smoke.json
     python benchmarks/check_regression.py bench-smoke.json
 
+When both payloads carry the serving scenario (schema 4), the same factor
+gates the serving path: batched p95 latency may not grow, and batched
+throughput may not shrink, by more than ``--factor``.
+
 Exit codes: 0 ok, 1 regression detected, 2 malformed input.
 """
 
@@ -36,6 +40,61 @@ TIMING_FIELDS = ("fit_s", "predict_s")
 MIN_GATED_SECONDS = 5e-3
 
 
+#: Noise floor for serving p95 latency (milliseconds): micro-batched smoke
+#: latencies sit near the max-wait deadline, where jitter dominates ratios.
+MIN_GATED_LATENCY_MS = 5.0
+
+
+def _serving_scenario(payload: dict) -> dict:
+    return (payload.get("scenarios") or {}).get("serving") or {}
+
+
+def compare_serving(current: dict, baseline: dict, factor: float) -> list:
+    """Gate the serving scenario: p95 latency growth + throughput collapse."""
+    problems = []
+    now, then = _serving_scenario(current), _serving_scenario(baseline)
+    if not now or not then:
+        return problems  # scenario absent on either side: nothing to gate
+    now_batched, then_batched = now.get("batched", {}), then.get("batched", {})
+    now_p95 = ((now_batched.get("latency_ms") or {}).get("p95"))
+    then_p95 = ((then_batched.get("latency_ms") or {}).get("p95"))
+    # None-checks, not truthiness: a measured 0.0 (e.g. every request
+    # failed instantly) is exactly the collapse this gate exists to catch.
+    if now_p95 is not None and then_p95 is not None:
+        now_p95, then_p95 = float(now_p95), float(then_p95)
+        ratio = now_p95 / max(then_p95, MIN_GATED_LATENCY_MS)
+        if now_p95 > MIN_GATED_LATENCY_MS and ratio > factor:
+            # Report the true growth; the gate ratio is computed against
+            # the noise-floored baseline and would understate it.
+            growth = now_p95 / max(then_p95, 1e-9)
+            problems.append(
+                f"serving.batched.p95: {now_p95:.2f}ms vs baseline "
+                f"{then_p95:.2f}ms ({growth:.2f}x growth; floored gate "
+                f"ratio {ratio:.2f}x > {factor:.1f}x allowed)"
+            )
+    now_rps = now_batched.get("throughput_rps")
+    then_rps = then_batched.get("throughput_rps")
+    if (
+        now_rps is not None
+        and then_rps is not None
+        and float(now_rps) < float(then_rps) / factor
+    ):
+        problems.append(
+            f"serving.batched.throughput: {float(now_rps):.0f} rps vs "
+            f"baseline {float(then_rps):.0f} rps "
+            f"(> {factor:.1f}x slower)"
+        )
+    swap = now.get("swap")
+    if swap is not None:
+        if swap.get("failed_requests"):
+            problems.append(
+                f"serving.swap dropped {swap['failed_requests']} request(s)"
+            )
+        if swap.get("parity_ok") is False:
+            problems.append("serving.swap post-swap parity mismatch")
+    return problems
+
+
 def compare(current: dict, baseline: dict, factor: float,
             floor: float = MIN_GATED_SECONDS) -> list:
     """Return a list of human-readable regression messages (empty = ok)."""
@@ -57,6 +116,7 @@ def compare(current: dict, baseline: dict, factor: float,
                     f"{name}.{field}: {now:.4f}s vs baseline {then:.4f}s "
                     f"({ratio:.2f}x > {factor:.1f}x allowed)"
                 )
+    problems.extend(compare_serving(current, baseline, factor))
     return problems
 
 

@@ -41,6 +41,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument("--no-legacy", action="store_true")
     parser.add_argument("--no-regen-heavy", action="store_true")
+    parser.add_argument("--no-sharded", action="store_true")
+    parser.add_argument("--no-serving", action="store_true")
     parser.add_argument("--output", default=None, help="JSON output path")
     return parser
 
@@ -60,6 +62,8 @@ def main(argv=None) -> int:
         smoke=args.smoke,
         include_legacy=not args.no_legacy,
         include_regen_heavy=not args.no_regen_heavy,
+        include_sharded=not args.no_sharded,
+        include_serving=not args.no_serving,
     )
     print(format_bench_table(payload))
     if args.output:

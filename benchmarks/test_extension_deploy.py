@@ -68,13 +68,15 @@ def test_extension_quantized_deployment(benchmark):
 
     float_acc, rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\n=== Extension: fixed-point deployment (UCIHAR analog) ===")
-    print(f"  float64 reference accuracy: {float_acc:.4f}")
+    print(f"  float reference accuracy: {float_acc:.4f}")
     print(format_markdown_table(rows, precision=3))
 
     by_bits = {r["bits"]: r for r in rows}
     # 8-bit deployment is accuracy-free; 1-bit costs at most a few points
-    # while compressing the class memory 64x.
+    # while compressing the class memory storage-width x (32x against the
+    # float32 hot-path default — the footprint report measures against
+    # the base memory's actual dtype, not a hard-coded float64).
     assert by_bits[8]["accuracy"] > float_acc - 0.01
     assert by_bits[1]["accuracy"] > float_acc - 0.06
-    assert by_bits[1]["compression_vs_float"] > 60
+    assert by_bits[1]["compression_vs_float"] > 30
     assert by_bits[1]["memory_bytes"] < by_bits[8]["memory_bytes"]

@@ -38,6 +38,16 @@ training (per-shard class memories merged by bundling — see
 
     clf = make_model("disthd", dim=500, n_jobs=4, seed=0).fit(X, y)
 
+Serving is one call away: :func:`serve_model` fronts any fitted model
+(or a persisted archive) with a micro-batching
+:class:`~repro.serve.server.ModelServer` — concurrent requests coalesce
+into bounded-latency batches, new versions hot-swap atomically, and
+:mod:`repro.serve` adds drift-aware online adaptation on top (see
+``docs/serving.md``)::
+
+    with serve_model(clf) as server:
+        labels = server.predict(rows)
+
 See ``docs/api.md`` for the full facade (``compare``, ``ExperimentSpec``,
 ``save_model``/``load_model``) and the deprecation shims for pre-registry
 import paths.
@@ -50,6 +60,7 @@ from repro.api import (
     list_models,
     make_model,
     run_experiment,
+    serve_model,
 )
 from repro.backend import get_backend, list_backends
 from repro.core.config import DistHDConfig
@@ -77,6 +88,7 @@ __all__ = [
     "make_model",
     "run_experiment",
     "save_model",
+    "serve_model",
     "shard_fit",
     "__version__",
 ]

@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.datasets.loaders import Dataset, load_dataset
 from repro.models.registry import get_model_spec, list_models, make_model
 from repro.noise.robustness import quality_loss_sweep
+from repro.persistence import load_model, save_model
 from repro.pipeline.experiment import ExperimentResult
 from repro.pipeline.experiment import run_experiment as _run_on_dataset
 
@@ -36,8 +37,11 @@ __all__ = [
     "build_model",
     "compare",
     "list_models",
+    "load_model",
     "make_model",
     "run_experiment",
+    "save_model",
+    "serve_model",
 ]
 
 
@@ -203,6 +207,46 @@ def run_experiment(
         if points:
             result.extras["quantized_clean_acc"] = points[0].clean_accuracy
     return result
+
+
+def serve_model(
+    model=None,
+    *,
+    path=None,
+    max_batch_size: int = 64,
+    max_wait_ms: float = 2.0,
+    **server_options,
+):
+    """Front a fitted model with a micro-batching :class:`ModelServer`.
+
+    Pass either a fitted model object (``model=``) or a
+    :func:`save_model` archive path (``path=``, or a ``str``/``Path`` as
+    the positional argument).  Returns a started
+    :class:`~repro.serve.server.ModelServer` — use it as a context
+    manager or ``close()`` it when done::
+
+        from repro import serve_model
+
+        with serve_model(path="disthd-v1.npz", max_wait_ms=2.0) as server:
+            labels = server.predict(rows)     # coalesced into batches
+            server.deploy("disthd-v2.npz")    # atomic hot-swap
+            print(server.stats())
+
+    ``max_batch_size`` / ``max_wait_ms`` bound the micro-batching
+    throughput/latency trade-off; remaining keyword options forward to
+    the :class:`~repro.serve.server.ModelServer` constructor.  See
+    ``docs/serving.md``.
+    """
+    from repro.serve.server import ModelServer
+
+    if (model is None) == (path is None):
+        raise TypeError("serve_model needs exactly one of model= or path=")
+    return ModelServer(
+        model if model is not None else path,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        **server_options,
+    )
 
 
 #: One entry of :func:`compare`'s model list: a registered name, a

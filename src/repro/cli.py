@@ -10,7 +10,13 @@ Subcommands:
   fans candidate fits across a process pool);
 - ``robustness`` — run a Fig. 8-style bit-flip sweep for one model;
 - ``bench`` — time encode/fit/predict per model and emit ``BENCH_*.json``
-  (the tracked performance trajectory; ``--smoke`` for the CI-sized run).
+  (the tracked performance trajectory; ``--smoke`` for the CI-sized run);
+- ``predict`` — one-shot inference from a persisted model archive
+  (``save_model`` output) over a ``.npy``/``.csv`` feature file;
+- ``serve`` — run a self-contained micro-batched serving session: train
+  (or load) a model, front it with a :class:`~repro.serve.server.ModelServer`,
+  drive it with the concurrent load generator, optionally hot-swap an
+  adapted version mid-run, and print the stats JSON.
 
 ``train`` and ``compare`` accept ``--n-jobs`` too: for sharding-capable
 models it is forwarded as the ``n_jobs`` hyper-parameter, so fits run
@@ -191,11 +197,124 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_legacy=not args.no_legacy,
         include_regen_heavy=not args.no_regen_heavy,
         include_sharded=not args.no_sharded,
+        include_serving=not args.no_serving,
     )
     print(format_bench_table(payload))
     if args.output:
         path = write_bench(payload, args.output)
         print(f"wrote {path}")
+    return 0
+
+
+def _load_features(path: str):
+    """Read a feature matrix from ``.npy`` or delimited text."""
+    import numpy as np
+
+    if path.endswith(".npy"):
+        X = np.load(path, allow_pickle=False)
+    else:
+        X = np.loadtxt(path, delimiter=",", ndmin=2)
+    return np.asarray(X, dtype=np.float64)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.api import load_model
+
+    model = load_model(args.model_path)
+    X = _load_features(args.input)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if args.scores:
+        out = np.asarray(model.decision_scores(X))
+        text = "\n".join(",".join(f"{v:.6g}" for v in row) for row in out)
+    else:
+        out = np.asarray(model.predict(X))
+        text = "\n".join(str(v) for v in out)
+    if args.output:
+        if args.output.endswith(".npy"):
+            np.save(args.output, out)
+        else:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+        print(f"wrote {args.output} ({out.shape[0]} rows)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.perf import bench_serving
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ModelServer
+
+    if args.model_path:
+        # Serve a persisted artifact as-is: load, front, drive.  No
+        # trainable base is available, so no adaptation/hot-swap.
+        if not args.input:
+            print(
+                "serve --model-path needs --input features to drive "
+                "the load generator",
+                file=sys.stderr,
+            )
+            return 2
+        X = _load_features(args.input)
+        server = ModelServer(
+            args.model_path,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+        )
+        with server:
+            report = run_load(
+                server, X,
+                n_requests=args.requests, concurrency=args.concurrency,
+            )
+            payload = {
+                "config": {
+                    "model_path": args.model_path,
+                    "requests": args.requests,
+                    "concurrency": args.concurrency,
+                    "max_batch_size": args.max_batch_size,
+                    "max_wait_ms": args.max_wait_ms,
+                },
+                "load": report.as_record(),
+                "stats": server.stats(),
+            }
+    else:
+        payload = {
+            "config": {
+                "dataset": args.dataset,
+                "scale": args.scale,
+                "dim": args.dim,
+                "seed": args.seed,
+                "requests": args.requests,
+                "concurrency": args.concurrency,
+                "max_batch_size": args.max_batch_size,
+                "max_wait_ms": args.max_wait_ms,
+                "swap": not args.no_swap,
+            },
+            "serving": bench_serving(
+                dataset=args.dataset,
+                scale=args.scale,
+                dim=args.dim,
+                iterations=args.iterations,
+                bits=args.bits,
+                n_requests=args.requests,
+                concurrency=args.concurrency,
+                max_batch_size=args.max_batch_size,
+                max_wait_ms=args.max_wait_ms,
+                seed=args.seed,
+                swap=not args.no_swap,
+            ),
+        }
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -310,7 +429,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sharded", action="store_true",
         help="skip the sharded-fit (data-parallel) scenario",
     )
+    bench.add_argument(
+        "--no-serving", action="store_true",
+        help="skip the micro-batched serving scenario",
+    )
     bench.add_argument("--output", default=None, help="JSON output path")
+
+    predict = sub.add_parser(
+        "predict", help="one-shot inference from a persisted model"
+    )
+    predict.add_argument(
+        "--model-path", required=True,
+        help="save_model archive (.npz) to load",
+    )
+    predict.add_argument(
+        "--input", required=True,
+        help="feature matrix: .npy, or comma-delimited text",
+    )
+    predict.add_argument(
+        "--output", default=None,
+        help="write results here (.npy or text) instead of stdout",
+    )
+    predict.add_argument(
+        "--scores", action="store_true",
+        help="emit per-class decision scores instead of labels",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="micro-batched serving session + load generator"
+    )
+    _add_common(serve)
+    serve.set_defaults(dataset="pamap2", scale=0.004, dim=256)
+    serve.add_argument(
+        "--model-path", default=None,
+        help="serve a persisted archive instead of training in-session "
+        "(disables the adaptation hot-swap; needs --input)",
+    )
+    serve.add_argument(
+        "--input", default=None,
+        help="feature file to draw load-generator requests from "
+        "(--model-path mode)",
+    )
+    serve.add_argument("--iterations", type=int, default=3)
+    serve.add_argument(
+        "--bits", type=int, default=8, choices=(1, 2, 4, 8),
+        help="deploy-artifact precision",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=256, help="total requests to fire"
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop workers"
+    )
+    serve.add_argument("--max-batch-size", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument(
+        "--no-swap", action="store_true",
+        help="skip the mid-run adaptation hot-swap",
+    )
+    serve.add_argument("--output", default=None, help="JSON output path")
     return parser
 
 
@@ -324,6 +501,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "grid": _cmd_grid,
         "robustness": _cmd_robustness,
         "bench": _cmd_bench,
+        "predict": _cmd_predict,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

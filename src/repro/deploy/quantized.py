@@ -42,6 +42,13 @@ class QuantizedHDCModel:
         Stream queries through encode-then-score in row chunks of this
         size, bounding inference memory on the (typically RAM-constrained)
         deployment target.  ``None`` scores the whole batch at once.
+    retain_base:
+        Keep a reference to ``classifier`` so :meth:`refresh` can
+        re-quantize from its updated state (the online-adaptation
+        promotion path).  Pass ``False`` for a self-contained edge
+        artifact: the base classifier (and its full-precision class
+        memory) becomes collectable once the caller drops it, and
+        :meth:`refresh` is unavailable.
 
     Examples
     --------
@@ -56,11 +63,11 @@ class QuantizedHDCModel:
     """
 
     def __init__(self, classifier, bits: int = 8,
-                 chunk_size: Optional[int] = None) -> None:
-        encoder = getattr(classifier, "encoder_", None)
-        memory = getattr(classifier, "memory_", None)
-        classes = getattr(classifier, "classes_", None)
-        if encoder is None or memory is None or classes is None:
+                 chunk_size: Optional[int] = None, *,
+                 retain_base: bool = True) -> None:
+        if getattr(classifier, "encoder_", None) is None or \
+                getattr(classifier, "memory_", None) is None or \
+                getattr(classifier, "classes_", None) is None:
             raise TypeError(
                 "QuantizedHDCModel needs a fitted HDC classifier with "
                 "encoder_, memory_ and classes_"
@@ -69,16 +76,70 @@ class QuantizedHDCModel:
             raise ValueError(
                 f"chunk_size must be positive or None, got {chunk_size}"
             )
-        self.encoder = encoder
-        self.classes_ = np.asarray(classes)
+        self.classifier = classifier if retain_base else None
         self.bits = int(bits)
         self.chunk_size = chunk_size
-        self.n_features_ = int(encoder.n_features)
-        # Freeze through NumPy regardless of training backend/dtype: the
-        # fixed-point image is backend-neutral by construction.
-        self._quantized: QuantizedTensor = quantize(as_numpy_vectors(memory), bits)
+        self.refresh_count = 0
+        self._freeze(classifier)
+
+    def _freeze(self, classifier) -> None:
+        """Snapshot the classifier's current state into the fixed-point
+        image (shared by construction and :meth:`refresh`).
+
+        Freezes through NumPy regardless of training backend/dtype: the
+        fixed-point image is backend-neutral by construction.  The
+        encoder is deep-copied, not aliased: the base classifier's
+        encoder keeps training (dimension regeneration rewrites its base
+        vectors in place), and a served artifact scoring through a live
+        encoder against a frozen class memory would return predictions
+        from a torn encoder/memory combination.
+        """
+        import copy
+
+        memory = classifier.memory_
+        self.encoder = copy.deepcopy(classifier.encoder_)
+        self.classes_ = np.asarray(classifier.classes_)
+        self.n_features_ = int(self.encoder.n_features)
+        self._base_itemsize = int(
+            np.dtype(getattr(memory, "dtype", np.float64)).itemsize
+        )
+        self._quantized: QuantizedTensor = quantize(
+            as_numpy_vectors(memory), self.bits
+        )
 
     # ----------------------------------------------------------------- state
+
+    def refresh(self) -> "QuantizedHDCModel":
+        """Re-quantize from the base classifier's *current* state, in place.
+
+        The promotion half of online adaptation: after ``partial_fit``
+        updates the base classifier, ``refresh()`` re-freezes its class
+        memory (and re-binds its encoder, which regeneration may have
+        mutated) at the same precision without rebuilding the deploy
+        wrapper.  Accumulated ``inject_faults`` damage is discarded — the
+        refreshed image is a clean re-quantization.
+
+        Not thread-safe against concurrent inference on *this* object:
+        refresh an off-rotation artifact (see ``docs/serving.md``), or
+        stop traffic first.
+        """
+        if self.classifier is None:
+            raise RuntimeError(
+                "cannot refresh: built with retain_base=False (no base "
+                "classifier reference)"
+            )
+        if (
+            getattr(self.classifier, "memory_", None) is None
+            or getattr(self.classifier, "encoder_", None) is None
+            or getattr(self.classifier, "classes_", None) is None
+        ):
+            raise RuntimeError(
+                "cannot refresh: base classifier has no fitted "
+                "encoder_/memory_/classes_ state"
+            )
+        self._freeze(self.classifier)
+        self.refresh_count += 1
+        return self
 
     @property
     def memory_bytes(self) -> int:
@@ -143,19 +204,28 @@ class QuantizedHDCModel:
         return float(np.mean(self.predict(X) == y))
 
     def footprint_report(self) -> dict:
-        """Deployment footprint summary (class memory + encoder)."""
+        """Deployment footprint summary (class memory + encoder).
+
+        Always reflects the *current* quantized image and encoder — after
+        :meth:`refresh` the float reference size uses the base memory's
+        actual storage dtype (a float32-trained model compresses 4x at
+        8 bits, not the 8x a hard-coded float64 reference used to claim)
+        and the encoder parameters are re-counted against the re-bound,
+        possibly regenerated encoder.
+        """
         encoder_floats = 0
         for attr in ("base_vectors", "phases", "id_vectors", "level_vectors"):
             value = getattr(self.encoder, attr, None)
             if value is not None:
                 encoder_floats += int(np.asarray(value).size)
+        float_bytes = self._quantized.codes.size * self._base_itemsize
         return {
             "bits": self.bits,
             "memory_bytes": self.memory_bytes,
-            "float_memory_bytes": self._quantized.codes.size * 8,
-            "compression": (self._quantized.codes.size * 8)
-            / max(self.memory_bytes, 1),
+            "float_memory_bytes": float_bytes,
+            "compression": float_bytes / max(self.memory_bytes, 1),
             "encoder_parameters": encoder_floats,
+            "refresh_count": self.refresh_count,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -199,6 +269,28 @@ class QuantizedTrainer:
         self.deployed_ = QuantizedHDCModel(
             self.classifier, bits=self.bits, chunk_size=self.chunk_size
         )
+        return self
+
+    def partial_fit(self, X, y, classes=None) -> "QuantizedTrainer":
+        """Incrementally train the wrapped classifier, then re-freeze.
+
+        Each call delegates to the classifier's ``partial_fit`` and
+        refreshes the fixed-point image (building it on the first call),
+        so the served state always reflects the latest mini-batch.
+        """
+        self.classifier.partial_fit(X, y, classes=classes)
+        if self.deployed_ is None:
+            self.deployed_ = QuantizedHDCModel(
+                self.classifier, bits=self.bits, chunk_size=self.chunk_size
+            )
+        else:
+            self.deployed_.refresh()
+        return self
+
+    def refresh(self) -> "QuantizedTrainer":
+        """Re-quantize the frozen image from the wrapped classifier."""
+        self._check_fitted()
+        self.deployed_.refresh()
         return self
 
     # ------------------------------------------------------------- inference

@@ -31,6 +31,23 @@ the adaptive pass, ``partition_outcomes``, ``predict`` and the fused
 Algorithm-2 scoring inside one training iteration — recompute nothing.
 Code that mutates the underlying array *in place* without going through a
 mutator must call :meth:`AssociativeMemory.invalidate_caches`.
+
+**Locking contract (concurrent use).**  The memory takes no locks; the
+guarantees under one writer (e.g. an online-adaptation ``partial_fit``)
+racing any number of reader threads (``predict`` / ``similarities``) are:
+
+- *no stale cache survives a mutation* — cache entries are stamped with
+  the version read **before** their value was computed, so a value whose
+  computation overlapped a mutation is stamped with the pre-mutation
+  version and the next query at the new version recomputes (pinned by
+  ``tests/test_serve_concurrency.py``);
+- *individual in-progress reads may tear* — a reader that overlaps a
+  mutator's in-place array update can observe a mix of pre- and
+  post-update values for that one call.  Callers that need coherent
+  per-call results under concurrent training must serve an immutable
+  snapshot and swap it atomically, which is exactly what
+  :mod:`repro.serve` does (see ``docs/serving.md``).
+- more than one concurrent *writer* is not supported.
 """
 
 from __future__ import annotations
@@ -130,14 +147,27 @@ class AssociativeMemory:
         self._version += 1
 
     def _cached(self, key: str, compute):
-        """``compute()`` memoised under ``key`` for the current version."""
+        """``compute()`` memoised under ``key`` for the current version.
+
+        The version is read *before* ``compute()`` runs and that stamp —
+        not the post-compute one — is stored.  Under concurrent use
+        (serving reads racing an online-adaptation writer) a mutator can
+        bump the version mid-compute; stamping afterwards would file a
+        value derived from pre-mutation state under the post-mutation
+        version, and every later query at that version would serve the
+        stale entry.  With the pre-read stamp such an entry is already
+        out of date when stored, so the next query recomputes.  (The
+        value returned from *this* call may still reflect a torn read —
+        see the locking contract in the module docstring.)
+        """
         if not type(self).caching_enabled:
             return compute()
         hit = self._cache.get(key)
         if hit is not None and hit[0] == self._version:
             return hit[1]
+        version = self._version
         value = compute()
-        self._cache[key] = (self._version, value)
+        self._cache[key] = (version, value)
         return value
 
     # ------------------------------------------------------------------ state

@@ -24,12 +24,24 @@ Payload schema 3 adds the **sharded-fit** scenario: single-process ``fit``
 versus data-parallel ``shard_fit`` on the same regen-heavy operating
 point, recording shard count, ``n_jobs``, both accuracies and the
 wall-clock speedup (``fit_speedup_vs_single``).
+
+Payload schema 4 adds the **serving** scenario: a DistHD model trained at
+the regen-heavy operating point is deployed as a fixed-point artifact
+behind a :class:`~repro.serve.server.ModelServer`, and a closed-loop load
+generator at ``concurrency`` workers measures micro-batched throughput
+and latency percentiles against the per-request baseline
+(``throughput_speedup_vs_direct``).  Mid-run, an
+:class:`~repro.serve.adapter.OnlineAdapter` promotes a
+``partial_fit``-adapted, re-quantized version under load; the record
+asserts the swap dropped zero requests and that post-swap micro-batched
+predictions match the active artifact exactly (``swap.parity_ok``).
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import threading
 import time
 import tracemalloc
 from contextlib import contextmanager
@@ -376,6 +388,171 @@ def bench_sharded_fit(
     }
 
 
+#: The committed serving scenario: the regen-heavy model behind a
+#: micro-batching server, loaded at concurrency 32 — the operating point
+#: the ROADMAP's "serves heavy traffic" north star is tracked at.
+SERVING = dict(
+    REGEN_HEAVY,
+    bits=8,
+    n_requests=2048,
+    concurrency=32,
+    max_batch_size=64,
+    max_wait_ms=2.0,
+)
+
+
+def bench_serving(
+    *,
+    dataset: str = SERVING["dataset"],
+    scale: float = SERVING["scale"],
+    dim: int = SERVING["dim"],
+    iterations: int = SERVING["iterations"],
+    regen_rate: float = SERVING["regen_rate"],
+    selection: str = SERVING["selection"],
+    bits: int = SERVING["bits"],
+    n_requests: int = SERVING["n_requests"],
+    concurrency: int = SERVING["concurrency"],
+    max_batch_size: int = SERVING["max_batch_size"],
+    max_wait_ms: float = SERVING["max_wait_ms"],
+    seed: int = 0,
+    swap: bool = True,
+) -> Dict[str, object]:
+    """Benchmark micro-batched serving against per-request inference.
+
+    Trains DistHD at the regen-heavy operating point, freezes it into a
+    ``bits``-wide :class:`~repro.deploy.quantized.QuantizedHDCModel`, and:
+
+    1. times ``n_requests`` single-row ``predict`` calls from
+       ``concurrency`` closed-loop workers *directly* against the
+       artifact (the no-server baseline);
+    2. repeats the run through a :class:`~repro.serve.server.ModelServer`
+       so concurrent requests coalesce into micro-batches;
+    3. with ``swap``, half-way through the batched run an
+       :class:`~repro.serve.adapter.OnlineAdapter` promotes a
+       ``partial_fit``-adapted, re-quantized version under load, and the
+       record keeps the failure count (must be zero) plus a post-swap
+       parity check: micro-batched predictions equal the active
+       artifact's direct predictions, element for element.
+    """
+    from repro.deploy.quantized import QuantizedHDCModel
+    from repro.serve.adapter import DriftDetector, OnlineAdapter
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ModelServer
+
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    model = make_model(
+        "disthd", dim=dim, iterations=iterations, seed=seed,
+        regen_rate=regen_rate, selection=selection,
+        convergence_patience=None,
+    )
+    model.fit(data.train_x, data.train_y)
+    artifact = QuantizedHDCModel(model, bits=bits)
+
+    # Per-request baseline: same artifact, no batching, same concurrency.
+    direct = run_load(
+        lambda row: artifact.predict(row),
+        data.test_x,
+        n_requests=n_requests,
+        concurrency=concurrency,
+    )
+
+    record: Dict[str, object] = {
+        "scenario": "serving",
+        "dataset": dataset,
+        "n_train": int(data.train_x.shape[0]),
+        "n_features": int(data.train_x.shape[1]),
+        "dim": dim,
+        "iterations": iterations,
+        "regen_rate": regen_rate,
+        "selection": selection,
+        "bits": bits,
+        "seed": seed,
+        "n_requests": n_requests,
+        "concurrency": concurrency,
+        "max_batch_size": max_batch_size,
+        "max_wait_ms": max_wait_ms,
+        "test_acc": float(artifact.score(data.test_x, data.test_y)),
+        "direct": direct.as_record(),
+    }
+
+    with ModelServer(
+        artifact, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+    ) as server:
+        adapter = None
+        swap_fired = threading.Event()
+        if swap:
+            adapter = OnlineAdapter(
+                server, model,
+                detector=DriftDetector(window=64, min_samples=32),
+                bits=bits,
+            )
+            # Buffer labeled feedback up front so the mid-run promotion
+            # has something to adapt on.
+            n_fb = min(128, data.train_x.shape[0])
+            fb_x, fb_y = data.train_x[:n_fb], data.train_y[:n_fb]
+            fb_scores = artifact.decision_scores(fb_x)
+            adapter.feedback(fb_x, fb_y, scores=fb_scores)
+            swap_at = n_requests // 2
+            swap_gate = threading.Lock()
+
+            def on_request(i: int) -> None:
+                if i < swap_at or swap_fired.is_set():
+                    return
+                # First worker past the swap point wins, exactly once
+                # (check-then-set on the bare Event would let two workers
+                # race into adapt_now and drain the buffer twice).
+                with swap_gate:
+                    if swap_fired.is_set():
+                        return
+                    swap_fired.set()
+                # A drift-triggered cycle during priming may already have
+                # consumed the buffer; re-arm so the forced mid-load swap
+                # always has material.
+                if (
+                    adapter.stats()["buffered_feedback"]
+                    < adapter.min_adapt_samples
+                ):
+                    adapter.feedback(fb_x, fb_y, scores=fb_scores)
+                try:
+                    adapter.adapt_now(wait=False)
+                except RuntimeError:
+                    pass  # lost the race to a concurrent drift cycle
+
+        else:
+            on_request = None
+
+        batched = run_load(
+            server, data.test_x,
+            n_requests=n_requests,
+            concurrency=concurrency,
+            on_request=on_request,
+        )
+        if adapter is not None:
+            adapter.join(timeout=60.0)
+
+        stats = server.stats()
+        record["batched"] = batched.as_record()
+        record["mean_batch_size"] = stats["mean_batch_size"]
+        speedup = (
+            batched.throughput_rps / direct.throughput_rps
+            if direct.throughput_rps > 0 else None
+        )
+        record["throughput_speedup_vs_direct"] = speedup
+        if swap:
+            # Post-swap parity: the micro-batched path must agree with
+            # the (adapted, re-quantized) active artifact exactly.
+            n_check = min(64, data.test_x.shape[0])
+            served = server.predict(data.test_x[:n_check])
+            reference = server.model.predict(data.test_x[:n_check])
+            record["swap"] = {
+                "n_swaps": int(stats["n_swaps"]),
+                "n_adaptations": int(adapter.n_adaptations),
+                "failed_requests": int(batched.n_failed),
+                "parity_ok": bool(np.array_equal(served, reference)),
+            }
+    return record
+
+
 def _measure_fused_scoring_peak(model, data: Dataset) -> Dict[str, object]:
     """Traced allocation peak of a worst-case fused Algorithm-2 scoring pass.
 
@@ -504,6 +681,7 @@ def run_bench(
     include_legacy: bool = True,
     include_regen_heavy: bool = True,
     include_sharded: bool = True,
+    include_serving: bool = True,
 ) -> Dict[str, object]:
     """Run the full bench sweep and return the ``BENCH_*.json`` payload.
 
@@ -522,7 +700,7 @@ def run_bench(
         for name in models
     ]
     payload: Dict[str, object] = {
-        "schema": 3,
+        "schema": 4,
         "created_unix": time.time(),
         "repro_version": __version__,
         "python": platform.python_version(),
@@ -573,6 +751,14 @@ def run_bench(
             scenarios["sharded_fit"] = bench_sharded_fit(
                 seed=seed, repeats=repeats
             )
+    if include_serving:
+        if smoke:
+            scenarios["serving"] = bench_serving(
+                scale=0.004, dim=256, iterations=3,
+                n_requests=192, concurrency=8, seed=seed,
+            )
+        else:
+            scenarios["serving"] = bench_serving(seed=seed)
     if scenarios:
         payload["scenarios"] = scenarios
     payload["peak_rss_mb"] = _peak_rss_mb()
@@ -637,4 +823,25 @@ def format_bench_table(payload: Dict[str, object]) -> str:
             f"(acc {sharded['sharded_test_acc']:.3f} / "
             f"{sharded['single_test_acc']:.3f})"
         )
+    serving = (payload.get("scenarios") or {}).get("serving")
+    if serving is not None:
+        speedup = serving["throughput_speedup_vs_direct"]
+        batched = serving["batched"]
+        latency = batched.get("latency_ms") or {}
+        lines.append(
+            f"serving ({serving['dataset']}, D={serving['dim']}, "
+            f"c={serving['concurrency']}, batch<={serving['max_batch_size']}):"
+            f" {batched['throughput_rps']:.0f} rps vs direct "
+            f"{serving['direct']['throughput_rps']:.0f} rps "
+            f"→ speedup {'n/a' if speedup is None else f'{speedup:.2f}x'}  "
+            f"(p95 {latency.get('p95', float('nan')):.2f} ms, "
+            f"mean batch {serving.get('mean_batch_size') or float('nan'):.1f})"
+        )
+        swap = serving.get("swap")
+        if swap is not None:
+            lines.append(
+                f"hot-swap under load: {swap['n_swaps']} swap(s), "
+                f"{swap['failed_requests']} failed request(s), "
+                f"parity {'ok' if swap['parity_ok'] else 'MISMATCH'}"
+            )
     return "\n".join(lines)

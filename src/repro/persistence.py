@@ -193,9 +193,14 @@ def _quantized_load(kind: str, data, classes, n_features: int):
     The stored memory vectors already lie on the ``quantized_bits`` grid,
     so re-quantising at the same precision reproduces the deployed codes;
     the result keeps ``inject_faults`` / ``footprint_report`` working.
+    The temporary float view is not retained (``retain_base=False``) —
+    the archive holds no training state worth refreshing from, and a
+    loaded edge artifact should stay self-contained.
     """
     base = _hdc_load(kind, data, classes, n_features)
-    return QuantizedHDCModel(base, bits=int(data["quantized_bits"]))
+    return QuantizedHDCModel(
+        base, bits=int(data["quantized_bits"]), retain_base=False
+    )
 
 
 def _quantized_fitted(model: QuantizedTrainer) -> bool:

@@ -1,0 +1,266 @@
+"""Micro-batching: coalesce concurrent requests into bounded-latency batches.
+
+Single-row inference wastes the library's batched kernels — encoding and
+scoring one query at a time pays the full Python/dispatch overhead per row.
+:class:`MicroBatcher` sits between callers and a batched handler: concurrent
+:meth:`~MicroBatcher.submit` calls enqueue rows, a worker thread coalesces
+them into one ``(n, q)`` batch, runs the handler once, and scatters the
+row-aligned results back to each caller's future.
+
+Two knobs bound the trade-off:
+
+- ``max_batch_size`` — flush as soon as this many rows are pending (the
+  throughput knob: bigger batches amortise dispatch further);
+- ``max_wait_ms`` — flush no later than this after the *oldest* pending
+  request arrived (the latency knob: an isolated request is delayed at
+  most ``max_wait_ms`` plus one handler call).
+
+A third knob, ``idle_flush_ms``, flushes *early* when the arrival stream
+pauses: once no new request has arrived for that long, waiting out the
+rest of the deadline cannot grow the batch (the clients that would fill
+it are themselves waiting on this flush — the closed-loop case), so the
+batch ships immediately.  Under sustained back-to-back arrivals the
+deadline/size limits govern as usual.
+
+Requests carry a ``kind`` tag (e.g. ``"predict"`` vs ``"scores"``) so one
+batcher can front several batched operations; a flush groups the drained
+requests by kind and runs one handler call per kind present.
+
+Shutdown is loss-free: :meth:`close` stops intake, then the worker drains
+and flushes everything still queued before exiting — no request is ever
+dropped with a pending future.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_float, check_positive_int
+
+#: ``handler(kind, X)``: run one coalesced ``(n, q)`` batch of ``kind``
+#: requests; must return a result array whose first axis aligns with the
+#: rows of ``X``.
+BatchHandler = Callable[[str, np.ndarray], np.ndarray]
+
+
+class _Request:
+    """One pending request: rows in, a future out."""
+
+    __slots__ = ("kind", "rows", "future", "enqueued_at")
+
+    def __init__(self, kind: str, rows: np.ndarray) -> None:
+        self.kind = kind
+        self.rows = rows
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into batches for a batched handler.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(kind, X)`` — called on the worker thread with one
+        stacked ``(n, q)`` float batch per request kind in a flush.
+    max_batch_size:
+        Row-count flush threshold.
+    max_wait_ms:
+        Deadline (milliseconds) from the oldest pending request's arrival
+        to its flush.
+    idle_flush_ms:
+        Flush early once no new request has arrived for this long
+        (milliseconds) — see the module docstring.
+    on_request_done:
+        Optional callback ``(latency_s, ok)`` per finished request.
+    on_batch:
+        Optional callback ``(n_rows)`` per handler call.
+
+    Notes
+    -----
+    A request may carry several rows (a small client-side batch); its
+    future resolves to the result rows for exactly those rows.  Rows from
+    different requests never mix results — the handler's output is split
+    back along the same offsets the inputs were stacked at.
+    """
+
+    def __init__(
+        self,
+        handler: BatchHandler,
+        *,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        idle_flush_ms: float = 0.2,
+        on_request_done: Optional[Callable[[float, bool], None]] = None,
+        on_batch: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.handler = handler
+        self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
+        self.max_wait_s = check_positive_float(max_wait_ms, "max_wait_ms") / 1e3
+        self.idle_flush_s = (
+            check_positive_float(idle_flush_ms, "idle_flush_ms") / 1e3
+        )
+        self._on_request_done = on_request_done
+        self._on_batch = on_batch
+        self._queue: "queue.Queue[_Request]" = queue.Queue()
+        self._closed = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------ intake
+
+    def submit(self, kind: str, rows) -> Future:
+        """Enqueue ``rows`` (one sample ``(q,)`` or a block ``(m, q)``).
+
+        Returns a future resolving to the handler's result rows for this
+        request.  Raises ``RuntimeError`` after :meth:`close`.
+        """
+        if self._closed.is_set():
+            raise RuntimeError("MicroBatcher is closed")
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise ValueError(
+                f"rows must be a sample (q,) or a non-empty block (m, q), "
+                f"got shape {rows.shape}"
+            )
+        request = _Request(str(kind), rows)
+        self._queue.put(request)
+        if self._closed.is_set():
+            # close() may have drained between our flag check and the
+            # put; if the worker is already gone, nobody else will ever
+            # see this request — flush it (and any peers) ourselves.
+            self._drain_if_worker_dead()
+        return request.future
+
+    # ------------------------------------------------------------------ worker
+
+    def _run(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._closed.is_set():
+                    return
+                continue
+            pending = [first]
+            n_rows = first.rows.shape[0]
+            deadline = first.enqueued_at + self.max_wait_s
+            # Coalesce until the size cap, the oldest request's deadline,
+            # or an arrival pause (idle flush).  After close() waiting is
+            # skipped entirely: drain whatever is queued immediately so
+            # shutdown never waits out max_wait_ms.
+            while n_rows < self.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                if self._closed.is_set():
+                    remaining = 0.0
+                try:
+                    if remaining <= 0:
+                        nxt = self._queue.get_nowait()
+                    else:
+                        nxt = self._queue.get(
+                            timeout=min(remaining, self.idle_flush_s)
+                        )
+                except queue.Empty:
+                    break
+                pending.append(nxt)
+                n_rows += nxt.rows.shape[0]
+            self._flush(pending)
+
+    def _flush(self, pending: Sequence[_Request]) -> None:
+        by_kind: Dict[str, List[_Request]] = {}
+        for request in pending:
+            by_kind.setdefault(request.kind, []).append(request)
+        for kind, group in by_kind.items():
+            # Everything — stacking included — stays inside the guard: a
+            # width-mismatched pair of requests must fail *those* futures,
+            # not escape _flush and kill the worker (stranding every
+            # pending and future request).
+            try:
+                batch = (
+                    group[0].rows if len(group) == 1
+                    else np.vstack([r.rows for r in group])
+                )
+                if self._on_batch is not None:
+                    self._on_batch(batch.shape[0])
+                result = np.asarray(self.handler(kind, batch))
+                if result.shape[0] != batch.shape[0]:
+                    raise RuntimeError(
+                        f"handler returned {result.shape[0]} result rows "
+                        f"for a {batch.shape[0]}-row batch"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+                self._resolve(group, None, exc)
+            else:
+                self._resolve(group, result, None)
+
+    def _resolve(
+        self,
+        group: Sequence[_Request],
+        result: Optional[np.ndarray],
+        error: Optional[BaseException],
+    ) -> None:
+        now = time.perf_counter()
+        offset = 0
+        for request in group:
+            stop = offset + request.rows.shape[0]
+            if error is None:
+                request.future.set_result(result[offset:stop])
+            else:
+                request.future.set_exception(error)
+            offset = stop
+            if self._on_request_done is not None:
+                self._on_request_done(now - request.enqueued_at, error is None)
+
+    # --------------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop intake, flush everything still pending, join the worker."""
+        self._closed.set()
+        self._worker.join(timeout=timeout)
+        # A submit racing the shutdown flag can slip a request into the
+        # queue after the worker's final empty check; flush those inline
+        # so every accepted request resolves.  Only once the worker has
+        # actually exited, though — a worker that outlived the join
+        # timeout still owns the queue, and flushing alongside it would
+        # run the handler on two threads at once.
+        self._drain_if_worker_dead()
+
+    def _drain_if_worker_dead(self) -> None:
+        if self._worker.is_alive():
+            return  # the live worker drains the queue before exiting
+        with self._drain_lock:
+            leftovers: List[_Request] = []
+            while True:
+                try:
+                    leftovers.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            if leftovers:
+                self._flush(leftovers)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroBatcher(max_batch_size={self.max_batch_size}, "
+            f"max_wait_ms={self.max_wait_s * 1e3:g})"
+        )

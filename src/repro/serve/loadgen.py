@@ -1,0 +1,179 @@
+"""Closed-loop load generator for serving benchmarks and smoke tests.
+
+:func:`run_load` fires single-row requests at a target from ``concurrency``
+worker threads (each worker issues its next request as soon as the
+previous one resolves — a closed loop, the standard shape for latency
+benchmarking) and returns a :class:`LoadReport` with throughput, latency
+percentiles, failure counts and the per-request predictions (for parity
+assertions against a reference model).
+
+The target is either a :class:`~repro.serve.server.ModelServer` (requests
+go through the micro-batcher) or any callable ``fn(row) -> result`` (e.g.
+``lambda row: model.predict(row)`` — the per-request baseline the serving
+benchmark compares against).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.serve.metrics import latency_summary_ms
+from repro.serve.server import ModelServer
+from repro.utils.validation import check_positive_int
+
+
+class LoadReport:
+    """Outcome of one load run."""
+
+    def __init__(
+        self,
+        n_requests: int,
+        n_failed: int,
+        wall_s: float,
+        latencies_s: np.ndarray,
+        predictions: List[object],
+    ) -> None:
+        self.n_requests = int(n_requests)
+        self.n_failed = int(n_failed)
+        self.wall_s = float(wall_s)
+        self.latencies_s = latencies_s
+        self.predictions = predictions
+
+    @property
+    def n_ok(self) -> int:
+        return self.n_requests - self.n_failed
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_ms(self) -> Optional[Dict[str, float]]:
+        """Latency summary over *successful* requests only.
+
+        Failed requests typically fail fast; mixing their near-zero
+        timings in would dilute the percentiles and let a partially
+        broken, fast-failing server report better latency than the
+        requests it actually served."""
+        ok = np.array(
+            [not isinstance(p, BaseException) for p in self.predictions],
+            dtype=bool,
+        )
+        return latency_summary_ms(self.latencies_s[ok])
+
+    def as_record(self) -> Dict[str, object]:
+        """JSON-ready summary (predictions omitted)."""
+        return {
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency_ms(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LoadReport(n_ok={self.n_ok}, n_failed={self.n_failed}, "
+            f"throughput={self.throughput_rps:.1f} rps)"
+        )
+
+
+def run_load(
+    target: Union[ModelServer, Callable],
+    X,
+    *,
+    n_requests: int,
+    concurrency: int = 32,
+    mode: str = "predict",
+    on_request: Optional[Callable[[int], None]] = None,
+) -> LoadReport:
+    """Fire ``n_requests`` single-row requests at ``target``.
+
+    Request ``i`` sends row ``X[i % len(X)]``; workers split the request
+    index space evenly.  ``mode`` selects ``predict`` or ``scores``
+    against a :class:`ModelServer` target (callables receive the row and
+    define their own semantics).  ``on_request(i)`` — when given — runs
+    on the worker thread right after request ``i`` is issued, letting the
+    caller interleave control actions (e.g. a hot-swap) at a known point
+    in the load.
+
+    Per-request results land in ``report.predictions[i]`` (the exception
+    object for failed requests), so parity checks against a reference
+    model are one array comparison away.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise ValueError(f"X must be a non-empty (n, q) matrix, got {X.shape}")
+    n_requests = check_positive_int(n_requests, "n_requests")
+    concurrency = check_positive_int(concurrency, "concurrency")
+    if mode not in ("predict", "scores"):
+        raise ValueError(f"mode must be 'predict' or 'scores', got {mode!r}")
+
+    if isinstance(target, ModelServer):
+        submit = (
+            target.submit_predict if mode == "predict"
+            else target.submit_decision_scores
+        )
+
+        def issue(row):
+            return submit(row).result()
+
+    else:
+        issue = target
+
+    latencies = np.zeros(n_requests, dtype=np.float64)
+    predictions: List[object] = [None] * n_requests
+    failed = [0] * concurrency
+    hook_errors: List[BaseException] = []
+    start_gate = threading.Event()
+
+    def worker(worker_id: int) -> None:
+        start_gate.wait()
+        for i in range(worker_id, n_requests, concurrency):
+            row = X[i % X.shape[0]]
+            begin = time.perf_counter()
+            try:
+                result = issue(row)
+            except Exception as exc:  # noqa: BLE001 - recorded per request
+                predictions[i] = exc
+                failed[worker_id] += 1
+            else:
+                predictions[i] = result
+            latencies[i] = time.perf_counter() - begin
+            if on_request is not None:
+                # A hook failure must not silently kill this worker's
+                # remaining requests (the report would under-count);
+                # collect and surface after the run.
+                try:
+                    on_request(i)
+                except BaseException as exc:  # noqa: BLE001
+                    hook_errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True)
+        for w in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    wall_start = time.perf_counter()
+    start_gate.set()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - wall_start
+
+    if hook_errors:
+        raise RuntimeError(
+            f"on_request hook failed {len(hook_errors)} time(s); first: "
+            f"{hook_errors[0]!r}"
+        ) from hook_errors[0]
+    return LoadReport(
+        n_requests=n_requests,
+        n_failed=sum(failed),
+        wall_s=wall_s,
+        latencies_s=latencies,
+        predictions=predictions,
+    )

@@ -1,0 +1,152 @@
+"""Request-level serving metrics.
+
+:class:`ServerMetrics` is the shared, thread-safe metrics sink behind a
+:class:`~repro.serve.server.ModelServer`: every finished request records
+its end-to-end latency, every flushed micro-batch records its size, and
+every hot-swap bumps the swap counter.  :meth:`ServerMetrics.snapshot`
+renders the current state as a plain dict (the "stats endpoint" payload) —
+throughput, p50/p95/p99 latency, the batch-size histogram and swap/error
+counts.
+
+Latencies are kept in a bounded ring buffer (newest ``window`` requests)
+so percentiles reflect recent behaviour and memory stays O(window) under
+sustained traffic; counters cover the server's whole lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+#: Percentiles the latency summary reports, in order.
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_summary_ms(latencies_s: np.ndarray) -> Optional[Dict[str, float]]:
+    """p50/p95/p99/mean/max of latencies (seconds in, milliseconds out).
+
+    The one summary shape every serving surface reports —
+    :meth:`ServerMetrics.snapshot` and the load generator's
+    :meth:`~repro.serve.loadgen.LoadReport.latency_ms` both render
+    through it.  ``None`` when there are no samples.
+    """
+    latencies_s = np.asarray(latencies_s, dtype=np.float64)
+    if latencies_s.size == 0:
+        return None
+    ms = latencies_s * 1e3
+    summary = {
+        f"p{pct:g}": float(np.percentile(ms, pct))
+        for pct in LATENCY_PERCENTILES
+    }
+    summary["mean"] = float(np.mean(ms))
+    summary["max"] = float(np.max(ms))
+    return summary
+
+
+class ServerMetrics:
+    """Thread-safe counters + latency/batch-size distributions.
+
+    Parameters
+    ----------
+    window:
+        How many of the most recent request latencies the percentile
+        summary is computed over (older samples age out of the ring).
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        self.window = check_positive_int(window, "window")
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._latencies = np.zeros(self.window, dtype=np.float64)
+        self._latency_pos = 0
+        self._latency_count = 0  # lifetime total (ring holds min(., window))
+        self._batch_sizes: Dict[int, int] = {}
+        self._n_errors = 0
+        self._n_swaps = 0
+
+    # ------------------------------------------------------------- recording
+
+    def record_request(self, latency_s: float) -> None:
+        """Record one completed request's end-to-end latency in seconds."""
+        with self._lock:
+            self._latencies[self._latency_pos] = latency_s
+            self._latency_pos = (self._latency_pos + 1) % self.window
+            self._latency_count += 1
+
+    def record_batch(self, size: int) -> None:
+        """Record one flushed micro-batch of ``size`` coalesced rows."""
+        size = int(size)
+        with self._lock:
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+
+    def record_error(self) -> None:
+        """Record one failed request."""
+        with self._lock:
+            self._n_errors += 1
+
+    def record_swap(self) -> None:
+        """Record one completed model hot-swap."""
+        with self._lock:
+            self._n_swaps += 1
+
+    # ------------------------------------------------------------- reporting
+
+    @property
+    def n_requests(self) -> int:
+        with self._lock:
+            return self._latency_count
+
+    @property
+    def n_swaps(self) -> int:
+        with self._lock:
+            return self._n_swaps
+
+    @property
+    def n_errors(self) -> int:
+        with self._lock:
+            return self._n_errors
+
+    def snapshot(self) -> Dict[str, object]:
+        """The stats-endpoint payload: one JSON-ready dict.
+
+        Keys: ``uptime_s``, ``n_requests``, ``n_errors``, ``n_swaps``,
+        ``throughput_rps`` (lifetime requests / uptime), ``latency_ms``
+        (p50/p95/p99/mean/max over the recent window, ``None`` when no
+        requests have completed yet), ``batch_sizes`` (exact-size
+        histogram) and ``mean_batch_size``.
+        """
+        with self._lock:
+            uptime = max(time.perf_counter() - self._started, 1e-9)
+            count = min(self._latency_count, self.window)
+            recent = self._latencies[:count].copy()
+            histogram = dict(sorted(self._batch_sizes.items()))
+            total = self._latency_count
+            errors = self._n_errors
+            swaps = self._n_swaps
+
+        latency = latency_summary_ms(recent)
+        n_batched = sum(size * n for size, n in histogram.items())
+        n_batches = sum(histogram.values())
+        return {
+            "uptime_s": float(uptime),
+            "n_requests": int(total),
+            "n_errors": int(errors),
+            "n_swaps": int(swaps),
+            "throughput_rps": float(total / uptime),
+            "latency_ms": latency,
+            "batch_sizes": {str(k): int(v) for k, v in histogram.items()},
+            "mean_batch_size": (
+                float(n_batched / n_batches) if n_batches else None
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServerMetrics(n_requests={self.n_requests}, "
+            f"n_swaps={self.n_swaps})"
+        )

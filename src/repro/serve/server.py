@@ -1,0 +1,383 @@
+"""The model server: a versioned model pool behind a micro-batcher.
+
+:class:`ModelServer` fronts any fitted model that exposes ``predict`` /
+``decision_scores`` (every library classifier, ``LoadedHDCModel`` archives
+and :class:`~repro.deploy.quantized.QuantizedHDCModel` deploy artifacts
+alike) with:
+
+- **micro-batched inference** — concurrent :meth:`~ModelServer.predict` /
+  :meth:`~ModelServer.decision_scores` calls coalesce into bounded-latency
+  batches (see :mod:`repro.serve.batcher`), so the fused, chunked kernels
+  see real batches instead of single rows;
+- **versioned hot-swap** — :meth:`~ModelServer.deploy` loads the next
+  model (an object or a :mod:`repro.persistence` archive path), warms it
+  with a representative batch, then atomically flips the active pointer.
+  In-flight batches finish against the version they started on and each
+  retired version can be awaited until drained, so a swap drops zero
+  requests;
+- **request-level metrics** — throughput, latency percentiles, the
+  batch-size histogram and the swap count via :meth:`~ModelServer.stats`.
+
+The hot-swap protocol in detail (the invariant later replication work
+builds on): ``deploy`` prepares v(N+1) entirely off the request path
+(load, validate, warm), takes the swap lock, publishes v(N+1) as the
+active version, and releases the lock.  The batch handler reads the
+active version exactly once per batch, so every request is scored by one
+coherent model; after the flip, v(N)'s in-flight counter drains to zero
+and :meth:`~ModelServer.wait_drained` returns — only then may v(N)'s
+state be mutated or released.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import ServerMetrics
+from repro.utils.validation import check_matrix
+
+#: Request kinds the batch handler understands.
+_KIND_PREDICT = "predict"
+_KIND_SCORES = "scores"
+
+
+class ModelVersion:
+    """One entry of the server's version pool.
+
+    Tracks the model object, where it came from, when it went live, and
+    how many batches are currently executing against it (the drain
+    counter behind the zero-dropped-requests swap guarantee).
+    """
+
+    def __init__(self, version: int, model, source: Optional[str]) -> None:
+        self.version = int(version)
+        self.model = model
+        self.source = source
+        self.deployed_unix = time.time()
+        self.retired_unix: Optional[float] = None
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+
+    # -------------------------------------------------------- drain tracking
+
+    def _try_enter(self) -> bool:
+        """Register a batch against this version — unless it was already
+        drained *and released*.
+
+        The check and the increment share the version lock with
+        :meth:`release_model`'s drain-check-and-release, so a releaser can
+        never observe ``in_flight == 0`` while a handler sits between
+        reading the active pointer and registering itself.
+        """
+        with self._lock:
+            if self.model is None:
+                return False
+            self._in_flight += 1
+            return True
+
+    def _exit(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight <= 0:
+                self._drained.notify_all()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until no batch is executing against this version."""
+        with self._lock:
+            return self._drained.wait_for(
+                lambda: self._in_flight <= 0, timeout=timeout
+            )
+
+    def release_model(self, timeout: Optional[float] = None) -> bool:
+        """Drop the model reference once drained; atomic with the drain check.
+
+        Returns ``False`` (and leaves the reference in place) when the
+        version did not drain within ``timeout`` — leaking a retired model
+        for a while is recoverable, serving a ``None`` model is not.
+        """
+        with self._lock:
+            if not self._drained.wait_for(
+                lambda: self._in_flight <= 0, timeout=timeout
+            ):
+                return False
+            self.model = None
+            return True
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "source": self.source,
+            "model": type(self.model).__name__ if self.model is not None
+            else None,
+            "deployed_unix": self.deployed_unix,
+            "retired_unix": self.retired_unix,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "retired" if self.retired_unix is not None else "active"
+        return f"ModelVersion(v{self.version}, {state})"
+
+
+def _check_servable(model) -> None:
+    for attr in ("predict", "decision_scores"):
+        if not callable(getattr(model, attr, None)):
+            raise TypeError(
+                f"model {type(model).__name__} is not servable: "
+                f"missing {attr}()"
+            )
+
+
+def _model_n_features(model) -> Optional[int]:
+    value = getattr(model, "n_features_", None)
+    return int(value) if value is not None else None
+
+
+class ModelServer:
+    """Serve a fitted model behind micro-batching with atomic hot-swap.
+
+    Parameters
+    ----------
+    model:
+        The initial fitted model, or a :mod:`repro.persistence` archive
+        path (``str`` / ``Path``) to load it from.
+    max_batch_size / max_wait_ms:
+        Micro-batching knobs (see :class:`~repro.serve.batcher.MicroBatcher`).
+    metrics_window:
+        Latency-percentile window (see
+        :class:`~repro.serve.metrics.ServerMetrics`).
+    retain_retired:
+        Keep retired versions' model objects alive.  Off by default —
+        retiring releases the reference once the adapter (or any caller
+        holding it) is done; the version *record* is always kept.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import DistHDClassifier
+    >>> from repro.serve import ModelServer
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.normal(size=(64, 6)); y = np.arange(64) % 2
+    >>> clf = DistHDClassifier(dim=64, iterations=2, seed=0).fit(X, y)
+    >>> with ModelServer(clf, max_wait_ms=1.0) as server:
+    ...     preds = server.predict(X[:4])
+    >>> preds.shape
+    (4,)
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        idle_flush_ms: float = 0.2,
+        metrics_window: int = 8192,
+        retain_retired: bool = False,
+    ) -> None:
+        self.metrics = ServerMetrics(window=metrics_window)
+        self.retain_retired = bool(retain_retired)
+        self._swap_lock = threading.Lock()
+        self._versions: List[ModelVersion] = []
+        self._active: Optional[ModelVersion] = None
+        self._warm_rows: Optional[np.ndarray] = None
+        self._closed = False
+        self._batcher = MicroBatcher(
+            self._handle,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            idle_flush_ms=idle_flush_ms,
+            on_request_done=self._on_request_done,
+            on_batch=self.metrics.record_batch,
+        )
+        try:
+            self.deploy(model, warm=False)
+        except BaseException:
+            self._batcher.close()
+            raise
+
+    # ---------------------------------------------------------------- handler
+
+    def _handle(self, kind: str, X: np.ndarray) -> np.ndarray:
+        # One coherent version per batch.  A deploy can flip the active
+        # pointer (and drain + release the old version) between our read
+        # and our registration; _try_enter refuses a released version, in
+        # which case we re-read — the fresh pointer is always enterable.
+        while True:
+            active = self._active
+            if active._try_enter():
+                break
+        try:
+            if kind == _KIND_PREDICT:
+                return np.asarray(active.model.predict(X))
+            if kind == _KIND_SCORES:
+                return np.asarray(active.model.decision_scores(X))
+            raise ValueError(f"unknown request kind {kind!r}")
+        finally:
+            active._exit()
+
+    def _on_request_done(self, latency_s: float, ok: bool) -> None:
+        self.metrics.record_request(latency_s)
+        if not ok:
+            self.metrics.record_error()
+
+    # ----------------------------------------------------------------- intake
+
+    def _prepare(self, X) -> np.ndarray:
+        """Validate a request up front so one bad request cannot poison a
+        batch shared with well-formed ones."""
+        if self._closed:
+            raise RuntimeError("ModelServer is closed")
+        X = np.asarray(X, dtype=np.float64)
+        one_dim = X.ndim == 1
+        X = check_matrix(X.reshape(1, -1) if one_dim else X, "X")
+        expected = _model_n_features(self._active.model)
+        if expected is not None and X.shape[1] != expected:
+            raise ValueError(
+                f"served model expects {expected} features, got {X.shape[1]}"
+            )
+        if self._warm_rows is None:
+            self._warm_rows = X[:1].copy()
+        return X
+
+    def submit_predict(self, X) -> Future:
+        """Micro-batched ``predict``; resolves to the label rows for ``X``."""
+        return self._batcher.submit(_KIND_PREDICT, self._prepare(X))
+
+    def submit_decision_scores(self, X) -> Future:
+        """Micro-batched ``decision_scores``; resolves to ``(n, k)`` scores."""
+        return self._batcher.submit(_KIND_SCORES, self._prepare(X))
+
+    def predict(self, X, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous micro-batched prediction (submit + wait)."""
+        return self.submit_predict(X).result(timeout=timeout)
+
+    def decision_scores(self, X, timeout: Optional[float] = None) -> np.ndarray:
+        """Synchronous micro-batched per-class scores (submit + wait)."""
+        return self.submit_decision_scores(X).result(timeout=timeout)
+
+    # --------------------------------------------------------------- hot-swap
+
+    def deploy(
+        self,
+        model,
+        *,
+        warm: bool = True,
+        source: Optional[str] = None,
+    ) -> ModelVersion:
+        """Publish ``model`` (object or archive path) as the next version.
+
+        Load + validation + warm-up all happen before the flip, off the
+        request path; the flip itself is one pointer swap under the swap
+        lock.  Returns the new active :class:`ModelVersion`; the previous
+        version keeps serving its in-flight batches until drained (see
+        :meth:`wait_drained`).
+        """
+        if isinstance(model, (str, Path)):
+            from repro.persistence import load_model as _load
+
+            source = source or str(model)
+            model = _load(model)
+        _check_servable(model)
+        incoming = _model_n_features(model)
+
+        def check_compatible(previous: Optional[ModelVersion]) -> None:
+            if previous is None:
+                return
+            expected = _model_n_features(previous.model)
+            if (
+                expected is not None
+                and incoming is not None
+                and expected != incoming
+            ):
+                raise ValueError(
+                    f"cannot hot-swap: active version expects {expected} "
+                    f"features, incoming model has {incoming}"
+                )
+
+        # Advisory pre-check so an incompatible deploy fails with the
+        # guarded message instead of a shape error from the warm-up call;
+        # the authoritative check re-runs under the swap lock.
+        check_compatible(self._active)
+        if warm and self._warm_rows is not None:
+            # Populate lazy state (norm caches, encoder buffers) before
+            # the model sees traffic.
+            model.decision_scores(self._warm_rows)
+        # Previous-read, compatibility check and flip are one atomic
+        # step: with them separated, two concurrent deploys could both
+        # capture the same previous version, double-retire it, and leave
+        # the losing intermediate version unretired (and unreleased).
+        with self._swap_lock:
+            previous = self._active
+            check_compatible(previous)
+            version = ModelVersion(
+                len(self._versions) + 1, model, source
+            )
+            self._versions.append(version)
+            self._active = version
+        if previous is not None:
+            previous.retired_unix = time.time()
+            self.metrics.record_swap()
+            if not self.retain_retired:
+                # Release the model reference once retired *and* drained
+                # (atomically — see ModelVersion.release_model); callers
+                # that need the object longer hold their own ref.  On
+                # timeout the reference stays put: leaking a retired
+                # model briefly beats serving a None one.
+                previous.release_model(timeout=30.0)
+        return version
+
+    @property
+    def active_version(self) -> ModelVersion:
+        return self._active
+
+    @property
+    def model(self):
+        """The currently active model object."""
+        return self._active.model
+
+    def wait_drained(
+        self, version: ModelVersion, timeout: Optional[float] = None
+    ) -> bool:
+        """Block until ``version`` has no in-flight batches."""
+        return version.wait_drained(timeout=timeout)
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> Dict[str, object]:
+        """The stats-endpoint snapshot: metrics + version-pool state."""
+        snapshot = self.metrics.snapshot()
+        snapshot["active_version"] = self._active.version
+        snapshot["versions"] = [v.as_record() for v in self._versions]
+        return snapshot
+
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Stop intake, flush pending requests, release the worker."""
+        self._closed = True
+        self._batcher.close()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ModelServer(v{self._active.version}, "
+            f"model={type(self._active.model).__name__}, "
+            f"n_requests={self.metrics.n_requests})"
+        )

@@ -17,6 +17,7 @@ class TestTopLevelExports:
             list_models,
             make_model,
             run_experiment,
+            serve_model,
         )
 
     def test_make_model_succeeds_for_every_name(self):
@@ -24,6 +25,27 @@ class TestTopLevelExports:
 
         for name in list_models():
             assert make_model(name) is not None
+
+    def test_persistence_conveniences_are_reexported(self):
+        import repro.api as api
+        import repro.persistence as persistence
+
+        assert api.load_model is persistence.load_model
+        assert api.save_model is persistence.save_model
+
+    def test_load_model_convenience_round_trip(self, tmp_path):
+        import numpy as np
+
+        from repro.api import load_model, save_model
+        from repro.core.disthd import DistHDClassifier
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 8))
+        y = np.arange(60) % 3
+        clf = DistHDClassifier(dim=48, iterations=2, seed=0).fit(X, y)
+        path = save_model(clf, tmp_path / "m.npz")
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.predict(X), clf.predict(X))
 
 
 class TestRunExperiment:

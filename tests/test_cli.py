@@ -96,3 +96,119 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "quality_loss_pct" in out
+
+
+class TestPredictCommand:
+    @pytest.fixture
+    def saved_model(self, tmp_path):
+        import numpy as np
+
+        from repro.core.disthd import DistHDClassifier
+        from repro.persistence import save_model
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 8))
+        y = np.arange(60) % 3
+        clf = DistHDClassifier(dim=48, iterations=2, seed=0).fit(X, y)
+        return save_model(clf, tmp_path / "model.npz"), clf, X
+
+    def test_predict_from_npy(self, saved_model, tmp_path, capsys):
+        import numpy as np
+
+        path, clf, X = saved_model
+        features = tmp_path / "X.npy"
+        np.save(features, X[:5])
+        code = main(
+            ["predict", "--model-path", str(path), "--input", str(features)]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == [str(v) for v in clf.predict(X[:5])]
+
+    def test_predict_from_csv_with_scores(self, saved_model, tmp_path, capsys):
+        import numpy as np
+
+        path, clf, X = saved_model
+        features = tmp_path / "X.csv"
+        np.savetxt(features, X[:3], delimiter=",")
+        code = main(
+            ["predict", "--model-path", str(path), "--input", str(features),
+             "--scores"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        assert len(out[0].split(",")) == clf.classes_.size
+
+    def test_predict_writes_npy_output(self, saved_model, tmp_path, capsys):
+        import numpy as np
+
+        path, clf, X = saved_model
+        features = tmp_path / "X.npy"
+        np.save(features, X[:4])
+        out_path = tmp_path / "preds.npy"
+        code = main(
+            ["predict", "--model-path", str(path), "--input", str(features),
+             "--output", str(out_path)]
+        )
+        assert code == 0
+        np.testing.assert_array_equal(np.load(out_path), clf.predict(X[:4]))
+
+
+class TestServeCommand:
+    def test_serve_session_smoke(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "serve.json"
+        code = main(
+            ["serve", "--dim", "64", "--scale", "0.004", "--requests", "48",
+             "--concurrency", "4", "--seed", "0", "--output", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        serving = payload["serving"]
+        assert serving["batched"]["n_failed"] == 0
+        assert serving["swap"]["n_swaps"] >= 1
+        assert serving["swap"]["parity_ok"] is True
+        assert serving["direct"]["throughput_rps"] > 0
+
+    def test_serve_model_path_requires_input(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.disthd import DistHDClassifier
+        from repro.persistence import save_model
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 8))
+        y = np.arange(60) % 3
+        clf = DistHDClassifier(dim=32, iterations=2, seed=0).fit(X, y)
+        path = save_model(clf, tmp_path / "m.npz")
+        code = main(["serve", "--model-path", str(path)])
+        assert code == 2
+        assert "--input" in capsys.readouterr().err
+
+    def test_serve_model_path_session(self, tmp_path, capsys):
+        import json
+
+        import numpy as np
+
+        from repro.core.disthd import DistHDClassifier
+        from repro.persistence import save_model
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 8))
+        y = np.arange(60) % 3
+        clf = DistHDClassifier(dim=32, iterations=2, seed=0).fit(X, y)
+        path = save_model(clf, tmp_path / "m.npz")
+        features = tmp_path / "X.npy"
+        np.save(features, X[:16])
+        out = tmp_path / "serve.json"
+        code = main(
+            ["serve", "--model-path", str(path), "--input", str(features),
+             "--requests", "32", "--concurrency", "4",
+             "--output", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["load"]["n_failed"] == 0
+        assert payload["stats"]["n_requests"] >= 32

@@ -72,8 +72,21 @@ class TestFootprint:
     def test_report_fields(self, fitted):
         report = QuantizedHDCModel(fitted, bits=2).footprint_report()
         assert report["bits"] == 2
-        assert report["compression"] == pytest.approx(32.0, rel=0.1)
+        # Compression is measured against the base memory's *actual*
+        # storage dtype (float32 hot-path default → 32 bits / 2 bits);
+        # an earlier revision hard-coded a float64 reference and claimed
+        # 32x here.
+        assert report["compression"] == pytest.approx(16.0, rel=0.1)
         assert report["encoder_parameters"] > 0
+        assert report["refresh_count"] == 0
+
+    def test_float_reference_uses_base_dtype(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        f64 = DistHDClassifier(
+            dim=64, iterations=2, seed=0, dtype="float64"
+        ).fit(train_x, train_y)
+        report = QuantizedHDCModel(f64, bits=2).footprint_report()
+        assert report["compression"] == pytest.approx(32.0, rel=0.1)
 
 
 class TestFaultInjection:
@@ -106,3 +119,138 @@ class TestFaultInjection:
         model = QuantizedHDCModel(fitted, bits=1)
         model.inject_faults(0.5, seed=0)
         assert np.array_equal(fitted.memory_.vectors, before)
+
+
+class TestRefresh:
+    """QuantizedHDCModel.refresh(): re-quantize from the live base in place."""
+
+    def _fresh(self, small_problem, **overrides):
+        train_x, train_y, _, _ = small_problem
+        params = dict(dim=96, iterations=4, seed=0)
+        params.update(overrides)
+        return (
+            DistHDClassifier(**params).fit(train_x, train_y),
+            train_x, train_y,
+        )
+
+    def test_refresh_tracks_partial_fit_updates(self, small_problem):
+        base, train_x, train_y = self._fresh(small_problem)
+        model = QuantizedHDCModel(base, bits=8)
+        stale = model.class_vectors.copy()
+        base.partial_fit(train_x[:64], train_y[:64])
+        # Before refresh the frozen image is unchanged.
+        np.testing.assert_array_equal(model.class_vectors, stale)
+        out = model.refresh()
+        assert out is model  # in place, chainable
+        assert model.refresh_count == 1
+        assert not np.array_equal(model.class_vectors, stale)
+        # The refreshed image equals a freshly built wrapper's.
+        rebuilt = QuantizedHDCModel(base, bits=8)
+        np.testing.assert_array_equal(
+            model.class_vectors, rebuilt.class_vectors
+        )
+
+    def test_refresh_discards_injected_faults(self, small_problem):
+        base, _, _ = self._fresh(small_problem)
+        model = QuantizedHDCModel(base, bits=8)
+        clean = model.class_vectors.copy()
+        model.inject_faults(0.3, seed=0)
+        assert not np.array_equal(model.class_vectors, clean)
+        model.refresh()
+        np.testing.assert_array_equal(model.class_vectors, clean)
+
+    def test_footprint_reflects_post_refresh_state(self, small_problem):
+        base, train_x, train_y = self._fresh(small_problem)
+        model = QuantizedHDCModel(base, bits=8)
+        base.partial_fit(train_x[:32], train_y[:32])
+        report = model.refresh().footprint_report()
+        assert report["refresh_count"] == 1
+        # float32 hot-path default: 4-byte reference per cell.
+        assert report["float_memory_bytes"] == model._quantized.codes.size * 4
+        assert report["compression"] == pytest.approx(4.0, rel=0.1)
+
+    def test_frozen_encoder_is_independent_of_live_base(self, small_problem):
+        base, train_x, train_y = self._fresh(
+            small_problem, regen_rate=0.2, selection="union",
+            reservoir_size=64, regen_every=1,
+        )
+        model = QuantizedHDCModel(base, bits=8)
+        assert model.encoder is not base.encoder_
+        before = model.decision_scores(train_x[:8]).copy()
+        # Stream enough batches to force regeneration on the live base.
+        for start in range(0, 192, 32):
+            base.partial_fit(train_x[start:start + 32],
+                             train_y[start:start + 32])
+        assert base.encoder_.regenerated_count > 0
+        # The frozen artifact is unaffected until an explicit refresh.
+        np.testing.assert_array_equal(
+            model.decision_scores(train_x[:8]), before
+        )
+        model.refresh()
+        assert model.encoder is not base.encoder_
+
+    def test_retain_base_false_is_self_contained(self, small_problem):
+        base, _, _ = self._fresh(small_problem)
+        model = QuantizedHDCModel(base, bits=8, retain_base=False)
+        assert model.classifier is None
+        with pytest.raises(RuntimeError, match="retain_base=False"):
+            model.refresh()
+        # Inference and footprint still work without the back-reference.
+        assert model.footprint_report()["bits"] == 8
+
+    def test_loaded_artifact_does_not_retain_base(
+        self, small_problem, tmp_path
+    ):
+        from repro.deploy.quantized import QuantizedTrainer
+        from repro.persistence import load_model, save_model
+
+        train_x, train_y, _, _ = small_problem
+        trainer = QuantizedTrainer(
+            DistHDClassifier(dim=64, iterations=2, seed=0), bits=8
+        ).fit(train_x, train_y)
+        path = save_model(trainer, tmp_path / "q.npz")
+        loaded = load_model(path)
+        assert isinstance(loaded, QuantizedHDCModel)
+        assert loaded.classifier is None
+
+    def test_refresh_requires_fitted_base(self, small_problem):
+        base, _, _ = self._fresh(small_problem)
+        model = QuantizedHDCModel(base, bits=8)
+        model.classifier = DistHDClassifier(dim=16)  # unfitted
+        with pytest.raises(RuntimeError, match="cannot refresh"):
+            model.refresh()
+
+    def test_trainer_partial_fit_refreshes_deployment(self, small_problem):
+        from repro.deploy.quantized import QuantizedTrainer
+
+        train_x, train_y, test_x, _ = small_problem
+        trainer = QuantizedTrainer(
+            DistHDClassifier(dim=96, iterations=4, seed=0), bits=8
+        )
+        trainer.fit(train_x, train_y)
+        stale = trainer.deployed_.class_vectors.copy()
+        trainer.partial_fit(train_x[:64], train_y[:64])
+        assert trainer.deployed_.refresh_count == 1
+        assert not np.array_equal(trainer.deployed_.class_vectors, stale)
+        # refresh() delegation with no intervening training is a no-op
+        # on the image but still counts.
+        image = trainer.deployed_.class_vectors.copy()
+        trainer.refresh()
+        assert trainer.deployed_.refresh_count == 2
+        np.testing.assert_array_equal(trainer.deployed_.class_vectors, image)
+
+    def test_trainer_partial_fit_from_scratch(self, small_problem):
+        from repro.deploy.quantized import QuantizedTrainer
+
+        train_x, train_y, test_x, test_y = small_problem
+        trainer = QuantizedTrainer(
+            DistHDClassifier(dim=96, iterations=4, seed=0), bits=8
+        )
+        classes = np.unique(train_y)
+        for start in range(0, 128, 32):
+            trainer.partial_fit(
+                train_x[start:start + 32], train_y[start:start + 32],
+                classes=classes,
+            )
+        assert trainer.deployed_ is not None
+        assert trainer.score(test_x, test_y) > 0.4

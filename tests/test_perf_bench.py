@@ -63,7 +63,7 @@ class TestLegacyReference:
 class TestRunBench:
     def test_smoke_payload(self):
         payload = run_bench(models=("disthd",), smoke=True)
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["config"]["smoke"] is True
         assert [r["model"] for r in payload["results"]] == ["disthd"]
         assert "fit_speedup_vs_legacy" in payload
@@ -76,6 +76,11 @@ class TestRunBench:
         assert sharded["single_fit_s"] > 0.0
         assert sharded["sharded_fit_s"] > 0.0
         assert sharded["n_jobs"] == 2 and sharded["n_shards"] == 2
+        serving = payload["scenarios"]["serving"]
+        assert serving["batched"]["n_failed"] == 0
+        assert serving["direct"]["throughput_rps"] > 0
+        assert serving["swap"]["n_swaps"] >= 1
+        assert serving["swap"]["parity_ok"] is True
         # The payload must be JSON-serialisable as-is.
         json.dumps(payload)
 
@@ -168,6 +173,58 @@ class TestTrackedBaselinePr4:
         ) <= 0.01
 
 
+class TestTrackedBaselinePr5:
+    def test_bench_pr5_json_is_committed_and_meets_target(self):
+        """PR-5 acceptance artifact: ≥3x micro-batched throughput vs
+        per-request predict at concurrency 32 on the regen-heavy serving
+        scenario, with a hot-swap under load dropping zero requests and
+        exact post-swap parity."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_pr5.json"
+        assert path.exists(), "BENCH_pr5.json missing from repo root"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 4
+        scenario = payload["scenarios"]["serving"]
+        assert scenario["dim"] >= 4096
+        assert scenario["concurrency"] >= 32
+        assert scenario["throughput_speedup_vs_direct"] >= 3.0
+        assert scenario["batched"]["n_failed"] == 0
+        swap = scenario["swap"]
+        assert swap["n_swaps"] >= 1
+        assert swap["failed_requests"] == 0
+        assert swap["parity_ok"] is True
+
+
+class TestServingScenario:
+    def test_miniature_scenario_record(self):
+        from repro.perf import bench_serving
+
+        rec = bench_serving(
+            scale=0.003, dim=96, iterations=2,
+            n_requests=64, concurrency=4,
+        )
+        assert rec["scenario"] == "serving"
+        assert rec["direct"]["throughput_rps"] > 0
+        assert rec["batched"]["throughput_rps"] > 0
+        assert rec["batched"]["n_failed"] == 0
+        assert rec["throughput_speedup_vs_direct"] > 0
+        assert rec["mean_batch_size"] >= 1
+        assert rec["swap"]["n_swaps"] >= 1
+        assert rec["swap"]["parity_ok"] is True
+        json.dumps(rec)
+
+    def test_no_swap_mode(self):
+        from repro.perf import bench_serving
+
+        rec = bench_serving(
+            scale=0.003, dim=96, iterations=2,
+            n_requests=48, concurrency=4, swap=False,
+        )
+        assert "swap" not in rec
+        assert rec["batched"]["n_failed"] == 0
+
+
 class TestShardedFitScenario:
     def test_miniature_scenario_record(self):
         from repro.perf import bench_sharded_fit
@@ -243,3 +300,57 @@ class TestCheckRegression:
             {"results": [{"model": "new", "fit_s": 9, "predict_s": 9}]},
             base, 2.0,
         ) == []
+
+    @staticmethod
+    def _serving_payload(p95_ms, rps, failed=0, parity=True):
+        return {
+            "results": [{"model": "disthd", "fit_s": 0.1, "predict_s": 0.01}],
+            "scenarios": {
+                "serving": {
+                    "batched": {
+                        "latency_ms": {"p95": p95_ms},
+                        "throughput_rps": rps,
+                    },
+                    "swap": {"failed_requests": failed, "parity_ok": parity},
+                }
+            },
+        }
+
+    def test_serving_scenario_gated(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        try:
+            from check_regression import compare
+        finally:
+            sys.path.pop(0)
+        base = self._serving_payload(10.0, 5000.0)
+        # within margin
+        assert compare(self._serving_payload(15.0, 4000.0), base, 2.0) == []
+        # p95 blow-up
+        problems = compare(self._serving_payload(30.0, 5000.0), base, 2.0)
+        assert any("p95" in p for p in problems)
+        # throughput collapse
+        problems = compare(self._serving_payload(10.0, 1000.0), base, 2.0)
+        assert any("throughput" in p for p in problems)
+        # dropped requests / parity failures always gate
+        problems = compare(
+            self._serving_payload(10.0, 5000.0, failed=3), base, 2.0
+        )
+        assert any("dropped" in p for p in problems)
+        problems = compare(
+            self._serving_payload(10.0, 5000.0, parity=False), base, 2.0
+        )
+        assert any("parity" in p for p in problems)
+        # serving absent from the baseline is not gated
+        assert compare(
+            self._serving_payload(99.0, 1.0),
+            {"results": base["results"]}, 2.0,
+        ) == []
+        # a measured zero (total collapse) still gates — falsy values are
+        # not "absent"
+        problems = compare(self._serving_payload(10.0, 0.0), base, 2.0)
+        assert any("throughput" in p for p in problems)

@@ -1,0 +1,176 @@
+"""Tests for repro.serve.batcher.MicroBatcher."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+def _echo_handler(kind, X):
+    """Row-aligned result that encodes the kind, for split verification."""
+    if kind == "sum":
+        return X.sum(axis=1)
+    if kind == "double":
+        return X * 2.0
+    raise ValueError(f"boom: {kind}")
+
+
+class TestCoalescing:
+    def test_single_request_round_trip(self):
+        with MicroBatcher(_echo_handler, max_wait_ms=1.0) as mb:
+            out = mb.submit("sum", np.ones(4)).result(timeout=5)
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(4.0)
+
+    def test_multi_row_request_round_trip(self):
+        rows = np.arange(12, dtype=float).reshape(3, 4)
+        with MicroBatcher(_echo_handler, max_wait_ms=1.0) as mb:
+            out = mb.submit("double", rows).result(timeout=5)
+        np.testing.assert_allclose(out, rows * 2.0)
+
+    def test_concurrent_requests_get_their_own_rows(self):
+        rows = [np.full(4, float(i)) for i in range(40)]
+        results = [None] * len(rows)
+        with MicroBatcher(_echo_handler, max_batch_size=8,
+                          max_wait_ms=5.0) as mb:
+            def fire(i):
+                results[i] = mb.submit("sum", rows[i]).result(timeout=10)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,))
+                for i in range(len(rows))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for i, out in enumerate(results):
+            assert out[0] == pytest.approx(4.0 * i), f"request {i} got {out}"
+
+    def test_mixed_kinds_in_one_window_stay_separate(self):
+        with MicroBatcher(_echo_handler, max_wait_ms=20.0) as mb:
+            futures = []
+            for i in range(6):
+                kind = "sum" if i % 2 == 0 else "double"
+                futures.append((kind, i, mb.submit(kind, np.full(3, float(i)))))
+            for kind, i, future in futures:
+                out = future.result(timeout=10)
+                if kind == "sum":
+                    assert out[0] == pytest.approx(3.0 * i)
+                else:
+                    np.testing.assert_allclose(out[0], np.full(3, 2.0 * i))
+
+    def test_batch_size_cap_respected(self):
+        sizes = []
+        gate = threading.Event()
+
+        def slow_handler(kind, X):
+            gate.wait(timeout=10)
+            return X.sum(axis=1)
+
+        mb = MicroBatcher(
+            slow_handler, max_batch_size=4, max_wait_ms=50.0,
+            on_batch=sizes.append,
+        )
+        try:
+            futures = [mb.submit("sum", np.ones(2)) for _ in range(12)]
+            gate.set()
+            for f in futures:
+                f.result(timeout=10)
+        finally:
+            mb.close()
+        assert sizes, "no batches recorded"
+        # Single-rows-of-2 requests: a batch stops growing once >= 4 rows.
+        assert max(sizes) <= 4 + 1  # one multi-row request may overshoot
+
+    def test_max_wait_bounds_latency_of_a_lone_request(self):
+        with MicroBatcher(_echo_handler, max_batch_size=1024,
+                          max_wait_ms=10.0) as mb:
+            start = time.perf_counter()
+            mb.submit("sum", np.ones(3)).result(timeout=5)
+            elapsed = time.perf_counter() - start
+        # Far below the 1024-row fill; the deadline (or idle flush) must
+        # have fired.  Generous bound for noisy CI runners.
+        assert elapsed < 5.0
+
+
+class TestErrors:
+    def test_handler_error_propagates_to_futures(self):
+        with MicroBatcher(_echo_handler, max_wait_ms=1.0) as mb:
+            future = mb.submit("unknown-kind", np.ones(3))
+            with pytest.raises(ValueError, match="boom"):
+                future.result(timeout=5)
+            # the batcher survives and keeps serving
+            assert mb.submit("sum", np.ones(3)).result(timeout=5)[0] == 3.0
+
+    def test_row_misaligned_handler_is_an_error(self):
+        def bad_handler(kind, X):
+            return np.zeros(X.shape[0] + 1)
+
+        with MicroBatcher(bad_handler, max_wait_ms=1.0) as mb:
+            with pytest.raises(RuntimeError, match="result rows"):
+                mb.submit("sum", np.ones(3)).result(timeout=5)
+
+    def test_width_mismatched_requests_fail_without_killing_worker(self):
+        started, gate = threading.Event(), threading.Event()
+
+        def handler(kind, X):
+            started.set()
+            gate.wait(timeout=10)
+            return X.sum(axis=1)
+
+        with MicroBatcher(handler, max_wait_ms=20.0) as mb:
+            first = mb.submit("sum", np.ones(3))
+            assert started.wait(timeout=5)
+            # Queued while the worker is busy: guaranteed to coalesce
+            # into one (width-mismatched) group on the next flush.
+            narrow = mb.submit("sum", np.ones(3))
+            wide = mb.submit("sum", np.ones(5))
+            gate.set()
+            assert first.result(timeout=5)[0] == 3.0
+            # The vstack failure lands on the group's futures, not the
+            # worker thread...
+            with pytest.raises(ValueError):
+                narrow.result(timeout=5)
+            with pytest.raises(ValueError):
+                wide.result(timeout=5)
+            # ...and the worker survives to serve well-formed requests.
+            assert mb.submit("sum", np.ones(4)).result(timeout=5)[0] == 4.0
+
+    def test_empty_rows_rejected(self):
+        with MicroBatcher(_echo_handler) as mb:
+            with pytest.raises(ValueError, match="non-empty"):
+                mb.submit("sum", np.empty((0, 4)))
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(_echo_handler, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(_echo_handler, max_wait_ms=0.0)
+
+
+class TestLifecycle:
+    def test_close_flushes_pending_requests(self):
+        release = threading.Event()
+
+        def slow_handler(kind, X):
+            release.wait(timeout=10)
+            return X.sum(axis=1)
+
+        mb = MicroBatcher(slow_handler, max_batch_size=2, max_wait_ms=500.0)
+        futures = [mb.submit("sum", np.ones(2)) for _ in range(10)]
+        release.set()
+        mb.close()
+        # Zero dropped: every accepted request resolved.
+        assert all(f.done() for f in futures)
+        assert all(f.result()[0] == 2.0 for f in futures)
+
+    def test_submit_after_close_raises(self):
+        mb = MicroBatcher(_echo_handler)
+        mb.close()
+        assert mb.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            mb.submit("sum", np.ones(3))

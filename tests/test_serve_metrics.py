@@ -1,0 +1,64 @@
+"""Tests for repro.serve.metrics.ServerMetrics."""
+
+import pytest
+
+from repro.serve.metrics import ServerMetrics
+
+
+class TestSnapshot:
+    def test_empty_snapshot(self):
+        snap = ServerMetrics().snapshot()
+        assert snap["n_requests"] == 0
+        assert snap["n_errors"] == 0
+        assert snap["n_swaps"] == 0
+        assert snap["latency_ms"] is None
+        assert snap["mean_batch_size"] is None
+        assert snap["batch_sizes"] == {}
+        assert snap["uptime_s"] > 0
+
+    def test_latency_percentiles(self):
+        metrics = ServerMetrics()
+        for ms in range(1, 101):  # 1..100 ms
+            metrics.record_request(ms / 1e3)
+        latency = metrics.snapshot()["latency_ms"]
+        assert latency["p50"] == pytest.approx(50.5, abs=1.0)
+        assert latency["p95"] == pytest.approx(95.05, abs=1.0)
+        assert latency["p99"] == pytest.approx(99.01, abs=1.0)
+        assert latency["mean"] == pytest.approx(50.5, abs=0.5)
+        assert latency["max"] == pytest.approx(100.0)
+
+    def test_window_ages_out_old_samples(self):
+        metrics = ServerMetrics(window=4)
+        for _ in range(10):
+            metrics.record_request(1.0)  # 1000 ms
+        for _ in range(4):
+            metrics.record_request(0.001)  # the window is now all 1 ms
+        snap = metrics.snapshot()
+        assert snap["n_requests"] == 14  # lifetime count is not windowed
+        assert snap["latency_ms"]["max"] == pytest.approx(1.0)
+
+    def test_batch_histogram_and_mean(self):
+        metrics = ServerMetrics()
+        for size in (4, 4, 8):
+            metrics.record_batch(size)
+        snap = metrics.snapshot()
+        assert snap["batch_sizes"] == {"4": 2, "8": 1}
+        assert snap["mean_batch_size"] == pytest.approx(16 / 3)
+
+    def test_counters(self):
+        metrics = ServerMetrics()
+        metrics.record_error()
+        metrics.record_swap()
+        metrics.record_swap()
+        assert metrics.n_errors == 1
+        assert metrics.n_swaps == 2
+
+    def test_throughput_uses_lifetime_count(self):
+        metrics = ServerMetrics()
+        for _ in range(5):
+            metrics.record_request(0.001)
+        assert metrics.snapshot()["throughput_rps"] > 0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            ServerMetrics(window=0)
