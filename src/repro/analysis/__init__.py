@@ -1,0 +1,52 @@
+"""``repro.analysis`` — the invariant linter and concurrency annotations.
+
+The codebase's load-bearing contracts (backend dtype purity, serve lock
+discipline, seed-coherent encoders, versioned-cache coherence, public-API
+hygiene) are enforced mechanically at lint time: ``repro lint src/`` runs
+every registered :class:`~repro.analysis.core.Rule` over the tree and
+fails CI on any unsuppressed violation.  See ``docs/analysis.md``.
+"""
+
+from repro.analysis.annotations import (
+    LOCK_ORDER,
+    LockOrderError,
+    TrackedLock,
+    enable_runtime_lock_checks,
+    guarded_by,
+    guarded_fields,
+    make_lock,
+)
+from repro.analysis.core import (
+    REPORT_SCHEMA,
+    ModuleContext,
+    Report,
+    Rule,
+    Violation,
+    all_rules,
+    check_file,
+    get_rules,
+    parse_suppressions,
+    register_rule,
+    run_analysis,
+)
+
+__all__ = [
+    "LOCK_ORDER",
+    "LockOrderError",
+    "TrackedLock",
+    "enable_runtime_lock_checks",
+    "guarded_by",
+    "guarded_fields",
+    "make_lock",
+    "REPORT_SCHEMA",
+    "ModuleContext",
+    "Report",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_file",
+    "get_rules",
+    "parse_suppressions",
+    "register_rule",
+    "run_analysis",
+]

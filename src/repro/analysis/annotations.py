@@ -1,0 +1,194 @@
+"""Concurrency annotations the invariant linter and the runtime shim read.
+
+Two complementary enforcement layers share the declarations here:
+
+- **Static** — the ``lock-discipline`` rule (:mod:`repro.analysis.rules`)
+  reads ``@guarded_by`` decorators off the AST and verifies every
+  lexical read/write of a guarded attribute sits inside
+  ``with self.<lock>:``, and that lexically nested acquisitions follow
+  :data:`LOCK_ORDER`.
+- **Runtime** — :func:`make_lock` hands out plain ``threading.Lock``
+  objects in production and order-asserting :class:`TrackedLock` objects
+  when the checks are enabled (the test suite turns them on in
+  ``conftest.py``, and ``REPRO_LOCK_CHECKS=1`` forces them anywhere), so
+  an acquisition order the static rule cannot see — locks reached
+  through another object at runtime — fails the test that exercises it
+  instead of deadlocking a production fleet.
+
+``LOCK_ORDER`` is the single declared total order for the serving
+stack's locks (PR 5's concurrency surface).  Acquiring a lock while
+holding one of equal or later rank raises :class:`LockOrderError` under
+the shim and is flagged by the linter when lexically visible.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+
+_C = TypeVar("_C")
+
+#: Class-attribute name the decorator stores its declarations under.
+GUARDED_ATTR = "__guarded_fields__"
+
+#: The one declared lock total order, outermost first.  A thread may only
+#: acquire a lock whose rank is strictly greater than every lock it
+#: already holds.  Rationale (see docs/analysis.md): the adapter calls
+#: into the server (never the reverse), the server's swap path touches
+#: version drain locks, the batcher's drain path runs the handler which
+#: enters a version and reports metrics — so adapter < server < batcher <
+#: version < metrics can never invert.
+LOCK_ORDER: Tuple[str, ...] = (
+    "OnlineAdapter._lock",
+    "ModelServer._swap_lock",
+    "MicroBatcher._drain_lock",
+    "ModelVersion._lock",
+    "ServerMetrics._lock",
+)
+
+
+def lock_rank(name: str) -> Optional[int]:
+    """Rank of ``name`` ("Class.attr") in :data:`LOCK_ORDER`, if declared."""
+    try:
+        return LOCK_ORDER.index(name)
+    except ValueError:
+        return None
+
+
+def guarded_by(
+    lock: str, *fields: str, aliases: Tuple[str, ...] = ()
+) -> Callable[[type], type]:
+    """Declare that ``fields`` of the decorated class are guarded by
+    ``self.<lock>``.
+
+    Purely declarative at runtime — the decorator records the contract on
+    the class (``__guarded_fields__``) and returns it unchanged; the
+    ``lock-discipline`` linter rule is the enforcer.  ``aliases`` name
+    attributes that acquire the *same* underlying lock when entered (a
+    ``threading.Condition`` constructed over it), so ``with self.<alias>:``
+    also counts as holding the lock.
+
+    Examples
+    --------
+    >>> @guarded_by("_lock", "_in_flight", aliases=("_drained",))
+    ... class Tracker:
+    ...     pass
+    >>> Tracker.__guarded_fields__
+    {'_in_flight': {'lock': '_lock', 'aliases': ('_drained',)}}
+    """
+    if not fields:
+        raise ValueError("guarded_by needs at least one guarded field name")
+
+    def decorate(cls: type) -> type:
+        declared: Dict[str, Dict[str, object]] = dict(
+            getattr(cls, GUARDED_ATTR, {})
+        )
+        for field in fields:
+            declared[field] = {"lock": lock, "aliases": tuple(aliases)}
+        setattr(cls, GUARDED_ATTR, declared)
+        return cls
+
+    return decorate
+
+
+def guarded_fields(cls: type) -> Dict[str, Dict[str, object]]:
+    """The ``@guarded_by`` declarations recorded on ``cls`` (may be empty)."""
+    return dict(getattr(cls, GUARDED_ATTR, {}))
+
+
+# --------------------------------------------------------- runtime shim
+
+
+class LockOrderError(RuntimeError):
+    """A lock acquisition violated :data:`LOCK_ORDER`."""
+
+
+_runtime_checks = bool(int(os.environ.get("REPRO_LOCK_CHECKS", "0") or "0"))
+_held = threading.local()
+
+
+def enable_runtime_lock_checks(enabled: bool = True) -> None:
+    """Turn the order-asserting locks on/off for locks created *after* the
+    call (the test suite enables them before any server is built)."""
+    global _runtime_checks
+    _runtime_checks = bool(enabled)
+
+
+def runtime_lock_checks_enabled() -> bool:
+    return _runtime_checks
+
+
+def _held_stack() -> List[Tuple[int, str]]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = []
+        _held.stack = stack
+    return stack
+
+
+class TrackedLock:
+    """A ``threading.Lock`` that asserts :data:`LOCK_ORDER` on acquisition.
+
+    Drop-in for the lock attributes named in ``LOCK_ORDER``: supports the
+    context-manager protocol and the ``acquire``/``release`` pair
+    ``threading.Condition`` drives, and keeps a thread-local stack of
+    held ranks.  Acquiring out of order raises :class:`LockOrderError`
+    immediately — turning a would-be fleet deadlock into a test failure.
+    Unordered (unknown-name) locks pass through untracked.
+    """
+
+    __slots__ = ("name", "rank", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.rank = lock_rank(name)
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if self.rank is not None and blocking:
+            stack = _held_stack()
+            if stack:
+                top_rank, top_name = max(stack)
+                if top_rank >= self.rank:
+                    raise LockOrderError(
+                        f"acquiring {self.name!r} (rank {self.rank}) while "
+                        f"holding {top_name!r} (rank {top_rank}) violates the "
+                        f"declared lock order {LOCK_ORDER}"
+                    )
+        got = self._lock.acquire(blocking, timeout)
+        if got and self.rank is not None:
+            _held_stack().append((self.rank, self.name))
+        return got
+
+    def release(self) -> None:
+        self._lock.release()
+        if self.rank is not None:
+            stack = _held_stack()
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i][1] == self.name:
+                    del stack[i]
+                    break
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrackedLock({self.name!r}, rank={self.rank})"
+
+
+def make_lock(name: str) -> threading.Lock:
+    """A lock for the declared slot ``name`` ("Class.attr").
+
+    Plain ``threading.Lock`` in production (zero overhead); an
+    order-asserting :class:`TrackedLock` when the runtime checks are on.
+    """
+    if _runtime_checks:
+        return TrackedLock(name)  # type: ignore[return-value]
+    return threading.Lock()

@@ -1,0 +1,331 @@
+"""The invariant-linter core: rule registry, per-file driver, suppressions.
+
+The library's correctness rests on contracts that ordinary tests cannot
+pin — the :class:`~repro.hdc.memory.AssociativeMemory` versioned-cache
+invariant, the seed-coherent identical-encoder invariant behind
+``shard_fit`` bundling, the ArrayBackend dtype-preservation rule, the
+``serve`` locking discipline.  A violation of any of them is a heisenbug
+in a multi-threaded or multi-process fleet, not a deterministic test
+failure, so this package checks them *mechanically at lint time*: each
+contract is an AST :class:`Rule`, the driver runs every registered rule
+over every file, and ``repro lint src/`` gates CI.
+
+Vocabulary
+----------
+- A :class:`Rule` owns one invariant.  It sees a :class:`ModuleContext`
+  (path + parsed AST + source) and yields :class:`Violation` records.
+- Rules register themselves via :func:`register_rule`; the registry is
+  the single source the driver, the CLI ``--rule`` filter and the docs
+  table all read.
+- A violation on a line carrying ``# repro: allow[<rule>] <reason>`` is
+  *suppressed* — counted, never fatal.  Suppressions are deliberately
+  loud (rule name + free-text reason) so exceptions to an invariant stay
+  reviewable; see ``docs/analysis.md``.
+
+Scoping
+-------
+Rules declare the sub-packages they police via ``paths`` — entries are
+matched against the module path relative to the ``repro`` package root
+(``"hdc"`` matches ``repro/hdc/**``, ``"engine/shard.py"`` exactly that
+file).  An empty tuple means every file.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Schema version of the JSON report (bump on shape changes).
+REPORT_SCHEMA = 1
+
+#: ``# repro: allow[rule-a,rule-b] optional free-text reason``
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[a-z0-9_,\s*-]+)\](?P<reason>.*)$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One broken invariant at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: Optional[str] = None
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+        }
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}{mark}"
+
+
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines: List[str] = source.splitlines()
+        #: Module path relative to the ``repro`` package root (POSIX
+        #: separators), e.g. ``"hdc/memory.py"``; falls back to the file
+        #: name when the file lives outside a ``repro`` package.
+        self.package_path = _package_relative(path)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def _package_relative(path: Path) -> str:
+    parts = path.as_posix().split("/")
+    for anchor in ("repro",):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            rel = "/".join(parts[idx + 1:])
+            if rel:
+                return rel
+    return path.name
+
+
+class Rule:
+    """Base class for one mechanically-checked invariant.
+
+    Subclasses set :attr:`name` / :attr:`description` / :attr:`paths` and
+    implement :meth:`check`.  ``paths`` scoping is resolved by the driver
+    (:meth:`applies_to`), so ``check`` only ever sees in-scope modules.
+    """
+
+    #: Registry key, also the ``allow[...]`` suppression token.
+    name: str = "abstract"
+    #: One-line summary (the docs table and ``repro lint --list`` print it).
+    description: str = ""
+    #: Package-relative path prefixes this rule polices ('' = everything).
+    paths: Tuple[str, ...] = ()
+
+    def applies_to(self, package_path: str) -> bool:
+        if not self.paths:
+            return True
+        for prefix in self.paths:
+            if package_path == prefix or package_path.startswith(
+                prefix.rstrip("/") + "/"
+            ):
+                return True
+        return False
+
+    def check(self, module: ModuleContext) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: name -> rule instance; populated by :func:`register_rule`.
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if rule.name in _RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _RULES[rule.name] = rule
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """The registered rules, importing the built-in rule modules once."""
+    from repro.analysis import rules as _builtin  # noqa: F401  (registration)
+
+    return dict(_RULES)
+
+
+def get_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    registry = all_rules()
+    if names is None:
+        return [registry[k] for k in sorted(registry)]
+    missing = sorted(set(names) - set(registry))
+    if missing:
+        raise KeyError(
+            f"unknown rule(s) {missing}; registered: {sorted(registry)}"
+        )
+    return [registry[name] for name in sorted(set(names))]
+
+
+# ------------------------------------------------------------- suppressions
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Dict[str, str]]:
+    """Per-line ``# repro: allow[...]`` markers.
+
+    Returns ``{lineno: {rule_name: reason}}`` (1-based line numbers).  A
+    marker suppresses matching violations reported *on its own line*.
+    """
+    out: Dict[int, Dict[str, str]] = {}
+    for i, text in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if not match:
+            continue
+        reason = match.group("reason").strip().lstrip("-—:").strip()
+        entry = out.setdefault(i, {})
+        for name in match.group("rules").split(","):
+            name = name.strip()
+            if name:
+                entry[name] = reason
+    return out
+
+
+def apply_suppressions(
+    violations: Iterable[Violation], suppressions: Dict[int, Dict[str, str]]
+) -> List[Violation]:
+    out = []
+    for v in violations:
+        allowed = suppressions.get(v.line, {})
+        if v.rule in allowed or "*" in allowed:
+            reason = allowed.get(v.rule, allowed.get("*", ""))
+            v = dataclasses.replace(
+                v, suppressed=True, suppress_reason=reason or None
+            )
+        out.append(v)
+    return out
+
+
+# ------------------------------------------------------------------ driver
+
+
+class Report:
+    """Outcome of one lint run over a file set."""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self.files_checked = 0
+        self.parse_errors: List[Dict[str, object]] = []
+
+    @property
+    def active(self) -> List[Violation]:
+        return [v for v in self.violations if not v.suppressed]
+
+    @property
+    def suppressed(self) -> List[Violation]:
+        return [v for v in self.violations if v.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.parse_errors
+
+    def as_payload(self, rules: Sequence[Rule]) -> Dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules": [
+                {"name": r.name, "description": r.description, "paths": list(r.paths)}
+                for r in rules
+            ],
+            "n_violations": len(self.active),
+            "n_suppressed": len(self.suppressed),
+            "violations": [v.as_record() for v in self.active],
+            "suppressed": [v.as_record() for v in self.suppressed],
+            "parse_errors": list(self.parse_errors),
+        }
+
+    def to_json(self, rules: Sequence[Rule]) -> str:
+        return json.dumps(self.as_payload(rules), indent=2, sort_keys=False)
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.violations]
+        for err in self.parse_errors:
+            lines.append(f"{err['path']}:{err['line']}: [parse-error] {err['message']}")
+        summary = (
+            f"{self.files_checked} file(s) checked, "
+            f"{len(self.active)} violation(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen = {}
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for file in candidates:
+            seen[file.resolve()] = file
+    return [seen[key] for key in sorted(seen)]
+
+
+def check_file(
+    path: Path,
+    rules: Sequence[Rule],
+    *,
+    on_parse_error: Optional[Callable[[Path, SyntaxError], None]] = None,
+) -> List[Violation]:
+    """Run ``rules`` over one file, suppression markers applied."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        if on_parse_error is not None:
+            on_parse_error(path, exc)
+            return []
+        raise
+    module = ModuleContext(path, source, tree)
+    suppressions = parse_suppressions(module.lines)
+    found: List[Violation] = []
+    for rule in rules:
+        if rule.applies_to(module.package_path):
+            found.extend(rule.check(module))
+    found.sort(key=lambda v: (v.line, v.col, v.rule))
+    return apply_suppressions(found, suppressions)
+
+
+def run_analysis(
+    paths: Sequence[Path], rule_names: Optional[Sequence[str]] = None
+) -> Report:
+    """Lint ``paths`` (files or trees) under the selected rules."""
+    rules = get_rules(rule_names)
+    report = Report()
+
+    def _record_parse_error(path: Path, exc: SyntaxError) -> None:
+        report.parse_errors.append(
+            {"path": str(path), "line": exc.lineno or 0, "message": exc.msg}
+        )
+
+    for file in iter_python_files([Path(p) for p in paths]):
+        report.files_checked += 1
+        report.violations.extend(
+            check_file(file, rules, on_parse_error=_record_parse_error)
+        )
+    return report

@@ -1,0 +1,23 @@
+"""Built-in invariant rules.
+
+Importing this package registers every rule with the
+:mod:`repro.analysis.core` registry; each module owns one invariant and
+documents where that invariant came from (see ``docs/analysis.md`` for
+the narrative version).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+    api_hygiene,
+    backend_purity,
+    cache_coherence,
+    lock_discipline,
+    seed_determinism,
+)
+
+__all__ = [
+    "api_hygiene",
+    "backend_purity",
+    "cache_coherence",
+    "lock_discipline",
+    "seed_determinism",
+]

@@ -1,0 +1,187 @@
+"""``public-api-hygiene`` — ``__all__`` stays truthful, deprecations warn.
+
+Invariant (PR 1): the registries and the ``repro.api`` facade are the
+supported surface; ``__all__`` is how each package declares it.  An
+``__all__`` entry with no matching definition breaks ``import *`` and
+documentation tooling at a distance from the edit that caused it; a
+deprecated shim that stops warning silently re-blesses the old API.
+
+Checks, for every module:
+
+- ``__all__`` must be a literal list/tuple of strings;
+- every listed name must be defined in (or imported into) the module;
+- no duplicate entries;
+- a class/function whose docstring declares it *deprecated* must call
+  ``warnings.warn`` (directly or via a ``*deprecat*``-named helper)
+  somewhere in its body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register_rule
+
+
+def _top_level_names(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Names defined/imported at module top level (+ star-import flag)."""
+    names: Set[str] = set()
+    star = False
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    star = True
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING / optional-dependency guards: one level deep.
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                    names.add(sub.name)
+                elif isinstance(sub, ast.Import):
+                    for alias in sub.names:
+                        names.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            names.add(alias.asname or alias.name)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        for leaf in ast.walk(target):
+                            if isinstance(leaf, ast.Name):
+                                names.add(leaf.id)
+    return names, star
+
+
+def _find_all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in node.targets
+        ):
+            return node
+    return None
+
+
+def _is_deprecated_doc(doc: Optional[str]) -> bool:
+    if not doc:
+        return False
+    head = "\n".join(doc.splitlines()[:6]).lower()
+    return "deprecated" in head
+
+
+def _warns(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "warn" or "deprecat" in func.attr.lower():
+                return True
+        elif isinstance(func, ast.Name) and "deprecat" in func.id.lower():
+            return True
+    return False
+
+
+@register_rule
+class ApiHygieneRule(Rule):
+    name = "public-api-hygiene"
+    description = (
+        "__all__ must be a literal string list of defined names without "
+        "duplicates; deprecated shims must warn"
+    )
+    paths: Tuple[str, ...] = ()
+
+    def check(self, module: ModuleContext) -> Iterable[Violation]:
+        out: List[Violation] = []
+        out.extend(self._check_all(module))
+        out.extend(self._check_deprecations(module))
+        return out
+
+    def _check_all(self, module: ModuleContext) -> List[Violation]:
+        assign = _find_all_assignment(module.tree)
+        if assign is None:
+            return []
+        value = assign.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return [
+                self.violation(
+                    module, assign,
+                    "__all__ must be a literal list/tuple of strings",
+                )
+            ]
+        out: List[Violation] = []
+        entries: List[str] = []
+        for element in value.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                out.append(
+                    self.violation(
+                        module, element,
+                        "__all__ entries must be string literals",
+                    )
+                )
+                continue
+            entries.append(element.value)
+            if entries.count(element.value) > 1:
+                out.append(
+                    self.violation(
+                        module, element,
+                        f"duplicate __all__ entry {element.value!r}",
+                    )
+                )
+        defined, star = _top_level_names(module.tree)
+        if not star:
+            for element in value.elts:
+                if (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                    and element.value not in defined
+                ):
+                    out.append(
+                        self.violation(
+                            module, element,
+                            f"__all__ exports {element.value!r} which is not "
+                            "defined or imported in this module",
+                        )
+                    )
+        return out
+
+    def _check_deprecations(self, module: ModuleContext) -> List[Violation]:
+        out: List[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if _is_deprecated_doc(ast.get_docstring(node)) and not _warns(node):
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                out.append(
+                    self.violation(
+                        module, node,
+                        f"{kind} {node.name} documents itself as deprecated "
+                        "but never calls warnings.warn (silent shims "
+                        "re-bless the old API)",
+                    )
+                )
+        return out

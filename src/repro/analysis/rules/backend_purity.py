@@ -1,0 +1,79 @@
+"""``backend-purity`` — no dtype-defaulting array constructors in
+backend-routed modules.
+
+Invariant (PR 2): the compute layers route every array through
+:class:`~repro.backend.base.ArrayBackend` at an explicitly resolved dtype
+so the float32 hot paths never silently upcast to float64.  A bare
+``np.zeros(shape)`` (or ``ones``/``empty``/``full``/``arange``/``array``)
+defaults its dtype and is exactly how the pre-PR 2 code leaked float64
+into float32 pipelines — doubling memory traffic without failing a test.
+In ``hdc/``, ``core/``, ``baselines/`` and ``deploy/`` every such
+constructor must pass ``dtype=`` explicitly (or go through the backend /
+``resolve_dtype``); an intentional default takes a
+``# repro: allow[backend-purity]`` with the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, List, Tuple
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register_rule
+
+#: constructor name -> index of its positional dtype parameter
+#: (None = dtype is only realistically passed by keyword).
+_CONSTRUCTORS = {
+    "zeros": 1,
+    "ones": 1,
+    "empty": 1,
+    "full": 2,
+    "array": 1,
+    "arange": None,
+}
+
+_NUMPY_NAMES = ("np", "numpy")
+
+
+def _has_explicit_dtype(call: ast.Call, positional_index: Any) -> bool:
+    if any(kw.arg == "dtype" for kw in call.keywords):
+        return True
+    if positional_index is not None and len(call.args) > positional_index:
+        # A positional arg in the dtype slot (np.empty(0, np.int64)).
+        return not isinstance(call.args[positional_index], ast.Starred)
+    return False
+
+
+@register_rule
+class BackendPurityRule(Rule):
+    name = "backend-purity"
+    description = (
+        "dtype-defaulting np.zeros/ones/empty/full/array/arange in "
+        "backend-routed modules must pass dtype= explicitly"
+    )
+    paths: Tuple[str, ...] = ("hdc", "core", "baselines", "deploy")
+
+    def check(self, module: ModuleContext) -> Iterable[Violation]:
+        out: List[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in _NUMPY_NAMES
+                and func.attr in _CONSTRUCTORS
+            ):
+                continue
+            if _has_explicit_dtype(node, _CONSTRUCTORS[func.attr]):
+                continue
+            out.append(
+                self.violation(
+                    module,
+                    node,
+                    f"np.{func.attr}(...) defaults its dtype; pass dtype= "
+                    "explicitly (ArrayBackend/resolve_dtype keep the "
+                    "float32 hot paths from upcasting to float64)",
+                )
+            )
+        return out

@@ -1,0 +1,142 @@
+"""``cache-coherence`` — every class-memory mutator must bump the cache
+version.
+
+Invariant (PR 3, hardened in PR 5): :class:`~repro.hdc.memory.
+AssociativeMemory` caches class norms and the normalised bank per
+*mutation version*; the serving concurrency contract (no stale cache
+survives a mutation, even when the mutation lands mid-compute) holds
+only because **every** method that touches the memory arrays bumps the
+version via ``invalidate_caches()``.  One forgotten bump means predict
+serves scores against a norm cache from a pre-update bank — a silent
+accuracy heisenbug under online adaptation, invisible to single-shot
+tests.
+
+Mechanically: in any class that defines ``invalidate_caches``, a method
+that assigns to ``self._vectors`` (attribute, subscript or augmented) or
+calls an in-place backend mutator (``scatter_add_rows``,
+``scatter_add_cells``, ``set_rows``, ``set_columns``, ``zero_columns``)
+on ``self._vectors`` must also call ``self.invalidate_caches()`` (or
+assign through the ``self.vectors`` property, whose setter bumps).
+``__init__`` is exempt — there are no caches before construction ends.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register_rule
+
+_BUMP = "invalidate_caches"
+_TARGET = "_vectors"
+_PROPERTY = "vectors"
+_MUTATING_BACKEND_OPS = {
+    "scatter_add_rows",
+    "scatter_add_cells",
+    "set_rows",
+    "set_columns",
+    "zero_columns",
+}
+_EXEMPT = frozenset({"__init__", _BUMP})
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_self_vectors(node: ast.expr) -> bool:
+    """``self._vectors`` or any subscript of it."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return _self_attr(node) == _TARGET
+
+
+def _mutations(func: ast.AST) -> List[ast.AST]:
+    """AST nodes in ``func`` that mutate the memory array."""
+    found: List[ast.AST] = []
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if any(_is_self_vectors(t) for t in targets):
+                found.append(node)
+        elif isinstance(node, ast.Call):
+            func_attr = node.func
+            if (
+                isinstance(func_attr, ast.Attribute)
+                and func_attr.attr in _MUTATING_BACKEND_OPS
+                and node.args
+                and _is_self_vectors(node.args[0])
+            ):
+                found.append(node)
+    return found
+
+
+def _bumps_version(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = _self_attr(node.func)
+            if callee == _BUMP:
+                return True
+        elif isinstance(node, ast.Assign):
+            # self.vectors = ... routes through the property setter, which
+            # bumps the version itself.
+            if any(_self_attr(t) == _PROPERTY for t in node.targets):
+                return True
+    return False
+
+
+@register_rule
+class CacheCoherenceRule(Rule):
+    name = "cache-coherence"
+    description = (
+        "AssociativeMemory-style mutators must call invalidate_caches() "
+        "(versioned-cache invariant)"
+    )
+    paths: Tuple[str, ...] = ("hdc",)
+
+    def check(self, module: ModuleContext) -> Iterable[Violation]:
+        out: List[Violation] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and self._has_bump(node):
+                out.extend(self._check_class(module, node))
+        return out
+
+    @staticmethod
+    def _has_bump(cls: ast.ClassDef) -> bool:
+        return any(
+            isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and item.name == _BUMP
+            for item in cls.body
+        )
+
+    def _check_class(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> List[Violation]:
+        out: List[Violation] = []
+        seen: Set[str] = set()
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _EXEMPT or item.name in seen:
+                continue
+            seen.add(item.name)
+            mutations = _mutations(item)
+            if mutations and not _bumps_version(item):
+                out.append(
+                    self.violation(
+                        module,
+                        mutations[0],
+                        f"{cls.name}.{item.name} mutates the class memory "
+                        "without calling invalidate_caches(); stale norm "
+                        "caches would survive the mutation",
+                    )
+                )
+        return out

@@ -1,0 +1,222 @@
+"""``lock-discipline`` — ``@guarded_by`` fields only touched under their
+lock; nested acquisitions follow the declared lock order.
+
+Invariant (PR 5): the serving stack's thread-safety rests on a handful
+of small critical sections — the version pool behind
+``ModelServer._swap_lock``, drain counters behind ``ModelVersion._lock``,
+the feedback buffer behind ``OnlineAdapter._lock``, the metrics sink
+behind ``ServerMetrics._lock``.  An access that slips outside its lock
+is a data race that no single-threaded test can catch.  Classes declare
+the contract with :func:`repro.analysis.annotations.guarded_by`; this
+rule verifies every lexical read/write of a guarded attribute sits
+inside ``with self.<lock>:`` (or a declared alias such as a
+``threading.Condition`` built over the same lock), and that lexically
+nested ``with self.<lock>`` acquisitions never invert
+:data:`repro.analysis.annotations.LOCK_ORDER`.
+
+``__init__`` / ``__del__`` / ``__repr__`` are exempt: construction and
+teardown are single-threaded by contract, and ``__repr__`` is
+best-effort diagnostic output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.analysis.annotations import LOCK_ORDER, lock_rank
+from repro.analysis.core import ModuleContext, Rule, Violation, register_rule
+
+_EXEMPT_METHODS = frozenset({"__init__", "__del__", "__repr__"})
+
+
+def _rank_for(class_name: str, attr: str) -> Optional[int]:
+    """Rank of ``self.<attr>`` in ``class_name``, or by unambiguous
+    attribute name when the class-qualified key is not declared (locks
+    reached through another object still resolve when their attribute
+    name appears exactly once in LOCK_ORDER)."""
+    rank = lock_rank(f"{class_name}.{attr}")
+    if rank is not None:
+        return rank
+    matches = [
+        i for i, name in enumerate(LOCK_ORDER)
+        if name.split(".", 1)[1] == attr
+    ]
+    return matches[0] if len(matches) == 1 else None
+
+
+def _decorator_callee_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _string_args(nodes: Iterable[ast.expr]) -> List[str]:
+    out = []
+    for node in nodes:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.append(node.value)
+    return out
+
+
+class _GuardDecl:
+    """One ``@guarded_by`` declaration: lock, aliases, guarded fields."""
+
+    def __init__(
+        self,
+        lock: str,
+        aliases: Tuple[str, ...],
+        fields: List[str],
+    ) -> None:
+        self.lock = lock
+        self.aliases = aliases
+        self.fields = fields
+
+
+def _parse_guards(cls: ast.ClassDef) -> List[_GuardDecl]:
+    decls: List[_GuardDecl] = []
+    for decorator in cls.decorator_list:
+        if _decorator_callee_name(decorator) != "guarded_by":
+            continue
+        if not isinstance(decorator, ast.Call) or not decorator.args:
+            continue
+        strings = _string_args(decorator.args)
+        if len(strings) < 2:
+            continue
+        lock, fields = strings[0], strings[1:]
+        aliases: Tuple[str, ...] = ()
+        for kw in decorator.keywords:
+            if kw.arg == "aliases" and isinstance(
+                kw.value, (ast.Tuple, ast.List)
+            ):
+                aliases = tuple(_string_args(kw.value.elts))
+        decls.append(_GuardDecl(lock, aliases, fields))
+    return decls
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "@guarded_by fields must be accessed inside `with self.<lock>`; "
+        "nested lock acquisition must follow LOCK_ORDER"
+    )
+    paths: Tuple[str, ...] = ("serve",)
+
+    def check(self, module: ModuleContext) -> Iterable[Violation]:
+        out: List[Violation] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                out.extend(self._check_class(module, node))
+        return out
+
+    # ------------------------------------------------------------- per class
+
+    def _check_class(
+        self, module: ModuleContext, cls: ast.ClassDef
+    ) -> List[Violation]:
+        decls = _parse_guards(cls)
+        #: guarded field -> (lock name, every attr that counts as holding it)
+        field_locks: Dict[str, Tuple[str, FrozenSet[str]]] = {}
+        for decl in decls:
+            holding = frozenset((decl.lock,) + decl.aliases)
+            for field in decl.fields:
+                field_locks[field] = (decl.lock, holding)
+        out: List[Violation] = []
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _EXEMPT_METHODS:
+                continue
+            self._walk(
+                module, cls.name, item, frozenset(), field_locks, out
+            )
+        return out
+
+    def _walk(
+        self,
+        module: ModuleContext,
+        class_name: str,
+        node: ast.AST,
+        held: FrozenSet[str],
+        field_locks: Dict[str, Tuple[str, FrozenSet[str]]],
+        out: List[Violation],
+    ) -> None:
+        if isinstance(node, ast.With):
+            acquired = []
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None:
+                    self._check_order(module, class_name, item.context_expr,
+                                      attr, held, out)
+                    acquired.append(attr)
+            inner = held | frozenset(acquired)
+            for item in node.items:
+                self._walk(module, class_name, item.context_expr, held,
+                           field_locks, out)
+            for child in node.body:
+                self._walk(module, class_name, child, inner, field_locks, out)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None and attr in field_locks:
+                lock, holding = field_locks[attr]
+                if not (held & holding):
+                    access = (
+                        "write to"
+                        if isinstance(node.ctx, (ast.Store, ast.Del))
+                        else "read of"
+                    )
+                    out.append(
+                        self.violation(
+                            module,
+                            node,
+                            f"{access} {class_name}.{attr} outside "
+                            f"`with self.{lock}` (field is @guarded_by"
+                            f"({lock!r}))",
+                        )
+                    )
+        for child in ast.iter_child_nodes(node):
+            self._walk(module, class_name, child, held, field_locks, out)
+
+    # ----------------------------------------------------------- lock order
+
+    def _check_order(
+        self,
+        module: ModuleContext,
+        class_name: str,
+        node: ast.expr,
+        attr: str,
+        held: FrozenSet[str],
+        out: List[Violation],
+    ) -> None:
+        rank = _rank_for(class_name, attr)
+        if rank is None:
+            return
+        for held_attr in held:
+            held_rank = _rank_for(class_name, held_attr)
+            if held_rank is not None and held_rank >= rank:
+                out.append(
+                    self.violation(
+                        module,
+                        node,
+                        f"acquiring self.{attr} while holding "
+                        f"self.{held_attr} inverts the declared lock order "
+                        f"(see repro.analysis.annotations.LOCK_ORDER)",
+                    )
+                )

@@ -1,0 +1,105 @@
+"""``seed-determinism`` — no unseeded entropy in the modules the
+identical-encoder invariant depends on.
+
+Invariant (PR 4, ROADMAP items 1/4): ``shard_fit`` bundling — and the
+planned fleet-learning delta merge — are only valid because every worker
+derives *the same* encoder from one concrete seed.  The seed flows
+through ``np.random.default_rng(seed)`` / ``SeedSequence``; any draw from
+ambient entropy (the legacy ``np.random.*`` global state, the ``random``
+module, ``np.random.default_rng()`` with no argument, time-derived
+values, ``os.urandom`` / ``uuid4`` / ``secrets``) in the encoder
+construction path, the shard machinery or the split logic silently
+breaks bit-exact determinism across workers — a merge of incompatible
+banks, not an error.  Scope: ``hdc/encoders/``, ``engine/shard.py``,
+``datasets/splits.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register_rule
+
+#: Call targets that are always ambient entropy (dotted names).
+_FORBIDDEN_CALLS = {
+    "time.time": "time-derived entropy",
+    "time.time_ns": "time-derived entropy",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "time/MAC-derived entropy",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: Prefixes where *any* call is ambient entropy.
+_FORBIDDEN_PREFIXES = {
+    "np.random.": "the unseeded legacy NumPy global RNG",
+    "numpy.random.": "the unseeded legacy NumPy global RNG",
+    "random.": "the unseeded stdlib global RNG",
+    "secrets.": "OS entropy",
+}
+
+#: Exceptions under the forbidden prefixes: seedable constructors (flagged
+#: only when called with no seed argument) and type references.
+_SEEDABLE = {"default_rng", "RandomState", "Random", "SeedSequence"}
+_TYPE_REFS = {"Generator", "BitGenerator"}
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+@register_rule
+class SeedDeterminismRule(Rule):
+    name = "seed-determinism"
+    description = (
+        "no unseeded np.random.*/random.*/time-derived entropy in "
+        "encoder/shard/split modules (identical-encoder invariant)"
+    )
+    paths: Tuple[str, ...] = (
+        "hdc/encoders",
+        "engine/shard.py",
+        "datasets/splits.py",
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Violation]:
+        out: List[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            message = self._diagnose(name, node)
+            if message is not None:
+                out.append(self.violation(module, node, message))
+        return out
+
+    def _diagnose(self, name: str, call: ast.Call) -> Optional[str]:
+        if name in _FORBIDDEN_CALLS:
+            return (
+                f"{name}() is {_FORBIDDEN_CALLS[name]}; seed-determinism "
+                "requires all randomness to derive from an explicit seed"
+            )
+        for prefix, what in _FORBIDDEN_PREFIXES.items():
+            if not name.startswith(prefix):
+                continue
+            leaf = name[len(prefix):]
+            if leaf in _TYPE_REFS:
+                return None
+            if leaf in _SEEDABLE:
+                if call.args or call.keywords:
+                    return None  # explicitly seeded constructor
+                return (
+                    f"{name}() without a seed draws OS entropy; pass the "
+                    "seed through (identical-encoder invariant)"
+                )
+            return (
+                f"{name}() uses {what}; derive randomness from an "
+                "explicitly seeded np.random.default_rng / SeedSequence"
+            )
+        return None

@@ -23,7 +23,7 @@ Two conventions keep backends interchangeable:
 from __future__ import annotations
 
 import abc
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +38,7 @@ _DTYPE_ALIASES = {
 }
 
 
-def resolve_dtype(dtype) -> np.dtype:
+def resolve_dtype(dtype: Any) -> np.dtype:
     """Normalise a dtype spec (``"float32"``, ``np.float64``, ...) to a
     NumPy dtype.  ``None`` resolves to float64 (the legacy default)."""
     if dtype is None:
@@ -80,99 +80,134 @@ class ArrayBackend(abc.ABC):
     # ------------------------------------------------------------ conversion
 
     @abc.abstractmethod
-    def asarray(self, x, dtype=None):
+    def asarray(self, x: Any, dtype: Any = None) -> Any:
         """Convert ``x`` to a native array, optionally casting to ``dtype``."""
 
     @abc.abstractmethod
-    def to_numpy(self, x) -> np.ndarray:
+    def to_numpy(self, x: Any) -> np.ndarray:
         """Convert a native array to ``np.ndarray`` (zero-copy when possible)."""
 
     @abc.abstractmethod
-    def is_native(self, x) -> bool:
+    def is_native(self, x: Any) -> bool:
         """Whether ``x`` is already this backend's native array type."""
 
-    def cast(self, x, dtype):
+    def cast(self, x: Any, dtype: Any) -> Any:
         """Cast a native array to ``dtype`` (no-op when already there)."""
         return self.asarray(x, dtype=dtype)
 
     # ---------------------------------------------------------- construction
 
     @abc.abstractmethod
-    def zeros(self, shape, dtype=np.float64):
+    def zeros(self, shape: Any, dtype: Any = np.float64) -> Any:
         """A zero-filled native array."""
 
     @abc.abstractmethod
-    def copy(self, x):
+    def copy(self, x: Any) -> Any:
         """A defensive copy of a native array."""
 
     # ------------------------------------------------------------------- rng
 
     def draw_normal(
-        self, rng: np.random.Generator, mean: float, std: float, shape, dtype
-    ):
+        self,
+        rng: np.random.Generator,
+        mean: float,
+        std: float,
+        shape: Any,
+        dtype: Any,
+    ) -> Any:
         """Gaussian draw, materialised via NumPy for cross-backend parity."""
         return self.asarray(rng.normal(mean, std, size=shape), dtype=dtype)
 
     def draw_uniform(
-        self, rng: np.random.Generator, low: float, high: float, shape, dtype
-    ):
+        self,
+        rng: np.random.Generator,
+        low: float,
+        high: float,
+        shape: Any,
+        dtype: Any,
+    ) -> Any:
         """Uniform draw, materialised via NumPy for cross-backend parity."""
         return self.asarray(rng.uniform(low, high, size=shape), dtype=dtype)
 
     # ------------------------------------------------------------ arithmetic
 
     @abc.abstractmethod
-    def matmul(self, a, b):
+    def matmul(self, a: Any, b: Any) -> Any:
         """Matrix product ``a @ b``."""
 
     @abc.abstractmethod
-    def norm(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def norm(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         """L2 norm along ``axis``."""
 
     @abc.abstractmethod
-    def cos(self, x):
+    def cos(self, x: Any) -> Any:
         """Element-wise cosine."""
 
     @abc.abstractmethod
-    def sin(self, x):
+    def sin(self, x: Any) -> Any:
         """Element-wise sine."""
 
     @abc.abstractmethod
-    def tanh(self, x):
+    def tanh(self, x: Any) -> Any:
         """Element-wise hyperbolic tangent."""
 
     @abc.abstractmethod
-    def where(self, cond, a, b):
+    def where(self, cond: Any, a: Any, b: Any) -> Any:
         """Element-wise select."""
 
     @abc.abstractmethod
-    def sum(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def sum(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         """Sum along ``axis`` (integer inputs may promote to avoid overflow)."""
 
     @abc.abstractmethod
-    def abs(self, x):
+    def abs(self, x: Any) -> Any:
         """Element-wise absolute value."""
 
-    def amin(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def amin(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         """Minimum along ``axis``.  Default round-trips through NumPy;
         backends override with the engine's native reduction."""
         return np.min(self.to_numpy(x), axis=axis, keepdims=keepdims)
 
-    def amax(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def amax(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         """Maximum along ``axis``.  Default round-trips through NumPy;
         backends override with the engine's native reduction."""
         return np.max(self.to_numpy(x), axis=axis, keepdims=keepdims)
 
     @abc.abstractmethod
-    def roll(self, x, shift: int, axis: int = -1):
+    def roll(self, x: Any, shift: int, axis: int = -1) -> Any:
         """Cyclic shift along ``axis`` (the HDC permute primitive)."""
 
     @abc.abstractmethod
-    def einsum(self, subscripts: str, *operands):
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
         """Einstein summation over native arrays."""
 
-    def cosine_similarity(self, queries, memory, eps: float = 1e-12,
-                          memory_norms=None):
+    def cosine_similarity(
+        self,
+        queries: Any,
+        memory: Any,
+        eps: float = 1e-12,
+        memory_norms: Any = None,
+    ) -> Any:
         """``(n, k)`` cosine similarity with the zero-vector → 0 convention.
 
         ``memory_norms`` optionally supplies precomputed ``(k, 1)`` row norms
@@ -195,24 +230,24 @@ class ArrayBackend(abc.ABC):
         return self.where(denom > eps, scores / safe, self.zeros_like(scores))
 
     @abc.abstractmethod
-    def transpose(self, x):
+    def transpose(self, x: Any) -> Any:
         """Matrix transpose (2-D)."""
 
     @abc.abstractmethod
-    def ones_like(self, x):
+    def ones_like(self, x: Any) -> Any:
         """Array of ones with ``x``'s shape and dtype."""
 
     @abc.abstractmethod
-    def zeros_like(self, x):
+    def zeros_like(self, x: Any) -> Any:
         """Array of zeros with ``x``'s shape and dtype."""
 
     # -------------------------------------------------------------- indexing
 
     @abc.abstractmethod
-    def take_rows(self, x, idx):
+    def take_rows(self, x: Any, idx: Any) -> Any:
         """``x[idx]`` for an integer index array (gather along axis 0)."""
 
-    def slice_rows(self, x, start: int, stop: int):
+    def slice_rows(self, x: Any, start: int, stop: int) -> Any:
         """``x[start:stop]`` — a contiguous row window, as a view when the
         engine supports views (both NumPy and torch do).  The chunked hot
         paths prefer this over :meth:`take_rows` with an ``arange``, which
@@ -220,10 +255,10 @@ class ArrayBackend(abc.ABC):
         return x[start:stop]
 
     @abc.abstractmethod
-    def set_rows(self, x, idx, values) -> None:
+    def set_rows(self, x: Any, idx: Any, values: Any) -> None:
         """``x[idx] = values`` in place (rows)."""
 
-    def take_columns(self, x, cols):
+    def take_columns(self, x: Any, cols: Any) -> Any:
         """``x[:, cols]`` for an integer index array.
 
         Default works for any NumPy-style indexable native array; override
@@ -232,22 +267,28 @@ class ArrayBackend(abc.ABC):
         return x[:, self.asarray(cols, dtype=np.int64)]
 
     @abc.abstractmethod
-    def set_columns(self, x, cols, values) -> None:
+    def set_columns(self, x: Any, cols: Any, values: Any) -> None:
         """``x[:, cols] = values`` in place."""
 
     @abc.abstractmethod
-    def zero_columns(self, x, cols) -> None:
+    def zero_columns(self, x: Any, cols: Any) -> None:
         """``x[:, cols] = 0`` in place."""
 
     @abc.abstractmethod
-    def scatter_add_rows(self, target, idx, values) -> None:
+    def scatter_add_rows(self, target: Any, idx: Any, values: Any) -> None:
         """``target[idx] += values`` with duplicate-index accumulation."""
 
     @abc.abstractmethod
-    def scatter_add_cells(self, target, rows, cols, values) -> None:
+    def scatter_add_cells(
+        self,
+        target: Any,
+        rows: Any,
+        cols: Any,
+        values: Any,
+    ) -> None:
         """``target[rows[:, None], cols[None, :]] += values`` accumulating."""
 
-    def argpartition_desc(self, x, k: int, axis: int = -1):
+    def argpartition_desc(self, x: Any, k: int, axis: int = -1) -> Any:
         """Partition indices putting the ``k`` largest entries first
         (unordered within the partition).  Default runs on NumPy via
         :meth:`to_numpy`; override with the engine's partial sort.
@@ -257,7 +298,7 @@ class ArrayBackend(abc.ABC):
             return np.argsort(-s, axis=axis, kind="stable")
         return np.argpartition(-s, k - 1, axis=axis)
 
-    def topk_desc(self, scores, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    def topk_desc(self, scores: Any, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Top-``k`` indices and values per row, best first, as NumPy arrays.
 
         ``scores`` is ``(n, m)``; returns ``(indices, values)`` of shape
@@ -276,11 +317,11 @@ class ArrayBackend(abc.ABC):
 
     def fused_absdiff_colsum(
         self,
-        H,
-        rows,
-        C,
-        class_terms,
-        coeffs,
+        H: Any,
+        rows: Any,
+        C: Any,
+        class_terms: Any,
+        coeffs: Any,
         *,
         normalization: str = "l2",
         chunk_size: Optional[int] = None,
@@ -350,7 +391,12 @@ class ArrayBackend(abc.ABC):
             )
         return self.to_numpy(total).astype(np.float64, copy=False)
 
-    def _normalize_rows_for_colsum(self, x, normalization: str, eps: float):
+    def _normalize_rows_for_colsum(
+        self,
+        x: Any,
+        normalization: str,
+        eps: float,
+    ) -> Any:
         """Row-normalise a native chunk per Algorithm 2's rule."""
         if normalization == "none":
             return x
@@ -371,8 +417,13 @@ class ArrayBackend(abc.ABC):
 
     # ------------------------------------------------------------------ misc
 
-    def similarity_scores(self, queries, memory, metric: str = "cosine",
-                          memory_norms=None):
+    def similarity_scores(
+        self,
+        queries: Any,
+        memory: Any,
+        metric: str = "cosine",
+        memory_norms: Any = None,
+    ) -> Any:
         """Backend-native similarity matrix, converted to float64 NumPy.
 
         The float64 is the *container* dtype: values are computed at the

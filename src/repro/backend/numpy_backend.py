@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -22,63 +22,88 @@ class NumpyBackend(ArrayBackend):
 
     # ------------------------------------------------------------ conversion
 
-    def asarray(self, x, dtype=None):
+    def asarray(self, x: Any, dtype: Any = None) -> Any:
         return np.asarray(x, dtype=dtype)
 
-    def to_numpy(self, x) -> np.ndarray:
+    def to_numpy(self, x: Any) -> np.ndarray:
         return np.asarray(x)
 
-    def is_native(self, x) -> bool:
+    def is_native(self, x: Any) -> bool:
         return isinstance(x, np.ndarray)
 
     # ---------------------------------------------------------- construction
 
-    def zeros(self, shape, dtype=np.float64):
+    def zeros(self, shape: Any, dtype: Any = np.float64) -> Any:
         return np.zeros(shape, dtype=dtype)
 
-    def copy(self, x):
+    def copy(self, x: Any) -> Any:
         return np.array(x, copy=True)
 
     # ------------------------------------------------------------ arithmetic
 
-    def matmul(self, a, b):
+    def matmul(self, a: Any, b: Any) -> Any:
         return a @ b
 
-    def norm(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def norm(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         return np.linalg.norm(x, axis=axis, keepdims=keepdims)
 
-    def cos(self, x):
+    def cos(self, x: Any) -> Any:
         return np.cos(x)
 
-    def sin(self, x):
+    def sin(self, x: Any) -> Any:
         return np.sin(x)
 
-    def tanh(self, x):
+    def tanh(self, x: Any) -> Any:
         return np.tanh(x)
 
-    def where(self, cond, a, b):
+    def where(self, cond: Any, a: Any, b: Any) -> Any:
         return np.where(cond, a, b)
 
-    def sum(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def sum(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         return np.sum(x, axis=axis, keepdims=keepdims)
 
-    def abs(self, x):
+    def abs(self, x: Any) -> Any:
         return np.abs(x)
 
-    def amin(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def amin(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         return np.min(x, axis=axis, keepdims=keepdims)
 
-    def amax(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def amax(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         return np.max(x, axis=axis, keepdims=keepdims)
 
-    def roll(self, x, shift: int, axis: int = -1):
+    def roll(self, x: Any, shift: int, axis: int = -1) -> Any:
         return np.roll(x, shift, axis=axis)
 
-    def einsum(self, subscripts: str, *operands):
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
         return np.einsum(subscripts, *operands)
 
-    def cosine_similarity(self, queries, memory, eps: float = _EPS,
-                          memory_norms=None):
+    def cosine_similarity(
+        self,
+        queries: Any,
+        memory: Any,
+        eps: float = _EPS,
+        memory_norms: Any = None,
+    ) -> Any:
         scores = queries @ memory.T
         q_norm = np.linalg.norm(queries, axis=1)
         m_norm = (
@@ -92,27 +117,27 @@ class NumpyBackend(ArrayBackend):
                 denom > eps, scores / np.where(denom > eps, denom, 1.0), 0.0
             )
 
-    def transpose(self, x):
+    def transpose(self, x: Any) -> Any:
         return x.T
 
-    def ones_like(self, x):
+    def ones_like(self, x: Any) -> Any:
         return np.ones_like(x)
 
-    def zeros_like(self, x):
+    def zeros_like(self, x: Any) -> Any:
         return np.zeros_like(x)
 
     # -------------------------------------------------------------- indexing
 
-    def take_rows(self, x, idx):
+    def take_rows(self, x: Any, idx: Any) -> Any:
         return x[np.asarray(idx, dtype=np.int64)]
 
-    def set_rows(self, x, idx, values) -> None:
+    def set_rows(self, x: Any, idx: Any, values: Any) -> None:
         x[np.asarray(idx, dtype=np.int64)] = values
 
-    def take_columns(self, x, cols):
+    def take_columns(self, x: Any, cols: Any) -> Any:
         return x[:, np.asarray(cols, dtype=np.int64)]
 
-    def set_columns(self, x, cols, values) -> None:
+    def set_columns(self, x: Any, cols: Any, values: Any) -> None:
         cols = np.asarray(cols, dtype=np.int64)
         values = np.asarray(values)
         # A column scatter on a C-contiguous matrix strides by the full row
@@ -133,10 +158,10 @@ class NumpyBackend(ArrayBackend):
         else:
             x[:, cols] = values
 
-    def zero_columns(self, x, cols) -> None:
+    def zero_columns(self, x: Any, cols: Any) -> None:
         x[:, np.asarray(cols, dtype=np.int64)] = 0
 
-    def scatter_add_rows(self, target, idx, values) -> None:
+    def scatter_add_rows(self, target: Any, idx: Any, values: Any) -> None:
         idx = np.asarray(idx, dtype=np.int64)
         values = np.asarray(values, dtype=target.dtype)
         n_rows = target.shape[0]
@@ -150,7 +175,13 @@ class NumpyBackend(ArrayBackend):
         else:
             np.add.at(target, idx, values)
 
-    def scatter_add_cells(self, target, rows, cols, values) -> None:
+    def scatter_add_cells(
+        self,
+        target: Any,
+        rows: Any,
+        cols: Any,
+        values: Any,
+    ) -> None:
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         values = np.asarray(values, dtype=target.dtype)
@@ -176,7 +207,7 @@ class NumpyBackend(ArrayBackend):
         else:
             np.add.at(target, (rows[:, None], cols[None, :]), values)
 
-    def argpartition_desc(self, x, k: int, axis: int = -1):
+    def argpartition_desc(self, x: Any, k: int, axis: int = -1) -> Any:
         if k >= np.shape(x)[axis]:
             return np.argsort(-np.asarray(x), axis=axis, kind="stable")
         return np.argpartition(-np.asarray(x), k - 1, axis=axis)
@@ -185,14 +216,14 @@ class NumpyBackend(ArrayBackend):
 
     def fused_absdiff_colsum(
         self,
-        H,
-        rows,
-        C,
-        class_terms,
-        coeffs,
+        H: Any,
+        rows: Any,
+        C: Any,
+        class_terms: Any,
+        coeffs: Any,
         *,
         normalization: str = "l2",
-        chunk_size=None,
+        chunk_size: Any = None,
         eps: float = _EPS,
     ) -> np.ndarray:
         # Same contract as the base implementation, but with every per-chunk

@@ -9,7 +9,7 @@ always, plus ``"torch-cuda"`` when a GPU is visible).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Tuple, Union
 
 from repro.backend.base import ArrayBackend
 from repro.backend.numpy_backend import NumpyBackend

@@ -12,7 +12,7 @@ prediction differences can only come from floating-point summation order.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class TorchBackend(ArrayBackend):
             self.name = f"torch-{self.device.type}"
 
     @property
-    def _torch(self):
+    def _torch(self) -> Any:
         # Resolved per call (a sys.modules lookup) instead of stored on the
         # instance: module-valued attributes make every model holding this
         # backend un-deepcopyable, which breaks perturb_classifier and the
@@ -56,7 +56,7 @@ class TorchBackend(ArrayBackend):
 
         return torch
 
-    def _dtype(self, dtype):
+    def _dtype(self, dtype: Any) -> Any:
         if dtype is None:
             return None
         return {
@@ -69,7 +69,7 @@ class TorchBackend(ArrayBackend):
 
     # ------------------------------------------------------------ conversion
 
-    def asarray(self, x, dtype=None):
+    def asarray(self, x: Any, dtype: Any = None) -> Any:
         torch = self._torch
         if isinstance(x, torch.Tensor):
             out = x.to(self.device)
@@ -79,17 +79,17 @@ class TorchBackend(ArrayBackend):
             arr = arr.astype(np.dtype(dtype), copy=False)
         return torch.as_tensor(arr, device=self.device)
 
-    def to_numpy(self, x) -> np.ndarray:
+    def to_numpy(self, x: Any) -> np.ndarray:
         if isinstance(x, self._torch.Tensor):
             return x.detach().cpu().numpy()
         return np.asarray(x)
 
-    def is_native(self, x) -> bool:
+    def is_native(self, x: Any) -> bool:
         return isinstance(x, self._torch.Tensor)
 
     # ---------------------------------------------------------- construction
 
-    def zeros(self, shape, dtype=np.float64):
+    def zeros(self, shape: Any, dtype: Any = np.float64) -> Any:
         return self._torch.zeros(
             tuple(np.atleast_1d(shape).tolist())
             if not isinstance(shape, tuple)
@@ -98,29 +98,34 @@ class TorchBackend(ArrayBackend):
             device=self.device,
         )
 
-    def copy(self, x):
+    def copy(self, x: Any) -> Any:
         return x.clone()
 
     # ------------------------------------------------------------ arithmetic
 
-    def matmul(self, a, b):
+    def matmul(self, a: Any, b: Any) -> Any:
         return a @ b
 
-    def norm(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def norm(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         if axis is None:
             return self._torch.linalg.norm(x)
         return self._torch.linalg.norm(x, dim=axis, keepdim=keepdims)
 
-    def cos(self, x):
+    def cos(self, x: Any) -> Any:
         return self._torch.cos(x)
 
-    def sin(self, x):
+    def sin(self, x: Any) -> Any:
         return self._torch.sin(x)
 
-    def tanh(self, x):
+    def tanh(self, x: Any) -> Any:
         return self._torch.tanh(x)
 
-    def where(self, cond, a, b):
+    def where(self, cond: Any, a: Any, b: Any) -> Any:
         torch = self._torch
         if not isinstance(a, torch.Tensor):
             a = torch.as_tensor(a, device=self.device)
@@ -128,66 +133,87 @@ class TorchBackend(ArrayBackend):
             b = torch.as_tensor(b, device=self.device)
         return torch.where(cond, a, b)
 
-    def sum(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def sum(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         if axis is None:
             return self._torch.sum(x)
         return self._torch.sum(x, dim=axis, keepdim=keepdims)
 
-    def abs(self, x):
+    def abs(self, x: Any) -> Any:
         return self._torch.abs(x)
 
-    def amin(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def amin(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         if axis is None:
             return self._torch.amin(x)
         return self._torch.amin(x, dim=axis, keepdim=keepdims)
 
-    def amax(self, x, axis: Optional[int] = None, keepdims: bool = False):
+    def amax(
+        self,
+        x: Any,
+        axis: Optional[int] = None,
+        keepdims: bool = False,
+    ) -> Any:
         if axis is None:
             return self._torch.amax(x)
         return self._torch.amax(x, dim=axis, keepdim=keepdims)
 
-    def roll(self, x, shift: int, axis: int = -1):
+    def roll(self, x: Any, shift: int, axis: int = -1) -> Any:
         return self._torch.roll(x, shift, dims=axis)
 
-    def einsum(self, subscripts: str, *operands):
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
         return self._torch.einsum(subscripts, *operands)
 
-    def transpose(self, x):
+    def transpose(self, x: Any) -> Any:
         return x.T
 
-    def ones_like(self, x):
+    def ones_like(self, x: Any) -> Any:
         return self._torch.ones_like(x)
 
-    def zeros_like(self, x):
+    def zeros_like(self, x: Any) -> Any:
         return self._torch.zeros_like(x)
 
     # -------------------------------------------------------------- indexing
 
-    def _index(self, idx):
+    def _index(self, idx: Any) -> Any:
         return self._torch.as_tensor(
             np.asarray(idx, dtype=np.int64), device=self.device
         )
 
-    def take_rows(self, x, idx):
+    def take_rows(self, x: Any, idx: Any) -> Any:
         return x[self._index(idx)]
 
-    def set_rows(self, x, idx, values) -> None:
+    def set_rows(self, x: Any, idx: Any, values: Any) -> None:
         x[self._index(idx)] = self.asarray(values, dtype=None).to(x.dtype)
 
-    def take_columns(self, x, cols):
+    def take_columns(self, x: Any, cols: Any) -> Any:
         return x[:, self._index(cols)]
 
-    def set_columns(self, x, cols, values) -> None:
+    def set_columns(self, x: Any, cols: Any, values: Any) -> None:
         x[:, self._index(cols)] = self.asarray(values, dtype=None).to(x.dtype)
 
-    def zero_columns(self, x, cols) -> None:
+    def zero_columns(self, x: Any, cols: Any) -> None:
         x[:, self._index(cols)] = 0
 
-    def scatter_add_rows(self, target, idx, values) -> None:
+    def scatter_add_rows(self, target: Any, idx: Any, values: Any) -> None:
         values = self.asarray(values, dtype=None).to(target.dtype)
         target.index_add_(0, self._index(idx), values)
 
-    def scatter_add_cells(self, target, rows, cols, values) -> None:
+    def scatter_add_cells(
+        self,
+        target: Any,
+        rows: Any,
+        cols: Any,
+        values: Any,
+    ) -> None:
         rows = self._index(rows)
         cols = self._index(cols)
         values = self.asarray(values, dtype=None).to(target.dtype)
@@ -195,11 +221,11 @@ class TorchBackend(ArrayBackend):
             (rows[:, None], cols[None, :]), values, accumulate=True
         )
 
-    def argpartition_desc(self, x, k: int, axis: int = -1):
+    def argpartition_desc(self, x: Any, k: int, axis: int = -1) -> Any:
         # torch has no partial partition; topk is its optimised equivalent.
         return self._torch.topk(x, min(k, x.shape[axis]), dim=axis).indices
 
-    def topk_desc(self, scores, k: int):
+    def topk_desc(self, scores: Any, k: int) -> Any:
         torch = self._torch
         if not isinstance(scores, torch.Tensor):
             return super().topk_desc(scores, k)

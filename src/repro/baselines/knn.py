@@ -58,8 +58,8 @@ class KNNClassifier(BaseClassifier):
         )
         np.maximum(d2, 0.0, out=d2)
         neighbour_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
-        scores = np.zeros((X.shape[0], n_classes))
-        rows = np.arange(X.shape[0])[:, None]
+        scores = np.zeros((X.shape[0], n_classes), dtype=np.float64)
+        rows = np.arange(X.shape[0], dtype=np.int64)[:, None]
         labels = self._train_y[neighbour_idx]
         if self.weights == "uniform":
             vote = np.ones_like(labels, dtype=np.float64)

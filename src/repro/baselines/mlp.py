@@ -37,7 +37,7 @@ def softmax(logits: np.ndarray) -> np.ndarray:
 def cross_entropy(probs: np.ndarray, labels: np.ndarray) -> float:
     """Mean negative log-likelihood of the true labels."""
     n = probs.shape[0]
-    clipped = np.clip(probs[np.arange(n), labels], 1e-12, 1.0)
+    clipped = np.clip(probs[np.arange(n, dtype=np.int64), labels], 1e-12, 1.0)
     return float(-np.mean(np.log(clipped)))
 
 
@@ -45,8 +45,8 @@ class _AdamState:
     """Per-parameter Adam moments."""
 
     def __init__(self, shapes: Sequence[Tuple[int, ...]]) -> None:
-        self.m = [np.zeros(s) for s in shapes]
-        self.v = [np.zeros(s) for s in shapes]
+        self.m = [np.zeros(s, dtype=np.float64) for s in shapes]
+        self.v = [np.zeros(s, dtype=np.float64) for s in shapes]
         self.t = 0
 
     def step(
@@ -123,7 +123,7 @@ class MLPClassifier(BaseClassifier):
             # He initialisation, appropriate for ReLU layers.
             std = np.sqrt(2.0 / fan_in)
             self.weights_.append(rng.normal(0.0, std, size=(fan_in, fan_out)))
-            self.biases_.append(np.zeros(fan_out))
+            self.biases_.append(np.zeros(fan_out, dtype=np.float64))
 
     def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
         """Return pre-output activations per layer and output probabilities."""
@@ -156,7 +156,7 @@ class MLPClassifier(BaseClassifier):
 
                 # Backprop: delta at the softmax output is (p - onehot)/B.
                 delta = probs.copy()
-                delta[np.arange(len(yb)), yb] -= 1.0
+                delta[np.arange(len(yb), dtype=np.int64), yb] -= 1.0
                 delta /= len(yb)
 
                 grads_w: List[np.ndarray] = [None] * len(self.weights_)

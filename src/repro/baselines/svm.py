@@ -76,11 +76,11 @@ class LinearSVMClassifier(BaseClassifier):
         k = int(y.max()) + 1
         rng = as_rng(self.seed)
         # One-vs-rest targets in {-1, +1}, all classes updated jointly.
-        targets = np.full((n, k), -1.0)
-        targets[np.arange(n), y] = 1.0
+        targets = np.full((n, k), -1.0, dtype=np.float64)
+        targets[np.arange(n, dtype=np.int64), y] = 1.0
 
-        W = np.zeros((k, q))
-        b = np.zeros(k)
+        W = np.zeros((k, q), dtype=np.float64)
+        b = np.zeros(k, dtype=np.float64)
         adam = _AdamState([W.shape, b.shape])
         lam = 1.0 / (self.C * n)
 

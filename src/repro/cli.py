@@ -16,7 +16,10 @@ Subcommands:
 - ``serve`` — run a self-contained micro-batched serving session: train
   (or load) a model, front it with a :class:`~repro.serve.server.ModelServer`,
   drive it with the concurrent load generator, optionally hot-swap an
-  adapted version mid-run, and print the stats JSON.
+  adapted version mid-run, and print the stats JSON;
+- ``lint`` — run the :mod:`repro.analysis` invariant linter over source
+  trees (``repro lint src/``); exits non-zero on any unsuppressed
+  violation (the CI gate — see ``docs/analysis.md``).
 
 ``train`` and ``compare`` accept ``--n-jobs`` too: for sharding-capable
 models it is forwarded as the ``n_jobs`` hyper-parameter, so fits run
@@ -318,6 +321,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import all_rules, get_rules, run_analysis
+
+    if args.list_rules:
+        rows = [
+            {
+                "rule": rule.name,
+                "scope": ", ".join(rule.paths) or "(all)",
+                "description": rule.description,
+            }
+            for name, rule in sorted(all_rules().items())
+        ]
+        print(format_markdown_table(rows))
+        return 0
+    if not args.paths:
+        print("lint needs at least one file or directory", file=sys.stderr)
+        return 2
+    rule_names = args.rules or None
+    report = run_analysis([Path(p) for p in args.paths], rule_names)
+    rules = get_rules(rule_names)
+    if args.json:
+        text = report.to_json(rules)
+    else:
+        text = report.render()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+        if not args.json:
+            print(text)
+    else:
+        print(text)
+    return 0 if report.ok else 1
+
+
 def _cmd_robustness(args: argparse.Namespace) -> int:
     spec = ExperimentSpec(
         model=args.model,
@@ -488,6 +528,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the mid-run adaptation hot-swap",
     )
     serve.add_argument("--output", default=None, help="JSON output path")
+
+    lint = sub.add_parser(
+        "lint", help="run the repro.analysis invariant linter"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (e.g. src/)",
+    )
+    lint.add_argument(
+        "--rule", action="append", dest="rules", default=None,
+        metavar="NAME", help="run only this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and their scopes",
+    )
+    lint.add_argument("--output", default=None, help="write the report here")
     return parser
 
 
@@ -503,6 +564,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "predict": _cmd_predict,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

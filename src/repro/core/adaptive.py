@@ -46,8 +46,8 @@ def adaptive_update_sample(
         return True
     memory.update_misclassified(
         encoded.reshape(1, -1),
-        np.array([predicted]),
-        np.array([label]),
+        np.array([predicted], dtype=np.int64),
+        np.array([label], dtype=np.int64),
         sims[[predicted]],
         sims[[label]],
         lr,

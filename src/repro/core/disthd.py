@@ -237,7 +237,7 @@ class DistHDClassifier(BaseClassifier):
             self._bundle_first_batch = cfg.single_pass_init
         if self._reservoir_x is None:
             self._reservoir_rng = as_rng(reservoir_seed)
-            self._reservoir_x = np.empty((0, self.n_features_))
+            self._reservoir_x = np.empty((0, self.n_features_), dtype=np.float64)
             self._reservoir_y = np.empty(0, dtype=np.int64)
 
     def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:

@@ -34,7 +34,7 @@ Two scoring paths produce ``M'``/``N'``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

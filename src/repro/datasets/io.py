@@ -13,9 +13,8 @@ Two roles:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

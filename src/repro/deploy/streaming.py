@@ -97,7 +97,7 @@ class StreamingDistHD:
         # Streaming fixes the signature up front: bind the class set and
         # feature count, then build encoder/memory so inference works even
         # before the first batch (historical behaviour of this class).
-        self._clf.classes_ = np.arange(n_classes)
+        self._clf.classes_ = np.arange(n_classes, dtype=np.int64)
         self._clf.n_features_ = int(n_features)
         self._clf._ensure_stream_state()
 

@@ -25,7 +25,7 @@ import functools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -61,7 +61,7 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return int(n_jobs)
 
 
-def is_picklable(obj) -> bool:
+def is_picklable(obj: Any) -> bool:
     """Whether ``obj`` survives pickling (process-pool transport check)."""
     try:
         pickle.dumps(obj)
@@ -70,7 +70,7 @@ def is_picklable(obj) -> bool:
         return False
 
 
-def _fn_probably_picklable(fn) -> bool:
+def _fn_probably_picklable(fn: Any) -> bool:
     """Cheap transport probe for the map function.
 
     ``functools.partial`` objects (how grid search and cross-validation
@@ -106,7 +106,7 @@ class Executor(abc.ABC):
     def __enter__(self) -> "Executor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
 

@@ -27,7 +27,7 @@ the serial path *is* plain fitting, bit for bit.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -72,7 +72,7 @@ def merge_banks(banks: List[np.ndarray]) -> np.ndarray:
     return merged
 
 
-def _train_shard(task) -> np.ndarray:
+def _train_shard(task: Any) -> np.ndarray:
     """Worker body: train one shard's class memory on a model copy.
 
     Module-level so it pickles into process pools.  The template is
@@ -88,15 +88,15 @@ def _train_shard(task) -> np.ndarray:
 
 
 def shard_fit(
-    model,
-    X,
-    y,
+    model: Any,
+    X: Any,
+    y: Any,
     *,
     n_jobs: Optional[int] = None,
     executor: Optional[Executor] = None,
     shard_iterations: Optional[int] = None,
     refine_iterations: Optional[int] = None,
-):
+) -> Any:
     """Fit ``model`` on ``(X, y)`` with data-parallel sharded training.
 
     Parameters

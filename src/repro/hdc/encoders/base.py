@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import abc
 
+from typing import Any
+
 import numpy as np
 
 from repro.backend import BackendLike, get_backend, resolve_dtype
@@ -43,7 +45,7 @@ class Encoder(abc.ABC):
         n_features: int,
         dim: int,
         *,
-        dtype=None,
+        dtype: Any = None,
         backend: BackendLike = None,
     ) -> None:
         if n_features <= 0:
@@ -55,7 +57,7 @@ class Encoder(abc.ABC):
         self.dtype = resolve_dtype(dtype)
         self.backend = get_backend(backend)
 
-    def encode(self, X, *, chunk_size=None):
+    def encode(self, X: Any, *, chunk_size: Any = None) -> Any:
         """Encode ``(n, q)`` features into ``(n, D)`` hypervectors.
 
         ``chunk_size`` encodes in row windows into one preallocated output,
@@ -77,7 +79,7 @@ class Encoder(abc.ABC):
             stop = min(start + chunk, n)
             b.set_rows(
                 out,
-                np.arange(start, stop),
+                np.arange(start, stop, dtype=np.int64),
                 b.asarray(
                     self._encode(b.slice_rows(X, start, stop)),
                     dtype=self.dtype,
@@ -85,7 +87,7 @@ class Encoder(abc.ABC):
             )
         return out
 
-    def _check_input(self, X):
+    def _check_input(self, X: Any) -> Any:
         """Validate features and cast them to the encoder's dtype/backend.
 
         NumPy inputs (and anything coercible) get the full ``check_matrix``
@@ -102,10 +104,10 @@ class Encoder(abc.ABC):
         return b.asarray(X, dtype=self.dtype)
 
     @abc.abstractmethod
-    def _encode(self, X):
+    def _encode(self, X: Any) -> Any:
         """Encode validated input (subclass hook)."""
 
-    def __call__(self, X):
+    def __call__(self, X: Any) -> Any:
         return self.encode(X)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Any
+
 from repro.backend import BackendLike
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.spaces import random_bipolar, random_level_hypervectors
@@ -44,7 +46,7 @@ class IDLevelEncoder(Encoder):
         n_levels: int = 32,
         feature_range: tuple = (-3.0, 3.0),
         seed: SeedLike = None,
-        dtype=None,
+        dtype: Any = None,
         backend: BackendLike = None,
     ) -> None:
         super().__init__(n_features, dim, dtype=dtype, backend=backend)
@@ -61,7 +63,7 @@ class IDLevelEncoder(Encoder):
             self.n_levels, self.dim, spawn_seed(rng)
         )
 
-    def quantize(self, X) -> np.ndarray:
+    def quantize(self, X: Any) -> np.ndarray:
         """Map features to integer level indices in ``[0, n_levels)``."""
         low, high = self.feature_range
         X = self.backend.to_numpy(X)
@@ -69,7 +71,7 @@ class IDLevelEncoder(Encoder):
         scaled = (clipped - low) / (high - low)
         return np.minimum((scaled * self.n_levels).astype(np.int64), self.n_levels - 1)
 
-    def _encode(self, X):
+    def _encode(self, X: Any) -> Any:
         b = self.backend
         levels = self.quantize(X)  # (n, q)
         id_f = b.asarray(self.id_vectors, dtype=self.dtype)  # (q, D)

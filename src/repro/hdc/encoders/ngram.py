@@ -8,7 +8,7 @@ introduction motivates.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -40,7 +40,7 @@ class NGramEncoder:
         *,
         n: int = 3,
         seed: SeedLike = None,
-        dtype=None,
+        dtype: Any = None,
     ) -> None:
         if n_symbols <= 0:
             raise ValueError(f"n_symbols must be positive, got {n_symbols}")

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Any
+
 from repro.backend import BackendLike
 from repro.hdc.encoders.base import RegenerableEncoder
 from repro.utils.rng import SeedLike, as_rng
@@ -43,7 +45,7 @@ class RandomProjectionEncoder(RegenerableEncoder):
         *,
         activation: str = "linear",
         seed: SeedLike = None,
-        dtype=None,
+        dtype: Any = None,
         backend: BackendLike = None,
     ) -> None:
         super().__init__(n_features, dim, dtype=dtype, backend=backend)
@@ -61,7 +63,7 @@ class RandomProjectionEncoder(RegenerableEncoder):
             self._rng, 0.0, self._scale, (self.dim, self.n_features), self.dtype
         )
 
-    def _encode(self, X):
+    def _encode(self, X: Any) -> Any:
         b = self.backend
         projections = b.matmul(X, b.transpose(self.base_vectors))
         if self.activation == "linear":

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Any
+
 from repro.backend import BackendLike
 from repro.hdc.encoders.base import RegenerableEncoder
 from repro.utils.rng import SeedLike, as_rng
@@ -70,7 +72,7 @@ class RBFEncoder(RegenerableEncoder):
         *,
         bandwidth: float = 1.0,
         seed: SeedLike = None,
-        dtype=None,
+        dtype: Any = None,
         backend: BackendLike = None,
     ) -> None:
         super().__init__(n_features, dim, dtype=dtype, backend=backend)
@@ -88,12 +90,12 @@ class RBFEncoder(RegenerableEncoder):
         )
         self.regenerated_count = 0
 
-    def _encode(self, X):
+    def _encode(self, X: Any) -> Any:
         b = self.backend
         projections = b.matmul(X, b.transpose(self.base_vectors))  # (n, D)
         return b.cos(projections + self.phases) * b.sin(projections)
 
-    def encode_dims(self, X, dims: np.ndarray):
+    def encode_dims(self, X: Any, dims: np.ndarray) -> Any:
         """Encode only the selected output dimensions (``(n, len(dims))``).
 
         Lets training refresh just the regenerated columns of a cached

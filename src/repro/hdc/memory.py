@@ -52,7 +52,7 @@ racing any number of reader threads (``predict`` / ``similarities``) are:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -60,7 +60,7 @@ from repro.backend import BackendLike, get_backend, resolve_dtype
 from repro.utils.validation import check_matrix
 
 
-def as_numpy_vectors(memory) -> np.ndarray:
+def as_numpy_vectors(memory: Any) -> np.ndarray:
     """The class bank of any memory-like object as a NumPy array.
 
     Duck-typed so the deploy/noise layers accept third-party classifiers
@@ -100,7 +100,7 @@ class AssociativeMemory:
         dim: int,
         metric: str = "cosine",
         *,
-        dtype=None,
+        dtype: Any = None,
         backend: BackendLike = None,
     ) -> None:
         if n_classes <= 0:
@@ -123,7 +123,7 @@ class AssociativeMemory:
     # ---------------------------------------------------------------- caching
 
     @property
-    def vectors(self):
+    def vectors(self) -> Any:
         """The native ``(k, D)`` class bank.
 
         Assigning to this property invalidates the norm caches; in-place
@@ -133,7 +133,7 @@ class AssociativeMemory:
         return self._vectors
 
     @vectors.setter
-    def vectors(self, value) -> None:
+    def vectors(self, value: Any) -> None:
         self._vectors = value
         self.invalidate_caches()
 
@@ -146,7 +146,7 @@ class AssociativeMemory:
         """Mark cached norms stale (called by every mutator)."""
         self._version += 1
 
-    def _cached(self, key: str, compute):
+    def _cached(self, key: str, compute: Any) -> Any:
         """``compute()`` memoised under ``key`` for the current version.
 
         The version is read *before* ``compute()`` runs and that stamp —
@@ -186,7 +186,7 @@ class AssociativeMemory:
         self._vectors[:] = 0.0
         self.invalidate_caches()
 
-    def set_vectors(self, vectors) -> None:
+    def set_vectors(self, vectors: Any) -> None:
         """Replace the class bank, casting to this memory's backend/dtype."""
         vectors = self.backend.asarray(vectors, dtype=self.dtype)
         if tuple(vectors.shape) != (self.n_classes, self.dim):
@@ -221,7 +221,7 @@ class AssociativeMemory:
 
     # ---------------------------------------------------------------- updates
 
-    def as_encoded(self, encoded, name: str = "encoded"):
+    def as_encoded(self, encoded: Any, name: str = "encoded") -> Any:
         """Validate an encoded batch without forcing a dtype or a copy.
 
         Shape-checks only: finiteness is enforced once at the encoder
@@ -242,7 +242,7 @@ class AssociativeMemory:
             )
         return H
 
-    def accumulate(self, encoded, labels) -> None:
+    def accumulate(self, encoded: Any, labels: Any) -> None:
         """Single-pass bundling: add each encoded sample into its class row."""
         H = self.as_encoded(encoded)
         labels = np.asarray(labels, dtype=np.int64)
@@ -259,7 +259,7 @@ class AssociativeMemory:
         self.backend.scatter_add_rows(self._vectors, labels, H)
         self.invalidate_caches()
 
-    def add_to_class(self, class_index: int, delta) -> None:
+    def add_to_class(self, class_index: int, delta: Any) -> None:
         """Add ``delta`` to one class hypervector (adaptive-learning update)."""
         if not 0 <= class_index < self.n_classes:
             raise ValueError(
@@ -270,7 +270,7 @@ class AssociativeMemory:
 
     def update_misclassified(
         self,
-        encoded_wrong,
+        encoded_wrong: Any,
         predicted: np.ndarray,
         labels: np.ndarray,
         sim_pred: np.ndarray,
@@ -300,7 +300,12 @@ class AssociativeMemory:
         )
         self.invalidate_caches()
 
-    def bundle_columns(self, labels: np.ndarray, dims: np.ndarray, values) -> None:
+    def bundle_columns(
+        self,
+        labels: np.ndarray,
+        dims: np.ndarray,
+        values: Any,
+    ) -> None:
         """Scatter-add ``values`` into ``vectors[labels][:, dims]``.
 
         The re-bundle half of dimension regeneration: freshly encoded columns
@@ -312,7 +317,7 @@ class AssociativeMemory:
 
     # ---------------------------------------------------------------- queries
 
-    def class_norms(self):
+    def class_norms(self) -> Any:
         """Native ``(k, 1)`` L2 norms of the class rows, cached per version.
 
         Feeds the cosine path of :meth:`similarities` so repeated queries
@@ -323,7 +328,12 @@ class AssociativeMemory:
             lambda: self.backend.norm(self._vectors, axis=1, keepdims=True),
         )
 
-    def similarities(self, encoded, *, chunk_size: Optional[int] = None) -> np.ndarray:
+    def similarities(
+        self,
+        encoded: Any,
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
         """``(n, k)`` similarity scores between queries and classes.
 
         The returned array is a float64 NumPy *container*; values are
@@ -360,14 +370,23 @@ class AssociativeMemory:
             )
         return out
 
-    def predict(self, encoded, *, chunk_size: Optional[int] = None) -> np.ndarray:
+    def predict(
+        self,
+        encoded: Any,
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
         """Most-similar class per query (paper inference step F)."""
         return np.argmax(
             self.similarities(encoded, chunk_size=chunk_size), axis=1
         )
 
     def topk(
-        self, encoded, k: int = 2, *, chunk_size: Optional[int] = None
+        self,
+        encoded: Any,
+        k: int = 2,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Top-``k`` labels and their scores, most similar first.
 
@@ -382,7 +401,7 @@ class AssociativeMemory:
         sims = self.similarities(encoded, chunk_size=chunk_size)
         return self.backend.topk_desc(sims, k)
 
-    def normalized_native(self):
+    def normalized_native(self) -> Any:
         """Native row-normalised class bank, cached per version.
 
         The fused Algorithm-2 scoring path consumes this directly, so the

@@ -19,20 +19,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Any
+
 from repro.backend import BackendLike, get_backend
 from repro.utils.validation import check_matrix
 
 _EPS = 1e-12
 
 
-def _as_hv(hv, b, name: str = "hypervector"):
+def _as_hv(hv: Any, b: Any, name: str = "hypervector") -> Any:
     """Coerce to a backend-native array without changing a floating dtype."""
     if b.is_native(hv):
         return hv
     return b.asarray(hv)
 
 
-def bundle(*hypervectors, backend: BackendLike = None):
+def bundle(*hypervectors: Any, backend: BackendLike = None) -> Any:
     """Bundle (element-wise add) hypervectors: the HDC memory operation.
 
     ``bundle(H1, H2)`` returns a hypervector similar to both inputs; in
@@ -70,7 +72,7 @@ def bundle(*hypervectors, backend: BackendLike = None):
     return total
 
 
-def bind(h1, h2, backend: BackendLike = None):
+def bind(h1: Any, h2: Any, backend: BackendLike = None) -> Any:
     """Bind (element-wise multiply) two hypervectors.
 
     Binding associates two hypervectors into one that is near-orthogonal to
@@ -88,7 +90,7 @@ def bind(h1, h2, backend: BackendLike = None):
     return a * c
 
 
-def permute(hv, shifts: int = 1, backend: BackendLike = None):
+def permute(hv: Any, shifts: int = 1, backend: BackendLike = None) -> Any:
     """Cyclically permute hypervector elements (the HDC sequence operation).
 
     Permutation produces a hypervector near-orthogonal to its input while
@@ -99,7 +101,7 @@ def permute(hv, shifts: int = 1, backend: BackendLike = None):
     return b.roll(_as_hv(hv, b), shifts, axis=-1)
 
 
-def normalize_rows(X, backend: BackendLike = None):
+def normalize_rows(X: Any, backend: BackendLike = None) -> Any:
     """L2-normalise each row; zero rows are passed through unchanged.
 
     Floating inputs keep their dtype; integer inputs promote to floating
@@ -115,7 +117,13 @@ def normalize_rows(X, backend: BackendLike = None):
     return out[0] if single else out
 
 
-def _check_pair(queries, memory, b, q_name: str, m_name: str):
+def _check_pair(
+    queries: Any,
+    memory: Any,
+    b: Any,
+    q_name: str,
+    m_name: str,
+) -> Any:
     Q = queries if b.is_native(queries) else _validated(queries, q_name)
     M = memory if b.is_native(memory) else _validated(memory, m_name)
     if Q.ndim == 1:
@@ -135,11 +143,15 @@ def _check_pair(queries, memory, b, q_name: str, m_name: str):
     return Q, M
 
 
-def _validated(x, name: str) -> np.ndarray:
+def _validated(x: Any, name: str) -> np.ndarray:
     return check_matrix(x, name, dtype=None)
 
 
-def dot_similarity(queries, memory, backend: BackendLike = None):
+def dot_similarity(
+    queries: Any,
+    memory: Any,
+    backend: BackendLike = None,
+) -> Any:
     """Raw dot-product similarity between queries ``(n, D)`` and memory ``(k, D)``.
 
     Returns an ``(n, k)`` score matrix.  Per equation (1) of the paper this is
@@ -151,7 +163,11 @@ def dot_similarity(queries, memory, backend: BackendLike = None):
     return b.matmul(Q, b.transpose(M))
 
 
-def cosine_similarity(queries, memory, backend: BackendLike = None):
+def cosine_similarity(
+    queries: Any,
+    memory: Any,
+    backend: BackendLike = None,
+) -> Any:
     """Cosine similarity δ(H, C) between queries ``(n, D)`` and memory ``(k, D)``.
 
     Zero vectors on either side yield similarity 0 rather than NaN, matching
@@ -162,7 +178,7 @@ def cosine_similarity(queries, memory, backend: BackendLike = None):
     return b.cosine_similarity(Q, M)
 
 
-def hamming_distance(h1, h2) -> np.ndarray:
+def hamming_distance(h1: Any, h2: Any) -> np.ndarray:
     """Normalised Hamming distance between bipolar/binary hypervectors.
 
     For batches, broadcasts ``(n, D)`` against ``(D,)`` or pairs two equal
@@ -177,7 +193,7 @@ def hamming_distance(h1, h2) -> np.ndarray:
     return np.mean(a != b, axis=-1)
 
 
-def hamming_similarity(queries, memory) -> np.ndarray:
+def hamming_similarity(queries: Any, memory: Any) -> np.ndarray:
     """Fraction of matching elements between each query and each memory row.
 
     The bipolar simplification of cosine similarity the paper mentions:

@@ -41,10 +41,11 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import guarded_by, make_lock
 from repro.deploy.quantized import QuantizedHDCModel
 from repro.engine.executor import Executor, SerialExecutor
 from repro.serve.server import ModelServer
@@ -138,7 +139,7 @@ class DriftDetector:
 
     # ------------------------------------------------------------- checking
 
-    def _stats(self, correct, margins) -> Dict[str, float]:
+    def _stats(self, correct: Any, margins: Any) -> Dict[str, float]:
         return {
             "n": float(len(correct)),
             "accuracy": float(np.mean(correct)) if correct else float("nan"),
@@ -168,6 +169,7 @@ class DriftDetector:
         return DriftReport(False, None, reference, current)
 
 
+@guarded_by("_lock", "_feedback_x", "_feedback_y", "detector", "n_adaptations")
 class OnlineAdapter:
     """Feed labeled feedback to a served model; adapt and hot-swap on drift.
 
@@ -200,7 +202,7 @@ class OnlineAdapter:
     def __init__(
         self,
         server: ModelServer,
-        base_model,
+        base_model: Any,
         *,
         detector: Optional[DriftDetector] = None,
         executor: Optional[Executor] = None,
@@ -232,7 +234,7 @@ class OnlineAdapter:
         )
         self._feedback_x: Deque[np.ndarray] = deque(maxlen=self.feedback_buffer)
         self._feedback_y: Deque[int] = deque(maxlen=self.feedback_buffer)
-        self._lock = threading.Lock()
+        self._lock = make_lock("OnlineAdapter._lock")
         self._adapting = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.n_adaptations = 0
@@ -267,7 +269,12 @@ class OnlineAdapter:
 
     # ---------------------------------------------------------------- feedback
 
-    def feedback(self, x, y_true, scores=None) -> Optional[DriftReport]:
+    def feedback(
+        self,
+        x: Any,
+        y_true: Any,
+        scores: Any = None,
+    ) -> Optional[DriftReport]:
         """Record labeled feedback for one sample (or a small block).
 
         ``scores`` — the per-class decision scores the server returned
@@ -389,7 +396,7 @@ class OnlineAdapter:
         finally:
             self._adapting.clear()
 
-    def _adapt_task(self, _=None) -> None:
+    def _adapt_task(self, _: Any = None) -> None:
         with self._lock:
             if not self._feedback_x:
                 return  # drained by a cycle that raced our launch
@@ -439,7 +446,7 @@ class OnlineAdapter:
             self.detector.rebaseline()
             self.n_adaptations += 1
 
-    def _next_artifact(self):
+    def _next_artifact(self) -> Any:
         """The v(N+1) deploy artifact for the adapted base classifier."""
         if self._standby is not None:
             return self._standby.refresh()
@@ -457,13 +464,19 @@ class OnlineAdapter:
     # ------------------------------------------------------------------ stats
 
     def stats(self) -> Dict[str, object]:
+        # Everything the adaptation cycle writes is read under the lock:
+        # the pre-lint revision read n_adaptations and the detector
+        # outside it, racing _promote's rebaseline/bump (the unguarded
+        # accesses `repro lint` flagged on this tree).
         with self._lock:
             buffered = len(self._feedback_x)
+            n_adaptations = self.n_adaptations
+            observed = self.detector.n_observed
         return {
-            "n_adaptations": self.n_adaptations,
+            "n_adaptations": n_adaptations,
             "adapting": self._adapting.is_set(),
             "buffered_feedback": buffered,
-            "observed": self.detector.n_observed,
+            "observed": observed,
             "last_drift_reason": (
                 self.last_drift.reason if self.last_drift else None
             ),

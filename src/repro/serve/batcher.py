@@ -37,10 +37,11 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.annotations import make_lock
 from repro.utils.validation import check_positive_float, check_positive_int
 
 #: ``handler(kind, X)``: run one coalesced ``(n, q)`` batch of ``kind``
@@ -110,7 +111,7 @@ class MicroBatcher:
         self._on_batch = on_batch
         self._queue: "queue.Queue[_Request]" = queue.Queue()
         self._closed = threading.Event()
-        self._drain_lock = threading.Lock()
+        self._drain_lock = make_lock("MicroBatcher._drain_lock")
         self._worker = threading.Thread(
             target=self._run, name="repro-microbatcher", daemon=True
         )
@@ -118,7 +119,7 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------ intake
 
-    def submit(self, kind: str, rows) -> Future:
+    def submit(self, kind: str, rows: Any) -> Future:
         """Enqueue ``rows`` (one sample ``(q,)`` or a block ``(m, q)``).
 
         Returns a future resolving to the handler's result rows for this
@@ -256,7 +257,7 @@ class MicroBatcher:
     def __enter__(self) -> "MicroBatcher":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -84,7 +84,7 @@ class LoadReport:
 
 def run_load(
     target: Union[ModelServer, Callable],
-    X,
+    X: Any,
     *,
     n_requests: int,
     concurrency: int = 32,
@@ -119,7 +119,7 @@ def run_load(
             else target.submit_decision_scores
         )
 
-        def issue(row):
+        def issue(row: Any) -> Any:
             return submit(row).result()
 
     else:

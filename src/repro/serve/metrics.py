@@ -15,12 +15,12 @@ sustained traffic; counters cover the server's whole lifetime.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro.analysis.annotations import guarded_by, make_lock
 from repro.utils.validation import check_positive_int
 
 #: Percentiles the latency summary reports, in order.
@@ -48,6 +48,15 @@ def latency_summary_ms(latencies_s: np.ndarray) -> Optional[Dict[str, float]]:
     return summary
 
 
+@guarded_by(
+    "_lock",
+    "_latencies",
+    "_latency_pos",
+    "_latency_count",
+    "_batch_sizes",
+    "_n_errors",
+    "_n_swaps",
+)
 class ServerMetrics:
     """Thread-safe counters + latency/batch-size distributions.
 
@@ -60,7 +69,7 @@ class ServerMetrics:
 
     def __init__(self, window: int = 8192) -> None:
         self.window = check_positive_int(window, "window")
-        self._lock = threading.Lock()
+        self._lock = make_lock("ServerMetrics._lock")
         self._started = time.perf_counter()
         self._latencies = np.zeros(self.window, dtype=np.float64)
         self._latency_pos = 0

@@ -34,10 +34,11 @@ import threading
 import time
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.annotations import guarded_by, make_lock
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServerMetrics
 from repro.utils.validation import check_matrix
@@ -47,6 +48,12 @@ _KIND_PREDICT = "predict"
 _KIND_SCORES = "scores"
 
 
+# ``model`` is deliberately NOT a guarded field: writes happen under the
+# lock (release_model), but reads are protected by the enter/drain
+# protocol (_try_enter registers the reader before the pointer can be
+# released), which the linter cannot express — the threaded swap stress
+# suite pins it instead.
+@guarded_by("_lock", "_in_flight", aliases=("_drained",))
 class ModelVersion:
     """One entry of the server's version pool.
 
@@ -55,14 +62,19 @@ class ModelVersion:
     counter behind the zero-dropped-requests swap guarantee).
     """
 
-    def __init__(self, version: int, model, source: Optional[str]) -> None:
+    def __init__(
+        self,
+        version: int,
+        model: Any,
+        source: Optional[str],
+    ) -> None:
         self.version = int(version)
         self.model = model
         self.source = source
         self.deployed_unix = time.time()
         self.retired_unix: Optional[float] = None
         self._in_flight = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("ModelVersion._lock")
         self._drained = threading.Condition(self._lock)
 
     # -------------------------------------------------------- drain tracking
@@ -130,7 +142,7 @@ class ModelVersion:
         return f"ModelVersion(v{self.version}, {state})"
 
 
-def _check_servable(model) -> None:
+def _check_servable(model: Any) -> None:
     for attr in ("predict", "decision_scores"):
         if not callable(getattr(model, attr, None)):
             raise TypeError(
@@ -139,11 +151,12 @@ def _check_servable(model) -> None:
             )
 
 
-def _model_n_features(model) -> Optional[int]:
+def _model_n_features(model: Any) -> Optional[int]:
     value = getattr(model, "n_features_", None)
     return int(value) if value is not None else None
 
 
+@guarded_by("_swap_lock", "_versions")
 class ModelServer:
     """Serve a fitted model behind micro-batching with atomic hot-swap.
 
@@ -176,9 +189,13 @@ class ModelServer:
     (4,)
     """
 
+    # ``_active`` is an atomic pointer read by design (one coherent
+    # version per batch — see _handle); only the version *pool* needs the
+    # swap lock.
+
     def __init__(
         self,
-        model,
+        model: Any,
         *,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
@@ -188,7 +205,7 @@ class ModelServer:
     ) -> None:
         self.metrics = ServerMetrics(window=metrics_window)
         self.retain_retired = bool(retain_retired)
-        self._swap_lock = threading.Lock()
+        self._swap_lock = make_lock("ModelServer._swap_lock")
         self._versions: List[ModelVersion] = []
         self._active: Optional[ModelVersion] = None
         self._warm_rows: Optional[np.ndarray] = None
@@ -234,7 +251,7 @@ class ModelServer:
 
     # ----------------------------------------------------------------- intake
 
-    def _prepare(self, X) -> np.ndarray:
+    def _prepare(self, X: Any) -> np.ndarray:
         """Validate a request up front so one bad request cannot poison a
         batch shared with well-formed ones."""
         if self._closed:
@@ -251,19 +268,23 @@ class ModelServer:
             self._warm_rows = X[:1].copy()
         return X
 
-    def submit_predict(self, X) -> Future:
+    def submit_predict(self, X: Any) -> Future:
         """Micro-batched ``predict``; resolves to the label rows for ``X``."""
         return self._batcher.submit(_KIND_PREDICT, self._prepare(X))
 
-    def submit_decision_scores(self, X) -> Future:
+    def submit_decision_scores(self, X: Any) -> Future:
         """Micro-batched ``decision_scores``; resolves to ``(n, k)`` scores."""
         return self._batcher.submit(_KIND_SCORES, self._prepare(X))
 
-    def predict(self, X, timeout: Optional[float] = None) -> np.ndarray:
+    def predict(self, X: Any, timeout: Optional[float] = None) -> np.ndarray:
         """Synchronous micro-batched prediction (submit + wait)."""
         return self.submit_predict(X).result(timeout=timeout)
 
-    def decision_scores(self, X, timeout: Optional[float] = None) -> np.ndarray:
+    def decision_scores(
+        self,
+        X: Any,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
         """Synchronous micro-batched per-class scores (submit + wait)."""
         return self.submit_decision_scores(X).result(timeout=timeout)
 
@@ -271,7 +292,7 @@ class ModelServer:
 
     def deploy(
         self,
-        model,
+        model: Any,
         *,
         warm: bool = True,
         source: Optional[str] = None,
@@ -343,7 +364,7 @@ class ModelServer:
         return self._active
 
     @property
-    def model(self):
+    def model(self) -> Any:
         """The currently active model object."""
         return self._active.model
 
@@ -359,7 +380,12 @@ class ModelServer:
         """The stats-endpoint snapshot: metrics + version-pool state."""
         snapshot = self.metrics.snapshot()
         snapshot["active_version"] = self._active.version
-        snapshot["versions"] = [v.as_record() for v in self._versions]
+        # Snapshot the pool under the swap lock: iterating the live list
+        # while a concurrent deploy appends is a torn read (the first
+        # unguarded access `repro lint` flagged on this tree).
+        with self._swap_lock:
+            versions = tuple(self._versions)
+        snapshot["versions"] = [v.as_record() for v in versions]
         return snapshot
 
     # --------------------------------------------------------------- lifecycle
@@ -372,7 +398,7 @@ class ModelServer:
     def __enter__(self) -> "ModelServer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

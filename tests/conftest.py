@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
+from repro.analysis.annotations import enable_runtime_lock_checks
 from repro.datasets.preprocessing import StandardScaler
 from repro.datasets.splits import stratified_split
 from repro.datasets.synthetic import make_classification
+
+# Under pytest every serve-stack lock is an order-asserting TrackedLock:
+# an acquisition that inverts repro.analysis.annotations.LOCK_ORDER —
+# a would-be fleet deadlock — raises LockOrderError in the test that
+# exercises it instead of hanging a production worker.
+enable_runtime_lock_checks(True)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,540 @@
+"""Tests for repro.analysis — the invariant linter and its rules.
+
+Each rule gets a failing fixture (the invariant broken) and a passing
+fixture (the idiomatic code), written under a synthetic ``repro/``
+package tree so path scoping engages exactly as it does on ``src/``.
+The suite closes with the self-lint: the committed tree must be clean.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    all_rules,
+    get_rules,
+    parse_suppressions,
+    run_analysis,
+)
+from repro.analysis.core import REPORT_SCHEMA, check_file
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+RULE_NAMES = {
+    "backend-purity",
+    "cache-coherence",
+    "lock-discipline",
+    "public-api-hygiene",
+    "seed-determinism",
+}
+
+
+def lint(tmp_path, relpath, source, rules=None):
+    """Write ``source`` at ``<tmp>/repro/<relpath>`` and lint that file."""
+    path = tmp_path / "repro" / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return check_file(path, get_rules(rules))
+
+
+def active(violations):
+    return [v for v in violations if not v.suppressed]
+
+
+# --------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert RULE_NAMES <= set(all_rules())
+
+    def test_rules_have_descriptions(self):
+        for rule in all_rules().values():
+            assert rule.description, rule.name
+
+    def test_get_rules_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no-such-rule"):
+            get_rules(["no-such-rule"])
+
+    def test_get_rules_subset(self):
+        (rule,) = get_rules(["backend-purity"])
+        assert rule.name == "backend-purity"
+
+
+# --------------------------------------------------------- backend-purity
+
+
+class TestBackendPurity:
+    BAD = """
+        import numpy as np
+
+        def make():
+            return np.zeros((4, 4))
+    """
+
+    GOOD = """
+        import numpy as np
+
+        def make():
+            a = np.zeros((4, 4), dtype=np.float64)
+            b = np.empty(3, np.int64)  # positional dtype slot counts
+            c = np.arange(5, dtype=np.int64)
+            return a, b, c
+    """
+
+    def test_bad_fixture_flagged(self, tmp_path):
+        violations = lint(tmp_path, "hdc/mod.py", self.BAD)
+        assert [v.rule for v in active(violations)] == ["backend-purity"]
+        assert "dtype" in violations[0].message
+
+    def test_good_fixture_clean(self, tmp_path):
+        assert lint(tmp_path, "hdc/mod.py", self.GOOD) == []
+
+    @pytest.mark.parametrize(
+        "ctor", ["zeros((2,))", "ones(2)", "empty(2)", "full((2,), 0.0)",
+                 "array([1, 2])", "arange(3)"]
+    )
+    def test_every_constructor_covered(self, tmp_path, ctor):
+        src = f"import numpy as np\nx = np.{ctor}\n"
+        violations = lint(tmp_path, f"core/{ctor.split('(')[0]}.py", src)
+        assert len(active(violations)) == 1
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        # utils/ is not a backend-routed package; the same code passes.
+        assert lint(tmp_path, "utils/mod.py", self.BAD) == []
+
+
+# -------------------------------------------------------- lock-discipline
+
+
+class TestLockDiscipline:
+    BAD = """
+        from repro.analysis.annotations import guarded_by
+
+        @guarded_by("_lock", "_count")
+        class ModelVersion:
+            def __init__(self):
+                self._count = 0  # __init__ is exempt
+
+            def bump(self):
+                self._count += 1  # no lock held
+    """
+
+    GOOD = """
+        from repro.analysis.annotations import guarded_by
+
+        @guarded_by("_lock", "_count", aliases=("_drained",))
+        class ModelVersion:
+            def __init__(self):
+                self._count = 0
+
+            def bump(self):
+                with self._lock:
+                    self._count += 1
+
+            def wait(self):
+                with self._drained:  # Condition over the same lock
+                    return self._count
+    """
+
+    INVERSION = """
+        class ModelVersion:
+            def bad(self):
+                with self._lock:
+                    with self._drain_lock:
+                        pass
+    """
+
+    IN_ORDER = """
+        class ModelVersion:
+            def fine(self):
+                with self._drain_lock:
+                    with self._lock:
+                        pass
+    """
+
+    def test_unguarded_access_flagged(self, tmp_path):
+        violations = lint(tmp_path, "serve/mod.py", self.BAD)
+        assert [v.rule for v in active(violations)] == ["lock-discipline"]
+        assert "ModelVersion._count" in violations[0].message
+
+    def test_guarded_and_alias_access_clean(self, tmp_path):
+        assert lint(tmp_path, "serve/mod.py", self.GOOD) == []
+
+    def test_lock_order_inversion_flagged(self, tmp_path):
+        violations = lint(tmp_path, "serve/mod.py", self.INVERSION)
+        assert [v.rule for v in active(violations)] == ["lock-discipline"]
+        assert "lock order" in violations[0].message
+
+    def test_declared_order_clean(self, tmp_path):
+        assert lint(tmp_path, "serve/mod.py", self.IN_ORDER) == []
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        assert lint(tmp_path, "hdc/mod.py", self.BAD) == []
+
+
+# ------------------------------------------------------- seed-determinism
+
+
+class TestSeedDeterminism:
+    BAD = """
+        import numpy as np
+
+        def draw():
+            return np.random.rand(3)
+    """
+
+    UNSEEDED_RNG = """
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng()
+    """
+
+    GOOD = """
+        import numpy as np
+
+        def draw(seed):
+            rng = np.random.default_rng(seed)
+            seq = np.random.SeedSequence(seed)
+            return rng, seq
+
+        def annotate(g: "np.random.Generator"):
+            return g
+    """
+
+    def test_legacy_global_rng_flagged(self, tmp_path):
+        violations = lint(tmp_path, "hdc/encoders/mod.py", self.BAD)
+        assert [v.rule for v in active(violations)] == ["seed-determinism"]
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        violations = lint(tmp_path, "engine/shard.py", self.UNSEEDED_RNG)
+        assert len(active(violations)) == 1
+        assert "without a seed" in violations[0].message
+
+    def test_seeded_constructors_clean(self, tmp_path):
+        assert lint(tmp_path, "datasets/splits.py", self.GOOD) == []
+
+    @pytest.mark.parametrize(
+        "call", ["time.time()", "os.urandom(8)", "uuid.uuid4()",
+                 "random.random()", "secrets.token_bytes(8)"]
+    )
+    def test_ambient_entropy_sources_flagged(self, tmp_path, call):
+        mod = call.split(".")[0]
+        src = f"import {mod}\nx = {call}\n"
+        violations = lint(tmp_path, "hdc/encoders/entropy.py", src)
+        assert len(active(violations)) == 1
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        # hdc/ outside encoders/ is not in this rule's scope.
+        assert lint(
+            tmp_path, "hdc/memory_like.py", self.BAD, ["seed-determinism"]
+        ) == []
+
+
+# ------------------------------------------------------- cache-coherence
+
+
+class TestCacheCoherence:
+    BAD = """
+        class Memory:
+            def invalidate_caches(self):
+                self._version += 1
+
+            def accumulate(self, delta):
+                self._vectors += delta  # forgot the version bump
+    """
+
+    GOOD = """
+        class Memory:
+            def __init__(self, vectors):
+                self._vectors = vectors  # __init__ exempt
+
+            def invalidate_caches(self):
+                self._version += 1
+
+            def accumulate(self, delta):
+                self._vectors += delta
+                self.invalidate_caches()
+
+            def replace(self, new):
+                self.vectors = new  # property setter bumps
+
+            def scatter(self, backend, rows, values):
+                backend.scatter_add_rows(self._vectors, rows, values)
+                self.invalidate_caches()
+    """
+
+    BAD_BACKEND_OP = """
+        class Memory:
+            def invalidate_caches(self):
+                self._version += 1
+
+            def scatter(self, backend, rows, values):
+                backend.scatter_add_rows(self._vectors, rows, values)
+    """
+
+    def test_unbumped_mutation_flagged(self, tmp_path):
+        violations = lint(tmp_path, "hdc/mod.py", self.BAD)
+        assert [v.rule for v in active(violations)] == ["cache-coherence"]
+        assert "invalidate_caches" in violations[0].message
+
+    def test_unbumped_backend_mutator_flagged(self, tmp_path):
+        violations = lint(tmp_path, "hdc/mod.py", self.BAD_BACKEND_OP)
+        assert len(active(violations)) == 1
+
+    def test_bumping_mutators_clean(self, tmp_path):
+        assert lint(tmp_path, "hdc/mod.py", self.GOOD) == []
+
+    def test_class_without_cache_protocol_ignored(self, tmp_path):
+        src = """
+            class Plain:
+                def accumulate(self, delta):
+                    self._vectors += delta
+        """
+        assert lint(tmp_path, "hdc/mod.py", src) == []
+
+
+# ---------------------------------------------------- public-api-hygiene
+
+
+class TestApiHygiene:
+    def test_phantom_export_flagged(self, tmp_path):
+        src = """
+            def real():
+                pass
+
+            __all__ = ["real", "phantom"]
+        """
+        violations = lint(tmp_path, "utils/mod.py", src)
+        assert [v.rule for v in active(violations)] == ["public-api-hygiene"]
+        assert "phantom" in violations[0].message
+
+    def test_duplicate_export_flagged(self, tmp_path):
+        src = """
+            def real():
+                pass
+
+            __all__ = ["real", "real"]
+        """
+        violations = lint(tmp_path, "utils/mod.py", src)
+        assert "duplicate" in active(violations)[0].message
+
+    def test_non_literal_all_flagged(self, tmp_path):
+        src = "__all__ = [n for n in dir()]\n"
+        violations = lint(tmp_path, "utils/mod.py", src)
+        assert "literal" in active(violations)[0].message
+
+    def test_silent_deprecation_flagged(self, tmp_path):
+        src = '''
+            def old_api():
+                """Deprecated: use new_api instead."""
+                return 1
+        '''
+        violations = lint(tmp_path, "utils/mod.py", src)
+        assert "deprecated" in active(violations)[0].message
+
+    def test_warning_deprecation_clean(self, tmp_path):
+        src = '''
+            import warnings
+
+            def old_api():
+                """Deprecated: use new_api instead."""
+                warnings.warn("use new_api", DeprecationWarning, stacklevel=2)
+                return 1
+        '''
+        assert lint(tmp_path, "utils/mod.py", src) == []
+
+    def test_truthful_all_clean(self, tmp_path):
+        src = """
+            from os.path import join
+
+            def real():
+                pass
+
+            CONST = 3
+            __all__ = ["real", "CONST", "join"]
+        """
+        assert lint(tmp_path, "utils/mod.py", src) == []
+
+
+# ----------------------------------------------------------- suppressions
+
+
+class TestSuppressions:
+    def test_allow_marker_suppresses_with_reason(self, tmp_path):
+        src = """
+            import numpy as np
+
+            x = np.zeros(3)  # repro: allow[backend-purity] caller casts
+        """
+        violations = lint(tmp_path, "hdc/mod.py", src)
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.suppressed
+        assert v.suppress_reason == "caller casts"
+
+    def test_wildcard_marker_suppresses_any_rule(self, tmp_path):
+        src = """
+            import numpy as np
+
+            x = np.zeros(3)  # repro: allow[*] prototype code
+        """
+        violations = lint(tmp_path, "hdc/mod.py", src)
+        assert violations[0].suppressed
+
+    def test_marker_for_other_rule_does_not_suppress(self, tmp_path):
+        src = """
+            import numpy as np
+
+            x = np.zeros(3)  # repro: allow[seed-determinism] wrong rule
+        """
+        violations = lint(tmp_path, "hdc/mod.py", src)
+        assert not violations[0].suppressed
+
+    def test_marker_only_covers_its_own_line(self, tmp_path):
+        src = """
+            import numpy as np
+
+            # repro: allow[backend-purity] markers are line-scoped
+            x = np.zeros(3)
+        """
+        violations = lint(tmp_path, "hdc/mod.py", src)
+        assert not violations[0].suppressed
+
+    def test_parse_suppressions_multiple_rules(self):
+        lines = ["x = 1  # repro: allow[rule-a, rule-b] shared reason"]
+        parsed = parse_suppressions(lines)
+        assert parsed == {
+            1: {"rule-a": "shared reason", "rule-b": "shared reason"}
+        }
+
+
+# ----------------------------------------------------------- report / JSON
+
+
+class TestReport:
+    def test_payload_schema(self, tmp_path):
+        path = tmp_path / "repro" / "hdc" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "import numpy as np\n"
+            "a = np.zeros(3)\n"
+            "b = np.ones(3)  # repro: allow[backend-purity] fixture\n"
+        )
+        report = run_analysis([path])
+        rules = get_rules(None)
+        payload = json.loads(report.to_json(rules))
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        assert payload["n_violations"] == 1
+        assert payload["n_suppressed"] == 1
+        assert {r["name"] for r in payload["rules"]} >= RULE_NAMES
+        (record,) = payload["violations"]
+        assert set(record) == {
+            "rule", "path", "line", "col", "message",
+            "suppressed", "suppress_reason",
+        }
+        assert record["line"] == 2
+        assert payload["parse_errors"] == []
+
+    def test_parse_error_recorded_not_raised(self, tmp_path):
+        path = tmp_path / "repro" / "hdc" / "broken.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("def broken(:\n")
+        report = run_analysis([path])
+        assert not report.ok
+        assert report.parse_errors and report.parse_errors[0]["line"] == 1
+
+    def test_directory_expansion_and_ok(self, tmp_path):
+        pkg = tmp_path / "repro" / "hdc"
+        pkg.mkdir(parents=True)
+        (pkg / "clean.py").write_text("x = 1\n")
+        (pkg / "also_clean.py").write_text("y = 2\n")
+        report = run_analysis([tmp_path])
+        assert report.ok
+        assert report.files_checked == 2
+
+    def test_rule_filter_limits_checks(self, tmp_path):
+        path = tmp_path / "repro" / "hdc" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import numpy as np\na = np.zeros(3)\n")
+        report = run_analysis([path], ["seed-determinism"])
+        assert report.ok  # backend-purity not selected
+
+
+# -------------------------------------------------------------- CLI
+
+
+class TestCli:
+    def _main(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def test_lint_dirty_file_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "hdc" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import numpy as np\na = np.zeros(3)\n")
+        assert self._main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "backend-purity" in out
+
+    def test_lint_clean_file_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "hdc" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        assert self._main(["lint", str(path)]) == 0
+
+    def test_lint_json_output(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "hdc" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import numpy as np\na = np.zeros(3)\n")
+        assert self._main(["lint", "--json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["n_violations"] == 1
+
+    def test_lint_rule_filter(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "hdc" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import numpy as np\na = np.zeros(3)\n")
+        code = self._main(["lint", "--rule", "seed-determinism", str(path)])
+        assert code == 0
+
+    def test_lint_list_rules(self, capsys):
+        assert self._main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in RULE_NAMES:
+            assert name in out
+
+    def test_lint_no_paths_exits_2(self, capsys):
+        assert self._main(["lint"]) == 2
+
+    def test_lint_output_file(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "hdc" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")
+        out_file = tmp_path / "report.json"
+        code = self._main(
+            ["lint", "--json", "--output", str(out_file), str(target)]
+        )
+        assert code == 0
+        assert json.loads(out_file.read_text())["ok"] is True
+
+
+# ----------------------------------------------------------- self-lint
+
+
+class TestSelfLint:
+    def test_committed_tree_is_clean(self):
+        report = run_analysis([REPO_SRC])
+        assert report.parse_errors == []
+        assert report.active == [], "\n" + report.render()
+
+    def test_self_lint_checked_a_real_file_count(self):
+        report = run_analysis([REPO_SRC])
+        assert report.files_checked > 50

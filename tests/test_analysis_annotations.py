@@ -1,0 +1,196 @@
+"""Tests for repro.analysis.annotations — guarded_by metadata, LOCK_ORDER
+and the TrackedLock runtime shim (the dynamic half of lock-discipline)."""
+
+import threading
+
+import pytest
+
+from repro.analysis.annotations import (
+    GUARDED_ATTR,
+    LOCK_ORDER,
+    LockOrderError,
+    TrackedLock,
+    enable_runtime_lock_checks,
+    guarded_by,
+    guarded_fields,
+    lock_rank,
+    make_lock,
+    runtime_lock_checks_enabled,
+)
+
+
+# ----------------------------------------------------------- declarations
+
+
+class TestGuardedBy:
+    def test_decorator_records_metadata(self):
+        @guarded_by("_lock", "_a", "_b", aliases=("_cond",))
+        class Thing:
+            pass
+
+        fields = guarded_fields(Thing)
+        assert fields == {
+            "_a": {"lock": "_lock", "aliases": ("_cond",)},
+            "_b": {"lock": "_lock", "aliases": ("_cond",)},
+        }
+
+    def test_stacked_decorators_merge(self):
+        @guarded_by("_other", "_c")
+        @guarded_by("_lock", "_a")
+        class Thing:
+            pass
+
+        fields = guarded_fields(Thing)
+        assert fields["_a"]["lock"] == "_lock"
+        assert fields["_c"]["lock"] == "_other"
+
+    def test_subclass_does_not_mutate_base(self):
+        @guarded_by("_lock", "_a")
+        class Base:
+            pass
+
+        @guarded_by("_lock", "_b")
+        class Sub(Base):
+            pass
+
+        assert "_b" not in guarded_fields(Base)
+        assert set(guarded_fields(Sub)) == {"_a", "_b"}
+
+    def test_requires_fields(self):
+        with pytest.raises(ValueError):
+            guarded_by("_lock")
+
+    def test_runtime_behaviour_unchanged(self):
+        @guarded_by("_lock", "_x")
+        class Thing:
+            def __init__(self):
+                self._x = 1
+
+        assert Thing()._x == 1
+        assert getattr(Thing, GUARDED_ATTR)
+
+
+class TestLockOrder:
+    def test_serving_stack_order_declared(self):
+        assert LOCK_ORDER == (
+            "OnlineAdapter._lock",
+            "ModelServer._swap_lock",
+            "MicroBatcher._drain_lock",
+            "ModelVersion._lock",
+            "ServerMetrics._lock",
+        )
+
+    def test_lock_rank(self):
+        assert lock_rank("OnlineAdapter._lock") == 0
+        assert lock_rank("ServerMetrics._lock") == len(LOCK_ORDER) - 1
+        assert lock_rank("Nobody._lock") is None
+
+
+# ----------------------------------------------------------- runtime shim
+
+
+class TestTrackedLock:
+    def test_in_order_acquisition_passes(self):
+        outer = TrackedLock("ModelServer._swap_lock")
+        inner = TrackedLock("ModelVersion._lock")
+        with outer:
+            with inner:
+                assert inner.locked()
+        assert not outer.locked() and not inner.locked()
+
+    def test_inverted_acquisition_raises(self):
+        outer = TrackedLock("ModelVersion._lock")
+        inner = TrackedLock("ModelServer._swap_lock")
+        with outer:
+            with pytest.raises(LockOrderError, match="declared lock order"):
+                inner.acquire()
+        assert not inner.locked()
+
+    def test_same_rank_reacquisition_raises(self):
+        a = TrackedLock("ModelVersion._lock")
+        b = TrackedLock("ModelVersion._lock")
+        with a:
+            with pytest.raises(LockOrderError):
+                b.acquire()
+
+    def test_release_unwinds_held_stack(self):
+        lower = TrackedLock("OnlineAdapter._lock")
+        higher = TrackedLock("ServerMetrics._lock")
+        with higher:
+            pass
+        # higher was released; acquiring the lowest rank must now succeed.
+        with lower:
+            pass
+
+    def test_unknown_name_untracked(self):
+        mystery = TrackedLock("Nobody._lock")
+        high = TrackedLock("ServerMetrics._lock")
+        with high:
+            with mystery:  # unranked locks bypass order tracking
+                pass
+
+    def test_nonblocking_acquire_skips_order_check(self):
+        held = TrackedLock("ServerMetrics._lock")
+        probe = TrackedLock("OnlineAdapter._lock")
+        with held:
+            # A try-lock cannot deadlock, so it is exempt from ordering.
+            assert probe.acquire(blocking=False)
+            probe.release()
+
+    def test_condition_integration(self):
+        lock = TrackedLock("ModelVersion._lock")
+        cond = threading.Condition(lock)
+        state = {"ready": False}
+
+        def producer():
+            with cond:
+                state["ready"] = True
+                cond.notify_all()
+
+        with cond:
+            threading.Thread(target=producer).start()
+            assert cond.wait_for(lambda: state["ready"], timeout=5.0)
+        assert not lock.locked()
+
+    def test_cross_thread_stacks_independent(self):
+        # Thread A holding a high-rank lock must not poison thread B.
+        high = TrackedLock("ServerMetrics._lock")
+        low = TrackedLock("OnlineAdapter._lock")
+        errors = []
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with high:
+                acquired.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        assert acquired.wait(timeout=5.0)
+        try:
+            with low:  # different thread: its held-stack is empty
+                pass
+        except LockOrderError as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            release.set()
+            t.join(timeout=5.0)
+        assert errors == []
+
+
+class TestMakeLock:
+    def test_checks_enabled_in_test_suite(self):
+        # conftest.py turns the shim on for the whole suite.
+        assert runtime_lock_checks_enabled()
+        assert isinstance(make_lock("ModelVersion._lock"), TrackedLock)
+
+    def test_disabled_returns_plain_lock(self):
+        enable_runtime_lock_checks(False)
+        try:
+            lock = make_lock("ModelVersion._lock")
+            assert not isinstance(lock, TrackedLock)
+            with lock:
+                pass
+        finally:
+            enable_runtime_lock_checks(True)

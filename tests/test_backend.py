@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.backend import (
-    ArrayBackend,
     NumpyBackend,
     get_backend,
     list_backends,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.datasets.loaders import Dataset, load_dataset
-from repro.datasets.registry import get_spec
 
 
 class TestLoadDataset:

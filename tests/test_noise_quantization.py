@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.noise.quantization import (
-    QuantizedTensor,
     dequantize,
     quantization_error,
     quantize,

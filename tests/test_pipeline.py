@@ -1,6 +1,5 @@
 """Tests for repro.pipeline — experiment runner, grid search, reporting."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.knn import KNNClassifier

@@ -19,7 +19,6 @@ that contract:
 import threading
 
 import numpy as np
-import pytest
 
 from repro.core.disthd import DistHDClassifier
 from repro.hdc.memory import AssociativeMemory
