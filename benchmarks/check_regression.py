@@ -14,6 +14,13 @@ When both payloads carry the serving scenario (schema 4), the same factor
 gates the serving path: batched p95 latency may not grow, and batched
 throughput may not shrink, by more than ``--factor``.
 
+When both payloads carry the packed_vs_int8 scenario (schema 5), the gate
+additionally enforces the scenario's invariants on the *current* payload —
+packed scores bit-identical to the unpacked binary reference (accuracy
+delta exactly 0), zero dropped requests across the packed hot-swap, the
+artifact still packed afterwards — and fails if the packed scorer-stage
+time slowed by more than ``--factor`` against the baseline.
+
 Exit codes: 0 ok, 1 regression detected, 2 malformed input.
 """
 
@@ -95,6 +102,57 @@ def compare_serving(current: dict, baseline: dict, factor: float) -> list:
     return problems
 
 
+def _packed_scenario(payload: dict) -> dict:
+    return (payload.get("scenarios") or {}).get("packed_vs_int8") or {}
+
+
+def compare_packed(current: dict, baseline: dict, factor: float) -> list:
+    """Gate the packed-deploy scenario: exact parity + scorer timing."""
+    problems = []
+    now = _packed_scenario(current)
+    if not now:
+        return problems  # scenario absent: nothing to gate
+    parity = now.get("parity") or {}
+    # Parity and serving invariants are absolute properties of the packed
+    # kernels — gated on the current payload alone, no baseline needed.
+    if parity.get("scores_bit_identical") is False:
+        problems.append(
+            "packed_vs_int8.parity: packed scores diverge from the "
+            "unpacked binary reference"
+        )
+    if parity.get("accuracy_delta") not in (None, 0, 0.0):
+        problems.append(
+            f"packed_vs_int8.parity: accuracy delta "
+            f"{parity['accuracy_delta']} != 0"
+        )
+    serving = now.get("serving") or {}
+    if serving.get("failed_requests"):
+        problems.append(
+            f"packed_vs_int8.serving dropped "
+            f"{serving['failed_requests']} request(s)"
+        )
+    if serving.get("served_packed_after_swap") is False:
+        problems.append(
+            "packed_vs_int8.serving: hot-swap demoted the artifact to "
+            "unpacked storage"
+        )
+    if serving.get("parity_ok") is False:
+        problems.append("packed_vs_int8.serving post-swap parity mismatch")
+    then = _packed_scenario(baseline)
+    now_s = (now.get("scoring") or {}).get("packed_score_s")
+    then_s = (then.get("scoring") or {}).get("packed_score_s")
+    if now_s is not None and then_s is not None:
+        now_s, then_s = float(now_s), float(then_s)
+        ratio = now_s / max(then_s, MIN_GATED_SECONDS)
+        if now_s > MIN_GATED_SECONDS and ratio > factor:
+            problems.append(
+                f"packed_vs_int8.scoring.packed_score_s: {now_s:.4f}s vs "
+                f"baseline {then_s:.4f}s ({ratio:.2f}x > {factor:.1f}x "
+                f"allowed)"
+            )
+    return problems
+
+
 def compare(current: dict, baseline: dict, factor: float,
             floor: float = MIN_GATED_SECONDS) -> list:
     """Return a list of human-readable regression messages (empty = ok)."""
@@ -117,6 +175,7 @@ def compare(current: dict, baseline: dict, factor: float,
                     f"({ratio:.2f}x > {factor:.1f}x allowed)"
                 )
     problems.extend(compare_serving(current, baseline, factor))
+    problems.extend(compare_packed(current, baseline, factor))
     return problems
 
 

@@ -64,9 +64,21 @@ def test_extension_quantized_deployment(benchmark):
                     "compression_vs_float": model.footprint_report()["compression"],
                 }
             )
-        return float_acc, rows
+        packed = QuantizedHDCModel(clf, bits=1, packed=True)
+        rows.append(
+            {
+                "bits": "1 (packed)",
+                "accuracy": packed.score(ds.test_x, ds.test_y),
+                "memory_bytes": packed.memory_bytes,
+                "compression_vs_float": packed.footprint_report()["compression"],
+            }
+        )
+        packed_report = packed.footprint_report()
+        return float_acc, rows, packed_report
 
-    float_acc, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    float_acc, rows, packed_report = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
     print("\n=== Extension: fixed-point deployment (UCIHAR analog) ===")
     print(f"  float reference accuracy: {float_acc:.4f}")
     print(format_markdown_table(rows, precision=3))
@@ -80,3 +92,10 @@ def test_extension_quantized_deployment(benchmark):
     assert by_bits[1]["accuracy"] > float_acc - 0.06
     assert by_bits[1]["compression_vs_float"] > 30
     assert by_bits[1]["memory_bytes"] < by_bits[8]["memory_bytes"]
+    # Bit-packing stores 64 cells per uint64 word: ~64x below the int8
+    # artifact (exactly 64x when D % 64 == 0, as here at D=512) and ~64x
+    # below the unpacked 1-bit float64 serving image.
+    packed_row = by_bits["1 (packed)"]
+    assert by_bits[8]["memory_bytes"] / packed_row["memory_bytes"] == 8.0
+    assert packed_report["compression_vs_unpacked"] == 64.0
+    assert packed_row["accuracy"] > float_acc - 0.10

@@ -7,8 +7,10 @@ so the float32 hot paths never silently upcast to float64.  A bare
 ``np.zeros(shape)`` (or ``ones``/``empty``/``full``/``arange``/``array``)
 defaults its dtype and is exactly how the pre-PR 2 code leaked float64
 into float32 pipelines — doubling memory traffic without failing a test.
-In ``hdc/``, ``core/``, ``baselines/`` and ``deploy/`` every such
-constructor must pass ``dtype=`` explicitly (or go through the backend /
+In ``hdc/``, ``core/``, ``baselines/``, ``deploy/`` and ``backend/``
+(which hosts the packed XOR + popcount kernels, where a dtype default
+would silently widen ``uint64`` word arrays) every such constructor must
+pass ``dtype=`` explicitly (or go through the backend /
 ``resolve_dtype``); an intentional default takes a
 ``# repro: allow[backend-purity]`` with the reason.
 """
@@ -50,7 +52,7 @@ class BackendPurityRule(Rule):
         "dtype-defaulting np.zeros/ones/empty/full/array/arange in "
         "backend-routed modules must pass dtype= explicitly"
     )
-    paths: Tuple[str, ...] = ("hdc", "core", "baselines", "deploy")
+    paths: Tuple[str, ...] = ("hdc", "core", "baselines", "deploy", "backend")
 
     def check(self, module: ModuleContext) -> Iterable[Violation]:
         out: List[Violation] = []

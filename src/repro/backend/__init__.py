@@ -21,6 +21,7 @@ from repro.backend.registry import (
     get_backend,
     list_backends,
     register_backend,
+    supports_packed,
 )
 from repro.backend.torch_backend import TorchBackend, torch_is_available
 
@@ -35,5 +36,6 @@ __all__ = [
     "list_backends",
     "register_backend",
     "resolve_dtype",
+    "supports_packed",
     "torch_is_available",
 ]

@@ -77,6 +77,15 @@ class ArrayBackend(abc.ABC):
     #: Registry name (``"numpy"``, ``"torch"``); set by subclasses.
     name: str = "abstract"
 
+    #: Whether the backend provides the packed binary kernels
+    #: (:meth:`packbits_rows` / :meth:`hamming_scores_packed`).  The base
+    #: class ships a generic implementation through NumPy, so every
+    #: backend supports packing; a subclass replacing the generic path
+    #: with something partial may set this ``False`` and callers (see
+    #: :func:`repro.backend.registry.supports_packed`) will fall back to
+    #: unpacked scoring.
+    supports_packed: bool = True
+
     # ------------------------------------------------------------ conversion
 
     @abc.abstractmethod
@@ -414,6 +423,57 @@ class ArrayBackend(abc.ABC):
             raise ValueError(f"unknown normalization {normalization!r}")
         safe = self.where(norms > eps, norms, self.ones_like(norms))
         return x / safe
+
+    # ------------------------------------------------------- packed binary
+
+    def packbits_rows(self, x: Any) -> np.ndarray:
+        """Sign-binarise native rows (``x >= 0`` → bit 1) and bit-pack them.
+
+        ``x`` is ``(n, D)`` (or ``(D,)``) native; returns ``(n, W)`` NumPy
+        ``uint64`` words, ``W = ceil(D / 64)``, with zero pad bits per the
+        contract in :mod:`repro.hdc.packed`.  Packed words always cross
+        the API boundary as NumPy — like similarity scores, they are
+        boundary values, so packed artifacts stay backend-neutral.
+
+        The sign convention matches 1-bit quantization
+        (:func:`repro.noise.quantization.quantize`): ``x >= 0`` → bit 1.
+        Default implementation converts to NumPy and packs there;
+        backends override to avoid conversions or shrink device→host
+        traffic.
+        """
+        from repro.hdc import packed as _packed
+
+        return _packed.pack_sign_rows(self.to_numpy(x))
+
+    def hamming_scores_packed(
+        self,
+        q_words: Any,
+        m_words: Any,
+        dim: int,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Similarity ``(dim − 2·hamming) / dim`` between packed rows.
+
+        ``q_words`` ``(n, W)`` and ``m_words`` ``(k, W)`` are NumPy
+        ``uint64`` packed words (the boundary representation produced by
+        :meth:`packbits_rows`); returns ``(n, k)`` float64 NumPy scores in
+        ``[-1, 1]`` via XOR + popcount — identical rows score 1.0 and the
+        score is strictly decreasing in Hamming distance.  ``chunk_size``
+        bounds the XOR temporary for large query batches.
+
+        Default implementation runs the NumPy kernels of
+        :mod:`repro.hdc.packed` (which select ``np.bitwise_count`` or the
+        lookup-table fallback at import time); backends override with
+        engine-native popcount.
+        """
+        from repro.hdc import packed as _packed
+
+        return _packed.hamming_scores_packed(
+            np.asarray(q_words, dtype=np.uint64),
+            np.asarray(m_words, dtype=np.uint64),
+            int(dim),
+            chunk_size=chunk_size,
+        )
 
     # ------------------------------------------------------------------ misc
 

@@ -37,7 +37,7 @@ class NumpyBackend(ArrayBackend):
         return np.zeros(shape, dtype=dtype)
 
     def copy(self, x: Any) -> Any:
-        return np.array(x, copy=True)
+        return np.array(x, copy=True)  # repro: allow[backend-purity] copy preserves input dtype
 
     # ------------------------------------------------------------ arithmetic
 
@@ -170,7 +170,7 @@ class NumpyBackend(ArrayBackend):
         # classes), reduce via a one-hot matmul instead.
         if values.ndim == 2 and idx.size > max(n_rows, 4):
             onehot = np.zeros((n_rows, idx.size), dtype=target.dtype)
-            onehot[idx, np.arange(idx.size)] = 1.0
+            onehot[idx, np.arange(idx.size, dtype=np.int64)] = 1.0
             target += onehot @ values
         else:
             np.add.at(target, idx, values)
@@ -198,10 +198,10 @@ class NumpyBackend(ArrayBackend):
             and rows.size > max(n_rows, 4)
         ):
             onehot = np.zeros((n_rows, rows.size), dtype=target.dtype)
-            onehot[rows, np.arange(rows.size)] = 1.0
+            onehot[rows, np.arange(rows.size, dtype=np.int64)] = 1.0
             np.add.at(
                 target,
-                (np.arange(n_rows)[:, None], cols[None, :]),
+                (np.arange(n_rows, dtype=np.int64)[:, None], cols[None, :]),
                 onehot @ values,
             )
         else:
@@ -211,6 +211,73 @@ class NumpyBackend(ArrayBackend):
         if k >= np.shape(x)[axis]:
             return np.argsort(-np.asarray(x), axis=axis, kind="stable")
         return np.argpartition(-np.asarray(x), k - 1, axis=axis)
+
+    # ------------------------------------------------------- packed binary
+
+    def packbits_rows(self, x: Any) -> np.ndarray:
+        # Native rows are already NumPy: skip the to_numpy round-trip and
+        # let packbits consume the boolean sign mask directly (no
+        # intermediate integer copy — this fused pack is what keeps the
+        # packed scorer ahead of the float path on the serving hot path).
+        from repro.hdc.packed import pack_sign_rows
+
+        return pack_sign_rows(np.asarray(x))
+
+    def hamming_scores_packed(
+        self,
+        q_words: Any,
+        m_words: Any,
+        dim: int,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        # Tuned over the generic path: the (chunk, k, W) XOR temporary is
+        # allocated once and reused across chunks (ufunc out=), and the
+        # chunk size defaults to the cache-sized auto_chunk_rows budget
+        # instead of the whole batch.
+        from repro.backend.base import auto_chunk_rows
+        from repro.hdc import packed as _packed
+
+        Q = np.ascontiguousarray(np.asarray(q_words, dtype=np.uint64))
+        M = np.ascontiguousarray(np.asarray(m_words, dtype=np.uint64))
+        if Q.ndim == 1:
+            Q = Q.reshape(1, -1)
+        if M.ndim == 1:
+            M = M.reshape(1, -1)
+        if Q.shape[1] != M.shape[1]:
+            raise ValueError(
+                f"q_words and m_words disagree on word count: "
+                f"{Q.shape[1]} vs {M.shape[1]}"
+            )
+        if dim <= 0 or _packed.words_per_row(dim) != Q.shape[1]:
+            raise ValueError(
+                f"dim={dim} does not match {Q.shape[1]} packed words"
+            )
+        n, width = Q.shape
+        k = M.shape[0]
+        chunk = (
+            int(chunk_size)
+            if chunk_size is not None
+            else auto_chunk_rows(max(k * width, 1))
+        )
+        chunk = max(1, min(chunk, max(n, 1)))
+        out = np.empty((n, k), dtype=np.float64)
+        xor_buf = np.empty((chunk, k, width), dtype=np.uint64)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            buf = xor_buf[: stop - start]
+            np.bitwise_xor(
+                Q[start:stop, None, :], M[None, :, :], out=buf
+            )
+            out[start:stop] = _packed.popcount_words(buf).sum(
+                axis=-1, dtype=np.int64
+            )
+        # (dim - 2*counts) / dim, in place on the float64 output — the
+        # same expression (and rounding) as the generic kernel, so tuned
+        # and generic scores are bit-identical.
+        np.multiply(out, -2.0, out=out)
+        np.add(out, np.float64(dim), out=out)
+        np.divide(out, np.float64(dim), out=out)
+        return out
 
     # ---------------------------------------------------------- fused kernels
 

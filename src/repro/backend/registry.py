@@ -80,6 +80,19 @@ def get_backend(spec: BackendLike = None) -> ArrayBackend:
     )
 
 
+def supports_packed(spec: BackendLike = None) -> bool:
+    """Whether the resolved backend provides the packed binary kernels.
+
+    The capability flag for the bit-packed deploy path: ``True`` when the
+    backend implements :meth:`~repro.backend.base.ArrayBackend.packbits_rows`
+    and :meth:`~repro.backend.base.ArrayBackend.hamming_scores_packed`
+    (every in-tree backend does, via the generic NumPy implementation at
+    minimum).  Callers gate ``packed=True`` artifacts on this instead of
+    probing methods.
+    """
+    return bool(getattr(get_backend(spec), "supports_packed", False))
+
+
 def list_backends() -> Tuple[str, ...]:
     """Registered backend names (sorted)."""
     _bootstrap()

@@ -225,6 +225,86 @@ class TorchBackend(ArrayBackend):
         # torch has no partial partition; topk is its optimised equivalent.
         return self._torch.topk(x, min(k, x.shape[axis]), dim=axis).indices
 
+    # ------------------------------------------------------- packed binary
+
+    def packbits_rows(self, x: Any) -> np.ndarray:
+        # Binarise on-device first: shipping the (n, D) bool mask to the
+        # host moves 1 byte per cell instead of the 4-8 bytes of the float
+        # encoding, then the host packs it with the fused NumPy path.
+        from repro.hdc.packed import pack_bool_rows
+
+        torch = self._torch
+        if isinstance(x, torch.Tensor):
+            mask = (x >= 0).detach().cpu().numpy()
+        else:
+            mask = np.asarray(x) >= 0
+        return pack_bool_rows(mask)
+
+    def _popcount_int64(self, x: Any) -> Any:
+        # SWAR popcount on int64 words (torch has no uint64 and no native
+        # popcount).  The usual logical-shift algorithm survives torch's
+        # arithmetic right shift because every mask below clears the
+        # sign-filled high bits before they are consumed.
+        torch = self._torch
+        m1 = torch.tensor(
+            0x5555555555555555, dtype=torch.int64, device=x.device
+        )
+        m2 = torch.tensor(
+            0x3333333333333333, dtype=torch.int64, device=x.device
+        )
+        m4 = torch.tensor(
+            0x0F0F0F0F0F0F0F0F, dtype=torch.int64, device=x.device
+        )
+        h01 = torch.tensor(
+            0x0101010101010101, dtype=torch.int64, device=x.device
+        )
+        x = x - ((x >> 1) & m1)
+        x = (x & m2) + ((x >> 2) & m2)
+        x = (x + (x >> 4)) & m4
+        return (x * h01) >> 56
+
+    def hamming_scores_packed(
+        self,
+        q_words: Any,
+        m_words: Any,
+        dim: int,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        # uint64 boundary words reinterpreted as int64 (same bit pattern),
+        # scored natively with bitwise_xor + SWAR popcount.
+        from repro.hdc.packed import words_per_row
+
+        torch = self._torch
+        Q = np.ascontiguousarray(np.asarray(q_words, dtype=np.uint64))
+        M = np.ascontiguousarray(np.asarray(m_words, dtype=np.uint64))
+        if Q.ndim == 1:
+            Q = Q.reshape(1, -1)
+        if M.ndim == 1:
+            M = M.reshape(1, -1)
+        if Q.shape[1] != M.shape[1]:
+            raise ValueError(
+                f"q_words and m_words disagree on word count: "
+                f"{Q.shape[1]} vs {M.shape[1]}"
+            )
+        if dim <= 0 or words_per_row(dim) != Q.shape[1]:
+            raise ValueError(
+                f"dim={dim} does not match {Q.shape[1]} packed words"
+            )
+        q = torch.as_tensor(Q.view(np.int64), device=self.device)
+        m = torch.as_tensor(M.view(np.int64), device=self.device)
+        n = q.shape[0]
+        step = n if chunk_size is None else max(1, int(chunk_size))
+        out = np.empty((n, m.shape[0]), dtype=np.float64)
+        for start in range(0, max(n, 1), step):
+            stop = min(start + step, n)
+            xor = q[start:stop, None, :] ^ m[None, :, :]
+            counts = self._popcount_int64(xor).sum(dim=-1)
+            scores = (float(dim) - 2.0 * counts.to(torch.float64)) / float(
+                dim
+            )
+            out[start:stop] = scores.cpu().numpy()
+        return out
+
     def topk_desc(self, scores: Any, k: int) -> Any:
         torch = self._torch
         if not isinstance(scores, torch.Tensor):

@@ -201,6 +201,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_regen_heavy=not args.no_regen_heavy,
         include_sharded=not args.no_sharded,
         include_serving=not args.no_serving,
+        include_packed=not args.no_packed,
     )
     print(format_bench_table(payload))
     if args.output:
@@ -252,6 +253,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.loadgen import run_load
     from repro.serve.server import ModelServer
 
+    if args.packed and args.bits != 1:
+        print(
+            "serve --packed requires --bits 1 (bit-packed storage is "
+            "1-bit by construction)",
+            file=sys.stderr,
+        )
+        return 2
     if args.model_path:
         # Serve a persisted artifact as-is: load, front, drive.  No
         # trainable base is available, so no adaptation/hot-swap.
@@ -296,6 +304,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "max_batch_size": args.max_batch_size,
                 "max_wait_ms": args.max_wait_ms,
                 "swap": not args.no_swap,
+                "packed": args.packed,
             },
             "serving": bench_serving(
                 dataset=args.dataset,
@@ -303,6 +312,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 dim=args.dim,
                 iterations=args.iterations,
                 bits=args.bits,
+                packed=args.packed,
                 n_requests=args.requests,
                 concurrency=args.concurrency,
                 max_batch_size=args.max_batch_size,
@@ -473,6 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-serving", action="store_true",
         help="skip the micro-batched serving scenario",
     )
+    bench.add_argument(
+        "--no-packed", action="store_true",
+        help="skip the bit-packed vs int8 deploy scenario",
+    )
     bench.add_argument("--output", default=None, help="JSON output path")
 
     predict = sub.add_parser(
@@ -523,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--max-batch-size", type=int, default=64)
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument(
+        "--packed", action="store_true",
+        help="serve the bit-packed artifact (requires --bits 1); "
+        "hot-swap promotions re-quantize and re-pack",
+    )
     serve.add_argument(
         "--no-swap", action="store_true",
         help="skip the mid-run adaptation hot-swap",

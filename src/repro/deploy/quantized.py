@@ -9,22 +9,35 @@ exercises, packaged for deployment:
 - 1-bit mode stores one bit per memory cell (the paper's most robust
   operating point) and scores queries against the sign pattern;
 - multi-bit modes store two's-complement fixed-point codes;
+- ``packed=True`` (1-bit only) stores the class memory as ``(k, ceil(D/64))``
+  ``uint64`` words and scores queries *in the packed domain* — the query is
+  sign-binarised and bit-packed, and similarity is XOR + popcount
+  (:mod:`repro.hdc.packed`), a fully binary operating point that cuts the
+  resident class memory ~64x below the float image the unpacked 1-bit
+  scorer materialises;
 - :meth:`inject_faults` flips memory bits in place, modelling an unreliable
-  edge device over its lifetime.
+  edge device over its lifetime (on packed artifacts the flips are literal
+  XOR masks on the words).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.backend import default_backend
 from repro.hdc.memory import AssociativeMemory, as_numpy_vectors
 from repro.hdc.ops import cosine_similarity
+from repro.hdc.packed import flip_packed_bits, pack_code_rows, unpack_rows
 from repro.noise.bitflip import flip_bits
 from repro.noise.quantization import QuantizedTensor, dequantize, quantize
-from repro.utils.rng import SeedLike
-from repro.utils.validation import check_features_match, check_matrix
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import (
+    check_features_match,
+    check_matrix,
+    check_probability,
+)
 
 
 class QuantizedHDCModel:
@@ -42,6 +55,15 @@ class QuantizedHDCModel:
         Stream queries through encode-then-score in row chunks of this
         size, bounding inference memory on the (typically RAM-constrained)
         deployment target.  ``None`` scores the whole batch at once.
+    packed:
+        Store the 1-bit class memory bit-packed (64 cells per ``uint64``
+        word) and run inference entirely in the packed domain: queries are
+        sign-binarised, packed and scored via XOR + popcount.  Requires
+        ``bits=1``.  This is a *fully binary* operating point — the query
+        is binarised too, so predictions match an unpacked implementation
+        of the same binary scorer bit-for-bit, but differ from the
+        float-query cosine scoring of ``packed=False`` (see
+        ``docs/performance.md``).
     retain_base:
         Keep a reference to ``classifier`` so :meth:`refresh` can
         re-quantize from its updated state (the online-adaptation
@@ -64,6 +86,7 @@ class QuantizedHDCModel:
 
     def __init__(self, classifier, bits: int = 8,
                  chunk_size: Optional[int] = None, *,
+                 packed: bool = False,
                  retain_base: bool = True) -> None:
         if getattr(classifier, "encoder_", None) is None or \
                 getattr(classifier, "memory_", None) is None or \
@@ -76,9 +99,15 @@ class QuantizedHDCModel:
             raise ValueError(
                 f"chunk_size must be positive or None, got {chunk_size}"
             )
+        if packed and int(bits) != 1:
+            raise ValueError(
+                f"packed=True requires bits=1 (a packed cell is one bit), "
+                f"got bits={bits}"
+            )
         self.classifier = classifier if retain_base else None
         self.bits = int(bits)
         self.chunk_size = chunk_size
+        self.packed = bool(packed)
         self.refresh_count = 0
         self._freeze(classifier)
 
@@ -103,9 +132,21 @@ class QuantizedHDCModel:
         self._base_itemsize = int(
             np.dtype(getattr(memory, "dtype", np.float64)).itemsize
         )
-        self._quantized: QuantizedTensor = quantize(
-            as_numpy_vectors(memory), self.bits
-        )
+        quantized = quantize(as_numpy_vectors(memory), self.bits)
+        self._n_cells = int(quantized.codes.size)
+        self._dim = int(quantized.shape[-1])
+        if self.packed:
+            # Freeze as (k, ceil(D/64)) uint64 words — the codes are not
+            # retained; the packed image *is* the class memory.
+            self._quantized: Optional[QuantizedTensor] = None
+            self._packed_scale = float(quantized.scale)
+            self._packed_words: Optional[np.ndarray] = pack_code_rows(
+                quantized.codes.reshape(quantized.shape)
+            )
+        else:
+            self._quantized = quantized
+            self._packed_scale = 0.0
+            self._packed_words = None
 
     # ----------------------------------------------------------------- state
 
@@ -143,20 +184,61 @@ class QuantizedHDCModel:
 
     @property
     def memory_bytes(self) -> int:
-        """Deployed class-memory size in bytes (packed at ``bits`` wide)."""
+        """Deployed class-memory size in bytes.
+
+        Packed mode reports the actual word storage (``k * ceil(D/64) * 8``);
+        unpacked modes report the memory image packed at ``bits`` wide.
+        """
+        if self.packed:
+            assert self._packed_words is not None
+            return int(self._packed_words.nbytes)
+        assert self._quantized is not None
         return (self._quantized.n_bits_total + 7) // 8
+
+    @property
+    def packed_words(self) -> Optional[np.ndarray]:
+        """The ``(k, ceil(D/64))`` ``uint64`` class-memory words
+        (``None`` unless ``packed=True``).  This is the live image —
+        mutating it changes the served model."""
+        return self._packed_words
+
+    def _quantized_image(self) -> QuantizedTensor:
+        """The memory as a :class:`QuantizedTensor` (reconstructed from the
+        words in packed mode — decode/persistence paths only, never the
+        inference hot path)."""
+        if not self.packed:
+            assert self._quantized is not None
+            return self._quantized
+        assert self._packed_words is not None
+        k = self._packed_words.shape[0]
+        codes = unpack_rows(self._packed_words, self._dim)
+        return QuantizedTensor(
+            codes.ravel(), 1, self._packed_scale, (k, self._dim)
+        )
 
     @property
     def class_vectors(self) -> np.ndarray:
         """The decoded (float) class memory currently in use."""
-        return dequantize(self._quantized)
+        return dequantize(self._quantized_image())
 
     def inject_faults(self, error_rate: float, seed: SeedLike = None) -> int:
         """Flip ``error_rate`` of the memory bits in place.
 
         Models accumulated hardware error on a deployed device.  Returns the
-        number of bits flipped.
+        number of bits flipped.  On a packed artifact the flips are literal
+        XOR masks applied to the ``uint64`` words (pad bits are never
+        touched), with the same exactly-``round(rate * total)`` flip-count
+        contract as the unpacked path.
         """
+        if self.packed:
+            assert self._packed_words is not None
+            check_probability(error_rate, "error_rate")
+            total_bits = self._packed_words.shape[0] * self._dim
+            n_flips = int(round(error_rate * total_bits))
+            return flip_packed_bits(
+                self._packed_words, n_flips, self._dim, as_rng(seed)
+            )
+        assert self._quantized is not None
         flipped = flip_bits(self._quantized, error_rate, seed)
         n_flips = int(round(error_rate * self._quantized.n_bits_total))
         self._quantized = flipped
@@ -164,31 +246,50 @@ class QuantizedHDCModel:
 
     # ------------------------------------------------------------- inference
 
-    def decision_scores(self, X) -> np.ndarray:
-        """Cosine similarities of encoded queries against the quantised memory.
+    def score_encoded(self, encoded: Any) -> np.ndarray:
+        """Scores for an already-encoded query block — the scorer stage of
+        :meth:`decision_scores`, exposed separately so benchmarks can time
+        scoring apart from encoding (which dominates end to end).
 
-        With ``chunk_size`` set, queries are encoded and scored in row
-        windows against the decoded memory, so the full ``(n, D)`` encoding
+        Unpacked modes compute cosine similarity of the (float) encoding
+        against the decoded memory; packed mode sign-binarises + packs the
+        encoding and scores ``(D − 2·hamming) / D`` against the word image
+        via XOR + popcount.  Both return ``(n, k)`` float64.
+        """
+        backend = getattr(self.encoder, "backend", None)
+        if self.packed:
+            assert self._packed_words is not None
+            b = backend if backend is not None else default_backend()
+            q_words = b.packbits_rows(encoded)
+            return b.hamming_scores_packed(
+                q_words, self._packed_words, self._dim
+            )
+        if backend is not None:
+            encoded = backend.to_numpy(encoded)
+        return np.asarray(
+            cosine_similarity(encoded, self.class_vectors), dtype=np.float64
+        )
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Similarity scores of encoded queries against the quantised memory.
+
+        Cosine similarity for the unpacked modes; the packed-domain
+        XOR + popcount score for ``packed=True`` (see
+        :meth:`score_encoded`).  With ``chunk_size`` set, queries are
+        encoded and scored in row windows, so the full ``(n, D)`` encoding
         never exists at once.
         """
         X = check_matrix(X, "X")
         check_features_match(self.n_features_, X.shape[1], "QuantizedHDCModel")
-        backend = getattr(self.encoder, "backend", None)
-        vectors = self.class_vectors
 
         def score(block: np.ndarray) -> np.ndarray:
-            encoded = self.encoder.encode(block)
-            if backend is not None:
-                encoded = backend.to_numpy(encoded)
-            return np.asarray(
-                cosine_similarity(encoded, vectors), dtype=np.float64
-            )
+            return self.score_encoded(self.encoder.encode(block))
 
         chunk = self.chunk_size
         n = X.shape[0]
         if chunk is None or n <= chunk:
             return score(X)
-        out = np.empty((n, vectors.shape[0]), dtype=np.float64)
+        out = np.empty((n, self.classes_.size), dtype=np.float64)
         for start in range(0, n, chunk):
             stop = min(start + chunk, n)
             out[start:stop] = score(X[start:stop])
@@ -203,7 +304,7 @@ class QuantizedHDCModel:
         y = np.asarray(y).ravel()
         return float(np.mean(self.predict(X) == y))
 
-    def footprint_report(self) -> dict:
+    def footprint_report(self) -> Dict[str, Any]:
         """Deployment footprint summary (class memory + encoder).
 
         Always reflects the *current* quantized image and encoder — after
@@ -212,25 +313,58 @@ class QuantizedHDCModel:
         8 bits, not the 8x a hard-coded float64 reference used to claim)
         and the encoder parameters are re-counted against the re-bound,
         possibly regenerated encoder.
+
+        Packed artifacts gain the packed rows: the word storage in bytes,
+        words per class, and the compression both against the float base
+        memory and against the unpacked 1-bit path.  The unpacked-1-bit
+        reference is the float64 image that path decodes its ``uint8``
+        codes into on every ``decision_scores`` call — the resident memory
+        the packed scorer actually eliminates (64 bits per cell vs 1; the
+        code array itself is reported separately).
         """
         encoder_floats = 0
         for attr in ("base_vectors", "phases", "id_vectors", "level_vectors"):
             value = getattr(self.encoder, attr, None)
             if value is not None:
                 encoder_floats += int(np.asarray(value).size)
-        float_bytes = self._quantized.codes.size * self._base_itemsize
-        return {
+        float_bytes = self._n_cells * self._base_itemsize
+        report: Dict[str, Any] = {
             "bits": self.bits,
+            "packed": self.packed,
             "memory_bytes": self.memory_bytes,
             "float_memory_bytes": float_bytes,
             "compression": float_bytes / max(self.memory_bytes, 1),
             "encoder_parameters": encoder_floats,
             "refresh_count": self.refresh_count,
         }
+        if self.packed:
+            assert self._packed_words is not None
+            packed_bytes = int(self._packed_words.nbytes)
+            # The unpacked 1-bit path stores uint8 codes and scores against
+            # the float64 image it decodes them into; the decode image is
+            # the resident memory the packed scorer eliminates (64 bits per
+            # cell vs 1), so the headline compression is measured there.
+            unpacked_codes_bytes = self._n_cells
+            unpacked_serving_bytes = (
+                self._n_cells * np.dtype(np.float64).itemsize
+            )
+            report.update(
+                {
+                    "packed_bytes": packed_bytes,
+                    "words_per_class": int(self._packed_words.shape[1]),
+                    "unpacked_1bit_bytes": unpacked_codes_bytes,
+                    "unpacked_1bit_serving_bytes": unpacked_serving_bytes,
+                    "compression_vs_unpacked": (
+                        unpacked_serving_bytes / max(packed_bytes, 1)
+                    ),
+                }
+            )
+        return report
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        packed = ", packed=True" if self.packed else ""
         return (
-            f"QuantizedHDCModel(bits={self.bits}, "
+            f"QuantizedHDCModel(bits={self.bits}{packed}, "
             f"memory_bytes={self.memory_bytes})"
         )
 
@@ -250,15 +384,24 @@ class QuantizedTrainer:
         ``memory_`` / ``classes_`` after fitting).
     bits:
         Class-memory precision (1, 2, 4 or 8).
+    packed:
+        Freeze bit-packed and score in the packed domain (requires
+        ``bits=1``; see :class:`QuantizedHDCModel`).
     """
 
     def __init__(self, classifier, bits: int = 8,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None, *,
+                 packed: bool = False) -> None:
         if bits not in (1, 2, 4, 8):
             raise ValueError(f"bits must be 1, 2, 4 or 8, got {bits}")
+        if packed and int(bits) != 1:
+            raise ValueError(
+                f"packed=True requires bits=1, got bits={bits}"
+            )
         self.classifier = classifier
         self.bits = int(bits)
         self.chunk_size = chunk_size
+        self.packed = bool(packed)
         self.deployed_: Optional[QuantizedHDCModel] = None
 
     # -------------------------------------------------------------- training
@@ -267,7 +410,8 @@ class QuantizedTrainer:
         """Fit the wrapped classifier, then freeze it at ``bits`` precision."""
         self.classifier.fit(X, y)
         self.deployed_ = QuantizedHDCModel(
-            self.classifier, bits=self.bits, chunk_size=self.chunk_size
+            self.classifier, bits=self.bits, chunk_size=self.chunk_size,
+            packed=self.packed,
         )
         return self
 
@@ -281,7 +425,8 @@ class QuantizedTrainer:
         self.classifier.partial_fit(X, y, classes=classes)
         if self.deployed_ is None:
             self.deployed_ = QuantizedHDCModel(
-                self.classifier, bits=self.bits, chunk_size=self.chunk_size
+                self.classifier, bits=self.bits, chunk_size=self.chunk_size,
+                packed=self.packed,
             )
         else:
             self.deployed_.refresh()
@@ -345,7 +490,8 @@ class QuantizedTrainer:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "fitted" if self.deployed_ is not None else "unfitted"
+        packed = ", packed=True" if self.packed else ""
         return (
             f"QuantizedTrainer({type(self.classifier).__name__}, "
-            f"bits={self.bits}, {state})"
+            f"bits={self.bits}{packed}, {state})"
         )

@@ -5,6 +5,8 @@ built from:
 
 - :mod:`repro.hdc.ops` — bundling, binding, permutation and the similarity
   kernels of §III-A of the paper (cosine / dot / Hamming), all matrix-wise;
+- :mod:`repro.hdc.packed` — bit-packed binary hypervectors (64 cells per
+  ``uint64`` word) with XOR + popcount Hamming kernels;
 - :mod:`repro.hdc.spaces` — random hypervector generation in bipolar, binary
   and real-Gaussian spaces plus near-orthogonality utilities;
 - :mod:`repro.hdc.memory` — the associative (class-hypervector) memory shared
@@ -22,7 +24,10 @@ from repro.hdc.ops import (
     hamming_distance,
     hamming_similarity,
     normalize_rows,
+    pack_hypervectors,
+    packed_hamming_similarity,
     permute,
+    unpack_hypervectors,
 )
 from repro.hdc.spaces import (
     random_binary,
@@ -47,7 +52,10 @@ __all__ = [
     "hamming_distance",
     "hamming_similarity",
     "normalize_rows",
+    "pack_hypervectors",
+    "packed_hamming_similarity",
     "permute",
+    "unpack_hypervectors",
     "random_binary",
     "random_bipolar",
     "random_gaussian",

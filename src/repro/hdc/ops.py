@@ -178,32 +178,88 @@ def cosine_similarity(
     return b.cosine_similarity(Q, M)
 
 
-def hamming_distance(h1: Any, h2: Any) -> np.ndarray:
+def hamming_distance(h1: Any, h2: Any, backend: BackendLike = None) -> np.ndarray:
     """Normalised Hamming distance between bipolar/binary hypervectors.
 
     For batches, broadcasts ``(n, D)`` against ``(D,)`` or pairs two equal
-    batches element-wise.  Returns values in [0, 1].
+    batches element-wise.  The comparison runs on the selected backend
+    (native tensors stay native end to end); per the library's score
+    convention the normalised result returns as float64 NumPy, values in
+    [0, 1].
     """
-    a = np.asarray(h1)
-    b = np.asarray(h2)
-    if a.shape[-1] != b.shape[-1]:
+    b = get_backend(backend)
+    a = _as_hv(h1, b)
+    c = _as_hv(h2, b)
+    if a.shape[-1] != c.shape[-1]:
         raise ValueError(
-            f"dimension mismatch in hamming_distance: {a.shape[-1]} vs {b.shape[-1]}"
+            f"dimension mismatch in hamming_distance: {a.shape[-1]} vs {c.shape[-1]}"
         )
-    return np.mean(a != b, axis=-1)
+    dim = int(a.shape[-1])
+    mismatches = b.sum(b.cast(a != c, np.float64), axis=-1)
+    return np.asarray(b.to_numpy(mismatches), dtype=np.float64) / dim
 
 
-def hamming_similarity(queries: Any, memory: Any) -> np.ndarray:
+def hamming_similarity(
+    queries: Any,
+    memory: Any,
+    backend: BackendLike = None,
+) -> np.ndarray:
     """Fraction of matching elements between each query and each memory row.
 
     The bipolar simplification of cosine similarity the paper mentions:
-    returns an ``(n, k)`` matrix with entries ``1 - hamming_distance``.
+    returns an ``(n, k)`` float64 matrix with entries
+    ``1 - hamming_distance``, computed on the selected backend.
     """
-    Q = check_matrix(queries, "queries", dtype=None)
-    M = check_matrix(memory, "memory", dtype=None)
-    if Q.shape[1] != M.shape[1]:
-        raise ValueError(
-            f"queries and memory disagree on dimensionality: "
-            f"{Q.shape[1]} vs {M.shape[1]}"
-        )
-    return 1.0 - np.mean(Q[:, None, :] != M[None, :, :], axis=2)
+    b = get_backend(backend)
+    Q, M = _check_pair(queries, memory, b, "queries", "memory")
+    dim = int(Q.shape[1])
+    mismatch = Q[:, None, :] != M[None, :, :]
+    counts = b.sum(b.cast(mismatch, np.float64), axis=2)
+    return 1.0 - np.asarray(b.to_numpy(counts), dtype=np.float64) / dim
+
+
+def pack_hypervectors(x: Any, backend: BackendLike = None) -> np.ndarray:
+    """Sign-binarise and bit-pack hypervectors, 64 cells per ``uint64`` word.
+
+    ``x`` is ``(n, D)`` or ``(D,)``; returns ``(n, W)`` NumPy ``uint64``
+    words with ``W = ceil(D / 64)`` and zero pad bits (the padding
+    contract of :mod:`repro.hdc.packed`).  Cells ``>= 0`` map to bit 1,
+    matching 1-bit quantization.  The binarisation runs on the selected
+    backend; packed words always return as NumPy (they are boundary
+    values, like similarity scores).
+    """
+    b = get_backend(backend)
+    return b.packbits_rows(_as_hv(x, b))
+
+
+def unpack_hypervectors(words: Any, dim: int) -> np.ndarray:
+    """Unpack ``(n, W)`` ``uint64`` words to ``(n, dim)`` uint8 ``{0, 1}``.
+
+    Inverse of :func:`pack_hypervectors` up to binarisation (the sign
+    magnitude is gone); pad bits are sliced off.
+    """
+    from repro.hdc.packed import unpack_rows
+
+    return unpack_rows(np.asarray(words, dtype=np.uint64), int(dim))
+
+
+def packed_hamming_similarity(
+    q_words: Any,
+    m_words: Any,
+    dim: int,
+    backend: BackendLike = None,
+    chunk_size: Any = None,
+) -> np.ndarray:
+    """Similarity ``(dim − 2·hamming) / dim`` between packed hypervectors.
+
+    The packed-domain scoring kernel: ``q_words`` ``(n, W)`` and
+    ``m_words`` ``(k, W)`` are ``uint64`` words from
+    :func:`pack_hypervectors`; returns ``(n, k)`` float64 scores in
+    ``[-1, 1]`` via XOR + popcount on the selected backend.  Identical
+    rows score 1.0 and the score is strictly decreasing in Hamming
+    distance, so rankings agree with :func:`hamming_similarity` on the
+    unpacked codes.
+    """
+    b = get_backend(backend)
+    return b.hamming_scores_packed(q_words, m_words, int(dim),
+                                   chunk_size=chunk_size)

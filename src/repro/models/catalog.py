@@ -216,17 +216,26 @@ def _register_all() -> None:
         ),
     )
 
-    def _make_disthd_quantized(bits=8, **params) -> QuantizedTrainer:
-        return QuantizedTrainer(DistHDClassifier(**params), bits=bits)
+    def _make_disthd_quantized(
+        bits=8, packed=False, **params
+    ) -> QuantizedTrainer:
+        return QuantizedTrainer(
+            DistHDClassifier(**params), bits=bits, packed=packed
+        )
 
     register_model(
         "disthd-quantized",
         _make_disthd_quantized,
         tags=("hdc", "deploy", "quantized", "persistable"),
         description="DistHD trained in float, served from fixed-point "
-        "class memory (Fig. 8 deployment)",
+        "class memory (Fig. 8 deployment); packed=True bit-packs the "
+        "1-bit memory and scores via XOR + popcount",
         hyperparams=(
             Hyperparam("bits", 8, (1, 2, 4, 8), "class-memory precision"),
+            Hyperparam(
+                "packed", False, (False, True),
+                "bit-packed 1-bit storage + XOR/popcount scoring",
+            ),
             _HDC_DIM,
             _LR,
             _ITERATIONS,

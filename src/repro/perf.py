@@ -35,6 +35,15 @@ and latency percentiles against the per-request baseline
 ``partial_fit``-adapted, re-quantized version under load; the record
 asserts the swap dropped zero requests and that post-swap micro-batched
 predictions match the active artifact exactly (``swap.parity_ok``).
+
+Payload schema 5 adds the **packed_vs_int8** scenario: the same trained
+model frozen three ways — ``bits=8``, unpacked ``bits=1`` and bit-packed
+``bits=1`` (64 cells per ``uint64`` word, XOR + popcount scoring).  The
+record compares artifact footprints, times the scorer stage in isolation
+(``score_speedup_vs_int``), proves the packed kernels bit-identical to an
+unpacked implementation of the same binary scorer
+(``parity.accuracy_delta`` exactly 0), and re-runs the hot-swap-under-load
+drill with the packed artifact (promotions re-quantize *and re-pack*).
 """
 
 from __future__ import annotations
@@ -416,6 +425,7 @@ def bench_serving(
     max_wait_ms: float = SERVING["max_wait_ms"],
     seed: int = 0,
     swap: bool = True,
+    packed: bool = False,
 ) -> Dict[str, object]:
     """Benchmark micro-batched serving against per-request inference.
 
@@ -433,6 +443,9 @@ def bench_serving(
        record keeps the failure count (must be zero) plus a post-swap
        parity check: micro-batched predictions equal the active
        artifact's direct predictions, element for element.
+
+    ``packed=True`` (requires ``bits=1``) serves the bit-packed artifact
+    instead; promotions re-quantize and re-pack.
     """
     from repro.deploy.quantized import QuantizedHDCModel
     from repro.serve.adapter import DriftDetector, OnlineAdapter
@@ -446,7 +459,7 @@ def bench_serving(
         convergence_patience=None,
     )
     model.fit(data.train_x, data.train_y)
-    artifact = QuantizedHDCModel(model, bits=bits)
+    artifact = QuantizedHDCModel(model, bits=bits, packed=packed)
 
     # Per-request baseline: same artifact, no batching, same concurrency.
     direct = run_load(
@@ -466,6 +479,7 @@ def bench_serving(
         "regen_rate": regen_rate,
         "selection": selection,
         "bits": bits,
+        "packed": bool(packed),
         "seed": seed,
         "n_requests": n_requests,
         "concurrency": concurrency,
@@ -550,6 +564,240 @@ def bench_serving(
                 "failed_requests": int(batched.n_failed),
                 "parity_ok": bool(np.array_equal(served, reference)),
             }
+    return record
+
+
+PACKED_VS_INT8 = dict(
+    REGEN_HEAVY,
+    n_score_rows=4096,
+    score_repeats=5,
+    n_requests=1024,
+    concurrency=16,
+    max_batch_size=64,
+    max_wait_ms=2.0,
+)
+
+
+def _binary_reference_scores(
+    encoded: np.ndarray, codes: np.ndarray, dim: int
+) -> np.ndarray:
+    """Unpacked reference of the packed binary scorer (exact arithmetic).
+
+    Binarises the float encoding with the same ``>= 0`` convention, counts
+    disagreements against the ``{0, 1}`` code rows through an exact int64
+    matmul (``|q != m| = Σq + Σm − 2·q·m`` on binary cells) and applies the
+    identical ``(D − 2·hamming) / D`` float64 expression — so the packed
+    kernels, which compute the same integer counts via XOR + popcount,
+    must match it bit for bit.
+    """
+    q = (np.asarray(encoded) >= 0).astype(np.int64)
+    m = np.asarray(codes, dtype=np.int64)
+    counts = (
+        q.sum(axis=1, dtype=np.int64)[:, None]
+        + m.sum(axis=1, dtype=np.int64)[None, :]
+        - 2 * (q @ m.T)
+    )
+    scale = np.float64(dim)
+    return (scale - 2.0 * counts.astype(np.float64)) / scale
+
+
+def bench_packed_deploy(
+    *,
+    dataset: str = PACKED_VS_INT8["dataset"],
+    scale: float = PACKED_VS_INT8["scale"],
+    dim: int = PACKED_VS_INT8["dim"],
+    iterations: int = PACKED_VS_INT8["iterations"],
+    regen_rate: float = PACKED_VS_INT8["regen_rate"],
+    selection: str = PACKED_VS_INT8["selection"],
+    n_score_rows: int = PACKED_VS_INT8["n_score_rows"],
+    score_repeats: int = PACKED_VS_INT8["score_repeats"],
+    n_requests: int = PACKED_VS_INT8["n_requests"],
+    concurrency: int = PACKED_VS_INT8["concurrency"],
+    max_batch_size: int = PACKED_VS_INT8["max_batch_size"],
+    max_wait_ms: float = PACKED_VS_INT8["max_wait_ms"],
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Benchmark the bit-packed 1-bit deploy path against int artifacts.
+
+    Trains DistHD at the regen-heavy operating point and freezes three
+    deploy artifacts — ``bits=8``, unpacked ``bits=1`` and packed
+    ``bits=1`` — then records:
+
+    1. **footprints**: bytes per artifact plus the packed compression
+       ratios from :meth:`~repro.deploy.quantized.QuantizedHDCModel.
+       footprint_report`;
+    2. **scorer-stage timings**: best-of-``score_repeats`` wall time of
+       ``score_encoded`` on a pre-encoded ``n_score_rows`` query block for
+       the packed XOR + popcount kernel vs the unpacked 1-bit cosine
+       scorer (``score_speedup_vs_int``) — the scorer stage is timed in
+       isolation because encoding, common to both paths, dominates end to
+       end and would mask the kernel difference;
+    3. **exact parity**: packed predictions vs an unpacked reference
+       implementation of the same binary scorer over the full test set —
+       scores bit-identical, predictions element-for-element equal,
+       accuracy delta exactly 0;
+    4. **serving**: the packed artifact behind a
+       :class:`~repro.serve.server.ModelServer` under closed-loop load
+       with a mid-run :class:`~repro.serve.adapter.OnlineAdapter`
+       promotion (re-quantize → re-pack) — zero failed requests, and the
+       post-swap artifact is still packed.
+    """
+    from repro.deploy.quantized import QuantizedHDCModel
+    from repro.hdc.packed import unpack_rows
+    from repro.serve.adapter import DriftDetector, OnlineAdapter
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ModelServer
+
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    model = make_model(
+        "disthd", dim=dim, iterations=iterations, seed=seed,
+        regen_rate=regen_rate, selection=selection,
+        convergence_patience=None,
+    )
+    model.fit(data.train_x, data.train_y)
+
+    int8 = QuantizedHDCModel(model, bits=8)
+    int1 = QuantizedHDCModel(model, bits=1)
+    packed = QuantizedHDCModel(model, bits=1, packed=True)
+
+    packed_report = packed.footprint_report()
+    record: Dict[str, object] = {
+        "scenario": "packed_vs_int8",
+        "dataset": dataset,
+        "n_train": int(data.train_x.shape[0]),
+        "n_features": int(data.train_x.shape[1]),
+        "dim": dim,
+        "iterations": iterations,
+        "regen_rate": regen_rate,
+        "selection": selection,
+        "seed": seed,
+        "footprints": {
+            "int8_bytes": int(int8.memory_bytes),
+            "int1_bytes": int(int1.memory_bytes),
+            "packed_bytes": int(packed.memory_bytes),
+            "words_per_class": int(packed_report["words_per_class"]),
+            "unpacked_1bit_serving_bytes": int(
+                packed_report["unpacked_1bit_serving_bytes"]
+            ),
+            "compression_vs_unpacked": float(
+                packed_report["compression_vs_unpacked"]
+            ),
+            "compression_vs_float": float(packed_report["compression"]),
+        },
+    }
+
+    # Scorer-stage timing on one pre-encoded query block (queries are
+    # resampled with replacement when the test split is smaller than
+    # n_score_rows, so the block size — and the timing — is stable
+    # across dataset scales).
+    rng = np.random.default_rng(seed)
+    idx = (
+        np.arange(data.test_x.shape[0], dtype=np.int64)
+        if data.test_x.shape[0] >= n_score_rows
+        else rng.choice(data.test_x.shape[0], size=n_score_rows, replace=True)
+    )[:n_score_rows]
+    block = data.test_x[idx]
+    enc = packed.encoder  # frozen deploy encoder, shared state across artifacts
+    encoded = enc.encode(block)
+    packed_s = _best_of(lambda: packed.score_encoded(encoded), score_repeats)
+    int1_s = _best_of(lambda: int1.score_encoded(encoded), score_repeats)
+    record["scoring"] = {
+        "n_score_rows": int(block.shape[0]),
+        "packed_score_s": packed_s,
+        "int1_score_s": int1_s,
+        "score_speedup_vs_int": (
+            int1_s / packed_s if packed_s > 0 else None
+        ),
+    }
+
+    # Exact parity: packed kernels vs the unpacked binary reference.
+    test_encoded = enc.encode(data.test_x)
+    backend = getattr(enc, "backend", None)
+    test_np = (
+        backend.to_numpy(test_encoded)
+        if backend is not None else np.asarray(test_encoded)
+    )
+    codes = unpack_rows(packed.packed_words, dim)
+    reference_scores = _binary_reference_scores(test_np, codes, dim)
+    packed_scores = packed.score_encoded(test_encoded)
+    reference_pred = packed.classes_[np.argmax(reference_scores, axis=1)]
+    packed_pred = packed.predict(data.test_x)
+    y = np.asarray(data.test_y).ravel()
+    packed_acc = float(np.mean(packed_pred == y))
+    reference_acc = float(np.mean(reference_pred == y))
+    record["parity"] = {
+        "scores_bit_identical": bool(
+            np.array_equal(packed_scores, reference_scores)
+        ),
+        "predictions_equal": bool(np.array_equal(packed_pred, reference_pred)),
+        "packed_acc": packed_acc,
+        "unpacked_reference_acc": reference_acc,
+        "accuracy_delta": packed_acc - reference_acc,
+        "int8_acc": float(int8.score(data.test_x, data.test_y)),
+    }
+
+    # Packed serving under load with a hot-swap promotion mid-run.
+    serve_artifact = QuantizedHDCModel(
+        model, bits=1, packed=True, chunk_size=max_batch_size
+    )
+    with ModelServer(
+        serve_artifact, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+    ) as server:
+        adapter = OnlineAdapter(
+            server, model,
+            detector=DriftDetector(window=64, min_samples=32),
+        )
+        n_fb = min(128, data.train_x.shape[0])
+        fb_x, fb_y = data.train_x[:n_fb], data.train_y[:n_fb]
+        adapter.feedback(fb_x, fb_y)
+        swap_fired = threading.Event()
+        swap_at = n_requests // 2
+        swap_gate = threading.Lock()
+
+        def on_request(i: int) -> None:
+            if i < swap_at or swap_fired.is_set():
+                return
+            with swap_gate:
+                if swap_fired.is_set():
+                    return
+                swap_fired.set()
+            if (
+                adapter.stats()["buffered_feedback"]
+                < adapter.min_adapt_samples
+            ):
+                adapter.feedback(fb_x, fb_y)
+            try:
+                adapter.adapt_now(wait=False)
+            except RuntimeError:
+                pass  # lost the race to a concurrent drift cycle
+
+        batched = run_load(
+            server, data.test_x,
+            n_requests=n_requests,
+            concurrency=concurrency,
+            on_request=on_request,
+        )
+        adapter.join(timeout=60.0)
+        stats = server.stats()
+        served = server.model
+        n_check = min(64, data.test_x.shape[0])
+        record["serving"] = {
+            "n_requests": n_requests,
+            "concurrency": concurrency,
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_ms,
+            "batched": batched.as_record(),
+            "n_swaps": int(stats["n_swaps"]),
+            "n_adaptations": int(adapter.n_adaptations),
+            "failed_requests": int(batched.n_failed),
+            "served_packed_after_swap": bool(getattr(served, "packed", False)),
+            "parity_ok": bool(
+                np.array_equal(
+                    server.predict(data.test_x[:n_check]),
+                    served.predict(data.test_x[:n_check]),
+                )
+            ),
+        }
     return record
 
 
@@ -682,6 +930,7 @@ def run_bench(
     include_regen_heavy: bool = True,
     include_sharded: bool = True,
     include_serving: bool = True,
+    include_packed: bool = True,
 ) -> Dict[str, object]:
     """Run the full bench sweep and return the ``BENCH_*.json`` payload.
 
@@ -700,7 +949,7 @@ def run_bench(
         for name in models
     ]
     payload: Dict[str, object] = {
-        "schema": 4,
+        "schema": 5,
         "created_unix": time.time(),
         "repro_version": __version__,
         "python": platform.python_version(),
@@ -759,6 +1008,15 @@ def run_bench(
             )
         else:
             scenarios["serving"] = bench_serving(seed=seed)
+    if include_packed:
+        if smoke:
+            scenarios["packed_vs_int8"] = bench_packed_deploy(
+                scale=0.004, dim=256, iterations=3,
+                n_score_rows=512, score_repeats=1,
+                n_requests=192, concurrency=8, seed=seed,
+            )
+        else:
+            scenarios["packed_vs_int8"] = bench_packed_deploy(seed=seed)
     if scenarios:
         payload["scenarios"] = scenarios
     payload["peak_rss_mb"] = _peak_rss_mb()
@@ -844,4 +1102,31 @@ def format_bench_table(payload: Dict[str, object]) -> str:
                 f"{swap['failed_requests']} failed request(s), "
                 f"parity {'ok' if swap['parity_ok'] else 'MISMATCH'}"
             )
+    packed = (payload.get("scenarios") or {}).get("packed_vs_int8")
+    if packed is not None:
+        fp = packed["footprints"]
+        scoring = packed["scoring"]
+        parity = packed["parity"]
+        pserve = packed["serving"]
+        speedup = scoring["score_speedup_vs_int"]
+        lines.append(
+            f"packed deploy ({packed['dataset']}, D={packed['dim']}): "
+            f"{fp['packed_bytes']} B vs int8 {fp['int8_bytes']} B "
+            f"({fp['compression_vs_unpacked']:.0f}x vs unpacked 1-bit "
+            f"serving)"
+        )
+        lines.append(
+            f"packed scorer: {scoring['packed_score_s']:.4f}s vs "
+            f"unpacked 1-bit {scoring['int1_score_s']:.4f}s → speedup "
+            f"{'n/a' if speedup is None else f'{speedup:.2f}x'}  "
+            f"(parity {'exact' if parity['scores_bit_identical'] else 'MISMATCH'}, "
+            f"acc delta {parity['accuracy_delta']:+.4f})"
+        )
+        lines.append(
+            f"packed hot-swap under load: {pserve['n_swaps']} swap(s), "
+            f"{pserve['failed_requests']} failed request(s), "
+            f"served packed after swap: "
+            f"{'yes' if pserve['served_packed_after_swap'] else 'NO'}, "
+            f"parity {'ok' if pserve['parity_ok'] else 'MISMATCH'}"
+        )
     return "\n".join(lines)

@@ -38,7 +38,11 @@ from repro.hdc.encoders.projection import RandomProjectionEncoder
 from repro.hdc.encoders.rbf import RBFEncoder
 from repro.hdc.memory import AssociativeMemory
 
-_FORMAT_VERSION = 3
+# Format history: 2 → 3 added the array dtype / trained-backend fields;
+# 3 → 4 added the ``quantized_packed`` flag for bit-packed 1-bit deploys.
+# Loaders accept every version <= current (older archives default the
+# missing fields).
+_FORMAT_VERSION = 4
 
 
 def _as_saved(backend, array) -> np.ndarray:
@@ -184,22 +188,33 @@ def _hdc_fitted(model) -> bool:
 
 
 def _quantized_payload(model: QuantizedTrainer) -> dict:
-    return {**_hdc_payload(model), "quantized_bits": np.int64(model.bits)}
+    return {
+        **_hdc_payload(model),
+        "quantized_bits": np.int64(model.bits),
+        "quantized_packed": np.bool_(model.packed),
+    }
 
 
 def _quantized_load(kind: str, data, classes, n_features: int):
     """Rebuild the fixed-point deployment, not just its float decode.
 
     The stored memory vectors already lie on the ``quantized_bits`` grid,
-    so re-quantising at the same precision reproduces the deployed codes;
+    so re-quantising at the same precision reproduces the deployed codes
+    (packed artifacts re-pack the reproduced codes to the same words, so
+    even injected faults round-trip — a flipped sign survives the decode);
     the result keeps ``inject_faults`` / ``footprint_report`` working.
     The temporary float view is not retained (``retain_base=False``) —
     the archive holds no training state worth refreshing from, and a
-    loaded edge artifact should stay self-contained.
+    loaded edge artifact should stay self-contained.  Format < 4 archives
+    carry no packed flag and load unpacked.
     """
     base = _hdc_load(kind, data, classes, n_features)
+    packed = (
+        bool(data["quantized_packed"]) if "quantized_packed" in data else False
+    )
     return QuantizedHDCModel(
-        base, bits=int(data["quantized_bits"]), retain_base=False
+        base, bits=int(data["quantized_bits"]), packed=packed,
+        retain_base=False,
     )
 
 

@@ -258,12 +258,17 @@ class OnlineAdapter:
         # Inference-memory bound carried onto every promoted artifact,
         # including rebuilds after a standby loss.
         self._chunk_size = getattr(served, "chunk_size", None)
+        # Packed storage mode propagates the same way: a served bit-packed
+        # artifact re-quantizes *and re-packs* on every promotion, so the
+        # caller keeps seeing packed artifacts across hot-swaps.
+        self._packed = bool(getattr(served, "packed", False))
         # Double-buffered deploy artifacts for quantized serving: the
         # standby (off rotation, drained) is refresh()ed in place and
         # promoted; the retired artifact becomes the next standby.
         self._standby: Optional[QuantizedHDCModel] = (
             QuantizedHDCModel(base_model, bits=self.bits,
-                              chunk_size=self._chunk_size)
+                              chunk_size=self._chunk_size,
+                              packed=self._packed)
             if isinstance(served, QuantizedHDCModel) else None
         )
 
@@ -453,7 +458,7 @@ class OnlineAdapter:
         if self.bits is not None:
             return QuantizedHDCModel(
                 self.base_model, bits=self.bits,
-                chunk_size=self._chunk_size,
+                chunk_size=self._chunk_size, packed=self._packed,
             )
         # Raw serving: snapshot the adapted learner so the served object
         # is never trained in place.

@@ -254,3 +254,195 @@ class TestRefresh:
             )
         assert trainer.deployed_ is not None
         assert trainer.score(test_x, test_y) > 0.4
+
+
+class TestPacked:
+    """Bit-packed 1-bit deployment: exact parity, footprint, faults,
+    refresh and persistence."""
+
+    @pytest.fixture()
+    def artifact(self, fitted):
+        return QuantizedHDCModel(fitted, bits=1, packed=True)
+
+    def test_requires_one_bit(self, fitted):
+        with pytest.raises(ValueError, match="bits=1"):
+            QuantizedHDCModel(fitted, bits=8, packed=True)
+        from repro.deploy.quantized import QuantizedTrainer
+
+        with pytest.raises(ValueError, match="bits=1"):
+            QuantizedTrainer(DistHDClassifier(dim=32), bits=4, packed=True)
+
+    def test_scores_bit_identical_to_unpacked_binary(
+        self, fitted, artifact, small_problem
+    ):
+        """Packed XOR+popcount must reproduce the unpacked binary scorer
+        exactly — scores and predictions, not approximately."""
+        from repro.hdc.packed import unpack_rows
+
+        _, _, test_x, _ = small_problem
+        encoded = artifact.encoder.encode(test_x)
+        encoded_np = artifact.encoder.backend.to_numpy(encoded)
+        dim = encoded_np.shape[1]
+        q = (encoded_np >= 0).astype(np.int64)
+        m = unpack_rows(artifact.packed_words, dim).astype(np.int64)
+        counts = (
+            q.sum(axis=1)[:, None]
+            + m.sum(axis=1)[None, :]
+            - 2 * (q @ m.T)
+        )
+        scale = np.float64(dim)
+        reference = (scale - 2.0 * counts.astype(np.float64)) / scale
+        scores = artifact.decision_scores(test_x)
+        np.testing.assert_array_equal(scores, reference)
+        np.testing.assert_array_equal(
+            artifact.predict(test_x),
+            artifact.classes_[np.argmax(reference, axis=1)],
+        )
+
+    def test_still_functional(self, artifact, small_problem):
+        _, _, test_x, test_y = small_problem
+        assert artifact.score(test_x, test_y) > 0.6
+
+    def test_chunk_size_invariance(self, fitted, small_problem):
+        _, _, test_x, _ = small_problem
+        full = QuantizedHDCModel(fitted, bits=1, packed=True)
+        chunked = QuantizedHDCModel(
+            fitted, bits=1, packed=True, chunk_size=7
+        )
+        np.testing.assert_array_equal(
+            full.decision_scores(test_x), chunked.decision_scores(test_x)
+        )
+
+    def test_memory_is_word_storage(self, fitted, artifact):
+        k = fitted.classes_.size
+        dim = fitted.memory_.dim
+        words = (dim + 63) // 64
+        assert artifact.packed_words.shape == (k, words)
+        assert artifact.packed_words.dtype == np.uint64
+        assert artifact.memory_bytes == k * words * 8
+        unpacked = QuantizedHDCModel(fitted, bits=1)
+        assert artifact.memory_bytes <= unpacked.memory_bytes
+
+    def test_footprint_report_packed_rows(self, fitted, artifact):
+        report = artifact.footprint_report()
+        assert report["packed"] is True
+        assert report["packed_bytes"] == artifact.memory_bytes
+        assert report["words_per_class"] == (fitted.memory_.dim + 63) // 64
+        assert (
+            report["unpacked_1bit_serving_bytes"]
+            == report["unpacked_1bit_bytes"] * 8
+        )
+        assert report["compression_vs_unpacked"] == pytest.approx(
+            report["unpacked_1bit_serving_bytes"] / report["packed_bytes"]
+        )
+        assert QuantizedHDCModel(fitted, bits=1).footprint_report()[
+            "packed"
+        ] is False
+
+    def test_inject_faults_exact_and_degrading(self, fitted, small_problem):
+        _, _, test_x, _ = small_problem
+        artifact = QuantizedHDCModel(fitted, bits=1, packed=True)
+        before = artifact.packed_words.copy()
+        rate = 0.05
+        total = fitted.classes_.size * fitted.memory_.dim
+        artifact.inject_faults(rate, seed=0)
+        from repro.hdc.packed import unpack_rows
+
+        dim = fitted.memory_.dim
+        flipped = int(
+            (
+                unpack_rows(before, dim)
+                != unpack_rows(artifact.packed_words, dim)
+            ).sum()
+        )
+        assert flipped == round(rate * total)
+
+    def test_fault_parity_with_unpacked(self, fitted, small_problem):
+        """Same seed, same rate: packed and unpacked fault injection flip
+        the same *number* of cells and both artifacts keep predicting."""
+        _, _, test_x, _ = small_problem
+        packed_m = QuantizedHDCModel(fitted, bits=1, packed=True)
+        unpacked_m = QuantizedHDCModel(fitted, bits=1)
+        packed_m.inject_faults(0.02, seed=3)
+        unpacked_m.inject_faults(0.02, seed=3)
+        assert packed_m.predict(test_x).shape == unpacked_m.predict(test_x).shape
+
+    def test_refresh_discards_faults_and_repacks(self, small_problem):
+        train_x, train_y, _, _ = small_problem
+        base = DistHDClassifier(dim=64, iterations=2, seed=0).fit(
+            train_x, train_y
+        )
+        artifact = QuantizedHDCModel(base, bits=1, packed=True)
+        pristine = artifact.packed_words.copy()
+        artifact.inject_faults(0.2, seed=1)
+        assert not np.array_equal(artifact.packed_words, pristine)
+        artifact.refresh()
+        np.testing.assert_array_equal(artifact.packed_words, pristine)
+        assert artifact.packed is True
+
+    def test_persistence_roundtrip(self, small_problem, tmp_path):
+        from repro.deploy.quantized import QuantizedTrainer
+        from repro.persistence import load_model, save_model
+
+        train_x, train_y, test_x, _ = small_problem
+        trainer = QuantizedTrainer(
+            DistHDClassifier(dim=100, iterations=3, seed=0),
+            bits=1, packed=True,
+        ).fit(train_x, train_y)
+        path = save_model(trainer, tmp_path / "packed.npz")
+        loaded = load_model(path)
+        assert isinstance(loaded, QuantizedHDCModel)
+        assert loaded.packed is True
+        np.testing.assert_array_equal(
+            loaded.packed_words, trainer.deployed_.packed_words
+        )
+        np.testing.assert_array_equal(
+            loaded.predict(test_x), trainer.predict(test_x)
+        )
+
+    def test_persistence_roundtrip_preserves_faults(
+        self, small_problem, tmp_path
+    ):
+        """Faulted packed artifacts survive save/load: the decoded image
+        re-quantizes (and re-packs) to the exact faulted words."""
+        from repro.deploy.quantized import QuantizedTrainer
+        from repro.persistence import load_model, save_model
+
+        train_x, train_y, test_x, _ = small_problem
+        trainer = QuantizedTrainer(
+            DistHDClassifier(dim=100, iterations=3, seed=0),
+            bits=1, packed=True,
+        ).fit(train_x, train_y)
+        trainer.deployed_.inject_faults(0.1, seed=7)
+        faulted = trainer.deployed_.packed_words.copy()
+        loaded = load_model(save_model(trainer, tmp_path / "faulted.npz"))
+        np.testing.assert_array_equal(loaded.packed_words, faulted)
+        np.testing.assert_array_equal(
+            loaded.predict(test_x), trainer.predict(test_x)
+        )
+
+    def test_trainer_partial_fit_stays_packed(self, small_problem):
+        from repro.deploy.quantized import QuantizedTrainer
+
+        train_x, train_y, test_x, test_y = small_problem
+        trainer = QuantizedTrainer(
+            DistHDClassifier(dim=96, iterations=4, seed=0),
+            bits=1, packed=True,
+        )
+        trainer.fit(train_x, train_y)
+        assert trainer.deployed_.packed is True
+        trainer.partial_fit(train_x[:64], train_y[:64])
+        assert trainer.deployed_.packed is True
+        assert trainer.score(test_x, test_y) > 0.4
+
+    def test_catalog_variant(self, small_problem):
+        from repro.models.registry import make_model
+
+        train_x, train_y, test_x, test_y = small_problem
+        trainer = make_model(
+            "disthd-quantized", bits=1, packed=True,
+            dim=64, iterations=2, seed=0,
+        )
+        trainer.fit(train_x, train_y)
+        assert trainer.deployed_.packed is True
+        assert trainer.score(test_x, test_y) > 0.4

@@ -62,7 +62,7 @@ class TestLegacyReference:
 class TestRunBench:
     def test_smoke_payload(self):
         payload = run_bench(models=("disthd",), smoke=True)
-        assert payload["schema"] == 4
+        assert payload["schema"] == 5
         assert payload["config"]["smoke"] is True
         assert [r["model"] for r in payload["results"]] == ["disthd"]
         assert "fit_speedup_vs_legacy" in payload
@@ -80,6 +80,12 @@ class TestRunBench:
         assert serving["direct"]["throughput_rps"] > 0
         assert serving["swap"]["n_swaps"] >= 1
         assert serving["swap"]["parity_ok"] is True
+        packed = payload["scenarios"]["packed_vs_int8"]
+        assert packed["parity"]["scores_bit_identical"] is True
+        assert packed["parity"]["accuracy_delta"] == 0.0
+        assert packed["footprints"]["compression_vs_unpacked"] >= 32
+        assert packed["serving"]["failed_requests"] == 0
+        assert packed["serving"]["served_packed_after_swap"] is True
         # The payload must be JSON-serialisable as-is.
         json.dumps(payload)
 
@@ -193,6 +199,64 @@ class TestTrackedBaselinePr5:
         assert swap["n_swaps"] >= 1
         assert swap["failed_requests"] == 0
         assert swap["parity_ok"] is True
+
+
+class TestTrackedBaselinePr7:
+    def test_bench_pr7_json_is_committed_and_meets_target(self):
+        """PR-7 acceptance artifact: the packed scorer stage ≥4x faster
+        than the unpacked 1-bit scorer at D=4096, bit-identical to the
+        unpacked binary reference (accuracy delta exactly 0), the packed
+        artifact ≤1/32 the bytes of the unpacked 1-bit serving image, and
+        the packed hot-swap under load dropping zero requests."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_pr7.json"
+        assert path.exists(), "BENCH_pr7.json missing from repo root"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 5
+        scenario = payload["scenarios"]["packed_vs_int8"]
+        assert scenario["dim"] >= 4096
+        assert scenario["scoring"]["score_speedup_vs_int"] >= 4.0
+        parity = scenario["parity"]
+        assert parity["scores_bit_identical"] is True
+        assert parity["predictions_equal"] is True
+        assert parity["accuracy_delta"] == 0.0
+        footprints = scenario["footprints"]
+        assert footprints["compression_vs_unpacked"] >= 32.0
+        assert (
+            footprints["packed_bytes"]
+            <= footprints["unpacked_1bit_serving_bytes"] / 32
+        )
+        serving = scenario["serving"]
+        assert serving["n_swaps"] >= 1
+        assert serving["failed_requests"] == 0
+        assert serving["served_packed_after_swap"] is True
+        assert serving["parity_ok"] is True
+
+
+class TestPackedDeployScenario:
+    def test_miniature_scenario_record(self):
+        from repro.perf import bench_packed_deploy
+
+        rec = bench_packed_deploy(
+            scale=0.003, dim=100, iterations=2,
+            n_score_rows=64, score_repeats=1,
+            n_requests=64, concurrency=4,
+        )
+        assert rec["scenario"] == "packed_vs_int8"
+        fp = rec["footprints"]
+        # D=100 pads to two uint64 words per class.
+        assert fp["words_per_class"] == 2
+        assert fp["packed_bytes"] < fp["int8_bytes"]
+        assert rec["scoring"]["packed_score_s"] > 0
+        assert rec["parity"]["scores_bit_identical"] is True
+        assert rec["parity"]["predictions_equal"] is True
+        assert rec["parity"]["accuracy_delta"] == 0.0
+        assert rec["serving"]["failed_requests"] == 0
+        assert rec["serving"]["n_swaps"] >= 1
+        assert rec["serving"]["served_packed_after_swap"] is True
+        assert rec["serving"]["parity_ok"] is True
+        json.dumps(rec)
 
 
 class TestServingScenario:
@@ -353,3 +417,67 @@ class TestCheckRegression:
         # not "absent"
         problems = compare(self._serving_payload(10.0, 0.0), base, 2.0)
         assert any("throughput" in p for p in problems)
+
+    @staticmethod
+    def _packed_payload(
+        score_s=0.01, delta=0.0, identical=True, failed=0,
+        still_packed=True, parity=True,
+    ):
+        return {
+            "results": [{"model": "disthd", "fit_s": 0.1, "predict_s": 0.01}],
+            "scenarios": {
+                "packed_vs_int8": {
+                    "scoring": {"packed_score_s": score_s},
+                    "parity": {
+                        "scores_bit_identical": identical,
+                        "accuracy_delta": delta,
+                    },
+                    "serving": {
+                        "failed_requests": failed,
+                        "served_packed_after_swap": still_packed,
+                        "parity_ok": parity,
+                    },
+                }
+            },
+        }
+
+    def test_packed_scenario_gated(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        try:
+            from check_regression import compare
+        finally:
+            sys.path.pop(0)
+        base = self._packed_payload(score_s=0.02)
+        # within margin
+        assert compare(self._packed_payload(score_s=0.03), base, 2.0) == []
+        # packed scorer slowdown beyond the factor
+        problems = compare(self._packed_payload(score_s=0.05), base, 2.0)
+        assert any("packed_score_s" in p for p in problems)
+        # parity violations gate on the current payload alone
+        problems = compare(
+            self._packed_payload(identical=False), base, 2.0
+        )
+        assert any("diverge" in p for p in problems)
+        problems = compare(self._packed_payload(delta=0.01), base, 2.0)
+        assert any("accuracy delta" in p for p in problems)
+        # serving invariants
+        problems = compare(self._packed_payload(failed=2), base, 2.0)
+        assert any("dropped" in p for p in problems)
+        problems = compare(
+            self._packed_payload(still_packed=False), base, 2.0
+        )
+        assert any("demoted" in p for p in problems)
+        problems = compare(self._packed_payload(parity=False), base, 2.0)
+        assert any("parity" in p for p in problems)
+        # scenario absent from the current payload: nothing to gate
+        assert compare({"results": base["results"]}, base, 2.0) == []
+        # absent from the baseline: invariants still gate, timing doesn't
+        assert compare(
+            self._packed_payload(score_s=99.0),
+            {"results": base["results"]}, 2.0,
+        ) == []

@@ -167,3 +167,56 @@ class TestPredictWhileAdaptStress:
                 server.predict(test_x[:16]),
                 server.model.predict(test_x[:16]),
             )
+
+
+class TestPackedHotSwap:
+    def test_packed_artifact_swaps_under_load(self, small_problem):
+        """A bit-packed 1-bit artifact served under concurrent load: the
+        mid-run promotion re-quantizes *and re-packs*, drops zero
+        requests, and the post-swap artifact is still packed."""
+        from repro.deploy.quantized import QuantizedHDCModel
+
+        train_x, train_y, test_x, _ = small_problem
+        base = DistHDClassifier(dim=128, iterations=3, seed=0)
+        base.fit(train_x, train_y)
+        served = QuantizedHDCModel(base, bits=1, packed=True)
+        pristine = served.packed_words.copy()
+
+        with ModelServer(served, max_batch_size=8, max_wait_ms=1.0) as server:
+            adapter = OnlineAdapter(server, base, min_adapt_samples=16)
+            adapter.feedback(train_x[:32], train_y[:32])
+            errors = []
+
+            def fire(i):
+                try:
+                    server.predict(test_x[i % test_x.shape[0]])
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                if i == 30:
+                    adapter.adapt_now(wait=False)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(80)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            adapter.join(timeout=30)
+            assert errors == []
+            assert server.metrics.n_errors == 0
+            assert adapter.n_adaptations == 1
+            assert server.stats()["n_swaps"] >= 1
+            # Promotion produced a *packed* artifact again (re-quantized
+            # and re-packed, not a float or unpacked fallback) whose words
+            # reflect the adaptation, and batched serving agrees with it
+            # exactly.
+            active = server.model
+            assert isinstance(active, QuantizedHDCModel)
+            assert active.packed is True
+            assert active.bits == 1
+            assert active.packed_words.shape == pristine.shape
+            np.testing.assert_array_equal(
+                server.predict(test_x[:16]),
+                active.predict(test_x[:16]),
+            )
