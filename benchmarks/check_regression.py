@@ -21,6 +21,19 @@ delta exactly 0), zero dropped requests across the packed hot-swap, the
 artifact still packed afterwards — and fails if the packed scorer-stage
 time slowed by more than ``--factor`` against the baseline.
 
+When the current payload carries the fleet_resilience scenario (schema
+6), the gate enforces the fleet's resilience invariants on the current
+payload alone — zero failed (non-shed) requests across a mid-load worker
+SIGKILL, recovery back to all-running under ``MAX_RECOVERY_S``, the
+crash-loop circuit breaker tripping, and multi-worker throughput scaling
+(``MIN_FLEET_SCALING`` at >= 4 workers) with flat p95 — and additionally
+gates n-worker throughput against the baseline when both sides carry the
+scenario.
+
+Every comparator section is isolated: a malformed section reports itself
+as a failure and the remaining sections still run, so one bad record
+cannot mask other regressions.
+
 Exit codes: 0 ok, 1 regression detected, 2 malformed input.
 """
 
@@ -50,6 +63,15 @@ MIN_GATED_SECONDS = 5e-3
 #: Noise floor for serving p95 latency (milliseconds): micro-batched smoke
 #: latencies sit near the max-wait deadline, where jitter dominates ratios.
 MIN_GATED_LATENCY_MS = 5.0
+
+#: Minimum multi-worker throughput scaling the fleet scenario must show
+#: at >= 4 workers (the committed scenario runs 4): anything below means
+#: the shared-memory fan-out stopped overlapping service time.
+MIN_FLEET_SCALING = 3.0
+
+#: Maximum seconds the fleet may take to restore all workers to RUNNING
+#: after a mid-load SIGKILL.
+MAX_RECOVERY_S = 2.0
 
 
 def _serving_scenario(payload: dict) -> dict:
@@ -153,9 +175,83 @@ def compare_packed(current: dict, baseline: dict, factor: float) -> list:
     return problems
 
 
-def compare(current: dict, baseline: dict, factor: float,
-            floor: float = MIN_GATED_SECONDS) -> list:
-    """Return a list of human-readable regression messages (empty = ok)."""
+def _fleet_scenario(payload: dict) -> dict:
+    return (payload.get("scenarios") or {}).get("fleet_resilience") or {}
+
+
+def compare_fleet(current: dict, baseline: dict, factor: float) -> list:
+    """Gate the fleet scenario: scaling, SIGKILL survival, breaker."""
+    problems = []
+    now = _fleet_scenario(current)
+    if not now:
+        return problems  # scenario absent: nothing to gate
+    # Resilience and scaling invariants are absolute properties of the
+    # fleet — gated on the current payload alone, no baseline needed.
+    steady = now.get("steady_state") or {}
+    scaling = steady.get("throughput_scaling")
+    n_workers = int(now.get("n_workers") or 0)
+    if scaling is not None and n_workers >= 4 and (
+        float(scaling) < MIN_FLEET_SCALING
+    ):
+        problems.append(
+            f"fleet_resilience.steady_state.throughput_scaling: "
+            f"{float(scaling):.2f}x at {n_workers} workers "
+            f"(< {MIN_FLEET_SCALING:.1f}x required)"
+        )
+    p95_ratio = steady.get("p95_ratio_vs_single")
+    if p95_ratio is not None and float(p95_ratio) > factor:
+        problems.append(
+            f"fleet_resilience.steady_state.p95_ratio_vs_single: "
+            f"{float(p95_ratio):.2f}x (> {factor:.1f}x allowed — p95 must "
+            f"stay flat as workers are added)"
+        )
+    kill = now.get("chaos_kill") or {}
+    outcomes = kill.get("outcomes") or {}
+    if outcomes.get("failed"):
+        problems.append(
+            f"fleet_resilience.chaos_kill: {outcomes['failed']} non-shed "
+            f"request(s) failed across a worker SIGKILL"
+        )
+    if kill and kill.get("survived") is not True:
+        problems.append(
+            "fleet_resilience.chaos_kill: fleet did not survive the "
+            "SIGKILL drill (no recovery or no supervised restart)"
+        )
+    recovery = kill.get("recovery_s")
+    if recovery is not None and float(recovery) > MAX_RECOVERY_S:
+        problems.append(
+            f"fleet_resilience.chaos_kill.recovery_s: {float(recovery):.2f}s "
+            f"(> {MAX_RECOVERY_S:.1f}s allowed)"
+        )
+    loop = now.get("crash_loop") or {}
+    if loop and loop.get("tripped") is not True:
+        problems.append(
+            "fleet_resilience.crash_loop: circuit breaker did not trip — "
+            "supervisor is hot-looping restarts"
+        )
+    # Baseline-relative: n-worker steady-state throughput collapse.
+    then = _fleet_scenario(baseline)
+    now_rps = ((steady.get(f"workers_{n_workers}") or {})
+               .get("throughput_rps"))
+    then_steady = then.get("steady_state") or {}
+    then_rps = ((then_steady.get(f"workers_{n_workers}") or {})
+                .get("throughput_rps"))
+    if (
+        now_rps is not None
+        and then_rps is not None
+        and float(now_rps) < float(then_rps) / factor
+    ):
+        problems.append(
+            f"fleet_resilience.steady_state.workers_{n_workers}."
+            f"throughput: {float(now_rps):.0f} rps vs baseline "
+            f"{float(then_rps):.0f} rps (> {factor:.1f}x slower)"
+        )
+    return problems
+
+
+def compare_models(current: dict, baseline: dict, factor: float,
+                   floor: float = MIN_GATED_SECONDS) -> list:
+    """Gate per-model fit/predict timings against the baseline records."""
     problems = []
     base_by_model = {r["model"]: r for r in baseline.get("results", [])}
     for record in current.get("results", []):
@@ -174,8 +270,32 @@ def compare(current: dict, baseline: dict, factor: float,
                     f"{name}.{field}: {now:.4f}s vs baseline {then:.4f}s "
                     f"({ratio:.2f}x > {factor:.1f}x allowed)"
                 )
-    problems.extend(compare_serving(current, baseline, factor))
-    problems.extend(compare_packed(current, baseline, factor))
+    return problems
+
+
+#: Comparator sections, run in order.  Each is isolated so a malformed
+#: record in one section cannot abort the run and mask failures in the
+#: others — all gate failures surface in a single invocation.
+SECTIONS = (
+    ("models", compare_models),
+    ("serving", compare_serving),
+    ("packed_vs_int8", compare_packed),
+    ("fleet_resilience", compare_fleet),
+)
+
+
+def compare(current: dict, baseline: dict, factor: float) -> list:
+    """Return a list of human-readable regression messages (empty = ok)."""
+    problems = []
+    for section, comparator in SECTIONS:
+        try:
+            problems.extend(comparator(current, baseline, factor))
+        except Exception as exc:  # noqa: BLE001 - a broken section is itself
+            # a gate failure; keep checking the remaining sections.
+            problems.append(
+                f"{section}: comparator crashed on malformed payload "
+                f"({type(exc).__name__}: {exc})"
+            )
     return problems
 
 
@@ -197,9 +317,17 @@ def main(argv=None) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"check_regression: cannot read payloads: {exc}", file=sys.stderr)
         return 2
-    if not current.get("results") or not baseline.get("results"):
-        print("check_regression: payload missing 'results'", file=sys.stderr)
-        return 2
+    # Scenario-only payloads (e.g. a standalone fleet_resilience bench)
+    # are valid input; a payload with *neither* results nor scenarios is
+    # malformed.
+    for label, payload in (("current", current), ("baseline", baseline)):
+        if not payload.get("results") and not payload.get("scenarios"):
+            print(
+                f"check_regression: {label} payload has neither 'results' "
+                f"nor 'scenarios'",
+                file=sys.stderr,
+            )
+            return 2
     problems = compare(current, baseline, args.factor)
     if problems:
         print("perf-smoke regression detected:")
@@ -207,12 +335,18 @@ def main(argv=None) -> int:
             print(f"  - {p}")
         return 1
     compared = sum(
-        1 for r in current["results"]
-        if r["model"] in {b["model"] for b in baseline["results"]}
+        1 for r in current.get("results", [])
+        if r["model"] in {b["model"] for b in baseline.get("results", [])}
+    )
+    gated_scenarios = sorted(
+        s for s in (current.get("scenarios") or {})
+        if any(s == name for name, _ in SECTIONS)
     )
     print(
         f"perf-smoke ok: {compared} model(s) within {args.factor:.1f}x "
         f"of the committed baseline"
+        + (f"; scenarios gated: {', '.join(gated_scenarios)}"
+           if gated_scenarios else "")
     )
     return 0
 

@@ -35,12 +35,14 @@ GUARDED_ATTR = "__guarded_fields__"
 #: The one declared lock total order, outermost first.  A thread may only
 #: acquire a lock whose rank is strictly greater than every lock it
 #: already holds.  Rationale (see docs/analysis.md): the adapter calls
-#: into the server (never the reverse), the server's swap path touches
-#: version drain locks, the batcher's drain path runs the handler which
-#: enters a version and reports metrics — so adapter < server < batcher <
-#: version < metrics can never invert.
+#: into the server (never the reverse), the fleet supervisor calls into
+#: single-process servers and metrics (never the reverse), the server's
+#: swap path touches version drain locks, the batcher's drain path runs
+#: the handler which enters a version and reports metrics — so adapter <
+#: fleet < server < batcher < version < metrics can never invert.
 LOCK_ORDER: Tuple[str, ...] = (
     "OnlineAdapter._lock",
+    "FleetServer._lock",
     "ModelServer._swap_lock",
     "MicroBatcher._drain_lock",
     "ModelVersion._lock",

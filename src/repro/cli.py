@@ -16,7 +16,12 @@ Subcommands:
 - ``serve`` — run a self-contained micro-batched serving session: train
   (or load) a model, front it with a :class:`~repro.serve.server.ModelServer`,
   drive it with the concurrent load generator, optionally hot-swap an
-  adapted version mid-run, and print the stats JSON;
+  adapted version mid-run, and print the stats JSON (SIGTERM/SIGINT
+  drain and release resources before exit);
+- ``chaos`` — fault-inject a multi-process serving fleet
+  (:class:`~repro.serve.fleet.server.FleetServer`) under closed-loop
+  load: worker SIGKILL, hang, slow-worker latency, artifact corruption,
+  plus the crash-loop circuit-breaker drill; prints the drill JSON;
 - ``lint`` — run the :mod:`repro.analysis` invariant linter over source
   trees (``repro lint src/``); exits non-zero on any unsuppressed
   violation (the CI gate — see ``docs/analysis.md``).
@@ -35,7 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.api import ExperimentSpec, compare, run_experiment
 from repro.datasets.registry import DATASETS, list_datasets
@@ -202,6 +207,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_sharded=not args.no_sharded,
         include_serving=not args.no_serving,
         include_packed=not args.no_packed,
+        include_fleet=not args.no_fleet,
     )
     print(format_bench_table(payload))
     if args.output:
@@ -249,9 +255,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.perf import bench_serving
-    from repro.serve.loadgen import run_load
-    from repro.serve.server import ModelServer
+    from repro.serve import shutdown as shutdown_mod
 
     if args.packed and args.bits != 1:
         print(
@@ -260,6 +264,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # SIGTERM/SIGINT must drain the batcher and release shared resources
+    # (worker processes, shared-memory segments) before the process dies —
+    # not rely on interpreter teardown.
+    shutdown_mod.install_signal_handlers()
+    try:
+        return _run_serve(args)
+    finally:
+        shutdown_mod.uninstall_signal_handlers()
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.perf import bench_serving
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ModelServer
+
     if args.model_path:
         # Serve a persisted artifact as-is: load, front, drive.  No
         # trainable base is available, so no adaptation/hot-swap.
@@ -329,6 +348,82 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.datasets.loaders import load_dataset
+    from repro.deploy.quantized import QuantizedHDCModel
+    from repro.models.registry import make_model
+    from repro.serve import shutdown as shutdown_mod
+    from repro.serve.chaos import run_chaos_drill, run_crash_loop_drill
+    from repro.serve.fleet import FleetServer
+
+    if args.packed and args.bits != 1:
+        print(
+            "chaos --packed requires --bits 1 (bit-packed storage is "
+            "1-bit by construction); pass --no-packed for wider bits",
+            file=sys.stderr,
+        )
+        return 2
+    shutdown_mod.install_signal_handlers()
+    try:
+        data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        model = make_model(
+            "disthd", dim=args.dim, iterations=args.iterations,
+            seed=args.seed,
+        )
+        model.fit(data.train_x, data.train_y)
+        artifact = QuantizedHDCModel(
+            model, bits=args.bits, packed=args.packed
+        )
+        drills: Dict[str, object] = {}
+        with FleetServer(
+            artifact,
+            n_workers=args.workers,
+            queue_depth=args.queue_depth,
+            service_floor_s=args.service_floor_ms / 1e3,
+        ) as fleet:
+            for fault in args.faults:
+                drills[fault] = run_chaos_drill(
+                    fleet, data.test_x,
+                    n_requests=args.requests,
+                    concurrency=args.concurrency,
+                    fault=fault, index=0,
+                )
+            stats = fleet.stats()
+        if not args.no_crash_loop:
+            with FleetServer(
+                artifact, n_workers=2, queue_depth=args.queue_depth
+            ) as fleet:
+                drills["crash_loop"] = run_crash_loop_drill(fleet, index=0)
+        payload = {
+            "config": {
+                "dataset": args.dataset,
+                "scale": args.scale,
+                "dim": args.dim,
+                "bits": args.bits,
+                "packed": args.packed,
+                "workers": args.workers,
+                "queue_depth": args.queue_depth,
+                "requests": args.requests,
+                "concurrency": args.concurrency,
+                "service_floor_ms": args.service_floor_ms,
+                "faults": list(args.faults),
+                "seed": args.seed,
+            },
+            "drills": drills,
+            "stats": stats,
+        }
+        text = json.dumps(payload, indent=2)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+    finally:
+        shutdown_mod.uninstall_signal_handlers()
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -487,6 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-packed", action="store_true",
         help="skip the bit-packed vs int8 deploy scenario",
     )
+    bench.add_argument(
+        "--no-fleet", action="store_true",
+        help="skip the multi-process fleet resilience scenario",
+    )
     bench.add_argument("--output", default=None, help="JSON output path")
 
     predict = sub.add_parser(
@@ -548,6 +647,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--output", default=None, help="JSON output path")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-inject a serving fleet under load (kill/hang/slow/"
+        "corrupt + crash-loop breaker drill)",
+    )
+    _add_common(chaos)
+    chaos.set_defaults(dataset="pamap2", scale=0.004, dim=256)
+    chaos.add_argument("--iterations", type=int, default=3)
+    chaos.add_argument(
+        "--bits", type=int, default=1, choices=(1, 2, 4, 8),
+        help="deploy-artifact precision",
+    )
+    chaos.add_argument(
+        "--packed", action="store_true", default=True,
+        help="serve the bit-packed artifact (requires --bits 1)",
+    )
+    chaos.add_argument(
+        "--no-packed", dest="packed", action="store_false",
+        help="serve the unpacked quantized artifact",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=4, help="fleet worker processes"
+    )
+    chaos.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="bounded per-worker queue length (admission control)",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=256,
+        help="requests per drill",
+    )
+    chaos.add_argument(
+        "--concurrency", type=int, default=16, help="closed-loop workers"
+    )
+    chaos.add_argument(
+        "--service-floor-ms", type=float, default=2.0,
+        help="per-request service-time floor workers enforce",
+    )
+    chaos.add_argument(
+        "--faults", nargs="+", default=["kill"],
+        choices=("kill", "hang", "slow", "corrupt"),
+        help="faults to inject, one drill each",
+    )
+    chaos.add_argument(
+        "--no-crash-loop", action="store_true",
+        help="skip the crash-loop circuit-breaker drill",
+    )
+    chaos.add_argument("--output", default=None, help="JSON output path")
+
     lint = sub.add_parser(
         "lint", help="run the repro.analysis invariant linter"
     )
@@ -583,6 +731,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "predict": _cmd_predict,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

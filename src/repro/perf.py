@@ -44,6 +44,17 @@ record compares artifact footprints, times the scorer stage in isolation
 unpacked implementation of the same binary scorer
 (``parity.accuracy_delta`` exactly 0), and re-runs the hot-swap-under-load
 drill with the packed artifact (promotions re-quantize *and re-pack*).
+
+Payload schema 6 adds the **fleet_resilience** scenario: the packed
+artifact published into shared memory behind a
+:class:`~repro.serve.fleet.server.FleetServer`.  The record compares
+steady-state closed-loop throughput at 1 worker vs ``n_workers`` (workers
+enforce a small ``service_floor_ms`` per request — recorded in the
+payload — so the scaling measures genuine multi-process concurrency, not
+single-core numpy contention), then runs the chaos drills: a mid-load
+worker SIGKILL (zero failed non-shed requests, in-flight retries, bounded
+recovery time, supervisor restart) and a crash-loop drill (the circuit
+breaker must open after ``max_restarts`` rapid deaths).
 """
 
 from __future__ import annotations
@@ -801,6 +812,153 @@ def bench_packed_deploy(
     return record
 
 
+#: The committed fleet scenario: the packed artifact in shared memory
+#: behind a 4-worker supervised fleet under closed-loop load, with a
+#: per-request service floor so worker scaling is measured as process
+#: concurrency (the floor is wall-clock the workers sleep through in
+#: heartbeat-preserving slices, identical for every fleet size).
+FLEET_RESILIENCE = dict(
+    REGEN_HEAVY,
+    bits=1,
+    packed=True,
+    n_requests=1024,
+    concurrency=32,
+    n_workers=4,
+    queue_depth=48,
+    service_floor_ms=2.0,
+)
+
+
+def bench_fleet_resilience(
+    *,
+    dataset: str = FLEET_RESILIENCE["dataset"],
+    scale: float = FLEET_RESILIENCE["scale"],
+    dim: int = FLEET_RESILIENCE["dim"],
+    iterations: int = FLEET_RESILIENCE["iterations"],
+    regen_rate: float = FLEET_RESILIENCE["regen_rate"],
+    selection: str = FLEET_RESILIENCE["selection"],
+    bits: int = FLEET_RESILIENCE["bits"],
+    packed: bool = FLEET_RESILIENCE["packed"],
+    n_requests: int = FLEET_RESILIENCE["n_requests"],
+    concurrency: int = FLEET_RESILIENCE["concurrency"],
+    n_workers: int = FLEET_RESILIENCE["n_workers"],
+    queue_depth: int = FLEET_RESILIENCE["queue_depth"],
+    service_floor_ms: float = FLEET_RESILIENCE["service_floor_ms"],
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Benchmark the multi-process fleet: scaling + chaos survival.
+
+    Trains DistHD at the regen-heavy operating point, freezes the packed
+    artifact, and:
+
+    1. **steady state** — runs the same closed-loop load against a
+       1-worker and an ``n_workers`` fleet (fresh fleet each, same
+       shared-memory artifact, same ``service_floor_ms`` per request) and
+       records ``throughput_scaling`` (n-worker rps / 1-worker rps) plus
+       the p95 ratio (a healthy fleet's p95 must not degrade as workers
+       are added — queueing delay shrinks);
+    2. **chaos: SIGKILL** — a fresh ``n_workers`` fleet under the same
+       load has one worker SIGKILLed mid-run; the record keeps the
+       ok/shed/failed split (failed must be 0 — in-flight requests are
+       retried on survivors), the recovery time back to all-running, and
+       the per-worker restart counts;
+    3. **chaos: crash loop** — one worker is killed every time it comes
+       back until the circuit breaker opens; the record asserts it
+       tripped rather than hot-looping restarts.
+    """
+    from repro.deploy.quantized import QuantizedHDCModel
+    from repro.serve.chaos import run_chaos_drill, run_crash_loop_drill
+    from repro.serve.fleet import FleetServer
+    from repro.serve.loadgen import run_load
+
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    model = make_model(
+        "disthd", dim=dim, iterations=iterations, seed=seed,
+        regen_rate=regen_rate, selection=selection,
+        convergence_patience=None,
+    )
+    model.fit(data.train_x, data.train_y)
+    artifact = QuantizedHDCModel(model, bits=bits, packed=packed)
+    floor_s = service_floor_ms / 1e3
+
+    record: Dict[str, object] = {
+        "scenario": "fleet_resilience",
+        "dataset": dataset,
+        "n_train": int(data.train_x.shape[0]),
+        "n_features": int(data.train_x.shape[1]),
+        "dim": dim,
+        "iterations": iterations,
+        "regen_rate": regen_rate,
+        "selection": selection,
+        "bits": bits,
+        "packed": bool(packed),
+        "seed": seed,
+        "n_requests": n_requests,
+        "concurrency": concurrency,
+        "n_workers": n_workers,
+        "queue_depth": queue_depth,
+        "service_floor_ms": float(service_floor_ms),
+        "test_acc": float(artifact.score(data.test_x, data.test_y)),
+    }
+
+    steady: Dict[str, object] = {}
+    throughputs: Dict[int, float] = {}
+    p95s: Dict[int, float] = {}
+    for workers in (1, n_workers):
+        with FleetServer(
+            artifact, n_workers=workers, queue_depth=queue_depth,
+            service_floor_s=floor_s,
+        ) as fleet:
+            report = run_load(
+                fleet, data.test_x,
+                n_requests=n_requests, concurrency=concurrency,
+            )
+            latency = report.latency_ms() or {}
+            throughputs[workers] = report.throughput_rps
+            p95s[workers] = float(latency.get("p95", float("nan")))
+            steady[f"workers_{workers}"] = dict(
+                report.as_record(), n_workers=workers
+            )
+    scaling = (
+        throughputs[n_workers] / throughputs[1]
+        if throughputs[1] > 0 else None
+    )
+    p95_ratio = (
+        p95s[n_workers] / p95s[1]
+        if p95s.get(1) and p95s[1] > 0 else None
+    )
+    steady["throughput_scaling"] = scaling
+    steady["p95_ratio_vs_single"] = p95_ratio
+    record["steady_state"] = steady
+
+    with FleetServer(
+        artifact, n_workers=n_workers, queue_depth=queue_depth,
+        service_floor_s=floor_s,
+    ) as fleet:
+        kill = run_chaos_drill(
+            fleet, data.test_x,
+            n_requests=n_requests, concurrency=concurrency,
+            fault="kill", index=0,
+        )
+        outcomes = kill["outcomes"]
+        assert isinstance(outcomes, dict)
+        restarts = kill["restarts"]
+        assert isinstance(restarts, list)
+        kill["survived"] = bool(
+            outcomes["failed"] == 0
+            and kill["recovery_s"] is not None
+            and restarts[0] >= 1
+        )
+        record["chaos_kill"] = kill
+
+    with FleetServer(
+        artifact, n_workers=2, queue_depth=queue_depth,
+        service_floor_s=floor_s,
+    ) as fleet:
+        record["crash_loop"] = run_crash_loop_drill(fleet, index=0)
+    return record
+
+
 def _measure_fused_scoring_peak(model, data: Dataset) -> Dict[str, object]:
     """Traced allocation peak of a worst-case fused Algorithm-2 scoring pass.
 
@@ -931,6 +1089,7 @@ def run_bench(
     include_sharded: bool = True,
     include_serving: bool = True,
     include_packed: bool = True,
+    include_fleet: bool = True,
 ) -> Dict[str, object]:
     """Run the full bench sweep and return the ``BENCH_*.json`` payload.
 
@@ -949,7 +1108,7 @@ def run_bench(
         for name in models
     ]
     payload: Dict[str, object] = {
-        "schema": 5,
+        "schema": 6,
         "created_unix": time.time(),
         "repro_version": __version__,
         "python": platform.python_version(),
@@ -1017,6 +1176,15 @@ def run_bench(
             )
         else:
             scenarios["packed_vs_int8"] = bench_packed_deploy(seed=seed)
+    if include_fleet:
+        if smoke:
+            scenarios["fleet_resilience"] = bench_fleet_resilience(
+                scale=0.004, dim=256, iterations=3,
+                n_requests=256, concurrency=16, queue_depth=32,
+                seed=seed,
+            )
+        else:
+            scenarios["fleet_resilience"] = bench_fleet_resilience(seed=seed)
     if scenarios:
         payload["scenarios"] = scenarios
     payload["peak_rss_mb"] = _peak_rss_mb()
@@ -1128,5 +1296,32 @@ def format_bench_table(payload: Dict[str, object]) -> str:
             f"served packed after swap: "
             f"{'yes' if pserve['served_packed_after_swap'] else 'NO'}, "
             f"parity {'ok' if pserve['parity_ok'] else 'MISMATCH'}"
+        )
+    fleet = (payload.get("scenarios") or {}).get("fleet_resilience")
+    if fleet is not None:
+        steady = fleet["steady_state"]
+        scaling = steady["throughput_scaling"]
+        one = steady["workers_1"]
+        many = steady[f"workers_{fleet['n_workers']}"]
+        kill = fleet["chaos_kill"]
+        loop = fleet["crash_loop"]
+        outcomes = kill["outcomes"]
+        recovery = kill["recovery_s"]
+        lines.append(
+            f"fleet ({fleet['dataset']}, D={fleet['dim']}, "
+            f"c={fleet['concurrency']}, floor="
+            f"{fleet['service_floor_ms']:g} ms): "
+            f"{many['throughput_rps']:.0f} rps @ {fleet['n_workers']} "
+            f"workers vs {one['throughput_rps']:.0f} rps @ 1 "
+            f"→ scaling {'n/a' if scaling is None else f'{scaling:.2f}x'}"
+        )
+        lines.append(
+            f"fleet SIGKILL drill: ok={outcomes['ok']} "
+            f"shed={outcomes['shed']} failed={outcomes['failed']}, "
+            f"{kill['n_retries']} retried, recovery "
+            f"{'n/a' if recovery is None else f'{recovery * 1e3:.0f} ms'}; "
+            f"crash-loop breaker "
+            f"{'tripped' if loop['tripped'] else 'DID NOT TRIP'} "
+            f"after {loop['deaths']} deaths"
         )
     return "\n".join(lines)

@@ -22,10 +22,18 @@ Quick start::
 
 or, via the facade, ``repro.api.serve_model(...)`` and the ``repro
 serve`` CLI subcommand.  See ``docs/serving.md`` for the architecture.
+
+For fault-tolerant multi-process serving — N supervised worker processes
+mapping one shared-memory artifact behind admission control, with
+heartbeat watchdog, supervised restart and a crash-loop circuit breaker —
+see :mod:`repro.serve.fleet` (:class:`~repro.serve.fleet.server.
+FleetServer`), the chaos harness in :mod:`repro.serve.chaos`, and the
+graceful-shutdown registry in :mod:`repro.serve.shutdown`.
 """
 
 from repro.serve.adapter import DriftDetector, DriftReport, OnlineAdapter
 from repro.serve.batcher import MicroBatcher
+from repro.serve.fleet import FleetServer, Overloaded
 from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.metrics import ServerMetrics
 from repro.serve.server import ModelServer, ModelVersion
@@ -33,11 +41,13 @@ from repro.serve.server import ModelServer, ModelVersion
 __all__ = [
     "DriftDetector",
     "DriftReport",
+    "FleetServer",
     "LoadReport",
     "MicroBatcher",
     "ModelServer",
     "ModelVersion",
     "OnlineAdapter",
+    "Overloaded",
     "ServerMetrics",
     "run_load",
 ]

@@ -169,7 +169,14 @@ class DriftDetector:
         return DriftReport(False, None, reference, current)
 
 
-@guarded_by("_lock", "_feedback_x", "_feedback_y", "detector", "n_adaptations")
+@guarded_by(
+    "_lock",
+    "_feedback_x",
+    "_feedback_y",
+    "detector",
+    "n_adaptations",
+    "n_failed_cycles",
+)
 class OnlineAdapter:
     """Feed labeled feedback to a served model; adapt and hot-swap on drift.
 
@@ -238,6 +245,7 @@ class OnlineAdapter:
         self._adapting = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.n_adaptations = 0
+        self.n_failed_cycles = 0
         self.last_drift: Optional[DriftReport] = None
         self.last_error: Optional[BaseException] = None
         if server.model is base_model:
@@ -396,8 +404,15 @@ class OnlineAdapter:
         except BaseException as exc:  # noqa: BLE001 - background thread
             # A daemon thread's traceback is easy to miss; record the
             # failure so stats()/callers can see the cycle died (the
-            # drained feedback was re-buffered by _adapt_task).
+            # drained feedback was re-buffered by _adapt_task), and file
+            # a structured problem event on the server's metrics sink so
+            # silent adaptation failures reach the stats() surface.
             self.last_error = exc
+            with self._lock:
+                self.n_failed_cycles += 1
+            self.server.metrics.record_problem(
+                "adaptation-failure", repr(exc)
+            )
         finally:
             self._adapting.clear()
 
@@ -476,9 +491,11 @@ class OnlineAdapter:
         with self._lock:
             buffered = len(self._feedback_x)
             n_adaptations = self.n_adaptations
+            n_failed_cycles = self.n_failed_cycles
             observed = self.detector.n_observed
         return {
             "n_adaptations": n_adaptations,
+            "n_failed_cycles": n_failed_cycles,
             "adapting": self._adapting.is_set(),
             "buffered_feedback": buffered,
             "observed": observed,

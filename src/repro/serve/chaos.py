@@ -1,0 +1,277 @@
+"""Chaos-injection harness for the serving fleet.
+
+The fleet's robustness claims (SIGKILL survivable, hang detection,
+crash-loop circuit breaker, corruption repair) are only claims until
+something hostile exercises them under load.  This module is that
+something: :func:`run_chaos_drill` drives closed-loop load through
+:func:`~repro.serve.loadgen.run_load` while injecting one fault mid-run —
+a worker SIGKILL, a heartbeat-stopping hang, added per-request latency,
+or artifact corruption — then reports what the fleet did about it:
+request outcomes split into **ok / shed / failed** (shed =
+:class:`~repro.serve.fleet.errors.Overloaded`, deliberate backpressure;
+failed = everything else, the number that must be zero for a surviving
+fleet), recovery time back to an all-running fleet, retry/problem
+counters, and per-worker restart counts.
+
+:func:`run_crash_loop_drill` is the breaker-side drill: kill one worker
+repeatedly and verify the supervisor opens the circuit instead of
+hot-looping restarts.
+
+Driven by ``repro chaos`` (CLI), the ``fleet_resilience`` perf scenario,
+and the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.fleet.errors import Overloaded
+from repro.serve.fleet.server import BROKEN, RUNNING, FleetServer
+from repro.serve.loadgen import LoadReport, run_load
+
+#: Fault kinds :func:`run_chaos_drill` can inject.
+FAULTS = ("kill", "hang", "slow", "corrupt")
+
+#: Probe cadence while watching the fleet recover.
+_POLL_S = 0.01
+
+
+def classify_outcomes(predictions: List[object]) -> Dict[str, int]:
+    """Split per-request results into ok / shed / failed counts.
+
+    Shed requests (:class:`Overloaded`) are admission control working as
+    designed; *failed* counts every other exception — the number a
+    surviving fleet must keep at zero.
+    """
+    ok = shed = failed = 0
+    for prediction in predictions:
+        if isinstance(prediction, Overloaded):
+            shed += 1
+        elif isinstance(prediction, BaseException):
+            failed += 1
+        else:
+            ok += 1
+    return {"ok": ok, "shed": shed, "failed": failed}
+
+
+class _RecoveryProbe:
+    """Watch the fleet from fault injection back to all-running.
+
+    ``recovery_s`` is the time from :meth:`start` until every non-broken
+    worker slot reports RUNNING again, having first observed at least one
+    slot leave RUNNING (so an undetected fault reads as "not recovered",
+    never as an instant recovery).
+    """
+
+    def __init__(self, fleet: FleetServer, timeout_s: float) -> None:
+        self._fleet = fleet
+        self._timeout_s = timeout_s
+        self._thread: Optional[threading.Thread] = None
+        self.disrupted = False
+        self.recovery_s: Optional[float] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._watch, name="repro-chaos-probe", daemon=True
+        )
+        self._thread.start()
+
+    def _watch(self) -> None:
+        t0 = time.perf_counter()
+        deadline = t0 + self._timeout_s
+        while time.perf_counter() < deadline:
+            states = self._fleet.worker_states()
+            if not self.disrupted:
+                if any(s != RUNNING for s in states):
+                    self.disrupted = True
+            elif all(s in (RUNNING, BROKEN) for s in states) and any(
+                s == RUNNING for s in states
+            ):
+                self.recovery_s = time.perf_counter() - t0
+                return
+            time.sleep(_POLL_S)
+
+    def join(self) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=self._timeout_s + 1.0)
+
+
+def inject_fault(
+    fleet: FleetServer,
+    fault: str,
+    *,
+    index: int = 0,
+    slow_delay_s: float = 0.25,
+    corrupt_array: Optional[str] = None,
+) -> Dict[str, object]:
+    """Inject one fault into the fleet; returns what was done.
+
+    - ``kill`` — SIGKILL worker ``index`` (no cleanup, the hard death);
+    - ``hang`` — worker ``index`` stops heartbeating and looping;
+    - ``slow`` — worker ``index`` adds ``slow_delay_s`` to every request;
+    - ``corrupt`` — flip one element of a published array in the shared
+      segment from the supervisor side (every worker's next CRC check
+      fails).
+    """
+    if fault == "kill":
+        pid = fleet.kill_worker(index)
+        return {"fault": fault, "index": index, "pid": pid}
+    if fault == "hang":
+        delivered = fleet.inject_chaos(index, {"kind": "hang"})
+        return {"fault": fault, "index": index, "delivered": delivered}
+    if fault == "slow":
+        delivered = fleet.inject_chaos(
+            index, {"kind": "slow", "delay_s": float(slow_delay_s)}
+        )
+        return {
+            "fault": fault, "index": index, "delivered": delivered,
+            "delay_s": float(slow_delay_s),
+        }
+    if fault == "corrupt":
+        artifact = fleet.shared_artifact
+        names = [str(e["name"]) for e in artifact.header["arrays"]]
+        if corrupt_array is None:
+            preferred = [n for n in names if n in ("words", "codes")]
+            corrupt_array = preferred[0] if preferred else names[0]
+        flat = artifact.array_view(corrupt_array).reshape(-1)
+        if flat.dtype.kind in "ui":
+            flat[0] ^= 1
+        else:
+            flat[0] += 1.0
+        return {"fault": fault, "array": corrupt_array}
+    raise ValueError(f"unknown fault {fault!r}; expected one of {FAULTS}")
+
+
+def run_chaos_drill(
+    fleet: FleetServer,
+    X: Any,
+    *,
+    n_requests: int = 512,
+    concurrency: int = 32,
+    fault: str = "kill",
+    index: int = 0,
+    fault_after: Optional[int] = None,
+    slow_delay_s: float = 0.25,
+    recovery_timeout_s: float = 15.0,
+    mode: str = "predict",
+) -> Dict[str, object]:
+    """Closed-loop load with one mid-run fault; returns the full picture.
+
+    ``fault_after`` is the request index past which the fault fires
+    (default: a quarter of the run, so there is steady state on both
+    sides).  The returned record carries the load report, the ok/shed/
+    failed split, ``recovery_s`` (None when the fleet never got back to
+    all-running inside ``recovery_timeout_s`` — or for ``slow``, which
+    disrupts nothing the watchdog can see), retry/shed/problem counters
+    and per-worker restart counts.
+    """
+    if fault not in FAULTS:
+        raise ValueError(f"unknown fault {fault!r}; expected one of {FAULTS}")
+    X = np.asarray(X, dtype=np.float64)
+    if fault_after is None:
+        fault_after = max(n_requests // 4, 1)
+
+    retries_before = fleet.metrics.n_retries
+    shed_before = fleet.metrics.n_shed
+    fired = threading.Event()
+    injection: Dict[str, object] = {}
+    probe = _RecoveryProbe(fleet, timeout_s=recovery_timeout_s)
+
+    def on_request(i: int) -> None:
+        if i >= fault_after and not fired.is_set():
+            fired.set()
+            probe.start()
+            injection.update(
+                inject_fault(
+                    fleet, fault, index=index, slow_delay_s=slow_delay_s
+                )
+            )
+
+    report: LoadReport = run_load(
+        fleet, X,
+        n_requests=n_requests, concurrency=concurrency, mode=mode,
+        on_request=on_request,
+    )
+    if fault == "slow":
+        # Clear the latency injection so later drills see a clean fleet.
+        fleet.inject_chaos(index, {"kind": "clear"})
+    probe.join()
+    if fired.is_set() and probe.recovery_s is None and fault != "slow":
+        # Load finished before recovery completed — keep watching.
+        fleet.wait_all_running(timeout=recovery_timeout_s)
+    stats_after = fleet.stats()
+    fleet_after = stats_after["fleet"]
+    assert isinstance(fleet_after, dict)
+
+    outcomes = classify_outcomes(report.predictions)
+    return {
+        "fault": fault,
+        "injected": dict(injection),
+        "fault_after": int(fault_after),
+        "n_requests": int(n_requests),
+        "concurrency": int(concurrency),
+        "outcomes": outcomes,
+        "load": report.as_record(),
+        "recovery_s": probe.recovery_s,
+        "disrupted": probe.disrupted,
+        "worker_states": fleet.worker_states(),
+        "n_retries": fleet.metrics.n_retries - retries_before,
+        "n_shed": fleet.metrics.n_shed - shed_before,
+        "restarts": [
+            int(w["restarts"]) for w in fleet_after["workers"]
+        ],
+        "problem_counts": fleet.metrics.problem_counts(),
+    }
+
+
+def run_crash_loop_drill(
+    fleet: FleetServer,
+    *,
+    index: int = 0,
+    max_deaths: int = 6,
+    timeout_s: float = 30.0,
+) -> Dict[str, object]:
+    """Kill worker ``index`` every time it comes back until the breaker
+    opens (or ``max_deaths``/``timeout_s`` is hit — a failed drill).
+
+    A healthy supervisor opens the circuit after ``max_restarts`` deaths
+    inside ``restart_window_s`` and leaves the slot down; the drill
+    reports whether that happened, how many kills it took, and how long.
+    """
+    t0 = time.perf_counter()
+    deadline = t0 + timeout_s
+    deaths = 0
+    while time.perf_counter() < deadline and deaths < max_deaths:
+        state = fleet.worker_states()[index]
+        if state == BROKEN:
+            break
+        if state == RUNNING:
+            if fleet.kill_worker(index) is not None:
+                # A death only counts once the supervisor observes it
+                # (the pid stays killable as a zombie, so re-killing
+                # before the watchdog tick would inflate the count
+                # without registering breaker strikes).
+                while time.perf_counter() < deadline:
+                    if fleet.worker_states()[index] != RUNNING:
+                        deaths += 1
+                        break
+                    time.sleep(_POLL_S)
+            continue
+        time.sleep(_POLL_S)
+    tripped = False
+    while time.perf_counter() < deadline:
+        if fleet.worker_states()[index] == BROKEN:
+            tripped = True
+            break
+        time.sleep(_POLL_S)
+    return {
+        "tripped": tripped,
+        "deaths": deaths,
+        "elapsed_s": time.perf_counter() - t0,
+        "worker_states": fleet.worker_states(),
+        "problem_counts": fleet.metrics.problem_counts(),
+    }

@@ -1,0 +1,38 @@
+"""Fault-tolerant multi-process serving fleet.
+
+Public surface:
+
+- :class:`~repro.serve.fleet.server.FleetServer` — supervisor +
+  dispatcher + watchdog over N worker processes sharing one
+  zero-copy artifact;
+- :class:`~repro.serve.fleet.shm.SharedArtifact` — the shared-memory
+  publication of a quantized deploy model;
+- the typed failure surface (:class:`Overloaded`, :class:`WorkerCrashed`,
+  ...) from :mod:`repro.serve.fleet.errors`.
+"""
+
+from repro.serve.fleet.errors import (
+    DeadlineExceeded,
+    FleetClosed,
+    FleetError,
+    Overloaded,
+    RequestFailed,
+    WorkerCrashed,
+)
+from repro.serve.fleet.server import FleetServer, as_quantized_artifact
+from repro.serve.fleet.shm import EXIT_CORRUPT, SharedArtifact
+from repro.serve.fleet.worker import resolve_worker_count
+
+__all__ = [
+    "FleetServer",
+    "SharedArtifact",
+    "EXIT_CORRUPT",
+    "FleetError",
+    "FleetClosed",
+    "Overloaded",
+    "DeadlineExceeded",
+    "WorkerCrashed",
+    "RequestFailed",
+    "as_quantized_artifact",
+    "resolve_worker_count",
+]

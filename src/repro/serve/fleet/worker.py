@@ -1,0 +1,174 @@
+"""Fleet worker process: map the shared artifact, serve, heartbeat.
+
+One worker is one OS process running :func:`fleet_worker_main`.  It maps
+the published :class:`~repro.serve.fleet.shm.SharedArtifact` zero-copy,
+rebuilds the deploy model over views into the segment, and then loops:
+stamp a heartbeat, pull one message off its bounded request queue, act.
+
+The protocol is deliberately tiny (plain tuples over one ``mp.Queue`` in
+and one pipe out, per worker — a SIGKILLed worker can only corrupt *its
+own* channels, which the supervisor discards wholesale on restart):
+
+- ``("req", rid, kind, rows, deadline, enqueued)`` — score ``rows``
+  (``kind`` is ``"predict"`` or ``"scores"``), unless ``deadline`` (unix
+  seconds) already passed, in which case the worker answers
+  ``("res", rid, "deadline", None)`` without touching the model;
+- ``("reload", epoch, shm_name)`` — fleet hot-swap: attach the new
+  segment, rebuild, ack ``("reloaded", ...)``.  The old mapping is kept
+  (not closed) until process exit: dropping live ``np.frombuffer`` views
+  safely is not worth the bounded few-KB leak per swap;
+- ``("chaos", directive)`` — fault injection (see
+  :mod:`repro.serve.chaos`): hang without heartbeats, exit with a given
+  code, or add per-request latency;
+- ``("stop",)`` — clean exit.
+
+Every ``crc_check_every`` loop ticks the worker re-verifies the segment
+CRC; on mismatch it reports ``("corrupt", ...)`` and exits with
+:data:`~repro.serve.fleet.shm.EXIT_CORRUPT` so the supervisor repairs the
+segment from its pristine copy before restarting the worker.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+from multiprocessing.connection import Connection
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.fleet.shm import EXIT_CORRUPT, SharedArtifact
+
+#: Largest single sleep slice while idling/delaying — heartbeats must keep
+#: flowing through any legitimate wait so the watchdog only fires on real
+#: hangs.
+_SLICE_S = 0.02
+
+
+def _beat(heartbeat: Any, index: int) -> None:
+    heartbeat[index] = time.time()
+
+
+def _sleep_with_beats(seconds: float, heartbeat: Any, index: int) -> None:
+    deadline = time.perf_counter() + seconds
+    while True:
+        _beat(heartbeat, index)
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return
+        time.sleep(min(remaining, _SLICE_S))
+
+
+def fleet_worker_main(
+    index: int,
+    generation: int,
+    shm_name: str,
+    requests: Any,
+    responses: Connection,
+    heartbeat: Any,
+    config: Dict[str, Any],
+) -> None:
+    """Entry point of one fleet worker process (runs until stopped)."""
+    heartbeat_interval_s = float(config.get("heartbeat_interval_s", 0.05))
+    crc_check_every = int(config.get("crc_check_every", 64))
+    service_floor_s = float(config.get("service_floor_s", 0.0))
+    chaos_delay_s = 0.0
+    artifacts: List[SharedArtifact] = []
+
+    artifact = SharedArtifact.attach(shm_name)
+    if not artifact.verify():
+        responses.send(("corrupt", index, generation, artifact.epoch))
+        os._exit(EXIT_CORRUPT)
+    artifacts.append(artifact)
+    model = artifact.rebuild_model()
+    _beat(heartbeat, index)
+    responses.send(("ready", index, generation, artifact.epoch))
+
+    ticks = 0
+    while True:
+        _beat(heartbeat, index)
+        ticks += 1
+        if crc_check_every and ticks % crc_check_every == 0:
+            if not artifact.verify():
+                responses.send(("corrupt", index, generation, artifact.epoch))
+                os._exit(EXIT_CORRUPT)
+        try:
+            message = requests.get(timeout=heartbeat_interval_s)
+        except queue_mod.Empty:
+            continue
+        tag = message[0]
+
+        if tag == "req":
+            _, rid, kind, rows, deadline, _enqueued = message
+            if deadline is not None and time.time() > deadline:
+                responses.send(("res", rid, "deadline", None))
+                continue
+            delay = service_floor_s + chaos_delay_s
+            if delay > 0:
+                _sleep_with_beats(delay, heartbeat, index)
+            try:
+                if kind == "predict":
+                    result = np.asarray(model.predict(rows))
+                else:
+                    result = np.asarray(model.decision_scores(rows))
+            except Exception as exc:  # noqa: BLE001 - reported per request
+                responses.send(("res", rid, "error", repr(exc)))
+            else:
+                responses.send(("res", rid, "ok", result))
+
+        elif tag == "reload":
+            _, epoch, new_name = message
+            try:
+                incoming = SharedArtifact.attach(new_name)
+                if not incoming.verify():
+                    raise RuntimeError(
+                        f"epoch {epoch} segment failed CRC verification"
+                    )
+                model = incoming.rebuild_model()
+            except Exception as exc:  # noqa: BLE001 - supervisor decides
+                responses.send(
+                    ("reload-failed", index, generation, int(epoch),
+                     repr(exc))
+                )
+            else:
+                artifact = incoming
+                artifacts.append(incoming)
+                responses.send(("reloaded", index, generation, int(epoch)))
+
+        elif tag == "chaos":
+            directive = message[1]
+            chaos_kind = directive.get("kind")
+            if chaos_kind == "hang":
+                # Simulate a wedged worker: stop heartbeating entirely so
+                # the watchdog's hang detection (not process liveness) has
+                # to catch it.
+                while True:
+                    time.sleep(3600.0)
+            elif chaos_kind == "crash":
+                os._exit(int(directive.get("code", 1)))
+            elif chaos_kind == "slow":
+                chaos_delay_s = float(directive.get("delay_s", 0.0))
+            elif chaos_kind == "clear":
+                chaos_delay_s = 0.0
+
+        elif tag == "stop":
+            break
+
+    responses.close()
+
+
+def resolve_worker_count(n_workers: Optional[int]) -> int:
+    """Fleet sizing through the engine's core-resolution idiom.
+
+    ``None``/``-1`` sizes the fleet like
+    :func:`repro.engine.executor.resolve_n_jobs` sizes a process pool —
+    every visible core — so ``FleetServer(artifact, n_workers=-1)``
+    matches ``ProcessExecutor`` semantics; explicit counts pass through
+    (validated positive).
+    """
+    from repro.engine.executor import resolve_n_jobs
+
+    if n_workers is None:
+        n_workers = -1
+    return int(resolve_n_jobs(n_workers))

@@ -7,10 +7,12 @@ benchmarking) and returns a :class:`LoadReport` with throughput, latency
 percentiles, failure counts and the per-request predictions (for parity
 assertions against a reference model).
 
-The target is either a :class:`~repro.serve.server.ModelServer` (requests
-go through the micro-batcher) or any callable ``fn(row) -> result`` (e.g.
-``lambda row: model.predict(row)`` — the per-request baseline the serving
-benchmark compares against).
+The target is anything exposing the submit protocol
+(``submit_predict`` / ``submit_decision_scores`` returning futures — a
+:class:`~repro.serve.server.ModelServer`, a
+:class:`~repro.serve.fleet.server.FleetServer`) or any callable
+``fn(row) -> result`` (e.g. ``lambda row: model.predict(row)`` — the
+per-request baseline the serving benchmark compares against).
 """
 
 from __future__ import annotations
@@ -22,7 +24,6 @@ from typing import Any, Callable, Dict, List, Optional, Union
 import numpy as np
 
 from repro.serve.metrics import latency_summary_ms
-from repro.serve.server import ModelServer
 from repro.utils.validation import check_positive_int
 
 
@@ -83,7 +84,7 @@ class LoadReport:
 
 
 def run_load(
-    target: Union[ModelServer, Callable],
+    target: Union[Any, Callable],
     X: Any,
     *,
     n_requests: int,
@@ -95,8 +96,9 @@ def run_load(
 
     Request ``i`` sends row ``X[i % len(X)]``; workers split the request
     index space evenly.  ``mode`` selects ``predict`` or ``scores``
-    against a :class:`ModelServer` target (callables receive the row and
-    define their own semantics).  ``on_request(i)`` — when given — runs
+    against a server target — anything exposing ``submit_predict`` /
+    ``submit_decision_scores``, so ModelServer and FleetServer both
+    qualify (callables receive the row and define their own semantics).  ``on_request(i)`` — when given — runs
     on the worker thread right after request ``i`` is issued, letting the
     caller interleave control actions (e.g. a hot-swap) at a known point
     in the load.
@@ -113,7 +115,7 @@ def run_load(
     if mode not in ("predict", "scores"):
         raise ValueError(f"mode must be 'predict' or 'scores', got {mode!r}")
 
-    if isinstance(target, ModelServer):
+    if hasattr(target, "submit_predict"):
         submit = (
             target.submit_predict if mode == "predict"
             else target.submit_decision_scores

@@ -11,12 +11,20 @@ counts.
 Latencies are kept in a bounded ring buffer (newest ``window`` requests)
 so percentiles reflect recent behaviour and memory stays O(window) under
 sustained traffic; counters cover the server's whole lifetime.
+
+Beyond throughput/latency, the sink carries the serving stack's
+**structured problem-event log**: :meth:`ServerMetrics.record_problem`
+appends a timestamped ``{"kind", "detail"}`` record (worker crashes,
+circuit-breaker trips, swap rollbacks, adaptation failures, ...) into a
+bounded deque surfaced verbatim in :meth:`ServerMetrics.snapshot` — so
+silent failures become operator-visible without a separate log pipeline.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
@@ -25,6 +33,9 @@ from repro.utils.validation import check_positive_int
 
 #: Percentiles the latency summary reports, in order.
 LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Most recent problem events kept (older ones age out of the snapshot).
+PROBLEM_LOG_LIMIT = 256
 
 
 def latency_summary_ms(latencies_s: np.ndarray) -> Optional[Dict[str, float]]:
@@ -56,6 +67,9 @@ def latency_summary_ms(latencies_s: np.ndarray) -> Optional[Dict[str, float]]:
     "_batch_sizes",
     "_n_errors",
     "_n_swaps",
+    "_n_shed",
+    "_n_retries",
+    "_problems",
 )
 class ServerMetrics:
     """Thread-safe counters + latency/batch-size distributions.
@@ -77,6 +91,11 @@ class ServerMetrics:
         self._batch_sizes: Dict[int, int] = {}
         self._n_errors = 0
         self._n_swaps = 0
+        self._n_shed = 0
+        self._n_retries = 0
+        self._problems: Deque[Dict[str, object]] = deque(
+            maxlen=PROBLEM_LOG_LIMIT
+        )
 
     # ------------------------------------------------------------- recording
 
@@ -103,6 +122,32 @@ class ServerMetrics:
         with self._lock:
             self._n_swaps += 1
 
+    def record_shed(self) -> None:
+        """Record one request rejected by admission control (shed load —
+        deliberate backpressure, counted separately from errors)."""
+        with self._lock:
+            self._n_shed += 1
+
+    def record_retry(self) -> None:
+        """Record one in-flight request re-dispatched after worker loss."""
+        with self._lock:
+            self._n_retries += 1
+
+    def record_problem(self, kind: str, detail: str = "") -> None:
+        """Append one structured problem event to the bounded log.
+
+        ``kind`` is a stable machine-readable tag (``worker-crashed``,
+        ``circuit-open``, ``swap-rollback``, ``adaptation-failure``, ...);
+        ``detail`` is free-form context for the operator.
+        """
+        event = {
+            "ts": float(time.time()),
+            "kind": str(kind),
+            "detail": str(detail),
+        }
+        with self._lock:
+            self._problems.append(event)
+
     # ------------------------------------------------------------- reporting
 
     @property
@@ -120,14 +165,41 @@ class ServerMetrics:
         with self._lock:
             return self._n_errors
 
+    @property
+    def n_shed(self) -> int:
+        with self._lock:
+            return self._n_shed
+
+    @property
+    def n_retries(self) -> int:
+        with self._lock:
+            return self._n_retries
+
+    def problems(self) -> List[Dict[str, object]]:
+        """The recent problem events, oldest first (bounded copy)."""
+        with self._lock:
+            return list(self._problems)
+
+    def problem_counts(self) -> Dict[str, int]:
+        """Per-kind counts over the retained problem events."""
+        counts: Dict[str, int] = {}
+        with self._lock:
+            events = list(self._problems)
+        for event in events:
+            kind = str(event["kind"])
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
     def snapshot(self) -> Dict[str, object]:
         """The stats-endpoint payload: one JSON-ready dict.
 
         Keys: ``uptime_s``, ``n_requests``, ``n_errors``, ``n_swaps``,
-        ``throughput_rps`` (lifetime requests / uptime), ``latency_ms``
-        (p50/p95/p99/mean/max over the recent window, ``None`` when no
-        requests have completed yet), ``batch_sizes`` (exact-size
-        histogram) and ``mean_batch_size``.
+        ``n_shed``, ``n_retries``, ``throughput_rps`` (lifetime requests /
+        uptime), ``latency_ms`` (p50/p95/p99/mean/max over the recent
+        window, ``None`` when no requests have completed yet),
+        ``batch_sizes`` (exact-size histogram), ``mean_batch_size``, and
+        ``problems`` (the recent structured problem events plus per-kind
+        counts).
         """
         with self._lock:
             uptime = max(time.perf_counter() - self._started, 1e-9)
@@ -137,21 +209,34 @@ class ServerMetrics:
             total = self._latency_count
             errors = self._n_errors
             swaps = self._n_swaps
+            shed = self._n_shed
+            retries = self._n_retries
+            problems = list(self._problems)
 
         latency = latency_summary_ms(recent)
         n_batched = sum(size * n for size, n in histogram.items())
         n_batches = sum(histogram.values())
+        counts: Dict[str, int] = {}
+        for event in problems:
+            kind = str(event["kind"])
+            counts[kind] = counts.get(kind, 0) + 1
         return {
             "uptime_s": float(uptime),
             "n_requests": int(total),
             "n_errors": int(errors),
             "n_swaps": int(swaps),
+            "n_shed": int(shed),
+            "n_retries": int(retries),
             "throughput_rps": float(total / uptime),
             "latency_ms": latency,
             "batch_sizes": {str(k): int(v) for k, v in histogram.items()},
             "mean_batch_size": (
                 float(n_batched / n_batches) if n_batches else None
             ),
+            "problems": {
+                "counts": dict(sorted(counts.items())),
+                "recent": problems[-32:],
+            },
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -223,6 +223,9 @@ class ModelServer:
         except BaseException:
             self._batcher.close()
             raise
+        from repro.serve import shutdown as shutdown_registry
+
+        shutdown_registry.register(self)
 
     # ---------------------------------------------------------------- handler
 
@@ -391,9 +394,15 @@ class ModelServer:
     # --------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Stop intake, flush pending requests, release the worker."""
+        """Stop intake, flush pending requests, release the worker.
+
+        Idempotent, and registered with :mod:`repro.serve.shutdown` so a
+        SIGTERM/SIGINT drains the batcher before the process exits."""
         self._closed = True
         self._batcher.close()
+        from repro.serve import shutdown as shutdown_registry
+
+        shutdown_registry.unregister(self)
 
     def __enter__(self) -> "ModelServer":
         return self

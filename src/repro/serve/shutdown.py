@@ -1,0 +1,118 @@
+"""Graceful-shutdown registry + signal handlers for serving processes.
+
+Long-running serving entry points (``repro serve``, ``repro chaos``, or
+any embedding process) register their closeable resources here; a single
+:func:`install_signal_handlers` call arms SIGTERM/SIGINT so that on
+termination every registered server drains its batcher, fails or
+finishes in-flight requests, reaps worker processes, and releases shared
+memory **before** the interpreter dies — instead of relying on process
+teardown (which leaks shared-memory segments and orphans fleet workers).
+
+The registry is deliberately tiny: anything with a ``close()`` method can
+register.  :class:`~repro.serve.server.ModelServer` and
+:class:`~repro.serve.fleet.server.FleetServer` register themselves on
+construction and unregister on close, so user code only has to call
+:func:`install_signal_handlers` (the CLI does it for you).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import types
+from typing import Any, Callable, List, Optional
+
+_registry_lock = threading.Lock()
+_registry: List[Any] = []
+_installed = False
+_previous: dict = {}
+
+
+def register(server: Any) -> None:
+    """Track ``server`` (anything with ``close()``) for shutdown."""
+    with _registry_lock:
+        if server not in _registry:
+            _registry.append(server)
+
+
+def unregister(server: Any) -> None:
+    """Stop tracking ``server`` (idempotent)."""
+    with _registry_lock:
+        try:
+            _registry.remove(server)
+        except ValueError:
+            pass
+
+
+def registered() -> List[Any]:
+    """A snapshot of the currently tracked servers (newest last)."""
+    with _registry_lock:
+        return list(_registry)
+
+
+def close_all() -> int:
+    """Close every registered server, newest first; returns the count.
+
+    Close order is reversed registration order so dependents (a fleet
+    built on an artifact, an adapter driving a server) come down before
+    what they depend on.  Exceptions from one ``close()`` don't stop the
+    rest.
+    """
+    with _registry_lock:
+        servers = list(reversed(_registry))
+    closed = 0
+    for server in servers:
+        try:
+            server.close()
+            closed += 1
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        unregister(server)
+    return closed
+
+
+def install_signal_handlers(
+    signals: tuple = (signal.SIGTERM, signal.SIGINT),
+    on_shutdown: Optional[Callable[[int], None]] = None,
+) -> bool:
+    """Arm graceful shutdown on ``signals`` (main thread only).
+
+    The handler closes every registered server via :func:`close_all`,
+    invokes ``on_shutdown(signum)`` if given, restores the previous
+    handlers, and re-raises the signal so the process exits with the
+    conventional status.  Returns False (and installs nothing) when not
+    called from the main thread — signal handlers are a main-thread-only
+    facility in CPython.
+    """
+    global _installed
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def _handler(signum: int, frame: Optional[types.FrameType]) -> None:
+        close_all()
+        if on_shutdown is not None:
+            on_shutdown(signum)
+        uninstall_signal_handlers()
+        signal.raise_signal(signum)
+
+    for sig in signals:
+        _previous[sig] = signal.signal(sig, _handler)
+    _installed = True
+    return True
+
+
+def uninstall_signal_handlers() -> None:
+    """Restore the handlers that were active before installation."""
+    global _installed
+    for sig, handler in list(_previous.items()):
+        try:
+            signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+        _previous.pop(sig, None)
+    _installed = False
+
+
+def handlers_installed() -> bool:
+    """Whether :func:`install_signal_handlers` is currently armed."""
+    return _installed

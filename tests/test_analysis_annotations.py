@@ -74,6 +74,7 @@ class TestLockOrder:
     def test_serving_stack_order_declared(self):
         assert LOCK_ORDER == (
             "OnlineAdapter._lock",
+            "FleetServer._lock",
             "ModelServer._swap_lock",
             "MicroBatcher._drain_lock",
             "ModelVersion._lock",

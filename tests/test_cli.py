@@ -28,6 +28,27 @@ class TestParser:
         args = build_parser().parse_args(["grid", "--n-jobs", "2"])
         assert args.n_jobs == 2
 
+    def test_bench_no_fleet_flag(self):
+        assert build_parser().parse_args(["bench"]).no_fleet is False
+        assert build_parser().parse_args(["bench", "--no-fleet"]).no_fleet
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.dataset == "pamap2"
+        assert args.scale == 0.004
+        assert args.dim == 256
+        assert args.workers == 4
+        assert args.queue_depth == 32
+        assert args.faults == ["kill"]
+        assert args.packed is True and args.bits == 1
+        assert args.no_crash_loop is False
+
+    def test_chaos_fault_choices(self):
+        args = build_parser().parse_args(["chaos", "--faults", "kill", "hang"])
+        assert args.faults == ["kill", "hang"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--faults", "meteor"])
+
 
 class TestGridCommand:
     _FAST = ["--dataset", "diabetes", "--scale", "0.005"]
@@ -212,3 +233,29 @@ class TestServeCommand:
         payload = json.loads(out.read_text())
         assert payload["load"]["n_failed"] == 0
         assert payload["stats"]["n_requests"] >= 32
+
+
+class TestChaosCommand:
+    def test_chaos_packed_requires_one_bit(self, capsys):
+        code = main(["chaos", "--bits", "8"])  # --packed defaults on
+        assert code == 2
+        assert "--bits 1" in capsys.readouterr().err
+
+    def test_chaos_session_smoke(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "chaos.json"
+        code = main(
+            ["chaos", "--dataset", "diabetes", "--scale", "0.005",
+             "--dim", "64", "--iterations", "2", "--workers", "2",
+             "--requests", "32", "--concurrency", "4",
+             "--service-floor-ms", "1.0", "--faults", "kill",
+             "--no-crash-loop", "--output", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["workers"] == 2
+        kill = payload["drills"]["kill"]
+        assert kill["outcomes"]["failed"] == 0
+        assert kill["outcomes"]["ok"] + kill["outcomes"]["shed"] == 32
+        assert "crash_loop" not in payload["drills"]

@@ -62,7 +62,7 @@ class TestLegacyReference:
 class TestRunBench:
     def test_smoke_payload(self):
         payload = run_bench(models=("disthd",), smoke=True)
-        assert payload["schema"] == 5
+        assert payload["schema"] == 6
         assert payload["config"]["smoke"] is True
         assert [r["model"] for r in payload["results"]] == ["disthd"]
         assert "fit_speedup_vs_legacy" in payload
@@ -86,25 +86,39 @@ class TestRunBench:
         assert packed["footprints"]["compression_vs_unpacked"] >= 32
         assert packed["serving"]["failed_requests"] == 0
         assert packed["serving"]["served_packed_after_swap"] is True
+        fleet = payload["scenarios"]["fleet_resilience"]
+        assert fleet["chaos_kill"]["outcomes"]["failed"] == 0
+        assert fleet["chaos_kill"]["survived"] is True
+        assert fleet["crash_loop"]["tripped"] is True
+        assert fleet["steady_state"]["throughput_scaling"] > 0
         # The payload must be JSON-serialisable as-is.
         json.dumps(payload)
 
     def test_no_legacy(self):
         payload = run_bench(
-            models=("onlinehd",), smoke=True, include_legacy=True
+            models=("onlinehd",), smoke=True, include_legacy=True,
+            include_fleet=False,
         )
         # legacy reference only runs when disthd is in the sweep
         assert "fit_speedup_vs_legacy" not in payload
 
+    def test_no_fleet(self):
+        payload = run_bench(
+            models=("disthd",), smoke=True, include_fleet=False,
+        )
+        assert "fleet_resilience" not in payload["scenarios"]
+
     def test_format_table(self):
-        payload = run_bench(models=("disthd",), smoke=True)
+        payload = run_bench(
+            models=("disthd",), smoke=True, include_fleet=False,
+        )
         table = format_bench_table(payload)
         assert "disthd" in table
         assert "speedup" in table
 
     def test_write_bench(self, tmp_path):
         payload = run_bench(models=("disthd",), smoke=True,
-                            include_legacy=False)
+                            include_legacy=False, include_fleet=False)
         path = write_bench(payload, tmp_path / "bench.json")
         restored = json.loads(path.read_text())
         assert restored["results"][0]["model"] == "disthd"
@@ -114,7 +128,8 @@ class TestBenchCLI:
     def test_bench_smoke_writes_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_test.json"
         code = main(
-            ["bench", "--smoke", "--models", "disthd", "--output", str(out)]
+            ["bench", "--smoke", "--models", "disthd", "--no-fleet",
+             "--output", str(out)]
         )
         assert code == 0
         assert out.exists()
@@ -234,6 +249,32 @@ class TestTrackedBaselinePr7:
         assert serving["parity_ok"] is True
 
 
+class TestTrackedBaselinePr8:
+    def test_bench_pr8_json_is_committed_and_meets_target(self):
+        """PR-8 acceptance artifact: ≥3x steady-state throughput at 4
+        workers vs 1 at flat p95, the SIGKILL drill survived with zero
+        failed (non-shed) requests and sub-2s recovery, and the
+        crash-loop circuit breaker tripped."""
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_pr8.json"
+        assert path.exists(), "BENCH_pr8.json missing from repo root"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 6
+        scenario = payload["scenarios"]["fleet_resilience"]
+        assert scenario["n_workers"] >= 4
+        steady = scenario["steady_state"]
+        assert steady["throughput_scaling"] >= 3.0
+        assert steady["p95_ratio_vs_single"] <= 1.5
+        kill = scenario["chaos_kill"]
+        assert kill["outcomes"]["failed"] == 0
+        assert kill["survived"] is True
+        assert kill["recovery_s"] is not None
+        assert kill["recovery_s"] <= 2.0
+        assert sum(kill["restarts"]) >= 1
+        assert scenario["crash_loop"]["tripped"] is True
+
+
 class TestPackedDeployScenario:
     def test_miniature_scenario_record(self):
         from repro.perf import bench_packed_deploy
@@ -286,6 +327,28 @@ class TestServingScenario:
         )
         assert "swap" not in rec
         assert rec["batched"]["n_failed"] == 0
+
+
+class TestFleetResilienceScenario:
+    def test_miniature_scenario_record(self):
+        from repro.perf import bench_fleet_resilience
+
+        rec = bench_fleet_resilience(
+            scale=0.003, dim=96, iterations=2,
+            n_requests=48, concurrency=4,
+            n_workers=2, queue_depth=16, service_floor_ms=1.0,
+        )
+        assert rec["scenario"] == "fleet_resilience"
+        steady = rec["steady_state"]
+        assert steady["workers_1"]["throughput_rps"] > 0
+        assert steady["workers_2"]["throughput_rps"] > 0
+        assert steady["throughput_scaling"] > 0
+        kill = rec["chaos_kill"]
+        assert kill["outcomes"]["failed"] == 0
+        assert kill["survived"] is True
+        assert sum(kill["restarts"]) >= 1
+        assert rec["crash_loop"]["tripped"] is True
+        json.dumps(rec)
 
 
 class TestShardedFitScenario:
@@ -481,3 +544,82 @@ class TestCheckRegression:
             self._packed_payload(score_s=99.0),
             {"results": base["results"]}, 2.0,
         ) == []
+
+    @staticmethod
+    def _fleet_payload(
+        scaling=3.5, p95_ratio=0.5, failed=0, survived=True,
+        recovery=0.2, tripped=True, rps=500.0,
+    ):
+        return {
+            "scenarios": {
+                "fleet_resilience": {
+                    "n_workers": 4,
+                    "steady_state": {
+                        "throughput_scaling": scaling,
+                        "p95_ratio_vs_single": p95_ratio,
+                        "workers_4": {"throughput_rps": rps},
+                    },
+                    "chaos_kill": {
+                        "outcomes": {"ok": 256, "shed": 0, "failed": failed},
+                        "survived": survived,
+                        "recovery_s": recovery,
+                    },
+                    "crash_loop": {"tripped": tripped},
+                }
+            },
+        }
+
+    def test_fleet_scenario_gated(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        try:
+            from check_regression import compare
+        finally:
+            sys.path.pop(0)
+        base = self._fleet_payload()
+        # a healthy fleet record passes (scenario-only payloads are valid)
+        assert compare(self._fleet_payload(), base, 2.0) == []
+        # scaling below the floor at 4 workers
+        problems = compare(self._fleet_payload(scaling=1.5), base, 2.0)
+        assert any("throughput_scaling" in p for p in problems)
+        # p95 no longer flat
+        problems = compare(self._fleet_payload(p95_ratio=3.0), base, 2.0)
+        assert any("p95_ratio" in p for p in problems)
+        # failed requests across the SIGKILL always gate
+        problems = compare(self._fleet_payload(failed=2), base, 2.0)
+        assert any("non-shed" in p for p in problems)
+        # recovery too slow
+        problems = compare(self._fleet_payload(recovery=5.0), base, 2.0)
+        assert any("recovery_s" in p for p in problems)
+        # breaker never tripped
+        problems = compare(self._fleet_payload(tripped=False), base, 2.0)
+        assert any("circuit breaker" in p for p in problems)
+        # throughput collapse vs baseline
+        problems = compare(self._fleet_payload(rps=100.0), base, 2.0)
+        assert any("workers_4" in p for p in problems)
+        # scenario absent on both sides: nothing to gate
+        assert compare({"scenarios": {}}, base, 2.0) == []
+
+    def test_sections_isolated_on_malformed_payload(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        try:
+            from check_regression import compare
+        finally:
+            sys.path.pop(0)
+        base = self._fleet_payload()
+        # A malformed results section reports itself as a failure but
+        # does not stop the fleet section from gating.
+        mangled = dict(self._fleet_payload(tripped=False))
+        mangled["results"] = "not-a-list"
+        problems = compare(mangled, base, 2.0)
+        assert any("comparator crashed" in p for p in problems)
+        assert any("circuit breaker" in p for p in problems)

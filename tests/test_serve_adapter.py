@@ -116,12 +116,37 @@ class TestOnlineAdapterRaw:
             adapter.adapt_now(wait=True)
             assert adapter.n_adaptations == 0
             assert adapter.last_error is not None
-            assert adapter.stats()["last_error"] is not None
+            stats = adapter.stats()
+            assert stats["last_error"] is not None
+            assert stats["n_failed_cycles"] == 1
             # The drained feedback was re-buffered, not lost.
-            assert adapter.stats()["buffered_feedback"] == 16
+            assert stats["buffered_feedback"] == 16
+            # The failure surfaced as a structured problem event on the
+            # server's metrics, not just an adapter-local attribute.
+            problems = server.metrics.problem_counts()
+            assert problems.get("adaptation-failure", 0) == 1
+            events = server.metrics.problems()
+            assert any(
+                e["kind"] == "adaptation-failure" and e["detail"]
+                for e in events
+            )
             # The server is untouched and still serving.
             assert server.stats()["n_swaps"] == 0
             server.predict(train_x[:2])
+
+    def test_successful_cycle_leaves_failure_counters_alone(
+        self, fitted, small_problem
+    ):
+        import copy
+
+        train_x, train_y, _, _ = small_problem
+        served = copy.deepcopy(fitted)
+        with ModelServer(served, max_wait_ms=1.0) as server:
+            adapter = OnlineAdapter(server, fitted)
+            adapter.feedback(train_x[:48], train_y[:48])
+            adapter.adapt_now(wait=True)
+            assert adapter.stats()["n_failed_cycles"] == 0
+            assert server.metrics.problem_counts() == {}
 
     def test_single_adaptation_slot(self, fitted):
         with ModelServer(fitted, max_wait_ms=1.0) as server:

@@ -1,0 +1,120 @@
+"""Tests for repro.serve.chaos — fault injection and resilience drills.
+
+The full-size drills live in the ``fleet_resilience`` perf scenario and
+the ``repro chaos`` CLI; here each fault kind runs once at small scale against
+a 2-worker fleet, asserting the invariants the chaos harness exists to
+check: zero failed (non-shed) requests, observed disruption, recovery.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.deploy.quantized import QuantizedHDCModel
+from repro.models.registry import make_model
+from repro.serve.chaos import (
+    FAULTS,
+    classify_outcomes,
+    inject_fault,
+    run_chaos_drill,
+    run_crash_loop_drill,
+)
+from repro.serve.fleet import FleetServer, Overloaded
+from repro.serve.fleet.server import BROKEN, RUNNING
+
+
+@pytest.fixture(scope="module")
+def artifact(small_problem):
+    train_x, train_y, _, _ = small_problem
+    model = make_model("disthd", dim=128, iterations=2, seed=3)
+    model.fit(train_x, train_y)
+    return QuantizedHDCModel(model, bits=1, packed=True)
+
+
+@pytest.fixture
+def fleet(artifact):
+    with FleetServer(
+        artifact, n_workers=2, queue_depth=16, service_floor_s=0.002,
+        hang_timeout_s=0.5, crc_check_every=8,
+    ) as server:
+        yield server
+
+
+class TestClassifyOutcomes:
+    def test_split(self):
+        predictions = [
+            np.array([1]), Overloaded("full"), ValueError("boom"),
+            np.array([2]), Overloaded("full"),
+        ]
+        assert classify_outcomes(predictions) == {
+            "ok": 2, "shed": 2, "failed": 1,
+        }
+
+    def test_empty(self):
+        assert classify_outcomes([]) == {"ok": 0, "shed": 0, "failed": 0}
+
+
+class TestInjectFault:
+    def test_unknown_fault_rejected(self, fleet):
+        with pytest.raises(ValueError, match="unknown fault"):
+            inject_fault(fleet, "meteor")
+
+    def test_corrupt_prefers_class_memory(self, fleet):
+        record = inject_fault(fleet, "corrupt")
+        assert record["array"] == "words"
+        assert not fleet.shared_artifact.verify()
+        fleet.shared_artifact.restore_pristine()
+        assert fleet.shared_artifact.verify()
+
+
+class TestDrills:
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_fault_survived_under_load(self, fleet, small_problem, fault):
+        _, _, test_x, _ = small_problem
+        drill = run_chaos_drill(
+            fleet, test_x,
+            n_requests=64, concurrency=8, fault=fault,
+            slow_delay_s=0.05, recovery_timeout_s=15.0,
+        )
+        assert drill["fault"] == fault
+        outcomes = drill["outcomes"]
+        # The resilience contract: every accepted request succeeds.
+        assert outcomes["failed"] == 0, drill
+        assert outcomes["ok"] + outcomes["shed"] == 64
+        if fault in ("kill", "hang", "corrupt"):
+            assert drill["disrupted"], drill
+            assert drill["recovery_s"] is not None, drill
+            assert sum(drill["restarts"]) >= 1, drill
+        assert all(s == RUNNING for s in fleet.worker_states())
+        # Post-drill the fleet still serves correct answers.
+        assert fleet.predict(test_x[:4]).shape == (4,)
+
+    def test_kill_drill_reports_retries_and_problems(
+        self, fleet, small_problem
+    ):
+        _, _, test_x, _ = small_problem
+        drill = run_chaos_drill(
+            fleet, test_x, n_requests=64, concurrency=8, fault="kill",
+        )
+        assert drill["outcomes"]["failed"] == 0
+        assert drill["problem_counts"].get("worker-crashed", 0) >= 1
+        assert drill["injected"]["pid"] is not None
+
+    def test_unknown_fault_in_drill_rejected(self, fleet, small_problem):
+        _, _, test_x, _ = small_problem
+        with pytest.raises(ValueError, match="unknown fault"):
+            run_chaos_drill(fleet, test_x, fault="meteor")
+
+
+class TestCrashLoop:
+    def test_breaker_trips(self, artifact):
+        with FleetServer(
+            artifact, n_workers=2, max_restarts=3, restart_window_s=30.0,
+            restart_backoff_s=0.02,
+        ) as fleet:
+            drill = run_crash_loop_drill(fleet, index=0, timeout_s=30.0)
+            assert drill["tripped"] is True
+            assert drill["deaths"] == 3  # max_restarts strikes, no more
+            assert drill["worker_states"][0] == BROKEN
+            assert drill["problem_counts"].get("circuit-open", 0) >= 1

@@ -1,0 +1,243 @@
+"""Tests for repro.serve.fleet.server.FleetServer — supervised workers,
+admission control, fault tolerance, and all-or-nothing hot-swap.
+
+Fleets here are deliberately tiny (1–2 workers, small dims) so each test
+spawns, exercises one behaviour, and tears down in well under a second of
+wall clock per worker.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.deploy.quantized import QuantizedHDCModel
+from repro.models.registry import make_model
+from repro.serve.fleet import (
+    DeadlineExceeded,
+    FleetClosed,
+    FleetServer,
+    Overloaded,
+    as_quantized_artifact,
+    resolve_worker_count,
+)
+from repro.serve.fleet.server import BROKEN, RUNNING
+
+
+@pytest.fixture(scope="module")
+def fitted(small_problem):
+    train_x, train_y, test_x, test_y = small_problem
+    model = make_model("disthd", dim=128, iterations=2, seed=3)
+    model.fit(train_x, train_y)
+    return model, test_x
+
+
+@pytest.fixture(scope="module")
+def artifact(fitted):
+    model, _ = fitted
+    return QuantizedHDCModel(model, bits=1, packed=True)
+
+
+def _wait_for(predicate, timeout_s=10.0, poll_s=0.01):
+    deadline = time.perf_counter() + timeout_s
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return predicate()
+
+
+class TestLifecycle:
+    def test_start_predict_parity_close(self, artifact, fitted):
+        _, test_x = fitted
+        with FleetServer(artifact, n_workers=2) as fleet:
+            assert fleet.worker_states() == [RUNNING, RUNNING]
+            pids = fleet.worker_pids()
+            assert len(set(pids)) == 2 and all(p for p in pids)
+            np.testing.assert_array_equal(
+                fleet.predict(test_x), artifact.predict(test_x)
+            )
+            np.testing.assert_allclose(
+                fleet.decision_scores(test_x[:8]),
+                artifact.decision_scores(test_x[:8]),
+            )
+        # Context exit closed the fleet: further submits are rejected.
+        with pytest.raises(FleetClosed):
+            fleet.predict(test_x[:1])
+
+    def test_close_idempotent(self, artifact):
+        fleet = FleetServer(artifact, n_workers=1)
+        fleet.close()
+        fleet.close()  # second close is a no-op
+        assert all(s != RUNNING for s in fleet.worker_states())
+
+    def test_stats_shape(self, artifact, fitted):
+        _, test_x = fitted
+        with FleetServer(artifact, n_workers=1) as fleet:
+            fleet.predict(test_x[:4])
+            stats = fleet.stats()
+            assert stats["n_requests"] >= 1
+            info = stats["fleet"]
+            assert info["n_workers"] == 1
+            assert info["n_running"] == 1
+            assert info["epoch"] == 1
+            assert info["workers"][0]["state"] == RUNNING
+            assert info["workers"][0]["restarts"] == 0
+
+    def test_validates_request_shape(self, artifact, fitted):
+        _, test_x = fitted
+        with FleetServer(artifact, n_workers=1) as fleet:
+            assert fleet.predict(test_x[:2]).shape == (2,)
+            with pytest.raises(ValueError, match="features"):
+                fleet.predict(np.zeros((2, test_x.shape[1] + 1)))
+            with pytest.raises(ValueError, match="non-empty"):
+                fleet.predict(np.zeros((0, test_x.shape[1])))
+
+
+class TestAdmission:
+    def test_full_queues_shed_with_overloaded(self, artifact, fitted):
+        _, test_x = fitted
+        with FleetServer(
+            artifact, n_workers=1, queue_depth=1, hang_timeout_s=60.0
+        ) as fleet:
+            # Wedge the only worker so nothing drains the queue, then
+            # fill the single slot; the next admission must shed.
+            assert fleet.inject_chaos(0, {"kind": "hang"})
+            time.sleep(0.3)  # the hang directive is consumed off the queue
+            fleet.submit_predict(test_x[:1])
+            with pytest.raises(Overloaded, match="admission control"):
+                for _ in range(4):
+                    fleet.submit_predict(test_x[:1])
+            assert fleet.metrics.n_shed >= 1
+            fleet.close(timeout_s=0.5)
+
+    def test_deadline_expired_in_queue(self, artifact, fitted):
+        _, test_x = fitted
+        with FleetServer(
+            artifact, n_workers=1, queue_depth=4, hang_timeout_s=60.0
+        ) as fleet:
+            assert fleet.inject_chaos(0, {"kind": "slow", "delay_s": 0.4})
+            time.sleep(0.2)
+            slow = fleet.submit_predict(test_x[:1], timeout=5.0)
+            doomed = fleet.submit_predict(test_x[:1], timeout=0.05)
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=5.0)
+            assert slow.result(timeout=5.0) is not None
+            assert fleet.metrics.problem_counts().get(
+                "deadline-expired", 0
+            ) >= 1
+
+
+class TestFaultTolerance:
+    def test_sigkill_worker_is_restarted(self, artifact, fitted):
+        _, test_x = fitted
+        with FleetServer(artifact, n_workers=2) as fleet:
+            pid = fleet.kill_worker(0)
+            assert pid is not None
+            assert _wait_for(
+                lambda: fleet.wait_all_running(timeout=0.1)
+                and fleet.stats()["fleet"]["workers"][0]["restarts"] >= 1
+            )
+            # The restarted fleet still serves correctly.
+            np.testing.assert_array_equal(
+                fleet.predict(test_x[:8]), artifact.predict(test_x[:8])
+            )
+            counts = fleet.metrics.problem_counts()
+            assert counts.get("worker-crashed", 0) >= 1
+
+    def test_rapid_crashes_trip_circuit_breaker(self, artifact):
+        with FleetServer(
+            artifact, n_workers=2, max_restarts=2, restart_window_s=30.0,
+            restart_backoff_s=0.02,
+        ) as fleet:
+            deaths = 0
+            deadline = time.perf_counter() + 20.0
+            while deaths < 2 and time.perf_counter() < deadline:
+                if fleet.worker_states()[0] == RUNNING:
+                    fleet.kill_worker(0)
+                    assert _wait_for(
+                        lambda: fleet.worker_states()[0] != RUNNING
+                    )
+                    deaths += 1
+                else:
+                    time.sleep(0.01)
+            assert _wait_for(lambda: fleet.worker_states()[0] == BROKEN)
+            counts = fleet.metrics.problem_counts()
+            assert counts.get("circuit-open", 0) >= 1
+            # The surviving worker keeps the fleet serving.
+            assert fleet.running_indices() == [1]
+
+
+class TestDeploy:
+    def test_all_or_nothing_success(self, small_problem, artifact):
+        train_x, train_y, test_x, _ = small_problem
+        retrained = make_model("disthd", dim=128, iterations=3, seed=9)
+        retrained.fit(train_x, train_y)
+        v2 = QuantizedHDCModel(retrained, bits=1, packed=True)
+        with FleetServer(artifact, n_workers=2) as fleet:
+            outcome = fleet.deploy(v2)
+            assert outcome == {"ok": True, "epoch": 2, "workers": 2}
+            assert fleet.active_epoch == 2
+            np.testing.assert_array_equal(
+                fleet.predict(test_x[:8]), v2.predict(test_x[:8])
+            )
+            assert fleet.metrics.n_swaps == 1
+
+    def test_partial_failure_rolls_back_to_last_good(
+        self, small_problem, artifact
+    ):
+        train_x, train_y, test_x, _ = small_problem
+        retrained = make_model("disthd", dim=128, iterations=3, seed=9)
+        retrained.fit(train_x, train_y)
+        v2 = QuantizedHDCModel(retrained, bits=1, packed=True)
+        with FleetServer(
+            artifact, n_workers=2, hang_timeout_s=60.0
+        ) as fleet:
+            # Worker 1 is wedged: it can never ack the reload, so the
+            # epoch flip must not happen and the acked worker must be
+            # rolled back to the last-good artifact.
+            assert fleet.inject_chaos(1, {"kind": "hang"})
+            time.sleep(0.3)
+            outcome = fleet.deploy(v2, timeout_s=1.0)
+            assert outcome["ok"] is False
+            assert outcome["epoch"] == 1
+            assert outcome["rejected_epoch"] == 2
+            assert 1 in outcome["unacked"]
+            assert fleet.active_epoch == 1
+            assert fleet.metrics.n_swaps == 0
+            assert fleet.metrics.problem_counts().get(
+                "swap-rollback", 0
+            ) == 1
+            # The healthy worker still serves the last-good model.
+            np.testing.assert_array_equal(
+                fleet.predict(test_x[:8]), artifact.predict(test_x[:8])
+            )
+            fleet.close(timeout_s=0.5)
+
+    def test_feature_mismatch_rejected(self, small_problem, artifact):
+        train_x, train_y, _, _ = small_problem
+        other = make_model("disthd", dim=64, iterations=1, seed=1)
+        other.fit(train_x[:, :10], train_y)
+        wrong = QuantizedHDCModel(other, bits=1, packed=True)
+        with FleetServer(artifact, n_workers=1) as fleet:
+            with pytest.raises(ValueError, match="hot-swap"):
+                fleet.deploy(wrong)
+
+
+class TestHelpers:
+    def test_as_quantized_artifact_passthrough(self, artifact):
+        assert as_quantized_artifact(artifact) is artifact
+
+    def test_as_quantized_artifact_rejects_bare_model(self, fitted):
+        model, _ = fitted
+        with pytest.raises(TypeError, match="QuantizedHDCModel"):
+            as_quantized_artifact(model)
+        with pytest.raises(TypeError):
+            as_quantized_artifact(object())
+
+    def test_resolve_worker_count(self):
+        assert resolve_worker_count(3) == 3
+        assert resolve_worker_count(None) >= 1
+        assert resolve_worker_count(-1) >= 1
+        with pytest.raises(ValueError):
+            resolve_worker_count(0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.serve.metrics import ServerMetrics
+from repro.serve.metrics import PROBLEM_LOG_LIMIT, ServerMetrics
 
 
 class TestSnapshot:
@@ -62,3 +62,63 @@ class TestSnapshot:
     def test_bad_window_rejected(self):
         with pytest.raises(ValueError, match="window"):
             ServerMetrics(window=0)
+
+
+class TestFleetCounters:
+    def test_shed_and_retry_counters(self):
+        metrics = ServerMetrics()
+        metrics.record_shed()
+        metrics.record_shed()
+        metrics.record_retry()
+        assert metrics.n_shed == 2
+        assert metrics.n_retries == 1
+        snap = metrics.snapshot()
+        assert snap["n_shed"] == 2
+        assert snap["n_retries"] == 1
+
+    def test_empty_snapshot_has_fleet_keys(self):
+        snap = ServerMetrics().snapshot()
+        assert snap["n_shed"] == 0
+        assert snap["n_retries"] == 0
+        assert snap["problems"] == {"counts": {}, "recent": []}
+
+
+class TestProblemLog:
+    def test_record_and_read_back(self):
+        metrics = ServerMetrics()
+        metrics.record_problem("worker-crashed", "index=0 exitcode=-9")
+        metrics.record_problem("worker-crashed", "index=1 exitcode=-9")
+        metrics.record_problem("request-lost")
+        events = metrics.problems()
+        assert [e["kind"] for e in events] == [
+            "worker-crashed", "worker-crashed", "request-lost",
+        ]
+        assert events[0]["detail"] == "index=0 exitcode=-9"
+        assert all(e["ts"] > 0 for e in events)
+        assert metrics.problem_counts() == {
+            "worker-crashed": 2, "request-lost": 1,
+        }
+
+    def test_log_is_bounded(self):
+        metrics = ServerMetrics()
+        for i in range(PROBLEM_LOG_LIMIT + 50):
+            metrics.record_problem("deadline-expired", str(i))
+        events = metrics.problems()
+        assert len(events) == PROBLEM_LOG_LIMIT
+        # Oldest events aged out; the newest survive.
+        assert events[-1]["detail"] == str(PROBLEM_LOG_LIMIT + 49)
+
+    def test_snapshot_exposes_counts_and_recent_tail(self):
+        metrics = ServerMetrics()
+        for i in range(40):
+            metrics.record_problem("worker-hung", str(i))
+        problems = metrics.snapshot()["problems"]
+        assert problems["counts"] == {"worker-hung": 40}
+        assert len(problems["recent"]) == 32  # bounded tail, newest last
+        assert problems["recent"][-1]["detail"] == "39"
+
+    def test_problems_returns_a_copy(self):
+        metrics = ServerMetrics()
+        metrics.record_problem("circuit-open")
+        metrics.problems().clear()
+        assert metrics.problem_counts() == {"circuit-open": 1}
