@@ -347,12 +347,28 @@ class FleetServer:
         child_conn.close()
         with self._lock:
             handle = self._workers[index]
-            if handle.generation != generation:  # pragma: no cover - raced
-                process.kill()
-                return
-            handle.process = process
-            handle.queue = request_queue
-            handle.conn = parent_conn
+            # STARTING at the matching generation is the only state this
+            # spawn may adopt: a generation bump means a racing restart,
+            # and any other state (STOPPED in particular) means close()
+            # ran between the first locked section and process.start() —
+            # adopting the process there would orphan it past shutdown.
+            stale = (
+                handle.generation != generation
+                or handle.state != STARTING
+            )
+            if not stale:
+                handle.process = process
+                handle.queue = request_queue
+                handle.conn = parent_conn
+        if stale:  # pragma: no cover - raced a restart or close()
+            process.kill()
+            process.join(timeout=2.0)
+            try:
+                parent_conn.close()
+            except OSError:
+                pass
+            request_queue.cancel_join_thread()
+            request_queue.close()
 
     # -------------------------------------------------------------- admission
 
@@ -545,11 +561,18 @@ class FleetServer:
     ) -> None:
         _, rid, status, payload = message
         with self._lock:
-            pending = self._pending.pop(rid, None)
-            if pending is not None and pending.worker is handle:
-                handle.assigned = max(handle.assigned - 1, 0)
-        if pending is None:
-            return  # late/duplicate answer from a worker we already failed
+            pending = self._pending.get(rid)
+            if pending is None or pending.worker is not handle:
+                # Late/duplicate answer from a worker we already failed,
+                # or from one whose request was re-dispatched elsewhere.
+                # Leave a re-dispatched pending in place: the worker it
+                # now belongs to owns the answer (accepting the stale one
+                # here would leak the new owner's ``assigned`` slot).
+                return
+            self._pending.pop(rid, None)
+            handle.assigned = max(handle.assigned - 1, 0)
+        if pending.future.done():  # pragma: no cover - resolved late
+            return
         if status == "ok":
             pending.future.set_result(payload)
             self.metrics.record_request(time.time() - pending.enqueued)
@@ -571,58 +594,72 @@ class FleetServer:
 
     def _watch_loop(self) -> None:
         while not self._closed_event.is_set():
-            now = time.time()
-            dead: List[Tuple[_WorkerHandle, str]] = []
-            to_start: List[int] = []
-            with self._lock:
-                for handle in self._workers:
-                    if handle.state in (STARTING, RUNNING):
-                        process = handle.process
-                        if process is not None and not process.is_alive():
-                            dead.append((handle, "crashed"))
-                        elif (
-                            handle.state == RUNNING
-                            and now - self._heartbeat[handle.index]
-                            > self.hang_timeout_s
-                        ):
-                            dead.append((handle, "hung"))
-                        elif (
-                            handle.state == STARTING
-                            and now - handle.started_at
-                            > self.start_timeout_s
-                        ):
-                            dead.append((handle, "start-timeout"))
-                    elif (
-                        handle.state == BACKOFF
-                        and handle.restart_at <= now
-                        and handle.restart_at > 0
-                    ):
-                        to_start.append(handle.index)
-            expired: List[_Pending] = []
-            with self._lock:
-                # Parked requests (worker=None, waiting out an outage)
-                # are the supervisor's to expire; dispatched ones get
-                # their "deadline" answer from the worker that holds them.
-                for pending in list(self._pending.values()):
-                    if pending.worker is None and now > pending.deadline:
-                        self._pending.pop(pending.rid, None)
-                        expired.append(pending)
-            for pending in expired:
-                pending.future.set_exception(
-                    DeadlineExceeded(
-                        f"request {pending.rid} expired while parked "
-                        f"(no worker available)"
-                    )
-                )
-                self.metrics.record_error()
+            try:
+                self._watch_tick()
+            except Exception as exc:  # noqa: BLE001 - supervisor must live
+                # One request's (or one worker's) bookkeeping error must
+                # never take down the watchdog: losing this thread loses
+                # restarts, hang detection and parked-request expiry for
+                # the rest of the fleet's life.
                 self.metrics.record_problem(
-                    "deadline-expired", f"request {pending.rid} (parked)"
+                    "watchdog-error", f"{type(exc).__name__}: {exc}"
                 )
-            for handle, reason in dead:
-                self._handle_worker_death(handle, reason)
-            for index in to_start:
-                self._start_worker(index)
             self._closed_event.wait(self.heartbeat_interval_s)
+
+    def _watch_tick(self) -> None:
+        now = time.time()
+        dead: List[Tuple[_WorkerHandle, str]] = []
+        to_start: List[int] = []
+        with self._lock:
+            for handle in self._workers:
+                if handle.state in (STARTING, RUNNING):
+                    process = handle.process
+                    if process is not None and not process.is_alive():
+                        dead.append((handle, "crashed"))
+                    elif (
+                        handle.state == RUNNING
+                        and now - self._heartbeat[handle.index]
+                        > self.hang_timeout_s
+                    ):
+                        dead.append((handle, "hung"))
+                    elif (
+                        handle.state == STARTING
+                        and now - handle.started_at
+                        > self.start_timeout_s
+                    ):
+                        dead.append((handle, "start-timeout"))
+                elif (
+                    handle.state == BACKOFF
+                    and handle.restart_at <= now
+                    and handle.restart_at > 0
+                ):
+                    to_start.append(handle.index)
+        expired: List[_Pending] = []
+        with self._lock:
+            # Parked requests (worker=None, waiting out an outage)
+            # are the supervisor's to expire; dispatched ones get
+            # their "deadline" answer from the worker that holds them.
+            for pending in list(self._pending.values()):
+                if pending.worker is None and now > pending.deadline:
+                    self._pending.pop(pending.rid, None)
+                    expired.append(pending)
+        for pending in expired:
+            if pending.future.done():  # pragma: no cover - resolved late
+                continue
+            pending.future.set_exception(
+                DeadlineExceeded(
+                    f"request {pending.rid} expired while parked "
+                    f"(no worker available)"
+                )
+            )
+            self.metrics.record_error()
+            self.metrics.record_problem(
+                "deadline-expired", f"request {pending.rid} (parked)"
+            )
+        for handle, reason in dead:
+            self._handle_worker_death(handle, reason)
+        for index in to_start:
+            self._start_worker(index)
 
     def _handle_worker_death(
         self, handle: _WorkerHandle, reason: str
@@ -722,7 +759,12 @@ class FleetServer:
             )
             if retryable:
                 with self._lock:
-                    if pending.rid in self._pending:
+                    if pending.rid not in self._pending:
+                        # The collector raced us: the worker answered
+                        # before dying and the future is already
+                        # resolved.  Nothing to retry or fail.
+                        outcome = "resolved"
+                    else:
                         pending.worker = None
                         candidates = [
                             h for h in self._workers if h.state == RUNNING
@@ -734,11 +776,14 @@ class FleetServer:
                             outcome = "parked"
             else:
                 with self._lock:
-                    self._pending.pop(pending.rid, None)
+                    if self._pending.pop(pending.rid, None) is None:
+                        outcome = "resolved"
             if outcome == "retried":
                 self.metrics.record_retry()
                 continue
-            if outcome == "parked":
+            if outcome in ("parked", "resolved"):
+                continue
+            if pending.future.done():  # pragma: no cover - resolved late
                 continue
             pending.future.set_exception(
                 WorkerCrashed(
@@ -857,6 +902,7 @@ class FleetServer:
                 except (queue_mod.Full, ValueError, OSError, AssertionError):
                     pass  # the worker will be restarted by the watchdog
             new_artifact.unlink()
+            new_artifact.close()
             self.metrics.record_problem(
                 "swap-rollback",
                 f"epoch {new_epoch}: failed={failed} "

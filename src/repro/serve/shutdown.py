@@ -89,6 +89,15 @@ def install_signal_handlers(
         return False
 
     def _handler(signum: int, frame: Optional[types.FrameType]) -> None:
+        # Disarm first: teardown holds non-reentrant server locks on this
+        # (main) thread, so a repeated SIGINT/SIGTERM re-entering the
+        # handler mid-close would deadlock on them.  SIG_IGN until the
+        # teardown finishes; uninstall below restores the real handlers.
+        for sig in signals:
+            try:
+                signal.signal(sig, signal.SIG_IGN)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
         close_all()
         if on_shutdown is not None:
             on_shutdown(signum)

@@ -224,6 +224,94 @@ class TestDeploy:
                 fleet.deploy(wrong)
 
 
+class TestSupervisorRaces:
+    """Regressions for collector/watchdog races around worker death."""
+
+    def test_retry_skips_victim_already_resolved_by_collector(
+        self, artifact, fitted
+    ):
+        # A worker can answer a request and then die: the collector may
+        # resolve the future before the watchdog's retry bookkeeping
+        # runs.  _retry_or_fail must treat the settled request as done —
+        # a second set_exception would raise InvalidStateError and kill
+        # the watchdog thread for the rest of the fleet's life.
+        from repro.serve.fleet.server import _Pending
+
+        _, test_x = fitted
+        with FleetServer(artifact, n_workers=1) as fleet:
+            resolved = _Pending("predict", test_x[:1], time.time() + 5.0)
+            resolved.rid = 10_000
+            resolved.future.set_result("answered before death")
+            fleet._retry_or_fail([resolved])  # retryable branch
+            assert resolved.future.result() == "answered before death"
+
+            scores = _Pending("scores", test_x[:1], time.time() + 5.0)
+            scores.rid = 10_001
+            scores.future.set_result("answered too")
+            fleet._retry_or_fail([scores])  # non-retryable branch
+            assert scores.future.result() == "answered too"
+
+            assert fleet.metrics.problem_counts().get(
+                "request-lost", 0
+            ) == 0
+            assert fleet._watchdog.is_alive()
+
+    def test_watchdog_survives_tick_error(self, artifact, monkeypatch):
+        # One bad tick (a single request's bookkeeping error) must never
+        # take down the supervisor thread: no more restarts, hang
+        # detection, or parked-request expiry would be fatal.
+        with FleetServer(artifact, n_workers=1) as fleet:
+            calls = {"n": 0}
+            original = fleet._watch_tick
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("boom")
+                return original()
+
+            monkeypatch.setattr(fleet, "_watch_tick", flaky)
+            assert _wait_for(lambda: calls["n"] >= 2)
+            assert fleet._watchdog.is_alive()
+            assert fleet.metrics.problem_counts().get(
+                "watchdog-error", 0
+            ) >= 1
+
+    def test_stale_sender_response_leaves_redispatched_pending(
+        self, artifact, fitted
+    ):
+        # A dead worker's late answer (already in the pipe when it died)
+        # must not settle a request that was re-dispatched to a
+        # survivor: the survivor owns the answer, and accepting the
+        # stale one would leak the survivor's ``assigned`` slot forever.
+        from repro.serve.fleet.server import _Pending
+
+        _, test_x = fitted
+        with FleetServer(artifact, n_workers=2) as fleet:
+            stale_sender, owner = fleet._workers
+            pending = _Pending("predict", test_x[:1], time.time() + 5.0)
+            pending.rid = 20_000
+            with fleet._lock:
+                pending.worker = owner
+                owner.assigned += 1
+                fleet._pending[pending.rid] = pending
+                before = owner.assigned
+
+            fleet._on_response(
+                stale_sender, ("res", pending.rid, "ok", "stale")
+            )
+            assert not pending.future.done()
+            with fleet._lock:
+                assert pending.rid in fleet._pending
+                assert owner.assigned == before
+
+            fleet._on_response(owner, ("res", pending.rid, "ok", "fresh"))
+            assert pending.future.result() == "fresh"
+            with fleet._lock:
+                assert pending.rid not in fleet._pending
+                assert owner.assigned == before - 1
+
+
 class TestHelpers:
     def test_as_quantized_artifact_passthrough(self, artifact):
         assert as_quantized_artifact(artifact) is artifact

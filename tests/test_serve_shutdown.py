@@ -115,6 +115,40 @@ class TestSignalHandlers:
         finally:
             signal.signal(signal.SIGUSR1, previous)
 
+    def test_repeated_signal_mid_teardown_does_not_reenter(self):
+        # Teardown runs on the main thread holding non-reentrant server
+        # locks; a second SIGINT/SIGTERM arriving mid-close() used to
+        # re-enter the handler on that same thread and deadlock.  The
+        # handler now disarms (SIG_IGN) before closing, so a repeated
+        # signal during teardown is dropped and close() runs exactly
+        # once.
+        chained = []
+        previous = signal.signal(
+            signal.SIGUSR1, lambda signum, frame: chained.append(signum)
+        )
+        try:
+            closes = []
+
+            class _Reraiser:
+                def close(self):
+                    closes.append("close")
+                    # The repeated signal, delivered synchronously on
+                    # this (main) thread while teardown is in progress.
+                    signal.raise_signal(signal.SIGUSR1)
+
+            shutdown.register(_Reraiser())
+            assert shutdown.install_signal_handlers(
+                signals=(signal.SIGUSR1,)
+            )
+            os.kill(os.getpid(), signal.SIGUSR1)
+            assert closes == ["close"]
+            # Only the handler's own post-teardown re-raise reached the
+            # restored previous handler — the mid-close one was ignored.
+            assert chained == [signal.SIGUSR1]
+            assert not shutdown.handlers_installed()
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+
     def test_install_refused_off_main_thread(self):
         results = []
         thread = threading.Thread(
