@@ -30,6 +30,16 @@ crash-loop circuit breaker tripping, and multi-worker throughput scaling
 gates n-worker throughput against the baseline when both sides carry the
 scenario.
 
+When the current payload carries the encode_latency scenario (schema 7),
+the gate enforces the structured-encoding invariants on the current
+payload alone — the FWHT kernel bit-identical to the naive Hadamard
+matmul at float64 (and within its float32 bound), the dense/structured
+accuracy delta inside the scenario's tolerance, and the committed
+single-sample encode speedup floor at the headline dimension
+(``MIN_ENCODE_SPEEDUP`` at ``D >= ENCODE_GATE_DIM``) — and additionally
+gates the structured encode time against the baseline when both sides
+carry the scenario.
+
 Every comparator section is isolated: a malformed section reports itself
 as a failure and the remaining sections still run, so one bad record
 cannot mask other regressions.
@@ -72,6 +82,17 @@ MIN_FLEET_SCALING = 3.0
 #: Maximum seconds the fleet may take to restore all workers to RUNNING
 #: after a mid-load SIGKILL.
 MAX_RECOVERY_S = 2.0
+
+#: Minimum single-sample structured-encode speedup over the dense RBF
+#: path, enforced when the scenario's gate point sits at (or above) the
+#: headline dimension.  Speedups are same-process ratios of back-to-back
+#: measurements, so they stay meaningful even where the absolute
+#: microsecond timings sit below MIN_GATED_SECONDS.
+MIN_ENCODE_SPEEDUP = 4.0
+
+#: Headline dimension the encode speedup floor is committed at; smaller
+#: gate points (ad-hoc runs) record their speedup but are not floored.
+ENCODE_GATE_DIM = 4096
 
 
 def _serving_scenario(payload: dict) -> dict:
@@ -249,6 +270,78 @@ def compare_fleet(current: dict, baseline: dict, factor: float) -> list:
     return problems
 
 
+def _encode_scenario(payload: dict) -> dict:
+    return (payload.get("scenarios") or {}).get("encode_latency") or {}
+
+
+def compare_encode(current: dict, baseline: dict, factor: float) -> list:
+    """Gate the encode-latency scenario: exactness, parity, speedup floor."""
+    problems = []
+    now = _encode_scenario(current)
+    if not now:
+        return problems  # scenario absent: nothing to gate
+    # Exactness and accuracy parity are absolute properties of the FWHT
+    # kernel and the structured encoder — gated on the current payload
+    # alone, no baseline needed.
+    for entry in now.get("fwht_exactness") or []:
+        if entry.get("float64_bit_identical") is False:
+            problems.append(
+                f"encode_latency.fwht_exactness: m={entry.get('m')} float64 "
+                f"transform diverges from the naive Hadamard matmul"
+            )
+        if entry.get("float32_ok") is False:
+            problems.append(
+                f"encode_latency.fwht_exactness: m={entry.get('m')} float32 "
+                f"error {entry.get('float32_max_abs_err')} exceeds bound "
+                f"{entry.get('float32_tol')}"
+            )
+    acc = now.get("accuracy") or {}
+    if acc.get("passed") is False:
+        problems.append(
+            f"encode_latency.accuracy: fastfood vs rbf delta "
+            f"{acc.get('delta')} outside ±{acc.get('tolerance')} at "
+            f"D={acc.get('dim')}"
+        )
+    gate = now.get("gate") or {}
+    speedup = gate.get("speedup")
+    gate_dim = gate.get("dim")
+    if (
+        speedup is not None
+        and gate_dim is not None
+        and int(gate_dim) >= ENCODE_GATE_DIM
+        and float(speedup) < MIN_ENCODE_SPEEDUP
+    ):
+        problems.append(
+            f"encode_latency.gate: single-sample speedup "
+            f"{float(speedup):.2f}x at D={gate_dim} "
+            f"(< {MIN_ENCODE_SPEEDUP:.1f}x floor)"
+        )
+    # Baseline-relative: the structured encode time at the gate point.
+    then = _encode_scenario(baseline)
+
+    def _gate_point_fastfood_s(payload_scenario: dict):
+        g = payload_scenario.get("gate") or {}
+        for entry in payload_scenario.get("timings") or []:
+            if entry.get("dim") != g.get("dim"):
+                continue
+            for row in entry.get("batches") or []:
+                if row.get("batch") == g.get("batch"):
+                    return row.get("fastfood_s")
+        return None
+
+    now_s = _gate_point_fastfood_s(now)
+    then_s = _gate_point_fastfood_s(then)
+    if now_s is not None and then_s is not None:
+        now_s, then_s = float(now_s), float(then_s)
+        ratio = now_s / max(then_s, MIN_GATED_SECONDS)
+        if now_s > MIN_GATED_SECONDS and ratio > factor:
+            problems.append(
+                f"encode_latency.fastfood_s: {now_s:.4f}s vs baseline "
+                f"{then_s:.4f}s ({ratio:.2f}x > {factor:.1f}x allowed)"
+            )
+    return problems
+
+
 def compare_models(current: dict, baseline: dict, factor: float,
                    floor: float = MIN_GATED_SECONDS) -> list:
     """Gate per-model fit/predict timings against the baseline records."""
@@ -281,6 +374,7 @@ SECTIONS = (
     ("serving", compare_serving),
     ("packed_vs_int8", compare_packed),
     ("fleet_resilience", compare_fleet),
+    ("encode_latency", compare_encode),
 )
 
 

@@ -10,7 +10,9 @@ module, ``np.random.default_rng()`` with no argument, time-derived
 values, ``os.urandom`` / ``uuid4`` / ``secrets``) in the encoder
 construction path, the shard machinery or the split logic silently
 breaks bit-exact determinism across workers — a merge of incompatible
-banks, not an error.  Scope: ``hdc/encoders/``, ``engine/shard.py``,
+banks, not an error.  Scope: ``hdc/encoders/`` (the structured SORF
+encoders in ``hdc/encoders/structured.py`` included), ``hdc/fwht.py``
+(the FWHT kernel those encoders build on), ``engine/shard.py``,
 ``datasets/splits.py``.
 """
 
@@ -62,6 +64,8 @@ class SeedDeterminismRule(Rule):
     )
     paths: Tuple[str, ...] = (
         "hdc/encoders",
+        "hdc/encoders/structured.py",
+        "hdc/fwht.py",
         "engine/shard.py",
         "datasets/splits.py",
     )

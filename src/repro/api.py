@@ -78,6 +78,11 @@ class ExperimentSpec:
         corresponding hyper-parameters (the HDC family); ``None`` leaves the
         model's own defaults in place.  An explicit entry in
         ``model_params`` always wins.
+    encoder:
+        Encoder spec (see :func:`repro.hdc.encoders.make_encoder` —
+        ``"rbf"``, ``"fastfood-rbf"``, ...) for models that declare an
+        ``encoder`` hyper-parameter; ``None`` keeps each model's own
+        default.  ``model_params`` wins as usual.
     n_jobs:
         Parallel workers for models that declare an ``n_jobs``
         hyper-parameter (the sharding-capable HDC family): more than one
@@ -96,6 +101,7 @@ class ExperimentSpec:
     inference_repeats: int = 1
     backend: Optional[str] = None
     dtype: Optional[str] = None
+    encoder: Optional[str] = None
     n_jobs: Optional[int] = None
 
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
@@ -172,7 +178,7 @@ def run_experiment(
     )
     params = dict(spec.model_params)
     declared = get_model_spec(spec.model).param_names()
-    for knob in ("backend", "dtype", "n_jobs"):
+    for knob in ("backend", "dtype", "encoder", "n_jobs"):
         value = getattr(spec, knob)
         if value is not None and knob in declared and knob not in params:
             params[knob] = value

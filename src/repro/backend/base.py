@@ -110,6 +110,16 @@ class ArrayBackend(abc.ABC):
     def zeros(self, shape: Any, dtype: Any = np.float64) -> Any:
         """A zero-filled native array."""
 
+    def empty(self, shape: Any, dtype: Any = np.float64) -> Any:
+        """An *uninitialised* native array — for outputs every element of
+        which the caller overwrites (chunked encode windows, block-stacked
+        encoder outputs), where :meth:`zeros`'s fill is pure waste.
+
+        The base implementation falls back to :meth:`zeros` so subclasses
+        only override when the engine has a real uninitialised constructor.
+        """
+        return self.zeros(shape, dtype=dtype)
+
     @abc.abstractmethod
     def copy(self, x: Any) -> Any:
         """A defensive copy of a native array."""
@@ -423,6 +433,34 @@ class ArrayBackend(abc.ABC):
             raise ValueError(f"unknown normalization {normalization!r}")
         safe = self.where(norms > eps, norms, self.ones_like(norms))
         return x / safe
+
+    def fwht_rows(self, x: Any) -> Any:
+        """Walsh–Hadamard-transform every row of a native 2-D array.
+
+        Computes ``x @ H`` for the *unnormalised* Sylvester–Hadamard matrix
+        ``H`` of order ``x.shape[1]`` (which must be a power of two) in
+        ``O(m log m)`` per row — the kernel behind the structured
+        (SORF/Fastfood) encoders of
+        :mod:`repro.hdc.encoders.structured`.  Callers fold any ``1/√m``
+        normalisation into their own scaling, keeping the transform
+        integer-exact (see :mod:`repro.hdc.fwht`).
+
+        **In-place contract:** when ``x`` is a native, writable,
+        C-contiguous array the backend MAY transform it in place and return
+        it — callers must pass a buffer they own and always use the return
+        value.  Encoder chains (``H D₃ H D₂ H D₁ x``) rely on this to reuse
+        one work buffer across the whole chain.
+
+        Default implementation round-trips through NumPy and the blocked
+        butterfly kernel of :mod:`repro.hdc.fwht`; backends override to
+        stay native.
+        """
+        from repro.hdc import fwht as _fwht
+
+        arr = np.array(self.to_numpy(x), copy=True, order="C")  # repro: allow[backend-purity] copy preserves input dtype
+        return self.asarray(
+            _fwht.fwht_rows_inplace(arr), dtype=arr.dtype
+        )
 
     # ------------------------------------------------------- packed binary
 

@@ -36,6 +36,9 @@ class NumpyBackend(ArrayBackend):
     def zeros(self, shape: Any, dtype: Any = np.float64) -> Any:
         return np.zeros(shape, dtype=dtype)
 
+    def empty(self, shape: Any, dtype: Any = np.float64) -> Any:
+        return np.empty(shape, dtype=dtype)
+
     def copy(self, x: Any) -> Any:
         return np.array(x, copy=True)  # repro: allow[backend-purity] copy preserves input dtype
 
@@ -211,6 +214,24 @@ class NumpyBackend(ArrayBackend):
         if k >= np.shape(x)[axis]:
             return np.argsort(-np.asarray(x), axis=axis, kind="stable")
         return np.argpartition(-np.asarray(x), k - 1, axis=axis)
+
+    def fwht_rows(self, x: Any) -> Any:
+        # Tuned over the generic path: transform genuinely in place when the
+        # caller hands a contiguous writable float array (the encoder chains
+        # do), skipping the generic implementation's defensive copy.
+        from repro.hdc.fwht import fwht_rows_inplace
+
+        arr = np.asarray(x)
+        if not (
+            arr.ndim == 2
+            and arr.flags.c_contiguous
+            and arr.flags.writeable
+            and np.issubdtype(arr.dtype, np.floating)
+        ):
+            arr = np.array(arr, copy=True, order="C")  # repro: allow[backend-purity] transform preserves input dtype
+            if not np.issubdtype(arr.dtype, np.floating):
+                arr = arr.astype(np.float64)
+        return fwht_rows_inplace(arr)
 
     # ------------------------------------------------------- packed binary
 

@@ -98,6 +98,15 @@ class TorchBackend(ArrayBackend):
             device=self.device,
         )
 
+    def empty(self, shape: Any, dtype: Any = np.float64) -> Any:
+        return self._torch.empty(
+            tuple(np.atleast_1d(shape).tolist())
+            if not isinstance(shape, tuple)
+            else shape,
+            dtype=self._dtype(dtype),
+            device=self.device,
+        )
+
     def copy(self, x: Any) -> Any:
         return x.clone()
 
@@ -224,6 +233,55 @@ class TorchBackend(ArrayBackend):
     def argpartition_desc(self, x: Any, k: int, axis: int = -1) -> Any:
         # torch has no partial partition; topk is its optimised equivalent.
         return self._torch.topk(x, min(k, x.shape[axis]), dim=axis).indices
+
+    def fwht_rows(self, x: Any) -> Any:
+        # Native tensor mirror of repro.hdc.fwht: each balanced Kronecker
+        # factor of H_m is one batched GEMM along its axis, ping-ponged
+        # between the input and one scratch tensor.  Per-sample operand
+        # shapes are n-independent (row-count-invariant rounding) and the
+        # transform honors the in-place contract for contiguous floating
+        # native input.
+        from repro.hdc import fwht as _fwht
+
+        torch = self._torch
+        if not isinstance(x, torch.Tensor):
+            return super().fwht_rows(x)
+        if x.ndim != 2:
+            raise ValueError(f"fwht_rows needs a 2-D array, got {x.ndim}-D")
+        n, m = x.shape
+        if not _fwht.is_pow2(m):
+            raise ValueError(
+                f"fwht_rows needs a power-of-two column count, got {m}"
+            )
+        if not x.is_floating_point():
+            x = x.to(torch.float64)
+        elif not x.is_contiguous():
+            x = x.contiguous()
+        if m == 1 or n == 0:
+            return x
+        scratch = torch.empty_like(x)
+        src, dst = x, scratch
+        pre, post = 1, m
+        for f in _fwht._factor_orders(m):
+            post //= f
+            H = torch.as_tensor(
+                _fwht._h_factor(f, np.float64), device=x.device
+            ).to(x.dtype)
+            if post == 1:
+                torch.matmul(
+                    src.reshape(n, pre, f), H, out=dst.reshape(n, pre, f)
+                )
+            else:
+                torch.matmul(
+                    H,
+                    src.reshape(n * pre, f, post),
+                    out=dst.reshape(n * pre, f, post),
+                )
+            src, dst = dst, src
+            pre *= f
+        if src is not x:
+            x.copy_(src)
+        return x
 
     # ------------------------------------------------------- packed binary
 

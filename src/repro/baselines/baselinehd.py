@@ -28,8 +28,7 @@ from repro.engine.callbacks import ConvergenceCallback, EngineState, HistoryCall
 from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
 from repro.hdc.encoders.id_level import IDLevelEncoder
-from repro.hdc.encoders.projection import RandomProjectionEncoder
-from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.encoders.registry import list_encoders, make_encoder
 from repro.hdc.memory import AssociativeMemory
 from repro.utils.rng import as_rng, spawn_seed
 from repro.utils.validation import (
@@ -59,9 +58,11 @@ class BaselineHDClassifier(BaseClassifier):
         one-shot initialisation).  Disable for a from-zero perceptron run.
     encoder:
         ``"id-level"`` (default) for the faithful ISLPED record-based
-        encoder, ``"sign"`` for a bipolar sign-projection encoder, or
-        ``"rbf"`` for the real-valued RBF encoder (ablations isolating the
-        encoder choice from the training rule).
+        encoder, ``"sign"`` (alias of ``"projection-sign"``) for a bipolar
+        sign-projection encoder, or any registry spec
+        (:func:`repro.hdc.encoders.make_encoder` — e.g. ``"rbf"``,
+        ``"fastfood-rbf"``) for ablations isolating the encoder choice
+        from the training rule.
     n_levels:
         Quantisation levels for the ID-level encoder.
     bandwidth, seed:
@@ -99,9 +100,12 @@ class BaselineHDClassifier(BaseClassifier):
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
-        if encoder not in ("id-level", "sign", "rbf"):
+        if encoder not in ("id-level", "sign") and (
+            str(encoder).strip().lower() not in list_encoders()
+        ):
             raise ValueError(
-                f"encoder must be 'id-level', 'sign' or 'rbf', got {encoder!r}"
+                f"encoder must be 'id-level', 'sign' or a registry spec "
+                f"{list_encoders()}, got {encoder!r}"
             )
         if n_levels < 2:
             raise ValueError(f"n_levels must be >= 2, got {n_levels}")
@@ -131,12 +135,12 @@ class BaselineHDClassifier(BaseClassifier):
             return IDLevelEncoder(
                 n_features, self.dim, n_levels=self.n_levels, **kwargs
             )
-        if self.encoder_kind == "sign":
-            return RandomProjectionEncoder(
-                n_features, self.dim, activation="sign", **kwargs
-            )
-        return RBFEncoder(
-            n_features, self.dim, bandwidth=self.bandwidth, **kwargs
+        spec = (
+            "projection-sign" if self.encoder_kind == "sign"
+            else self.encoder_kind
+        )
+        return make_encoder(
+            spec, n_features, self.dim, bandwidth=self.bandwidth, **kwargs
         )
 
     def _fit(

@@ -26,7 +26,11 @@ from repro.core.history import IterationRecord, TrainingHistory
 from repro.engine.callbacks import ConvergenceCallback, EngineState, HistoryCallback
 from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
-from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.encoders import (
+    RegenerableEncoder,
+    list_encoders,
+    make_encoder,
+)
 from repro.hdc.memory import AssociativeMemory
 from repro.utils.rng import as_rng, spawn_seed
 from repro.utils.validation import (
@@ -86,6 +90,7 @@ class NeuralHDClassifier(BaseClassifier):
         regen_rate: float = 0.10,
         lr: float = 0.05,
         iterations: int = 30,
+        encoder: str = "rbf",
         bandwidth: float = 0.5,
         single_pass_init: bool = True,
         rebundle_on_regen: bool = False,
@@ -101,6 +106,11 @@ class NeuralHDClassifier(BaseClassifier):
         self.regen_rate = check_unit_interval(regen_rate, "regen_rate")
         self.lr = check_positive_float(lr, "lr")
         self.iterations = check_positive_int(iterations, "iterations")
+        if str(encoder).strip().lower() not in list_encoders():
+            raise ValueError(
+                f"encoder must be one of {list_encoders()}, got {encoder!r}"
+            )
+        self.encoder = str(encoder)
         self.bandwidth = float(bandwidth)
         self.single_pass_init = bool(single_pass_init)
         self.rebundle_on_regen = bool(rebundle_on_regen)
@@ -111,7 +121,7 @@ class NeuralHDClassifier(BaseClassifier):
         self.dtype = resolve_dtype(dtype)
         self.backend = get_backend(backend)
         self.seed = seed
-        self.encoder_: Optional[RBFEncoder] = None
+        self.encoder_: Optional[RegenerableEncoder] = None
         self.memory_: Optional[AssociativeMemory] = None
         self.history_: Optional[TrainingHistory] = None
         self.n_iterations_: int = 0
@@ -126,8 +136,8 @@ class NeuralHDClassifier(BaseClassifier):
     ) -> None:
         n_classes = int(self.classes_.size)
         rng = as_rng(self.seed)
-        self.encoder_ = RBFEncoder(
-            X.shape[1], self.dim, bandwidth=self.bandwidth,
+        self.encoder_ = make_encoder(
+            self.encoder, X.shape[1], self.dim, bandwidth=self.bandwidth,
             seed=spawn_seed(rng), dtype=self.dtype, backend=self.backend,
         )
         self.memory_ = AssociativeMemory(

@@ -19,7 +19,11 @@ from repro.core.history import IterationRecord, TrainingHistory
 from repro.engine.callbacks import ConvergenceCallback, EngineState, HistoryCallback
 from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
-from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.encoders import (
+    RegenerableEncoder,
+    list_encoders,
+    make_encoder,
+)
 from repro.hdc.memory import AssociativeMemory
 from repro.utils.rng import as_rng, spawn_seed
 from repro.utils.validation import (
@@ -54,6 +58,7 @@ class OnlineHDClassifier(BaseClassifier):
         iterations: int = 30,
         batch_size: Optional[int] = None,
         single_pass_init: bool = True,
+        encoder: str = "rbf",
         bandwidth: float = 0.5,
         convergence_patience: Optional[int] = 5,
         convergence_tol: float = 1e-3,
@@ -68,6 +73,11 @@ class OnlineHDClassifier(BaseClassifier):
         self.iterations = check_positive_int(iterations, "iterations")
         self.batch_size = batch_size
         self.single_pass_init = bool(single_pass_init)
+        if str(encoder).strip().lower() not in list_encoders():
+            raise ValueError(
+                f"encoder must be one of {list_encoders()}, got {encoder!r}"
+            )
+        self.encoder = str(encoder)
         self.bandwidth = float(bandwidth)
         self.convergence_patience, self.convergence_tol = (
             check_convergence_params(convergence_patience, convergence_tol)
@@ -76,7 +86,7 @@ class OnlineHDClassifier(BaseClassifier):
         self.dtype = resolve_dtype(dtype)
         self.backend = get_backend(backend)
         self.seed = seed
-        self.encoder_: Optional[RBFEncoder] = None
+        self.encoder_: Optional[RegenerableEncoder] = None
         self.memory_: Optional[AssociativeMemory] = None
         self.history_: Optional[TrainingHistory] = None
         self.n_iterations_: int = 0
@@ -93,8 +103,8 @@ class OnlineHDClassifier(BaseClassifier):
         n_classes = int(self.classes_.size)
         self._bundle_first_batch = False
         rng = as_rng(self.seed)
-        self.encoder_ = RBFEncoder(
-            X.shape[1], self.dim, bandwidth=self.bandwidth,
+        self.encoder_ = make_encoder(
+            self.encoder, X.shape[1], self.dim, bandwidth=self.bandwidth,
             seed=spawn_seed(rng), dtype=self.dtype, backend=self.backend,
         )
         self.memory_ = AssociativeMemory(
@@ -151,8 +161,8 @@ class OnlineHDClassifier(BaseClassifier):
         """One streamed mini-batch: encode, then one adaptive pass."""
         if self.encoder_ is None:
             rng = as_rng(self.seed)
-            self.encoder_ = RBFEncoder(
-                self.n_features_, self.dim,
+            self.encoder_ = make_encoder(
+                self.encoder, self.n_features_, self.dim,
                 bandwidth=self.bandwidth, seed=spawn_seed(rng),
                 dtype=self.dtype, backend=self.backend,
             )

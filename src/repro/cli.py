@@ -70,6 +70,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="capacity knob: hypervector dimensionality / hidden width / "
         "random-feature count (ignored by models without a dim parameter)",
     )
+    parser.add_argument(
+        "--encoder", default=None,
+        help="encoder spec from the registry (rbf | fastfood-rbf | "
+        "projection-{linear,sign,tanh,cos} | structured-{...}; ignored "
+        "by models without an encoder parameter)",
+    )
 
 
 def _add_n_jobs(parser: argparse.ArgumentParser, help_text: str) -> None:
@@ -82,7 +88,13 @@ def _add_n_jobs(parser: argparse.ArgumentParser, help_text: str) -> None:
 def _model_params(name: str, args: argparse.Namespace) -> dict:
     """CLI knobs, filtered to what the registered model declares."""
     declared = get_model_spec(name).param_names()
-    return {"dim": args.dim} if "dim" in declared else {}
+    params: dict = {}
+    if "dim" in declared:
+        params["dim"] = args.dim
+    encoder = getattr(args, "encoder", None)
+    if encoder is not None and "encoder" in declared:
+        params["encoder"] = encoder
+    return params
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -208,6 +220,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_serving=not args.no_serving,
         include_packed=not args.no_packed,
         include_fleet=not args.no_fleet,
+        include_encode=not args.no_encode,
     )
     print(format_bench_table(payload))
     if args.output:
@@ -338,6 +351,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                 max_wait_ms=args.max_wait_ms,
                 seed=args.seed,
                 swap=not args.no_swap,
+                encoder=args.encoder or "rbf",
             ),
         }
     text = json.dumps(payload, indent=2)
@@ -585,6 +599,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-fleet", action="store_true",
         help="skip the multi-process fleet resilience scenario",
+    )
+    bench.add_argument(
+        "--no-encode", action="store_true",
+        help="skip the dense-vs-structured encode-latency scenario",
     )
     bench.add_argument("--output", default=None, help="JSON output path")
 

@@ -53,8 +53,15 @@ class DistHDConfig:
         trained ("regenerate ... for a more positive impact on the
         classification", §III-C).  Disable to let only subsequent adaptive
         iterations heal the reset columns (NeuralHD's convention).
+    encoder:
+        Encoder spec from the registry
+        (:func:`repro.hdc.encoders.make_encoder`): ``"rbf"`` (paper
+        default, dense O(q·D) projection) or ``"fastfood-rbf"`` (structured
+        SORF chain, O(D log D) encode with O(D) parameter memory), plus the
+        ``projection-*`` / ``structured-*`` ablation families.
     bandwidth:
-        RBF encoder bandwidth.
+        RBF encoder bandwidth (kernel-width knob of the RBF-family
+        encoders; the plain projection encoders ignore it).
     incorrect_rule:
         Which formula scores incorrect samples — ``"prose"`` (§III-C text,
         the self-consistent default) or ``"algorithm-box"`` (Algorithm 2
@@ -117,6 +124,7 @@ class DistHDConfig:
     batch_size: Optional[int] = None
     single_pass_init: bool = True
     rebundle_on_regen: bool = True
+    encoder: str = "rbf"
     bandwidth: float = 0.5
     incorrect_rule: str = "prose"
     normalization: str = "l2"
@@ -149,6 +157,15 @@ class DistHDConfig:
         check_positive_int(self.iterations, "iterations")
         check_optional_positive_int(self.batch_size, "batch_size")
         check_positive_float(self.bandwidth, "bandwidth")
+        # Fail fast on unknown encoder specs (same spirit as the backend /
+        # dtype checks below).
+        from repro.hdc.encoders import list_encoders
+
+        if str(self.encoder).strip().lower() not in list_encoders():
+            raise ValueError(
+                f"encoder must be one of {list_encoders()}, "
+                f"got {self.encoder!r}"
+            )
         if self.incorrect_rule not in VALID_INCORRECT_RULES:
             raise ValueError(
                 f"incorrect_rule must be one of {VALID_INCORRECT_RULES}, "

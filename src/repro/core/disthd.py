@@ -30,7 +30,7 @@ from repro.engine.callbacks import ConvergenceCallback, EngineState, HistoryCall
 from repro.engine.training import IterationContext, TrainingEngine
 from repro.estimator import BaseClassifier
 from repro.backend import get_backend
-from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.encoders import RegenerableEncoder, make_encoder
 from repro.hdc.memory import AssociativeMemory
 from repro.utils.rng import as_rng, spawn_seed
 from repro.utils.validation import check_features_match, check_matrix
@@ -51,7 +51,9 @@ class DistHDClassifier(BaseClassifier):
     Attributes
     ----------
     encoder_:
-        The fitted :class:`~repro.hdc.encoders.rbf.RBFEncoder`.
+        The fitted encoder (a
+        :class:`~repro.hdc.encoders.base.RegenerableEncoder` built from
+        ``config.encoder`` via the encoder registry).
     memory_:
         The fitted class-hypervector :class:`~repro.hdc.memory.AssociativeMemory`.
     history_:
@@ -75,7 +77,7 @@ class DistHDClassifier(BaseClassifier):
         super().__init__()
         base = config if config is not None else DistHDConfig()
         self.config = base.with_overrides(**overrides) if overrides else base
-        self.encoder_: Optional[RBFEncoder] = None
+        self.encoder_: Optional[RegenerableEncoder] = None
         self.memory_: Optional[AssociativeMemory] = None
         self.history_: Optional[TrainingHistory] = None
         self.n_iterations_: int = 0
@@ -107,8 +109,9 @@ class DistHDClassifier(BaseClassifier):
         self._reset_stream_state()
         rng = as_rng(cfg.seed)
         backend = get_backend(cfg.backend)
-        self.encoder_ = RBFEncoder(
-            X.shape[1], cfg.dim, bandwidth=cfg.bandwidth, seed=spawn_seed(rng),
+        self.encoder_ = make_encoder(
+            cfg.encoder, X.shape[1], cfg.dim,
+            bandwidth=cfg.bandwidth, seed=spawn_seed(rng),
             dtype=cfg.dtype, backend=backend,
         )
         self.memory_ = AssociativeMemory(
@@ -223,8 +226,8 @@ class DistHDClassifier(BaseClassifier):
         encoder_seed, reservoir_seed = spawn_seed(rng), spawn_seed(rng)
         if self.encoder_ is None:
             backend = get_backend(cfg.backend)
-            self.encoder_ = RBFEncoder(
-                self.n_features_, cfg.dim,
+            self.encoder_ = make_encoder(
+                cfg.encoder, self.n_features_, cfg.dim,
                 bandwidth=cfg.bandwidth, seed=encoder_seed,
                 dtype=cfg.dtype, backend=backend,
             )

@@ -323,7 +323,10 @@ class QuantizedHDCModel:
         code array itself is reported separately).
         """
         encoder_floats = 0
-        for attr in ("base_vectors", "phases", "id_vectors", "level_vectors"):
+        for attr in (
+            "base_vectors", "phases", "id_vectors", "level_vectors",
+            "signs", "scales",
+        ):
             value = getattr(self.encoder, attr, None)
             if value is not None:
                 encoder_floats += int(np.asarray(value).size)

@@ -36,11 +36,17 @@ from repro.hdc.spaces import (
     random_level_hypervectors,
 )
 from repro.hdc.encoders import (
+    DEFAULT_ENCODER,
     Encoder,
+    FastfoodRBFEncoder,
     IDLevelEncoder,
     NGramEncoder,
     RandomProjectionEncoder,
     RBFEncoder,
+    StructuredProjectionEncoder,
+    list_encoders,
+    make_encoder,
+    register_encoder,
 )
 
 __all__ = [
@@ -65,4 +71,10 @@ __all__ = [
     "NGramEncoder",
     "RandomProjectionEncoder",
     "RBFEncoder",
+    "StructuredProjectionEncoder",
+    "FastfoodRBFEncoder",
+    "DEFAULT_ENCODER",
+    "make_encoder",
+    "register_encoder",
+    "list_encoders",
 ]

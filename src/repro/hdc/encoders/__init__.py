@@ -10,6 +10,16 @@ from repro.hdc.encoders.id_level import IDLevelEncoder
 from repro.hdc.encoders.ngram import NGramEncoder
 from repro.hdc.encoders.projection import RandomProjectionEncoder
 from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.encoders.registry import (
+    DEFAULT_ENCODER,
+    list_encoders,
+    make_encoder,
+    register_encoder,
+)
+from repro.hdc.encoders.structured import (
+    FastfoodRBFEncoder,
+    StructuredProjectionEncoder,
+)
 
 __all__ = [
     "Encoder",
@@ -18,4 +28,10 @@ __all__ = [
     "NGramEncoder",
     "RandomProjectionEncoder",
     "RBFEncoder",
+    "StructuredProjectionEncoder",
+    "FastfoodRBFEncoder",
+    "DEFAULT_ENCODER",
+    "make_encoder",
+    "register_encoder",
+    "list_encoders",
 ]

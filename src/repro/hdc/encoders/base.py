@@ -74,12 +74,16 @@ class Encoder(abc.ABC):
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         b = self.backend
         chunk = int(chunk_size)
-        out = b.zeros((n, self.dim), dtype=self.dtype)
+        # Every row window of the output is overwritten below, so skip the
+        # zero-fill; one index vector is allocated up front and sliced per
+        # chunk instead of re-built inside the loop.
+        out = b.empty((n, self.dim), dtype=self.dtype)
+        idx = np.arange(n, dtype=np.int64)
         for start in range(0, n, chunk):
             stop = min(start + chunk, n)
             b.set_rows(
                 out,
-                np.arange(start, stop, dtype=np.int64),
+                idx[start:stop],
                 b.asarray(
                     self._encode(b.slice_rows(X, start, stop)),
                     dtype=self.dtype,
@@ -126,7 +130,14 @@ class RegenerableEncoder(Encoder):
         """
 
     def _check_dims(self, dims: np.ndarray) -> np.ndarray:
-        dims = np.asarray(dims, dtype=np.int64).ravel()
+        arr = np.asarray(dims)
+        if arr.size and not np.issubdtype(arr.dtype, np.integer):
+            # An int64 cast would silently truncate 2.7 -> 2; make the
+            # caller pass real indices.
+            raise ValueError(
+                f"dimension indices must be integers, got dtype {arr.dtype}"
+            )
+        dims = arr.astype(np.int64, copy=False).ravel()
         if dims.size and (dims.min() < 0 or dims.max() >= self.dim):
             raise ValueError(
                 f"dimension indices must lie in [0, {self.dim}), got range "

@@ -62,10 +62,10 @@ class RandomProjectionEncoder(RegenerableEncoder):
         self.base_vectors = self.backend.draw_normal(
             self._rng, 0.0, self._scale, (self.dim, self.n_features), self.dtype
         )
+        self.regenerated_count = 0
 
-    def _encode(self, X: Any) -> Any:
+    def _activate(self, projections: Any) -> Any:
         b = self.backend
-        projections = b.matmul(X, b.transpose(self.base_vectors))
         if self.activation == "linear":
             return projections
         if self.activation == "sign":
@@ -79,6 +79,20 @@ class RandomProjectionEncoder(RegenerableEncoder):
             return b.tanh(projections)
         return b.cos(projections)
 
+    def _encode(self, X: Any) -> Any:
+        b = self.backend
+        return self._activate(b.matmul(X, b.transpose(self.base_vectors)))
+
+    def encode_dims(self, X: Any, dims: np.ndarray) -> Any:
+        """Encode only the selected output dimensions (``(n, len(dims))``)."""
+        dims = self._check_dims(dims)
+        b = self.backend
+        if dims.size == 0:
+            return b.zeros((np.asarray(X).shape[0], 0), dtype=self.dtype)
+        X = self._check_input(X)
+        rows = b.take_rows(self.base_vectors, dims)
+        return self._activate(b.matmul(X, b.transpose(rows)))
+
     def regenerate(self, dims: np.ndarray) -> None:
         dims = self._check_dims(dims)
         if dims.size == 0:
@@ -91,3 +105,8 @@ class RandomProjectionEncoder(RegenerableEncoder):
                 (dims.size, self.n_features), self.dtype,
             ),
         )
+        self.regenerated_count += int(dims.size)
+
+    def effective_dim(self) -> int:
+        """Effective dimensionality ``D* = D + total regenerated``."""
+        return self.dim + self.regenerated_count

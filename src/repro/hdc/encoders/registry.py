@@ -1,0 +1,134 @@
+"""Encoder registry: spec strings → constructed encoders.
+
+Every model used to hard-code ``RBFEncoder`` at construction; the registry
+makes the encoder family a configuration choice instead.  A *spec* is a
+lowercase string naming a registered factory:
+
+- ``"rbf"`` — dense Gaussian RBF encoder (the paper's default);
+- ``"fastfood-rbf"`` — structured SORF/Fastfood RBF encoder, O(D log D)
+  encode with O(D) parameter memory;
+- ``"projection-{linear,sign,tanh,cos}"`` — dense random projection with the
+  given activation (``"projection"`` aliases the linear one);
+- ``"structured-{linear,sign,tanh,cos}"`` — SORF-chain projection with the
+  given activation (``"structured"`` aliases the linear one).
+
+``make_encoder`` takes one uniform keyword set (``bandwidth``, ``seed``,
+``dtype``, ``backend``) so callers thread a single knob bundle through
+configs; factories consume what applies to their family — ``bandwidth`` is a
+kernel-width knob the non-RBF projections accept and ignore.  All registered
+encoders are :class:`~repro.hdc.encoders.base.RegenerableEncoder` subclasses,
+so DistHD/NeuralHD regeneration works regardless of the spec chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.backend import BackendLike
+from repro.hdc.encoders.base import RegenerableEncoder
+from repro.hdc.encoders.projection import RandomProjectionEncoder
+from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.encoders.structured import (
+    FastfoodRBFEncoder,
+    StructuredProjectionEncoder,
+)
+from repro.utils.rng import SeedLike
+
+#: The spec models fall back to when no encoder choice is given — the dense
+#: RBF encoder the paper (and every pre-registry config) uses.
+DEFAULT_ENCODER = "rbf"
+
+EncoderFactory = Callable[..., RegenerableEncoder]
+
+_REGISTRY: Dict[str, EncoderFactory] = {}
+
+
+def register_encoder(spec: str, factory: EncoderFactory) -> None:
+    """Register ``factory`` under ``spec`` (stored lowercase).
+
+    The factory must accept ``(n_features, dim, *, bandwidth, seed, dtype,
+    backend)`` and return a :class:`RegenerableEncoder`.  Re-registering a
+    spec replaces the previous factory.
+    """
+    key = str(spec).strip().lower()
+    if not key:
+        raise ValueError("encoder spec must be a non-empty string")
+    _REGISTRY[key] = factory
+
+
+def list_encoders() -> Tuple[str, ...]:
+    """All registered spec strings, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_encoder(
+    spec: str,
+    n_features: int,
+    dim: int,
+    *,
+    bandwidth: float = 1.0,
+    seed: SeedLike = None,
+    dtype: object = None,
+    backend: BackendLike = None,
+) -> RegenerableEncoder:
+    """Construct the encoder named by ``spec`` (case-insensitive)."""
+    key = str(spec).strip().lower()
+    factory = _REGISTRY.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown encoder spec {spec!r}; registered specs: "
+            f"{', '.join(list_encoders())}"
+        )
+    return factory(
+        n_features,
+        dim,
+        bandwidth=bandwidth,
+        seed=seed,
+        dtype=dtype,
+        backend=backend,
+    )
+
+
+def _rbf_family(cls: type) -> EncoderFactory:
+    def factory(n_features, dim, *, bandwidth, seed, dtype, backend):
+        return cls(
+            n_features,
+            dim,
+            bandwidth=bandwidth,
+            seed=seed,
+            dtype=dtype,
+            backend=backend,
+        )
+
+    return factory
+
+
+def _projection_family(cls: type, activation: str) -> EncoderFactory:
+    def factory(n_features, dim, *, bandwidth, seed, dtype, backend):
+        # bandwidth is an RBF kernel-width knob; the plain projections have
+        # none, so it is accepted (for the uniform signature) and ignored.
+        return cls(
+            n_features,
+            dim,
+            activation=activation,
+            seed=seed,
+            dtype=dtype,
+            backend=backend,
+        )
+
+    return factory
+
+
+register_encoder("rbf", _rbf_family(RBFEncoder))
+register_encoder("fastfood-rbf", _rbf_family(FastfoodRBFEncoder))
+for _activation in ("linear", "sign", "tanh", "cos"):
+    register_encoder(
+        f"projection-{_activation}",
+        _projection_family(RandomProjectionEncoder, _activation),
+    )
+    register_encoder(
+        f"structured-{_activation}",
+        _projection_family(StructuredProjectionEncoder, _activation),
+    )
+register_encoder("projection", _projection_family(RandomProjectionEncoder, "linear"))
+register_encoder("structured", _projection_family(StructuredProjectionEncoder, "linear"))

@@ -43,6 +43,14 @@ _N_JOBS = Hyperparam(
     "n_jobs", None, (),
     "parallel workers for sharded fit (None/1 serial, -1 all cores)",
 )
+_ENCODER = Hyperparam(
+    "encoder", "rbf", (),
+    "encoder spec from the registry (rbf | fastfood-rbf | projection-* | "
+    "structured-*)",
+)
+_BANDWIDTH = Hyperparam(
+    "bandwidth", 0.5, (), "RBF-family encoder kernel width"
+)
 
 
 def _make_mlp(dim=None, hidden_sizes=None, **params) -> MLPClassifier:
@@ -75,6 +83,8 @@ def _register_all() -> None:
             Hyperparam(
                 "regen_rate", 0.10, (0.05, 0.10, 0.20), "regeneration rate R"
             ),
+            _ENCODER,
+            _BANDWIDTH,
             Hyperparam("alpha", 1.0, (), "true-label distance weight"),
             Hyperparam("beta", 1.0, (), "wrong-label proximity weight"),
             Hyperparam("theta", 0.25, (), "second wrong-label weight"),
@@ -105,7 +115,8 @@ def _register_all() -> None:
             ),
             _LR,
             Hyperparam(
-                "encoder", "id-level", (), "id-level | sign | rbf encoder"
+                "encoder", "id-level", (),
+                "id-level | sign | any registry spec (rbf, fastfood-rbf, ...)",
             ),
             _ITERATIONS,
             _N_JOBS,
@@ -125,6 +136,8 @@ def _register_all() -> None:
             Hyperparam(
                 "regen_rate", 0.10, (0.05, 0.10, 0.20), "regeneration rate"
             ),
+            _ENCODER,
+            _BANDWIDTH,
             _ITERATIONS,
             _N_JOBS,
             _BACKEND,
@@ -137,7 +150,10 @@ def _register_all() -> None:
         OnlineHDClassifier,
         tags=("hdc", "paper", "baseline", "streaming", "persistable"),
         description="Adaptive similarity-weighted HDC, static encoder",
-        hyperparams=(_HDC_DIM, _LR, _ITERATIONS, _N_JOBS, _BACKEND, _DTYPE, _SEED),
+        hyperparams=(
+            _HDC_DIM, _LR, _ENCODER, _BANDWIDTH, _ITERATIONS, _N_JOBS,
+            _BACKEND, _DTYPE, _SEED,
+        ),
     )
     register_model(
         "mlp",
@@ -210,6 +226,7 @@ def _register_all() -> None:
             Hyperparam(
                 "regen_every", 10, (), "batches between regeneration steps"
             ),
+            _ENCODER,
             _BACKEND,
             _DTYPE,
             _SEED,
@@ -237,6 +254,7 @@ def _register_all() -> None:
                 "bit-packed 1-bit storage + XOR/popcount scoring",
             ),
             _HDC_DIM,
+            _ENCODER,
             _LR,
             _ITERATIONS,
             _N_JOBS,

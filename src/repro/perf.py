@@ -55,6 +55,17 @@ single-core numpy contention), then runs the chaos drills: a mid-load
 worker SIGKILL (zero failed non-shed requests, in-flight retries, bounded
 recovery time, supervisor restart) and a crash-loop drill (the circuit
 breaker must open after ``max_restarts`` rapid deaths).
+
+Payload schema 7 adds the **encode_latency** scenario: the dense
+``O(q·D)`` RBF encoder versus the structured ``O(D log D)`` Fastfood
+encoder (SORF chain over the backend FWHT kernel) at several dimensions
+and batch sizes — the single-sample / small-batch operating points that
+dominate serving latency.  The record carries three kinds of evidence:
+an exactness proof of the FWHT kernel against the naive ``O(m²)``
+Hadamard matmul (bit-identical at float64 on integer inputs), the
+speedup table with a committed ≥ ``ENCODE_SPEEDUP_FLOOR``× gate at the
+headline ``D``, and an accuracy-parity check (DistHD trained with each
+encoder at the same seed must agree within ``ENCODE_ACC_TOLERANCE``).
 """
 
 from __future__ import annotations
@@ -437,6 +448,7 @@ def bench_serving(
     seed: int = 0,
     swap: bool = True,
     packed: bool = False,
+    encoder: str = "rbf",
 ) -> Dict[str, object]:
     """Benchmark micro-batched serving against per-request inference.
 
@@ -467,7 +479,7 @@ def bench_serving(
     model = make_model(
         "disthd", dim=dim, iterations=iterations, seed=seed,
         regen_rate=regen_rate, selection=selection,
-        convergence_patience=None,
+        convergence_patience=None, encoder=encoder,
     )
     model.fit(data.train_x, data.train_y)
     artifact = QuantizedHDCModel(model, bits=bits, packed=packed)
@@ -491,6 +503,7 @@ def bench_serving(
         "selection": selection,
         "bits": bits,
         "packed": bool(packed),
+        "encoder": str(encoder),
         "seed": seed,
         "n_requests": n_requests,
         "concurrency": concurrency,
@@ -959,6 +972,228 @@ def bench_fleet_resilience(
     return record
 
 
+#: The committed encode-latency scenario: dense RBF vs structured Fastfood
+#: encoding on the default dataset's feature width, swept over dimensions
+#: and (small) batch sizes.  Single-sample encode is the operating point
+#: that dominates serving latency — at large batches the dense path turns
+#: into a peak-rate GEMM and the structured advantage narrows, which the
+#: sweep records rather than hides.
+ENCODE_LATENCY = {
+    "dataset": DEFAULT_DATASET,
+    "scale": DEFAULT_SCALE,
+    "dims": (2048, 4096, 8192),
+    "batch_sizes": (1, 4, 16, 256),
+    "gate_dim": 4096,
+    "gate_batch": 1,
+    "acc_dim": 4096,
+    "acc_iterations": DEFAULT_ITERATIONS,
+    "acc_seeds": 3,
+}
+
+#: Committed single-sample encode speedup floor at the headline dimension.
+ENCODE_SPEEDUP_FLOOR = 4.0
+
+#: Maximum |mean accuracy(fastfood) − accuracy(rbf)| the parity check
+#: allows, averaged over ``acc_seeds`` seeds.
+ENCODE_ACC_TOLERANCE = 0.01
+
+#: Parity and speedup gates only bind at headline dimensions.  Below this
+#: the single-seed accuracy noise between two random projections of the
+#: *same* family already exceeds the tolerance, so smoke-scale runs report
+#: the delta informationally (``passed: None``) instead of gating on it.
+ENCODE_ACC_GATE_DIM = 4096
+
+
+def _time_per_call(fn, repeats: int, inner: int) -> float:
+    """Best-of-``repeats`` mean seconds per call over ``inner`` calls.
+
+    Microsecond-scale encodes are timed through an inner loop so each
+    measurement spans well past the clock's resolution.
+    """
+    inner = max(1, int(inner))
+
+    def run():
+        for _ in range(inner):
+            fn()
+
+    return _best_of(run, repeats) / inner
+
+
+def bench_encode_latency(
+    *,
+    dataset: str = ENCODE_LATENCY["dataset"],
+    scale: float = ENCODE_LATENCY["scale"],
+    dims: Sequence[int] = ENCODE_LATENCY["dims"],
+    batch_sizes: Sequence[int] = ENCODE_LATENCY["batch_sizes"],
+    gate_dim: int = ENCODE_LATENCY["gate_dim"],
+    gate_batch: int = ENCODE_LATENCY["gate_batch"],
+    acc_dim: int = ENCODE_LATENCY["acc_dim"],
+    acc_iterations: int = ENCODE_LATENCY["acc_iterations"],
+    acc_seeds: int = ENCODE_LATENCY["acc_seeds"],
+    seed: int = 0,
+    repeats: int = 5,
+) -> Dict[str, object]:
+    """Benchmark dense-RBF vs structured-Fastfood encoding latency.
+
+    Three kinds of evidence go into the record:
+
+    1. **FWHT exactness** — the backend's fast transform against the naive
+       ``O(m²)`` Hadamard matmul: *bit-identical* at float64 on
+       integer-valued inputs (the transform is integer-exact, see
+       :mod:`repro.hdc.fwht`) and within a scale-aware float32 bound on
+       Gaussian inputs;
+    2. **latency sweep** — per-call ``encode`` seconds for
+       :class:`~repro.hdc.encoders.rbf.RBFEncoder` (dense ``O(q·D)``) and
+       :class:`~repro.hdc.encoders.structured.FastfoodRBFEncoder`
+       (``O(D log D)``) across ``dims × batch_sizes``, plus the parameter
+       footprints (the structured encoder stores ``O(D)`` floats, not
+       ``O(q·D)``); the committed gate is the single-sample speedup at
+       ``gate_dim`` against :data:`ENCODE_SPEEDUP_FLOOR`;
+    3. **accuracy parity** — DistHD trained with each encoder at the same
+       seeds and dimension must land within :data:`ENCODE_ACC_TOLERANCE`
+       mean test accuracy over ``acc_seeds`` paired runs, so the speedup
+       cannot silently cost quality.  The gate only binds at
+       ``acc_dim >= ENCODE_ACC_GATE_DIM``; smaller (smoke) runs report the
+       delta with ``passed: None``.
+    """
+    from repro.hdc.encoders import FastfoodRBFEncoder, RBFEncoder
+    from repro.hdc.fwht import fwht_rows, hadamard_matrix, next_pow2
+
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    X = np.ascontiguousarray(data.train_x, dtype=np.float32)
+    q = int(X.shape[1])
+    block = next_pow2(q)
+
+    # 1. Exactness proof, at the block order the sweep actually exercises
+    # plus two smaller orders (multi-factor and single-GEMM code paths).
+    rng = np.random.default_rng(seed)
+    exactness: List[Dict[str, object]] = []
+    for m in sorted({8, 64, block}):
+        H = hadamard_matrix(m)
+        ints = rng.integers(-4, 5, size=(32, m)).astype(np.float64)
+        bit_identical = bool(np.array_equal(fwht_rows(ints), ints @ H))
+        xf = rng.normal(size=(32, m)).astype(np.float32)
+        ref = xf.astype(np.float64) @ H
+        err = float(
+            np.max(np.abs(fwht_rows(xf).astype(np.float64) - ref))
+        )
+        tol = float(
+            np.finfo(np.float32).eps * m * max(1.0, float(np.max(np.abs(ref))))
+        )
+        exactness.append({
+            "m": int(m),
+            "float64_bit_identical": bit_identical,
+            "float32_max_abs_err": err,
+            "float32_tol": tol,
+            "float32_ok": bool(err <= tol),
+        })
+
+    # 2. Latency sweep.
+    timings: List[Dict[str, object]] = []
+    gate_speedup: Optional[float] = None
+    for dim in dims:
+        dense = RBFEncoder(q, int(dim), seed=seed, dtype="float32")
+        fast = FastfoodRBFEncoder(q, int(dim), seed=seed, dtype="float32")
+        rows: List[Dict[str, object]] = []
+        for n in batch_sizes:
+            n = int(n)
+            reps = -(-n // X.shape[0])
+            batch = (X[:n] if reps == 1
+                     else np.ascontiguousarray(np.tile(X, (reps, 1))[:n]))
+            dense.encode(batch)  # warm caches / BLAS threads
+            fast.encode(batch)
+            inner = max(1, 512 // n)
+            dense_s = _time_per_call(
+                lambda: dense.encode(batch), repeats, inner
+            )
+            fast_s = _time_per_call(
+                lambda: fast.encode(batch), repeats, inner
+            )
+            speedup = dense_s / fast_s if fast_s > 0 else None
+            rows.append({
+                "batch": n,
+                "dense_rbf_s": dense_s,
+                "fastfood_s": fast_s,
+                "speedup": speedup,
+            })
+            if int(dim) == int(gate_dim) and n == int(gate_batch):
+                gate_speedup = speedup
+        timings.append({
+            "dim": int(dim),
+            "block": int(fast.block),
+            "n_blocks": int(fast.n_blocks),
+            "dense_param_floats": int(q * dim + dim),
+            "structured_param_floats": int(
+                fast.n_blocks * 3 * fast.block + 2 * dim
+            ),
+            "batches": rows,
+        })
+
+    # 3. Accuracy parity, averaged over seeds: a single draw of either
+    # projection family moves test accuracy by more than the tolerance at
+    # any dimension, so the honest comparison is the mean paired delta.
+    per_seed: List[Dict[str, float]] = []
+    for s in range(seed, seed + max(1, int(acc_seeds))):
+        run_data = (data if s == seed
+                    else load_dataset(dataset, scale=scale, seed=s))
+        accs: Dict[str, float] = {}
+        for enc in ("rbf", "fastfood-rbf"):
+            model = make_model(
+                "disthd", dim=acc_dim, iterations=acc_iterations, seed=s,
+                convergence_patience=None, encoder=enc,
+            )
+            model.fit(run_data.train_x, run_data.train_y)
+            accs[enc] = float(model.score(run_data.test_x, run_data.test_y))
+        per_seed.append({
+            "seed": int(s),
+            "rbf_acc": accs["rbf"],
+            "fastfood_acc": accs["fastfood-rbf"],
+            "delta": accs["fastfood-rbf"] - accs["rbf"],
+        })
+    acc_delta = float(np.mean([r["delta"] for r in per_seed]))
+    acc_gated = int(acc_dim) >= ENCODE_ACC_GATE_DIM
+
+    return {
+        "scenario": "encode_latency",
+        "dataset": dataset,
+        "n_features": q,
+        "block": int(block),
+        "seed": seed,
+        "repeats": repeats,
+        "dims": [int(d) for d in dims],
+        "batch_sizes": [int(n) for n in batch_sizes],
+        "fwht_exactness": exactness,
+        "timings": timings,
+        "gate": {
+            "dim": int(gate_dim),
+            "batch": int(gate_batch),
+            "speedup": gate_speedup,
+            "floor": float(ENCODE_SPEEDUP_FLOOR),
+            "passed": (
+                gate_speedup is not None
+                and gate_speedup >= ENCODE_SPEEDUP_FLOOR
+            ),
+        },
+        "accuracy": {
+            "dim": int(acc_dim),
+            "iterations": int(acc_iterations),
+            "seeds": [r["seed"] for r in per_seed],
+            "per_seed": per_seed,
+            "rbf_acc": float(np.mean([r["rbf_acc"] for r in per_seed])),
+            "fastfood_acc": float(
+                np.mean([r["fastfood_acc"] for r in per_seed])
+            ),
+            "delta": acc_delta,
+            "tolerance": float(ENCODE_ACC_TOLERANCE),
+            # Only binding at headline dimensions; see ENCODE_ACC_GATE_DIM.
+            "passed": (
+                bool(abs(acc_delta) <= ENCODE_ACC_TOLERANCE)
+                if acc_gated else None
+            ),
+        },
+    }
+
+
 def _measure_fused_scoring_peak(model, data: Dataset) -> Dict[str, object]:
     """Traced allocation peak of a worst-case fused Algorithm-2 scoring pass.
 
@@ -1090,6 +1325,7 @@ def run_bench(
     include_serving: bool = True,
     include_packed: bool = True,
     include_fleet: bool = True,
+    include_encode: bool = True,
 ) -> Dict[str, object]:
     """Run the full bench sweep and return the ``BENCH_*.json`` payload.
 
@@ -1108,7 +1344,7 @@ def run_bench(
         for name in models
     ]
     payload: Dict[str, object] = {
-        "schema": 6,
+        "schema": 7,
         "created_unix": time.time(),
         "repro_version": __version__,
         "python": platform.python_version(),
@@ -1185,6 +1421,19 @@ def run_bench(
             )
         else:
             scenarios["fleet_resilience"] = bench_fleet_resilience(seed=seed)
+    if include_encode:
+        if smoke:
+            # The latency sweep itself is microseconds-cheap, so smoke keeps
+            # the committed gate point (D=4096, n=1); only the accuracy-
+            # parity training shrinks.
+            scenarios["encode_latency"] = bench_encode_latency(
+                scale=0.02, dims=(2048, 4096), batch_sizes=(1, 8),
+                acc_dim=256, acc_iterations=3, seed=seed, repeats=3,
+            )
+        else:
+            scenarios["encode_latency"] = bench_encode_latency(
+                seed=seed, repeats=max(repeats, 5)
+            )
     if scenarios:
         payload["scenarios"] = scenarios
     payload["peak_rss_mb"] = _peak_rss_mb()
@@ -1323,5 +1572,32 @@ def format_bench_table(payload: Dict[str, object]) -> str:
             f"crash-loop breaker "
             f"{'tripped' if loop['tripped'] else 'DID NOT TRIP'} "
             f"after {loop['deaths']} deaths"
+        )
+    encode = (payload.get("scenarios") or {}).get("encode_latency")
+    if encode is not None:
+        gate = encode["gate"]
+        acc = encode["accuracy"]
+        speedup = gate["speedup"]
+        exact = all(
+            e["float64_bit_identical"] and e["float32_ok"]
+            for e in encode["fwht_exactness"]
+        )
+        lines.append(
+            f"encode latency ({encode['dataset']}, q={encode['n_features']}"
+            f"→block {encode['block']}): fastfood vs dense RBF @ "
+            f"D={gate['dim']}, n={gate['batch']} → speedup "
+            f"{'n/a' if speedup is None else f'{speedup:.2f}x'} "
+            f"(floor {gate['floor']:.1f}x, "
+            f"{'pass' if gate['passed'] else 'FAIL'}); "
+            f"FWHT {'exact' if exact else 'INEXACT'} vs naive H"
+        )
+        verdict = ("not gated" if acc["passed"] is None
+                   else "pass" if acc["passed"] else "FAIL")
+        lines.append(
+            f"encode accuracy parity @ D={acc['dim']} "
+            f"({len(acc['per_seed'])} seeds): fastfood "
+            f"{acc['fastfood_acc']:.3f} vs rbf {acc['rbf_acc']:.3f} "
+            f"(mean delta {acc['delta']:+.4f}, tol {acc['tolerance']:.2f}, "
+            f"{verdict})"
         )
     return "\n".join(lines)

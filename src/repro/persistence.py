@@ -36,13 +36,18 @@ from repro.deploy.quantized import QuantizedHDCModel, QuantizedTrainer
 from repro.hdc.encoders.id_level import IDLevelEncoder
 from repro.hdc.encoders.projection import RandomProjectionEncoder
 from repro.hdc.encoders.rbf import RBFEncoder
+from repro.hdc.encoders.structured import (
+    FastfoodRBFEncoder,
+    StructuredProjectionEncoder,
+)
 from repro.hdc.memory import AssociativeMemory
 
 # Format history: 2 → 3 added the array dtype / trained-backend fields;
-# 3 → 4 added the ``quantized_packed`` flag for bit-packed 1-bit deploys.
-# Loaders accept every version <= current (older archives default the
-# missing fields).
-_FORMAT_VERSION = 4
+# 3 → 4 added the ``quantized_packed`` flag for bit-packed 1-bit deploys;
+# 4 → 5 added the structured (SORF/Fastfood) encoder kinds with their
+# diagonal/slot/scale parameters.  Loaders accept every version <= current
+# (older archives default the missing fields).
+_FORMAT_VERSION = 5
 
 
 def _as_saved(backend, array) -> np.ndarray:
@@ -54,6 +59,25 @@ def _as_saved(backend, array) -> np.ndarray:
 
 def _encoder_payload(encoder) -> dict:
     b = getattr(encoder, "backend", None)
+    if isinstance(encoder, FastfoodRBFEncoder):
+        return {
+            "encoder_kind": "fastfood-rbf",
+            "enc_signs": _as_saved(b, encoder.signs),
+            "enc_src_slots": np.asarray(encoder.src_slots, dtype=np.int64),
+            "enc_scales": _as_saved(b, encoder.scales),
+            "enc_phases": _as_saved(b, encoder.phases),
+            "enc_bandwidth": np.float64(encoder.bandwidth),
+            "enc_regenerated": np.int64(encoder.regenerated_count),
+        }
+    if isinstance(encoder, StructuredProjectionEncoder):
+        return {
+            "encoder_kind": "structured",
+            "enc_signs": _as_saved(b, encoder.signs),
+            "enc_src_slots": np.asarray(encoder.src_slots, dtype=np.int64),
+            "enc_scales": _as_saved(b, encoder.scales),
+            "enc_activation": encoder.activation,
+            "enc_regenerated": np.int64(encoder.regenerated_count),
+        }
     if isinstance(encoder, RBFEncoder):
         return {
             "encoder_kind": "rbf",
@@ -91,6 +115,27 @@ def _restore_encoder(kind: str, data, n_features: int, dim: int, dtype):
         )
         encoder.base_vectors = np.asarray(data["enc_base_vectors"], dtype=dtype)
         encoder.phases = np.asarray(data["enc_phases"], dtype=dtype)
+        encoder.regenerated_count = int(data["enc_regenerated"])
+        return encoder
+    if kind in ("fastfood-rbf", "structured"):
+        if kind == "fastfood-rbf":
+            encoder = FastfoodRBFEncoder(
+                n_features, dim, bandwidth=float(data["enc_bandwidth"]),
+                seed=0, dtype=dtype,
+            )
+            encoder.phases = np.asarray(data["enc_phases"], dtype=dtype)
+            encoder._sin_phases = np.sin(encoder.phases)
+        else:
+            encoder = StructuredProjectionEncoder(
+                n_features, dim, activation=str(data["enc_activation"]),
+                seed=0, dtype=dtype,
+            )
+        encoder.signs = np.asarray(data["enc_signs"], dtype=dtype)
+        encoder.scales = np.asarray(data["enc_scales"], dtype=dtype)
+        encoder.src_slots = np.asarray(data["enc_src_slots"], dtype=np.int64)
+        encoder._identity_slots = bool(
+            np.array_equal(encoder.src_slots, np.arange(dim, dtype=np.int64))
+        )
         encoder.regenerated_count = int(data["enc_regenerated"])
         return encoder
     if kind == "projection":

@@ -69,6 +69,9 @@ def latency_summary_ms(latencies_s: np.ndarray) -> Optional[Dict[str, float]]:
     "_n_swaps",
     "_n_shed",
     "_n_retries",
+    "_stage_encode_s",
+    "_stage_score_s",
+    "_stage_batches",
     "_problems",
 )
 class ServerMetrics:
@@ -93,6 +96,9 @@ class ServerMetrics:
         self._n_swaps = 0
         self._n_shed = 0
         self._n_retries = 0
+        self._stage_encode_s = 0.0
+        self._stage_score_s = 0.0
+        self._stage_batches = 0
         self._problems: Deque[Dict[str, object]] = deque(
             maxlen=PROBLEM_LOG_LIMIT
         )
@@ -132,6 +138,19 @@ class ServerMetrics:
         """Record one in-flight request re-dispatched after worker loss."""
         with self._lock:
             self._n_retries += 1
+
+    def record_stage_times(self, encode_s: float, score_s: float) -> None:
+        """Record one micro-batch's per-stage split: encode vs score.
+
+        Accumulated lifetime totals; the snapshot reports both the totals
+        and the encode share, so an encoder regression (the stage the
+        structured O(D log D) encoders exist to shrink) is visible
+        separately from scorer drift.
+        """
+        with self._lock:
+            self._stage_encode_s += float(encode_s)
+            self._stage_score_s += float(score_s)
+            self._stage_batches += 1
 
     def record_problem(self, kind: str, detail: str = "") -> None:
         """Append one structured problem event to the bounded log.
@@ -197,7 +216,9 @@ class ServerMetrics:
         ``n_shed``, ``n_retries``, ``throughput_rps`` (lifetime requests /
         uptime), ``latency_ms`` (p50/p95/p99/mean/max over the recent
         window, ``None`` when no requests have completed yet),
-        ``batch_sizes`` (exact-size histogram), ``mean_batch_size``, and
+        ``batch_sizes`` (exact-size histogram), ``mean_batch_size``,
+        ``stages`` (cumulative encode/score stage seconds and the encode
+        share, ``None`` until a staged batch has been recorded), and
         ``problems`` (the recent structured problem events plus per-kind
         counts).
         """
@@ -211,6 +232,9 @@ class ServerMetrics:
             swaps = self._n_swaps
             shed = self._n_shed
             retries = self._n_retries
+            stage_encode = self._stage_encode_s
+            stage_score = self._stage_score_s
+            stage_batches = self._stage_batches
             problems = list(self._problems)
 
         latency = latency_summary_ms(recent)
@@ -232,6 +256,18 @@ class ServerMetrics:
             "batch_sizes": {str(k): int(v) for k, v in histogram.items()},
             "mean_batch_size": (
                 float(n_batched / n_batches) if n_batches else None
+            ),
+            "stages": (
+                {
+                    "n_batches": int(stage_batches),
+                    "encode_s": float(stage_encode),
+                    "score_s": float(stage_score),
+                    "encode_fraction": (
+                        float(stage_encode / (stage_encode + stage_score))
+                        if (stage_encode + stage_score) > 0 else None
+                    ),
+                }
+                if stage_batches else None
             ),
             "problems": {
                 "counts": dict(sorted(counts.items())),

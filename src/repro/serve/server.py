@@ -16,7 +16,9 @@ alike) with:
   retired version can be awaited until drained, so a swap drops zero
   requests;
 - **request-level metrics** — throughput, latency percentiles, the
-  batch-size histogram and the swap count via :meth:`~ModelServer.stats`.
+  batch-size histogram, the swap count and (for deploy artifacts and
+  loaded archives, whose pipelines split cleanly) the cumulative
+  encode-vs-score stage timings via :meth:`~ModelServer.stats`.
 
 The hot-swap protocol in detail (the invariant later replication work
 builds on): ``deploy`` prepares v(N+1) entirely off the request path
@@ -229,6 +231,42 @@ class ModelServer:
 
     # ---------------------------------------------------------------- handler
 
+    def _staged_scores(self, model: Any, X: np.ndarray) -> Optional[np.ndarray]:
+        """Score ``X`` with the encode and score stages timed separately.
+
+        Only taken when it is *exactly* the model's own unsplit path —
+        :class:`~repro.deploy.quantized.QuantizedHDCModel` (``encoder`` +
+        ``score_encoded``, unchunked batches only) and the persistence
+        layer's ``LoadedHDCModel`` (``encoder_`` +
+        ``memory_.similarities``).  Returns ``None`` otherwise and the
+        handler falls back to ``model.decision_scores``; the split feeds
+        :meth:`~repro.serve.metrics.ServerMetrics.record_stage_times`, so
+        the stats endpoint shows how much of the serving budget goes to
+        encoding versus scoring.
+        """
+        score_encoded = getattr(model, "score_encoded", None)
+        if callable(score_encoded):
+            encoder = getattr(model, "encoder", None)
+            chunk = getattr(model, "chunk_size", None)
+            if encoder is None or (
+                chunk is not None and X.shape[0] > int(chunk)
+            ):
+                return None  # chunked artifact: defer to its own windowing
+            scorer = score_encoded
+        else:
+            from repro.persistence import LoadedHDCModel
+
+            if not isinstance(model, LoadedHDCModel):
+                return None
+            encoder = model.encoder_
+            scorer = model.memory_.similarities
+        start = time.perf_counter()
+        encoded = encoder.encode(X)
+        mid = time.perf_counter()
+        scores = np.asarray(scorer(encoded))
+        self.metrics.record_stage_times(mid - start, time.perf_counter() - mid)
+        return scores
+
     def _handle(self, kind: str, X: np.ndarray) -> np.ndarray:
         # One coherent version per batch.  A deploy can flip the active
         # pointer (and drain + release the old version) between our read
@@ -239,11 +277,18 @@ class ModelServer:
             if active._try_enter():
                 break
         try:
-            if kind == _KIND_PREDICT:
-                return np.asarray(active.model.predict(X))
-            if kind == _KIND_SCORES:
+            if kind not in (_KIND_PREDICT, _KIND_SCORES):
+                raise ValueError(f"unknown request kind {kind!r}")
+            scores = self._staged_scores(active.model, X)
+            if scores is None:
+                if kind == _KIND_PREDICT:
+                    return np.asarray(active.model.predict(X))
                 return np.asarray(active.model.decision_scores(X))
-            raise ValueError(f"unknown request kind {kind!r}")
+            if kind == _KIND_PREDICT:
+                return np.asarray(
+                    active.model.classes_[np.argmax(scores, axis=1)]
+                )
+            return scores
         finally:
             active._exit()
 

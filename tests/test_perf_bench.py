@@ -62,7 +62,7 @@ class TestLegacyReference:
 class TestRunBench:
     def test_smoke_payload(self):
         payload = run_bench(models=("disthd",), smoke=True)
-        assert payload["schema"] == 6
+        assert payload["schema"] == 7
         assert payload["config"]["smoke"] is True
         assert [r["model"] for r in payload["results"]] == ["disthd"]
         assert "fit_speedup_vs_legacy" in payload
@@ -91,6 +91,13 @@ class TestRunBench:
         assert fleet["chaos_kill"]["survived"] is True
         assert fleet["crash_loop"]["tripped"] is True
         assert fleet["steady_state"]["throughput_scaling"] > 0
+        encode = payload["scenarios"]["encode_latency"]
+        assert all(e["float64_bit_identical"] for e in encode["fwht_exactness"])
+        assert encode["gate"]["speedup"] > 0
+        # Smoke trains parity at D=256 < the gate dim, so the delta is
+        # informational only.
+        assert encode["accuracy"]["passed"] is None
+        assert isinstance(encode["accuracy"]["delta"], float)
         # The payload must be JSON-serialisable as-is.
         json.dumps(payload)
 
@@ -366,6 +373,39 @@ class TestShardedFitScenario:
         json.dumps(rec)
 
 
+class TestEncodeLatencyScenario:
+    def test_miniature_scenario_record(self):
+        from repro.perf import bench_encode_latency
+
+        rec = bench_encode_latency(
+            scale=0.003, dims=(512, 1024), batch_sizes=(1, 4),
+            gate_dim=1024, acc_dim=128, acc_iterations=2, acc_seeds=2,
+            repeats=2,
+        )
+        assert rec["scenario"] == "encode_latency"
+        assert all(e["float64_bit_identical"] for e in rec["fwht_exactness"])
+        assert all(e["float32_ok"] for e in rec["fwht_exactness"])
+        assert [t["dim"] for t in rec["timings"]] == [512, 1024]
+        for timing in rec["timings"]:
+            for point in timing["batches"]:
+                assert point["dense_rbf_s"] > 0
+                assert point["fastfood_s"] > 0
+                assert point["speedup"] > 0
+            # O(D) structured parameters vs O(F·D) dense projection.
+            assert (
+                timing["structured_param_floats"]
+                < timing["dense_param_floats"]
+            )
+        assert rec["gate"]["dim"] == 1024
+        acc = rec["accuracy"]
+        assert acc["passed"] is None  # below the gate dim: informational
+        assert len(acc["per_seed"]) == 2
+        assert acc["delta"] == pytest.approx(
+            sum(r["delta"] for r in acc["per_seed"]) / 2
+        )
+        json.dumps(rec)
+
+
 class TestRegenHeavyScenario:
     def test_miniature_scenario_record(self):
         from repro.perf import bench_regen_heavy
@@ -602,6 +642,73 @@ class TestCheckRegression:
         problems = compare(self._fleet_payload(rps=100.0), base, 2.0)
         assert any("workers_4" in p for p in problems)
         # scenario absent on both sides: nothing to gate
+        assert compare({"scenarios": {}}, base, 2.0) == []
+
+    @staticmethod
+    def _encode_payload(
+        speedup=5.0, gate_dim=4096, fastfood_s=0.001,
+        exact=True, f32_ok=True, acc_passed=True,
+    ):
+        return {
+            "scenarios": {
+                "encode_latency": {
+                    "fwht_exactness": [
+                        {"m": 1024, "float64_bit_identical": exact,
+                         "float32_ok": f32_ok,
+                         "float32_max_abs_err": 0.0, "float32_tol": 1.0},
+                    ],
+                    "timings": [
+                        {"dim": gate_dim, "batches": [
+                            {"batch": 1, "fastfood_s": fastfood_s},
+                        ]},
+                    ],
+                    "gate": {"dim": gate_dim, "batch": 1,
+                             "speedup": speedup, "floor": 4.0},
+                    "accuracy": {"passed": acc_passed, "delta": 0.0,
+                                 "tolerance": 0.01, "dim": 4096},
+                }
+            },
+        }
+
+    def test_encode_scenario_gated(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "benchmarks")
+        )
+        try:
+            from check_regression import compare
+        finally:
+            sys.path.pop(0)
+        base = self._encode_payload()
+        # healthy record passes
+        assert compare(self._encode_payload(), base, 2.0) == []
+        # speedup below the 4x floor at the committed gate dim
+        problems = compare(self._encode_payload(speedup=2.0), base, 2.0)
+        assert any("speedup" in p for p in problems)
+        # the floor is only enforced at gate dims >= 4096 (smoke runs
+        # at smaller dims stay meaningful without tripping it)
+        assert compare(
+            self._encode_payload(speedup=2.0, gate_dim=1024), base, 2.0
+        ) == []
+        # exactness violations always gate on the current payload
+        problems = compare(self._encode_payload(exact=False), base, 2.0)
+        assert any("float64" in p for p in problems)
+        problems = compare(self._encode_payload(f32_ok=False), base, 2.0)
+        assert any("float32" in p for p in problems)
+        # accuracy parity failure gates
+        problems = compare(
+            self._encode_payload(acc_passed=False), base, 2.0
+        )
+        assert any("accuracy" in p for p in problems)
+        # baseline-relative slowdown of the structured encode at the
+        # gate point (above the absolute noise floor)
+        problems = compare(
+            self._encode_payload(fastfood_s=0.02), base, 2.0
+        )
+        assert any("fastfood_s" in p for p in problems)
+        # scenario absent from the current payload: nothing to gate
         assert compare({"scenarios": {}}, base, 2.0) == []
 
     def test_sections_isolated_on_malformed_payload(self):
