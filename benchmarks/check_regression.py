@@ -40,6 +40,17 @@ single-sample encode speedup floor at the headline dimension
 gates the structured encode time against the baseline when both sides
 carry the scenario.
 
+When the current payload carries the obs_overhead scenario (schema 8),
+the gate enforces the observability invariants on the current payload
+alone — full tracing (sample rate 1.0) may not cost more than
+``MIN_OBS_THROUGHPUT_RATIO`` of untraced throughput (a CI-noise-tolerant
+relaxation of the scenario's own committed 0.95 floor), the traced kill
+drill must have written at least one schema-valid flight dump, at least
+one complete retried trace (client → dispatch/retry → worker score) must
+have survived, and no non-shed request may have failed — and additionally
+gates the traced throughput against the baseline when both sides carry
+the scenario.
+
 Every comparator section is isolated: a malformed section reports itself
 as a failure and the remaining sections still run, so one bad record
 cannot mask other regressions.
@@ -93,6 +104,15 @@ MIN_ENCODE_SPEEDUP = 4.0
 #: Headline dimension the encode speedup floor is committed at; smaller
 #: gate points (ad-hoc runs) record their speedup but are not floored.
 ENCODE_GATE_DIM = 4096
+
+#: Minimum fully-traced / untraced throughput ratio the obs scenario must
+#: keep in CI.  The committed scenario gate is 0.95 (recorded in the
+#: payload, binding only at full scale); this floor is deliberately much
+#: looser because smoke-scale runs serve ~microsecond requests where a
+#: handful of slow batches swings the ratio by tens of percent — it
+#: exists to catch tracing becoming *order-of-magnitude* expensive, not
+#: to re-litigate drift.
+MIN_OBS_THROUGHPUT_RATIO = 0.5
 
 
 def _serving_scenario(payload: dict) -> dict:
@@ -342,6 +362,63 @@ def compare_encode(current: dict, baseline: dict, factor: float) -> list:
     return problems
 
 
+def _obs_scenario(payload: dict) -> dict:
+    return (payload.get("scenarios") or {}).get("obs_overhead") or {}
+
+
+def compare_obs(current: dict, baseline: dict, factor: float) -> list:
+    """Gate the obs scenario: tracing overhead + crash-path evidence."""
+    problems = []
+    now = _obs_scenario(current)
+    if not now:
+        return problems  # scenario absent: nothing to gate
+    overhead = now.get("overhead") or {}
+    ratio = overhead.get("throughput_ratio")
+    if ratio is not None and float(ratio) < MIN_OBS_THROUGHPUT_RATIO:
+        problems.append(
+            f"obs_overhead.throughput_ratio: {float(ratio):.3f}x traced vs "
+            f"untraced (< {MIN_OBS_THROUGHPUT_RATIO:.2f}x floor — full "
+            f"tracing became expensive)"
+        )
+    # The crash path is an absolute property of the obs stack — gated on
+    # the current payload alone, no baseline needed.
+    chaos = now.get("chaos") or {}
+    if chaos:
+        if not chaos.get("n_flight_dumps"):
+            problems.append(
+                "obs_overhead.chaos: traced kill drill wrote no "
+                "schema-valid flight dump"
+            )
+        if not chaos.get("complete_retried_traces"):
+            problems.append(
+                "obs_overhead.chaos: no complete retried trace (client → "
+                "dispatch/retry → worker score) survived the kill drill"
+            )
+        outcomes = chaos.get("outcomes") or {}
+        if outcomes.get("failed"):
+            problems.append(
+                f"obs_overhead.chaos: {outcomes['failed']} non-shed "
+                f"request(s) failed under tracing"
+            )
+    # Baseline-relative: traced throughput collapse.
+    then = _obs_scenario(baseline)
+    now_rps = (overhead.get("sampled") or {}).get("throughput_rps")
+    then_rps = (
+        ((then.get("overhead") or {}).get("sampled") or {})
+        .get("throughput_rps")
+    )
+    if (
+        now_rps is not None
+        and then_rps is not None
+        and float(now_rps) < float(then_rps) / factor
+    ):
+        problems.append(
+            f"obs_overhead.sampled.throughput: {float(now_rps):.0f} rps vs "
+            f"baseline {float(then_rps):.0f} rps (> {factor:.1f}x slower)"
+        )
+    return problems
+
+
 def compare_models(current: dict, baseline: dict, factor: float,
                    floor: float = MIN_GATED_SECONDS) -> list:
     """Gate per-model fit/predict timings against the baseline records."""
@@ -375,6 +452,7 @@ SECTIONS = (
     ("packed_vs_int8", compare_packed),
     ("fleet_resilience", compare_fleet),
     ("encode_latency", compare_encode),
+    ("obs_overhead", compare_obs),
 )
 
 

@@ -39,7 +39,16 @@ GUARDED_ATTR = "__guarded_fields__"
 #: single-process servers and metrics (never the reverse), the server's
 #: swap path touches version drain locks, the batcher's drain path runs
 #: the handler which enters a version and reports metrics — so adapter <
-#: fleet < server < batcher < version < metrics can never invert.
+#: fleet < server < batcher < version < metrics can never invert.  The
+#: observability locks (PR 10) rank after everything: any serving
+#: component may finish a span, bump a registry instrument, or append a
+#: flight-recorder record from inside its own critical section, and the
+#: obs layer never calls back into serving.  Within obs, a finishing
+#: span is handed from the tracer to the flight recorder, so tracer <
+#: registry < recorder.  The tracer and recorder rings are sharded
+#: (``repro.obs.ring.ShardedRing``) so the hot path takes an
+#: uncontended per-thread shard lock; the shard locks are pure leaves
+#: (nothing is acquired while one is held).
 LOCK_ORDER: Tuple[str, ...] = (
     "OnlineAdapter._lock",
     "FleetServer._lock",
@@ -47,6 +56,9 @@ LOCK_ORDER: Tuple[str, ...] = (
     "MicroBatcher._drain_lock",
     "ModelVersion._lock",
     "ServerMetrics._lock",
+    "Tracer._shard_lock",
+    "MetricsRegistry._lock",
+    "FlightRecorder._shard_lock",
 )
 
 

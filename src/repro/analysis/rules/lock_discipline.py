@@ -116,7 +116,7 @@ class LockDisciplineRule(Rule):
         "@guarded_by fields must be accessed inside `with self.<lock>`; "
         "nested lock acquisition must follow LOCK_ORDER"
     )
-    paths: Tuple[str, ...] = ("serve",)
+    paths: Tuple[str, ...] = ("serve", "obs")
 
     def check(self, module: ModuleContext) -> Iterable[Violation]:
         out: List[Violation] = []

@@ -14,6 +14,14 @@ banks, not an error.  Scope: ``hdc/encoders/`` (the structured SORF
 encoders in ``hdc/encoders/structured.py`` included), ``hdc/fwht.py``
 (the FWHT kernel those encoders build on), ``engine/shard.py``,
 ``datasets/splits.py``.
+
+The ``obs`` package is scoped too, with one deliberate exemption:
+``obs/ids.py`` is *the* designated entropy module (trace/span IDs via
+``os.urandom``, wall-clock anchors via ``time.time``) — observability
+needs IDs and timestamps, but confining every draw to that one file
+keeps the rest of the tracing/metrics/recorder machinery provably
+deterministic, and any entropy creeping into another obs module is a
+lint failure, not a convention.
 """
 
 from __future__ import annotations
@@ -68,9 +76,15 @@ class SeedDeterminismRule(Rule):
         "hdc/fwht.py",
         "engine/shard.py",
         "datasets/splits.py",
+        "obs",
     )
+    #: In-scope files where entropy is the *point* — the one module all
+    #: obs ID/timestamp generation is funnelled through.
+    exempt_paths: Tuple[str, ...] = ("obs/ids.py",)
 
     def check(self, module: ModuleContext) -> Iterable[Violation]:
+        if module.package_path in self.exempt_paths:
+            return []
         out: List[Violation] = []
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

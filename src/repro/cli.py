@@ -22,9 +22,22 @@ Subcommands:
   (:class:`~repro.serve.fleet.server.FleetServer`) under closed-loop
   load: worker SIGKILL, hang, slow-worker latency, artifact corruption,
   plus the crash-loop circuit-breaker drill; prints the drill JSON;
+- ``obs`` — run a small self-contained *traced* serving session
+  (sample rate 1.0 by default), scrape its own ``/metrics`` +
+  ``/healthz`` exporter, validate the shutdown flight dump, and print
+  the whole observability surface as JSON (or the raw Prometheus text
+  with ``--format prometheus``) — the CLI entry point for
+  :mod:`repro.obs` and what the CI obs-smoke job drives;
 - ``lint`` — run the :mod:`repro.analysis` invariant linter over source
   trees (``repro lint src/``); exits non-zero on any unsuppressed
   violation (the CI gate — see ``docs/analysis.md``).
+
+``serve`` and ``chaos`` accept the observability knobs
+``--trace-sample-rate`` (propagated client → batcher → dispatcher →
+worker spans), ``--metrics-port`` (a stdlib-http ``/metrics`` +
+``/healthz`` exporter for the session's registry) and ``--flight-dir``
+(crash/shutdown flight-recorder dumps land there as JSONL) — see
+``docs/observability.md``.
 
 ``train`` and ``compare`` accept ``--n-jobs`` too: for sharding-capable
 models it is forwarded as the ``n_jobs`` hyper-parameter, so fits run
@@ -83,6 +96,65 @@ def _add_n_jobs(parser: argparse.ArgumentParser, help_text: str) -> None:
         "--n-jobs", type=int, default=None, dest="n_jobs",
         help=f"{help_text} (default serial; -1 = all cores)",
     )
+
+
+def _add_obs_knobs(
+    parser: argparse.ArgumentParser, *, default_rate: float = 0.0
+) -> None:
+    parser.add_argument(
+        "--trace-sample-rate", type=float, default=default_rate,
+        dest="trace_sample_rate",
+        help="fraction of requests to trace end to end (0 disables "
+        f"tracing; default {default_rate:g})",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, dest="metrics_port",
+        help="serve /metrics (Prometheus text) + /healthz on this "
+        "localhost port for the session (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--flight-dir", default=None, dest="flight_dir",
+        help="directory for flight-recorder JSONL dumps (written on "
+        "worker death, breaker trip, and graceful shutdown)",
+    )
+
+
+def _build_obs(args: argparse.Namespace, *, role: str = "server"):
+    """An :class:`repro.obs.Observability` bundle from the CLI knobs, or
+    ``None`` when every knob is at its disabled default (so sessions
+    without observability pay nothing)."""
+    from repro.obs import Observability
+
+    if (
+        args.trace_sample_rate <= 0.0
+        and args.metrics_port is None
+        and args.flight_dir is None
+    ):
+        return None
+    return Observability(
+        sample_rate=max(0.0, args.trace_sample_rate),
+        flight_dir=args.flight_dir,
+        role=role,
+    )
+
+
+def _obs_summary(obs, exporter) -> dict:
+    """JSON-ready summary of what a session's obs bundle captured."""
+    from repro.obs.recorder import find_dumps
+
+    return {
+        "sample_rate": obs.tracer.sample_rate,
+        "spans_recorded": len(obs.tracer.finished()),
+        "n_traces": len(obs.tracer.trace_ids()),
+        "metrics_url": exporter.url if exporter is not None else None,
+        "flight_dir": (
+            str(obs.flight_dir) if obs.flight_dir is not None else None
+        ),
+        "flight_dumps": (
+            [p.name for p in find_dumps(obs.flight_dir)]
+            if obs.flight_dir is not None else None
+        ),
+    }
 
 
 def _model_params(name: str, args: argparse.Namespace) -> dict:
@@ -221,6 +293,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_packed=not args.no_packed,
         include_fleet=not args.no_fleet,
         include_encode=not args.no_encode,
+        include_obs=not args.no_obs,
     )
     print(format_bench_table(payload))
     if args.output:
@@ -288,6 +361,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    obs = _build_obs(args)
+    exporter = None
+    if obs is not None and args.metrics_port is not None:
+        exporter = obs.serve_metrics(port=args.metrics_port)
+        print(f"metrics exporter on {exporter.url}", file=sys.stderr)
+    tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
+    try:
+        return _run_serve_session(args, obs, exporter, tracer)
+    finally:
+        if exporter is not None:
+            exporter.close()
+
+
+def _run_serve_session(
+    args: argparse.Namespace, obs, exporter, tracer
+) -> int:
     from repro.perf import bench_serving
     from repro.serve.loadgen import run_load
     from repro.serve.server import ModelServer
@@ -307,11 +396,13 @@ def _run_serve(args: argparse.Namespace) -> int:
             args.model_path,
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
+            obs=obs,
         )
         with server:
             report = run_load(
                 server, X,
                 n_requests=args.requests, concurrency=args.concurrency,
+                tracer=tracer,
             )
             payload = {
                 "config": {
@@ -352,8 +443,11 @@ def _run_serve(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 swap=not args.no_swap,
                 encoder=args.encoder or "rbf",
+                obs=obs,
             ),
         }
+    if obs is not None:
+        payload["obs"] = _obs_summary(obs, exporter)
     text = json.dumps(payload, indent=2)
     if args.output:
         with open(args.output, "w") as fh:
@@ -380,6 +474,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         return 2
     shutdown_mod.install_signal_handlers()
+    obs = _build_obs(args, role="supervisor")
+    exporter = None
+    if obs is not None and args.metrics_port is not None:
+        exporter = obs.serve_metrics(port=args.metrics_port)
+        print(f"metrics exporter on {exporter.url}", file=sys.stderr)
+    tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
     try:
         data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
         model = make_model(
@@ -396,6 +496,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             n_workers=args.workers,
             queue_depth=args.queue_depth,
             service_floor_s=args.service_floor_ms / 1e3,
+            obs=obs,
         ) as fleet:
             for fault in args.faults:
                 drills[fault] = run_chaos_drill(
@@ -403,11 +504,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     n_requests=args.requests,
                     concurrency=args.concurrency,
                     fault=fault, index=0,
+                    tracer=tracer,
                 )
             stats = fleet.stats()
         if not args.no_crash_loop:
+            # A fresh bundle for the second fleet: its dump filenames
+            # carry a distinct role, so the first fleet's shutdown dump
+            # in a shared --flight-dir is never overwritten.
+            loop_obs = (
+                _build_obs(args, role="crashloop")
+                if obs is not None else None
+            )
             with FleetServer(
-                artifact, n_workers=2, queue_depth=args.queue_depth
+                artifact, n_workers=2, queue_depth=args.queue_depth,
+                obs=loop_obs,
             ) as fleet:
                 drills["crash_loop"] = run_crash_loop_drill(fleet, index=0)
         payload = {
@@ -428,6 +538,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "drills": drills,
             "stats": stats,
         }
+        if obs is not None:
+            payload["obs"] = _obs_summary(obs, exporter)
         text = json.dumps(payload, indent=2)
         if args.output:
             with open(args.output, "w") as fh:
@@ -437,7 +549,104 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(text)
         return 0
     finally:
+        if exporter is not None:
+            exporter.close()
         shutdown_mod.uninstall_signal_handlers()
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """A self-contained traced serving session that exercises every obs
+    pillar and reports on all of them: train a small model, serve a
+    traced load, scrape the session's own ``/metrics`` + ``/healthz``
+    exporter, and validate the shutdown flight dump."""
+    import tempfile
+    import urllib.request
+
+    from repro.datasets.loaders import load_dataset
+    from repro.deploy.quantized import QuantizedHDCModel
+    from repro.models.registry import make_model
+    from repro.obs import Observability, find_dumps, validate_dump
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ModelServer
+
+    tmp = None
+    flight_dir = args.flight_dir
+    if flight_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-obs-")
+        flight_dir = tmp.name
+    try:
+        obs = Observability(
+            sample_rate=args.trace_sample_rate, flight_dir=flight_dir
+        )
+        data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        model = make_model(
+            "disthd", dim=args.dim, iterations=args.iterations,
+            seed=args.seed,
+        )
+        model.fit(data.train_x, data.train_y)
+        artifact = QuantizedHDCModel(model, bits=args.bits)
+        with obs.serve_metrics(port=args.port) as exporter:
+            with ModelServer(
+                artifact,
+                max_batch_size=args.max_batch_size,
+                max_wait_ms=args.max_wait_ms,
+                obs=obs,
+            ) as server:
+                report = run_load(
+                    server, data.test_x,
+                    n_requests=args.requests,
+                    concurrency=args.concurrency,
+                    tracer=obs.tracer,
+                )
+                with urllib.request.urlopen(
+                    exporter.url + "/healthz", timeout=10
+                ) as resp:
+                    healthz = resp.status
+                with urllib.request.urlopen(
+                    exporter.url + "/metrics", timeout=10
+                ) as resp:
+                    metrics_text = resp.read().decode()
+            # The server just closed: its shutdown flight dump must exist
+            # and parse — the obs-smoke CI job asserts on this.
+            dumps = find_dumps(flight_dir)
+            for path in dumps:
+                validate_dump(path)
+        if args.format == "prometheus":
+            print(metrics_text, end="")
+            return 0
+        payload = {
+            "config": {
+                "dataset": args.dataset,
+                "scale": args.scale,
+                "dim": args.dim,
+                "iterations": args.iterations,
+                "bits": args.bits,
+                "seed": args.seed,
+                "requests": args.requests,
+                "concurrency": args.concurrency,
+                "trace_sample_rate": args.trace_sample_rate,
+            },
+            "load": report.as_record(),
+            "healthz_status": healthz,
+            "metrics_url": exporter.url,
+            "spans_recorded": len(obs.tracer.finished()),
+            "n_traces": len(obs.tracer.trace_ids()),
+            "flight_dir": str(flight_dir),
+            "flight_dumps": [p.name for p in dumps],
+            "metrics_json": obs.registry.render_json(),
+            "metrics_prometheus": metrics_text,
+        }
+        text = json.dumps(payload, indent=2)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -604,6 +813,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-encode", action="store_true",
         help="skip the dense-vs-structured encode-latency scenario",
     )
+    bench.add_argument(
+        "--no-obs", action="store_true",
+        help="skip the observability-overhead scenario",
+    )
     bench.add_argument("--output", default=None, help="JSON output path")
 
     predict = sub.add_parser(
@@ -663,6 +876,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-swap", action="store_true",
         help="skip the mid-run adaptation hot-swap",
     )
+    _add_obs_knobs(serve)
     serve.add_argument("--output", default=None, help="JSON output path")
 
     chaos = sub.add_parser(
@@ -712,7 +926,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-crash-loop", action="store_true",
         help="skip the crash-loop circuit-breaker drill",
     )
+    _add_obs_knobs(chaos)
     chaos.add_argument("--output", default=None, help="JSON output path")
+
+    obs = sub.add_parser(
+        "obs",
+        help="traced serving session: scrape own /metrics + /healthz, "
+        "validate the shutdown flight dump, print the obs surface",
+    )
+    _add_common(obs)
+    obs.set_defaults(dataset="pamap2", scale=0.004, dim=256)
+    obs.add_argument("--iterations", type=int, default=3)
+    obs.add_argument(
+        "--bits", type=int, default=8, choices=(1, 2, 4, 8),
+        help="deploy-artifact precision",
+    )
+    obs.add_argument(
+        "--requests", type=int, default=256, help="total requests to fire"
+    )
+    obs.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop workers"
+    )
+    obs.add_argument("--max-batch-size", type=int, default=64)
+    obs.add_argument("--max-wait-ms", type=float, default=2.0)
+    obs.add_argument(
+        "--trace-sample-rate", type=float, default=1.0,
+        dest="trace_sample_rate",
+        help="fraction of requests to trace (default 1.0: everything)",
+    )
+    obs.add_argument(
+        "--port", type=int, default=0,
+        help="exporter port to scrape (default 0: ephemeral)",
+    )
+    obs.add_argument(
+        "--flight-dir", default=None, dest="flight_dir",
+        help="keep flight dumps here (default: a temp dir, validated "
+        "then discarded)",
+    )
+    obs.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="print the full JSON surface or just the scraped "
+        "Prometheus text",
+    )
+    obs.add_argument("--output", default=None, help="JSON output path")
 
     lint = sub.add_parser(
         "lint", help="run the repro.analysis invariant linter"
@@ -750,6 +1006,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "predict": _cmd_predict,
         "serve": _cmd_serve,
         "chaos": _cmd_chaos,
+        "obs": _cmd_obs,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -1,0 +1,124 @@
+"""``repro.obs`` — zero-dependency observability for the serving stack.
+
+Three pillars (see ``docs/observability.md``):
+
+- **Tracing** (:mod:`repro.obs.trace`): trace/span IDs with
+  monotonic-clock durations, propagated client → ``MicroBatcher`` →
+  ``ModelServer`` → ``FleetServer`` dispatcher → worker process, with a
+  deterministic sampling knob that costs one float compare when off.
+- **Metrics** (:mod:`repro.obs.registry`): a typed
+  counter/gauge/histogram registry rendered as Prometheus text-format
+  or JSON, served by :mod:`repro.obs.exporter` (`/metrics`,
+  `/healthz`) and the ``repro obs`` CLI subcommand.
+- **Flight recorder** (:mod:`repro.obs.recorder`): a bounded ring of
+  recent spans/events per process, dumped as JSONL on worker death,
+  breaker trip, CRC-corruption exit, or graceful shutdown.
+
+All entropy and wall-clock reads live in :mod:`repro.obs.ids` — the one
+module the ``seed-determinism`` lint rule exempts.
+
+:class:`Observability` bundles the three pillars for one process; the
+serving classes accept one via their ``obs=`` keyword.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.exporter import MetricsExporter
+from repro.obs.recorder import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    find_dumps,
+    validate_dump,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    complete_retried_traces,
+    span_record,
+    span_tree,
+)
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "TraceContext",
+    "Span",
+    "NOOP_SPAN",
+    "span_record",
+    "span_tree",
+    "complete_retried_traces",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "MetricsExporter",
+    "FlightRecorder",
+    "FLIGHT_SCHEMA",
+    "validate_dump",
+    "find_dumps",
+]
+
+
+class Observability:
+    """The per-process observability bundle: tracer + registry + recorder.
+
+    ``sample_rate`` feeds the tracer; ``flight_dir`` (optional) is where
+    :meth:`dump_flight` writes JSONL artifacts — when unset, dumps are
+    skipped silently so crash paths stay cheap by default.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_rate: float = 0.0,
+        flight_dir: Optional[Union[str, Path]] = None,
+        role: str = "server",
+        registry: Optional[MetricsRegistry] = None,
+        max_spans: int = 2048,
+        recorder_capacity: int = 512,
+    ) -> None:
+        self.role = role
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(sample_rate, max_spans=max_spans)
+        # Pull-model feed: the recorder pulls recent spans from the
+        # tracer's ring at dump time, so finishing a span on the request
+        # hot path never pays a second recorder push.
+        self.recorder = FlightRecorder(
+            role,
+            capacity=recorder_capacity,
+            span_source=self.tracer.finished,
+        )
+        self.flight_dir = Path(flight_dir) if flight_dir is not None else None
+
+    def dump_flight(self, reason: str) -> Optional[Path]:
+        """Best-effort flight dump into ``flight_dir``; returns the path
+        written, or None when no dir is configured or the write failed
+        (crash paths must never raise out of here)."""
+        if self.flight_dir is None:
+            return None
+        try:
+            return self.recorder.dump(self.flight_dir, reason)
+        except OSError:
+            return None
+
+    def serve_metrics(
+        self, *, host: str = "127.0.0.1", port: int = 0,
+        healthy: Optional[object] = None,
+    ) -> MetricsExporter:
+        """Start an HTTP exporter for this bundle's registry."""
+        return MetricsExporter(
+            self.registry, host=host, port=port, healthy=healthy,  # type: ignore[arg-type]
+        )

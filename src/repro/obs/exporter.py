@@ -1,0 +1,105 @@
+"""Stdlib HTTP exporter: ``/metrics`` (Prometheus text) + ``/healthz``.
+
+A thin ``http.server.ThreadingHTTPServer`` wrapper so ``repro serve`` /
+``repro chaos`` can expose live metrics without any dependency.  Bound
+to localhost by default; ``port=0`` picks an ephemeral port (read it
+back from :attr:`MetricsExporter.port`).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["MetricsExporter"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per-server via the factory in MetricsExporter.
+    registry: MetricsRegistry
+    healthy: Callable[[], bool]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.registry.render_prometheus().encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif path == "/healthz":
+            ok = True
+            try:
+                ok = bool(self.healthy())
+            except Exception:  # noqa: BLE001 - health probe must not 500 raw
+                ok = False
+            body = (b"ok\n" if ok else b"unhealthy\n")
+            self.send_response(200 if ok else 503)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = b"not found\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # keep scrapes out of stderr
+
+
+class MetricsExporter:
+    """Serve a registry over HTTP on a daemon thread.
+
+    >>> exporter = MetricsExporter(registry, port=0)
+    >>> exporter.port  # the bound ephemeral port
+    >>> exporter.close()
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        healthy: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"registry": registry, "healthy": staticmethod(
+                healthy if healthy is not None else lambda: True
+            )},
+        )
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsExporter":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

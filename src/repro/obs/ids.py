@@ -1,0 +1,77 @@
+"""Entropy and wall-clock primitives for the observability layer.
+
+This module is the **only** place in ``repro.obs`` (and the serving
+stack's observability hooks) allowed to touch non-deterministic sources:
+``os.urandom`` seeds the identifier generators and ``time.time``
+provides wall-clock span timestamps.  Everything else in ``repro.obs``
+imports from here, which lets the ``seed-determinism`` lint rule scope
+the observability tree while exempting exactly one file (see
+``repro.analysis.rules.seed_determinism``).
+
+Identifiers are *counter-advanced from a random base*: each process
+draws one random 128-bit trace base and 64-bit span base at import (and
+redraws after ``fork``), then advances an atomic counter per id.  That
+keeps ids unique across processes (two processes collide only if their
+random base ranges overlap within the handful of ids each draws —
+negligible at 64/128 bits) while costing an integer add + format
+instead of an ``os.urandom`` syscall per span, which matters at full
+sampling on the request hot path.
+
+Span *durations* are measured with ``time.perf_counter`` (monotonic) at
+the call sites; only the absolute ``start_unix`` anchor comes from the
+wall clock, so traces can be correlated across processes and with
+external logs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+__all__ = ["new_trace_id", "new_span_id", "wall_now", "process_id"]
+
+_MASK64 = (1 << 64) - 1
+_MASK128 = (1 << 128) - 1
+
+
+def _reseed() -> None:
+    """Draw fresh id bases + counters (at import and after ``fork``)."""
+    global _trace_base, _span_base, _trace_counter, _span_counter, _pid
+    _trace_base = int.from_bytes(os.urandom(16), "big")
+    _span_base = int.from_bytes(os.urandom(8), "big")
+    # Fresh counters so a forked child never replays its parent's ids.
+    _trace_counter = itertools.count()
+    _span_counter = itertools.count()
+    _pid = os.getpid()
+
+
+_reseed()
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython on POSIX
+    os.register_at_fork(after_in_child=_reseed)
+
+
+def new_trace_id() -> str:
+    """A unique 128-bit trace identifier as 32 lowercase hex chars."""
+    # itertools.count.__next__ is a single C call — atomic under the GIL.
+    return "%032x" % ((_trace_base + next(_trace_counter)) & _MASK128)
+
+
+def new_span_id() -> str:
+    """A unique 64-bit span identifier as 16 lowercase hex chars."""
+    return "%016x" % ((_span_base + next(_span_counter)) & _MASK64)
+
+
+def wall_now() -> float:
+    """Wall-clock seconds since the epoch (for span ``start_unix``)."""
+    return time.time()
+
+
+def process_id() -> int:
+    """This process's pid, cached at import / post-fork.
+
+    ``os.getpid()`` is a real syscall; span finish paths stamp a pid per
+    record, so the cached value keeps it off the hot path.  The
+    ``register_at_fork`` hook above refreshes it in children.
+    """
+    return _pid

@@ -1,0 +1,253 @@
+"""Crash flight recorder: a bounded ring of recent spans and events.
+
+Every process in the serving stack (client/server process, fleet
+supervisor, each fleet worker) keeps a :class:`FlightRecorder` — a
+fixed-capacity ring buffer of the most recent finished spans and
+problem events.  On a notable exit (worker death observed by the
+supervisor, circuit-breaker trip, CRC-corruption exit, graceful
+shutdown) the ring is dumped to a JSONL artifact so the last seconds
+before the event are reconstructable after the process is gone.
+
+Dump format (``FLIGHT_SCHEMA`` = 1): one JSON object per line.  The
+first line is a header::
+
+    {"type": "header", "schema": 1, "pid": ..., "role": ...,
+     "reason": ..., "dumped_unix": ..., "n_spans": ..., "n_events": ...}
+
+followed by the ring contents in arrival order, each tagged
+``{"type": "span", ...}`` or ``{"type": "event", ...}``.
+:func:`validate_dump` checks a file against this schema and is what the
+chaos harness and the obs-smoke CI job assert with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs.ids import wall_now
+from repro.obs.ring import ShardedRing
+
+__all__ = ["FLIGHT_SCHEMA", "FlightRecorder", "validate_dump"]
+
+#: Flight-dump schema version (the header's ``schema`` field).
+FLIGHT_SCHEMA = 1
+
+#: Header fields every dump must carry.
+_HEADER_FIELDS = (
+    "type", "schema", "pid", "role", "reason", "dumped_unix",
+    "n_spans", "n_events",
+)
+
+#: Span-record fields every dumped span must carry.
+_SPAN_FIELDS = (
+    "trace_id", "span_id", "name", "role", "pid", "start_unix",
+    "duration_s", "status",
+)
+
+
+def _record_time(record: Dict[str, object]) -> float:
+    """Merge key for dump ordering: a span sorts at its *end* time (when
+    it became recordable), an event at its timestamp."""
+    if record.get("type") == "span":
+        start = record.get("start_unix", 0.0)
+        duration = record.get("duration_s", 0.0)
+        return float(start) + float(duration)  # type: ignore[arg-type]
+    return float(record.get("unix", 0.0))  # type: ignore[arg-type]
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of spans + events with JSONL dumping.
+
+    ``role`` labels the owning process ("server", "supervisor",
+    "worker-3", ...); it lands in the dump header and every event.
+
+    The ring is a :class:`repro.obs.ring.ShardedRing`: workers and the
+    supervisor record spans/events from several threads, so pushes take
+    an uncontended per-thread shard lock, not one shared ring lock
+    (which measurably convoys the request path at full sampling — see
+    ``docs/observability.md``).
+
+    ``span_source`` — an optional zero-arg callable returning recent
+    finished span dicts (:meth:`repro.obs.trace.Tracer.finished`).  When
+    set, :meth:`dump` *pulls* the newest ``capacity`` spans from it and
+    merges them with the directly recorded ring, so the tracer's span
+    hot path never pays a second per-span recorder push.  Processes
+    without a tracer (fleet workers) keep feeding :meth:`record_span`
+    directly.
+    """
+
+    def __init__(
+        self,
+        role: str = "server",
+        *,
+        capacity: int = 512,
+        span_source: Optional[Callable[[], List[Dict[str, object]]]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.role = role
+        self.capacity = int(capacity)
+        self.span_source = span_source
+        self._ring = ShardedRing(
+            self.capacity, lock_name="FlightRecorder._shard_lock"
+        )
+
+    def record_span(self, span: Dict[str, object]) -> None:
+        record = dict(span)
+        record["type"] = "span"
+        self._ring.push(record, "span")
+
+    def record_spans(self, spans: List[Dict[str, object]]) -> None:
+        """Record many finished spans under one shard-lock acquisition.
+
+        The request hot path finishes spans a batch at a time; taking the
+        lock once per batch instead of once per span keeps the recorder
+        feed off the serving critical path.
+        """
+        records = []
+        for span in spans:
+            record = dict(span)
+            record["type"] = "span"
+            records.append(record)
+        self._ring.push_many(records, "span")
+
+    def record_event(
+        self, kind: str, detail: str = "", **attrs: object
+    ) -> None:
+        """A problem/lifecycle event (worker death, breaker trip, ...)."""
+        record: Dict[str, object] = {
+            "type": "event",
+            "kind": kind,
+            "detail": detail,
+            "role": self.role,
+            "pid": os.getpid(),
+            "unix": wall_now(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._ring.push(record, "event")
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return self._ring.snapshot()
+
+    def counts(self) -> Tuple[int, int]:
+        """(total spans recorded, total events recorded) — lifetime, not
+        just what the ring currently retains."""
+        counts = self._ring.counts()
+        return counts.get("span", 0), counts.get("event", 0)
+
+    def dump(
+        self,
+        target: Union[str, Path],
+        reason: str,
+    ) -> Path:
+        """Write the ring as JSONL.  ``target`` may be a directory (a
+        unique ``flight-<role>-<pid>-<reason>.jsonl`` name is chosen) or
+        an explicit file path.  Returns the written path.
+
+        Dumping is best-effort by design at call sites (crash paths must
+        not raise), but this method itself raises on I/O errors so tests
+        can assert them — wrap in try/except where failure is tolerable.
+
+        With a ``span_source`` attached, the newest ``capacity`` spans
+        it returns are pulled *now*, tagged, and merged with the
+        directly recorded ring in time order (span end time vs event
+        time; ties keep arrival order).  The header's ``n_spans`` then
+        counts directly recorded spans (lifetime) plus the pulled spans
+        in this dump.
+        """
+        records = self.snapshot()
+        n_spans, n_events = self.counts()
+        if self.span_source is not None:
+            pulled = []
+            for span in self.span_source()[-self.capacity:]:
+                record = dict(span)
+                record["type"] = "span"
+                pulled.append(record)
+            if pulled:
+                n_spans += len(pulled)
+                records = sorted(
+                    records + pulled, key=_record_time
+                )
+        target = Path(target)
+        if target.is_dir() or not target.suffix:
+            target.mkdir(parents=True, exist_ok=True)
+            safe_reason = "".join(
+                c if c.isalnum() or c in "-_" else "-" for c in reason
+            )
+            target = target / (
+                f"flight-{self.role}-{os.getpid()}-{safe_reason}.jsonl"
+            )
+        header = {
+            "type": "header",
+            "schema": FLIGHT_SCHEMA,
+            "pid": os.getpid(),
+            "role": self.role,
+            "reason": reason,
+            "dumped_unix": wall_now(),
+            "n_spans": n_spans,
+            "n_events": n_events,
+        }
+        lines = [json.dumps(header)]
+        lines.extend(json.dumps(r) for r in records)
+        target.write_text("\n".join(lines) + "\n")
+        return target
+
+
+def validate_dump(path: Union[str, Path]) -> Dict[str, object]:
+    """Parse + schema-check a flight dump; raises ``ValueError`` on any
+    violation.  Returns ``{"header": ..., "spans": [...], "events":
+    [...]}`` for further inspection."""
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty flight dump")
+    try:
+        records = [json.loads(line) for line in lines if line.strip()]
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: unparseable JSONL: {exc}") from exc
+    header = records[0]
+    if header.get("type") != "header":
+        raise ValueError(f"{path}: first record is not a header: {header}")
+    missing = [f for f in _HEADER_FIELDS if f not in header]
+    if missing:
+        raise ValueError(f"{path}: header missing fields {missing}")
+    if header["schema"] != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {header['schema']} != {FLIGHT_SCHEMA}"
+        )
+    spans: List[Dict[str, object]] = []
+    events: List[Dict[str, object]] = []
+    for i, record in enumerate(records[1:], start=2):
+        kind = record.get("type")
+        if kind == "span":
+            bad = [f for f in _SPAN_FIELDS if f not in record]
+            if bad:
+                raise ValueError(
+                    f"{path}:{i}: span record missing fields {bad}"
+                )
+            spans.append(record)
+        elif kind == "event":
+            if "kind" not in record or "unix" not in record:
+                raise ValueError(
+                    f"{path}:{i}: event record missing kind/unix"
+                )
+            events.append(record)
+        else:
+            raise ValueError(f"{path}:{i}: unknown record type {kind!r}")
+    return {"header": header, "spans": spans, "events": events}
+
+
+def find_dumps(directory: Union[str, Path]) -> List[Path]:
+    """All flight-dump files under ``directory`` (non-recursive), sorted
+    by name for determinism."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("flight-*.jsonl"))
+
+
+__all__.append("find_dumps")

@@ -1,0 +1,413 @@
+"""Typed metrics registry: counters, gauges, fixed-bucket histograms.
+
+Zero-dependency Prometheus-style metrics.  A process owns one
+:class:`MetricsRegistry`; components create instruments up front
+(``registry.counter(...)``) and mutate them on the hot path.  All
+instruments share the registry's single lock (``MetricsRegistry._lock``
+in :data:`repro.analysis.annotations.LOCK_ORDER`) — mutation is a
+lock + float add, cheap enough for per-request use, and a scraper
+snapshotting mid-hammer always sees internally consistent values.
+
+Label support is deliberately minimal: an instrument created with
+``labelnames`` is a *family*; ``family.labels(kind="x")`` returns (and
+memoises) the child instrument.  Histograms use fixed bucket
+boundaries chosen at creation (cumulative ``_bucket{le=...}`` counts
+plus ``_sum``/``_count``, Prometheus semantics).
+
+Rendering: :meth:`MetricsRegistry.render_prometheus` (text exposition
+format, suitable for ``/metrics``) and :meth:`render_json` (one dict
+per instrument, suitable for the ``repro obs`` CLI).  Registered
+*collectors* (zero-arg callables) run at the start of every render so
+pull-style values — per-worker queue depth, pending request count —
+refresh at scrape time without a background thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.annotations import guarded_by, make_lock
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram boundaries for request/stage latencies, in seconds:
+#: half-millisecond floor to multi-second tail, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+_LabelValues = Tuple[str, ...]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _label_suffix(labelnames: Sequence[str], values: _LabelValues) -> str:
+    if not labelnames:
+        return ""
+    pairs = ", ".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+@guarded_by("_lock", "_value")
+class Counter:
+    """Monotonically increasing counter."""
+
+    prom_type = "counter"
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _render_value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@guarded_by("_lock", "_value")
+class Gauge:
+    """Instantaneous value; settable both ways."""
+
+    prom_type = "gauge"
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _render_value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@guarded_by("_lock", "_bucket_counts", "_sum", "_count")
+class Histogram:
+    """Fixed-boundary histogram with Prometheus cumulative-bucket output."""
+
+    prom_type = "histogram"
+
+    def __init__(
+        self, lock: threading.Lock, buckets: Sequence[float]
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"histogram buckets must be non-empty and strictly "
+                f"increasing, got {buckets!r}"
+            )
+        self.buckets = bounds
+        self._lock = lock
+        # Per-bucket (non-cumulative) counts; the +Inf bucket is implicit
+        # as the last slot.  Cumulated at render time.
+        self._bucket_counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Linear scan: bucket lists are ~a dozen entries, and the scan is
+        # done outside the lock.
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Observe a batch of values under one lock acquisition.
+
+        The serving hot path completes requests a micro-batch at a time;
+        per-value ``observe`` calls would take the registry lock once per
+        request on the batcher thread."""
+        if not values:
+            return
+        n_buckets = len(self.buckets)
+        indices = []
+        total = 0.0
+        for value in values:
+            value = float(value)
+            index = n_buckets
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = i
+                    break
+            indices.append(index)
+            total += value
+        with self._lock:
+            for index in indices:
+                self._bucket_counts[index] += 1
+            self._sum += total
+            self._count += len(indices)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cumulative bucket counts keyed by upper bound, plus sum/count."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total, n = self._sum, self._count
+        cumulative: List[int] = []
+        running = 0
+        for c in counts:
+            running += c
+            cumulative.append(running)
+        return {
+            "buckets": {
+                **{
+                    _format_value(b): cumulative[i]
+                    for i, b in enumerate(self.buckets)
+                },
+                "+Inf": cumulative[-1],
+            },
+            "sum": total,
+            "count": n,
+        }
+
+
+_Instrument = object  # Counter | Gauge | Histogram
+
+
+class _Family:
+    """One registered metric name: either a single unlabelled instrument
+    or a set of labelled children created on demand via :meth:`labels`."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help_text: str,
+        prom_type: str,
+        factory: Callable[[], _Instrument],
+        labelnames: Tuple[str, ...],
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help_text
+        self.type = prom_type
+        self._factory = factory
+        self.labelnames = labelnames
+        self._children: Dict[_LabelValues, _Instrument] = {}
+        if not labelnames:
+            self._children[()] = factory()
+
+    def labels(self, **labels: str):
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        return self._registry._child(self, key)
+
+    def _unlabelled(self):
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} is labelled {self.labelnames}; "
+                f"use .labels(...)"
+            )
+        return self._children[()]
+
+
+class MetricsRegistry:
+    """Process-wide instrument registry with pull-time collectors."""
+
+    @guarded_by("_lock", "_families", "_collectors")
+    def __init__(self) -> None:
+        self._lock = make_lock("MetricsRegistry._lock")
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------ creation
+
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        prom_type: str,
+        factory: Callable[[], _Instrument],
+        labelnames: Sequence[str],
+    ):
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.type != prom_type or (
+                    existing.labelnames != tuple(labelnames)
+                ):
+                    raise ValueError(
+                        f"metric {name!r} re-registered with a different "
+                        f"type or labels"
+                    )
+                family = existing
+            else:
+                family = _Family(
+                    self, name, help_text, prom_type, factory,
+                    tuple(labelnames),
+                )
+                self._families[name] = family
+        if family.labelnames:
+            return family
+        return family._unlabelled()
+
+    def counter(
+        self, name: str, help_text: str = "",
+        labelnames: Sequence[str] = (),
+    ):
+        """An unlabelled :class:`Counter`, or a family when labelled."""
+        return self._register(
+            name, help_text, "counter", lambda: Counter(self._lock),
+            labelnames,
+        )
+
+    def gauge(
+        self, name: str, help_text: str = "",
+        labelnames: Sequence[str] = (),
+    ):
+        return self._register(
+            name, help_text, "gauge", lambda: Gauge(self._lock), labelnames,
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ):
+        bounds = tuple(buckets)
+        return self._register(
+            name, help_text, "histogram",
+            lambda: Histogram(self._lock, bounds), labelnames,
+        )
+
+    def _child(self, family: _Family, key: _LabelValues):
+        with self._lock:
+            child = family._children.get(key)
+            if child is None:
+                child = family._factory()
+                family._children[key] = child
+            return child
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        """Register a zero-arg callable run at the start of every render
+        (scrape-time refresh for gauges mirroring live state)."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    # ----------------------------------------------------------- rendering
+
+    def _collect(self) -> List[_Family]:
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            fn()  # outside the lock: collectors mutate instruments
+        with self._lock:
+            return list(self._families.values())
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self._collect():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.type}")
+            with self._lock:
+                children = list(family._children.items())
+            for key, instrument in children:
+                suffix = _label_suffix(family.labelnames, key)
+                if isinstance(instrument, Histogram):
+                    snap = instrument.snapshot()
+                    for bound, count in snap["buckets"].items():  # type: ignore[union-attr]
+                        le = _label_suffix(
+                            tuple(family.labelnames) + ("le",),
+                            key + (bound,),
+                        )
+                        lines.append(f"{family.name}_bucket{le} {count}")
+                    lines.append(
+                        f"{family.name}_sum{suffix} "
+                        f"{_format_value(float(snap['sum']))}"  # type: ignore[arg-type]
+                    )
+                    lines.append(f"{family.name}_count{suffix} {snap['count']}")
+                else:
+                    value = instrument._render_value()  # type: ignore[union-attr]
+                    lines.append(
+                        f"{family.name}{suffix} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def render_json(self) -> Dict[str, object]:
+        """One entry per metric name: type, help, and sample values."""
+        out: Dict[str, object] = {}
+        for family in self._collect():
+            with self._lock:
+                children = list(family._children.items())
+            samples = []
+            for key, instrument in children:
+                labels = dict(zip(family.labelnames, key))
+                if isinstance(instrument, Histogram):
+                    samples.append(
+                        {"labels": labels, **instrument.snapshot()}
+                    )
+                else:
+                    samples.append(
+                        {"labels": labels,
+                         "value": instrument._render_value()}  # type: ignore[union-attr]
+                    )
+            out[family.name] = {
+                "type": family.type,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)

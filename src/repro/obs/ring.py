@@ -1,0 +1,145 @@
+"""A sharded, bounded ring for hot-path telemetry records.
+
+The tracer span ring and the flight-recorder ring are multi-producer
+structures fed from every serving thread: 16+ load-generator threads
+finishing root spans plus the batcher thread finishing a whole group per
+flush.  A single shared lock there *convoys* — the measured cost of full
+tracing was almost entirely contended-lock overhead, not span building
+(see ``docs/observability.md``).  :class:`ShardedRing` removes the
+contention structurally:
+
+- records land in one of :data:`N_SHARDS` per-shard deques, each behind
+  its own lock; threads are assigned shards round-robin on first use
+  (cached in a ``threading.local``), so for realistic thread counts the
+  hot-path ``push`` takes an *uncontended* lock;
+- a global ``itertools.count`` stamps every record with a sequence
+  number (``count.__next__`` is a single C call — atomic under the GIL),
+  so :meth:`snapshot` can merge the shards back into exact arrival
+  order;
+- every shard keeps the full ``maxlen`` bound and :meth:`snapshot` trims
+  the merged view to the newest ``maxlen`` records, so the visible
+  semantics are identical to one bounded deque: the newest ``maxlen``
+  records, oldest first.  (Worst-case retained memory is
+  ``N_SHARDS * maxlen`` records when many threads push heavily — the
+  price of uncontended appends; snapshots never show more than
+  ``maxlen``.)
+
+Lifetime per-kind counts (spans vs events for the flight recorder) are
+kept per shard and summed on demand.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from repro.analysis.annotations import guarded_by, make_lock
+
+__all__ = ["N_SHARDS", "ShardedRing"]
+
+#: Shards per ring.  Threads beyond this wrap around and share pairwise
+#: — still near-uncontended for the thread counts the serving stack runs.
+N_SHARDS = 16
+
+#: Round-robin shard assignment, cached per thread.  Module-global so a
+#: thread keeps one index across every ring it touches.
+_assign = itertools.count()
+_tls = threading.local()
+
+
+def _shard_index() -> int:
+    idx = getattr(_tls, "shard_idx", None)
+    if idx is None:
+        idx = next(_assign) % N_SHARDS
+        _tls.shard_idx = idx
+    return idx
+
+
+@guarded_by("_lock", "_items", "_counts")
+class _Shard:
+    """One lock + bounded deque of ``(seq, record)`` pairs."""
+
+    __slots__ = ("_lock", "_items", "_counts")
+
+    def __init__(self, maxlen: int, lock_name: str) -> None:
+        self._lock = make_lock(lock_name)
+        self._items: Deque[Tuple[int, Dict[str, object]]] = deque(
+            maxlen=maxlen
+        )
+        self._counts: Dict[str, int] = {}
+
+    def push(self, seq: int, record: Dict[str, object], kind: str) -> None:
+        with self._lock:
+            self._items.append((seq, record))
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def push_many(
+        self,
+        pairs: List[Tuple[int, Dict[str, object]]],
+        kind: str,
+    ) -> None:
+        with self._lock:
+            self._items.extend(pairs)
+            self._counts[kind] = self._counts.get(kind, 0) + len(pairs)
+
+    def snapshot(self) -> List[Tuple[int, Dict[str, object]]]:
+        with self._lock:
+            return list(self._items)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class ShardedRing:
+    """Bounded multi-producer ring with per-thread shards.
+
+    ``lock_name`` is the :data:`~repro.analysis.annotations.LOCK_ORDER`
+    name the shard locks register under (they are leaf locks: nothing
+    else is ever acquired while one is held).
+    """
+
+    def __init__(self, maxlen: int, *, lock_name: str) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = int(maxlen)
+        self._seq = itertools.count()
+        self._shards = tuple(
+            _Shard(self.maxlen, lock_name) for _ in range(N_SHARDS)
+        )
+
+    def push(self, record: Dict[str, object], kind: str = "record") -> None:
+        """Append one record (uncontended for <= :data:`N_SHARDS` threads)."""
+        self._shards[_shard_index()].push(next(self._seq), record, kind)
+
+    def push_many(
+        self,
+        records: Sequence[Dict[str, object]],
+        kind: str = "record",
+    ) -> None:
+        """Append many records under one shard-lock acquisition."""
+        if not records:
+            return
+        seq = self._seq
+        pairs = [(next(seq), record) for record in records]
+        self._shards[_shard_index()].push_many(pairs, kind)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """The newest ``maxlen`` records in exact arrival order."""
+        merged: List[Tuple[int, Dict[str, object]]] = []
+        for shard in self._shards:
+            merged.extend(shard.snapshot())
+        merged.sort(key=lambda pair: pair[0])
+        if len(merged) > self.maxlen:
+            merged = merged[-self.maxlen:]
+        return [record for _, record in merged]
+
+    def counts(self) -> Dict[str, int]:
+        """Lifetime pushed-record counts by ``kind`` (not just retained)."""
+        total: Dict[str, int] = {}
+        for shard in self._shards:
+            for kind, n in shard.counts().items():
+                total[kind] = total.get(kind, 0) + n
+        return total

@@ -1,0 +1,397 @@
+"""Causal tracing: trace/span identifiers, contexts, and the ``Tracer``.
+
+A *trace* is one logical request; a *span* is one timed stage of it
+(queue wait, batch coalesce, dispatch, encode, score, retry ...).
+Spans are plain dicts so they pickle across worker pipes and serialise
+straight into the flight recorder:
+
+``{"trace_id", "span_id", "parent_id", "name", "role", "pid",
+   "start_unix", "duration_s", "status", "attrs"}``
+
+``start_unix`` is wall-clock (via :mod:`repro.obs.ids`, the one entropy
+module) so spans correlate across processes; ``duration_s`` is measured
+with the monotonic ``time.perf_counter`` so it is immune to clock steps.
+
+Propagation uses :class:`TraceContext`, a picklable named tuple
+``(trace_id, parent_span_id, sampled)`` that rides the existing request
+tuples: client → ``MicroBatcher`` → ``ModelServer`` → ``FleetServer``
+dispatcher → worker process.  Worker processes do not need a
+:class:`Tracer` — they build span dicts with :func:`span_record` and
+ship them back in the response metadata for the supervisor to
+:meth:`Tracer.ingest`.
+
+Sampling is deterministic (an accumulator, not a coin flip): at rate
+``r`` every ``1/r``-th root span is sampled, so benches and tests are
+reproducible and the tracer consumes no entropy beyond the IDs of the
+spans it actually records.  With ``sample_rate=0`` every call returns a
+shared no-op span without taking a lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set
+
+from repro.obs.ids import new_span_id, new_trace_id, process_id, wall_now
+from repro.obs.ring import ShardedRing
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "NOOP_SPAN",
+    "Tracer",
+    "span_record",
+    "root_record",
+    "span_tree",
+    "complete_retried_traces",
+]
+
+
+class TraceContext(NamedTuple):
+    """Picklable propagation token: ride this over queues and pipes."""
+
+    trace_id: str
+    parent_span_id: Optional[str]
+    sampled: bool
+
+
+#: Shared empty ``attrs`` dict for spans that never set any — finishing
+#: a span must not allocate a throwaway dict per record.  Consumers
+#: treat span dicts as read-only; anything that wants to annotate a
+#: finished record must replace ``attrs``, not mutate it.
+_EMPTY_ATTRS: Dict[str, object] = {}
+
+
+class Span:
+    """A live, in-progress span.  Call :meth:`end` (or use ``with``)."""
+
+    __slots__ = (
+        "_tracer", "trace_id", "span_id", "parent_id", "name", "role",
+        "attrs", "start_unix", "_start_perf", "_done",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: str,
+        parent_id: Optional[str],
+        name: str,
+        role: str,
+        attrs: Optional[Dict[str, object]],
+    ) -> None:
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.role = role
+        # Deferred: most spans carry no attrs, so the common case must
+        # not allocate a dict (this constructor is per-request work).
+        self.attrs = dict(attrs) if attrs else None
+        self.start_unix = wall_now()
+        self._start_perf = time.perf_counter()
+        self._done = False
+
+    @property
+    def sampled(self) -> bool:
+        return True
+
+    @property
+    def context(self) -> TraceContext:
+        """Context for children of this span (propagate downstream)."""
+        return TraceContext(self.trace_id, self.span_id, True)
+
+    def end(self, status: str = "ok", **attrs: object) -> None:
+        """Finish the span; idempotent (the first call wins)."""
+        if self._done:
+            return
+        self._done = True
+        duration = time.perf_counter() - self._start_perf
+        if attrs:
+            if self.attrs is None:
+                self.attrs = dict(attrs)
+            else:
+                self.attrs.update(attrs)
+        self._tracer._finish({
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "role": self.role,
+            "pid": process_id(),
+            "start_unix": self.start_unix,
+            "duration_s": duration,
+            "status": status,
+            # Attr-less spans share one empty dict (treat as immutable).
+            "attrs": self.attrs if self.attrs is not None else _EMPTY_ATTRS,
+        })
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.end("error" if exc_type is not None else "ok")
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned for unsampled / disabled traces."""
+
+    __slots__ = ()
+
+    sampled = False
+    context: Optional[TraceContext] = None
+
+    def end(self, status: str = "ok", **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        pass
+
+
+#: The singleton no-op span: ``tracer.start(...)`` returns this object
+#: for every unsampled request, so the disabled path allocates nothing.
+NOOP_SPAN = _NoopSpan()
+
+
+def span_record(
+    name: str,
+    role: str,
+    ctx: TraceContext,
+    start_unix: float,
+    duration_s: float,
+    *,
+    status: str = "ok",
+    attrs: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build a finished span dict without a :class:`Tracer`.
+
+    Worker processes use this to report their stages back to the
+    supervisor (the dict pickles over the response pipe and is fed to
+    :meth:`Tracer.ingest`).  Returns the dict; its ``span_id`` is fresh.
+    """
+    return {
+        "trace_id": ctx.trace_id,
+        "span_id": new_span_id(),
+        "parent_id": ctx.parent_span_id,
+        "name": name,
+        "role": role,
+        "pid": process_id(),
+        "start_unix": start_unix,
+        "duration_s": duration_s,
+        "status": status,
+        "attrs": dict(attrs) if attrs else _EMPTY_ATTRS,
+    }
+
+
+def root_record(
+    name: str,
+    role: str,
+    ctx: TraceContext,
+    start_unix: float,
+    duration_s: float,
+    *,
+    status: str = "ok",
+) -> Dict[str, object]:
+    """The root-span record for a context from :meth:`Tracer.sample_root`.
+
+    Unlike :func:`span_record` (which opens a *child* under ``ctx``),
+    this claims ``ctx.parent_span_id`` as the record's own ``span_id``
+    with no parent — closing the root a batch-reporting client opened.
+    """
+    return {
+        "trace_id": ctx.trace_id,
+        "span_id": ctx.parent_span_id,
+        "parent_id": None,
+        "name": name,
+        "role": role,
+        "pid": process_id(),
+        "start_unix": start_unix,
+        "duration_s": duration_s,
+        "status": status,
+        "attrs": _EMPTY_ATTRS,
+    }
+
+
+class Tracer:
+    """Issues spans, applies sampling, and retains recent finished spans.
+
+    ``sample_rate`` in [0, 1]: 0 disables tracing entirely (near-zero
+    overhead — one float compare per request), 1 samples everything,
+    intermediate rates sample deterministically every ``1/rate``-th
+    root.
+
+    The finished-span ring is a :class:`repro.obs.ring.ShardedRing`:
+    finishing a span takes one *uncontended* per-thread shard lock, so
+    full sampling stays affordable with many client threads finishing
+    spans concurrently (a single shared ring lock measurably convoys
+    the request path — see ``docs/observability.md``).  The flight
+    recorder does **not** receive a per-span push: it pulls recent
+    spans from this ring at dump time (``FlightRecorder.span_source``),
+    so finishing a span costs exactly one ring append.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.0,
+        *,
+        max_spans: int = 2048,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate!r}"
+            )
+        self.sample_rate = float(sample_rate)
+        self._spans = ShardedRing(int(max_spans), lock_name="Tracer._shard_lock")
+        # Root-arrival counter for accumulator sampling; next() is one
+        # C call (GIL-atomic), so sampling decisions never take a lock.
+        self._roots = itertools.count()
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_rate > 0.0
+
+    def _sample(self) -> bool:
+        """Deterministic accumulator sampling for a new root span: root
+        ``n`` is sampled when the cumulative expected count ``(n+1)*rate``
+        crosses an integer — exactly every ``1/rate``-th root."""
+        rate = self.sample_rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        n = next(self._roots)
+        return int((n + 1) * rate) > int(n * rate)
+
+    def sample_root(self) -> Optional[TraceContext]:
+        """Sampling decision + fresh root context, without a live span.
+
+        The high-throughput client pattern (see ``run_load``): call this
+        per request, propagate the returned context, time the request
+        yourself, and report the root spans in batches via
+        :func:`root_record` + :meth:`ingest` — one ring acquisition per
+        batch instead of per request.  Returns ``None`` when the request
+        is unsampled.  The context's ``parent_span_id`` is the *root
+        span's own id* (children parent to it; the eventual root record
+        claims it via :func:`root_record`).
+        """
+        if not self._sample():
+            return None
+        return TraceContext(new_trace_id(), new_span_id(), True)
+
+    def start(
+        self,
+        name: str,
+        *,
+        role: str = "client",
+        ctx: Optional[TraceContext] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ):
+        """Open a span.  Root spans (``ctx=None``) decide sampling; child
+        spans inherit the parent's decision from ``ctx.sampled``."""
+        if ctx is not None:
+            if not ctx.sampled:
+                return NOOP_SPAN
+            return Span(self, ctx.trace_id, ctx.parent_span_id, name, role,
+                        attrs)
+        if not self._sample():
+            return NOOP_SPAN
+        return Span(self, new_trace_id(), None, name, role, attrs)
+
+    def _finish(self, record: Dict[str, object]) -> None:
+        self._spans.push(record, "span")
+
+    def ingest(self, records: Optional[Sequence[Dict[str, object]]]) -> None:
+        """Adopt finished span dicts produced elsewhere (worker pipes,
+        batch-reporting clients).
+
+        Malformed entries (non-dicts, missing ``trace_id``) are skipped.
+        The whole batch lands under one ring-lock acquisition — callers
+        on the serving hot path finish a request group's spans with a
+        single ``ingest`` call.  The tracer takes ownership of the dicts
+        as passed (no defensive copy — a copy per span would double the
+        hot path's allocation churn); callers must hand over records
+        they will not mutate afterwards.
+        """
+        if not records:
+            return
+        cleaned = [
+            record
+            for record in records
+            if isinstance(record, dict) and "trace_id" in record
+        ]
+        if not cleaned:
+            return
+        self._spans.push_many(cleaned, "span")
+
+    def finished(self) -> List[Dict[str, object]]:
+        """Snapshot of retained finished spans (oldest first)."""
+        return self._spans.snapshot()
+
+    def spans_for(self, trace_id: str) -> List[Dict[str, object]]:
+        return [
+            s for s in self._spans.snapshot() if s["trace_id"] == trace_id
+        ]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids among retained spans, oldest first."""
+        seen: Set[str] = set()
+        out: List[str] = []
+        for span in self.finished():
+            tid = str(span["trace_id"])
+            if tid not in seen:
+                seen.add(tid)
+                out.append(tid)
+        return out
+
+
+def span_tree(spans: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Arrange finished span dicts into a parent/child forest.
+
+    Returns a list of root nodes ``{"span": <dict>, "children": [...]}``,
+    roots ordered by ``start_unix``.  Spans whose parent is missing from
+    the input (e.g. it died with a killed worker) surface as roots, so a
+    partial trace still renders.
+    """
+    nodes = {
+        s["span_id"]: {"span": s, "children": []}  # type: ignore[var-annotated]
+        for s in spans
+    }
+    roots = []
+    for node in nodes.values():
+        parent = nodes.get(node["span"]["parent_id"])
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: n["span"]["start_unix"])
+    roots.sort(key=lambda n: n["span"]["start_unix"])
+    return roots
+
+
+def complete_retried_traces(
+    spans: Sequence[Dict[str, object]],
+) -> List[str]:
+    """Trace ids holding a *complete retried request*: a ``retry`` span
+    plus spans from the client, supervisor, and worker roles including a
+    finished ``score`` stage.  This is the acceptance predicate for the
+    chaos kill drill (the first attempt's worker-side spans die with the
+    worker; the surviving retry must still complete the tree)."""
+    by_trace: Dict[str, List[Dict[str, object]]] = {}
+    for span in spans:
+        by_trace.setdefault(str(span["trace_id"]), []).append(span)
+    out = []
+    for tid, group in by_trace.items():
+        names = {s["name"] for s in group}
+        roles = {s["role"] for s in group}
+        if (
+            "retry" in names
+            and "score" in names
+            and {"client", "supervisor", "worker"} <= roles
+        ):
+            out.append(tid)
+    return out

@@ -40,6 +40,7 @@ instead.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Deque, Dict, Optional, Tuple
 
@@ -248,6 +249,25 @@ class OnlineAdapter:
         self.n_failed_cycles = 0
         self.last_drift: Optional[DriftReport] = None
         self.last_error: Optional[BaseException] = None
+        # Publish adaptation health into the server's obs registry (when
+        # the server was built with one): cycle/failure counters plus the
+        # hot-swap latency distribution, so drift response shows up on
+        # the same scrape endpoint as request latency.
+        obs = getattr(server, "obs", None)
+        if obs is not None:
+            reg = obs.registry
+            self._m_cycles = reg.counter(
+                "repro_adapt_cycles_total", "Completed adaptation cycles."
+            )
+            self._m_failures = reg.counter(
+                "repro_adapt_failures_total", "Failed adaptation cycles."
+            )
+            self._m_swap_latency = reg.histogram(
+                "repro_adapt_swap_seconds",
+                "Deploy (hot-swap) latency of adapted artifacts.",
+            )
+        else:
+            self._m_cycles = self._m_failures = self._m_swap_latency = None
         if server.model is base_model:
             # The served object must never be the trainee: partial_fit on
             # it would race live predict batches (the exact hazard the
@@ -410,6 +430,8 @@ class OnlineAdapter:
             self.last_error = exc
             with self._lock:
                 self.n_failed_cycles += 1
+            if self._m_failures is not None:
+                self._m_failures.inc()
             self.server.metrics.record_problem(
                 "adaptation-failure", repr(exc)
             )
@@ -445,7 +467,10 @@ class OnlineAdapter:
         artifact = self._next_artifact()
         retired = self.server.active_version
         retired_artifact = retired.model
+        swap_start = time.perf_counter()
         self.server.deploy(artifact, warm=True, source="online-adapter")
+        if self._m_swap_latency is not None:
+            self._m_swap_latency.observe(time.perf_counter() - swap_start)
         if self._standby is not None:
             # The retired artifact becomes the next standby once no
             # in-flight batch still reads it — but only when it actually
@@ -465,6 +490,8 @@ class OnlineAdapter:
         with self._lock:
             self.detector.rebaseline()
             self.n_adaptations += 1
+        if self._m_cycles is not None:
+            self._m_cycles.inc()
 
     def _next_artifact(self) -> Any:
         """The v(N+1) deploy artifact for the adapted base classifier."""

@@ -42,24 +42,34 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.annotations import make_lock
+from repro.obs.ids import wall_now
+from repro.obs.trace import TraceContext, Tracer, span_record
 from repro.utils.validation import check_positive_float, check_positive_int
 
 #: ``handler(kind, X)``: run one coalesced ``(n, q)`` batch of ``kind``
 #: requests; must return a result array whose first axis aligns with the
-#: rows of ``X``.
-BatchHandler = Callable[[str, np.ndarray], np.ndarray]
+#: rows of ``X``.  With ``pass_context=True`` the handler is called as
+#: ``handler(kind, X, ctx)`` where ``ctx`` is the *lead* trace context of
+#: the batch (the first sampled request's), or ``None``.
+BatchHandler = Callable[..., np.ndarray]
 
 
 class _Request:
     """One pending request: rows in, a future out."""
 
-    __slots__ = ("kind", "rows", "future", "enqueued_at")
+    __slots__ = ("kind", "rows", "future", "enqueued_at", "ctx")
 
-    def __init__(self, kind: str, rows: np.ndarray) -> None:
+    def __init__(
+        self,
+        kind: str,
+        rows: np.ndarray,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         self.kind = kind
         self.rows = rows
         self.future: Future = Future()
         self.enqueued_at = time.perf_counter()
+        self.ctx = ctx
 
 
 class MicroBatcher:
@@ -78,10 +88,25 @@ class MicroBatcher:
     idle_flush_ms:
         Flush early once no new request has arrived for this long
         (milliseconds) — see the module docstring.
-    on_request_done:
-        Optional callback ``(latency_s, ok)`` per finished request.
+    on_group_done:
+        Optional callback ``(latencies_s, ok)`` per resolved request
+        group: the end-to-end latencies (seconds, submit order) of every
+        request in the flushed group, and whether the group succeeded.
+        One call per flush — per-request callbacks would put a lock
+        round-trip per request on the batcher thread.
     on_batch:
         Optional callback ``(n_rows)`` per handler call.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Sampled requests (those
+        submitted with a sampled ``ctx``) get a per-request ``serve``
+        span covering queue wait + batch execution, and each handler
+        call on a batch containing a sampled request gets a ``batch``
+        span parented to that batch's lead context.  ``None`` (the
+        default) keeps the hot path free of tracing branches.
+    pass_context:
+        Call the handler as ``handler(kind, X, ctx)`` with the batch's
+        lead trace context so downstream stages (encode/score, fleet
+        dispatch) can parent their spans to it.
 
     Notes
     -----
@@ -98,16 +123,20 @@ class MicroBatcher:
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         idle_flush_ms: float = 0.2,
-        on_request_done: Optional[Callable[[float, bool], None]] = None,
+        on_group_done: Optional[Callable[[List[float], bool], None]] = None,
         on_batch: Optional[Callable[[int], None]] = None,
+        tracer: Optional[Tracer] = None,
+        pass_context: bool = False,
     ) -> None:
         self.handler = handler
+        self._tracer = tracer
+        self._pass_context = bool(pass_context)
         self.max_batch_size = check_positive_int(max_batch_size, "max_batch_size")
         self.max_wait_s = check_positive_float(max_wait_ms, "max_wait_ms") / 1e3
         self.idle_flush_s = (
             check_positive_float(idle_flush_ms, "idle_flush_ms") / 1e3
         )
-        self._on_request_done = on_request_done
+        self._on_group_done = on_group_done
         self._on_batch = on_batch
         self._queue: "queue.Queue[_Request]" = queue.Queue()
         self._closed = threading.Event()
@@ -119,11 +148,18 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------ intake
 
-    def submit(self, kind: str, rows: Any) -> Future:
+    def submit(
+        self,
+        kind: str,
+        rows: Any,
+        ctx: Optional[TraceContext] = None,
+    ) -> Future:
         """Enqueue ``rows`` (one sample ``(q,)`` or a block ``(m, q)``).
 
-        Returns a future resolving to the handler's result rows for this
-        request.  Raises ``RuntimeError`` after :meth:`close`.
+        ``ctx`` is an optional trace context propagated to the handler
+        and reported on the request's ``serve`` span.  Returns a future
+        resolving to the handler's result rows for this request.  Raises
+        ``RuntimeError`` after :meth:`close`.
         """
         if self._closed.is_set():
             raise RuntimeError("MicroBatcher is closed")
@@ -135,7 +171,7 @@ class MicroBatcher:
                 f"rows must be a sample (q,) or a non-empty block (m, q), "
                 f"got shape {rows.shape}"
             )
-        request = _Request(str(kind), rows)
+        request = _Request(str(kind), rows, ctx)
         self._queue.put(request)
         if self._closed.is_set():
             # close() may have drained between our flag check and the
@@ -178,11 +214,25 @@ class MicroBatcher:
                 n_rows += nxt.rows.shape[0]
             self._flush(pending)
 
+    def _lead_ctx(
+        self, group: Sequence[_Request]
+    ) -> Optional[TraceContext]:
+        """The first sampled context in ``group`` — the batch's spans are
+        parented to one representative request (span trees stay trees;
+        the batch's row count is recorded as an attribute instead)."""
+        if self._tracer is None or not self._tracer.enabled:
+            return None
+        for request in group:
+            if request.ctx is not None and request.ctx.sampled:
+                return request.ctx
+        return None
+
     def _flush(self, pending: Sequence[_Request]) -> None:
         by_kind: Dict[str, List[_Request]] = {}
         for request in pending:
             by_kind.setdefault(request.kind, []).append(request)
         for kind, group in by_kind.items():
+            lead_ctx = self._lead_ctx(group)
             # Everything — stacking included — stays inside the guard: a
             # width-mismatched pair of requests must fail *those* futures,
             # not escape _flush and kill the worker (stranding every
@@ -194,7 +244,26 @@ class MicroBatcher:
                 )
                 if self._on_batch is not None:
                     self._on_batch(batch.shape[0])
-                result = np.asarray(self.handler(kind, batch))
+                span = None
+                if lead_ctx is not None:
+                    span = self._tracer.start(
+                        "batch", role="server", ctx=lead_ctx,
+                        attrs={"kind": kind, "n_rows": int(batch.shape[0]),
+                               "n_requests": len(group)},
+                    )
+                    handler_ctx: Optional[TraceContext] = span.context
+                else:
+                    handler_ctx = None
+                try:
+                    if self._pass_context:
+                        result = np.asarray(
+                            self.handler(kind, batch, handler_ctx)
+                        )
+                    else:
+                        result = np.asarray(self.handler(kind, batch))
+                finally:
+                    if span is not None:
+                        span.end()
                 if result.shape[0] != batch.shape[0]:
                     raise RuntimeError(
                         f"handler returned {result.shape[0]} result rows "
@@ -212,6 +281,37 @@ class MicroBatcher:
         error: Optional[BaseException],
     ) -> None:
         now = time.perf_counter()
+        tracing = self._tracer is not None and self._tracer.enabled
+        wall = wall_now() if tracing else 0.0
+        status = "ok" if error is None else "error"
+        serve_records: List[Dict[str, object]] = []
+        # Bookkeeping first, futures last: settling a future wakes its
+        # waiting client thread, and a woken stampede contends with this
+        # thread for the GIL — so every span/metric built after the first
+        # set_result would run at the slowest possible moment.  Doing all
+        # recording while the clients still sleep keeps the per-batch
+        # tracing cost off the serving critical path.
+        latencies: List[float] = []
+        for request in group:
+            latency = now - request.enqueued_at
+            latencies.append(latency)
+            if tracing and request.ctx is not None and request.ctx.sampled:
+                # Queue wait + batch execution for this one request; the
+                # wall anchor is reconstructed from the monotonic latency
+                # so the hot submit path never reads the wall clock.
+                serve_records.append(span_record(
+                    "serve", "server", request.ctx,
+                    wall - latency, latency,
+                    status=status,
+                    attrs={"kind": request.kind,
+                           "n_rows": int(request.rows.shape[0])},
+                ))
+        if self._on_group_done is not None:
+            self._on_group_done(latencies, error is None)
+        if serve_records:
+            # One ingest per resolved group: the tracer takes its ring
+            # lock once for the whole batch instead of once per request.
+            self._tracer.ingest(serve_records)
         offset = 0
         for request in group:
             stop = offset + request.rows.shape[0]
@@ -220,8 +320,6 @@ class MicroBatcher:
             else:
                 request.future.set_exception(error)
             offset = stop
-            if self._on_request_done is not None:
-                self._on_request_done(now - request.enqueued_at, error is None)
 
     # --------------------------------------------------------------- lifecycle
 

@@ -29,6 +29,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.recorder import find_dumps, validate_dump
+from repro.obs.trace import Tracer
 from repro.serve.fleet.errors import Overloaded
 from repro.serve.fleet.server import BROKEN, RUNNING, FleetServer
 from repro.serve.loadgen import LoadReport, run_load
@@ -56,6 +58,32 @@ def classify_outcomes(predictions: List[object]) -> Dict[str, int]:
         else:
             ok += 1
     return {"ok": ok, "shed": shed, "failed": failed}
+
+
+def verify_flight_dumps(fleet: FleetServer) -> Optional[List[str]]:
+    """Assert the fleet's flight-recorder dumps exist and parse.
+
+    After a disruptive drill (kill/hang/corrupt) a fleet built with an
+    observability bundle *must* have written at least one schema-valid
+    flight dump — that is the crash path the recorder exists for, so a
+    missing or malformed dump fails the drill rather than passing
+    silently.  Returns the validated dump paths, or ``None`` when the
+    fleet has no ``obs``/``flight_dir`` configured (nothing to check).
+    Raises ``RuntimeError`` when no dump exists and ``ValueError`` when
+    one fails schema validation.
+    """
+    obs = getattr(fleet, "obs", None)
+    if obs is None or obs.flight_dir is None:
+        return None
+    paths = find_dumps(obs.flight_dir)
+    if not paths:
+        raise RuntimeError(
+            f"chaos drill expected a flight dump under {obs.flight_dir}; "
+            f"none found"
+        )
+    for path in paths:
+        validate_dump(path)
+    return [str(path) for path in paths]
 
 
 class _RecoveryProbe:
@@ -158,6 +186,7 @@ def run_chaos_drill(
     slow_delay_s: float = 0.25,
     recovery_timeout_s: float = 15.0,
     mode: str = "predict",
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, object]:
     """Closed-loop load with one mid-run fault; returns the full picture.
 
@@ -168,6 +197,12 @@ def run_chaos_drill(
     all-running inside ``recovery_timeout_s`` — or for ``slow``, which
     disrupts nothing the watchdog can see), retry/shed/problem counters
     and per-worker restart counts.
+
+    ``tracer`` propagates trace contexts through the load (see
+    :func:`~repro.serve.loadgen.run_load`).  When the fleet carries an
+    observability bundle with a ``flight_dir``, every disruptive fault
+    additionally *asserts* that a schema-valid flight dump was written
+    (``flight_dumps`` in the record lists the validated paths).
     """
     if fault not in FAULTS:
         raise ValueError(f"unknown fault {fault!r}; expected one of {FAULTS}")
@@ -194,7 +229,7 @@ def run_chaos_drill(
     report: LoadReport = run_load(
         fleet, X,
         n_requests=n_requests, concurrency=concurrency, mode=mode,
-        on_request=on_request,
+        on_request=on_request, tracer=tracer,
     )
     if fault == "slow":
         # Clear the latency injection so later drills see a clean fleet.
@@ -207,9 +242,15 @@ def run_chaos_drill(
     fleet_after = stats_after["fleet"]
     assert isinstance(fleet_after, dict)
 
+    flight_dumps = (
+        verify_flight_dumps(fleet)
+        if fired.is_set() and fault != "slow" else None
+    )
+
     outcomes = classify_outcomes(report.predictions)
     return {
         "fault": fault,
+        "flight_dumps": flight_dumps,
         "injected": dict(injection),
         "fault_after": int(fault_after),
         "n_requests": int(n_requests),
@@ -274,4 +315,5 @@ def run_crash_loop_drill(
         "elapsed_s": time.perf_counter() - t0,
         "worker_states": fleet.worker_states(),
         "problem_counts": fleet.metrics.problem_counts(),
+        "flight_dumps": verify_flight_dumps(fleet) if tripped else None,
     }

@@ -41,6 +41,16 @@ Every noteworthy event lands in the structured problem-event log on
 :class:`~repro.serve.metrics.ServerMetrics`, so ``stats()`` is the one
 operator surface for shed counts, retries, crashes, breaker state and
 swap rollbacks.
+
+Observability (``obs=`` — an :class:`repro.obs.Observability` bundle):
+sampled requests carry their :class:`~repro.obs.trace.TraceContext` over
+the worker queues, the dispatcher wraps each attempt in a ``dispatch``
+span and ingests the worker's ``encode``/``score`` spans from the
+response metadata, retries emit a ``retry`` span on the same trace, and
+the flight recorder is dumped on worker death, breaker trips, and
+close().  Workers additionally ship their per-stage timing split back in
+the response ``meta`` so ``stats()["stages"]`` reports the same
+encode/score breakdown the single-process server does.
 """
 
 from __future__ import annotations
@@ -54,12 +64,14 @@ import time
 from concurrent.futures import Future
 from multiprocessing.connection import Connection, wait as connection_wait
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.annotations import guarded_by, make_lock
 from repro.deploy.quantized import QuantizedHDCModel
+from repro.obs.ids import wall_now
+from repro.obs.trace import TraceContext, span_record
 from repro.serve.fleet.errors import (
     DeadlineExceeded,
     FleetClosed,
@@ -71,6 +83,9 @@ from repro.serve.fleet.shm import EXIT_CORRUPT, SharedArtifact
 from repro.serve.fleet.worker import fleet_worker_main, resolve_worker_count
 from repro.serve.metrics import ServerMetrics
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs import Observability
 
 #: Worker lifecycle states (``stats()["fleet"]["workers"][i]["state"]``).
 STARTING = "starting"
@@ -108,7 +123,7 @@ class _Pending:
 
     __slots__ = (
         "rid", "kind", "rows", "deadline", "enqueued", "future", "worker",
-        "attempts",
+        "attempts", "ctx", "span",
     )
 
     def __init__(
@@ -116,6 +131,7 @@ class _Pending:
         kind: str,
         rows: np.ndarray,
         deadline: float,
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         self.rid = -1
         self.kind = kind
@@ -125,6 +141,8 @@ class _Pending:
         self.future: Future = Future()
         self.worker: Optional[_WorkerHandle] = None
         self.attempts = 0
+        self.ctx = ctx
+        self.span: Optional[Any] = None  # live "dispatch" span, if sampled
 
 
 class _WorkerHandle:
@@ -218,6 +236,13 @@ class FleetServer:
     start_method:
         ``multiprocessing`` start method (default ``fork`` where
         available — restart latency is a recovery-time budget item).
+    obs:
+        Optional :class:`repro.obs.Observability` bundle.  Enables trace
+        propagation over the worker pipes (``ctx=`` on the submit
+        methods), publishes fleet counters and per-worker gauges into
+        the bundle's registry, forwards its ``flight_dir`` to the worker
+        processes, and dumps the flight recorder on worker death,
+        breaker trips, and :meth:`close`.
     """
 
     def __init__(
@@ -241,6 +266,7 @@ class FleetServer:
         start_method: Optional[str] = None,
         metrics_window: int = 8192,
         wait_ready: bool = True,
+        obs: Optional["Observability"] = None,
     ) -> None:
         artifact = as_quantized_artifact(model)
         self.n_workers = resolve_worker_count(
@@ -259,7 +285,8 @@ class FleetServer:
         self.retry_on_worker_loss = bool(retry_on_worker_loss)
         self.service_floor_s = float(service_floor_s)
         self.crc_check_every = int(crc_check_every)
-        self.metrics = ServerMetrics(window=metrics_window)
+        self.obs = obs
+        self.metrics = ServerMetrics(window=metrics_window, obs=obs)
 
         if start_method is None:
             start_method = (
@@ -286,7 +313,14 @@ class FleetServer:
             "heartbeat_interval_s": self.heartbeat_interval_s,
             "crc_check_every": self.crc_check_every,
             "service_floor_s": self.service_floor_s,
+            "flight_dir": (
+                str(obs.flight_dir)
+                if obs is not None and obs.flight_dir is not None
+                else None
+            ),
         }
+        if obs is not None:
+            self._register_fleet_gauges(obs)
 
         self._collector = threading.Thread(
             target=self._collect_loop, name="repro-fleet-collector",
@@ -313,6 +347,51 @@ class FleetServer:
         except BaseException:
             self.close()
             raise
+
+    def _register_fleet_gauges(self, obs: "Observability") -> None:
+        """Pull-style fleet gauges: refreshed by a registry collector at
+        scrape time, so per-worker queue depth and topology are always
+        current without a background publisher thread."""
+        reg = obs.registry
+        g_running = reg.gauge(
+            "repro_fleet_workers_running", "Worker slots in RUNNING state."
+        )
+        g_pending = reg.gauge(
+            "repro_fleet_pending",
+            "In-flight requests (dispatched + parked).",
+        )
+        g_epoch = reg.gauge(
+            "repro_fleet_epoch", "Active shared-artifact epoch."
+        )
+        g_assigned = reg.gauge(
+            "repro_fleet_worker_assigned",
+            "Requests assigned per worker slot (queued + in flight).",
+            labelnames=("worker",),
+        )
+        g_restarts = reg.gauge(
+            "repro_fleet_worker_restarts",
+            "Lifetime restarts per worker slot.",
+            labelnames=("worker",),
+        )
+
+        def collect_fleet() -> None:
+            with self._lock:
+                records = [
+                    (h.index, h.state, h.assigned, max(h.n_restarts, 0))
+                    for h in self._workers
+                ]
+                n_pending = len(self._pending)
+                epoch = self._epoch
+            g_running.set(
+                sum(1 for _, state, _, _ in records if state == RUNNING)
+            )
+            g_pending.set(n_pending)
+            g_epoch.set(epoch)
+            for index, _state, assigned, restarts in records:
+                g_assigned.labels(worker=str(index)).set(assigned)
+                g_restarts.labels(worker=str(index)).set(restarts)
+
+        reg.add_collector(collect_fleet)
 
     # ----------------------------------------------------------- worker spawn
 
@@ -393,13 +472,30 @@ class FleetServer:
     ) -> bool:
         """Queue ``pending`` on the least-loaded candidate (caller holds
         the fleet lock).  Returns False when every queue refused."""
+        trace: Optional[TraceContext] = None
+        if (
+            pending.ctx is not None
+            and pending.ctx.sampled
+            and self.obs is not None
+        ):
+            # One "dispatch" span per attempt; the wire context points at
+            # it so the worker's spans nest under this exact dispatch.
+            span = self.obs.tracer.start(
+                "dispatch", role="supervisor", ctx=pending.ctx,
+                attrs={
+                    "rid": pending.rid, "kind": pending.kind,
+                    "attempt": pending.attempts,
+                },
+            )
+            pending.span = span
+            trace = span.context
         for handle in sorted(candidates, key=lambda h: h.assigned):
             if handle.queue is None:
                 continue
             try:
                 handle.queue.put_nowait(
                     ("req", pending.rid, pending.kind, pending.rows,
-                     pending.deadline, pending.enqueued)
+                     pending.deadline, pending.enqueued, trace)
                 )
             except queue_mod.Full:
                 continue
@@ -408,16 +504,23 @@ class FleetServer:
             pending.worker = handle
             handle.assigned += 1
             return True
+        if pending.span is not None:
+            pending.span.end("no-worker")
+            pending.span = None
         return False
 
     def _submit(
-        self, kind: str, X: Any, timeout: Optional[float]
+        self,
+        kind: str,
+        X: Any,
+        timeout: Optional[float],
+        ctx: Optional[TraceContext] = None,
     ) -> Future:
         rows = self._validate(X)
         timeout_s = (
             self.default_timeout_s if timeout is None else float(timeout)
         )
-        pending = _Pending(kind, rows, time.time() + timeout_s)
+        pending = _Pending(kind, rows, time.time() + timeout_s, ctx)
         with self._lock:
             if self._closed:
                 raise FleetClosed("FleetServer is closed")
@@ -437,16 +540,26 @@ class FleetServer:
         return pending.future
 
     def submit_predict(
-        self, X: Any, timeout: Optional[float] = None
+        self,
+        X: Any,
+        timeout: Optional[float] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> Future:
-        """Dispatch a ``predict`` request; resolves to the label rows."""
-        return self._submit("predict", X, timeout)
+        """Dispatch a ``predict`` request; resolves to the label rows.
+
+        ``ctx`` is an optional trace context: sampled requests get a
+        ``dispatch`` span and the worker ships its stage spans back on
+        the same trace."""
+        return self._submit("predict", X, timeout, ctx)
 
     def submit_decision_scores(
-        self, X: Any, timeout: Optional[float] = None
+        self,
+        X: Any,
+        timeout: Optional[float] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> Future:
-        """Dispatch a ``decision_scores`` request; resolves to (n, k)."""
-        return self._submit("scores", X, timeout)
+        """Dispatch a ``scores`` request; resolves to (n, k) scores."""
+        return self._submit("scores", X, timeout, ctx)
 
     def predict(self, X: Any, timeout: Optional[float] = None) -> np.ndarray:
         """Synchronous fleet prediction (submit + wait)."""
@@ -504,7 +617,7 @@ class FleetServer:
             self._on_response(handle, message)
         elif tag == "ready":
             _, index, generation, epoch = message
-            redispatched = 0
+            redispatched: List[_Pending] = []
             with self._lock:
                 if handle.generation == generation:
                     handle.state = RUNNING
@@ -521,10 +634,11 @@ class FleetServer:
                     for pending in parked:
                         if self._dispatch_to(pending, (handle,)):
                             pending.attempts += 1
-                            redispatched += 1
+                            redispatched.append(pending)
                 self._state_cond.notify_all()
-            for _ in range(redispatched):
+            for pending in redispatched:
                 self.metrics.record_retry()
+                self._record_retry_span(pending)
         elif tag == "reloaded":
             _, _index, generation, epoch = message
             with self._lock:
@@ -559,7 +673,7 @@ class FleetServer:
     def _on_response(
         self, handle: _WorkerHandle, message: Tuple[Any, ...]
     ) -> None:
-        _, rid, status, payload = message
+        _, rid, status, payload, meta = message
         with self._lock:
             pending = self._pending.get(rid)
             if pending is None or pending.worker is not handle:
@@ -571,6 +685,17 @@ class FleetServer:
                 return
             self._pending.pop(rid, None)
             handle.assigned = max(handle.assigned - 1, 0)
+            span = pending.span
+            pending.span = None
+        if span is not None:
+            span.end("ok" if status == "ok" else str(status))
+        if isinstance(meta, dict):
+            if "encode_s" in meta:
+                self.metrics.record_stage_times(
+                    float(meta["encode_s"]), float(meta.get("score_s", 0.0))
+                )
+            if self.obs is not None:
+                self.obs.tracer.ingest(meta.get("spans"))
         if pending.future.done():  # pragma: no cover - resolved late
             return
         if status == "ok":
@@ -589,6 +714,28 @@ class FleetServer:
         else:
             pending.future.set_exception(RequestFailed(str(payload)))
             self.metrics.record_error()
+
+    def _end_dispatch_span(self, pending: _Pending, status: str) -> None:
+        """Close ``pending``'s live dispatch span (caller holds the fleet
+        lock; span locks rank after it, see ``LOCK_ORDER``)."""
+        span = pending.span
+        pending.span = None
+        if span is not None:
+            span.end(status)
+
+    def _record_retry_span(self, pending: _Pending) -> None:
+        """Mark a re-dispatch on the request's trace — the ``retry`` span
+        the chaos drill's span-tree acceptance predicate looks for."""
+        if (
+            self.obs is None
+            or pending.ctx is None
+            or not pending.ctx.sampled
+        ):
+            return
+        self.obs.tracer.ingest([span_record(
+            "retry", "supervisor", pending.ctx, wall_now(), 0.0,
+            attrs={"rid": pending.rid, "attempt": pending.attempts},
+        )])
 
     # --------------------------------------------------------------- watchdog
 
@@ -712,6 +859,8 @@ class FleetServer:
             f"worker {handle.index} gen {handle.generation} "
             f"exitcode={exitcode}",
         )
+        if self.obs is not None:
+            self.obs.dump_flight(f"worker-{reason}")
         if corrupt:
             # The corrupt report may have died with the worker; repair
             # from the exit code alone (idempotent if already repaired).
@@ -728,6 +877,8 @@ class FleetServer:
                 f"worker {handle.index}: {strikes} deaths within "
                 f"{self.restart_window_s}s; no further restarts",
             )
+            if self.obs is not None:
+                self.obs.dump_flight("breaker-trip")
         if old_conn is not None:
             try:
                 old_conn.close()
@@ -765,6 +916,7 @@ class FleetServer:
                         # resolved.  Nothing to retry or fail.
                         outcome = "resolved"
                     else:
+                        self._end_dispatch_span(pending, "worker-lost")
                         pending.worker = None
                         candidates = [
                             h for h in self._workers if h.state == RUNNING
@@ -778,8 +930,11 @@ class FleetServer:
                 with self._lock:
                     if self._pending.pop(pending.rid, None) is None:
                         outcome = "resolved"
+                    else:
+                        self._end_dispatch_span(pending, "worker-lost")
             if outcome == "retried":
                 self.metrics.record_retry()
+                self._record_retry_span(pending)
                 continue
             if outcome in ("parked", "resolved"):
                 continue
@@ -1023,6 +1178,10 @@ class FleetServer:
                 handle.state = STOPPED
         self._closed_event.set()
         for item in pending:
+            span = item.span
+            item.span = None
+            if span is not None:
+                span.end("closed")
             if not item.future.done():
                 item.future.set_exception(
                     FleetClosed("FleetServer closed with request in flight")
@@ -1065,6 +1224,8 @@ class FleetServer:
         from repro.serve import shutdown as shutdown_registry
 
         shutdown_registry.unregister(self)
+        if self.obs is not None:
+            self.obs.dump_flight("shutdown")
 
     def __enter__(self) -> "FleetServer":
         return self

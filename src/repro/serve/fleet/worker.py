@@ -9,10 +9,18 @@ The protocol is deliberately tiny (plain tuples over one ``mp.Queue`` in
 and one pipe out, per worker — a SIGKILLed worker can only corrupt *its
 own* channels, which the supervisor discards wholesale on restart):
 
-- ``("req", rid, kind, rows, deadline, enqueued)`` — score ``rows``
-  (``kind`` is ``"predict"`` or ``"scores"``), unless ``deadline`` (unix
-  seconds) already passed, in which case the worker answers
-  ``("res", rid, "deadline", None)`` without touching the model;
+- ``("req", rid, kind, rows, deadline, enqueued, trace)`` — score
+  ``rows`` (``kind`` is ``"predict"`` or ``"scores"``), unless
+  ``deadline`` (unix seconds) already passed, in which case the worker
+  answers ``("res", rid, "deadline", None, None)`` without touching the
+  model.  ``trace`` is an optional
+  :class:`~repro.obs.trace.TraceContext` tuple riding the request;
+- ``("res", rid, status, payload, meta)`` — the reply.  ``meta`` is
+  ``None`` or a dict carrying the worker-side per-stage timing split
+  (``encode_s`` / ``score_s``, when the model's pipeline splits
+  cleanly — see :mod:`repro.serve.staging`) and, for sampled traces,
+  the worker's finished span dicts under ``"spans"`` for the
+  supervisor's tracer to ingest;
 - ``("reload", epoch, shm_name)`` — fleet hot-swap: attach the new
   segment, rebuild, ack ``("reloaded", ...)``.  The old mapping is kept
   (not closed) until process exit: dropping live ``np.frombuffer`` views
@@ -25,7 +33,11 @@ own* channels, which the supervisor discards wholesale on restart):
 Every ``crc_check_every`` loop ticks the worker re-verifies the segment
 CRC; on mismatch it reports ``("corrupt", ...)`` and exits with
 :data:`~repro.serve.fleet.shm.EXIT_CORRUPT` so the supervisor repairs the
-segment from its pristine copy before restarting the worker.
+segment from its pristine copy before restarting the worker.  When the
+supervisor passes a ``flight_dir`` in the worker config, the worker
+keeps its own :class:`~repro.obs.recorder.FlightRecorder` and dumps it
+(reason ``"corrupt"``) before a CRC-corruption exit — the one death the
+supervisor cannot reconstruct from its own side.
 """
 
 from __future__ import annotations
@@ -34,11 +46,14 @@ import os
 import queue as queue_mod
 import time
 from multiprocessing.connection import Connection
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import TraceContext, span_record
 from repro.serve.fleet.shm import EXIT_CORRUPT, SharedArtifact
+from repro.serve.staging import staged_scores
 
 #: Largest single sleep slice while idling/delaying — heartbeats must keep
 #: flowing through any legitimate wait so the watchdog only fires on real
@@ -60,6 +75,70 @@ def _sleep_with_beats(seconds: float, heartbeat: Any, index: int) -> None:
         time.sleep(min(remaining, _SLICE_S))
 
 
+def _score_request(
+    model: Any, kind: str, rows: np.ndarray
+) -> Tuple[np.ndarray, Optional[float], Optional[float]]:
+    """Serve one request, splitting encode/score stages when the model's
+    pipeline allows it (same split :class:`~repro.serve.server.ModelServer`
+    records single-process).  Returns ``(result, encode_s, score_s)`` with
+    ``None`` timings when no clean split exists."""
+    staged = staged_scores(model, rows)
+    if staged is not None:
+        scores, encode_s, score_s = staged
+        if kind == "predict":
+            return (
+                np.asarray(model.classes_[np.argmax(scores, axis=1)]),
+                encode_s, score_s,
+            )
+        return scores, encode_s, score_s
+    if kind == "predict":
+        return np.asarray(model.predict(rows)), None, None
+    return np.asarray(model.decision_scores(rows)), None, None
+
+
+def _request_meta(
+    trace: Optional[Tuple[str, Optional[str], bool]],
+    index: int,
+    kind: str,
+    start_unix: float,
+    total_s: float,
+    encode_s: Optional[float],
+    score_s: Optional[float],
+    recorder: Optional[FlightRecorder],
+) -> Optional[Dict[str, Any]]:
+    """The response ``meta`` dict: stage timings always (when split),
+    span dicts only for sampled traces."""
+    meta: Dict[str, Any] = {}
+    if encode_s is not None:
+        meta["encode_s"] = float(encode_s)
+        meta["score_s"] = float(score_s or 0.0)
+    if trace is not None and trace[2]:
+        ctx = TraceContext(*trace)
+        worker_span = span_record(
+            "worker", "worker", ctx, start_unix, total_s,
+            attrs={"index": index, "kind": kind},
+        )
+        child_ctx = TraceContext(ctx.trace_id, worker_span["span_id"], True)
+        spans = [worker_span]
+        if encode_s is not None:
+            spans.append(span_record(
+                "encode", "worker", child_ctx, start_unix, encode_s,
+            ))
+            spans.append(span_record(
+                "score", "worker", child_ctx, start_unix + encode_s,
+                float(score_s or 0.0),
+            ))
+        else:
+            spans.append(span_record(
+                "score", "worker", child_ctx, start_unix, total_s,
+            ))
+        meta["spans"] = spans
+        if recorder is not None:
+            for span in spans:
+                recorder.record_span(span)
+    return meta or None
+
+
 def fleet_worker_main(
     index: int,
     generation: int,
@@ -73,12 +152,26 @@ def fleet_worker_main(
     heartbeat_interval_s = float(config.get("heartbeat_interval_s", 0.05))
     crc_check_every = int(config.get("crc_check_every", 64))
     service_floor_s = float(config.get("service_floor_s", 0.0))
+    flight_dir = config.get("flight_dir")
+    recorder: Optional[FlightRecorder] = (
+        FlightRecorder(f"worker-{index}") if flight_dir else None
+    )
     chaos_delay_s = 0.0
     artifacts: List[SharedArtifact] = []
+
+    def _dump_corrupt(epoch: int) -> None:
+        if recorder is None:
+            return
+        recorder.record_event("crc-corrupt", f"epoch {epoch}")
+        try:
+            recorder.dump(flight_dir, "corrupt")
+        except OSError:
+            pass  # crash path: the exit code still tells the supervisor
 
     artifact = SharedArtifact.attach(shm_name)
     if not artifact.verify():
         responses.send(("corrupt", index, generation, artifact.epoch))
+        _dump_corrupt(artifact.epoch)
         os._exit(EXIT_CORRUPT)
     artifacts.append(artifact)
     model = artifact.rebuild_model()
@@ -92,6 +185,7 @@ def fleet_worker_main(
         if crc_check_every and ticks % crc_check_every == 0:
             if not artifact.verify():
                 responses.send(("corrupt", index, generation, artifact.epoch))
+                _dump_corrupt(artifact.epoch)
                 os._exit(EXIT_CORRUPT)
         try:
             message = requests.get(timeout=heartbeat_interval_s)
@@ -100,22 +194,26 @@ def fleet_worker_main(
         tag = message[0]
 
         if tag == "req":
-            _, rid, kind, rows, deadline, _enqueued = message
+            _, rid, kind, rows, deadline, _enqueued, trace = message
             if deadline is not None and time.time() > deadline:
-                responses.send(("res", rid, "deadline", None))
+                responses.send(("res", rid, "deadline", None, None))
                 continue
             delay = service_floor_s + chaos_delay_s
             if delay > 0:
                 _sleep_with_beats(delay, heartbeat, index)
+            start_unix = time.time()
+            start_perf = time.perf_counter()
             try:
-                if kind == "predict":
-                    result = np.asarray(model.predict(rows))
-                else:
-                    result = np.asarray(model.decision_scores(rows))
+                result, encode_s, score_s = _score_request(model, kind, rows)
             except Exception as exc:  # noqa: BLE001 - reported per request
-                responses.send(("res", rid, "error", repr(exc)))
+                responses.send(("res", rid, "error", repr(exc), None))
             else:
-                responses.send(("res", rid, "ok", result))
+                meta = _request_meta(
+                    trace, index, kind, start_unix,
+                    time.perf_counter() - start_perf,
+                    encode_s, score_s, recorder,
+                )
+                responses.send(("res", rid, "ok", result, meta))
 
         elif tag == "reload":
             _, epoch, new_name = message

@@ -23,8 +23,16 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs.ids import wall_now
+from repro.obs.trace import Tracer, root_record
 from repro.serve.metrics import latency_summary_ms
 from repro.utils.validation import check_positive_int
+
+#: Root spans a load worker accumulates before shipping them to the
+#: tracer in one ``ingest`` (one ring acquisition per this many
+#: requests).  Small enough that a worker's tail is a fraction of any
+#: realistic ring, large enough to amortise the lock.
+_SPAN_FLUSH_EVERY = 64
 
 
 class LoadReport:
@@ -90,12 +98,18 @@ def run_load(
     n_requests: int,
     concurrency: int = 32,
     mode: str = "predict",
+    rows_per_request: int = 1,
     on_request: Optional[Callable[[int], None]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> LoadReport:
-    """Fire ``n_requests`` single-row requests at ``target``.
+    """Fire ``n_requests`` requests of ``rows_per_request`` rows each.
 
-    Request ``i`` sends row ``X[i % len(X)]``; workers split the request
-    index space evenly.  ``mode`` selects ``predict`` or ``scores``
+    Request ``i`` sends row ``X[i % len(X)]`` (or, with
+    ``rows_per_request`` > 1, the block of that many consecutive rows
+    starting there, wrapping around — a client-side burst, which the
+    ``MicroBatcher`` coalesces natively and answers with exactly that
+    request's result rows); workers split the request index space
+    evenly.  ``mode`` selects ``predict`` or ``scores``
     against a server target — anything exposing ``submit_predict`` /
     ``submit_decision_scores``, so ModelServer and FleetServer both
     qualify (callables receive the row and define their own semantics).  ``on_request(i)`` — when given — runs
@@ -106,12 +120,27 @@ def run_load(
     Per-request results land in ``report.predictions[i]`` (the exception
     object for failed requests), so parity checks against a reference
     model are one array comparison away.
+
+    ``tracer`` — an optional :class:`repro.obs.Tracer`: each sampled
+    request gets a root ``request`` span (role ``client``) and, against
+    a submit-protocol target, the root's context rides the ``ctx=``
+    keyword so the server/fleet links its own spans under it.  Root
+    spans are *batch-reported*: each worker keeps the
+    :meth:`~repro.obs.trace.Tracer.sample_root` context, times the
+    request, and ships :func:`~repro.obs.trace.root_record` dicts via
+    one :meth:`~repro.obs.trace.Tracer.ingest` per
+    ``_SPAN_FLUSH_EVERY`` requests — the hot loop never takes a ring
+    lock or allocates a live span (measured: per-request span objects
+    convoy the GIL against the batcher thread at high request rates —
+    see ``docs/observability.md``).  An unsampled request costs one
+    sampling decision.
     """
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2 or X.shape[0] == 0:
         raise ValueError(f"X must be a non-empty (n, q) matrix, got {X.shape}")
     n_requests = check_positive_int(n_requests, "n_requests")
     concurrency = check_positive_int(concurrency, "concurrency")
+    rows_per_request = check_positive_int(rows_per_request, "rows_per_request")
     if mode not in ("predict", "scores"):
         raise ValueError(f"mode must be 'predict' or 'scores', got {mode!r}")
 
@@ -121,11 +150,16 @@ def run_load(
             else target.submit_decision_scores
         )
 
-        def issue(row: Any) -> Any:
-            return submit(row).result()
+        def issue(row: Any, ctx: Any) -> Any:
+            return submit(row, ctx=ctx).result()
 
     else:
-        issue = target
+        callable_target = target
+
+        def issue(row: Any, ctx: Any) -> Any:
+            # Plain callables take no context; the root span still times
+            # and records the request.
+            return callable_target(row)
 
     latencies = np.zeros(n_requests, dtype=np.float64)
     predictions: List[object] = [None] * n_requests
@@ -133,19 +167,51 @@ def run_load(
     hook_errors: List[BaseException] = []
     start_gate = threading.Event()
 
+    n_rows = X.shape[0]
+    if rows_per_request == 1:
+        payloads = None
+    else:
+        # Materialise each request's row block up front so per-request
+        # work inside the load loop is a list index, not fancy indexing.
+        payloads = [
+            X[
+                np.arange(i * rows_per_request, (i + 1) * rows_per_request)
+                % n_rows
+            ]
+            for i in range(n_requests)
+        ]
+
+    traced = tracer is not None and tracer.enabled
+    # Anchor wall-clock once so span timestamps come from perf_counter
+    # arithmetic instead of a time.time() call per request.
+    wall_anchor = wall_now() - time.perf_counter() if traced else 0.0
+
     def worker(worker_id: int) -> None:
         start_gate.wait()
+        span_buf: List[Dict[str, object]] = []
         for i in range(worker_id, n_requests, concurrency):
-            row = X[i % X.shape[0]]
+            row = X[i % n_rows] if payloads is None else payloads[i]
+            ctx = tracer.sample_root() if traced else None
+            status = "ok"
             begin = time.perf_counter()
             try:
-                result = issue(row)
+                result = issue(row, ctx)
             except Exception as exc:  # noqa: BLE001 - recorded per request
                 predictions[i] = exc
                 failed[worker_id] += 1
+                status = "error"
             else:
                 predictions[i] = result
-            latencies[i] = time.perf_counter() - begin
+            done = time.perf_counter()
+            latencies[i] = done - begin
+            if ctx is not None:
+                span_buf.append(root_record(
+                    "request", "client", ctx,
+                    wall_anchor + begin, done - begin, status=status,
+                ))
+                if len(span_buf) >= _SPAN_FLUSH_EVERY:
+                    tracer.ingest(span_buf)
+                    span_buf.clear()
             if on_request is not None:
                 # A hook failure must not silently kill this worker's
                 # remaining requests (the report would under-count);
@@ -154,6 +220,8 @@ def run_load(
                     on_request(i)
                 except BaseException as exc:  # noqa: BLE001
                     hook_errors.append(exc)
+        if span_buf:
+            tracer.ingest(span_buf)
 
     threads = [
         threading.Thread(target=worker, args=(w,), daemon=True)

@@ -18,44 +18,79 @@ appends a timestamped ``{"kind", "detail"}`` record (worker crashes,
 circuit-breaker trips, swap rollbacks, adaptation failures, ...) into a
 bounded deque surfaced verbatim in :meth:`ServerMetrics.snapshot` — so
 silent failures become operator-visible without a separate log pipeline.
+
+When constructed with an :class:`repro.obs.Observability` bundle, every
+recording call additionally publishes into the bundle's typed metrics
+registry (Prometheus names ``repro_*`` — see ``docs/observability.md``)
+and problem events are mirrored into its flight recorder, so the
+in-process snapshot and the scrape endpoint can never disagree on what
+was counted.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.annotations import guarded_by, make_lock
 from repro.utils.validation import check_positive_int
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs import Observability
+
 #: Percentiles the latency summary reports, in order.
-LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
 
 #: Most recent problem events kept (older ones age out of the snapshot).
 PROBLEM_LOG_LIMIT = 256
 
+#: Micro-batch size histogram boundaries for the obs registry (rows per
+#: flushed batch; powers of two up to the default max_batch_size ceiling).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def percentile_nearest_rank(sorted_values: np.ndarray, pct: float) -> float:
+    """The nearest-rank percentile of an ascending-sorted 1-D array.
+
+    ``index = ceil(pct/100 * n) - 1`` — the classical definition: the
+    smallest value such that at least ``pct`` percent of samples are <=
+    it.  Unlike interpolating estimators this always returns an observed
+    sample, which keeps tail percentiles (p99.9 over a few thousand
+    samples) honest instead of inventing values between the two largest
+    outliers.  This is the single shared implementation behind every
+    serving latency summary.
+    """
+    n = sorted_values.size
+    if n == 0:
+        raise ValueError("percentile of empty array")
+    index = max(int(math.ceil(pct / 100.0 * n)) - 1, 0)
+    return float(sorted_values[min(index, n - 1)])
+
 
 def latency_summary_ms(latencies_s: np.ndarray) -> Optional[Dict[str, float]]:
-    """p50/p95/p99/mean/max of latencies (seconds in, milliseconds out).
+    """p50/p95/p99/p99.9/mean/max of latencies (seconds in, ms out).
 
     The one summary shape every serving surface reports —
     :meth:`ServerMetrics.snapshot` and the load generator's
     :meth:`~repro.serve.loadgen.LoadReport.latency_ms` both render
-    through it.  ``None`` when there are no samples.
+    through it.  Percentiles are nearest-rank (see
+    :func:`percentile_nearest_rank`).  ``None`` when there are no
+    samples.
     """
     latencies_s = np.asarray(latencies_s, dtype=np.float64)
     if latencies_s.size == 0:
         return None
-    ms = latencies_s * 1e3
+    ms = np.sort(latencies_s * 1e3)
     summary = {
-        f"p{pct:g}": float(np.percentile(ms, pct))
+        f"p{pct:g}": percentile_nearest_rank(ms, pct)
         for pct in LATENCY_PERCENTILES
     }
     summary["mean"] = float(np.mean(ms))
-    summary["max"] = float(np.max(ms))
+    summary["max"] = float(ms[-1])
     return summary
 
 
@@ -82,10 +117,60 @@ class ServerMetrics:
     window:
         How many of the most recent request latencies the percentile
         summary is computed over (older samples age out of the ring).
+    obs:
+        Optional :class:`repro.obs.Observability` bundle; when given,
+        every recording call also publishes into its metrics registry
+        and problem events mirror into its flight recorder.
     """
 
-    def __init__(self, window: int = 8192) -> None:
+    def __init__(
+        self, window: int = 8192, *, obs: Optional["Observability"] = None
+    ) -> None:
         self.window = check_positive_int(window, "window")
+        self.obs = obs
+        if obs is not None:
+            reg = obs.registry
+            self._m_requests = reg.counter(
+                "repro_requests_total", "Completed requests (lifetime)."
+            )
+            self._m_latency = reg.histogram(
+                "repro_request_latency_seconds",
+                "End-to-end request latency.",
+            )
+            self._m_errors = reg.counter(
+                "repro_errors_total", "Failed requests."
+            )
+            self._m_swaps = reg.counter(
+                "repro_swaps_total", "Completed model hot-swaps."
+            )
+            self._m_shed = reg.counter(
+                "repro_shed_total", "Requests rejected by admission control."
+            )
+            self._m_retries = reg.counter(
+                "repro_retries_total",
+                "In-flight requests re-dispatched after worker loss.",
+            )
+            self._m_batch = reg.histogram(
+                "repro_batch_size", "Coalesced rows per flushed micro-batch.",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+            self._m_stage_encode = reg.counter(
+                "repro_stage_encode_seconds_total",
+                "Cumulative encode-stage seconds across staged batches.",
+            )
+            self._m_stage_score = reg.counter(
+                "repro_stage_score_seconds_total",
+                "Cumulative score-stage seconds across staged batches.",
+            )
+            self._m_problems = reg.counter(
+                "repro_problems_total", "Structured problem events by kind.",
+                labelnames=("kind",),
+            )
+        else:
+            self._m_requests = self._m_latency = self._m_errors = None
+            self._m_swaps = self._m_shed = self._m_retries = None
+            self._m_batch = self._m_stage_encode = None
+            self._m_stage_score = self._m_problems = None
         self._lock = make_lock("ServerMetrics._lock")
         self._started = time.perf_counter()
         self._latencies = np.zeros(self.window, dtype=np.float64)
@@ -111,33 +196,63 @@ class ServerMetrics:
             self._latencies[self._latency_pos] = latency_s
             self._latency_pos = (self._latency_pos + 1) % self.window
             self._latency_count += 1
+        if self._m_requests is not None:
+            self._m_requests.inc()
+            self._m_latency.observe(latency_s)
+
+    def record_requests(self, latencies_s: Sequence[float]) -> None:
+        """Record a whole micro-batch group's latencies at once.
+
+        The batcher resolves a group per flush; recording it with one
+        ring-lock acquisition and one registry-lock histogram update
+        keeps metrics off the per-request critical path."""
+        if not latencies_s:
+            return
+        with self._lock:
+            for latency_s in latencies_s:
+                self._latencies[self._latency_pos] = latency_s
+                self._latency_pos = (self._latency_pos + 1) % self.window
+            self._latency_count += len(latencies_s)
+        if self._m_requests is not None:
+            self._m_requests.inc(len(latencies_s))
+            self._m_latency.observe_many(latencies_s)
 
     def record_batch(self, size: int) -> None:
         """Record one flushed micro-batch of ``size`` coalesced rows."""
         size = int(size)
         with self._lock:
             self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+        if self._m_batch is not None:
+            self._m_batch.observe(size)
 
     def record_error(self) -> None:
         """Record one failed request."""
         with self._lock:
             self._n_errors += 1
+        if self._m_errors is not None:
+            self._m_errors.inc()
 
     def record_swap(self) -> None:
         """Record one completed model hot-swap."""
         with self._lock:
             self._n_swaps += 1
+        if self._m_swaps is not None:
+            self._m_swaps.inc()
 
     def record_shed(self) -> None:
         """Record one request rejected by admission control (shed load —
         deliberate backpressure, counted separately from errors)."""
         with self._lock:
             self._n_shed += 1
+        if self._m_shed is not None:
+            self._m_shed.inc()
 
     def record_retry(self) -> None:
         """Record one in-flight request re-dispatched after worker loss."""
         with self._lock:
             self._n_retries += 1
+        if self._m_retries is not None:
+            self._m_retries.inc()
 
     def record_stage_times(self, encode_s: float, score_s: float) -> None:
         """Record one micro-batch's per-stage split: encode vs score.
@@ -151,6 +266,9 @@ class ServerMetrics:
             self._stage_encode_s += float(encode_s)
             self._stage_score_s += float(score_s)
             self._stage_batches += 1
+        if self._m_stage_encode is not None:
+            self._m_stage_encode.inc(float(encode_s))
+            self._m_stage_score.inc(float(score_s))
 
     def record_problem(self, kind: str, detail: str = "") -> None:
         """Append one structured problem event to the bounded log.
@@ -166,6 +284,10 @@ class ServerMetrics:
         }
         with self._lock:
             self._problems.append(event)
+        if self._m_problems is not None:
+            self._m_problems.labels(kind=str(kind)).inc()
+        if self.obs is not None:
+            self.obs.recorder.record_event(str(kind), str(detail))
 
     # ------------------------------------------------------------- reporting
 

@@ -36,14 +36,20 @@ import threading
 import time
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.analysis.annotations import guarded_by, make_lock
+from repro.obs.ids import wall_now
+from repro.obs.trace import TraceContext, span_record
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServerMetrics
+from repro.serve.staging import staged_scores
 from repro.utils.validation import check_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 #: Request kinds the batch handler understands.
 _KIND_PREDICT = "predict"
@@ -176,6 +182,12 @@ class ModelServer:
         Keep retired versions' model objects alive.  Off by default —
         retiring releases the reference once the adapter (or any caller
         holding it) is done; the version *record* is always kept.
+    obs:
+        Optional :class:`repro.obs.Observability` bundle.  Metrics
+        publish into its registry, sampled requests get server-side
+        spans (``serve`` / ``batch`` / ``encode`` / ``score``), and
+        :meth:`close` dumps its flight recorder with reason
+        ``"shutdown"``.
 
     Examples
     --------
@@ -204,8 +216,10 @@ class ModelServer:
         idle_flush_ms: float = 0.2,
         metrics_window: int = 8192,
         retain_retired: bool = False,
+        obs: Optional["Observability"] = None,
     ) -> None:
-        self.metrics = ServerMetrics(window=metrics_window)
+        self.obs = obs
+        self.metrics = ServerMetrics(window=metrics_window, obs=obs)
         self.retain_retired = bool(retain_retired)
         self._swap_lock = make_lock("ModelServer._swap_lock")
         self._versions: List[ModelVersion] = []
@@ -217,8 +231,10 @@ class ModelServer:
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             idle_flush_ms=idle_flush_ms,
-            on_request_done=self._on_request_done,
+            on_group_done=self._on_group_done,
             on_batch=self.metrics.record_batch,
+            tracer=obs.tracer if obs is not None else None,
+            pass_context=obs is not None,
         )
         try:
             self.deploy(model, warm=False)
@@ -231,43 +247,43 @@ class ModelServer:
 
     # ---------------------------------------------------------------- handler
 
-    def _staged_scores(self, model: Any, X: np.ndarray) -> Optional[np.ndarray]:
+    def _staged_scores(
+        self,
+        model: Any,
+        X: np.ndarray,
+        ctx: Optional[TraceContext] = None,
+    ) -> Optional[np.ndarray]:
         """Score ``X`` with the encode and score stages timed separately.
 
-        Only taken when it is *exactly* the model's own unsplit path —
-        :class:`~repro.deploy.quantized.QuantizedHDCModel` (``encoder`` +
-        ``score_encoded``, unchunked batches only) and the persistence
-        layer's ``LoadedHDCModel`` (``encoder_`` +
-        ``memory_.similarities``).  Returns ``None`` otherwise and the
-        handler falls back to ``model.decision_scores``; the split feeds
-        :meth:`~repro.serve.metrics.ServerMetrics.record_stage_times`, so
+        The split itself lives in :func:`repro.serve.staging.staged_scores`
+        (shared with the fleet worker); this wrapper feeds the timings to
+        :meth:`~repro.serve.metrics.ServerMetrics.record_stage_times` — so
         the stats endpoint shows how much of the serving budget goes to
-        encoding versus scoring.
+        encoding versus scoring — and, for a sampled batch, emits
+        ``encode`` / ``score`` spans parented to the batch span.
+        Returns ``None`` when the model has no clean split and the
+        handler falls back to ``model.decision_scores``.
         """
-        score_encoded = getattr(model, "score_encoded", None)
-        if callable(score_encoded):
-            encoder = getattr(model, "encoder", None)
-            chunk = getattr(model, "chunk_size", None)
-            if encoder is None or (
-                chunk is not None and X.shape[0] > int(chunk)
-            ):
-                return None  # chunked artifact: defer to its own windowing
-            scorer = score_encoded
-        else:
-            from repro.persistence import LoadedHDCModel
-
-            if not isinstance(model, LoadedHDCModel):
-                return None
-            encoder = model.encoder_
-            scorer = model.memory_.similarities
-        start = time.perf_counter()
-        encoded = encoder.encode(X)
-        mid = time.perf_counter()
-        scores = np.asarray(scorer(encoded))
-        self.metrics.record_stage_times(mid - start, time.perf_counter() - mid)
+        result = staged_scores(model, X)
+        if result is None:
+            return None
+        scores, encode_s, score_s = result
+        self.metrics.record_stage_times(encode_s, score_s)
+        if ctx is not None and ctx.sampled and self.obs is not None:
+            now = wall_now()
+            self.obs.tracer.ingest([
+                span_record("encode", "server", ctx,
+                            now - encode_s - score_s, encode_s),
+                span_record("score", "server", ctx, now - score_s, score_s),
+            ])
         return scores
 
-    def _handle(self, kind: str, X: np.ndarray) -> np.ndarray:
+    def _handle(
+        self,
+        kind: str,
+        X: np.ndarray,
+        ctx: Optional[TraceContext] = None,
+    ) -> np.ndarray:
         # One coherent version per batch.  A deploy can flip the active
         # pointer (and drain + release the old version) between our read
         # and our registration; _try_enter refuses a released version, in
@@ -279,7 +295,7 @@ class ModelServer:
         try:
             if kind not in (_KIND_PREDICT, _KIND_SCORES):
                 raise ValueError(f"unknown request kind {kind!r}")
-            scores = self._staged_scores(active.model, X)
+            scores = self._staged_scores(active.model, X, ctx)
             if scores is None:
                 if kind == _KIND_PREDICT:
                     return np.asarray(active.model.predict(X))
@@ -292,10 +308,11 @@ class ModelServer:
         finally:
             active._exit()
 
-    def _on_request_done(self, latency_s: float, ok: bool) -> None:
-        self.metrics.record_request(latency_s)
+    def _on_group_done(self, latencies_s: List[float], ok: bool) -> None:
+        self.metrics.record_requests(latencies_s)
         if not ok:
-            self.metrics.record_error()
+            for _ in latencies_s:
+                self.metrics.record_error()
 
     # ----------------------------------------------------------------- intake
 
@@ -316,13 +333,17 @@ class ModelServer:
             self._warm_rows = X[:1].copy()
         return X
 
-    def submit_predict(self, X: Any) -> Future:
+    def submit_predict(
+        self, X: Any, ctx: Optional[TraceContext] = None
+    ) -> Future:
         """Micro-batched ``predict``; resolves to the label rows for ``X``."""
-        return self._batcher.submit(_KIND_PREDICT, self._prepare(X))
+        return self._batcher.submit(_KIND_PREDICT, self._prepare(X), ctx)
 
-    def submit_decision_scores(self, X: Any) -> Future:
+    def submit_decision_scores(
+        self, X: Any, ctx: Optional[TraceContext] = None
+    ) -> Future:
         """Micro-batched ``decision_scores``; resolves to ``(n, k)`` scores."""
-        return self._batcher.submit(_KIND_SCORES, self._prepare(X))
+        return self._batcher.submit(_KIND_SCORES, self._prepare(X), ctx)
 
     def predict(self, X: Any, timeout: Optional[float] = None) -> np.ndarray:
         """Synchronous micro-batched prediction (submit + wait)."""
@@ -442,12 +463,17 @@ class ModelServer:
         """Stop intake, flush pending requests, release the worker.
 
         Idempotent, and registered with :mod:`repro.serve.shutdown` so a
-        SIGTERM/SIGINT drains the batcher before the process exits."""
+        SIGTERM/SIGINT drains the batcher before the process exits.
+        When an obs bundle with a ``flight_dir`` is attached, the first
+        close dumps the flight recorder (reason ``"shutdown"``)."""
+        first_close = not self._closed
         self._closed = True
         self._batcher.close()
         from repro.serve import shutdown as shutdown_registry
 
         shutdown_registry.unregister(self)
+        if first_close and self.obs is not None:
+            self.obs.dump_flight("shutdown")
 
     def __enter__(self) -> "ModelServer":
         return self

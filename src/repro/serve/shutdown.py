@@ -13,6 +13,12 @@ register.  :class:`~repro.serve.server.ModelServer` and
 :class:`~repro.serve.fleet.server.FleetServer` register themselves on
 construction and unregister on close, so user code only has to call
 :func:`install_signal_handlers` (the CLI does it for you).
+
+Flight dumps ride the same path: a server built with an
+:class:`~repro.obs.Observability` bundle writes its ``shutdown`` flight
+dump inside its own first ``close()`` — the registry never dumps
+anything itself, so a signal-driven sweep leaves exactly one forensic
+artifact per server, same as a clean exit.
 """
 
 from __future__ import annotations

@@ -1,0 +1,59 @@
+"""Shared staged scoring: encode and score timed as separate stages.
+
+Both serving paths want the same split — :class:`~repro.serve.server.
+ModelServer` feeds it to ``ServerMetrics.record_stage_times`` for the
+single-process stats endpoint, and the fleet worker ships the two
+timings back over the response pipe so :class:`~repro.serve.fleet.
+FleetServer` stats expose the identical per-stage breakdown.  The split
+is only taken when it is *exactly* the model's own unsplit path:
+
+- :class:`~repro.deploy.quantized.QuantizedHDCModel`: ``encoder`` +
+  ``score_encoded``, unchunked batches only (a chunked artifact windows
+  internally and must keep doing so);
+- the persistence layer's ``LoadedHDCModel``: ``encoder_`` +
+  ``memory_.similarities``.
+
+Anything else returns ``None`` and the caller falls back to the model's
+own ``predict`` / ``decision_scores``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["staged_scores"]
+
+
+def staged_scores(
+    model: Any, X: np.ndarray
+) -> Optional[Tuple[np.ndarray, float, float]]:
+    """Score ``X`` with per-stage timing: ``(scores, encode_s, score_s)``.
+
+    Returns ``None`` when ``model`` has no cleanly splittable
+    encode/score pipeline (see module docstring); timings are
+    ``time.perf_counter`` deltas.
+    """
+    score_encoded = getattr(model, "score_encoded", None)
+    if callable(score_encoded):
+        encoder = getattr(model, "encoder", None)
+        chunk = getattr(model, "chunk_size", None)
+        if encoder is None or (
+            chunk is not None and X.shape[0] > int(chunk)
+        ):
+            return None  # chunked artifact: defer to its own windowing
+        scorer = score_encoded
+    else:
+        from repro.persistence import LoadedHDCModel
+
+        if not isinstance(model, LoadedHDCModel):
+            return None
+        encoder = model.encoder_
+        scorer = model.memory_.similarities
+    start = time.perf_counter()
+    encoded = encoder.encode(X)
+    mid = time.perf_counter()
+    scores = np.asarray(scorer(encoded))
+    return scores, mid - start, time.perf_counter() - mid

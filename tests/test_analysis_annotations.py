@@ -79,11 +79,14 @@ class TestLockOrder:
             "MicroBatcher._drain_lock",
             "ModelVersion._lock",
             "ServerMetrics._lock",
+            "Tracer._shard_lock",
+            "MetricsRegistry._lock",
+            "FlightRecorder._shard_lock",
         )
 
     def test_lock_rank(self):
         assert lock_rank("OnlineAdapter._lock") == 0
-        assert lock_rank("ServerMetrics._lock") == len(LOCK_ORDER) - 1
+        assert lock_rank("FlightRecorder._shard_lock") == len(LOCK_ORDER) - 1
         assert lock_rank("Nobody._lock") is None
 
 

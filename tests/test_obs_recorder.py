@@ -1,0 +1,207 @@
+"""Tests for repro.obs.recorder and the HTTP exporter — the flight
+recorder's ring semantics, dump schema, validation failures, and the
+/metrics + /healthz endpoints."""
+
+import json
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.exporter import MetricsExporter
+from repro.obs.recorder import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    find_dumps,
+    validate_dump,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceContext, span_record
+
+
+def _span(i=0):
+    ctx = TraceContext(f"t-{i}", None, True)
+    return span_record("score", "worker", ctx, 0.0, 0.001)
+
+
+class TestRing:
+    def test_capacity_bound_and_lifetime_counts(self):
+        recorder = FlightRecorder("server", capacity=3)
+        for i in range(5):
+            recorder.record_span(_span(i))
+        recorder.record_event("breaker-trip", "3 deaths")
+        retained = recorder.snapshot()
+        assert len(retained) == 3
+        # Ring keeps the newest records; counts are lifetime totals.
+        assert retained[-1]["type"] == "event"
+        assert recorder.counts() == (5, 1)
+
+    def test_event_fields(self):
+        recorder = FlightRecorder("supervisor")
+        recorder.record_event("worker-death", "pid 123", index=2)
+        (event,) = recorder.snapshot()
+        assert event["kind"] == "worker-death"
+        assert event["role"] == "supervisor"
+        assert event["pid"] == os.getpid()
+        assert event["attrs"] == {"index": 2}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_dump_to_directory_and_validate(self, tmp_path):
+        recorder = FlightRecorder("worker-1", capacity=8)
+        recorder.record_span(_span())
+        recorder.record_event("chaos", "kill")
+        path = recorder.dump(tmp_path, reason="worker death!")
+        # Reason is sanitised into the filename.
+        assert path.name == f"flight-worker-1-{os.getpid()}-worker-death-.jsonl"
+        parsed = validate_dump(path)
+        assert parsed["header"]["schema"] == FLIGHT_SCHEMA
+        assert parsed["header"]["role"] == "worker-1"
+        assert parsed["header"]["reason"] == "worker death!"
+        assert len(parsed["spans"]) == 1
+        assert len(parsed["events"]) == 1
+
+    def test_dump_to_explicit_file(self, tmp_path):
+        recorder = FlightRecorder("server")
+        target = tmp_path / "exact.jsonl"
+        assert recorder.dump(target, "shutdown") == target
+        assert validate_dump(target)["header"]["reason"] == "shutdown"
+
+    def test_find_dumps(self, tmp_path):
+        recorder = FlightRecorder("server")
+        recorder.dump(tmp_path, "b-reason")
+        recorder.dump(tmp_path, "a-reason")
+        (tmp_path / "unrelated.jsonl").write_text("{}\n")
+        names = [p.name for p in find_dumps(tmp_path)]
+        assert len(names) == 2
+        assert names == sorted(names)
+        assert find_dumps(tmp_path / "missing") == []
+
+
+class TestValidateFailures:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            validate_dump(path)
+
+    def test_not_jsonl(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="unparseable"):
+            validate_dump(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "headerless.jsonl"
+        path.write_text(json.dumps({"type": "span"}) + "\n")
+        with pytest.raises(ValueError, match="not a header"):
+            validate_dump(path)
+
+    def test_schema_mismatch(self, tmp_path):
+        recorder = FlightRecorder("server")
+        path = recorder.dump(tmp_path, "ok")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = FLIGHT_SCHEMA + 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            validate_dump(path)
+
+    def test_span_missing_fields(self, tmp_path):
+        recorder = FlightRecorder("server")
+        path = recorder.dump(tmp_path, "ok")
+        bad = {"type": "span", "trace_id": "t"}
+        path.write_text(
+            path.read_text() + json.dumps(bad) + "\n"
+        )
+        with pytest.raises(ValueError, match="missing fields"):
+            validate_dump(path)
+
+    def test_unknown_record_type(self, tmp_path):
+        recorder = FlightRecorder("server")
+        path = recorder.dump(tmp_path, "ok")
+        path.write_text(
+            path.read_text() + json.dumps({"type": "mystery"}) + "\n"
+        )
+        with pytest.raises(ValueError, match="unknown record type"):
+            validate_dump(path)
+
+
+class TestObservabilityBundle:
+    def test_dump_flight_without_dir_is_none(self):
+        obs = Observability(sample_rate=1.0)
+        obs.tracer.start("request").end()
+        assert obs.dump_flight("shutdown") is None
+
+    def test_dump_flight_writes_and_validates(self, tmp_path):
+        obs = Observability(
+            sample_rate=1.0, flight_dir=tmp_path, role="supervisor"
+        )
+        obs.tracer.start("request").end()
+        path = obs.dump_flight("breaker-trip")
+        assert path is not None
+        parsed = validate_dump(path)
+        assert parsed["header"]["role"] == "supervisor"
+        assert len(parsed["spans"]) == 1
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        obs = Observability(registry=registry)
+        assert obs.registry is registry
+        assert Observability().registry is not registry
+
+
+class TestExporter:
+    def _get(self, url):
+        try:
+            with urllib.request.urlopen(url, timeout=5.0) as resp:
+                return resp.status, resp.read().decode()
+        except urllib.error.HTTPError as err:
+            return err.code, err.read().decode()
+
+    def test_metrics_and_healthz(self):
+        registry = MetricsRegistry()
+        registry.counter("up_total").inc()
+        with MetricsExporter(registry, port=0) as exporter:
+            status, body = self._get(exporter.url + "/metrics")
+            assert status == 200
+            assert "up_total 1" in body
+            status, body = self._get(exporter.url + "/healthz")
+            assert status == 200 and body == "ok\n"
+            status, _ = self._get(exporter.url + "/nope")
+            assert status == 404
+
+    def test_unhealthy_and_raising_probe(self):
+        registry = MetricsRegistry()
+        flags = {"ok": False}
+        with MetricsExporter(
+            registry, port=0, healthy=lambda: flags["ok"]
+        ) as exporter:
+            status, body = self._get(exporter.url + "/healthz")
+            assert status == 503 and body == "unhealthy\n"
+            flags["ok"] = True
+            status, _ = self._get(exporter.url + "/healthz")
+            assert status == 200
+
+        def boom():
+            raise RuntimeError("probe crashed")
+
+        with MetricsExporter(registry, port=0, healthy=boom) as exporter:
+            status, _ = self._get(exporter.url + "/healthz")
+            assert status == 503
+
+    def test_bundle_serve_metrics_and_close_idempotent(self):
+        obs = Observability()
+        exporter = obs.serve_metrics(port=0)
+        try:
+            status, _ = self._get(exporter.url + "/metrics")
+            assert status == 200
+        finally:
+            exporter.close()
+            exporter.close()

@@ -1,0 +1,183 @@
+"""Tests for repro.obs.registry — typed instruments, rendering, and
+concurrent mutation under a live scraper (the registry's whole job is
+staying exact while the serving hot path and /metrics hammer it)."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter(self, registry):
+        c = registry.counter("reqs_total", "Requests.")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_gauge(self, registry):
+        g = registry.gauge("depth")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 3.0
+
+    def test_histogram_snapshot(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"0.1": 1, "1": 2, "+Inf": 3}
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+
+    def test_bad_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(1.0, 1.0))
+
+    def test_reregistration_is_idempotent(self, registry):
+        a = registry.counter("reqs_total")
+        b = registry.counter("reqs_total")
+        assert a is b
+        with pytest.raises(ValueError):
+            registry.gauge("reqs_total")
+        with pytest.raises(ValueError):
+            registry.counter("reqs_total", labelnames=("kind",))
+
+    def test_labels(self, registry):
+        family = registry.counter("errs_total", labelnames=("kind",))
+        family.labels(kind="timeout").inc()
+        family.labels(kind="timeout").inc()
+        family.labels(kind="crash").inc()
+        assert family.labels(kind="timeout").value() == 2.0
+        with pytest.raises(ValueError):
+            family.labels(wrong="x")
+        with pytest.raises(ValueError):
+            family._unlabelled()
+
+
+class TestRendering:
+    def test_prometheus_text(self, registry):
+        registry.counter("reqs_total", "Total requests.").inc(3)
+        registry.counter(
+            "errs_total", labelnames=("kind",)
+        ).labels(kind='a"b\n').inc()
+        registry.histogram("lat_seconds", buckets=(0.5,)).observe(0.1)
+        text = registry.render_prometheus()
+        assert "# HELP reqs_total Total requests." in text
+        assert "# TYPE reqs_total counter" in text
+        assert "reqs_total 3" in text
+        # Label values are escaped per the exposition format.
+        assert 'errs_total{kind="a\\"b\\n"} 1' in text
+        assert 'lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_json(self, registry):
+        registry.gauge("depth").set(2)
+        out = registry.render_json()
+        assert out["depth"]["type"] == "gauge"
+        (sample,) = out["depth"]["samples"]
+        assert sample == {"labels": {}, "value": 2.0}
+
+    def test_collector_runs_at_render(self, registry):
+        g = registry.gauge("pending")
+        state = {"n": 0}
+        registry.add_collector(lambda: g.set(state["n"]))
+        state["n"] = 7
+        assert 'pending 7' in registry.render_prometheus()
+        state["n"] = 9
+        (sample,) = registry.render_json()["pending"]["samples"]
+        assert sample["value"] == 9.0
+
+    def test_default_latency_buckets_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(
+            DEFAULT_LATENCY_BUCKETS_S
+        )
+
+
+class TestConcurrentMutation:
+    def test_exact_counts_under_threads_and_scraper(self, registry):
+        """N writer threads hammer a counter, a labelled family, and a
+        histogram while a scraper renders both formats continuously; the
+        totals must come out exact and every render internally valid."""
+        n_threads, n_iter = 8, 400
+        counter = registry.counter("hits_total")
+        family = registry.counter("kinds_total", labelnames=("kind",))
+        hist = registry.histogram("obs_seconds", buckets=(0.5, 1.0))
+        stop = threading.Event()
+        render_errors = []
+
+        def scrape():
+            while not stop.is_set():
+                try:
+                    text = registry.render_prometheus()
+                    assert "hits_total" in text
+                    registry.render_json()
+                except Exception as exc:  # noqa: BLE001 - report in-test
+                    render_errors.append(exc)
+                    return
+
+        def hammer(index):
+            # Each thread also creates "its" labelled child, exercising
+            # concurrent family registration and child memoisation.
+            child = family.labels(kind=f"k{index % 2}")
+            for i in range(n_iter):
+                counter.inc()
+                child.inc()
+                hist.observe((i % 3) * 0.4)
+
+        scraper = threading.Thread(target=scrape)
+        writers = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(n_threads)
+        ]
+        scraper.start()
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        stop.set()
+        scraper.join(timeout=10.0)
+
+        assert render_errors == []
+        assert counter.value() == n_threads * n_iter
+        assert (
+            family.labels(kind="k0").value()
+            + family.labels(kind="k1").value()
+        ) == n_threads * n_iter
+        snap = hist.snapshot()
+        assert snap["count"] == n_threads * n_iter
+        assert snap["buckets"]["+Inf"] == n_threads * n_iter
+
+    def test_concurrent_registration_yields_one_instrument(self, registry):
+        """Racing creations of the same name must converge on a single
+        instrument (idempotent registration under contention)."""
+        results = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            results.append(registry.counter("raced_total"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is results[0] for r in results)
+        results[0].inc()
+        assert registry.counter("raced_total").value() == 1.0

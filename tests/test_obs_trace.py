@@ -1,0 +1,175 @@
+"""Tests for repro.obs.trace — spans, deterministic sampling, context
+propagation helpers, and the chaos-drill acceptance predicate."""
+
+import pytest
+
+from repro.obs.ids import wall_now
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    complete_retried_traces,
+    span_record,
+    span_tree,
+)
+
+
+class TestSampling:
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(0.0)
+        assert tracer.enabled is False
+        span = tracer.start("request")
+        assert span is NOOP_SPAN
+        assert span.sampled is False
+        assert span.context is None
+        span.end()  # harmless
+        assert tracer.finished() == []
+
+    def test_rate_one_samples_everything(self):
+        tracer = Tracer(1.0)
+        spans = [tracer.start("request") for _ in range(5)]
+        assert all(isinstance(s, Span) for s in spans)
+        for s in spans:
+            s.end()
+        assert len(tracer.finished()) == 5
+
+    def test_fractional_rate_is_deterministic(self):
+        # Accumulator sampling: at rate 0.5 exactly every second root is
+        # sampled, and a fresh tracer reproduces the same pattern.
+        def pattern():
+            tracer = Tracer(0.5)
+            return [tracer.start("r") is not NOOP_SPAN for _ in range(10)]
+
+        first = pattern()
+        assert sum(first) == 5
+        assert pattern() == first
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(-0.1)
+        with pytest.raises(ValueError):
+            Tracer(1.5)
+
+
+class TestSpans:
+    def test_root_span_record_fields(self):
+        tracer = Tracer(1.0)
+        span = tracer.start("serve", role="server", attrs={"rid": 7})
+        span.end("ok", batch=3)
+        (record,) = tracer.finished()
+        assert record["name"] == "serve"
+        assert record["role"] == "server"
+        assert record["parent_id"] is None
+        assert record["status"] == "ok"
+        assert record["duration_s"] >= 0.0
+        assert record["attrs"] == {"rid": 7, "batch": 3}
+
+    def test_child_inherits_trace_and_parent(self):
+        tracer = Tracer(1.0)
+        root = tracer.start("request")
+        child = tracer.start("encode", role="worker", ctx=root.context)
+        child.end()
+        root.end()
+        child_rec, root_rec = tracer.finished()
+        assert child_rec["trace_id"] == root_rec["trace_id"]
+        assert child_rec["parent_id"] == root_rec["span_id"]
+
+    def test_unsampled_context_yields_noop(self):
+        tracer = Tracer(1.0)
+        ctx = TraceContext("t-1", None, False)
+        assert tracer.start("encode", ctx=ctx) is NOOP_SPAN
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer(1.0)
+        span = tracer.start("request")
+        span.end()
+        span.end("error")
+        (record,) = tracer.finished()
+        assert record["status"] == "ok"
+
+    def test_context_manager_records_error_status(self):
+        tracer = Tracer(1.0)
+        with pytest.raises(RuntimeError):
+            with tracer.start("request"):
+                raise RuntimeError("boom")
+        (record,) = tracer.finished()
+        assert record["status"] == "error"
+
+    def test_ring_bound(self):
+        tracer = Tracer(1.0, max_spans=4)
+        for i in range(10):
+            tracer.start("r", attrs={"i": i}).end()
+        retained = tracer.finished()
+        assert len(retained) == 4
+        assert [s["attrs"]["i"] for s in retained] == [6, 7, 8, 9]
+
+
+class TestIngest:
+    def test_span_record_roundtrip(self):
+        tracer = Tracer(1.0)
+        ctx = TraceContext("t-abc", "s-parent", True)
+        record = span_record("score", "worker", ctx, wall_now(), 0.002)
+        tracer.ingest([record])
+        (adopted,) = tracer.finished()
+        assert adopted["trace_id"] == "t-abc"
+        assert adopted["parent_id"] == "s-parent"
+        assert adopted["name"] == "score"
+
+    def test_ingest_skips_malformed(self):
+        tracer = Tracer(1.0)
+        tracer.ingest(None)
+        tracer.ingest([{"no_trace": 1}, "not a dict", 42])
+        assert tracer.finished() == []
+
+    def test_spans_for_and_trace_ids(self):
+        tracer = Tracer(1.0)
+        a = tracer.start("a")
+        a.end()
+        b = tracer.start("b")
+        b.end()
+        assert tracer.trace_ids() == [a.trace_id, b.trace_id]
+        assert [s["name"] for s in tracer.spans_for(b.trace_id)] == ["b"]
+
+
+def _span(trace_id, span_id, parent_id, name, role, start=0.0):
+    return {
+        "trace_id": trace_id, "span_id": span_id, "parent_id": parent_id,
+        "name": name, "role": role, "pid": 1, "start_unix": start,
+        "duration_s": 0.0, "status": "ok", "attrs": {},
+    }
+
+
+class TestSpanTree:
+    def test_nesting_and_orphans(self):
+        spans = [
+            _span("t", "root", None, "request", "client", start=0.0),
+            _span("t", "kid", "root", "dispatch", "supervisor", start=1.0),
+            # Parent died with a killed worker: surfaces as a root.
+            _span("t", "lost", "gone", "score", "worker", start=2.0),
+        ]
+        roots = span_tree(spans)
+        assert [r["span"]["span_id"] for r in roots] == ["root", "lost"]
+        (child,) = roots[0]["children"]
+        assert child["span"]["span_id"] == "kid"
+
+
+class TestCompleteRetriedTraces:
+    def test_predicate(self):
+        complete = [
+            _span("t1", "a", None, "request", "client"),
+            _span("t1", "b", "a", "dispatch", "supervisor"),
+            _span("t1", "c", "a", "retry", "supervisor"),
+            _span("t1", "d", "b", "score", "worker"),
+        ]
+        no_retry = [
+            _span("t2", "a", None, "request", "client"),
+            _span("t2", "b", "a", "dispatch", "supervisor"),
+            _span("t2", "d", "b", "score", "worker"),
+        ]
+        no_worker = [
+            _span("t3", "a", None, "request", "client"),
+            _span("t3", "c", "a", "retry", "supervisor"),
+        ]
+        out = complete_retried_traces(complete + no_retry + no_worker)
+        assert out == ["t1"]

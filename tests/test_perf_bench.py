@@ -62,7 +62,7 @@ class TestLegacyReference:
 class TestRunBench:
     def test_smoke_payload(self):
         payload = run_bench(models=("disthd",), smoke=True)
-        assert payload["schema"] == 7
+        assert payload["schema"] == 8
         assert payload["config"]["smoke"] is True
         assert [r["model"] for r in payload["results"]] == ["disthd"]
         assert "fit_speedup_vs_legacy" in payload
@@ -98,13 +98,26 @@ class TestRunBench:
         # informational only.
         assert encode["accuracy"]["passed"] is None
         assert isinstance(encode["accuracy"]["delta"], float)
+        obs = payload["scenarios"]["obs_overhead"]
+        assert obs["overhead"]["throughput_ratio"] > 0
+        # Smoke request counts sit below OBS_GATE_MIN_REQUESTS, so the
+        # overhead ratios are informational and the gate always passes.
+        assert obs["overhead"]["gate"]["gated"] is False
+        assert obs["overhead"]["gate"]["passed"] is True
+        assert obs["chaos"]["passed"] is True
+        assert obs["chaos"]["n_flight_dumps"] >= 1
+        assert obs["chaos"]["complete_retried_traces"] >= 1
+        assert obs["chaos"]["outcomes"].get("failed", 0) == 0
+        table = format_bench_table(payload)
+        assert "obs overhead" in table
+        assert "obs traced kill drill" in table
         # The payload must be JSON-serialisable as-is.
         json.dumps(payload)
 
     def test_no_legacy(self):
         payload = run_bench(
             models=("onlinehd",), smoke=True, include_legacy=True,
-            include_fleet=False,
+            include_fleet=False, include_obs=False,
         )
         # legacy reference only runs when disthd is in the sweep
         assert "fit_speedup_vs_legacy" not in payload
@@ -112,12 +125,15 @@ class TestRunBench:
     def test_no_fleet(self):
         payload = run_bench(
             models=("disthd",), smoke=True, include_fleet=False,
+            include_obs=False,
         )
         assert "fleet_resilience" not in payload["scenarios"]
+        assert "obs_overhead" not in payload["scenarios"]
 
     def test_format_table(self):
         payload = run_bench(
             models=("disthd",), smoke=True, include_fleet=False,
+            include_obs=False,
         )
         table = format_bench_table(payload)
         assert "disthd" in table
@@ -125,7 +141,8 @@ class TestRunBench:
 
     def test_write_bench(self, tmp_path):
         payload = run_bench(models=("disthd",), smoke=True,
-                            include_legacy=False, include_fleet=False)
+                            include_legacy=False, include_fleet=False,
+                            include_obs=False)
         path = write_bench(payload, tmp_path / "bench.json")
         restored = json.loads(path.read_text())
         assert restored["results"][0]["model"] == "disthd"
@@ -136,7 +153,7 @@ class TestBenchCLI:
         out = tmp_path / "BENCH_test.json"
         code = main(
             ["bench", "--smoke", "--models", "disthd", "--no-fleet",
-             "--output", str(out)]
+             "--no-obs", "--output", str(out)]
         )
         assert code == 0
         assert out.exists()

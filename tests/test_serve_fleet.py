@@ -298,14 +298,14 @@ class TestSupervisorRaces:
                 before = owner.assigned
 
             fleet._on_response(
-                stale_sender, ("res", pending.rid, "ok", "stale")
+                stale_sender, ("res", pending.rid, "ok", "stale", None)
             )
             assert not pending.future.done()
             with fleet._lock:
                 assert pending.rid in fleet._pending
                 assert owner.assigned == before
 
-            fleet._on_response(owner, ("res", pending.rid, "ok", "fresh"))
+            fleet._on_response(owner, ("res", pending.rid, "ok", "fresh", None))
             assert pending.future.result() == "fresh"
             with fleet._lock:
                 assert pending.rid not in fleet._pending
